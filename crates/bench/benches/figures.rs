@@ -1,0 +1,68 @@
+//! Scaled-down criterion versions of the paper's figure experiments, so
+//! `cargo bench` exercises every end-to-end path. The full-size runs live in
+//! the `src/bin/` experiment binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hidestore_bench::{
+    run_dedup_scheme, run_restore_scheme, version_tag_matrix, workload_versions, DedupScheme,
+    RestoreScheme, Scale,
+};
+use hidestore_workloads::Profile;
+
+fn tiny() -> Scale {
+    Scale::tiny()
+}
+
+fn bench_fig8_dedup_ratio(c: &mut Criterion) {
+    let scale = tiny();
+    let versions = workload_versions(Profile::Kernel, scale);
+    let mut group = c.benchmark_group("fig8-dedup");
+    group.sample_size(10);
+    for scheme in [DedupScheme::Ddfs, DedupScheme::Silo, DedupScheme::HiDeStore] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &versions,
+            |b, versions| {
+                b.iter(|| {
+                    black_box(run_dedup_scheme(scheme, versions, scale, Profile::Kernel).dedup_ratio)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig11_restore(c: &mut Criterion) {
+    let scale = tiny();
+    let versions = workload_versions(Profile::Kernel, scale);
+    let mut group = c.benchmark_group("fig11-restore");
+    group.sample_size(10);
+    for scheme in [RestoreScheme::Baseline, RestoreScheme::HiDeStore] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &versions,
+            |b, versions| {
+                b.iter(|| {
+                    let run = run_restore_scheme(scheme, versions, scale, Profile::Kernel);
+                    black_box(run.speed_factors.last().copied())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig3_tag_matrix(c: &mut Criterion) {
+    let scale = tiny();
+    let versions = workload_versions(Profile::Kernel, scale);
+    let mut group = c.benchmark_group("fig3-tags");
+    group.sample_size(10);
+    group.bench_function("kernel", |b| {
+        b.iter(|| black_box(version_tag_matrix(&versions, scale).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8_dedup_ratio, bench_fig11_restore, bench_fig3_tag_matrix);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Ablation studies over HiDeStore's design choices (DESIGN.md §3):
+//!
+//! 1. **History depth** (1 vs 2) on each workload — the macos observation:
+//!    depth 2 rescues chunks that skip one version.
+//! 2. **Compaction threshold** — how aggressively sparse active containers
+//!    are merged vs. the newest version's restore locality.
+//! 3. **Chunking algorithm** — the paper picks TTTD; what do the others
+//!    cost/gain?
+//! 4. **Container capacity** — locality granularity vs. read amplification.
+
+use hidestore_bench::{workload_versions, Scale};
+use hidestore_chunking::ChunkerKind;
+use hidestore_core::{HiDeStore, HiDeStoreConfig};
+use hidestore_restore::Faa;
+use hidestore_storage::{MemoryContainerStore, VersionId};
+use hidestore_workloads::Profile;
+
+fn run(config: HiDeStoreConfig, versions: &[Vec<u8>], faa_area: usize) -> (f64, f64) {
+    let mut hds = HiDeStore::new(config, MemoryContainerStore::new());
+    for v in versions {
+        hds.backup(v).expect("memory store cannot fail");
+    }
+    hds.flatten_recipes();
+    let newest = VersionId::new(versions.len() as u32);
+    let report = hds
+        .restore(newest, &mut Faa::new(faa_area), &mut std::io::sink())
+        .expect("restore of retained version");
+    (hds.run_stats().dedup_ratio(), report.speed_factor())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let faa_area = 8 * scale.container;
+
+    // 1. History depth per workload.
+    let mut rows = Vec::new();
+    for profile in Profile::ALL {
+        let versions = workload_versions(profile, scale);
+        let mut row = vec![profile.to_string()];
+        for depth in [1usize, 2] {
+            let cfg = HiDeStoreConfig {
+                history_depth: depth,
+                ..scale.hidestore_config(profile)
+            };
+            let (ratio, sf) = run(cfg, &versions, faa_area);
+            row.push(format!("{:.2}% / {sf:.3}", ratio * 100.0));
+        }
+        rows.push(row);
+    }
+    hidestore_bench::print_table(
+        "Ablation: history depth (dedup ratio / newest speed factor)",
+        &["dataset", "depth 1", "depth 2"],
+        &rows,
+    );
+    hidestore_bench::write_csv("ablation_depth", &["dataset", "depth1", "depth2"], &rows);
+
+    // 2. Compaction threshold on kernel.
+    let versions = workload_versions(Profile::Kernel, scale);
+    let mut rows = Vec::new();
+    for threshold in [0.25, 0.5, 0.75, 0.95] {
+        let cfg = HiDeStoreConfig {
+            compact_threshold: threshold,
+            ..scale.hidestore_config(Profile::Kernel)
+        };
+        let (ratio, sf) = run(cfg, &versions, faa_area);
+        rows.push(vec![
+            format!("{threshold:.2}"),
+            format!("{:.2}%", ratio * 100.0),
+            format!("{sf:.3}"),
+        ]);
+    }
+    hidestore_bench::print_table(
+        "Ablation: compaction threshold (kernel)",
+        &["threshold", "dedup ratio", "newest speed factor"],
+        &rows,
+    );
+    hidestore_bench::write_csv(
+        "ablation_compaction",
+        &["threshold", "dedup_ratio", "speed_factor"],
+        &rows,
+    );
+
+    // 3. Chunking algorithm on kernel (FastCDC needs power-of-two average).
+    let mut rows = Vec::new();
+    for kind in ChunkerKind::ALL {
+        let cfg = HiDeStoreConfig { chunker: kind, ..scale.hidestore_config(Profile::Kernel) };
+        let (ratio, sf) = run(cfg, &versions, faa_area);
+        rows.push(vec![
+            kind.to_string(),
+            format!("{:.2}%", ratio * 100.0),
+            format!("{sf:.3}"),
+        ]);
+    }
+    hidestore_bench::print_table(
+        "Ablation: chunking algorithm (kernel)",
+        &["chunker", "dedup ratio", "newest speed factor"],
+        &rows,
+    );
+    hidestore_bench::write_csv(
+        "ablation_chunker",
+        &["chunker", "dedup_ratio", "speed_factor"],
+        &rows,
+    );
+
+    // 4. Container capacity on kernel.
+    let mut rows = Vec::new();
+    for shift in [18usize, 19, 20, 21] {
+        let capacity = 1usize << shift;
+        let cfg = HiDeStoreConfig {
+            container_capacity: capacity,
+            ..scale.hidestore_config(Profile::Kernel)
+        };
+        let (ratio, sf) = run(cfg, &versions, 8 * capacity);
+        rows.push(vec![
+            format!("{} KiB", capacity >> 10),
+            format!("{:.2}%", ratio * 100.0),
+            format!("{sf:.3}"),
+        ]);
+    }
+    hidestore_bench::print_table(
+        "Ablation: container capacity (kernel)",
+        &["capacity", "dedup ratio", "newest speed factor"],
+        &rows,
+    );
+    hidestore_bench::write_csv(
+        "ablation_container",
+        &["capacity", "dedup_ratio", "speed_factor"],
+        &rows,
+    );
+}

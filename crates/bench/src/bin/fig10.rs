@@ -1,0 +1,47 @@
+//! Figure 10 — index table space overhead: bytes of index structure per MB
+//! of data processed, after each version.
+//!
+//! Expected shape (paper §5.2.3): DDFS highest (one full-index entry per
+//! unique chunk); SparseIndex ~1/sample-rate of that; SiLo smaller still
+//! (one entry per segment); HiDeStore lowest — it keeps no index table
+//! beyond the bounded two-version fingerprint cache, whose *relative* cost
+//! shrinks as data accumulates.
+
+use hidestore_bench::{run_dedup_scheme, workload_versions, DedupScheme, Scale};
+use hidestore_workloads::Profile;
+
+fn main() {
+    let scale = Scale::from_env();
+    for profile in Profile::ALL {
+        let versions = workload_versions(profile, scale);
+        let runs: Vec<_> = DedupScheme::FIG9
+            .iter()
+            .map(|&s| run_dedup_scheme(s, &versions, scale, profile))
+            .collect();
+        let mut rows = Vec::new();
+        for v in 0..versions.len() {
+            let mut row = vec![format!("V{}", v + 1)];
+            for run in &runs {
+                row.push(format!("{:.1}", run.rows[v].index_bytes_per_mb));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["version"];
+        headers.extend(DedupScheme::FIG9.iter().map(|s| s.label()));
+        hidestore_bench::print_table(
+            &format!("Figure 10 ({profile}): index bytes per MB of data"),
+            &headers,
+            &rows,
+        );
+        hidestore_bench::write_csv(&format!("fig10_{profile}"), &headers, &rows);
+
+        let last = versions.len() - 1;
+        println!(
+            "{profile}: final bytes/MB — DDFS {:.1}, Sparse {:.1}, SiLo {:.1}, HiDeStore {:.1}",
+            runs[0].rows[last].index_bytes_per_mb,
+            runs[1].rows[last].index_bytes_per_mb,
+            runs[2].rows[last].index_bytes_per_mb,
+            runs[3].rows[last].index_bytes_per_mb,
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 11 — restore performance: speed factor (MB per container read)
+//! for every version, restored after the whole workload is ingested.
+//!
+//! Expected shape (paper §5.3): HiDeStore clearly highest on the *newest*
+//! versions (their chunks sit dense in the active containers) while
+//! sacrificing the oldest versions; rewriting schemes (Capping, ALACC+FBW)
+//! improve on the baseline everywhere but pay deduplication ratio for it.
+
+use hidestore_bench::{run_restore_scheme, workload_versions, RestoreScheme, Scale};
+use hidestore_workloads::Profile;
+
+fn main() {
+    let scale = Scale::from_env();
+    for profile in Profile::ALL {
+        let versions = workload_versions(profile, scale);
+        let runs: Vec<_> = RestoreScheme::ALL
+            .iter()
+            .map(|&s| run_restore_scheme(s, &versions, scale, profile))
+            .collect();
+        let mut rows = Vec::new();
+        for v in 0..versions.len() {
+            let mut row = vec![format!("V{}", v + 1)];
+            for run in &runs {
+                row.push(format!("{:.3}", run.speed_factors[v].1));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["version"];
+        headers.extend(RestoreScheme::ALL.iter().map(|s| s.label()));
+        hidestore_bench::print_table(
+            &format!("Figure 11 ({profile}): speed factor (MB/container-read)"),
+            &headers,
+            &rows,
+        );
+        hidestore_bench::write_csv(&format!("fig11_{profile}"), &headers, &rows);
+
+        let last = versions.len() - 1;
+        let newest: Vec<f64> = runs.iter().map(|r| r.speed_factors[last].1).collect();
+        println!(
+            "{profile}: newest-version speed factor — baseline {:.3}, capping {:.3}, \
+             alacc+fbw {:.3}, hidestore {:.3} (hidestore/alacc = {:.2}x); \
+             dedup ratios {:.2}%/{:.2}%/{:.2}%/{:.2}%",
+            newest[0],
+            newest[1],
+            newest[2],
+            newest[3],
+            newest[3] / newest[2].max(1e-9),
+            runs[0].dedup_ratio * 100.0,
+            runs[1].dedup_ratio * 100.0,
+            runs[2].dedup_ratio * 100.0,
+            runs[3].dedup_ratio * 100.0,
+        );
+    }
+}

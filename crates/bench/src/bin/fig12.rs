@@ -1,0 +1,32 @@
+//! Figure 12 — HiDeStore's maintenance overheads: mean per-version latency
+//! of (a) updating the previous recipe(s) and (b) moving cold chunks /
+//! merging sparse active containers; plus the offline Algorithm 1 pass.
+
+use hidestore_bench::{run_overheads, workload_versions, Scale};
+use hidestore_workloads::Profile;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rows = Vec::new();
+    for profile in Profile::ALL {
+        let versions = workload_versions(profile, scale);
+        let row = run_overheads(&versions, scale, profile);
+        rows.push(vec![
+            profile.to_string(),
+            format!("{:.2}", row.mean_recipe_update.as_secs_f64() * 1000.0),
+            format!("{:.2}", row.mean_chunk_move.as_secs_f64() * 1000.0),
+            format!("{:.2}", row.flatten_time.as_secs_f64() * 1000.0),
+        ]);
+    }
+    hidestore_bench::print_table(
+        "Figure 12: HiDeStore overheads (ms)",
+        &["dataset", "recipe update (mean)", "move+merge (mean)", "algorithm 1 (full)"],
+        &rows,
+    );
+    hidestore_bench::write_csv(
+        "fig12",
+        &["dataset", "recipe_update_ms", "move_merge_ms", "flatten_ms"],
+        &rows,
+    );
+    println!("\npaper reports e.g. ~21ms per recipe update on kernel (at 64GB scale)");
+}

@@ -1,0 +1,60 @@
+//! Figure 3 — the heuristic experiment on fragmented chunks: after each
+//! backup version, how many chunks still carry each version tag. The paper's
+//! observation: a tag's count drops sharply one version after it stops being
+//! current (two for macos) and then stays flat — old chunks rarely recur.
+
+use hidestore_bench::{version_tag_matrix, workload_versions, Scale};
+use hidestore_workloads::Profile;
+
+fn main() {
+    let scale = Scale::from_env();
+    for profile in Profile::ALL {
+        let versions = workload_versions(profile, scale);
+        let matrix = version_tag_matrix(&versions, scale);
+        let n = matrix.len();
+        // Print counts for the first few tags across all versions, like the
+        // paper's per-tag curves.
+        let shown_tags = n.min(6);
+        let mut rows = Vec::new();
+        for (after, counts) in matrix.iter().enumerate() {
+            let mut row = vec![format!("after V{}", after + 1)];
+            for count in counts.iter().take(shown_tags) {
+                row.push(count.to_string());
+            }
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["".to_string()];
+        headers.extend((1..=shown_tags).map(|t| format!("V{t} chunks")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        hidestore_bench::print_table(
+            &format!("Figure 3 ({profile}): chunks per version tag"),
+            &header_refs,
+            &rows,
+        );
+        let csv_rows: Vec<Vec<String>> = matrix
+            .iter()
+            .enumerate()
+            .map(|(after, counts)| {
+                let mut row = vec![(after + 1).to_string()];
+                row.extend(counts.iter().map(u64::to_string));
+                row
+            })
+            .collect();
+        let mut csv_headers = vec!["after_version".to_string()];
+        csv_headers.extend((1..=n).map(|t| format!("tag_v{t}")));
+        let csv_header_refs: Vec<&str> = csv_headers.iter().map(String::as_str).collect();
+        hidestore_bench::write_csv(&format!("fig3_{profile}"), &csv_header_refs, &csv_rows);
+
+        // Summarize the decay property the paper highlights.
+        if n >= 3 {
+            let v1_initial = matrix[0][0];
+            let v1_after_2 = matrix[1][0];
+            let v1_final = matrix[n - 1][0];
+            println!(
+                "{profile}: V1 chunks {v1_initial} -> {v1_after_2} after V2 -> {v1_final} at end \
+                 (decay concentrated in the first step{})",
+                if profile == Profile::Macos { ", spread over two steps for macos" } else { "" }
+            );
+        }
+    }
+}

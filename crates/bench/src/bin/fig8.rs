@@ -1,0 +1,30 @@
+//! Figure 8 — deduplication ratios across schemes and workloads.
+//!
+//! Expected shape (paper §5.2.1): DDFS highest (exact); HiDeStore ≈ DDFS;
+//! SparseIndex and SiLo slightly lower (near-exact sampling losses); the
+//! rewriting schemes (SiLo+Capping, SiLo+FBW) lowest because rewritten
+//! duplicates consume space.
+
+use hidestore_bench::{run_dedup_scheme, workload_versions, DedupScheme, Scale};
+use hidestore_workloads::Profile;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rows = Vec::new();
+    for profile in Profile::ALL {
+        let versions = workload_versions(profile, scale);
+        let mut row = vec![profile.to_string()];
+        for scheme in DedupScheme::FIG8 {
+            let run = run_dedup_scheme(scheme, &versions, scale, profile);
+            row.push(format!("{:.2}%", run.dedup_ratio * 100.0));
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["dataset"];
+    headers.extend(DedupScheme::FIG8.iter().map(|s| s.label()));
+    hidestore_bench::print_table("Figure 8: deduplication ratio", &headers, &rows);
+    hidestore_bench::write_csv("fig8", &headers, &rows);
+    println!(
+        "\nexpected shape: DDFS ≈ HiDeStore > SparseIndex, SiLo > SiLo+Capping, SiLo+FBW"
+    );
+}

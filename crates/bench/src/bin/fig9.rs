@@ -1,0 +1,52 @@
+//! Figure 9 — index lookup overhead: on-disk lookup requests per GB, per
+//! backup version, for each deduplication scheme.
+//!
+//! Expected shape (paper §5.2.2): HiDeStore lowest and flat (its only
+//! "lookups" are the sequential prefetch of the previous recipe); DDFS grows
+//! as fragmentation dilutes its locality cache; Sparse/SiLo sit between.
+
+use hidestore_bench::{run_dedup_scheme, workload_versions, DedupScheme, Scale};
+use hidestore_workloads::Profile;
+
+fn main() {
+    let scale = Scale::from_env();
+    for profile in Profile::ALL {
+        let versions = workload_versions(profile, scale);
+        let runs: Vec<_> = DedupScheme::FIG9
+            .iter()
+            .map(|&s| run_dedup_scheme(s, &versions, scale, profile))
+            .collect();
+        let mut rows = Vec::new();
+        for v in 0..versions.len() {
+            let mut row = vec![format!("V{}", v + 1)];
+            for run in &runs {
+                row.push(format!("{:.0}", run.rows[v].lookups_per_gb));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["version"];
+        headers.extend(DedupScheme::FIG9.iter().map(|s| s.label()));
+        hidestore_bench::print_table(
+            &format!("Figure 9 ({profile}): lookup requests per GB"),
+            &headers,
+            &rows,
+        );
+        hidestore_bench::write_csv(&format!("fig9_{profile}"), &headers, &rows);
+
+        // Headline number: mean reduction vs DDFS over the last half.
+        let half = versions.len() / 2;
+        let mean = |run: &hidestore_bench::DedupRun| {
+            run.rows[half..].iter().map(|r| r.lookups_per_gb).sum::<f64>()
+                / (versions.len() - half) as f64
+        };
+        let ddfs = mean(&runs[0]);
+        let hds = mean(&runs[3]);
+        if ddfs > 0.0 {
+            println!(
+                "{profile}: HiDeStore mean lookups/GB over last half = {hds:.0} vs DDFS {ddfs:.0} \
+                 ({:.0}% reduction)",
+                (1.0 - hds / ddfs) * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Backup-ingest throughput (wall clock) per scheme — complements Figure 9's
+//! counted lookup metric with an end-to-end measurement on this machine.
+
+use std::time::Instant;
+
+use hidestore_bench::{workload_versions, Scale};
+use hidestore_core::HiDeStore;
+use hidestore_dedup::BackupPipeline;
+use hidestore_index::{DdfsIndex, SiloConfig, SiloIndex, SparseConfig, SparseIndex};
+use hidestore_rewriting::NoRewrite;
+use hidestore_storage::MemoryContainerStore;
+use hidestore_workloads::Profile;
+
+fn main() {
+    let scale = Scale::from_env();
+    let versions = workload_versions(Profile::Kernel, scale);
+    let total_mb: f64 =
+        versions.iter().map(|v| v.len() as f64).sum::<f64>() / (1024.0 * 1024.0);
+    println!("ingesting {total_mb:.0} MB (kernel workload, {} versions)\n", versions.len());
+
+    let mut rows = Vec::new();
+
+    let t = Instant::now();
+    let mut p = BackupPipeline::new(
+        scale.pipeline_config(),
+        DdfsIndex::new(),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        p.backup(v).expect("memory store cannot fail");
+    }
+    rows.push(vec!["DDFS".into(), format!("{:.1}", total_mb / t.elapsed().as_secs_f64())]);
+
+    let t = Instant::now();
+    let mut p = BackupPipeline::new(
+        scale.pipeline_config(),
+        SparseIndex::new(SparseConfig::default()),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        p.backup(v).expect("memory store cannot fail");
+    }
+    rows.push(vec![
+        "SparseIndex".into(),
+        format!("{:.1}", total_mb / t.elapsed().as_secs_f64()),
+    ]);
+
+    let t = Instant::now();
+    let mut p = BackupPipeline::new(
+        scale.pipeline_config(),
+        SiloIndex::new(SiloConfig::default()),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        p.backup(v).expect("memory store cannot fail");
+    }
+    rows.push(vec!["SiLo".into(), format!("{:.1}", total_mb / t.elapsed().as_secs_f64())]);
+
+    let t = Instant::now();
+    let mut hds = HiDeStore::new(
+        scale.hidestore_config(Profile::Kernel),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        hds.backup(v).expect("memory store cannot fail");
+    }
+    rows.push(vec![
+        "HiDeStore".into(),
+        format!("{:.1}", total_mb / t.elapsed().as_secs_f64()),
+    ]);
+
+    hidestore_bench::print_table(
+        "Backup ingest throughput (MB/s, wall clock, in-memory store)",
+        &["scheme", "MB/s"],
+        &rows,
+    );
+    hidestore_bench::write_csv("throughput", &["scheme", "mb_per_s"], &rows);
+}

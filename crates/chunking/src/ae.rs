@@ -1,0 +1,142 @@
+//! AE — Asymmetric Extremum chunking (Zhang et al., INFOCOM 2015).
+
+use crate::rolling::gear_table;
+use crate::Chunker;
+
+/// Asymmetric Extremum content-defined chunker.
+///
+/// AE declares a cut when a position holding the (interval) maximum value is
+/// followed by a full window of `w` bytes none of which exceed it: the chunk
+/// boundary is placed at the end of that window. Unlike Rabin/gear chunking
+/// there is no divisor test, so AE needs no mask tuning and has a hard
+/// built-in maximum-size property. The expected chunk size is approximately
+/// `w * (e - 1) ≈ 1.718 w`; we size the window accordingly.
+///
+/// Byte values are mapped through the gear substitution table so runs of
+/// equal bytes still produce usable extrema.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_chunking::{chunk_spans, AeChunker, Chunker};
+///
+/// let mut c = AeChunker::new(4096);
+/// let data: Vec<u8> = (0..60_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+/// let spans = chunk_spans(&mut c, &data);
+/// assert!(spans.iter().all(|s| s.len() <= c.max_size()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AeChunker {
+    window: usize,
+    max_size: usize,
+}
+
+impl AeChunker {
+    /// Creates an AE chunker with target average chunk size `avg_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_size < 64`.
+    pub fn new(avg_size: usize) -> Self {
+        assert!(avg_size >= 64, "average chunk size must be at least 64 bytes");
+        // E[len] ≈ (e - 1) * w  =>  w = avg / 1.71828
+        let window = ((avg_size as f64) / (std::f64::consts::E - 1.0)).round() as usize;
+        AeChunker { window: window.max(1), max_size: avg_size * 4 }
+    }
+
+    fn value_at(data: &[u8], i: usize) -> u64 {
+        gear_table()[data[i] as usize]
+    }
+}
+
+impl Chunker for AeChunker {
+    fn next_chunk_len(&mut self, data: &[u8]) -> usize {
+        assert!(!data.is_empty(), "next_chunk_len requires non-empty data");
+        let limit = data.len().min(self.max_size);
+        let mut max_value = Self::value_at(data, 0);
+        let mut max_pos = 0usize;
+        for i in 1..limit {
+            let v = Self::value_at(data, i);
+            // Strict inequality: in a run of equal values the *first* is the
+            // extremum, giving deterministic, shift-stable boundaries.
+            if v > max_value {
+                max_value = v;
+                max_pos = i;
+            } else if i - max_pos >= self.window {
+                return i + 1;
+            }
+        }
+        limit
+    }
+
+    fn min_size(&self) -> usize {
+        // The earliest possible cut is a window after the first byte.
+        self.window + 1
+    }
+
+    fn max_size(&self) -> usize {
+        self.max_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk_spans;
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn average_in_band() {
+        let data = noise(3_000_000, 3);
+        let mut c = AeChunker::new(4096);
+        let spans = chunk_spans(&mut c, &data);
+        let avg = data.len() / spans.len();
+        assert!((2048..=8192).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn window_sized_from_average() {
+        let c = AeChunker::new(4096);
+        assert!((2000..=2600).contains(&c.window), "window {}", c.window);
+    }
+
+    #[test]
+    fn cuts_never_before_window() {
+        let data = noise(500_000, 7);
+        let mut c = AeChunker::new(1024);
+        let spans = chunk_spans(&mut c, &data);
+        for s in &spans[..spans.len() - 1] {
+            assert!(s.len() > c.window);
+        }
+    }
+
+    #[test]
+    fn constant_bytes_single_extremum() {
+        // All-equal bytes: position 0 stays the maximum, cut happens exactly
+        // at window + 1.
+        let data = vec![42u8; 100_000];
+        let mut c = AeChunker::new(1024);
+        let spans = chunk_spans(&mut c, &data);
+        for s in &spans[..spans.len() - 1] {
+            assert_eq!(s.len(), c.window + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = noise(200_000, 19);
+        let mut c = AeChunker::new(2048);
+        assert_eq!(chunk_spans(&mut c, &data), chunk_spans(&mut c, &data));
+    }
+}

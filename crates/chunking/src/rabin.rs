@@ -1,0 +1,180 @@
+//! Rabin-fingerprint content-defined chunking, as introduced by LBFS and
+//! shipped by Destor as "rabin CDC".
+
+use crate::rolling::{RabinHash, DEFAULT_WINDOW};
+use crate::Chunker;
+
+/// Content-defined chunker driven by a windowed Rabin fingerprint.
+///
+/// A cut is declared at the first position (at least `min_size` into the
+/// chunk) where `hash % divisor == divisor - 1`; the divisor equals the
+/// target average size so the expected spacing between cuts is the average.
+/// A hard `max_size` bound caps pathological inputs (e.g. long runs of a
+/// single byte where the hash never matches).
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_chunking::{chunk_spans, Chunker, RabinChunker};
+///
+/// let mut chunker = RabinChunker::new(4096);
+/// assert_eq!(chunker.min_size(), 1024);
+/// assert_eq!(chunker.max_size(), 4096 * 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RabinChunker {
+    min_size: usize,
+    max_size: usize,
+    divisor: u64,
+    hash: RabinHash,
+}
+
+impl RabinChunker {
+    /// Creates a Rabin chunker with target average chunk size `avg_size`.
+    ///
+    /// Minimum size is `avg_size / 4`, maximum is `avg_size * 8` — the
+    /// conventional LBFS/Destor ratios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_size < 64`.
+    pub fn new(avg_size: usize) -> Self {
+        Self::with_bounds(avg_size, avg_size / 4, avg_size * 8)
+    }
+
+    /// Creates a Rabin chunker with explicit minimum and maximum sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_size < 64`, `min_size == 0`, or the bounds are not
+    /// `min_size <= avg_size <= max_size`.
+    pub fn with_bounds(avg_size: usize, min_size: usize, max_size: usize) -> Self {
+        assert!(avg_size >= 64, "average chunk size must be at least 64 bytes");
+        assert!(min_size > 0, "minimum chunk size must be non-zero");
+        assert!(
+            min_size <= avg_size && avg_size <= max_size,
+            "bounds must satisfy min <= avg <= max"
+        );
+        RabinChunker {
+            min_size,
+            max_size,
+            divisor: avg_size as u64,
+            hash: RabinHash::new(DEFAULT_WINDOW),
+        }
+    }
+}
+
+impl Chunker for RabinChunker {
+    fn next_chunk_len(&mut self, data: &[u8]) -> usize {
+        assert!(!data.is_empty(), "next_chunk_len requires non-empty data");
+        if data.len() <= self.min_size {
+            return data.len();
+        }
+        self.hash.reset();
+        let limit = data.len().min(self.max_size);
+        // Warm the window over the bytes before the first legal cut point so
+        // the hash at position min_size covers real content.
+        let warm_start = self.min_size.saturating_sub(DEFAULT_WINDOW);
+        for &b in &data[warm_start..self.min_size] {
+            self.hash.roll(b);
+        }
+        for (i, &b) in data[self.min_size..limit].iter().enumerate() {
+            let h = self.hash.roll(b);
+            if h % self.divisor == self.divisor - 1 {
+                return self.min_size + i + 1;
+            }
+        }
+        limit
+    }
+
+    fn min_size(&self) -> usize {
+        self.min_size
+    }
+
+    fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    fn reset(&mut self) {
+        self.hash.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk_spans;
+
+    fn noise(len: usize) -> Vec<u8> {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn constant_input_hits_max_size() {
+        // A single repeated byte gives a constant rolling hash; unless that
+        // value happens to match, every chunk is max-sized.
+        let data = vec![0u8; 100_000];
+        let mut c = RabinChunker::new(1024);
+        let spans = chunk_spans(&mut c, &data);
+        assert!(spans[..spans.len() - 1]
+            .iter()
+            .all(|s| s.len() == c.max_size() || s.len() >= c.min_size()));
+    }
+
+    #[test]
+    fn average_in_expected_band() {
+        let data = noise(2_000_000);
+        let mut c = RabinChunker::new(4096);
+        let spans = chunk_spans(&mut c, &data);
+        let avg = data.len() / spans.len();
+        assert!((2048..=8192).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn min_size_enforced() {
+        let data = noise(500_000);
+        let mut c = RabinChunker::new(1024);
+        let spans = chunk_spans(&mut c, &data);
+        for s in &spans[..spans.len() - 1] {
+            assert!(s.len() >= 256);
+        }
+    }
+
+    #[test]
+    fn identical_suffixes_share_boundaries() {
+        let shared = noise(300_000);
+        let mut with_prefix = vec![0xEEu8; 1000];
+        with_prefix.extend_from_slice(&shared);
+        let mut c = RabinChunker::new(2048);
+        let a: std::collections::HashSet<usize> = chunk_spans(&mut c, &shared)
+            .iter()
+            .map(|s| shared.len() - s.end)
+            .collect();
+        let b: std::collections::HashSet<usize> = chunk_spans(&mut c, &with_prefix)
+            .iter()
+            .map(|s| with_prefix.len() - s.end)
+            .collect();
+        let survived = a.intersection(&b).count();
+        assert!(survived * 10 >= a.len() * 9, "{survived}/{}", a.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must satisfy")]
+    fn invalid_bounds_rejected() {
+        RabinChunker::with_bounds(1024, 4096, 512);
+    }
+
+    #[test]
+    fn short_stream_is_one_chunk() {
+        let mut c = RabinChunker::new(4096);
+        assert_eq!(chunk_spans(&mut c, &noise(100)), vec![0..100]);
+    }
+}

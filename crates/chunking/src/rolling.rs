@@ -1,0 +1,308 @@
+//! Rolling-hash primitives shared by the content-defined chunkers.
+//!
+//! Two families are provided:
+//!
+//! * [`RabinHash`] — a true Rabin fingerprint over GF(2) polynomials with a
+//!   fixed irreducible modulus, as used by LBFS-style CDC. Table-driven:
+//!   appending a byte and expiring the oldest window byte are both O(1).
+//! * [`gear_table`] / [`gear_step`] — the gear hash used by FastCDC; a single
+//!   shift-and-add per byte with a random byte-to-u64 substitution table.
+
+/// The irreducible degree-53 polynomial used by LBFS and most Rabin CDC
+/// implementations (0x3DA3358B4DC173 in the usual notation).
+pub const RABIN_POLYNOMIAL: u64 = 0x003D_A335_8B4D_C173;
+
+/// Default rolling window width in bytes for Rabin chunking.
+pub const DEFAULT_WINDOW: usize = 48;
+
+/// Degree of a GF(2) polynomial represented as a bit set (u64), or -1 for 0.
+fn degree(p: u64) -> i32 {
+    63 - p.leading_zeros() as i32
+}
+
+/// Multiplies two GF(2) polynomials modulo `modulus` (carry-less).
+fn polymod_mul(mut a: u64, mut b: u64, modulus: u64) -> u64 {
+    let mut result = 0u64;
+    let deg = degree(modulus);
+    a = polymod(a, modulus);
+    while b != 0 {
+        if b & 1 != 0 {
+            result ^= a;
+        }
+        b >>= 1;
+        a <<= 1;
+        if degree(a) == deg {
+            a ^= modulus;
+        }
+    }
+    polymod(result, modulus)
+}
+
+/// Reduces polynomial `a` modulo `modulus` over GF(2).
+fn polymod(mut a: u64, modulus: u64) -> u64 {
+    let dm = degree(modulus);
+    if dm < 0 {
+        return a;
+    }
+    while degree(a) >= dm {
+        a ^= modulus << (degree(a) - dm);
+    }
+    a
+}
+
+/// Computes x^n mod `modulus` over GF(2) by square-and-multiply.
+fn polymod_pow_of_x(n: u32, modulus: u64) -> u64 {
+    let mut result = 1u64; // x^0
+    let mut base = 2u64; // x^1
+    let mut n = n;
+    while n > 0 {
+        if n & 1 == 1 {
+            result = polymod_mul(result, base, modulus);
+        }
+        base = polymod_mul(base, base, modulus);
+        n >>= 1;
+    }
+    result
+}
+
+/// Windowed Rabin fingerprint: hash of the last `window` bytes of the stream
+/// as a polynomial over GF(2) modulo [`RABIN_POLYNOMIAL`].
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_chunking::rolling::RabinHash;
+///
+/// let mut a = RabinHash::new(16);
+/// let mut b = RabinHash::new(16);
+/// // After absorbing >= window bytes, only the trailing window matters.
+/// for byte in b"AAAAAAAA0123456789abcdef" { a.roll(*byte); }
+/// for byte in b"BB0123456789abcdef" { b.roll(*byte); }
+/// assert_eq!(a.value(), b.value());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RabinHash {
+    value: u64,
+    window: usize,
+    buf: Vec<u8>,
+    head: usize,
+    filled: bool,
+    /// shift_table[b] = b * x^(8*window) mod P — removes the expiring byte.
+    shift_table: [u64; 256],
+    /// append_table[top9bits] reduces after the <<8 append step.
+    modulus: u64,
+}
+
+impl RabinHash {
+    /// Creates a windowed Rabin hash with the given window width in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        let mut shift_table = [0u64; 256];
+        // The expiring byte is removed *before* the <<8 append step, at which
+        // point its positional weight is x^(8*(window-1)), as in LBFS.
+        let xw = polymod_pow_of_x((8 * (window - 1)) as u32, RABIN_POLYNOMIAL);
+        for (b, entry) in shift_table.iter_mut().enumerate() {
+            *entry = polymod_mul(b as u64, xw, RABIN_POLYNOMIAL);
+        }
+        RabinHash {
+            value: 0,
+            window,
+            buf: vec![0; window],
+            head: 0,
+            filled: false,
+            shift_table,
+            modulus: RABIN_POLYNOMIAL,
+        }
+    }
+
+    /// Absorbs one byte, expiring the oldest byte once the window is full,
+    /// and returns the updated fingerprint.
+    #[inline]
+    pub fn roll(&mut self, byte: u8) -> u64 {
+        let old = self.buf[self.head];
+        self.buf[self.head] = byte;
+        self.head += 1;
+        if self.head == self.window {
+            self.head = 0;
+            self.filled = true;
+        }
+        // Before the window fills, `old` is 0 and shift_table[0] == 0, so the
+        // removal is a harmless no-op.
+        self.value ^= self.shift_table[old as usize];
+        // value = (value * x^8 + byte) mod P
+        self.value = polymod((self.value << 8) | byte as u64, self.modulus);
+        self.value
+    }
+
+    /// Current fingerprint of the trailing window.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Clears the hash state for a new stream.
+    pub fn reset(&mut self) {
+        self.value = 0;
+        self.buf.iter_mut().for_each(|b| *b = 0);
+        self.head = 0;
+        self.filled = false;
+    }
+}
+
+/// 256-entry substitution table for the gear hash, generated deterministically
+/// from a SplitMix64 sequence so chunking is reproducible across runs and
+/// platforms without a `rand` dependency.
+pub fn gear_table() -> &'static [u64; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut state = 0x853C_49E6_748F_EA9Bu64;
+        let mut table = [0u64; 256];
+        for entry in table.iter_mut() {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *entry = z ^ (z >> 31);
+        }
+        table
+    })
+}
+
+/// One gear-hash step: `h' = (h << 1) + G[byte]`.
+#[inline]
+pub fn gear_step(hash: u64, byte: u8) -> u64 {
+    (hash << 1).wrapping_add(gear_table()[byte as usize])
+}
+
+/// Returns a mask with `bits` one-bits spread over the upper half of a u64,
+/// as FastCDC does to judge boundaries from the most-mixed bits.
+/// # Panics
+///
+/// Panics if `bits > 48`.
+pub fn spread_mask(bits: u32) -> u64 {
+    assert!(bits <= 48, "spread_mask supports at most 48 bits");
+    let mut mask = 0u64;
+    for i in 0..bits {
+        // Odd bit positions from the top first, then even ones.
+        let pos = if i < 32 { 63 - 2 * i } else { 62 - 2 * (i - 32) };
+        mask |= 1u64 << pos;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_basic() {
+        assert_eq!(degree(0), -1);
+        assert_eq!(degree(1), 0);
+        assert_eq!(degree(2), 1);
+        assert_eq!(degree(RABIN_POLYNOMIAL), 53);
+    }
+
+    #[test]
+    fn polymod_reduces_below_modulus_degree() {
+        let m = RABIN_POLYNOMIAL;
+        for a in [0u64, 1, 2, 0xFFFF_FFFF_FFFF_FFFF, m, m << 1 >> 1] {
+            assert!(degree(polymod(a, m)) < degree(m));
+        }
+    }
+
+    #[test]
+    fn polymod_mul_is_commutative_and_distributive() {
+        let m = RABIN_POLYNOMIAL;
+        let (a, b, c) = (0x1234_5678u64, 0x9ABC_DEF0u64, 0x0F0F_F0F0u64);
+        assert_eq!(polymod_mul(a, b, m), polymod_mul(b, a, m));
+        assert_eq!(
+            polymod_mul(a, b ^ c, m),
+            polymod_mul(a, b, m) ^ polymod_mul(a, c, m)
+        );
+    }
+
+    #[test]
+    fn pow_of_x_matches_repeated_multiplication() {
+        let m = RABIN_POLYNOMIAL;
+        let mut acc = 1u64;
+        for n in 0..20u32 {
+            assert_eq!(polymod_pow_of_x(n, m), acc, "x^{n}");
+            acc = polymod_mul(acc, 2, m);
+        }
+    }
+
+    #[test]
+    fn rabin_hash_depends_only_on_window() {
+        // Two streams with identical trailing 32 bytes converge to the same
+        // fingerprint regardless of their prefixes.
+        let window = 32;
+        let tail: Vec<u8> = (0..window as u8).map(|i| i.wrapping_mul(37)).collect();
+        let mut h1 = RabinHash::new(window);
+        let mut h2 = RabinHash::new(window);
+        for b in std::iter::repeat_n(0xAAu8, 100).chain(tail.iter().copied()) {
+            h1.roll(b);
+        }
+        for b in std::iter::repeat_n(0x55u8, 13).chain(tail.iter().copied()) {
+            h2.roll(b);
+        }
+        assert_eq!(h1.value(), h2.value());
+    }
+
+    #[test]
+    fn rabin_hash_differs_for_different_windows() {
+        let mut h1 = RabinHash::new(16);
+        let mut h2 = RabinHash::new(16);
+        for b in 0..64u8 {
+            h1.roll(b);
+            h2.roll(b.wrapping_add(1));
+        }
+        assert_ne!(h1.value(), h2.value());
+    }
+
+    #[test]
+    fn rabin_reset_restores_initial_state() {
+        let mut h = RabinHash::new(8);
+        let first: Vec<u64> = (0..20u8).map(|b| h.roll(b)).collect();
+        h.reset();
+        let second: Vec<u64> = (0..20u8).map(|b| h.roll(b)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn gear_table_is_deterministic_and_mixed() {
+        let t1 = gear_table();
+        let t2 = gear_table();
+        assert_eq!(t1[0], t2[0]);
+        // All entries distinct (SplitMix64 guarantees this for 256 outputs).
+        let mut seen: Vec<u64> = t1.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 256);
+    }
+
+    #[test]
+    fn spread_mask_bit_count() {
+        for bits in 1..=20 {
+            assert_eq!(spread_mask(bits).count_ones(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn gear_step_shifts_old_bytes_out() {
+        // After 64 steps the first byte no longer influences the hash.
+        let mut a = 0u64;
+        let mut b = 0u64;
+        a = gear_step(a, 0x01);
+        b = gear_step(b, 0xFE);
+        for i in 0..64u8 {
+            a = gear_step(a, i);
+            b = gear_step(b, i);
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,148 @@
+//! Chunk-size distribution statistics, for validating chunker behaviour and
+//! reporting in ablation experiments.
+
+use std::ops::Range;
+
+/// Summary statistics of a chunk-size distribution.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_chunking::{chunk_spans, SizeSummary, TttdChunker};
+///
+/// let data = vec![1u8; 50_000];
+/// let spans = chunk_spans(&mut TttdChunker::new(1024), &data);
+/// let summary = SizeSummary::from_spans(&spans);
+/// assert_eq!(summary.count, spans.len());
+/// assert!(summary.mean > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeSummary {
+    /// Number of chunks.
+    pub count: usize,
+    /// Total bytes covered.
+    pub total_bytes: u64,
+    /// Mean chunk size.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: usize,
+    /// 10th percentile.
+    pub p10: usize,
+    /// 90th percentile.
+    pub p90: usize,
+    /// Smallest chunk.
+    pub min: usize,
+    /// Largest chunk.
+    pub max: usize,
+    /// Coefficient of variation (standard deviation ÷ mean); lower means a
+    /// tighter distribution — FastCDC's normalized chunking exists to lower
+    /// this.
+    pub cv: f64,
+}
+
+impl SizeSummary {
+    /// Summarizes a set of chunk sizes.
+    ///
+    /// Returns an all-zero summary for an empty input.
+    pub fn from_sizes(sizes: impl IntoIterator<Item = usize>) -> Self {
+        let mut v: Vec<usize> = sizes.into_iter().collect();
+        if v.is_empty() {
+            return SizeSummary {
+                count: 0,
+                total_bytes: 0,
+                mean: 0.0,
+                median: 0,
+                p10: 0,
+                p90: 0,
+                min: 0,
+                max: 0,
+                cv: 0.0,
+            };
+        }
+        v.sort_unstable();
+        let count = v.len();
+        let total: u64 = v.iter().map(|&s| s as u64).sum();
+        let mean = total as f64 / count as f64;
+        let variance =
+            v.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / count as f64;
+        let pct = |p: f64| v[((count as f64 - 1.0) * p).round() as usize];
+        SizeSummary {
+            count,
+            total_bytes: total,
+            mean,
+            median: pct(0.5),
+            p10: pct(0.1),
+            p90: pct(0.9),
+            min: v[0],
+            max: v[count - 1],
+            cv: if mean > 0.0 { variance.sqrt() / mean } else { 0.0 },
+        }
+    }
+
+    /// Summarizes chunk spans (as produced by [`crate::chunk_spans`]).
+    pub fn from_spans(spans: &[Range<usize>]) -> Self {
+        Self::from_sizes(spans.iter().map(|s| s.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chunk_spans, ChunkerKind};
+
+    #[test]
+    fn known_distribution() {
+        let s = SizeSummary::from_sizes([100, 200, 300, 400, 500]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.total_bytes, 1500);
+        assert!((s.mean - 300.0).abs() < 1e-9);
+        assert_eq!(s.median, 300);
+        assert_eq!(s.min, 100);
+        assert_eq!(s.max, 500);
+        assert!(s.p10 <= s.median && s.median <= s.p90);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = SizeSummary::from_sizes([]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn constant_sizes_have_zero_cv() {
+        let s = SizeSummary::from_sizes([512; 100]);
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.median, 512);
+    }
+
+    #[test]
+    fn fastcdc_tighter_than_rabin() {
+        // Normalized chunking should reduce size variance (lower CV) — the
+        // point of FastCDC's design.
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        let data: Vec<u8> = (0..3_000_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect();
+        let cv = |kind: ChunkerKind| {
+            let mut c = kind.build(4096);
+            SizeSummary::from_spans(&chunk_spans(c.as_mut(), &data)).cv
+        };
+        let fastcdc = cv(ChunkerKind::FastCdc);
+        let rabin = cv(ChunkerKind::Rabin);
+        assert!(fastcdc < rabin, "fastcdc cv {fastcdc:.3} vs rabin {rabin:.3}");
+    }
+
+    #[test]
+    fn spans_and_sizes_agree() {
+        let spans = vec![0..100, 100..350, 350..400];
+        let a = SizeSummary::from_spans(&spans);
+        let b = SizeSummary::from_sizes([100, 250, 50]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! Push-based streaming chunking for ingest without buffering the whole
+//! stream.
+//!
+//! [`crate::chunk_spans`] needs the complete stream in memory. Backup
+//! appliances ingest from sockets and pipes, so [`StreamChunker`] accepts
+//! data incrementally and emits each chunk as soon as its boundary is
+//! final, holding at most `max_size` bytes of lookahead.
+
+use crate::Chunker;
+
+/// Incremental chunker: feed bytes with [`StreamChunker::push`], receive
+/// complete chunks through a callback, and flush the tail with
+/// [`StreamChunker::finish`].
+///
+/// The emitted chunk boundaries are identical to what
+/// [`crate::chunk_spans`] produces on the concatenated stream: a boundary
+/// is only emitted once at least `max_size` bytes of lookahead are buffered
+/// (or at end of stream), which is exactly the information a whole-stream
+/// scan has.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_chunking::{StreamChunker, TttdChunker};
+///
+/// let mut chunks = Vec::new();
+/// let mut stream = StreamChunker::new(TttdChunker::new(1024));
+/// for piece in vec![0u8; 100_000].chunks(777) {
+///     stream.push(piece, |chunk| chunks.push(chunk.len()));
+/// }
+/// stream.finish(|chunk| chunks.push(chunk.len()));
+/// assert_eq!(chunks.iter().sum::<usize>(), 100_000);
+/// ```
+#[derive(Debug)]
+pub struct StreamChunker<C> {
+    chunker: C,
+    buffer: Vec<u8>,
+}
+
+impl<C: Chunker> StreamChunker<C> {
+    /// Wraps a chunker for streaming use.
+    pub fn new(mut chunker: C) -> Self {
+        chunker.reset();
+        StreamChunker { chunker, buffer: Vec::new() }
+    }
+
+    /// Bytes currently buffered awaiting a final boundary (always less than
+    /// `2 * max_size`).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Feeds more stream data, emitting every chunk whose boundary is now
+    /// final.
+    pub fn push(&mut self, data: &[u8], mut emit: impl FnMut(&[u8])) {
+        self.buffer.extend_from_slice(data);
+        let max = self.chunker.max_size();
+        // A cut decision that sees at least max_size bytes cannot change
+        // with more data: every chunker cuts within max_size.
+        while self.buffer.len() >= max {
+            let len = self.chunker.next_chunk_len(&self.buffer);
+            debug_assert!(len <= max);
+            emit(&self.buffer[..len]);
+            self.buffer.drain(..len);
+        }
+    }
+
+    /// Ends the stream, emitting the remaining chunks (the final one may be
+    /// shorter than the chunker's minimum, as with whole-stream chunking).
+    pub fn finish(mut self, mut emit: impl FnMut(&[u8])) {
+        while !self.buffer.is_empty() {
+            let len = self.chunker.next_chunk_len(&self.buffer);
+            emit(&self.buffer[..len]);
+            self.buffer.drain(..len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chunk_spans, ChunkerKind, TttdChunker};
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn stream_lengths(data: &[u8], push_size: usize, kind: ChunkerKind) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stream = StreamChunker::new(kind.build(1024));
+        for piece in data.chunks(push_size) {
+            stream.push(piece, |c| out.push(c.len()));
+        }
+        stream.finish(|c| out.push(c.len()));
+        out
+    }
+
+    #[test]
+    fn matches_whole_stream_boundaries_all_kinds() {
+        let data = noise(300_000, 5);
+        for kind in ChunkerKind::ALL {
+            let mut c = kind.build(1024);
+            let expect: Vec<usize> = chunk_spans(c.as_mut(), &data).iter().map(|s| s.len()).collect();
+            for push_size in [1usize << 9, 1 << 12, 1 << 16, data.len()] {
+                let got = stream_lengths(&data, push_size, kind);
+                assert_eq!(got, expect, "{kind} push {push_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn content_round_trips() {
+        let data = noise(100_000, 9);
+        let mut rebuilt = Vec::new();
+        let mut stream = StreamChunker::new(TttdChunker::new(2048));
+        for piece in data.chunks(1000) {
+            stream.push(piece, |c| rebuilt.extend_from_slice(c));
+        }
+        stream.finish(|c| rebuilt.extend_from_slice(c));
+        assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn lookahead_bounded() {
+        let data = noise(200_000, 3);
+        let mut stream = StreamChunker::new(TttdChunker::new(1024));
+        let max = 2 * TttdChunker::new(1024).max_size();
+        for piece in data.chunks(4096) {
+            stream.push(piece, |_| {});
+            assert!(stream.buffered() < max, "buffered {}", stream.buffered());
+        }
+        stream.finish(|_| {});
+    }
+
+    #[test]
+    fn empty_stream_emits_nothing() {
+        let stream = StreamChunker::new(TttdChunker::new(1024));
+        let mut n = 0;
+        stream.finish(|_| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_push() {
+        let data = noise(20_000, 7);
+        let got = stream_lengths(&data, 1, ChunkerKind::Tttd);
+        let mut c = TttdChunker::new(1024);
+        let expect: Vec<usize> = chunk_spans(&mut c, &data).iter().map(|s| s.len()).collect();
+        assert_eq!(got, expect);
+    }
+}

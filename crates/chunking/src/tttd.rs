@@ -1,0 +1,178 @@
+//! TTTD — Two Thresholds, Two Divisors chunking (Eshghi & Tang, HP Labs
+//! TR 2005-30). This is the chunking algorithm the HiDeStore prototype uses
+//! (paper §5.1).
+
+use crate::rolling::{RabinHash, DEFAULT_WINDOW};
+use crate::Chunker;
+
+/// Two Thresholds Two Divisors content-defined chunker.
+///
+/// TTTD improves on plain Rabin CDC by adding a *backup divisor* `D'` (half
+/// as selective as the main divisor `D`). While scanning, positions matching
+/// the backup divisor are remembered; if the hard maximum threshold is
+/// reached without a main-divisor match, the most recent backup match is used
+/// instead of an arbitrary max-size cut, keeping more boundaries
+/// content-defined and reducing chunk-size variance.
+///
+/// Parameter ratios follow the HP technical report, scaled to the requested
+/// average size (the report's 460/2800/540/270 for ≈1 KiB average).
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_chunking::{chunk_spans, Chunker, TttdChunker};
+///
+/// let mut c = TttdChunker::new(4096);
+/// let data: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+/// let spans = chunk_spans(&mut c, &data);
+/// assert!(spans.iter().all(|s| s.len() <= c.max_size()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TttdChunker {
+    min_size: usize,
+    max_size: usize,
+    main_divisor: u64,
+    backup_divisor: u64,
+    hash: RabinHash,
+}
+
+impl TttdChunker {
+    /// Creates a TTTD chunker for the given target average chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_size < 64`.
+    pub fn new(avg_size: usize) -> Self {
+        assert!(avg_size >= 64, "average chunk size must be at least 64 bytes");
+        // HP TR 2005-30 parameters scale: Tmin=460, Tmax=2800, D=540, D'=270
+        // for an average of ~1015 bytes.
+        let scale = avg_size as f64 / 1015.0;
+        let min_size = ((460.0 * scale) as usize).max(1);
+        let max_size = (2800.0 * scale) as usize;
+        let main_divisor = ((540.0 * scale) as u64).max(2);
+        TttdChunker {
+            min_size,
+            max_size: max_size.max(min_size + 1),
+            main_divisor,
+            backup_divisor: (main_divisor / 2).max(1),
+            hash: RabinHash::new(DEFAULT_WINDOW),
+        }
+    }
+}
+
+impl Chunker for TttdChunker {
+    fn next_chunk_len(&mut self, data: &[u8]) -> usize {
+        assert!(!data.is_empty(), "next_chunk_len requires non-empty data");
+        if data.len() <= self.min_size {
+            return data.len();
+        }
+        self.hash.reset();
+        let limit = data.len().min(self.max_size);
+        let warm_start = self.min_size.saturating_sub(DEFAULT_WINDOW);
+        for &b in &data[warm_start..self.min_size] {
+            self.hash.roll(b);
+        }
+        let mut backup_cut = None;
+        for (i, &b) in data[self.min_size..limit].iter().enumerate() {
+            let h = self.hash.roll(b);
+            let pos = self.min_size + i + 1;
+            if h % self.main_divisor == self.main_divisor - 1 {
+                return pos;
+            }
+            if h % self.backup_divisor == self.backup_divisor - 1 {
+                backup_cut = Some(pos);
+            }
+        }
+        if limit < self.max_size {
+            // Stream tail: no more data will arrive, take the remainder.
+            return data.len();
+        }
+        backup_cut.unwrap_or(limit)
+    }
+
+    fn min_size(&self) -> usize {
+        self.min_size
+    }
+
+    fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    fn reset(&mut self) {
+        self.hash.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk_spans;
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parameters_scale_with_average() {
+        let small = TttdChunker::new(1024);
+        let large = TttdChunker::new(8192);
+        assert!(large.min_size() > small.min_size());
+        assert!(large.max_size() > small.max_size());
+        assert!(small.min_size() < 1024 && small.max_size() > 1024);
+    }
+
+    #[test]
+    fn average_near_target() {
+        let data = noise(3_000_000, 42);
+        let mut c = TttdChunker::new(4096);
+        let spans = chunk_spans(&mut c, &data);
+        let avg = data.len() / spans.len();
+        assert!((2048..=8192).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn backup_divisor_reduces_forced_cuts() {
+        // On random data, count chunks cut exactly at max_size. With the
+        // backup divisor, forced cuts should be rare (<5%).
+        let data = noise(2_000_000, 13);
+        let mut c = TttdChunker::new(2048);
+        let max = c.max_size();
+        let spans = chunk_spans(&mut c, &data);
+        let forced = spans.iter().filter(|s| s.len() == max).count();
+        assert!(forced * 20 <= spans.len(), "{forced}/{} forced cuts", spans.len());
+    }
+
+    #[test]
+    fn min_enforced_except_tail() {
+        let data = noise(400_000, 99);
+        let mut c = TttdChunker::new(1024);
+        let spans = chunk_spans(&mut c, &data);
+        let min = c.min_size();
+        for s in &spans[..spans.len() - 1] {
+            assert!(s.len() >= min);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = noise(150_000, 5);
+        let mut c = TttdChunker::new(4096);
+        let a = chunk_spans(&mut c, &data);
+        let b = chunk_spans(&mut c, &data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_input_single_chunk() {
+        let mut c = TttdChunker::new(4096);
+        assert_eq!(chunk_spans(&mut c, b"tiny"), vec![0..4]);
+    }
+}

@@ -1,0 +1,343 @@
+//! The active container pool — the "chunk filter" of §4.2.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use hidestore_hash::Fingerprint;
+use hidestore_storage::{Container, ContainerId};
+
+use crate::composite::ACTIVE_ID_BASE;
+
+/// Outcome of an end-of-version pool compaction (§4.2, Figure 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Sparse containers whose chunks were migrated and merged.
+    pub containers_merged: u64,
+    /// Chunks moved during merging.
+    pub chunks_moved: u64,
+    /// Bytes of dead space reclaimed (from removals and merging).
+    pub bytes_reclaimed: u64,
+}
+
+/// The pool of active containers holding the hot chunks of recent versions.
+///
+/// Active containers are *dynamic*: unique chunks are appended during
+/// deduplication, cold chunks are removed at version end, and sparse
+/// containers are merged so the hot set stays physically dense — the
+/// mechanism that gives new backup versions their physical locality.
+///
+/// Container IDs handed out by the pool live in their own number space
+/// (`1, 2, …`); the containers themselves carry
+/// [`ContainerId`]s offset by [`ACTIVE_ID_BASE`] so they can coexist with
+/// archival IDs inside one restore plan.
+#[derive(Debug)]
+pub struct ActivePool {
+    capacity: usize,
+    containers: BTreeMap<u32, Container>,
+    /// The container currently accepting inserts.
+    open: Option<u32>,
+    next_cid: u32,
+    fp_index: HashMap<Fingerprint, u32>,
+}
+
+impl ActivePool {
+    /// Creates a pool of containers with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "container capacity must be non-zero");
+        ActivePool {
+            capacity,
+            containers: BTreeMap::new(),
+            open: None,
+            next_cid: 1,
+            fp_index: HashMap::new(),
+        }
+    }
+
+    /// Appends a chunk, returning the active container ID now holding it.
+    /// If the fingerprint is already pooled, returns its existing location.
+    pub fn add(&mut self, fp: Fingerprint, data: &[u8]) -> u32 {
+        if let Some(&cid) = self.fp_index.get(&fp) {
+            return cid;
+        }
+        loop {
+            let cid = match self.open {
+                Some(cid) => cid,
+                None => {
+                    let cid = self.next_cid;
+                    self.next_cid += 1;
+                    self.containers.insert(
+                        cid,
+                        Container::new(ContainerId::new(ACTIVE_ID_BASE + cid), self.capacity),
+                    );
+                    self.open = Some(cid);
+                    cid
+                }
+            };
+            let container = self.containers.get_mut(&cid).expect("open container exists");
+            if container.try_add(fp, data) {
+                self.fp_index.insert(fp, cid);
+                return cid;
+            }
+            // Full: it stays in the pool (still hot), but stops receiving.
+            self.open = None;
+        }
+    }
+
+    /// Removes a chunk (cold demotion), returning its content.
+    pub fn remove(&mut self, fp: &Fingerprint) -> Option<Bytes> {
+        let cid = self.fp_index.remove(fp)?;
+        let container = self.containers.get_mut(&cid).expect("indexed container exists");
+        let data = container.get(fp).map(Bytes::copy_from_slice);
+        container.remove(fp);
+        if container.is_empty() {
+            self.containers.remove(&cid);
+            if self.open == Some(cid) {
+                self.open = None;
+            }
+        }
+        data
+    }
+
+    /// The active container ID holding `fp`, if pooled.
+    pub fn locate(&self, fp: &Fingerprint) -> Option<u32> {
+        self.fp_index.get(fp).copied()
+    }
+
+    /// Chunk content by fingerprint.
+    pub fn get(&self, fp: &Fingerprint) -> Option<&[u8]> {
+        let cid = self.fp_index.get(fp)?;
+        self.containers.get(cid).and_then(|c| c.get(fp))
+    }
+
+    /// A read-only snapshot of one active container for restore, by pool-
+    /// local ID.
+    pub fn snapshot(&self, cid: u32) -> Option<Arc<Container>> {
+        self.containers.get(&cid).map(|c| Arc::new(c.clone()))
+    }
+
+    /// Merges sparse containers (utilization below `threshold`) and compacts
+    /// dead space, per Figure 6. Returns the report and the relocation map
+    /// (fingerprint → new pool-local CID) the fingerprint cache needs.
+    pub fn compact(&mut self, threshold: f64) -> (CompactionReport, HashMap<Fingerprint, u32>) {
+        self.compact_with_order(threshold, &HashMap::new())
+    }
+
+    /// [`ActivePool::compact`] with a stream-order hint: migrating chunks
+    /// are packed in ascending `rank` (their position in the newest backup
+    /// stream), so the merged containers line up with the order a restore
+    /// of the newest version will read them — the physical locality the
+    /// paper's §4.2 compaction exists to create. Chunks without a rank
+    /// (present only in older history) are packed last.
+    pub fn compact_with_order(
+        &mut self,
+        threshold: f64,
+        rank: &HashMap<Fingerprint, u32>,
+    ) -> (CompactionReport, HashMap<Fingerprint, u32>) {
+        let mut report = CompactionReport::default();
+        let sparse_ids: Vec<u32> = self
+            .containers
+            .iter()
+            .filter(|(_, c)| c.utilization() < threshold)
+            .map(|(&cid, _)| cid)
+            .collect();
+        let mut relocations = HashMap::new();
+        if sparse_ids.len() >= 2 {
+            // Migrate all chunks of sparse containers into fresh containers,
+            // packed tightly in stream order (falling back to the original
+            // physical order for unranked chunks).
+            let mut migrating: Vec<(Fingerprint, Bytes)> = Vec::new();
+            for cid in &sparse_ids {
+                let container = self.containers.remove(cid).expect("listed id exists");
+                report.containers_merged += 1;
+                report.bytes_reclaimed +=
+                    (container.used_bytes() - container.live_bytes()) as u64;
+                if self.open == Some(*cid) {
+                    self.open = None;
+                }
+                for (fp, data) in container.drain_chunks() {
+                    self.fp_index.remove(&fp);
+                    migrating.push((fp, data));
+                }
+            }
+            if !rank.is_empty() {
+                let mut keyed: Vec<(u32, usize)> = migrating
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (fp, _))| (rank.get(fp).copied().unwrap_or(u32::MAX), i))
+                    .collect();
+                keyed.sort_unstable();
+                let mut reordered = Vec::with_capacity(migrating.len());
+                let mut taken: Vec<Option<(Fingerprint, Bytes)>> =
+                    migrating.into_iter().map(Some).collect();
+                for (_, i) in keyed {
+                    reordered.push(taken[i].take().expect("each index appears once"));
+                }
+                migrating = reordered;
+            }
+            for (fp, data) in migrating {
+                let new_cid = self.add(fp, &data);
+                relocations.insert(fp, new_cid);
+                report.chunks_moved += 1;
+            }
+        }
+        // In-place compaction of remaining containers with dead bytes (does
+        // not change CIDs).
+        for container in self.containers.values_mut() {
+            let dead = container.used_bytes() - container.live_bytes();
+            if dead > 0 {
+                report.bytes_reclaimed += dead as u64;
+                container.compact_in_place();
+            }
+        }
+        (report, relocations)
+    }
+
+    /// Number of containers in the pool.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Total live bytes pooled.
+    pub fn live_bytes(&self) -> u64 {
+        self.containers.values().map(|c| c.live_bytes() as u64).sum()
+    }
+
+    /// Number of chunks pooled.
+    pub fn chunk_count(&self) -> usize {
+        self.fp_index.len()
+    }
+
+    /// Pool-local IDs of all active containers.
+    pub fn container_ids(&self) -> Vec<u32> {
+        self.containers.keys().copied().collect()
+    }
+
+    /// Rebuilds a pool from persisted containers (repository reopen). The
+    /// containers must carry the [`ACTIVE_ID_BASE`]-offset IDs they were
+    /// snapshotted with.
+    pub fn from_containers(capacity: usize, containers: Vec<Container>) -> Self {
+        let mut pool = ActivePool::new(capacity);
+        for container in containers {
+            let cid = container.id().get().checked_sub(ACTIVE_ID_BASE).unwrap_or_else(|| {
+                panic!("container {} is not an active-pool snapshot", container.id())
+            });
+            pool.next_cid = pool.next_cid.max(cid + 1);
+            for fp in container.fingerprints() {
+                pool.fp_index.insert(fp, cid);
+            }
+            pool.containers.insert(cid, container);
+        }
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::synthetic(n)
+    }
+
+    #[test]
+    fn add_locate_get() {
+        let mut pool = ActivePool::new(1024);
+        let cid = pool.add(fp(1), b"hello");
+        assert_eq!(pool.locate(&fp(1)), Some(cid));
+        assert_eq!(pool.get(&fp(1)), Some(&b"hello"[..]));
+        assert_eq!(pool.chunk_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_add_returns_existing_location() {
+        let mut pool = ActivePool::new(1024);
+        let a = pool.add(fp(1), b"x");
+        let b = pool.add(fp(1), b"x");
+        assert_eq!(a, b);
+        assert_eq!(pool.chunk_count(), 1);
+    }
+
+    #[test]
+    fn full_container_rolls_over() {
+        let mut pool = ActivePool::new(64);
+        let a = pool.add(fp(1), &[1; 40]);
+        let b = pool.add(fp(2), &[2; 40]);
+        assert_ne!(a, b);
+        assert_eq!(pool.container_count(), 2);
+    }
+
+    #[test]
+    fn remove_returns_content_and_unindexes() {
+        let mut pool = ActivePool::new(1024);
+        pool.add(fp(1), b"data");
+        let data = pool.remove(&fp(1)).unwrap();
+        assert_eq!(data.as_ref(), b"data");
+        assert_eq!(pool.locate(&fp(1)), None);
+        assert!(pool.remove(&fp(1)).is_none());
+    }
+
+    #[test]
+    fn empty_container_dropped_after_last_removal() {
+        let mut pool = ActivePool::new(1024);
+        pool.add(fp(1), b"only");
+        pool.remove(&fp(1));
+        assert_eq!(pool.container_count(), 0);
+    }
+
+    #[test]
+    fn compaction_merges_sparse_containers() {
+        let mut pool = ActivePool::new(100);
+        // Fill three containers, then remove most chunks to make them sparse.
+        for i in 0..6u64 {
+            pool.add(fp(i), &[i as u8; 45]);
+        }
+        assert_eq!(pool.container_count(), 3);
+        for i in [0u64, 2, 4] {
+            pool.remove(&fp(i));
+        }
+        let (report, relocations) = pool.compact(0.6);
+        assert!(report.containers_merged >= 2, "{report:?}");
+        assert_eq!(pool.container_count(), 2); // 3 chunks of 45B -> 2 containers of 100B
+        // Every surviving chunk remains readable and relocations point right.
+        for i in [1u64, 3, 5] {
+            let data = pool.get(&fp(i)).unwrap();
+            assert_eq!(data, &[i as u8; 45][..]);
+            if let Some(&new_cid) = relocations.get(&fp(i)) {
+                assert_eq!(pool.locate(&fp(i)), Some(new_cid));
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_noop_when_dense() {
+        let mut pool = ActivePool::new(100);
+        pool.add(fp(1), &[1; 90]);
+        let (report, relocations) = pool.compact(0.5);
+        assert_eq!(report.containers_merged, 0);
+        assert!(relocations.is_empty());
+    }
+
+    #[test]
+    fn snapshot_exposes_container_with_offset_id() {
+        let mut pool = ActivePool::new(1024);
+        let cid = pool.add(fp(1), b"snap");
+        let snap = pool.snapshot(cid).unwrap();
+        assert_eq!(snap.id().get(), ACTIVE_ID_BASE + cid);
+        assert_eq!(snap.get(&fp(1)), Some(&b"snap"[..]));
+    }
+
+    #[test]
+    fn live_bytes_tracks_removals() {
+        let mut pool = ActivePool::new(1024);
+        pool.add(fp(1), &[0; 100]);
+        pool.add(fp(2), &[0; 50]);
+        assert_eq!(pool.live_bytes(), 150);
+        pool.remove(&fp(1));
+        assert_eq!(pool.live_bytes(), 50);
+    }
+}

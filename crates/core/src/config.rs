@@ -1,0 +1,106 @@
+//! HiDeStore configuration.
+
+use hidestore_chunking::ChunkerKind;
+
+/// Configuration of a [`crate::HiDeStore`] instance.
+#[derive(Debug, Clone, Copy)]
+pub struct HiDeStoreConfig {
+    /// Chunking algorithm (the paper's prototype uses TTTD, §5.1).
+    pub chunker: ChunkerKind,
+    /// Target average chunk size in bytes.
+    pub avg_chunk_size: usize,
+    /// Capacity of both active and archival containers (4 MiB in the paper).
+    pub container_capacity: usize,
+    /// Active containers whose utilization falls below this are merged
+    /// during the end-of-version compaction (§4.2).
+    pub compact_threshold: f64,
+    /// How many previous versions the fingerprint cache retains. The paper
+    /// uses 1; for macos-like workloads where chunks skip a version before
+    /// going cold (Figure 3d) it adds "another hash table", i.e. depth 2.
+    pub history_depth: usize,
+    /// Size in bytes of one index-lookup I/O unit, used to express the cost
+    /// of prefetching the previous recipe in the same units as the
+    /// traditional schemes' index lookups (§5.2.2).
+    pub lookup_unit_bytes: usize,
+}
+
+impl Default for HiDeStoreConfig {
+    fn default() -> Self {
+        HiDeStoreConfig {
+            chunker: ChunkerKind::Tttd,
+            avg_chunk_size: 8 * 1024,
+            container_capacity: 4 * 1024 * 1024,
+            compact_threshold: 0.95,
+            history_depth: 1,
+            lookup_unit_bytes: 4096,
+        }
+    }
+}
+
+impl HiDeStoreConfig {
+    /// Scaled-down configuration for fast unit tests.
+    pub fn small_for_tests() -> Self {
+        HiDeStoreConfig {
+            chunker: ChunkerKind::Tttd,
+            avg_chunk_size: 1024,
+            container_capacity: 32 * 1024,
+            compact_threshold: 0.5,
+            history_depth: 1,
+            lookup_unit_bytes: 4096,
+        }
+    }
+
+    /// Depth-2 variant for macos-like workloads.
+    pub fn with_history_depth(mut self, depth: usize) -> Self {
+        self.history_depth = depth;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field is out of range (zero sizes, depth of 0, threshold
+    /// outside `(0, 1]`, or a container smaller than the maximum chunk).
+    pub fn validate(&self) {
+        assert!(self.avg_chunk_size >= 64, "average chunk size too small");
+        assert!(self.history_depth >= 1, "history depth must be at least 1");
+        assert!(
+            self.compact_threshold > 0.0 && self.compact_threshold <= 1.0,
+            "compaction threshold must be in (0, 1]"
+        );
+        assert!(self.lookup_unit_bytes > 0, "lookup unit must be non-zero");
+        let max_chunk = self.chunker.build(self.avg_chunk_size).max_size();
+        assert!(
+            self.container_capacity >= max_chunk,
+            "container capacity {} cannot hold a maximum-size chunk ({max_chunk})",
+            self.container_capacity
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = HiDeStoreConfig::default();
+        assert_eq!(c.container_capacity, 4 * 1024 * 1024);
+        assert_eq!(c.history_depth, 1);
+        c.validate();
+    }
+
+    #[test]
+    fn depth_2_for_macos() {
+        let c = HiDeStoreConfig::small_for_tests().with_history_depth(2);
+        assert_eq!(c.history_depth, 2);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "history depth")]
+    fn zero_depth_rejected() {
+        HiDeStoreConfig::small_for_tests().with_history_depth(0).validate();
+    }
+}

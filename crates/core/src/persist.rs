@@ -1,0 +1,310 @@
+//! Repository persistence: save a HiDeStore instance's state to a directory
+//! and reopen it later — the restart story of a real backup appliance.
+//!
+//! Layout under the repository root:
+//!
+//! ```text
+//! repo/
+//!   archival/      container files (managed by FileContainerStore)
+//!   active/        active-pool containers, same binary format
+//!   recipes/       r<version>.rcp files
+//!   hidestore.meta next version / next archival id / config echo
+//! ```
+//!
+//! The fingerprint cache is *not* persisted: per the paper (§4.1), the
+//! previous version's table `T1` is rebuilt by prefetching the newest
+//! recipe(s), with active-container locations recovered from the pool.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use hidestore_hash::Fingerprint;
+use hidestore_storage::{Container, FileContainerStore, RecipeStore, StorageError, VersionId};
+
+use crate::cache::{CacheEntry, FingerprintCache};
+use crate::config::HiDeStoreConfig;
+use crate::system::{HiDeStore, HiDeStoreError};
+
+const META_MAGIC: &[u8; 4] = b"HDSM";
+
+impl HiDeStore<FileContainerStore> {
+    /// Opens (or initializes) a persistent repository at `dir`.
+    ///
+    /// A fresh directory becomes an empty repository; an existing one is
+    /// reloaded: recipes, active containers, counters, and the fingerprint
+    /// cache rebuilt from the newest recipes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or corrupt repository files.
+    pub fn open_repository(
+        config: HiDeStoreConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Self, HiDeStoreError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir).map_err(StorageError::from)?;
+        let archival = FileContainerStore::open(dir.join("archival"))?;
+        let mut system = HiDeStore::new(config, archival);
+
+        let meta_path = dir.join("hidestore.meta");
+        if !meta_path.exists() {
+            return Ok(system);
+        }
+        // Counters.
+        let mut meta = Vec::new();
+        fs::File::open(&meta_path)
+            .map_err(StorageError::from)?
+            .read_to_end(&mut meta)
+            .map_err(StorageError::from)?;
+        if meta.len() < 16 || &meta[..4] != META_MAGIC {
+            return Err(HiDeStoreError::Storage(StorageError::Corrupt(
+                "bad repository meta file".into(),
+            )));
+        }
+        let next_version = u32::from_le_bytes(meta[4..8].try_into().expect("len checked"));
+        let next_archival = u32::from_le_bytes(meta[8..12].try_into().expect("len checked"));
+        let saved_depth = u32::from_le_bytes(meta[12..16].try_into().expect("len checked"));
+        if saved_depth as usize != system.config().history_depth {
+            return Err(HiDeStoreError::Storage(StorageError::Corrupt(format!(
+                "repository was written with history depth {saved_depth}, \
+                 reopened with {}",
+                system.config().history_depth
+            ))));
+        }
+
+        // Recipes.
+        let recipes = RecipeStore::load_dir(dir.join("recipes"))?;
+
+        // Active pool.
+        let active_dir = dir.join("active");
+        let mut pool_containers: Vec<Container> = Vec::new();
+        if active_dir.exists() {
+            for entry in fs::read_dir(&active_dir).map_err(StorageError::from)? {
+                let entry = entry.map_err(StorageError::from)?;
+                let mut bytes = Vec::new();
+                fs::File::open(entry.path())
+                    .map_err(StorageError::from)?
+                    .read_to_end(&mut bytes)
+                    .map_err(StorageError::from)?;
+                pool_containers.push(Container::decode(&bytes).map_err(StorageError::Corrupt)?);
+            }
+        }
+        system.restore_persistent_state(next_version, next_archival, recipes, pool_containers);
+        Ok(system)
+    }
+
+    /// Saves the repository state so [`HiDeStore::open_repository`] can
+    /// resume it: recipes, active containers, and counters. Archival
+    /// containers are already on disk (the store is file-backed).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors.
+    pub fn save_repository(&self, dir: impl AsRef<Path>) -> Result<(), HiDeStoreError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir).map_err(StorageError::from)?;
+        self.recipes().save_dir(dir.join("recipes"))?;
+
+        let active_dir = dir.join("active");
+        let _ = fs::remove_dir_all(&active_dir);
+        fs::create_dir_all(&active_dir).map_err(StorageError::from)?;
+        for cid in self.pool().container_ids() {
+            let snapshot = self.pool().snapshot(cid).expect("listed container exists");
+            let path = active_dir.join(format!("a{cid}.ctr"));
+            let mut f = fs::File::create(path).map_err(StorageError::from)?;
+            f.write_all(&snapshot.encode()).map_err(StorageError::from)?;
+        }
+
+        let mut meta = Vec::with_capacity(16);
+        meta.extend_from_slice(META_MAGIC);
+        meta.extend_from_slice(&self.next_version_raw().to_le_bytes());
+        meta.extend_from_slice(&self.next_archival_raw().to_le_bytes());
+        meta.extend_from_slice(&(self.config().history_depth as u32).to_le_bytes());
+        fs::write(dir.join("hidestore.meta"), meta).map_err(StorageError::from)?;
+        Ok(())
+    }
+}
+
+/// Rebuilds the fingerprint cache from the newest `depth` recipes and the
+/// active pool, per §4.1: table `T_w` holds the chunks whose most recent
+/// version is `w`, located via the pool.
+pub(crate) fn rebuild_cache(
+    recipes: &RecipeStore,
+    pool: &crate::active::ActivePool,
+    depth: usize,
+) -> FingerprintCache {
+    let mut cache = FingerprintCache::new(depth);
+    let Some(latest) = recipes.latest_version() else { return cache };
+    // Collect the newest `depth` versions oldest-first so preload_history
+    // ends with the newest at the front.
+    let mut versions: Vec<VersionId> = Vec::new();
+    let mut v = Some(latest);
+    for _ in 0..depth {
+        let Some(cur) = v else { break };
+        if recipes.get(cur).is_some() {
+            versions.push(cur);
+        }
+        v = cur.prev();
+    }
+    versions.reverse();
+    let mut seen_newer: std::collections::HashSet<Fingerprint> = Default::default();
+    // Walk newest-first when assigning ownership; preload oldest-first.
+    let mut tables: Vec<HashMap<Fingerprint, CacheEntry>> = Vec::new();
+    for &w in versions.iter().rev() {
+        let recipe = recipes.get(w).expect("collected above");
+        let mut table = HashMap::new();
+        for entry in recipe.entries() {
+            if seen_newer.contains(&entry.fingerprint) {
+                continue;
+            }
+            if let Some(cid) = pool.locate(&entry.fingerprint) {
+                table.insert(
+                    entry.fingerprint,
+                    CacheEntry { size: entry.size, active_cid: cid },
+                );
+            }
+            seen_newer.insert(entry.fingerprint);
+        }
+        tables.push(table);
+    }
+    // `tables` is newest-first; preload oldest-first so the newest ends up
+    // in front.
+    for table in tables.into_iter().rev() {
+        cache.preload_history(table);
+    }
+    cache
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidestore_restore::Faa;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("hidestore-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config() -> HiDeStoreConfig {
+        HiDeStoreConfig {
+            avg_chunk_size: 1024,
+            container_capacity: 32 * 1024,
+            ..HiDeStoreConfig::default()
+        }
+    }
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fresh_repository_is_empty() {
+        let dir = temp_dir("fresh");
+        let system = HiDeStore::open_repository(config(), &dir).unwrap();
+        assert!(system.versions().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_reopen_restores_old_versions() {
+        let dir = temp_dir("roundtrip");
+        let v1 = noise(100_000, 1);
+        let mut v2 = v1.clone();
+        v2[10_000..14_000].copy_from_slice(&noise(4000, 2));
+        {
+            let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+            system.backup(&v1).unwrap();
+            system.backup(&v2).unwrap();
+            system.save_repository(&dir).unwrap();
+        }
+        let mut reopened = HiDeStore::open_repository(config(), &dir).unwrap();
+        assert_eq!(reopened.versions().len(), 2);
+        for (i, expect) in [&v1, &v2].into_iter().enumerate() {
+            let mut out = Vec::new();
+            reopened
+                .restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out)
+                .unwrap();
+            assert_eq!(&out, expect, "V{} after reopen", i + 1);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dedup_continues_across_restart() {
+        let dir = temp_dir("continue");
+        let v1 = noise(100_000, 3);
+        let mut v2 = v1.clone();
+        v2.extend_from_slice(&noise(5000, 4));
+        {
+            let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+            system.backup(&v1).unwrap();
+            system.save_repository(&dir).unwrap();
+        }
+        let mut reopened = HiDeStore::open_repository(config(), &dir).unwrap();
+        let stats = reopened.backup(&v2).unwrap();
+        // The rebuilt T1 must recognize v1's chunks: only the tail is new.
+        assert!(
+            stats.stored_bytes < 20_000,
+            "stored {} bytes after restart — cache not rebuilt",
+            stats.stored_bytes
+        );
+        let mut out = Vec::new();
+        reopened.restore(VersionId::new(2), &mut Faa::new(1 << 18), &mut out).unwrap();
+        assert_eq!(out, v2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_numbering_continues() {
+        let dir = temp_dir("numbering");
+        {
+            let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+            system.backup(&noise(50_000, 5)).unwrap();
+            system.save_repository(&dir).unwrap();
+        }
+        let mut reopened = HiDeStore::open_repository(config(), &dir).unwrap();
+        let stats = reopened.backup(&noise(50_000, 6)).unwrap();
+        assert_eq!(stats.version, VersionId::new(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn depth_mismatch_rejected() {
+        let dir = temp_dir("depth");
+        {
+            let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+            system.backup(&noise(50_000, 7)).unwrap();
+            system.save_repository(&dir).unwrap();
+        }
+        let err =
+            HiDeStore::open_repository(config().with_history_depth(2), &dir).unwrap_err();
+        assert!(err.to_string().contains("history depth"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_meta_rejected() {
+        let dir = temp_dir("meta");
+        {
+            let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+            system.backup(&noise(50_000, 8)).unwrap();
+            system.save_repository(&dir).unwrap();
+        }
+        fs::write(dir.join("hidestore.meta"), b"garbage").unwrap();
+        assert!(HiDeStore::open_repository(config(), &dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,998 @@
+//! The HiDeStore system: backup, restore, flatten, delete.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io::Write;
+use std::time::Instant;
+
+use hidestore_chunking::{chunk_spans, Chunker};
+use hidestore_hash::Fingerprint;
+use hidestore_restore::{RestoreCache, RestoreEntry, RestoreError, RestoreReport};
+use hidestore_storage::{
+    Cid, Container, ContainerId, ContainerStore, Recipe, RecipeEntry, RecipeStore, StorageError,
+    VersionId,
+};
+
+use crate::active::ActivePool;
+use crate::cache::{CacheEntry, Classification, FingerprintCache};
+use crate::chain::{self, ResolveError};
+use crate::composite::CompositeStore;
+use crate::config::HiDeStoreConfig;
+use crate::stats::{DeletionReport, HiDeStoreRunStats, HiDeStoreVersionStats, ScrubReport};
+
+/// Errors from HiDeStore operations.
+#[derive(Debug)]
+pub enum HiDeStoreError {
+    /// The archival container store failed.
+    Storage(StorageError),
+    /// Restore assembly failed.
+    Restore(RestoreError),
+    /// Recipe-chain resolution failed (indicates corruption).
+    Resolve(ResolveError),
+    /// An operation referenced a version with no recipe.
+    UnknownVersion(VersionId),
+    /// `delete_expired` was asked to remove the newest version(s).
+    CannotExpireNewest {
+        /// The requested expiry bound.
+        requested: VersionId,
+        /// The newest retained version.
+        newest: VersionId,
+    },
+}
+
+impl fmt::Display for HiDeStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HiDeStoreError::Storage(e) => write!(f, "storage error: {e}"),
+            HiDeStoreError::Restore(e) => write!(f, "restore error: {e}"),
+            HiDeStoreError::Resolve(e) => write!(f, "recipe resolution error: {e}"),
+            HiDeStoreError::UnknownVersion(v) => write!(f, "no recipe for version {v}"),
+            HiDeStoreError::CannotExpireNewest { requested, newest } => write!(
+                f,
+                "cannot expire up to {requested}: newest version {newest} must be retained"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HiDeStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HiDeStoreError::Storage(e) => Some(e),
+            HiDeStoreError::Restore(e) => Some(e),
+            HiDeStoreError::Resolve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for HiDeStoreError {
+    fn from(e: StorageError) -> Self {
+        HiDeStoreError::Storage(e)
+    }
+}
+
+impl From<RestoreError> for HiDeStoreError {
+    fn from(e: RestoreError) -> Self {
+        HiDeStoreError::Restore(e)
+    }
+}
+
+impl From<ResolveError> for HiDeStoreError {
+    fn from(e: ResolveError) -> Self {
+        HiDeStoreError::Resolve(e)
+    }
+}
+
+/// The HiDeStore backup system (see crate docs for the design summary and an
+/// end-to-end example).
+pub struct HiDeStore<S> {
+    config: HiDeStoreConfig,
+    chunker: Box<dyn Chunker + Send>,
+    cache: FingerprintCache,
+    pool: ActivePool,
+    archival: S,
+    recipes: RecipeStore,
+    next_version: u32,
+    next_archival_id: u32,
+    run_stats: HiDeStoreRunStats,
+    version_stats: Vec<HiDeStoreVersionStats>,
+}
+
+impl<S: ContainerStore> HiDeStore<S> {
+    /// Creates a HiDeStore instance over an archival container store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`HiDeStoreConfig::validate`]).
+    pub fn new(config: HiDeStoreConfig, archival: S) -> Self {
+        config.validate();
+        let chunker = config.chunker.build(config.avg_chunk_size);
+        HiDeStore {
+            chunker,
+            cache: FingerprintCache::new(config.history_depth),
+            pool: ActivePool::new(config.container_capacity),
+            archival,
+            recipes: RecipeStore::new(),
+            next_version: 1,
+            next_archival_id: 1,
+            run_stats: HiDeStoreRunStats::default(),
+            version_stats: Vec::new(),
+            config,
+        }
+    }
+
+    /// Backs up one version.
+    ///
+    /// This is the whole §4 pipeline: classify against the double-hash
+    /// cache, stage unique chunks in active containers, then at version end
+    /// demote the cold set to archival containers, merge sparse active
+    /// containers, and update the previous recipe(s).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the archival store rejects a write.
+    pub fn backup(&mut self, data: &[u8]) -> Result<HiDeStoreVersionStats, HiDeStoreError> {
+        // Chunking + fingerprinting (hashing parallelized like Destor's
+        // pipelined phases).
+        let spans = chunk_spans(self.chunker.as_mut(), data);
+        let fingerprints = hidestore_hash::fingerprints_parallel(
+            data,
+            &spans,
+            hidestore_hash::default_hash_threads(),
+        );
+        let sizes: Vec<u32> = spans.iter().map(|s| s.len() as u32).collect();
+        self.run_backup(&fingerprints, &sizes, |i| {
+            std::borrow::Cow::Borrowed(&data[spans[i].clone()])
+        })
+    }
+
+    /// Backs up one version given as a chunk *trace* — `(fingerprint,
+    /// size)` pairs with no content. Chunk bodies are synthesized filler
+    /// (see [`hidestore_storage::Chunk::synthetic`]), enabling counted
+    /// experiments at the paper's version counts (100+) without generating,
+    /// chunking, or hashing real data; content verification does not apply.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the archival store rejects a write.
+    pub fn backup_trace(
+        &mut self,
+        trace: &[(Fingerprint, u32)],
+    ) -> Result<HiDeStoreVersionStats, HiDeStoreError> {
+        let fingerprints: Vec<Fingerprint> = trace.iter().map(|&(fp, _)| fp).collect();
+        let sizes: Vec<u32> = trace.iter().map(|&(_, size)| size).collect();
+        self.run_backup(&fingerprints, &sizes, |i| {
+            std::borrow::Cow::Owned(
+                hidestore_storage::Chunk::synthetic(trace[i].0, trace[i].1).data().to_vec(),
+            )
+        })
+    }
+
+    /// Backs up one version from a streaming reader, chunking incrementally
+    /// so the whole version never needs to fit in memory (only unique chunk
+    /// contents are retained, inside the active containers).
+    ///
+    /// Produces exactly the same repository state and statistics as
+    /// [`HiDeStore::backup`] on the concatenated stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails on read errors or if the archival store rejects a write.
+    pub fn backup_reader<R: std::io::Read>(
+        &mut self,
+        mut reader: R,
+    ) -> Result<HiDeStoreVersionStats, HiDeStoreError> {
+        use hidestore_chunking::StreamChunker;
+        // Incremental chunking: collect (fingerprint, size) plus content for
+        // the classification pass. Content of duplicate chunks is dropped
+        // immediately; only unique chunks reach the pool.
+        let chunker = self.config.chunker.build(self.config.avg_chunk_size);
+        let mut stream = StreamChunker::new(chunker);
+        let mut pending: Vec<(Fingerprint, u32, bytes::Bytes)> = Vec::new();
+        let mut buf = vec![0u8; 256 * 1024];
+        loop {
+            let n = reader
+                .read(&mut buf)
+                .map_err(|e| HiDeStoreError::Storage(StorageError::Io(e)))?;
+            if n == 0 {
+                break;
+            }
+            stream.push(&buf[..n], |chunk| {
+                pending.push((
+                    Fingerprint::of(chunk),
+                    chunk.len() as u32,
+                    bytes::Bytes::copy_from_slice(chunk),
+                ));
+            });
+        }
+        stream.finish(|chunk| {
+            pending.push((
+                Fingerprint::of(chunk),
+                chunk.len() as u32,
+                bytes::Bytes::copy_from_slice(chunk),
+            ));
+        });
+        let fingerprints: Vec<Fingerprint> = pending.iter().map(|&(fp, _, _)| fp).collect();
+        let sizes: Vec<u32> = pending.iter().map(|&(_, size, _)| size).collect();
+        self.run_backup(&fingerprints, &sizes, |i| {
+            std::borrow::Cow::Borrowed(pending[i].2.as_ref())
+        })
+    }
+
+    fn run_backup<'a>(
+        &mut self,
+        fingerprints: &[Fingerprint],
+        sizes: &[u32],
+        content: impl Fn(usize) -> std::borrow::Cow<'a, [u8]>,
+    ) -> Result<HiDeStoreVersionStats, HiDeStoreError> {
+        let version = VersionId::new(self.next_version);
+        self.next_version += 1;
+        let logical_bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
+
+        // §5.2.2: HiDeStore's only index traffic is prefetching the previous
+        // recipe into T1, charged in lookup-request units.
+        let lookup_requests = version
+            .prev()
+            .and_then(|p| self.recipes.get(p))
+            .map(|r| (r.encoded_len() as u64).div_ceil(self.config.lookup_unit_bytes as u64))
+            .unwrap_or(0);
+
+        let mut recipe = Recipe::new(version);
+        let mut stored_bytes = 0u64;
+        let mut unique_chunks = 0u64;
+        let mut current_fps: HashSet<Fingerprint> = HashSet::with_capacity(fingerprints.len());
+        // Stream-order ranks guide the end-of-version compaction (§4.2).
+        let mut stream_rank: HashMap<Fingerprint, u32> =
+            HashMap::with_capacity(fingerprints.len());
+
+        for (i, (&fp, &size)) in fingerprints.iter().zip(sizes).enumerate() {
+            stream_rank.entry(fp).or_insert(i as u32);
+            match self.cache.classify(fp) {
+                Classification::Unique => {
+                    let chunk = content(i);
+                    let active_cid = self.pool.add(fp, &chunk);
+                    self.cache.insert_current(fp, CacheEntry { size, active_cid });
+                    stored_bytes += size as u64;
+                    unique_chunks += 1;
+                }
+                Classification::HotFromPrevious(_) | Classification::AlreadyCurrent(_) => {}
+            }
+            current_fps.insert(fp);
+            recipe.push(RecipeEntry::new(fp, size, Cid::ACTIVE));
+        }
+        self.recipes.insert(recipe);
+
+        // End of version: demote the cold set and compact the pool.
+        let move_start = Instant::now();
+        let cold = self.cache.advance_version();
+        let (moved, sealed) = self.demote_cold(&cold, version)?;
+        let cold_bytes: u64 = cold.values().map(|e| e.size as u64).sum();
+        let (compaction, relocations) =
+            self.pool.compact_with_order(self.config.compact_threshold, &stream_rank);
+        self.cache.apply_relocations(&relocations);
+        let chunk_move_time = move_start.elapsed();
+
+        // Update the previous recipe(s) (§4.3).
+        let recipe_start = Instant::now();
+        chain::update_previous_recipes(
+            &mut self.recipes,
+            version,
+            &moved,
+            &current_fps,
+            self.config.history_depth,
+        );
+        let recipe_update_time = recipe_start.elapsed();
+
+        let stats = HiDeStoreVersionStats {
+            version,
+            logical_bytes,
+            stored_bytes,
+            chunks: fingerprints.len() as u64,
+            unique_chunks,
+            cold_chunks: cold.len() as u64,
+            cold_bytes,
+            archival_containers_sealed: sealed,
+            containers_merged: compaction.containers_merged,
+            lookup_requests,
+            fingerprint_cache_bytes: self.cache.memory_bytes() as u64,
+            recipe_update_time,
+            chunk_move_time,
+        };
+        self.run_stats.absorb(&stats);
+        self.version_stats.push(stats);
+        Ok(stats)
+    }
+
+    /// Moves the cold chunks out of the active pool into fresh archival
+    /// containers tagged with `version` (§4.2's filter).
+    fn demote_cold(
+        &mut self,
+        cold: &HashMap<Fingerprint, CacheEntry>,
+        version: VersionId,
+    ) -> Result<(HashMap<Fingerprint, ContainerId>, u64), HiDeStoreError> {
+        let mut moved = HashMap::with_capacity(cold.len());
+        if cold.is_empty() {
+            return Ok((moved, 0));
+        }
+        // Deterministic demotion order approximating the old physical
+        // layout: by (active container, fingerprint).
+        let mut ordered: Vec<(u32, Fingerprint)> = cold
+            .keys()
+            .map(|fp| (self.pool.locate(fp).unwrap_or(u32::MAX), *fp))
+            .collect();
+        ordered.sort_unstable();
+
+        // Copy-then-remove: contents are *copied* into archival containers
+        // and the copies fully persisted before anything leaves the pool.
+        // If a store write fails mid-demotion, already-written containers
+        // are unreferenced orphans (harmless; a later deletion sweeps their
+        // tag) and every retained version still restores from the intact
+        // pool.
+        let mut sealed = 0u64;
+        let mut open: Option<Container> = None;
+        let mut pending: Vec<Fingerprint> = Vec::with_capacity(cold.len());
+        for (_, fp) in ordered {
+            let data = match self.pool.get(&fp) {
+                Some(d) => bytes::Bytes::copy_from_slice(d),
+                // A cold entry not in the pool would indicate cache/pool
+                // divergence; skip defensively (debug builds assert).
+                None => {
+                    debug_assert!(false, "cold chunk {fp} missing from pool");
+                    continue;
+                }
+            };
+            pending.push(fp);
+            loop {
+                if open.is_none() {
+                    let id = ContainerId::new(self.next_archival_id);
+                    self.next_archival_id += 1;
+                    let mut c = Container::new(id, self.config.container_capacity);
+                    c.set_version_tag(version.get());
+                    open = Some(c);
+                }
+                let container = open.as_mut().expect("ensured above");
+                if container.try_add(fp, &data) {
+                    moved.insert(fp, container.id());
+                    break;
+                }
+                let full = open.take().expect("checked above");
+                self.archival.write(full)?;
+                sealed += 1;
+            }
+        }
+        if let Some(last) = open.take() {
+            if !last.is_empty() {
+                self.archival.write(last)?;
+                sealed += 1;
+            }
+        }
+        // Every archival copy is durable: now the originals can leave the
+        // active pool.
+        for fp in pending {
+            self.pool.remove(&fp);
+        }
+        Ok((moved, sealed))
+    }
+
+    /// Restores `version` through any restore cache, resolving the recipe
+    /// chain and serving hot chunks from the active containers (§4.4).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown versions, broken chains (corruption), or storage
+    /// errors.
+    pub fn restore(
+        &mut self,
+        version: VersionId,
+        cache: &mut dyn RestoreCache,
+        out: &mut dyn Write,
+    ) -> Result<RestoreReport, HiDeStoreError> {
+        if self.recipes.get(version).is_none() {
+            return Err(HiDeStoreError::UnknownVersion(version));
+        }
+        let plan = chain::resolve_plan(&self.recipes, &self.pool, version)?;
+        let entries: Vec<RestoreEntry> = plan
+            .into_iter()
+            .map(|(fp, size, cid)| RestoreEntry::new(fp, size, cid))
+            .collect();
+        let mut view = CompositeStore::new(&mut self.archival, &self.pool);
+        Ok(cache.restore(&entries, &mut view, out)?)
+    }
+
+    /// Runs Algorithm 1 offline, collapsing all recipe chains. Returns the
+    /// number of entries rewritten and the elapsed time (Figure 12's
+    /// recipe-update overhead at restore time).
+    pub fn flatten_recipes(&mut self) -> (u64, std::time::Duration) {
+        let start = Instant::now();
+        let updated = chain::flatten_recipes(&mut self.recipes);
+        (updated, start.elapsed())
+    }
+
+    /// Expires all versions up to and including `up_to` (§4.5): recipes are
+    /// dropped and archival containers whose version tag shows they hold
+    /// only expired chunks are removed wholesale — no chunk-liveness
+    /// detection, no garbage collection.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `up_to` would expire the newest retained version, or if the
+    /// store rejects a removal. After removal the surviving recipes are
+    /// verified to reference no dropped container (corruption check).
+    pub fn delete_expired(&mut self, up_to: VersionId) -> Result<DeletionReport, HiDeStoreError> {
+        let newest = self
+            .recipes
+            .latest_version()
+            .ok_or(HiDeStoreError::UnknownVersion(up_to))?;
+        if up_to >= newest {
+            return Err(HiDeStoreError::CannotExpireNewest { requested: up_to, newest });
+        }
+        let start = Instant::now();
+        let mut report = DeletionReport::default();
+        for v in self.recipes.versions() {
+            if v <= up_to {
+                self.recipes.remove(v);
+                report.versions_removed += 1;
+            }
+        }
+        // Containers tagged t hold chunks whose most recent version is
+        // t - history_depth; they are expired iff t - depth <= up_to.
+        let tag_bound = up_to.get() + self.config.history_depth as u32;
+        let mut dropped: HashSet<ContainerId> = HashSet::new();
+        for id in self.archival.ids() {
+            let container = self.archival.read(id)?;
+            if container.version_tag() != 0 && container.version_tag() <= tag_bound {
+                report.bytes_reclaimed += container.live_bytes() as u64;
+                self.archival.remove(id)?;
+                dropped.insert(id);
+                report.containers_dropped += 1;
+            }
+        }
+        // Corruption check: no surviving recipe may reference a dropped
+        // container.
+        for recipe in self.recipes.iter() {
+            for entry in recipe.entries() {
+                if let Some(cid) = entry.cid.as_archival() {
+                    if dropped.contains(&cid) {
+                        return Err(HiDeStoreError::Resolve(ResolveError::BrokenChain {
+                            fingerprint: entry.fingerprint,
+                            version: recipe.version(),
+                        }));
+                    }
+                }
+            }
+        }
+        report.elapsed = start.elapsed();
+        Ok(report)
+    }
+
+    /// Verifies repository integrity: every archival and active container's
+    /// chunks are re-hashed against their fingerprints, and every retained
+    /// recipe's chain resolves to a physical location.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a container cannot be read or a recipe chain is broken;
+    /// content corruption (hash mismatch) is *reported*, not an error, so a
+    /// scrub can enumerate all damage in one pass.
+    pub fn scrub(&mut self) -> Result<ScrubReport, HiDeStoreError> {
+        let mut report = ScrubReport::default();
+        for id in self.archival.ids() {
+            let container = self.archival.read(id)?;
+            report.containers_checked += 1;
+            for (fp, data) in container.iter() {
+                report.chunks_checked += 1;
+                if Fingerprint::of(data) != fp {
+                    report.corrupt_chunks.push((id.get(), fp.to_string()));
+                }
+            }
+        }
+        for cid in self.pool.container_ids() {
+            let container = self.pool.snapshot(cid).expect("listed container exists");
+            report.containers_checked += 1;
+            for (fp, data) in container.iter() {
+                report.chunks_checked += 1;
+                if Fingerprint::of(data) != fp {
+                    report.corrupt_chunks.push((container.id().get(), fp.to_string()));
+                }
+            }
+        }
+        for version in self.recipes.versions() {
+            chain::resolve_plan(&self.recipes, &self.pool, version)?;
+            report.recipes_checked += 1;
+        }
+        Ok(report)
+    }
+
+    /// Cumulative statistics.
+    pub fn run_stats(&self) -> HiDeStoreRunStats {
+        self.run_stats
+    }
+
+    /// Per-version statistics in backup order.
+    pub fn version_stats(&self) -> &[HiDeStoreVersionStats] {
+        &self.version_stats
+    }
+
+    /// Retained versions, ascending.
+    pub fn versions(&self) -> Vec<VersionId> {
+        self.recipes.versions()
+    }
+
+    /// The recipe store.
+    pub fn recipes(&self) -> &RecipeStore {
+        &self.recipes
+    }
+
+    /// The active container pool.
+    pub fn pool(&self) -> &ActivePool {
+        &self.pool
+    }
+
+    /// The archival container store.
+    pub fn archival(&self) -> &S {
+        &self.archival
+    }
+
+    /// Mutable archival store access (e.g. to reset I/O statistics between
+    /// experiment phases).
+    pub fn archival_mut(&mut self) -> &mut S {
+        &mut self.archival
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HiDeStoreConfig {
+        &self.config
+    }
+
+    /// Swaps in persisted state on repository reopen (see `persist`).
+    pub(crate) fn restore_persistent_state(
+        &mut self,
+        next_version: u32,
+        next_archival_id: u32,
+        recipes: RecipeStore,
+        pool_containers: Vec<Container>,
+    ) {
+        self.pool =
+            ActivePool::from_containers(self.config.container_capacity, pool_containers);
+        self.cache =
+            crate::persist::rebuild_cache(&recipes, &self.pool, self.config.history_depth);
+        self.recipes = recipes;
+        self.next_version = next_version.max(1);
+        self.next_archival_id = next_archival_id.max(1);
+    }
+
+    pub(crate) fn recipes_mut_internal(&mut self) -> &mut RecipeStore {
+        &mut self.recipes
+    }
+
+    /// Allocates a fresh archival container ID (maintenance passes).
+    pub(crate) fn alloc_archival_id(&mut self) -> ContainerId {
+        let id = ContainerId::new(self.next_archival_id);
+        self.next_archival_id += 1;
+        id
+    }
+
+    pub(crate) fn next_version_raw(&self) -> u32 {
+        self.next_version
+    }
+
+    pub(crate) fn next_archival_raw(&self) -> u32 {
+        self.next_archival_id
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for HiDeStore<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HiDeStore")
+            .field("config", &self.config)
+            .field("versions", &self.recipes.len())
+            .field("active_containers", &self.pool.container_count())
+            .field("archival", &self.archival)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidestore_restore::{Alacc, ContainerLru, Faa};
+    use hidestore_storage::MemoryContainerStore;
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn system() -> HiDeStore<MemoryContainerStore> {
+        HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new())
+    }
+
+    /// Evolves `data` like a software upgrade: overwrite a region, append a
+    /// little.
+    fn evolve(data: &mut Vec<u8>, round: u64) {
+        let start = (round as usize * 17_000) % (data.len().saturating_sub(9_000).max(1));
+        let patch = noise(8_000.min(data.len() - start), 7_000 + round);
+        data[start..start + patch.len()].copy_from_slice(&patch);
+        data.extend_from_slice(&noise(1000, 9_000 + round));
+    }
+
+    #[test]
+    fn single_version_round_trip() {
+        let mut hds = system();
+        let data = noise(150_000, 1);
+        let stats = hds.backup(&data).unwrap();
+        assert_eq!(stats.logical_bytes, 150_000);
+        assert!(stats.unique_chunks > 0);
+        let mut out = Vec::new();
+        hds.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn multi_version_round_trip_all_versions() {
+        let mut hds = system();
+        let mut data = noise(120_000, 2);
+        let mut snapshots = Vec::new();
+        for round in 0..6u64 {
+            hds.backup(&data).unwrap();
+            snapshots.push(data.clone());
+            evolve(&mut data, round);
+        }
+        for (i, snapshot) in snapshots.iter().enumerate() {
+            let mut out = Vec::new();
+            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 20), &mut out)
+                .unwrap();
+            assert_eq!(&out, snapshot, "version {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn identical_versions_store_nothing_new() {
+        let mut hds = system();
+        let data = noise(100_000, 3);
+        let s1 = hds.backup(&data).unwrap();
+        let s2 = hds.backup(&data).unwrap();
+        assert!(s1.stored_bytes > 0);
+        assert_eq!(s2.stored_bytes, 0);
+        assert_eq!(s2.cold_chunks, 0, "everything stays hot");
+        assert!(hds.run_stats().dedup_ratio() > 0.49);
+    }
+
+    #[test]
+    fn cold_chunks_demoted_to_tagged_archival_containers() {
+        let mut hds = system();
+        let a = noise(80_000, 4);
+        let b = noise(80_000, 5); // completely different content
+        hds.backup(&a).unwrap();
+        hds.backup(&b).unwrap();
+        let s2 = &hds.version_stats()[1];
+        assert!(s2.cold_chunks > 0, "version 1's chunks must go cold");
+        assert!(s2.archival_containers_sealed > 0);
+        // Version tags are set to the demoting version (2).
+        let ids = hds.archival.ids();
+        assert!(!ids.is_empty());
+        for id in ids {
+            let c = hds.archival.read(id).unwrap();
+            assert_eq!(c.version_tag(), 2);
+        }
+    }
+
+    #[test]
+    fn newest_version_restores_mostly_from_active_containers() {
+        let mut hds = system();
+        let mut data = noise(150_000, 6);
+        for round in 0..5u64 {
+            hds.backup(&data).unwrap();
+            evolve(&mut data, round);
+        }
+        hds.backup(&data).unwrap();
+        let latest = *hds.versions().last().unwrap();
+        hds.archival_mut().reset_stats();
+        let mut out = Vec::new();
+        let report = hds.restore(latest, &mut Faa::new(1 << 20), &mut out).unwrap();
+        assert_eq!(out, data);
+        // The newest version's chunks are all hot, hence in the pool:
+        // archival reads must be zero.
+        assert_eq!(hds.archival().stats().container_reads, 0);
+        assert!(report.container_reads > 0, "active containers still count");
+    }
+
+    #[test]
+    fn restore_works_through_any_cache_scheme() {
+        let mut hds = system();
+        let mut data = noise(100_000, 7);
+        for round in 0..4u64 {
+            hds.backup(&data).unwrap();
+            evolve(&mut data, round);
+        }
+        for v in 1..=4u32 {
+            for cache in [
+                &mut ContainerLru::new(8) as &mut dyn RestoreCache,
+                &mut Faa::new(1 << 20),
+                &mut Alacc::new(1 << 20, 1 << 20),
+            ] {
+                let mut out = Vec::new();
+                hds.restore(VersionId::new(v), cache, &mut out).unwrap();
+                assert!(!out.is_empty(), "V{v} via {}", cache.name());
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_then_restore_old_versions() {
+        let mut hds = system();
+        let mut data = noise(120_000, 8);
+        let mut snapshots = Vec::new();
+        for round in 0..5u64 {
+            hds.backup(&data).unwrap();
+            snapshots.push(data.clone());
+            evolve(&mut data, round);
+        }
+        let (updated, _) = hds.flatten_recipes();
+        assert!(updated > 0, "chains should have existed");
+        for (i, snapshot) in snapshots.iter().enumerate() {
+            let mut out = Vec::new();
+            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 20), &mut out)
+                .unwrap();
+            assert_eq!(&out, snapshot, "after flatten, version {}", i + 1);
+        }
+        // Post-flatten invariant: chains are at most one hop, and the hop
+        // target's entry for that chunk is never itself chained.
+        for recipe in hds.recipes().iter() {
+            for entry in recipe.entries() {
+                if let Some(w) = entry.cid.as_chained() {
+                    let target = hds.recipes().get(w).expect("chain target retained");
+                    let target_entry = target
+                        .entries()
+                        .iter()
+                        .find(|e| e.fingerprint == entry.fingerprint)
+                        .expect("chain target contains the chunk");
+                    assert!(
+                        target_entry.cid.as_chained().is_none(),
+                        "flatten left a multi-hop chain"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_expired_drops_containers_and_preserves_survivors() {
+        let mut hds = system();
+        let mut data = noise(120_000, 9);
+        let mut snapshots = Vec::new();
+        for round in 0..6u64 {
+            hds.backup(&data).unwrap();
+            snapshots.push(data.clone());
+            evolve(&mut data, round);
+        }
+        let containers_before = hds.archival().ids().len();
+        let report = hds.delete_expired(VersionId::new(3)).unwrap();
+        assert_eq!(report.versions_removed, 3);
+        assert!(report.containers_dropped > 0, "had {containers_before} containers");
+        for v in 4..=6u32 {
+            let mut out = Vec::new();
+            hds.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out).unwrap();
+            assert_eq!(&out, &snapshots[(v - 1) as usize], "survivor V{v}");
+        }
+        assert_eq!(hds.versions().len(), 3);
+    }
+
+    #[test]
+    fn delete_newest_rejected() {
+        let mut hds = system();
+        hds.backup(&noise(50_000, 10)).unwrap();
+        let err = hds.delete_expired(VersionId::new(1)).unwrap_err();
+        assert!(matches!(err, HiDeStoreError::CannotExpireNewest { .. }));
+    }
+
+    #[test]
+    fn dedup_ratio_matches_exact_on_upgrade_streams() {
+        // HiDeStore's claim: no dedup-ratio loss on versioned workloads.
+        let mut hds = system();
+        let mut data = noise(150_000, 11);
+        for round in 0..8u64 {
+            hds.backup(&data).unwrap();
+            evolve(&mut data, round);
+        }
+        // Upper bound: total unique content across versions. Each evolve
+        // changes ~9KB of 150KB; exact dedup stores roughly
+        // 150KB + 8 * ~12KB (chunk boundaries amplify). HiDeStore must be in
+        // the same regime, far above naive storage.
+        let ratio = hds.run_stats().dedup_ratio();
+        assert!(ratio > 0.70, "dedup ratio {ratio}");
+    }
+
+    #[test]
+    fn lookup_requests_bounded_by_previous_recipe() {
+        let mut hds = system();
+        let data = noise(100_000, 12);
+        hds.backup(&data).unwrap();
+        let s2 = hds.backup(&data).unwrap();
+        let prev_len = hds.recipes().get(VersionId::new(1)).unwrap().encoded_len();
+        assert_eq!(
+            s2.lookup_requests,
+            (prev_len as u64).div_ceil(4096),
+            "lookups are exactly the prefetch cost"
+        );
+    }
+
+    #[test]
+    fn depth_two_handles_skipping_chunks() {
+        let cfg = HiDeStoreConfig::small_for_tests().with_history_depth(2);
+        let mut hds = HiDeStore::new(cfg, MemoryContainerStore::new());
+        let common = noise(60_000, 13);
+        let extra = noise(30_000, 14);
+        // V1 = common+extra, V2 = common only, V3 = common+extra again
+        // (the macos pattern of Figure 3d).
+        let mut v1 = common.clone();
+        v1.extend_from_slice(&extra);
+        hds.backup(&v1).unwrap();
+        hds.backup(&common).unwrap();
+        let s3 = hds.backup(&v1).unwrap();
+        // With depth 2 the extra chunks were still cached: nothing re-stored.
+        assert_eq!(s3.stored_bytes, 0, "depth-2 cache must rescue skipped chunks");
+        let mut out = Vec::new();
+        hds.restore(VersionId::new(3), &mut Faa::new(1 << 20), &mut out).unwrap();
+        assert_eq!(out, v1);
+    }
+
+    #[test]
+    fn version_stats_overheads_recorded() {
+        let mut hds = system();
+        let a = noise(100_000, 15);
+        let b = noise(100_000, 16);
+        hds.backup(&a).unwrap();
+        let s2 = hds.backup(&b).unwrap();
+        // Times are measured; at minimum they are present (may be ~zero on
+        // fast machines, but cold demotion happened so moves were real).
+        assert!(s2.cold_chunks > 0);
+        assert!(s2.chunk_move_time.as_nanos() > 0);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use hidestore_restore::Faa;
+    use hidestore_storage::MemoryContainerStore;
+
+    fn trace(ids: std::ops::Range<u64>) -> Vec<(Fingerprint, u32)> {
+        ids.map(|i| (Fingerprint::synthetic(i), 2048)).collect()
+    }
+
+    fn system() -> HiDeStore<MemoryContainerStore> {
+        HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new())
+    }
+
+    #[test]
+    fn trace_backup_full_lifecycle() {
+        let mut hds = system();
+        // Three versions with 10% churn each.
+        hds.backup_trace(&trace(0..1000)).unwrap();
+        let mut v2 = trace(100..1000);
+        v2.extend(trace(10_000..10_100));
+        hds.backup_trace(&v2).unwrap();
+        let mut v3 = v2.clone();
+        v3.truncate(900);
+        v3.extend(trace(20_000..20_100));
+        let s3 = hds.backup_trace(&v3).unwrap();
+        assert!(s3.stored_bytes <= 100 * 2048, "only the churned chunks stored");
+
+        // Every version restores (synthetic filler, correct sizes).
+        for v in 1..=3u32 {
+            let mut out = Vec::new();
+            let report = hds
+                .restore(VersionId::new(v), &mut Faa::new(1 << 18), &mut out)
+                .unwrap();
+            assert_eq!(report.bytes_restored, out.len() as u64);
+        }
+        // Cold demotion happened for the churned chunks.
+        assert!(hds.version_stats()[1].cold_chunks > 0);
+        // Deletion still works.
+        hds.delete_expired(VersionId::new(1)).unwrap();
+        assert_eq!(hds.versions().len(), 2);
+    }
+
+    #[test]
+    fn trace_dedup_ratio_matches_identity_overlap() {
+        let mut hds = system();
+        let v = trace(0..2000);
+        hds.backup_trace(&v).unwrap();
+        hds.backup_trace(&v).unwrap();
+        assert!((hds.run_stats().dedup_ratio() - 0.5).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod reader_tests {
+    use super::*;
+    use hidestore_restore::Faa;
+    use hidestore_storage::MemoryContainerStore;
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    /// A reader that hands out data in awkward sizes.
+    struct DribbleReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        step: usize,
+    }
+
+    impl std::io::Read for DribbleReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.step.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            self.step = self.step % 7000 + 13; // vary read sizes
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn reader_backup_equals_slice_backup() {
+        let data = noise(300_000, 21);
+        let mut by_slice =
+            HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new());
+        let mut by_reader =
+            HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new());
+        let a = by_slice.backup(&data).unwrap();
+        let b = by_reader
+            .backup_reader(DribbleReader { data: &data, pos: 0, step: 997 })
+            .unwrap();
+        assert_eq!(a.chunks, b.chunks);
+        assert_eq!(a.stored_bytes, b.stored_bytes);
+        assert_eq!(a.logical_bytes, b.logical_bytes);
+        // Identical recipes chunk for chunk.
+        let ra = by_slice.recipes().get(VersionId::new(1)).unwrap();
+        let rb = by_reader.recipes().get(VersionId::new(1)).unwrap();
+        assert_eq!(ra.entries(), rb.entries());
+    }
+
+    #[test]
+    fn reader_backup_restores_byte_exact() {
+        let data = noise(200_000, 22);
+        let mut hds =
+            HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new());
+        hds.backup_reader(&data[..]).unwrap();
+        let mut out = Vec::new();
+        hds.restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn reader_backup_deduplicates_against_slice_backup() {
+        let data = noise(150_000, 23);
+        let mut hds =
+            HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new());
+        hds.backup(&data).unwrap();
+        let s2 = hds.backup_reader(&data[..]).unwrap();
+        assert_eq!(s2.stored_bytes, 0, "reader path must hit the same cache");
+    }
+
+    #[test]
+    fn empty_reader_is_valid() {
+        let mut hds =
+            HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new());
+        let stats = hds.backup_reader(std::io::empty()).unwrap();
+        assert_eq!(stats.chunks, 0);
+    }
+}

@@ -1,0 +1,587 @@
+//! The backup and restore pipeline.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write;
+
+use hidestore_chunking::{chunk_spans, Chunker};
+use hidestore_hash::Fingerprint;
+use hidestore_index::FingerprintIndex;
+use hidestore_restore::{RestoreCache, RestoreEntry, RestoreError, RestoreReport};
+use hidestore_rewriting::{RewritePolicy, SegmentChunk};
+use hidestore_storage::{
+    Cid, Container, ContainerId, ContainerStore, Recipe, RecipeEntry, RecipeStore, StorageError,
+    VersionId,
+};
+
+use crate::config::PipelineConfig;
+use crate::stats::{BackupRunStats, VersionStats};
+
+/// Errors from backup or restore runs.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The container store failed.
+    Storage(StorageError),
+    /// A restore failed.
+    Restore(RestoreError),
+    /// A restore was requested for an unknown version.
+    UnknownVersion(VersionId),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Storage(e) => write!(f, "storage error: {e}"),
+            PipelineError::Restore(e) => write!(f, "restore error: {e}"),
+            PipelineError::UnknownVersion(v) => write!(f, "no recipe for version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Storage(e) => Some(e),
+            PipelineError::Restore(e) => Some(e),
+            PipelineError::UnknownVersion(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for PipelineError {
+    fn from(e: StorageError) -> Self {
+        PipelineError::Storage(e)
+    }
+}
+
+impl From<RestoreError> for PipelineError {
+    fn from(e: RestoreError) -> Self {
+        PipelineError::Restore(e)
+    }
+}
+
+/// The Destor-style backup pipeline: chunk → fingerprint → index → rewrite →
+/// store → recipe, over pluggable phase implementations.
+///
+/// See the crate docs for an end-to-end example.
+pub struct BackupPipeline<I, R, S> {
+    config: PipelineConfig,
+    chunker: Box<dyn Chunker + Send>,
+    index: I,
+    rewriter: R,
+    store: S,
+    recipes: RecipeStore,
+    next_version: u32,
+    next_container: u32,
+    open_container: Option<Container>,
+    run_stats: BackupRunStats,
+    version_stats: Vec<VersionStats>,
+    lookups_at_version_start: u64,
+}
+
+impl<I: FingerprintIndex, R: RewritePolicy, S: ContainerStore> BackupPipeline<I, R, S> {
+    /// Builds a pipeline from phase implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`PipelineConfig::validate`]).
+    pub fn new(config: PipelineConfig, index: I, rewriter: R, store: S) -> Self {
+        config.validate();
+        let chunker = config.chunker.build(config.avg_chunk_size);
+        BackupPipeline {
+            config,
+            chunker,
+            index,
+            rewriter,
+            store,
+            recipes: RecipeStore::new(),
+            next_version: 1,
+            next_container: 1,
+            open_container: None,
+            run_stats: BackupRunStats::default(),
+            version_stats: Vec::new(),
+            lookups_at_version_start: 0,
+        }
+    }
+
+    /// Backs up one version (the full stream content).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container store rejects a write.
+    pub fn backup(&mut self, data: &[u8]) -> Result<VersionStats, PipelineError> {
+        // Phase 1+2: chunking and fingerprinting (hashing parallelized, as
+        // in Destor's pipelined implementation).
+        let spans = chunk_spans(self.chunker.as_mut(), data);
+        let fingerprints: Vec<Fingerprint> = hidestore_hash::fingerprints_parallel(
+            data,
+            &spans,
+            hidestore_hash::default_hash_threads(),
+        );
+        let sizes: Vec<u32> = spans.iter().map(|s| s.len() as u32).collect();
+        self.run_backup(&fingerprints, &sizes, |i| {
+            std::borrow::Cow::Borrowed(&data[spans[i].clone()])
+        })
+    }
+
+    /// Backs up one version given as a chunk *trace* — `(fingerprint,
+    /// size)` pairs with no content. Chunk bodies are synthesized filler
+    /// (see [`hidestore_storage::Chunk::synthetic`]), so trace repositories
+    /// support every counted experiment (dedup ratio, lookups, container
+    /// reads) at far larger logical scales, but not content verification.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container store rejects a write.
+    pub fn backup_trace(
+        &mut self,
+        trace: &[(Fingerprint, u32)],
+    ) -> Result<VersionStats, PipelineError> {
+        let fingerprints: Vec<Fingerprint> = trace.iter().map(|&(fp, _)| fp).collect();
+        let sizes: Vec<u32> = trace.iter().map(|&(_, size)| size).collect();
+        self.run_backup(&fingerprints, &sizes, |i| {
+            std::borrow::Cow::Owned(
+                hidestore_storage::Chunk::synthetic(trace[i].0, trace[i].1).data().to_vec(),
+            )
+        })
+    }
+
+    fn run_backup<'a>(
+        &mut self,
+        fingerprints: &[Fingerprint],
+        sizes: &[u32],
+        content: impl Fn(usize) -> std::borrow::Cow<'a, [u8]>,
+    ) -> Result<VersionStats, PipelineError> {
+        let version = VersionId::new(self.next_version);
+        self.next_version += 1;
+        self.index.begin_version(version);
+        self.rewriter.begin_version(version);
+        self.lookups_at_version_start = self.index.disk_lookups();
+        let rewritten_before = self.rewriter.rewritten_bytes();
+        let logical_bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
+
+        let mut recipe = Recipe::new(version);
+        let mut stored_this_version: HashMap<Fingerprint, ContainerId> = HashMap::new();
+        let mut stored_bytes = 0u64;
+        let mut stored_chunks = 0u64;
+
+        // Phases 3-6, segment by segment.
+        let seg_len = self.config.segment_chunks;
+        for seg_start in (0..fingerprints.len()).step_by(seg_len) {
+            let seg_end = (seg_start + seg_len).min(fingerprints.len());
+            let seg_range = seg_start..seg_end;
+
+            // Phase 3: index lookup.
+            let lookup_input: Vec<(Fingerprint, u32)> =
+                seg_range.clone().map(|i| (fingerprints[i], sizes[i])).collect();
+            let decisions = self.index.process_segment(&lookup_input);
+
+            // Intra-version duplicates are resolved by the pipeline itself
+            // (Destor's "rewrite buffer" behaviour): they always reference
+            // the copy stored moments ago and are never rewritten.
+            let mut rewrite_input = Vec::with_capacity(lookup_input.len());
+            let mut intra: Vec<Option<ContainerId>> = Vec::with_capacity(lookup_input.len());
+            for (offset, i) in seg_range.clone().enumerate() {
+                let fp = fingerprints[i];
+                if let Some(&cid) = stored_this_version.get(&fp) {
+                    intra.push(Some(cid));
+                    rewrite_input.push(SegmentChunk::new(fp, sizes[i], None));
+                } else {
+                    intra.push(None);
+                    rewrite_input.push(SegmentChunk::new(fp, sizes[i], decisions[offset]));
+                }
+            }
+
+            // Phase 4: rewriting decision.
+            let rewrites = self.rewriter.process_segment(&rewrite_input);
+
+            // Phase 5: store chunks and build the recipe.
+            for (offset, i) in seg_range.clone().enumerate() {
+                let fp = fingerprints[i];
+                let size = sizes[i];
+                let final_cid = if let Some(cid) = intra[offset] {
+                    cid
+                } else {
+                    match (rewrite_input[offset].existing, rewrites[offset]) {
+                        (Some(cid), false) => cid, // reference the old copy
+                        _ => {
+                            // Unique, or duplicate elected for rewriting.
+                            let cid = self.append_chunk(fp, &content(i))?;
+                            stored_bytes += size as u64;
+                            stored_chunks += 1;
+                            stored_this_version.insert(fp, cid);
+                            cid
+                        }
+                    }
+                };
+                self.index.record_chunk(fp, size, final_cid);
+                recipe.push(RecipeEntry::new(fp, size, Cid::archival(final_cid)));
+            }
+        }
+
+        // Seal the version's open container so restores can read it.
+        self.seal_open_container()?;
+        self.index.end_version();
+        self.rewriter.end_version();
+
+        let stats = VersionStats {
+            version,
+            logical_bytes,
+            stored_bytes,
+            rewritten_bytes: self.rewriter.rewritten_bytes() - rewritten_before,
+            chunks: fingerprints.len() as u64,
+            stored_chunks,
+            disk_lookups: self.index.disk_lookups() - self.lookups_at_version_start,
+            index_table_bytes: self.index.index_table_bytes() as u64,
+        };
+        self.recipes.insert(recipe);
+        self.run_stats.absorb(&stats);
+        self.version_stats.push(stats);
+        Ok(stats)
+    }
+
+    fn append_chunk(
+        &mut self,
+        fp: Fingerprint,
+        data: &[u8],
+    ) -> Result<ContainerId, PipelineError> {
+        loop {
+            if self.open_container.is_none() {
+                let id = ContainerId::new(self.next_container);
+                self.next_container += 1;
+                self.open_container = Some(Container::new(id, self.config.container_capacity));
+            }
+            let container = self.open_container.as_mut().expect("ensured above");
+            if container.contains(&fp) {
+                return Ok(container.id());
+            }
+            if container.try_add(fp, data) {
+                return Ok(container.id());
+            }
+            // Full: seal and retry with a fresh container.
+            let sealed = self.open_container.take().expect("just inserted");
+            self.store.write(sealed)?;
+        }
+    }
+
+    fn seal_open_container(&mut self) -> Result<(), PipelineError> {
+        if let Some(c) = self.open_container.take() {
+            if !c.is_empty() {
+                self.store.write(c)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores `version` through the given restore cache, writing the
+    /// stream to `out` and reporting the counted reads / speed factor.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown versions or storage/assembly errors.
+    pub fn restore(
+        &mut self,
+        version: VersionId,
+        cache: &mut dyn RestoreCache,
+        out: &mut dyn Write,
+    ) -> Result<RestoreReport, PipelineError> {
+        let recipe = self
+            .recipes
+            .get(version)
+            .ok_or(PipelineError::UnknownVersion(version))?;
+        let plan: Vec<RestoreEntry> = recipe
+            .entries()
+            .iter()
+            .map(|e| {
+                let cid = e.cid.as_archival().expect("baseline recipes are fully resolved");
+                RestoreEntry::new(e.fingerprint, e.size, cid)
+            })
+            .collect();
+        Ok(cache.restore(&plan, &mut self.store, out)?)
+    }
+
+    /// Cumulative statistics across the whole run.
+    pub fn run_stats(&self) -> BackupRunStats {
+        self.run_stats
+    }
+
+    /// Per-version statistics, in backup order.
+    pub fn version_stats(&self) -> &[VersionStats] {
+        &self.version_stats
+    }
+
+    /// The recipe store (for GC and inspection).
+    pub fn recipes(&self) -> &RecipeStore {
+        &self.recipes
+    }
+
+    /// Mutable recipe store access (used by deletion/GC).
+    pub fn recipes_mut(&mut self) -> &mut RecipeStore {
+        &mut self.recipes
+    }
+
+    /// The container store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable container store access.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// The index phase implementation.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// The rewriting phase implementation.
+    pub fn rewriter(&self) -> &R {
+        &self.rewriter
+    }
+
+    /// Versions currently retained.
+    pub fn versions(&self) -> Vec<VersionId> {
+        self.recipes.versions()
+    }
+}
+
+impl<I: fmt::Debug, R: fmt::Debug, S: fmt::Debug> fmt::Debug for BackupPipeline<I, R, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackupPipeline")
+            .field("config", &self.config)
+            .field("index", &self.index)
+            .field("rewriter", &self.rewriter)
+            .field("store", &self.store)
+            .field("versions", &self.recipes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidestore_index::DdfsIndex;
+    use hidestore_restore::Faa;
+    use hidestore_rewriting::{Capping, NoRewrite};
+    use hidestore_storage::MemoryContainerStore;
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn ddfs_pipeline() -> BackupPipeline<DdfsIndex, NoRewrite, MemoryContainerStore> {
+        BackupPipeline::new(
+            PipelineConfig::small_for_tests(),
+            DdfsIndex::new(),
+            NoRewrite::new(),
+            MemoryContainerStore::new(),
+        )
+    }
+
+    #[test]
+    fn backup_restore_round_trip() {
+        let mut p = ddfs_pipeline();
+        let data = noise(200_000, 1);
+        p.backup(&data).unwrap();
+        let mut out = Vec::new();
+        p.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn second_identical_version_stores_nothing() {
+        let mut p = ddfs_pipeline();
+        let data = noise(150_000, 2);
+        let s1 = p.backup(&data).unwrap();
+        let s2 = p.backup(&data).unwrap();
+        assert!(s1.stored_bytes > 0);
+        assert_eq!(s2.stored_bytes, 0);
+        assert!((s2.dedup_ratio() - 1.0).abs() < 1e-9);
+        // Both versions restore correctly.
+        for v in 1..=2 {
+            let mut out = Vec::new();
+            p.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out).unwrap();
+            assert_eq!(out, data, "version {v}");
+        }
+    }
+
+    #[test]
+    fn modified_version_stores_only_changes_approximately() {
+        let mut p = ddfs_pipeline();
+        let mut data = noise(200_000, 3);
+        p.backup(&data).unwrap();
+        // Modify 5% in the middle.
+        let patch = noise(10_000, 99);
+        data[100_000..110_000].copy_from_slice(&patch);
+        let s2 = p.backup(&data).unwrap();
+        assert!(
+            s2.stored_bytes < 40_000,
+            "stored {} bytes for a 10k change",
+            s2.stored_bytes
+        );
+        let mut out = Vec::new();
+        p.restore(VersionId::new(2), &mut Faa::new(1 << 20), &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn intra_version_duplicates_stored_once() {
+        let mut p = ddfs_pipeline();
+        let block = noise(50_000, 4);
+        let mut data = block.clone();
+        data.extend_from_slice(&block);
+        data.extend_from_slice(&block);
+        let s = p.backup(&data).unwrap();
+        assert!(
+            s.stored_bytes < block.len() as u64 + 10_000,
+            "stored {} for thrice-repeated block of {}",
+            s.stored_bytes,
+            block.len()
+        );
+        let mut out = Vec::new();
+        p.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn capping_rewrites_and_still_restores() {
+        let mut p = BackupPipeline::new(
+            PipelineConfig::small_for_tests(),
+            DdfsIndex::new(),
+            Capping::new(2),
+            MemoryContainerStore::new(),
+        );
+        // Build fragmentation: several versions with partial changes.
+        let mut data = noise(150_000, 5);
+        for round in 0..5u64 {
+            p.backup(&data).unwrap();
+            let start = (round as usize * 20_000) % 120_000;
+            let patch = noise(8_000, 1000 + round);
+            data[start..start + 8_000].copy_from_slice(&patch);
+        }
+        let last = p.backup(&data).unwrap();
+        let _ = last;
+        assert!(
+            p.rewriter().rewritten_bytes() > 0,
+            "capping should have rewritten on a fragmented stream"
+        );
+        let mut out = Vec::new();
+        let latest = *p.versions().last().unwrap();
+        p.restore(latest, &mut Faa::new(1 << 20), &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn version_stats_accumulate() {
+        let mut p = ddfs_pipeline();
+        let data = noise(100_000, 7);
+        p.backup(&data).unwrap();
+        p.backup(&data).unwrap();
+        assert_eq!(p.version_stats().len(), 2);
+        assert_eq!(p.run_stats().versions, 2);
+        assert_eq!(p.run_stats().logical_bytes, 200_000);
+        assert!(p.run_stats().dedup_ratio() > 0.45);
+    }
+
+    #[test]
+    fn restore_unknown_version_errors() {
+        let mut p = ddfs_pipeline();
+        let err = p
+            .restore(VersionId::new(5), &mut Faa::new(1024), &mut Vec::new())
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::UnknownVersion(_)));
+    }
+
+    #[test]
+    fn containers_sealed_at_version_end() {
+        let mut p = ddfs_pipeline();
+        p.backup(&noise(100_000, 8)).unwrap();
+        // All stored bytes must be readable: no chunk trapped in an unsealed
+        // open container.
+        let ids = p.store().ids();
+        assert!(!ids.is_empty());
+        let mut out = Vec::new();
+        p.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out).unwrap();
+    }
+
+    #[test]
+    fn empty_backup_is_valid() {
+        let mut p = ddfs_pipeline();
+        let s = p.backup(&[]).unwrap();
+        assert_eq!(s.chunks, 0);
+        let mut out = Vec::new();
+        p.restore(VersionId::new(1), &mut Faa::new(1024), &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use hidestore_index::DdfsIndex;
+    use hidestore_restore::Faa;
+    use hidestore_rewriting::NoRewrite;
+    use hidestore_storage::MemoryContainerStore;
+
+    fn trace(ids: std::ops::Range<u64>) -> Vec<(Fingerprint, u32)> {
+        ids.map(|i| (Fingerprint::synthetic(i), 2048)).collect()
+    }
+
+    #[test]
+    fn trace_backup_deduplicates_by_identity() {
+        let mut p = BackupPipeline::new(
+            PipelineConfig::small_for_tests(),
+            DdfsIndex::new(),
+            NoRewrite::new(),
+            MemoryContainerStore::new(),
+        );
+        let v = trace(0..500);
+        let s1 = p.backup_trace(&v).unwrap();
+        let s2 = p.backup_trace(&v).unwrap();
+        assert_eq!(s1.stored_chunks, 500);
+        assert_eq!(s2.stored_chunks, 0);
+        assert_eq!(s2.logical_bytes, 500 * 2048);
+    }
+
+    #[test]
+    fn trace_backup_restores_synthetic_content() {
+        let mut p = BackupPipeline::new(
+            PipelineConfig::small_for_tests(),
+            DdfsIndex::new(),
+            NoRewrite::new(),
+            MemoryContainerStore::new(),
+        );
+        p.backup_trace(&trace(0..100)).unwrap();
+        let mut out = Vec::new();
+        let report = p
+            .restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out)
+            .unwrap();
+        assert_eq!(report.bytes_restored, 100 * 2048);
+        assert_eq!(out.len(), 100 * 2048);
+    }
+
+    #[test]
+    fn trace_and_content_modes_coexist() {
+        let mut p = BackupPipeline::new(
+            PipelineConfig::small_for_tests(),
+            DdfsIndex::new(),
+            NoRewrite::new(),
+            MemoryContainerStore::new(),
+        );
+        p.backup_trace(&trace(0..100)).unwrap();
+        let data = vec![9u8; 50_000];
+        p.backup(&data).unwrap();
+        let mut out = Vec::new();
+        p.restore(VersionId::new(2), &mut Faa::new(1 << 18), &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+}

@@ -1,0 +1,214 @@
+//! MD5 implemented from scratch per RFC 1321.
+//!
+//! The HiDeStore paper (§1) lists MD5 alongside SHA-1 as a fingerprinting
+//! option for chunk-based deduplication. It is provided for completeness and
+//! for experiments that trade digest width for speed; the default pipeline
+//! fingerprint remains SHA-1.
+
+use crate::Digest;
+
+/// Per-round left-rotate amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// K[i] = floor(2^32 * abs(sin(i + 1))), precomputed per RFC 1321.
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391,
+];
+
+/// Streaming MD5 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_hash::Md5;
+///
+/// let digest = Md5::hash(b"abc");
+/// let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+/// assert_eq!(hex, "900150983cd24fb0d6963f7d28e17f72");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Consumes the hasher, returning the 16-byte digest.
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        self.buf[self.buf_len] = 0x80;
+        self.buf_len += 1;
+        let mut tail = [0u8; 64];
+        if self.buf_len > 56 {
+            tail[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            let block = tail;
+            self.compress(&block);
+            tail = [0u8; 64];
+        } else {
+            tail[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        }
+        // MD5 length suffix is little-endian, unlike SHA-1.
+        tail[56..].copy_from_slice(&bit_len.to_le_bytes());
+        let block = tail;
+        self.compress(&block);
+        let mut out = [0u8; 16];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// One-shot hash of `data`.
+    pub fn hash(data: &[u8]) -> [u8; 16] {
+        let mut h = Md5::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i {
+                0..=15 => ((b & c) | ((!b) & d), i),
+                16..=31 => ((d & b) | ((!d) & c), (5 * i + 1) % 16),
+                32..=47 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+impl Digest for Md5 {
+    const OUTPUT_LEN: usize = 16;
+
+    fn update(&mut self, data: &[u8]) {
+        Md5::update(self, data);
+    }
+
+    fn finalize_into(self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::OUTPUT_LEN, "output buffer must be 16 bytes");
+        out.copy_from_slice(&self.finalize());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_suite() {
+        let vectors: [(&[u8], &str); 7] = [
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (b"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in vectors {
+            assert_eq!(hex(&Md5::hash(input)), want);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..300u16).map(|i| (i * 7 % 256) as u8).collect();
+        let expect = Md5::hash(&data);
+        for split in [0, 1, 63, 64, 65, 128, 200, 300] {
+            let mut h = Md5::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), expect, "split at {split}");
+        }
+    }
+}

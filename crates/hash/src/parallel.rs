@@ -1,0 +1,114 @@
+//! Parallel fingerprinting of chunked streams.
+//!
+//! Fingerprinting dominates the CPU cost of the backup pipeline; Destor
+//! pipelines its phases across threads for the same reason. This module
+//! hashes the chunks of a stream on a scoped thread pool, producing exactly
+//! the same fingerprints as the sequential loop.
+
+use std::ops::Range;
+
+use crate::Fingerprint;
+
+/// Computes the fingerprint of every `spans[i]` slice of `data`, in order,
+/// using up to `threads` worker threads.
+///
+/// Falls back to the sequential loop for small inputs where thread spawn
+/// overhead would dominate. The result is identical to
+/// `spans.iter().map(|s| Fingerprint::of(&data[s]))`.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_hash::{fingerprints_parallel, Fingerprint};
+///
+/// let data = vec![7u8; 10_000];
+/// let spans = vec![0..5_000, 5_000..10_000];
+/// let fps = fingerprints_parallel(&data, &spans, 4);
+/// assert_eq!(fps[0], Fingerprint::of(&data[..5_000]));
+/// ```
+///
+/// # Panics
+///
+/// Panics if a span is out of bounds for `data`.
+pub fn fingerprints_parallel(
+    data: &[u8],
+    spans: &[Range<usize>],
+    threads: usize,
+) -> Vec<Fingerprint> {
+    let threads = threads.max(1);
+    // Below ~1 MiB of work per extra thread the spawn cost outweighs the
+    // parallelism.
+    if threads == 1 || spans.len() < 64 || data.len() < threads << 20 {
+        return spans.iter().map(|s| Fingerprint::of(&data[s.clone()])).collect();
+    }
+    let mut out = vec![Fingerprint::default(); spans.len()];
+    let chunk_len = spans.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (span_block, out_block) in
+            spans.chunks(chunk_len).zip(out.chunks_mut(chunk_len))
+        {
+            scope.spawn(move || {
+                for (span, slot) in span_block.iter().zip(out_block.iter_mut()) {
+                    *slot = Fingerprint::of(&data[span.clone()]);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// A sensible worker count for [`fingerprints_parallel`]: the machine's
+/// available parallelism capped at 8 (hashing saturates memory bandwidth
+/// beyond that).
+pub fn default_hash_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans_of(len: usize, step: usize) -> Vec<Range<usize>> {
+        (0..len).step_by(step).map(|i| i..(i + step).min(len)).collect()
+    }
+
+    #[test]
+    fn matches_sequential_small() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let spans = spans_of(data.len(), 333);
+        let par = fingerprints_parallel(&data, &spans, 4);
+        let seq: Vec<Fingerprint> =
+            spans.iter().map(|s| Fingerprint::of(&data[s.clone()])).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn matches_sequential_large() {
+        let data: Vec<u8> = (0..8_000_000u32).map(|i| (i % 253) as u8).collect();
+        let spans = spans_of(data.len(), 4096);
+        let par = fingerprints_parallel(&data, &spans, 4);
+        let seq: Vec<Fingerprint> =
+            spans.iter().map(|s| Fingerprint::of(&data[s.clone()])).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_spans() {
+        assert!(fingerprints_parallel(b"abc", &[], 4).is_empty());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let data = vec![1u8; 1000];
+        let spans = spans_of(1000, 100);
+        let fps = fingerprints_parallel(&data, &spans, 1);
+        assert_eq!(fps.len(), 10);
+        // All chunks identical -> all fingerprints identical.
+        assert!(fps.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_hash_threads() >= 1);
+    }
+}

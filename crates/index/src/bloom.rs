@@ -1,0 +1,143 @@
+//! A Bloom filter over chunk fingerprints — DDFS's in-memory "summary
+//! vector" (Zhu et al., FAST'08) that eliminates disk lookups for most
+//! unique chunks.
+
+use hidestore_hash::Fingerprint;
+
+/// Bloom filter keyed by [`Fingerprint`]s.
+///
+/// Uses the standard double-hashing construction `h_i = h1 + i * h2`; the two
+/// base hashes are read directly from the fingerprint, which is already a
+/// cryptographic digest, so no further mixing is needed.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_index::BloomFilter;
+/// use hidestore_hash::Fingerprint;
+///
+/// let mut bloom = BloomFilter::with_capacity(10_000, 0.01);
+/// let fp = Fingerprint::of(b"stored chunk");
+/// bloom.insert(&fp);
+/// assert!(bloom.contains(&fp));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: u64,
+    n_hashes: u32,
+    n_items: u64,
+}
+
+impl BloomFilter {
+    /// Sizes the filter for `expected_items` at the given target false
+    /// positive rate, using the standard optimal formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `expected_items == 0` or `fp_rate` is not in `(0, 1)`.
+    pub fn with_capacity(expected_items: usize, fp_rate: f64) -> Self {
+        assert!(expected_items > 0, "expected_items must be non-zero");
+        assert!(fp_rate > 0.0 && fp_rate < 1.0, "fp_rate must be in (0, 1)");
+        let ln2 = std::f64::consts::LN_2;
+        let n_bits = ((expected_items as f64) * (-fp_rate.ln()) / (ln2 * ln2)).ceil() as u64;
+        let n_bits = n_bits.max(64);
+        let n_hashes = ((n_bits as f64 / expected_items as f64) * ln2).round().max(1.0) as u32;
+        BloomFilter {
+            bits: vec![0; n_bits.div_ceil(64) as usize],
+            n_bits,
+            n_hashes,
+            n_items: 0,
+        }
+    }
+
+    fn positions(&self, fp: &Fingerprint) -> impl Iterator<Item = u64> + '_ {
+        let bytes = fp.as_bytes();
+        let h1 = u64::from_le_bytes(bytes[..8].try_into().expect("fp has 20 bytes"));
+        let h2 = u64::from_le_bytes(bytes[8..16].try_into().expect("fp has 20 bytes")) | 1;
+        let n_bits = self.n_bits;
+        (0..self.n_hashes as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % n_bits)
+    }
+
+    /// Inserts a fingerprint.
+    pub fn insert(&mut self, fp: &Fingerprint) {
+        let positions: Vec<u64> = self.positions(fp).collect();
+        for pos in positions {
+            self.bits[(pos / 64) as usize] |= 1 << (pos % 64);
+        }
+        self.n_items += 1;
+    }
+
+    /// Whether the fingerprint *may* have been inserted (false positives
+    /// possible at the configured rate, never false negatives).
+    pub fn contains(&self, fp: &Fingerprint) -> bool {
+        self.positions(fp)
+            .all(|pos| self.bits[(pos / 64) as usize] & (1 << (pos % 64)) != 0)
+    }
+
+    /// Number of insertions performed.
+    pub fn len(&self) -> u64 {
+        self.n_items
+    }
+
+    /// Whether nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.n_items == 0
+    }
+
+    /// Memory footprint of the bit array in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = BloomFilter::with_capacity(1000, 0.01);
+        let fps: Vec<Fingerprint> = (0..1000).map(Fingerprint::synthetic).collect();
+        for fp in &fps {
+            b.insert(fp);
+        }
+        for fp in &fps {
+            assert!(b.contains(fp));
+        }
+        assert_eq!(b.len(), 1000);
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let mut b = BloomFilter::with_capacity(10_000, 0.01);
+        for i in 0..10_000 {
+            b.insert(&Fingerprint::synthetic(i));
+        }
+        let false_positives = (10_000..110_000u64)
+            .filter(|&i| b.contains(&Fingerprint::synthetic(i)))
+            .count();
+        let rate = false_positives as f64 / 100_000.0;
+        assert!(rate < 0.03, "observed fp rate {rate}");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let b = BloomFilter::with_capacity(100, 0.01);
+        assert!(b.is_empty());
+        assert!(!b.contains(&Fingerprint::synthetic(1)));
+    }
+
+    #[test]
+    fn memory_scales_with_capacity() {
+        let small = BloomFilter::with_capacity(1_000, 0.01);
+        let large = BloomFilter::with_capacity(100_000, 0.01);
+        assert!(large.memory_bytes() > small.memory_bytes() * 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "fp_rate")]
+    fn invalid_rate_rejected() {
+        BloomFilter::with_capacity(10, 1.5);
+    }
+}

@@ -1,0 +1,224 @@
+//! Extreme Binning (Bhagwat, Eshghi, Long & Lillibridge, MASCOTS'09) —
+//! similarity-based deduplication for workloads with poor locality, cited by
+//! the paper's related work [6].
+
+use std::collections::HashMap;
+
+use hidestore_hash::Fingerprint;
+use hidestore_storage::{ContainerId, VersionId};
+
+use crate::FingerprintIndex;
+
+/// Extreme Binning: one *bin* per representative fingerprint.
+///
+/// The unit of deduplication is a whole file (here: the pipeline segment,
+/// which plays the file's role in a stream setting). Its **representative**
+/// is its minimum fingerprint; by Broder's theorem similar files share their
+/// minimum with high probability. The in-memory *primary index* maps the
+/// representative to a bin on disk holding the full fingerprint list of all
+/// files that shared it; one bin load (a counted disk lookup) deduplicates
+/// the incoming file against all of them. Exact duplicates of a whole file
+/// are detected for free via a stored whole-file hash.
+///
+/// RAM cost is one primary-index entry per *bin* — even smaller than SiLo's
+/// per-segment table — at the price of missing duplicates across bins.
+#[derive(Debug)]
+pub struct ExtremeBinning {
+    /// Primary index: representative fingerprint → bin id.
+    primary: HashMap<Fingerprint, usize>,
+    /// "On-disk" bins: full chunk maps plus whole-file hashes.
+    bins: Vec<Bin>,
+    /// Chunks recorded for the segment currently being ingested.
+    current: Vec<(Fingerprint, ContainerId)>,
+    /// The bin the current segment will merge into.
+    current_bin: Option<usize>,
+    disk_lookups: u64,
+    /// Deduplication map for the segment being processed.
+    loaded: HashMap<Fingerprint, ContainerId>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct Bin {
+    chunks: HashMap<Fingerprint, ContainerId>,
+    /// Whole-file hashes of files merged into this bin (exact-duplicate
+    /// detection).
+    whole_hashes: Vec<Fingerprint>,
+}
+
+impl Default for ExtremeBinning {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExtremeBinning {
+    /// Creates an empty Extreme Binning index.
+    pub fn new() -> Self {
+        ExtremeBinning {
+            primary: HashMap::new(),
+            bins: Vec::new(),
+            current: Vec::new(),
+            current_bin: None,
+            disk_lookups: 0,
+            loaded: HashMap::new(),
+        }
+    }
+
+    /// Number of bins (primary-index entries).
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    fn seal_current(&mut self) {
+        if self.current.is_empty() {
+            return;
+        }
+        let chunks: Vec<(Fingerprint, ContainerId)> = std::mem::take(&mut self.current);
+        // Whole-file hash: hash of the concatenated fingerprints.
+        let mut hasher = hidestore_hash::Sha1::new();
+        for (fp, _) in &chunks {
+            hasher.update(fp.as_bytes());
+        }
+        let whole = Fingerprint::from_bytes(hasher.finalize());
+        let rep = chunks.iter().map(|&(fp, _)| fp).min().expect("non-empty");
+        let bin_id = match self.current_bin.take() {
+            Some(id) => id,
+            None => match self.primary.get(&rep) {
+                Some(&id) => id,
+                None => {
+                    self.bins.push(Bin::default());
+                    self.bins.len() - 1
+                }
+            },
+        };
+        let bin = &mut self.bins[bin_id];
+        for (fp, cid) in chunks {
+            bin.chunks.entry(fp).or_insert(cid);
+        }
+        bin.whole_hashes.push(whole);
+        self.primary.insert(rep, bin_id);
+    }
+}
+
+impl FingerprintIndex for ExtremeBinning {
+    fn begin_version(&mut self, _version: VersionId) {}
+
+    fn process_segment(&mut self, segment: &[(Fingerprint, u32)]) -> Vec<Option<ContainerId>> {
+        self.seal_current();
+        self.loaded.clear();
+        self.current_bin = None;
+        if let Some(rep) = segment.iter().map(|&(fp, _)| fp).min() {
+            if let Some(&bin_id) = self.primary.get(&rep) {
+                // Load the bin from disk: one counted lookup.
+                self.disk_lookups += 1;
+                self.loaded = self.bins[bin_id].chunks.clone();
+                self.current_bin = Some(bin_id);
+            }
+        }
+        segment.iter().map(|(fp, _)| self.loaded.get(fp).copied()).collect()
+    }
+
+    fn record_chunk(&mut self, fingerprint: Fingerprint, _size: u32, container: ContainerId) {
+        self.current.push((fingerprint, container));
+    }
+
+    fn end_version(&mut self) {
+        self.seal_current();
+    }
+
+    fn disk_lookups(&self) -> u64 {
+        self.disk_lookups
+    }
+
+    fn index_table_bytes(&self) -> usize {
+        // Primary index: 20-byte representative + 8-byte bin pointer.
+        self.primary.len() * 28
+    }
+
+    fn name(&self) -> &'static str {
+        "extreme-binning"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(range: std::ops::Range<u64>) -> Vec<(Fingerprint, u32)> {
+        range.map(|i| (Fingerprint::synthetic(i), 4096)).collect()
+    }
+
+    fn run_version(idx: &mut ExtremeBinning, v: u32, chunks: &[(Fingerprint, u32)]) -> usize {
+        idx.begin_version(VersionId::new(v));
+        let mut dups = 0;
+        for s in chunks.chunks(128) {
+            let d = idx.process_segment(s);
+            for ((fp, sz), dup) in s.iter().zip(d) {
+                match dup {
+                    Some(c) => {
+                        dups += 1;
+                        idx.record_chunk(*fp, *sz, c);
+                    }
+                    None => idx.record_chunk(*fp, *sz, ContainerId::new(v)),
+                }
+            }
+        }
+        idx.end_version();
+        dups
+    }
+
+    #[test]
+    fn identical_second_version_fully_binned() {
+        let mut idx = ExtremeBinning::new();
+        let chunks = seg(0..1024);
+        assert_eq!(run_version(&mut idx, 1, &chunks), 0);
+        let dups = run_version(&mut idx, 2, &chunks);
+        assert_eq!(dups, 1024, "identical segments share their representative");
+    }
+
+    #[test]
+    fn similar_segments_share_a_bin() {
+        let mut idx = ExtremeBinning::new();
+        run_version(&mut idx, 1, &seg(0..128));
+        // 90% overlap, representative (min fp = 0) unchanged.
+        let mut similar = seg(0..115);
+        similar.extend(seg(90_000..90_013));
+        idx.begin_version(VersionId::new(2));
+        let d = idx.process_segment(&similar);
+        assert!(d.iter().filter(|x| x.is_some()).count() >= 115);
+    }
+
+    #[test]
+    fn one_lookup_per_segment_with_known_representative() {
+        let mut idx = ExtremeBinning::new();
+        let chunks = seg(0..1024);
+        run_version(&mut idx, 1, &chunks);
+        let before = idx.disk_lookups();
+        run_version(&mut idx, 2, &chunks);
+        assert_eq!(idx.disk_lookups() - before, (1024 / 128) as u64);
+    }
+
+    #[test]
+    fn unknown_representative_costs_nothing() {
+        let mut idx = ExtremeBinning::new();
+        run_version(&mut idx, 1, &seg(0..128));
+        assert_eq!(idx.disk_lookups(), 0, "first sight of a bin is free");
+    }
+
+    #[test]
+    fn primary_index_is_tiny() {
+        let mut idx = ExtremeBinning::new();
+        let chunks = seg(0..1280); // 10 segments
+        run_version(&mut idx, 1, &chunks);
+        assert!(idx.index_table_bytes() <= 10 * 28);
+        assert!(idx.bin_count() <= 10);
+    }
+
+    #[test]
+    fn disjoint_bins_do_not_cross_deduplicate() {
+        let mut idx = ExtremeBinning::new();
+        run_version(&mut idx, 1, &seg(0..128));
+        let dups = run_version(&mut idx, 2, &seg(50_000..50_128));
+        assert_eq!(dups, 0);
+    }
+}

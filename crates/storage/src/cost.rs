@@ -1,0 +1,126 @@
+//! Device cost models: turning counted I/O into estimated wall-clock time.
+//!
+//! The workspace measures restore cost as counted container reads (the
+//! paper's speed factor) precisely because device speed varies. When an
+//! absolute estimate *is* wanted — "how long would this restore take on an
+//! HDD?" — a [`DeviceProfile`] converts the counts: each container read
+//! costs one positioning latency plus transfer time at the device's
+//! sequential bandwidth.
+
+use std::time::Duration;
+
+use crate::store::IoStats;
+
+/// A storage device's cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Positioning cost per random container read (seek + rotation for HDD,
+    /// request latency for SSD).
+    pub positioning: Duration,
+    /// Sequential transfer bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Short human-readable name.
+    pub name: &'static str,
+}
+
+impl DeviceProfile {
+    /// A 7200 RPM enterprise HDD: ~8 ms positioning, 180 MB/s sequential.
+    pub const HDD: DeviceProfile = DeviceProfile {
+        positioning: Duration::from_micros(8_000),
+        bandwidth: 180.0 * 1024.0 * 1024.0,
+        name: "hdd",
+    };
+
+    /// A SATA SSD: ~80 µs request latency, 520 MB/s.
+    pub const SSD: DeviceProfile = DeviceProfile {
+        positioning: Duration::from_micros(80),
+        bandwidth: 520.0 * 1024.0 * 1024.0,
+        name: "ssd",
+    };
+
+    /// An NVMe SSD: ~15 µs latency, 3 GB/s.
+    pub const NVME: DeviceProfile = DeviceProfile {
+        positioning: Duration::from_micros(15),
+        bandwidth: 3.0 * 1024.0 * 1024.0 * 1024.0,
+        name: "nvme",
+    };
+
+    /// Estimated time to perform the reads recorded in `stats`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hidestore_storage::{DeviceProfile, IoStats};
+    ///
+    /// let stats = IoStats { container_reads: 100, bytes_read: 400 << 20, ..IoStats::default() };
+    /// let hdd = DeviceProfile::HDD.read_time(&stats);
+    /// let nvme = DeviceProfile::NVME.read_time(&stats);
+    /// assert!(hdd > nvme);
+    /// ```
+    pub fn read_time(&self, stats: &IoStats) -> Duration {
+        let positioning = self.positioning * stats.container_reads as u32;
+        let transfer = Duration::from_secs_f64(stats.bytes_read as f64 / self.bandwidth);
+        positioning + transfer
+    }
+
+    /// Estimated restore throughput in MB/s for a restore that produced
+    /// `logical_bytes` of output using the reads in `stats`.
+    pub fn restore_throughput_mbps(&self, logical_bytes: u64, stats: &IoStats) -> f64 {
+        let t = self.read_time(stats).as_secs_f64();
+        if t <= 0.0 {
+            return f64::INFINITY;
+        }
+        logical_bytes as f64 / (1024.0 * 1024.0) / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(reads: u64, bytes: u64) -> IoStats {
+        IoStats { container_reads: reads, bytes_read: bytes, ..IoStats::default() }
+    }
+
+    #[test]
+    fn hdd_dominated_by_seeks_on_fragmented_reads() {
+        // 1000 reads of 4 KiB each: positioning (8s) dwarfs transfer.
+        let s = stats(1000, 4096 * 1000);
+        let t = DeviceProfile::HDD.read_time(&s);
+        assert!(t >= Duration::from_secs(8));
+        assert!(t < Duration::from_secs(9));
+    }
+
+    #[test]
+    fn sequential_read_dominated_by_bandwidth() {
+        // One read of 1.8 GB at 180 MB/s ≈ 10.24s.
+        let s = stats(1, 1800 << 20);
+        let t = DeviceProfile::HDD.read_time(&s);
+        assert!(t > Duration::from_secs(9) && t < Duration::from_secs(11), "{t:?}");
+    }
+
+    #[test]
+    fn fewer_reads_mean_higher_throughput() {
+        // Same logical output, same bytes moved, 10x fewer positioning ops.
+        let fragmented = stats(10_000, 1 << 30);
+        let clustered = stats(1_000, 1 << 30);
+        let f = DeviceProfile::HDD.restore_throughput_mbps(1 << 30, &fragmented);
+        let c = DeviceProfile::HDD.restore_throughput_mbps(1 << 30, &clustered);
+        assert!(c > f * 2.0, "clustered {c:.1} MB/s vs fragmented {f:.1} MB/s");
+    }
+
+    #[test]
+    fn device_ordering() {
+        let s = stats(5000, 20 << 30);
+        let hdd = DeviceProfile::HDD.read_time(&s);
+        let ssd = DeviceProfile::SSD.read_time(&s);
+        let nvme = DeviceProfile::NVME.read_time(&s);
+        assert!(hdd > ssd && ssd > nvme);
+    }
+
+    #[test]
+    fn zero_reads_is_infinite_throughput() {
+        let s = stats(0, 0);
+        assert!(DeviceProfile::NVME.restore_throughput_mbps(100, &s).is_infinite());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+use std::io;
+
+use crate::container::ContainerId;
+use crate::recipe::VersionId;
+
+/// Errors returned by container stores and recipe stores.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A container ID was requested that the store does not hold.
+    ContainerNotFound(ContainerId),
+    /// A recipe was requested for a version that has no recipe.
+    RecipeNotFound(VersionId),
+    /// A container with this ID already exists and overwrite was not allowed.
+    DuplicateContainer(ContainerId),
+    /// A serialized container or recipe failed to parse.
+    Corrupt(String),
+    /// Underlying filesystem I/O failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ContainerNotFound(id) => write!(f, "container {id} not found"),
+            StorageError::RecipeNotFound(v) => write!(f, "recipe for version {v} not found"),
+            StorageError::DuplicateContainer(id) => {
+                write!(f, "container {id} already exists")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage data: {msg}"),
+            StorageError::Io(e) => write!(f, "storage i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::ContainerNotFound(ContainerId::new(7));
+        assert_eq!(e.to_string(), "container 7 not found");
+        let e = StorageError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        use std::error::Error;
+        let e = StorageError::from(io::Error::other("disk on fire"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StorageError>();
+    }
+}

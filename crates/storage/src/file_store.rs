@@ -1,0 +1,242 @@
+//! File-backed container store: one file per container under a directory.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::container::{Container, ContainerId};
+use crate::error::StorageError;
+use crate::store::{ContainerStore, IoStats};
+
+/// On-disk container store.
+///
+/// Each container is written as `c<id>.ctr` in the store directory using the
+/// [`Container::encode`] format. Reopening the directory recovers the set of
+/// stored containers, so a backup repository survives process restarts — this
+/// is what makes the reproduction a real backup system rather than only a
+/// simulator.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hidestore_storage::{Container, ContainerId, ContainerStore, FileContainerStore};
+///
+/// let mut store = FileContainerStore::open("/tmp/backup-repo")?;
+/// store.write(Container::with_default_capacity(ContainerId::new(1)))?;
+/// # Ok::<(), hidestore_storage::StorageError>(())
+/// ```
+#[derive(Debug)]
+pub struct FileContainerStore {
+    dir: PathBuf,
+    ids: BTreeSet<ContainerId>,
+    stats: IoStats,
+}
+
+impl FileContainerStore {
+    /// Opens (creating if necessary) a container store directory and indexes
+    /// the containers already present.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created or listed, or if a container
+    /// file has an unparsable name.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut ids = BTreeSet::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id_str) = name.strip_prefix('c').and_then(|s| s.strip_suffix(".ctr")) {
+                let id: u32 = id_str.parse().map_err(|_| {
+                    StorageError::Corrupt(format!("bad container file name: {name}"))
+                })?;
+                ids.insert(ContainerId::new(id));
+            }
+        }
+        Ok(FileContainerStore { dir, ids, stats: IoStats::default() })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, id: ContainerId) -> PathBuf {
+        self.dir.join(format!("c{}.ctr", id.get()))
+    }
+
+    fn write_file(&self, container: &Container) -> Result<u64, StorageError> {
+        let encoded = container.encode();
+        let tmp = self.dir.join(format!(".c{}.tmp", container.id().get()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&encoded)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, self.path_for(container.id()))?;
+        Ok(encoded.len() as u64)
+    }
+}
+
+impl ContainerStore for FileContainerStore {
+    fn write(&mut self, container: Container) -> Result<(), StorageError> {
+        if self.ids.contains(&container.id()) {
+            return Err(StorageError::DuplicateContainer(container.id()));
+        }
+        let written = self.write_file(&container)?;
+        self.ids.insert(container.id());
+        self.stats.container_writes += 1;
+        self.stats.bytes_written += written;
+        Ok(())
+    }
+
+    fn read(&mut self, id: ContainerId) -> Result<Arc<Container>, StorageError> {
+        if !self.ids.contains(&id) {
+            return Err(StorageError::ContainerNotFound(id));
+        }
+        let mut bytes = Vec::new();
+        fs::File::open(self.path_for(id))?.read_to_end(&mut bytes)?;
+        let container = Container::decode(&bytes).map_err(StorageError::Corrupt)?;
+        self.stats.container_reads += 1;
+        self.stats.bytes_read += bytes.len() as u64;
+        Ok(Arc::new(container))
+    }
+
+    fn contains(&self, id: ContainerId) -> bool {
+        self.ids.contains(&id)
+    }
+
+    fn remove(&mut self, id: ContainerId) -> Result<(), StorageError> {
+        if !self.ids.remove(&id) {
+            return Err(StorageError::ContainerNotFound(id));
+        }
+        fs::remove_file(self.path_for(id))?;
+        self.stats.container_deletes += 1;
+        Ok(())
+    }
+
+    fn replace(&mut self, container: Container) -> Result<(), StorageError> {
+        if !self.ids.contains(&container.id()) {
+            return Err(StorageError::ContainerNotFound(container.id()));
+        }
+        self.write_file(&container)?;
+        Ok(())
+    }
+
+    fn ids(&self) -> Vec<ContainerId> {
+        self.ids.iter().copied().collect()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidestore_hash::Fingerprint;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hidestore-filestore-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_container(id: u32) -> Container {
+        let mut c = Container::new(ContainerId::new(id), 4096);
+        for i in 0..10u64 {
+            c.try_add(Fingerprint::synthetic(id as u64 * 100 + i), &[i as u8; 64]);
+        }
+        c
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let mut s = FileContainerStore::open(&dir).unwrap();
+        s.write(sample_container(1)).unwrap();
+        let c = s.read(ContainerId::new(1)).unwrap();
+        assert_eq!(c.chunk_count(), 10);
+        assert_eq!(c.get(&Fingerprint::synthetic(103)), Some(&[3u8; 64][..]));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_index() {
+        let dir = temp_dir("reopen");
+        {
+            let mut s = FileContainerStore::open(&dir).unwrap();
+            s.write(sample_container(1)).unwrap();
+            s.write(sample_container(2)).unwrap();
+        }
+        let mut s = FileContainerStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(ContainerId::new(2)));
+        assert_eq!(s.read(ContainerId::new(2)).unwrap().chunk_count(), 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_deletes_file() {
+        let dir = temp_dir("remove");
+        let mut s = FileContainerStore::open(&dir).unwrap();
+        s.write(sample_container(1)).unwrap();
+        s.remove(ContainerId::new(1)).unwrap();
+        assert!(!dir.join("c1.ctr").exists());
+        assert!(s.read(ContainerId::new(1)).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_write_rejected() {
+        let dir = temp_dir("dup");
+        let mut s = FileContainerStore::open(&dir).unwrap();
+        s.write(sample_container(1)).unwrap();
+        assert!(matches!(
+            s.write(sample_container(1)),
+            Err(StorageError::DuplicateContainer(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replace_persists_new_content() {
+        let dir = temp_dir("replace");
+        let mut s = FileContainerStore::open(&dir).unwrap();
+        s.write(sample_container(1)).unwrap();
+        let mut modified = sample_container(1);
+        modified.remove(&Fingerprint::synthetic(100));
+        s.replace(modified).unwrap();
+        let back = s.read(ContainerId::new(1)).unwrap();
+        assert_eq!(back.chunk_count(), 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_counted() {
+        let dir = temp_dir("stats");
+        let mut s = FileContainerStore::open(&dir).unwrap();
+        s.write(sample_container(1)).unwrap();
+        s.read(ContainerId::new(1)).unwrap();
+        let st = s.stats();
+        assert_eq!((st.container_writes, st.container_reads), (1, 1));
+        assert!(st.bytes_written > 640);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

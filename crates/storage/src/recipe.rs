@@ -1,0 +1,543 @@
+//! Backup recipes: the per-version chunk lists used to restore data.
+//!
+//! A recipe entry is 28 bytes, exactly as in the paper (§2.1): a 20-byte
+//! fingerprint, a 4-byte container ID and a 4-byte size. HiDeStore reuses the
+//! container-ID field for its three-state encoding (§4.3/§4.4), modelled here
+//! by [`Cid`]:
+//!
+//! * `cid > 0` — the chunk lives in archival container `cid`;
+//! * `cid == 0` — the chunk is still in the active containers;
+//! * `cid < 0` — the chunk's location is recorded in the recipe of version
+//!   `-cid` (the recipes form a chain, flattened offline by Algorithm 1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use hidestore_hash::Fingerprint;
+
+use crate::container::ContainerId;
+use crate::error::StorageError;
+
+/// Encoded size of one recipe entry in bytes (paper §2.1).
+pub const RECIPE_ENTRY_LEN: usize = 28;
+
+/// A backup version number, starting at 1 for the first backup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VersionId(u32);
+
+impl VersionId {
+    /// Creates a version ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == 0`; versions are 1-based so they can be negated into
+    /// the [`Cid`] encoding.
+    pub fn new(v: u32) -> Self {
+        assert!(v != 0, "version ids are 1-based");
+        VersionId(v)
+    }
+
+    /// The raw number (always > 0).
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// The version before this one, if any.
+    pub fn prev(self) -> Option<VersionId> {
+        (self.0 > 1).then(|| VersionId(self.0 - 1))
+    }
+
+    /// The version after this one.
+    pub fn next(self) -> VersionId {
+        VersionId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// The container-ID field of a recipe entry, with HiDeStore's three-state
+/// sign encoding.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_storage::{Cid, ContainerId, VersionId};
+///
+/// let a = Cid::archival(ContainerId::new(4));
+/// assert_eq!(a.as_archival(), Some(ContainerId::new(4)));
+/// let c = Cid::chained(VersionId::new(4));
+/// assert_eq!(c.as_chained(), Some(VersionId::new(4)));
+/// assert!(Cid::ACTIVE.is_active());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cid(i32);
+
+impl Cid {
+    /// The chunk is still in the active containers (HiDeStore only).
+    pub const ACTIVE: Cid = Cid(0);
+
+    /// The chunk lives in archival container `id`.
+    pub fn archival(id: ContainerId) -> Self {
+        Cid(id.get() as i32)
+    }
+
+    /// The chunk's location is recorded in the recipe of `version`.
+    pub fn chained(version: VersionId) -> Self {
+        Cid(-(version.get() as i32))
+    }
+
+    /// Raw signed value as stored on disk.
+    pub fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Builds from a raw signed value.
+    pub fn from_raw(raw: i32) -> Self {
+        Cid(raw)
+    }
+
+    /// Archival container, if `cid > 0`.
+    pub fn as_archival(self) -> Option<ContainerId> {
+        (self.0 > 0).then(|| ContainerId::new(self.0 as u32))
+    }
+
+    /// Chained version, if `cid < 0`.
+    pub fn as_chained(self) -> Option<VersionId> {
+        (self.0 < 0).then(|| VersionId::new((-self.0) as u32))
+    }
+
+    /// Whether the chunk is in the active containers.
+    pub fn is_active(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Cid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => f.write_str("active"),
+            n if n > 0 => write!(f, "container {n}"),
+            n => write!(f, "see V{}", -n),
+        }
+    }
+}
+
+/// One 28-byte recipe entry: fingerprint, size, container reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecipeEntry {
+    /// Chunk fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Chunk size in bytes.
+    pub size: u32,
+    /// Container reference (three-state for HiDeStore, always archival for
+    /// baseline systems).
+    pub cid: Cid,
+}
+
+impl RecipeEntry {
+    /// Creates an entry.
+    pub fn new(fingerprint: Fingerprint, size: u32, cid: Cid) -> Self {
+        RecipeEntry { fingerprint, size, cid }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.fingerprint.as_bytes());
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.extend_from_slice(&self.cid.raw().to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Self {
+        let fp: [u8; 20] = bytes[..20].try_into().expect("entry is 28 bytes");
+        let size = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        let cid = i32::from_le_bytes(bytes[24..28].try_into().unwrap());
+        RecipeEntry {
+            fingerprint: Fingerprint::from_bytes(fp),
+            size,
+            cid: Cid::from_raw(cid),
+        }
+    }
+}
+
+/// The recipe of one backup version: the ordered chunk list of the stream.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_storage::{Cid, ContainerId, Recipe, RecipeEntry, VersionId};
+/// use hidestore_hash::Fingerprint;
+///
+/// let mut recipe = Recipe::new(VersionId::new(1));
+/// recipe.push(RecipeEntry::new(
+///     Fingerprint::of(b"chunk"),
+///     5,
+///     Cid::archival(ContainerId::new(1)),
+/// ));
+/// assert_eq!(recipe.total_bytes(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recipe {
+    version: VersionId,
+    entries: Vec<RecipeEntry>,
+    total_bytes: u64,
+}
+
+impl Recipe {
+    /// Creates an empty recipe for `version`.
+    pub fn new(version: VersionId) -> Self {
+        Recipe { version, entries: Vec::new(), total_bytes: 0 }
+    }
+
+    /// The version this recipe restores.
+    pub fn version(&self) -> VersionId {
+        self.version
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, entry: RecipeEntry) {
+        self.total_bytes += entry.size as u64;
+        self.entries.push(entry);
+    }
+
+    /// The ordered entries.
+    pub fn entries(&self) -> &[RecipeEntry] {
+        &self.entries
+    }
+
+    /// Mutable access for recipe-update passes (§4.3).
+    pub fn entries_mut(&mut self) -> &mut [RecipeEntry] {
+        &mut self.entries
+    }
+
+    /// Number of chunks in the stream.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the recipe has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total logical bytes of the backup stream.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Size of this recipe on disk (metadata overhead accounting, §5.2.3).
+    pub fn encoded_len(&self) -> usize {
+        12 + self.entries.len() * RECIPE_ENTRY_LEN
+    }
+
+    /// Serializes: magic `HDSR`, u32 version, u32 entry count, then entries.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(b"HDSR");
+        out.extend_from_slice(&self.version.get().to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            e.encode_into(&mut out);
+        }
+        out
+    }
+
+    /// Parses the [`Recipe::encode`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the structural problem.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 12 || &bytes[..4] != b"HDSR" {
+            return Err("bad recipe header".into());
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version == 0 {
+            return Err("recipe version 0 is invalid".into());
+        }
+        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let body = &bytes[12..];
+        if body.len() != count * RECIPE_ENTRY_LEN {
+            return Err(format!(
+                "recipe body length {} != {count} entries",
+                body.len()
+            ));
+        }
+        let mut recipe = Recipe::new(VersionId::new(version));
+        for raw in body.chunks_exact(RECIPE_ENTRY_LEN) {
+            recipe.push(RecipeEntry::decode(raw));
+        }
+        Ok(recipe)
+    }
+}
+
+/// Holds the recipes of all retained backup versions, with optional
+/// directory persistence.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_storage::{Recipe, RecipeStore, VersionId};
+///
+/// let mut store = RecipeStore::new();
+/// store.insert(Recipe::new(VersionId::new(1)));
+/// assert_eq!(store.latest_version(), Some(VersionId::new(1)));
+/// ```
+#[derive(Debug, Default)]
+pub struct RecipeStore {
+    recipes: BTreeMap<VersionId, Recipe>,
+}
+
+impl RecipeStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a recipe.
+    pub fn insert(&mut self, recipe: Recipe) {
+        self.recipes.insert(recipe.version(), recipe);
+    }
+
+    /// Fetches a recipe.
+    pub fn get(&self, version: VersionId) -> Option<&Recipe> {
+        self.recipes.get(&version)
+    }
+
+    /// Mutable access for the recipe-update passes.
+    pub fn get_mut(&mut self, version: VersionId) -> Option<&mut Recipe> {
+        self.recipes.get_mut(&version)
+    }
+
+    /// Removes a recipe (when expiring a version).
+    pub fn remove(&mut self, version: VersionId) -> Option<Recipe> {
+        self.recipes.remove(&version)
+    }
+
+    /// The newest retained version.
+    pub fn latest_version(&self) -> Option<VersionId> {
+        self.recipes.keys().next_back().copied()
+    }
+
+    /// The oldest retained version.
+    pub fn oldest_version(&self) -> Option<VersionId> {
+        self.recipes.keys().next().copied()
+    }
+
+    /// Iterates recipes in version order.
+    pub fn iter(&self) -> impl Iterator<Item = &Recipe> {
+        self.recipes.values()
+    }
+
+    /// Retained versions in ascending order.
+    pub fn versions(&self) -> Vec<VersionId> {
+        self.recipes.keys().copied().collect()
+    }
+
+    /// Number of retained recipes.
+    pub fn len(&self) -> usize {
+        self.recipes.len()
+    }
+
+    /// Whether no recipes are retained.
+    pub fn is_empty(&self) -> bool {
+        self.recipes.is_empty()
+    }
+
+    /// Total on-disk bytes of all recipes.
+    pub fn total_encoded_len(&self) -> usize {
+        self.recipes.values().map(Recipe::encoded_len).sum()
+    }
+
+    /// Writes every recipe as `r<version>.rcp` under `dir`, removing stale
+    /// recipe files for versions no longer retained (e.g. after expiry).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors.
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(v) = name.strip_prefix('r').and_then(|s| s.strip_suffix(".rcp")) {
+                let stale = v
+                    .parse::<u32>()
+                    .ok()
+                    .and_then(|v| (v != 0).then(|| VersionId::new(v)))
+                    .is_none_or(|v| !self.recipes.contains_key(&v));
+                if stale {
+                    fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        for recipe in self.recipes.values() {
+            let path = dir.join(format!("r{}.rcp", recipe.version().get()));
+            let mut f = fs::File::create(path)?;
+            f.write_all(&recipe.encode())?;
+        }
+        Ok(())
+    }
+
+    /// Loads every `r<version>.rcp` under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or corrupt recipe files.
+    pub fn load_dir(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let mut store = RecipeStore::new();
+        let dir = dir.as_ref();
+        if !dir.exists() {
+            return Ok(store);
+        }
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('r') && name.ends_with(".rcp") {
+                let mut bytes = Vec::new();
+                fs::File::open(entry.path())?.read_to_end(&mut bytes)?;
+                store.insert(Recipe::decode(&bytes).map_err(StorageError::Corrupt)?);
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::synthetic(n)
+    }
+
+    #[test]
+    fn cid_three_states() {
+        let archival = Cid::archival(ContainerId::new(17));
+        assert_eq!(archival.raw(), 17);
+        assert_eq!(archival.as_archival(), Some(ContainerId::new(17)));
+        assert_eq!(archival.as_chained(), None);
+        assert!(!archival.is_active());
+
+        let chained = Cid::chained(VersionId::new(4));
+        assert_eq!(chained.raw(), -4);
+        assert_eq!(chained.as_chained(), Some(VersionId::new(4)));
+        assert_eq!(chained.as_archival(), None);
+
+        assert!(Cid::ACTIVE.is_active());
+        assert_eq!(Cid::ACTIVE.raw(), 0);
+    }
+
+    #[test]
+    fn cid_display() {
+        assert_eq!(Cid::ACTIVE.to_string(), "active");
+        assert_eq!(Cid::archival(ContainerId::new(3)).to_string(), "container 3");
+        assert_eq!(Cid::chained(VersionId::new(2)).to_string(), "see V2");
+    }
+
+    #[test]
+    fn version_prev_next() {
+        let v1 = VersionId::new(1);
+        assert_eq!(v1.prev(), None);
+        assert_eq!(v1.next(), VersionId::new(2));
+        assert_eq!(VersionId::new(5).prev(), Some(VersionId::new(4)));
+        assert_eq!(v1.to_string(), "V1");
+    }
+
+    #[test]
+    fn recipe_accumulates_bytes() {
+        let mut r = Recipe::new(VersionId::new(1));
+        r.push(RecipeEntry::new(fp(1), 100, Cid::ACTIVE));
+        r.push(RecipeEntry::new(fp(2), 200, Cid::archival(ContainerId::new(1))));
+        assert_eq!(r.total_bytes(), 300);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.encoded_len(), 12 + 2 * RECIPE_ENTRY_LEN);
+    }
+
+    #[test]
+    fn recipe_encode_decode_round_trip() {
+        let mut r = Recipe::new(VersionId::new(9));
+        for i in 0..50u64 {
+            let cid = match i % 3 {
+                0 => Cid::archival(ContainerId::new(i as u32 + 1)),
+                1 => Cid::ACTIVE,
+                _ => Cid::chained(VersionId::new(i as u32 + 1)),
+            };
+            r.push(RecipeEntry::new(fp(i), (i * 17 % 8000) as u32, cid));
+        }
+        let back = Recipe::decode(&r.encode()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn recipe_decode_rejects_garbage() {
+        assert!(Recipe::decode(b"").is_err());
+        assert!(Recipe::decode(b"XXXX\x01\0\0\0\0\0\0\0").is_err());
+        let mut r = Recipe::new(VersionId::new(1));
+        r.push(RecipeEntry::new(fp(1), 4, Cid::ACTIVE));
+        let enc = r.encode();
+        assert!(Recipe::decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn recipe_entry_size_is_28_bytes() {
+        let mut out = Vec::new();
+        RecipeEntry::new(fp(1), 5, Cid::ACTIVE).encode_into(&mut out);
+        assert_eq!(out.len(), RECIPE_ENTRY_LEN);
+    }
+
+    #[test]
+    fn store_latest_and_oldest() {
+        let mut s = RecipeStore::new();
+        assert!(s.latest_version().is_none());
+        for v in [2u32, 1, 3] {
+            s.insert(Recipe::new(VersionId::new(v)));
+        }
+        assert_eq!(s.latest_version(), Some(VersionId::new(3)));
+        assert_eq!(s.oldest_version(), Some(VersionId::new(1)));
+        assert_eq!(s.versions().len(), 3);
+        s.remove(VersionId::new(1));
+        assert_eq!(s.oldest_version(), Some(VersionId::new(2)));
+    }
+
+    #[test]
+    fn store_save_load_round_trip() {
+        let dir = std::env::temp_dir()
+            .join(format!("hidestore-recipes-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = RecipeStore::new();
+        for v in 1..=3u32 {
+            let mut r = Recipe::new(VersionId::new(v));
+            r.push(RecipeEntry::new(fp(v as u64), v * 10, Cid::ACTIVE));
+            s.insert(r);
+        }
+        s.save_dir(&dir).unwrap();
+        let loaded = RecipeStore::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(
+            loaded.get(VersionId::new(2)).unwrap().entries()[0].size,
+            20
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_is_empty() {
+        let s = RecipeStore::load_dir("/definitely/not/a/real/dir").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn version_zero_panics() {
+        VersionId::new(0);
+    }
+}

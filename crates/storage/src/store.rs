@@ -1,0 +1,382 @@
+//! Container stores with I/O accounting.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::container::{Container, ContainerId};
+use crate::error::StorageError;
+
+/// Counted I/O statistics.
+///
+/// The paper's restore metric (*speed factor*, §5.3) and its throughput
+/// metric (*lookup requests per GB*, §5.2.2) are both counts, chosen
+/// precisely so results don't depend on device speed. Every store tallies
+/// these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of whole-container reads served.
+    pub container_reads: u64,
+    /// Number of containers written (sealed) to the store.
+    pub container_writes: u64,
+    /// Number of containers deleted.
+    pub container_deletes: u64,
+    /// Bytes of container data read.
+    pub bytes_read: u64,
+    /// Bytes of container data written.
+    pub bytes_written: u64,
+}
+
+impl IoStats {
+    /// Component-wise difference, for measuring a phase:
+    /// `after.since(&before)`.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            container_reads: self.container_reads - earlier.container_reads,
+            container_writes: self.container_writes - earlier.container_writes,
+            container_deletes: self.container_deletes - earlier.container_deletes,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
+/// A store of sealed containers, the persistent layer of the backup system.
+///
+/// `read` returns an `Arc<Container>` so restore caches can retain containers
+/// without copying 4 MiB buffers. Every `read` call counts as one container
+/// I/O even if the implementation has the container in memory: the counted
+/// cost model is the experiment's ground truth (see crate docs).
+pub trait ContainerStore {
+    /// Seals `container` into the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::DuplicateContainer`] if the ID already exists.
+    fn write(&mut self, container: Container) -> Result<(), StorageError>;
+
+    /// Reads a container, counting one container read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::ContainerNotFound`] for unknown IDs.
+    fn read(&mut self, id: ContainerId) -> Result<Arc<Container>, StorageError>;
+
+    /// Whether the store holds `id`.
+    fn contains(&self, id: ContainerId) -> bool;
+
+    /// Deletes a container (used when expiring backup versions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::ContainerNotFound`] for unknown IDs.
+    fn remove(&mut self, id: ContainerId) -> Result<(), StorageError>;
+
+    /// Replaces an existing container in place (used by offline maintenance
+    /// like merging archival containers). Does not count as a fresh write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::ContainerNotFound`] if the ID is absent.
+    fn replace(&mut self, container: Container) -> Result<(), StorageError>;
+
+    /// All container IDs, ascending.
+    fn ids(&self) -> Vec<ContainerId>;
+
+    /// Counted I/O so far.
+    fn stats(&self) -> IoStats;
+
+    /// Zeroes the counters (e.g. between backup and restore phases).
+    fn reset_stats(&mut self);
+
+    /// Number of containers held.
+    fn len(&self) -> usize {
+        self.ids().len()
+    }
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// In-memory container store for deterministic experiments.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_storage::{Container, ContainerId, ContainerStore, MemoryContainerStore};
+///
+/// let mut store = MemoryContainerStore::new();
+/// store.write(Container::new(ContainerId::new(1), 1024))?;
+/// assert_eq!(store.len(), 1);
+/// assert_eq!(store.stats().container_writes, 1);
+/// # Ok::<(), hidestore_storage::StorageError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryContainerStore {
+    containers: BTreeMap<ContainerId, Arc<Container>>,
+    stats: IoStats,
+}
+
+impl MemoryContainerStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total live bytes across all containers (for dedup-ratio accounting).
+    pub fn total_live_bytes(&self) -> u64 {
+        self.containers.values().map(|c| c.live_bytes() as u64).sum()
+    }
+
+    /// Total capacity-consuming bytes (live + dead) across containers.
+    pub fn total_used_bytes(&self) -> u64 {
+        self.containers.values().map(|c| c.used_bytes() as u64).sum()
+    }
+}
+
+impl ContainerStore for MemoryContainerStore {
+    fn write(&mut self, container: Container) -> Result<(), StorageError> {
+        if self.containers.contains_key(&container.id()) {
+            return Err(StorageError::DuplicateContainer(container.id()));
+        }
+        self.stats.container_writes += 1;
+        self.stats.bytes_written += container.used_bytes() as u64;
+        self.containers.insert(container.id(), Arc::new(container));
+        Ok(())
+    }
+
+    fn read(&mut self, id: ContainerId) -> Result<Arc<Container>, StorageError> {
+        let container = self
+            .containers
+            .get(&id)
+            .cloned()
+            .ok_or(StorageError::ContainerNotFound(id))?;
+        self.stats.container_reads += 1;
+        self.stats.bytes_read += container.used_bytes() as u64;
+        Ok(container)
+    }
+
+    fn contains(&self, id: ContainerId) -> bool {
+        self.containers.contains_key(&id)
+    }
+
+    fn remove(&mut self, id: ContainerId) -> Result<(), StorageError> {
+        self.containers
+            .remove(&id)
+            .ok_or(StorageError::ContainerNotFound(id))?;
+        self.stats.container_deletes += 1;
+        Ok(())
+    }
+
+    fn replace(&mut self, container: Container) -> Result<(), StorageError> {
+        let id = container.id();
+        if !self.containers.contains_key(&id) {
+            return Err(StorageError::ContainerNotFound(id));
+        }
+        self.containers.insert(id, Arc::new(container));
+        Ok(())
+    }
+
+    fn ids(&self) -> Vec<ContainerId> {
+        self.containers.keys().copied().collect()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    fn len(&self) -> usize {
+        self.containers.len()
+    }
+}
+
+/// A cheaply clonable, thread-safe handle around any [`ContainerStore`].
+///
+/// Backup writes and restore reads often live in different components that
+/// both need the store; `SharedContainerStore` provides interior mutability
+/// via a [`Mutex`] the way Destor shares its container manager across
+/// pipeline phases.
+#[derive(Debug)]
+pub struct SharedContainerStore<S> {
+    inner: Arc<Mutex<S>>,
+}
+
+impl<S> Clone for SharedContainerStore<S> {
+    fn clone(&self) -> Self {
+        SharedContainerStore { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<S: ContainerStore> SharedContainerStore<S> {
+    /// Wraps a store.
+    pub fn new(store: S) -> Self {
+        SharedContainerStore { inner: Arc::new(Mutex::new(store)) }
+    }
+
+    /// Runs `f` with exclusive access to the store.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+impl<S: ContainerStore> ContainerStore for SharedContainerStore<S> {
+    fn write(&mut self, container: Container) -> Result<(), StorageError> {
+        self.inner.lock().write(container)
+    }
+
+    fn read(&mut self, id: ContainerId) -> Result<Arc<Container>, StorageError> {
+        self.inner.lock().read(id)
+    }
+
+    fn contains(&self, id: ContainerId) -> bool {
+        self.inner.lock().contains(id)
+    }
+
+    fn remove(&mut self, id: ContainerId) -> Result<(), StorageError> {
+        self.inner.lock().remove(id)
+    }
+
+    fn replace(&mut self, container: Container) -> Result<(), StorageError> {
+        self.inner.lock().replace(container)
+    }
+
+    fn ids(&self) -> Vec<ContainerId> {
+        self.inner.lock().ids()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.lock().stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.lock().reset_stats()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidestore_hash::Fingerprint;
+
+    fn container_with(id: u32, n_chunks: u64) -> Container {
+        let mut c = Container::new(ContainerId::new(id), 4096);
+        for i in 0..n_chunks {
+            c.try_add(Fingerprint::synthetic(id as u64 * 1000 + i), &[id as u8; 16]);
+        }
+        c
+    }
+
+    #[test]
+    fn write_read_counts() {
+        let mut s = MemoryContainerStore::new();
+        s.write(container_with(1, 4)).unwrap();
+        s.write(container_with(2, 4)).unwrap();
+        let c = s.read(ContainerId::new(1)).unwrap();
+        assert_eq!(c.chunk_count(), 4);
+        s.read(ContainerId::new(1)).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.container_writes, 2);
+        assert_eq!(stats.container_reads, 2);
+        assert_eq!(stats.bytes_written, 128);
+        assert_eq!(stats.bytes_read, 128);
+    }
+
+    #[test]
+    fn duplicate_write_rejected() {
+        let mut s = MemoryContainerStore::new();
+        s.write(container_with(1, 1)).unwrap();
+        assert!(matches!(
+            s.write(container_with(1, 1)),
+            Err(StorageError::DuplicateContainer(_))
+        ));
+    }
+
+    #[test]
+    fn missing_read_and_remove_error() {
+        let mut s = MemoryContainerStore::new();
+        assert!(matches!(
+            s.read(ContainerId::new(9)),
+            Err(StorageError::ContainerNotFound(_))
+        ));
+        assert!(s.remove(ContainerId::new(9)).is_err());
+    }
+
+    #[test]
+    fn remove_deletes_and_counts() {
+        let mut s = MemoryContainerStore::new();
+        s.write(container_with(1, 1)).unwrap();
+        s.remove(ContainerId::new(1)).unwrap();
+        assert!(!s.contains(ContainerId::new(1)));
+        assert_eq!(s.stats().container_deletes, 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn replace_swaps_without_write_count() {
+        let mut s = MemoryContainerStore::new();
+        s.write(container_with(1, 1)).unwrap();
+        let writes_before = s.stats().container_writes;
+        s.replace(container_with(1, 3)).unwrap();
+        assert_eq!(s.stats().container_writes, writes_before);
+        assert_eq!(s.read(ContainerId::new(1)).unwrap().chunk_count(), 3);
+        assert!(s.replace(container_with(5, 1)).is_err());
+    }
+
+    #[test]
+    fn ids_sorted() {
+        let mut s = MemoryContainerStore::new();
+        for id in [3u32, 1, 2] {
+            s.write(container_with(id, 1)).unwrap();
+        }
+        let ids: Vec<u32> = s.ids().iter().map(|i| i.get()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stats_since() {
+        let mut s = MemoryContainerStore::new();
+        s.write(container_with(1, 1)).unwrap();
+        let before = s.stats();
+        s.read(ContainerId::new(1)).unwrap();
+        let delta = s.stats().since(&before);
+        assert_eq!(delta.container_reads, 1);
+        assert_eq!(delta.container_writes, 0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes() {
+        let mut s = MemoryContainerStore::new();
+        s.write(container_with(1, 1)).unwrap();
+        s.reset_stats();
+        assert_eq!(s.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn shared_store_clones_share_state() {
+        let mut a = SharedContainerStore::new(MemoryContainerStore::new());
+        let mut b = a.clone();
+        a.write(container_with(1, 2)).unwrap();
+        assert!(b.contains(ContainerId::new(1)));
+        b.read(ContainerId::new(1)).unwrap();
+        assert_eq!(a.stats().container_reads, 1);
+    }
+
+    #[test]
+    fn total_live_bytes_tracks_removals() {
+        let mut s = MemoryContainerStore::new();
+        s.write(container_with(1, 4)).unwrap();
+        assert_eq!(s.total_live_bytes(), 64);
+        assert_eq!(s.total_used_bytes(), 64);
+    }
+}

@@ -1,0 +1,199 @@
+//! Chunk-trace generation: synthetic backup streams at the *fingerprint*
+//! level, without materializing content.
+//!
+//! The paper's fslhomes and macos datasets are themselves chunk **traces**
+//! (fingerprint + size sequences collected by FSL), not raw data. Trace
+//! streams let experiments run at the paper's version counts (100–175
+//! versions) in seconds, because no bytes are generated, chunked, or hashed:
+//! the evolution model operates directly on chunk identities. Pair with the
+//! `backup_trace` entry points of the pipeline and HiDeStore.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One traced chunk: a stable identity plus its size in bytes.
+///
+/// Identities are mapped to fingerprints by the consumer (e.g.
+/// `Fingerprint::synthetic(chunk.id)`), keeping this crate free of hash
+/// dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceChunk {
+    /// Stable chunk identity: equal ids ⇔ duplicate chunks.
+    pub id: u64,
+    /// Chunk size in bytes.
+    pub size: u32,
+}
+
+/// Configuration of a [`TraceStream`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSpec {
+    /// Chunks in the first version.
+    pub initial_chunks: usize,
+    /// Mean chunk size in bytes (sizes vary ±50%).
+    pub mean_chunk_size: u32,
+    /// Fraction of chunks replaced by fresh ones each version.
+    pub churn: f64,
+    /// Fraction of new chunks appended each version.
+    pub growth: f64,
+    /// Fraction of chunk runs that flap (absent on even versions) —
+    /// the macos pattern.
+    pub flap: f64,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            initial_chunks: 4096,
+            mean_chunk_size: 4096,
+            churn: 0.03,
+            growth: 0.005,
+            flap: 0.0,
+        }
+    }
+}
+
+/// Deterministic generator of per-version chunk traces.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_workloads::{TraceSpec, TraceStream};
+///
+/// let mut stream = TraceStream::new(TraceSpec::default(), 7);
+/// let v1 = stream.next_version();
+/// let v2 = stream.next_version();
+/// let shared = v2.iter().filter(|c| v1.contains(c)).count();
+/// assert!(shared * 10 > v2.len() * 8, "versions are highly redundant");
+/// ```
+#[derive(Debug)]
+pub struct TraceStream {
+    spec: TraceSpec,
+    rng: StdRng,
+    chunks: Vec<TraceChunk>,
+    /// Indices of flapping chunks.
+    flapping: Vec<bool>,
+    next_id: u64,
+    version: u32,
+}
+
+impl TraceStream {
+    /// Creates the trace stream; deterministic per `(spec, seed)`.
+    pub fn new(spec: TraceSpec, seed: u64) -> Self {
+        let mut stream = TraceStream {
+            spec,
+            rng: StdRng::seed_from_u64(seed ^ 0x007A_CE57),
+            chunks: Vec::new(),
+            flapping: Vec::new(),
+            next_id: 0,
+            version: 0,
+        };
+        for _ in 0..spec.initial_chunks {
+            stream.push_new_chunk();
+        }
+        stream
+    }
+
+    fn push_new_chunk(&mut self) {
+        let mean = self.spec.mean_chunk_size;
+        let size = self.rng.gen_range(mean / 2..=mean * 3 / 2);
+        let flap = self.rng.gen_bool(self.spec.flap.clamp(0.0, 1.0));
+        self.chunks.push(TraceChunk { id: self.next_id, size });
+        self.flapping.push(flap);
+        self.next_id += 1;
+    }
+
+    /// Number of versions produced so far.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Produces the next version's chunk sequence.
+    pub fn next_version(&mut self) -> Vec<TraceChunk> {
+        self.version += 1;
+        if self.version > 1 {
+            // Churn: replace a fraction of chunks with fresh identities.
+            let replacements =
+                ((self.chunks.len() as f64) * self.spec.churn).round() as usize;
+            for _ in 0..replacements {
+                let i = self.rng.gen_range(0..self.chunks.len());
+                let mean = self.spec.mean_chunk_size;
+                let size = self.rng.gen_range(mean / 2..=mean * 3 / 2);
+                self.chunks[i] = TraceChunk { id: self.next_id, size };
+                self.next_id += 1;
+            }
+            // Growth: append new chunks.
+            let additions = ((self.chunks.len() as f64) * self.spec.growth).round() as usize;
+            for _ in 0..additions {
+                self.push_new_chunk();
+            }
+        }
+        self.chunks
+            .iter()
+            .zip(&self.flapping)
+            .filter(|&(_, &flap)| !(flap && self.version.is_multiple_of(2)))
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Generates `n` versions at once.
+    pub fn versions(mut self, n: u32) -> Vec<Vec<TraceChunk>> {
+        (0..n).map(|_| self.next_version()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = TraceStream::new(TraceSpec::default(), 1).versions(5);
+        let b = TraceStream::new(TraceSpec::default(), 1).versions(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn churn_rate_respected() {
+        let spec = TraceSpec { churn: 0.10, growth: 0.0, ..TraceSpec::default() };
+        let mut s = TraceStream::new(spec, 3);
+        let v1 = s.next_version();
+        let v2 = s.next_version();
+        let v1_ids: std::collections::HashSet<u64> = v1.iter().map(|c| c.id).collect();
+        let fresh = v2.iter().filter(|c| !v1_ids.contains(&c.id)).count();
+        let rate = fresh as f64 / v2.len() as f64;
+        assert!((0.05..0.15).contains(&rate), "churn rate {rate}");
+    }
+
+    #[test]
+    fn growth_extends_stream() {
+        let spec = TraceSpec { churn: 0.0, growth: 0.02, ..TraceSpec::default() };
+        let mut s = TraceStream::new(spec, 5);
+        let v1 = s.next_version();
+        let v5 = { s.next_version(); s.next_version(); s.next_version(); s.next_version() };
+        assert!(v5.len() > v1.len());
+    }
+
+    #[test]
+    fn flapping_alternates() {
+        let spec = TraceSpec { flap: 0.2, churn: 0.0, growth: 0.0, ..TraceSpec::default() };
+        let mut s = TraceStream::new(spec, 9);
+        let v1 = s.next_version();
+        let v2 = s.next_version();
+        let v3 = s.next_version();
+        assert!(v2.len() < v1.len(), "even versions drop flapping chunks");
+        assert_eq!(v1.len(), v3.len());
+    }
+
+    #[test]
+    fn ids_never_reused_after_churn() {
+        let spec = TraceSpec { churn: 0.5, ..TraceSpec::default() };
+        let mut s = TraceStream::new(spec, 11);
+        let mut seen_max = 0u64;
+        for _ in 0..5 {
+            let v = s.next_version();
+            let max = v.iter().map(|c| c.id).max().unwrap();
+            assert!(max >= seen_max);
+            seen_max = max;
+        }
+    }
+}

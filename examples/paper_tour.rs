@@ -1,0 +1,128 @@
+//! A guided tour of the paper's argument, executed live:
+//!
+//! 1. **The observation** (Figure 3): chunks absent from the current version
+//!    essentially never recur.
+//! 2. **The problem** (§2.3): the baseline's fragmentation grows with every
+//!    version.
+//! 3. **The system** (§4): HiDeStore's hot/cold classification keeps the
+//!    newest version physically dense — without losing a byte of
+//!    deduplication.
+//! 4. **The payoff** (§5.3, §5.5): faster restores of recent versions and
+//!    free deletion of expired ones.
+//!
+//! Run with: `cargo run --release --example paper_tour`
+
+use std::collections::HashMap;
+
+use hidestore::chunking::{chunk_spans, ChunkerKind};
+use hidestore::core::{HiDeStore, HiDeStoreConfig};
+use hidestore::dedup::{BackupPipeline, PipelineConfig};
+use hidestore::hash::Fingerprint;
+use hidestore::index::DdfsIndex;
+use hidestore::restore::Faa;
+use hidestore::rewriting::NoRewrite;
+use hidestore::storage::{MemoryContainerStore, VersionId};
+use hidestore::workloads::{Profile, VersionStream};
+
+const CHUNK: usize = 2048;
+const CONTAINER: usize = 256 * 1024;
+const N_VERSIONS: u32 = 10;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = Profile::Kernel.spec().scaled(6 << 20, N_VERSIONS);
+    let versions = VersionStream::new(spec, 2026).all_versions();
+    println!(
+        "workload: {} versions of ~{:.1} MB, kernel-like evolution\n",
+        versions.len(),
+        versions[0].len() as f64 / (1 << 20) as f64
+    );
+
+    // ---- 1. The observation (Figure 3) ----
+    let mut chunker = ChunkerKind::Tttd.build(CHUNK);
+    let mut tags: HashMap<Fingerprint, u32> = HashMap::new();
+    let mut v1_counts = Vec::new();
+    for (i, data) in versions.iter().enumerate() {
+        for span in chunk_spans(chunker.as_mut(), data) {
+            tags.insert(Fingerprint::of(&data[span]), i as u32 + 1);
+        }
+        v1_counts.push(tags.values().filter(|&&t| t == 1).count());
+    }
+    println!("1. the observation — chunks still tagged V1 after each backup:");
+    println!("   {:?}", v1_counts);
+    println!(
+        "   one sharp drop after V2, then flat: cold chunks never come back.\n"
+    );
+
+    // ---- 2. The problem: baseline fragmentation ----
+    let mut baseline = BackupPipeline::new(
+        PipelineConfig {
+            avg_chunk_size: CHUNK,
+            container_capacity: CONTAINER,
+            segment_chunks: 64,
+            ..PipelineConfig::default()
+        },
+        DdfsIndex::new(),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        baseline.backup(v)?;
+    }
+    let sf = |p: &mut BackupPipeline<_, _, _>, v: u32| {
+        p.restore(VersionId::new(v), &mut Faa::new(8 * CONTAINER), &mut std::io::sink())
+            .map(|r| r.speed_factor())
+    };
+    println!("2. the problem — baseline speed factor decays toward the newest version:");
+    print!("  ");
+    for v in [1u32, N_VERSIONS / 2, N_VERSIONS] {
+        print!("  V{v}: {:.3}", sf(&mut baseline, v)?);
+    }
+    println!(" MB/read\n");
+
+    // ---- 3. The system ----
+    let mut hds = HiDeStore::new(
+        HiDeStoreConfig {
+            avg_chunk_size: CHUNK,
+            container_capacity: CONTAINER,
+            ..HiDeStoreConfig::default()
+        },
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        hds.backup(v)?;
+    }
+    hds.flatten_recipes();
+    println!("3. the system — HiDeStore after the same ingest:");
+    println!(
+        "     dedup ratio {:.2}% (baseline/exact: {:.2}%) — nothing was rewritten",
+        hds.run_stats().dedup_ratio() * 100.0,
+        baseline.run_stats().dedup_ratio() * 100.0,
+    );
+    let newest = VersionId::new(N_VERSIONS);
+    let mut out = Vec::new();
+    let report = hds.restore(newest, &mut Faa::new(8 * CONTAINER), &mut out)?;
+    assert_eq!(out, versions[N_VERSIONS as usize - 1]);
+    println!(
+        "     newest version: {:.3} MB/read vs baseline {:.3} MB/read\n",
+        report.speed_factor(),
+        sf(&mut baseline, N_VERSIONS)?,
+    );
+
+    // ---- 4. The payoff: free deletion ----
+    let expired = VersionId::new(N_VERSIONS / 2);
+    let del = hds.delete_expired(expired)?;
+    println!(
+        "4. the payoff — expired versions 1..={} in {:?}: dropped {} whole containers, \
+         no chunk-liveness detection, no garbage collection",
+        expired.get(),
+        del.elapsed,
+        del.containers_dropped,
+    );
+    for v in expired.get() + 1..=N_VERSIONS {
+        let mut out = Vec::new();
+        hds.restore(VersionId::new(v), &mut Faa::new(8 * CONTAINER), &mut out)?;
+        assert_eq!(out, versions[v as usize - 1]);
+    }
+    println!("   every surviving version verified byte-exact.");
+    Ok(())
+}

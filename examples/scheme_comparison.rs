@@ -1,0 +1,106 @@
+//! Compares HiDeStore with the classic schemes on one synthetic workload:
+//! deduplication ratio, index lookups, and newest-version restore locality —
+//! a miniature of the paper's whole evaluation.
+//!
+//! Run with: `cargo run --release --example scheme_comparison`
+
+use hidestore::core::{HiDeStore, HiDeStoreConfig};
+use hidestore::dedup::{BackupPipeline, PipelineConfig};
+use hidestore::index::{DdfsIndex, FingerprintIndex, SiloConfig, SiloIndex};
+use hidestore::restore::Faa;
+use hidestore::rewriting::{Capping, NoRewrite};
+use hidestore::storage::{MemoryContainerStore, VersionId};
+use hidestore::workloads::{Profile, VersionStream};
+
+const CONTAINER: usize = 256 * 1024;
+const CHUNK: usize = 2048;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = Profile::Kernel.spec().scaled(4 << 20, 8);
+    let versions = VersionStream::new(spec, 1).all_versions();
+    let newest = VersionId::new(versions.len() as u32);
+    println!(
+        "workload: {} versions of ~{:.1} MB (kernel-like evolution)\n",
+        versions.len(),
+        versions[0].len() as f64 / (1 << 20) as f64
+    );
+    println!(
+        "{:<16} {:>12} {:>14} {:>22}",
+        "scheme", "dedup ratio", "disk lookups", "newest speed factor"
+    );
+
+    // DDFS: exact dedup, no rewriting.
+    let mut ddfs = BackupPipeline::new(
+        config(),
+        DdfsIndex::with_cache_containers(4),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        ddfs.backup(v)?;
+    }
+    let report = ddfs.restore(newest, &mut Faa::new(4 * CONTAINER), &mut std::io::sink())?;
+    println!(
+        "{:<16} {:>11.2}% {:>14} {:>18.3} MB/rd",
+        "DDFS",
+        ddfs.run_stats().dedup_ratio() * 100.0,
+        ddfs.index().disk_lookups(),
+        report.speed_factor()
+    );
+
+    // SiLo + Capping: near-exact dedup plus rewriting for locality.
+    let mut capped = BackupPipeline::new(
+        config(),
+        SiloIndex::new(SiloConfig { cached_blocks: 4, ..SiloConfig::default() }),
+        Capping::new(8),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        capped.backup(v)?;
+    }
+    let report = capped.restore(newest, &mut Faa::new(4 * CONTAINER), &mut std::io::sink())?;
+    println!(
+        "{:<16} {:>11.2}% {:>14} {:>18.3} MB/rd",
+        "SiLo+Capping",
+        capped.run_stats().dedup_ratio() * 100.0,
+        capped.index().disk_lookups(),
+        report.speed_factor()
+    );
+
+    // HiDeStore.
+    let mut hds = HiDeStore::new(
+        HiDeStoreConfig {
+            avg_chunk_size: CHUNK,
+            container_capacity: CONTAINER,
+            ..HiDeStoreConfig::default()
+        },
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        hds.backup(v)?;
+    }
+    let lookups: u64 = hds.version_stats().iter().map(|s| s.lookup_requests).sum();
+    let report = hds.restore(newest, &mut Faa::new(4 * CONTAINER), &mut std::io::sink())?;
+    println!(
+        "{:<16} {:>11.2}% {:>14} {:>18.3} MB/rd",
+        "HiDeStore",
+        hds.run_stats().dedup_ratio() * 100.0,
+        lookups,
+        report.speed_factor()
+    );
+
+    println!(
+        "\nHiDeStore keeps the exact-dedup ratio, needs no full-index lookups, and restores \
+         the newest version from the densest layout."
+    );
+    Ok(())
+}
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        avg_chunk_size: CHUNK,
+        container_capacity: CONTAINER,
+        segment_chunks: 64,
+        ..PipelineConfig::default()
+    }
+}

@@ -1,0 +1,277 @@
+//! `hidestore` — command-line interface to a HiDeStore backup repository.
+//!
+//! ```text
+//! hidestore init    <repo>                      create an empty repository
+//! hidestore backup  <repo> <file>               back up a file as the next version
+//! hidestore restore <repo> <version> <outfile>  restore a version to a file
+//! hidestore list    <repo>                      list retained versions
+//! hidestore prune   <repo> <keep-last-N>        expire all but the newest N versions
+//! hidestore verify  <repo>                      integrity scrub
+//! hidestore flatten <repo>                      run Algorithm 1 on the recipe chain
+//! hidestore recluster <repo>                    defragment old versions' archival layout
+//! hidestore stats   <repo>                      per-version fragmentation statistics
+//! ```
+
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use hidestore::core::{HiDeStore, HiDeStoreConfig};
+use hidestore::restore::Faa;
+use hidestore::storage::{ContainerStore, FileContainerStore, VersionId};
+
+const CONFIG_FILE: &str = "config";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  hidestore init    <repo> [--chunk <bytes>] [--container <bytes>] [--depth <1|2>]\n  \
+         hidestore backup  <repo> <file>\n  \
+         hidestore restore <repo> <version> <outfile>\n  \
+         hidestore list    <repo>\n  \
+         hidestore prune   <repo> <keep-last-N>\n  \
+         hidestore verify  <repo>\n  \
+         hidestore flatten <repo>\n  \
+         hidestore recluster <repo>\n  \
+         hidestore stats   <repo>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.as_slice() {
+        [cmd, rest @ ..] => match (cmd.as_str(), rest) {
+            ("init", [repo, opts @ ..]) => cmd_init(repo, opts),
+            ("backup", [repo, file]) => cmd_backup(repo, file),
+            ("restore", [repo, version, outfile]) => cmd_restore(repo, version, outfile),
+            ("list", [repo]) => cmd_list(repo),
+            ("prune", [repo, keep]) => cmd_prune(repo, keep),
+            ("verify", [repo]) => cmd_verify(repo),
+            ("flatten", [repo]) => cmd_flatten(repo),
+            ("recluster", [repo]) => cmd_recluster(repo),
+            ("stats", [repo]) => cmd_stats(repo),
+            _ => return usage(),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_config(repo: &str) -> Result<HiDeStoreConfig, Box<dyn std::error::Error>> {
+    let mut config = HiDeStoreConfig::default();
+    let path = Path::new(repo).join(CONFIG_FILE);
+    if !path.exists() {
+        return Err(format!("{repo} is not a hidestore repository (run `init` first)").into());
+    }
+    for line in fs::read_to_string(path)?.lines() {
+        let Some((key, value)) = line.split_once('=') else { continue };
+        match key.trim() {
+            "chunk" => config.avg_chunk_size = value.trim().parse()?,
+            "container" => config.container_capacity = value.trim().parse()?,
+            "depth" => config.history_depth = value.trim().parse()?,
+            _ => {}
+        }
+    }
+    Ok(config)
+}
+
+fn open(repo: &str) -> Result<HiDeStore<FileContainerStore>, Box<dyn std::error::Error>> {
+    let config = load_config(repo)?;
+    Ok(HiDeStore::open_repository(config, repo)?)
+}
+
+fn cmd_init(repo: &str, opts: &[String]) -> CliResult {
+    let mut config = HiDeStoreConfig::default();
+    let mut it = opts.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--chunk" => config.avg_chunk_size = value.parse()?,
+            "--container" => config.container_capacity = value.parse()?,
+            "--depth" => config.history_depth = value.parse()?,
+            other => return Err(format!("unknown option {other}").into()),
+        }
+    }
+    config.validate();
+    let dir = Path::new(repo);
+    if dir.join(CONFIG_FILE).exists() {
+        return Err(format!("{repo} already contains a repository").into());
+    }
+    fs::create_dir_all(dir)?;
+    fs::write(
+        dir.join(CONFIG_FILE),
+        format!(
+            "chunk={}\ncontainer={}\ndepth={}\n",
+            config.avg_chunk_size, config.container_capacity, config.history_depth
+        ),
+    )?;
+    // Materialize the directory layout.
+    let system = HiDeStore::open_repository(config, repo)?;
+    system.save_repository(repo)?;
+    println!(
+        "initialized repository at {repo} (chunk {} B, container {} B, history depth {})",
+        config.avg_chunk_size, config.container_capacity, config.history_depth
+    );
+    Ok(())
+}
+
+fn cmd_backup(repo: &str, file: &str) -> CliResult {
+    let data = fs::read(file)?;
+    let mut system = open(repo)?;
+    let stats = system.backup(&data)?;
+    system.save_repository(repo)?;
+    println!(
+        "{} -> {}: {} bytes, {} chunks, {} new bytes stored ({:.1}% deduplicated), \
+         {} cold chunks archived",
+        file,
+        stats.version,
+        stats.logical_bytes,
+        stats.chunks,
+        stats.stored_bytes,
+        stats.dedup_ratio() * 100.0,
+        stats.cold_chunks,
+    );
+    Ok(())
+}
+
+fn cmd_restore(repo: &str, version: &str, outfile: &str) -> CliResult {
+    let v: u32 = version.trim_start_matches(['v', 'V']).parse()?;
+    let mut system = open(repo)?;
+    let mut out = Vec::new();
+    let report = system.restore(VersionId::new(v), &mut Faa::new(32 << 20), &mut out)?;
+    fs::write(outfile, &out)?;
+    println!(
+        "restored V{v} to {outfile}: {} bytes, {} container reads (speed factor {:.2} MB/read)",
+        report.bytes_restored,
+        report.container_reads,
+        report.speed_factor(),
+    );
+    Ok(())
+}
+
+fn cmd_list(repo: &str) -> CliResult {
+    let system = open(repo)?;
+    if system.versions().is_empty() {
+        println!("repository is empty");
+        return Ok(());
+    }
+    println!("{:>8}  {:>12}  {:>8}", "version", "bytes", "chunks");
+    for v in system.versions() {
+        let recipe = system.recipes().get(v).expect("listed version exists");
+        println!("{:>8}  {:>12}  {:>8}", v.to_string(), recipe.total_bytes(), recipe.len());
+    }
+    println!(
+        "{} archival containers, {} active containers ({} hot chunks)",
+        system.archival().len(),
+        system.pool().container_count(),
+        system.pool().chunk_count(),
+    );
+    Ok(())
+}
+
+fn cmd_prune(repo: &str, keep: &str) -> CliResult {
+    let keep: u32 = keep.parse()?;
+    if keep == 0 {
+        return Err("must keep at least one version".into());
+    }
+    let mut system = open(repo)?;
+    let Some(newest) = system.versions().last().copied() else {
+        println!("repository is empty");
+        return Ok(());
+    };
+    if newest.get() <= keep {
+        println!("nothing to prune ({} versions retained)", system.versions().len());
+        return Ok(());
+    }
+    let report = system.delete_expired(VersionId::new(newest.get() - keep))?;
+    system.save_repository(repo)?;
+    println!(
+        "pruned {} versions, dropped {} containers, reclaimed {} bytes in {:?} (no GC)",
+        report.versions_removed, report.containers_dropped, report.bytes_reclaimed, report.elapsed,
+    );
+    Ok(())
+}
+
+fn cmd_verify(repo: &str) -> CliResult {
+    let mut system = open(repo)?;
+    let report = system.scrub()?;
+    println!(
+        "checked {} containers, {} chunks, {} recipes",
+        report.containers_checked, report.chunks_checked, report.recipes_checked,
+    );
+    if report.is_clean() {
+        println!("repository is clean");
+        Ok(())
+    } else {
+        for (container, fp) in &report.corrupt_chunks {
+            eprintln!("CORRUPT: chunk {fp} in container {container}");
+        }
+        Err(format!("{} corrupt chunks found", report.corrupt_chunks.len()).into())
+    }
+}
+
+fn cmd_stats(repo: &str) -> CliResult {
+    use hidestore::dedup::analysis::analyze_plan;
+    let system = open(repo)?;
+    if system.versions().is_empty() {
+        println!("repository is empty");
+        return Ok(());
+    }
+    let capacity = system.config().container_capacity;
+    println!(
+        "{:>8}  {:>12}  {:>8}  {:>6}  {:>12}",
+        "version", "bytes", "chunks", "CFL", "KiB/container"
+    );
+    for v in system.versions() {
+        let recipe = system.recipes().get(v).expect("listed version exists");
+        let plan = hidestore::core::chain::resolve_plan(system.recipes(), system.pool(), v)?;
+        let report =
+            analyze_plan(plan.into_iter().map(|(_, size, cid)| (size, cid)), capacity);
+        println!(
+            "{:>8}  {:>12}  {:>8}  {:>6.3}  {:>12.1}",
+            v.to_string(),
+            recipe.total_bytes(),
+            recipe.len(),
+            report.cfl,
+            report.mean_bytes_per_container / 1024.0,
+        );
+    }
+    println!(
+        "pool: {} containers, {} hot chunks, {:.1} KiB live",
+        system.pool().container_count(),
+        system.pool().chunk_count(),
+        system.pool().live_bytes() as f64 / 1024.0,
+    );
+    Ok(())
+}
+
+fn cmd_recluster(repo: &str) -> CliResult {
+    let mut system = open(repo)?;
+    let report = system.recluster_archival()?;
+    system.save_repository(repo)?;
+    println!(
+        "reclustered {} tag groups: {} containers rewritten, {} chunks moved, \
+         {} recipe entries updated",
+        report.tag_groups,
+        report.containers_rewritten,
+        report.chunks_moved,
+        report.recipe_entries_updated,
+    );
+    Ok(())
+}
+
+fn cmd_flatten(repo: &str) -> CliResult {
+    let mut system = open(repo)?;
+    let (updated, elapsed) = system.flatten_recipes();
+    system.save_repository(repo)?;
+    println!("flattened recipe chains: {updated} entries updated in {elapsed:?}");
+    Ok(())
+}

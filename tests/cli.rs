@@ -1,0 +1,169 @@
+//! Integration tests driving the `hidestore` CLI binary end-to-end.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hidestore")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("binary launches")
+}
+
+fn temp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hidestore-cli-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn noise(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn full_cli_lifecycle() {
+    let repo = temp("lifecycle");
+    let repo_s = repo.to_str().unwrap();
+    let data_dir = temp("lifecycle-data");
+    fs::create_dir_all(&data_dir).unwrap();
+
+    // init
+    let out = run(&["init", repo_s, "--chunk", "1024", "--container", "65536"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // three backups of an evolving file
+    let mut content = noise(200_000, 1);
+    for i in 0..3u64 {
+        let f = data_dir.join(format!("v{i}.bin"));
+        fs::write(&f, &content).unwrap();
+        let out = run(&["backup", repo_s, f.to_str().unwrap()]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        content[5_000..9_000].copy_from_slice(&noise(4_000, 100 + i));
+    }
+
+    // list shows three versions
+    let out = run(&["list", repo_s]);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("V1") && text.contains("V3"), "{text}");
+
+    // verify is clean
+    let out = run(&["verify", repo_s]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+
+    // restore V1 and compare
+    let restored = data_dir.join("restored.bin");
+    let out = run(&["restore", repo_s, "1", restored.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(fs::read(&restored).unwrap(), fs::read(data_dir.join("v0.bin")).unwrap());
+
+    // prune to the last 2; V1 must disappear, V2/V3 must survive
+    let out = run(&["prune", repo_s, "2"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = run(&["list", repo_s]);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(!text.contains("V1 "), "pruned version still listed: {text}");
+    let out = run(&["restore", repo_s, "3", restored.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert_eq!(fs::read(&restored).unwrap(), fs::read(data_dir.join("v2.bin")).unwrap());
+
+    // flatten succeeds
+    let out = run(&["flatten", repo_s]);
+    assert!(out.status.success());
+
+    fs::remove_dir_all(&repo).unwrap();
+    fs::remove_dir_all(&data_dir).unwrap();
+}
+
+#[test]
+fn verify_detects_corruption() {
+    let repo = temp("corrupt");
+    let repo_s = repo.to_str().unwrap();
+    run(&["init", repo_s, "--chunk", "1024", "--container", "32768"]);
+    let f = repo.join("input.bin");
+    fs::write(&f, noise(100_000, 9)).unwrap();
+    run(&["backup", repo_s, f.to_str().unwrap()]);
+    // Force chunks into archival containers: a second, different backup.
+    fs::write(&f, noise(100_000, 10)).unwrap();
+    run(&["backup", repo_s, f.to_str().unwrap()]);
+
+    // Flip bytes inside an archival container's data section.
+    let archival = repo.join("archival");
+    let victim = fs::read_dir(&archival)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.file_name().to_string_lossy().ends_with(".ctr"))
+        .expect("archival container exists");
+    let mut bytes = fs::read(victim.path()).unwrap();
+    let n = bytes.len();
+    for b in &mut bytes[n - 64..] {
+        *b ^= 0xFF;
+    }
+    fs::write(victim.path(), bytes).unwrap();
+
+    let out = run(&["verify", repo_s]);
+    assert!(!out.status.success(), "verify must fail on corruption");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CORRUPT"));
+
+    fs::remove_dir_all(&repo).unwrap();
+}
+
+#[test]
+fn init_refuses_double_init_and_bad_args() {
+    let repo = temp("doubleinit");
+    let repo_s = repo.to_str().unwrap();
+    assert!(run(&["init", repo_s]).status.success());
+    assert!(!run(&["init", repo_s]).status.success(), "second init must fail");
+    assert!(!run(&["backup", "/definitely/not/a/repo", "/etc/hostname"]).status.success());
+    assert!(!run(&["bogus-command"]).status.success());
+    fs::remove_dir_all(&repo).unwrap();
+}
+
+#[test]
+fn restore_unknown_version_fails_cleanly() {
+    let repo = temp("unknown");
+    let repo_s = repo.to_str().unwrap();
+    run(&["init", repo_s]);
+    let out = run(&["restore", repo_s, "7", "/tmp/never-written.bin"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    fs::remove_dir_all(&repo).unwrap();
+}
+
+#[test]
+fn recluster_keeps_repository_restorable() {
+    let repo = temp("recluster");
+    let repo_s = repo.to_str().unwrap();
+    run(&["init", repo_s, "--chunk", "1024", "--container", "8192"]);
+    let f = repo.join("input.bin");
+    let mut content = noise(120_000, 77);
+    for i in 0..4u64 {
+        fs::write(&f, &content).unwrap();
+        assert!(run(&["backup", repo_s, f.to_str().unwrap()]).status.success());
+        content[(i as usize * 25_000) % 90_000..][..20_000]
+            .copy_from_slice(&noise(20_000, 300 + i));
+    }
+    let snapshot_v1 = {
+        let restored = repo.join("v1-before.bin");
+        run(&["restore", repo_s, "1", restored.to_str().unwrap()]);
+        fs::read(&restored).unwrap()
+    };
+    let out = run(&["recluster", repo_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let restored = repo.join("v1-after.bin");
+    assert!(run(&["restore", repo_s, "1", restored.to_str().unwrap()]).status.success());
+    assert_eq!(fs::read(&restored).unwrap(), snapshot_v1);
+    // Still verifies clean.
+    assert!(run(&["verify", repo_s]).status.success());
+    fs::remove_dir_all(&repo).unwrap();
+}

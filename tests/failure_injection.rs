@@ -1,0 +1,173 @@
+//! Failure injection: the container store fails mid-operation and the
+//! system must degrade safely — a failed backup never corrupts the versions
+//! already retained.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hidestore::core::{HiDeStore, HiDeStoreConfig};
+use hidestore::dedup::{BackupPipeline, PipelineConfig};
+use hidestore::index::DdfsIndex;
+use hidestore::restore::Faa;
+use hidestore::rewriting::NoRewrite;
+use hidestore::storage::{
+    Container, ContainerId, ContainerStore, IoStats, MemoryContainerStore, StorageError,
+    VersionId,
+};
+
+/// A store that fails every write once `fail_after_writes` have succeeded.
+#[derive(Debug)]
+struct FlakyStore {
+    inner: MemoryContainerStore,
+    writes: Arc<AtomicU64>,
+    fail_after_writes: u64,
+}
+
+impl FlakyStore {
+    fn new(fail_after_writes: u64) -> Self {
+        FlakyStore {
+            inner: MemoryContainerStore::new(),
+            writes: Arc::new(AtomicU64::new(0)),
+            fail_after_writes,
+        }
+    }
+
+    fn disarm(&mut self) {
+        self.fail_after_writes = u64::MAX;
+    }
+}
+
+impl ContainerStore for FlakyStore {
+    fn write(&mut self, container: Container) -> Result<(), StorageError> {
+        let n = self.writes.fetch_add(1, Ordering::SeqCst);
+        if n >= self.fail_after_writes {
+            return Err(StorageError::Io(std::io::Error::other("injected write failure")));
+        }
+        self.inner.write(container)
+    }
+
+    fn read(&mut self, id: ContainerId) -> Result<std::sync::Arc<Container>, StorageError> {
+        self.inner.read(id)
+    }
+
+    fn contains(&self, id: ContainerId) -> bool {
+        self.inner.contains(id)
+    }
+
+    fn remove(&mut self, id: ContainerId) -> Result<(), StorageError> {
+        self.inner.remove(id)
+    }
+
+    fn replace(&mut self, container: Container) -> Result<(), StorageError> {
+        self.inner.replace(container)
+    }
+
+    fn ids(&self) -> Vec<ContainerId> {
+        self.inner.ids()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats()
+    }
+}
+
+fn noise(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+fn hds_config() -> HiDeStoreConfig {
+    HiDeStoreConfig {
+        avg_chunk_size: 1024,
+        container_capacity: 16 * 1024,
+        ..HiDeStoreConfig::default()
+    }
+}
+
+#[test]
+fn hidestore_failed_demotion_preserves_old_versions() {
+    // Fail on every archival write from the start: the first demotion (at
+    // the end of version 2) errors out.
+    let mut hds = HiDeStore::new(hds_config(), FlakyStore::new(0));
+    let v1 = noise(100_000, 1);
+    let v2 = noise(100_000, 2); // fully different: everything of v1 goes cold
+    hds.backup(&v1).unwrap();
+    let err = hds.backup(&v2).unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+
+    // Both versions must still restore byte-exact from the intact pool.
+    hds.archival_mut().disarm();
+    for (v, expect) in [(1u32, &v1), (2, &v2)] {
+        let mut out = Vec::new();
+        hds.restore(VersionId::new(v), &mut Faa::new(1 << 18), &mut out)
+            .unwrap_or_else(|e| panic!("V{v} must survive the failed demotion: {e}"));
+        assert_eq!(&out, expect, "V{v}");
+    }
+}
+
+#[test]
+fn hidestore_recovers_on_next_backup_after_failure() {
+    // One failed demotion, then the store heals: subsequent backups work
+    // and the whole history remains restorable.
+    let mut hds = HiDeStore::new(hds_config(), FlakyStore::new(0));
+    let v1 = noise(80_000, 3);
+    let v2 = noise(80_000, 4);
+    let mut v3 = v2.clone();
+    v3.extend_from_slice(&noise(5_000, 5));
+    hds.backup(&v1).unwrap();
+    hds.backup(&v2).unwrap_err();
+    hds.archival_mut().disarm();
+    hds.backup(&v3).unwrap();
+    for (v, expect) in [(1u32, &v1), (2, &v2), (3, &v3)] {
+        let mut out = Vec::new();
+        hds.restore(VersionId::new(v), &mut Faa::new(1 << 18), &mut out)
+            .unwrap_or_else(|e| panic!("V{v}: {e}"));
+        assert_eq!(&out, expect, "V{v}");
+    }
+}
+
+#[test]
+fn pipeline_failed_backup_preserves_old_versions() {
+    let mut p = BackupPipeline::new(
+        PipelineConfig {
+            avg_chunk_size: 1024,
+            container_capacity: 16 * 1024,
+            segment_chunks: 32,
+            ..PipelineConfig::default()
+        },
+        DdfsIndex::new(),
+        NoRewrite::new(),
+        FlakyStore::new(10),
+    );
+    let v1 = noise(100_000, 7);
+    p.backup(&v1).unwrap();
+    // A big unique version blows past the write budget.
+    let err = p.backup(&noise(400_000, 8)).unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+    p.store_mut().disarm();
+    let mut out = Vec::new();
+    p.restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out).unwrap();
+    assert_eq!(out, v1, "V1 must survive the failed ingest");
+}
+
+#[test]
+fn scrub_passes_after_recovered_failure() {
+    let mut hds = HiDeStore::new(hds_config(), FlakyStore::new(0));
+    hds.backup(&noise(60_000, 9)).unwrap();
+    hds.backup(&noise(60_000, 10)).unwrap_err();
+    hds.archival_mut().disarm();
+    hds.backup(&noise(60_000, 11)).unwrap();
+    let report = hds.scrub().unwrap();
+    assert!(report.is_clean(), "{:?}", report.corrupt_chunks);
+}

@@ -1,0 +1,358 @@
+//! Property-based tests over the core invariants of the whole stack.
+
+use proptest::prelude::*;
+
+use hidestore::chunking::{chunk_spans, ChunkerKind};
+use hidestore::core::{HiDeStore, HiDeStoreConfig};
+use hidestore::dedup::{BackupPipeline, PipelineConfig};
+use hidestore::hash::{Fingerprint, Sha1};
+use hidestore::index::DdfsIndex;
+use hidestore::restore::Faa;
+use hidestore::rewriting::NoRewrite;
+use hidestore::storage::{
+    Cid, Container, ContainerId, MemoryContainerStore, Recipe, RecipeEntry, VersionId,
+};
+
+/// An arbitrary sequence of version edits applied to an initial buffer.
+#[derive(Debug, Clone)]
+enum Edit {
+    Overwrite { at: usize, data: Vec<u8> },
+    Insert { at: usize, data: Vec<u8> },
+    Delete { at: usize, len: usize },
+    Append { data: Vec<u8> },
+}
+
+fn edit_strategy() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (0usize..50_000, proptest::collection::vec(any::<u8>(), 1..3000))
+            .prop_map(|(at, data)| Edit::Overwrite { at, data }),
+        (0usize..50_000, proptest::collection::vec(any::<u8>(), 1..2000))
+            .prop_map(|(at, data)| Edit::Insert { at, data }),
+        (0usize..50_000, 1usize..2000).prop_map(|(at, len)| Edit::Delete { at, len }),
+        proptest::collection::vec(any::<u8>(), 1..3000).prop_map(|data| Edit::Append { data }),
+    ]
+}
+
+fn apply(mut base: Vec<u8>, edit: &Edit) -> Vec<u8> {
+    match edit {
+        Edit::Overwrite { at, data } => {
+            let at = at % base.len().max(1);
+            let end = (at + data.len()).min(base.len());
+            if at < base.len() {
+                base[at..end].copy_from_slice(&data[..end - at]);
+            }
+            base
+        }
+        Edit::Insert { at, data } => {
+            let at = at % (base.len() + 1);
+            let tail = base.split_off(at);
+            base.extend_from_slice(data);
+            base.extend_from_slice(&tail);
+            base
+        }
+        Edit::Delete { at, len } => {
+            if base.is_empty() {
+                return base;
+            }
+            let at = at % base.len();
+            let end = (at + len).min(base.len());
+            // Never delete everything: keep at least one byte.
+            if end - at < base.len() {
+                base.drain(at..end);
+            }
+            base
+        }
+        Edit::Append { data } => {
+            base.extend_from_slice(data);
+            base
+        }
+    }
+}
+
+fn version_history(seed_len: usize, edits: &[Edit]) -> Vec<Vec<u8>> {
+    let mut current: Vec<u8> =
+        (0..seed_len).map(|i| (i as u64).wrapping_mul(0x9E37_79B9).to_le_bytes()[0]).collect();
+    let mut versions = vec![current.clone()];
+    for e in edits {
+        current = apply(current, e);
+        versions.push(current.clone());
+    }
+    versions
+}
+
+fn hds_config() -> HiDeStoreConfig {
+    HiDeStoreConfig {
+        avg_chunk_size: 512,
+        container_capacity: 16 * 1024,
+        ..HiDeStoreConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// restore(backup(x)) == x for HiDeStore over arbitrary edit histories.
+    #[test]
+    fn hidestore_round_trips_arbitrary_histories(
+        seed_len in 2_000usize..30_000,
+        edits in proptest::collection::vec(edit_strategy(), 1..6),
+    ) {
+        let versions = version_history(seed_len, &edits);
+        let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+        for v in &versions {
+            hds.backup(v).unwrap();
+        }
+        for (i, expect) in versions.iter().enumerate() {
+            let mut out = Vec::new();
+            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
+            prop_assert_eq!(&out, expect, "version {}", i + 1);
+        }
+    }
+
+    /// Flattening never changes restored bytes.
+    #[test]
+    fn flatten_preserves_restores(
+        seed_len in 2_000usize..20_000,
+        edits in proptest::collection::vec(edit_strategy(), 1..5),
+    ) {
+        let versions = version_history(seed_len, &edits);
+        let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+        for v in &versions {
+            hds.backup(v).unwrap();
+        }
+        let mut before = Vec::new();
+        for i in 0..versions.len() {
+            let mut out = Vec::new();
+            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
+            before.push(out);
+        }
+        hds.flatten_recipes();
+        for (i, expect) in before.iter().enumerate() {
+            let mut out = Vec::new();
+            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
+            prop_assert_eq!(&out, expect, "version {}", i + 1);
+        }
+    }
+
+    /// Deleting an expired prefix never corrupts the survivors.
+    #[test]
+    fn deletion_preserves_survivors(
+        seed_len in 2_000usize..20_000,
+        edits in proptest::collection::vec(edit_strategy(), 3..7),
+        expire_frac in 0.1f64..0.8,
+    ) {
+        let versions = version_history(seed_len, &edits);
+        let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+        for v in &versions {
+            hds.backup(v).unwrap();
+        }
+        let up_to = ((versions.len() as f64 * expire_frac) as u32).clamp(1, versions.len() as u32 - 1);
+        hds.delete_expired(VersionId::new(up_to)).unwrap();
+        for v in up_to + 1..=versions.len() as u32 {
+            let mut out = Vec::new();
+            hds.restore(VersionId::new(v), &mut Faa::new(1 << 18), &mut out).unwrap();
+            prop_assert_eq!(&out, &versions[(v - 1) as usize], "survivor V{}", v);
+        }
+    }
+
+    /// The baseline pipeline round-trips arbitrary histories too.
+    #[test]
+    fn pipeline_round_trips_arbitrary_histories(
+        seed_len in 2_000usize..20_000,
+        edits in proptest::collection::vec(edit_strategy(), 1..5),
+    ) {
+        let versions = version_history(seed_len, &edits);
+        let mut p = BackupPipeline::new(
+            PipelineConfig {
+                avg_chunk_size: 512,
+                container_capacity: 16 * 1024,
+                segment_chunks: 16,
+                ..PipelineConfig::default()
+            },
+            DdfsIndex::new(),
+            NoRewrite::new(),
+            MemoryContainerStore::new(),
+        );
+        for v in &versions {
+            p.backup(v).unwrap();
+        }
+        for (i, expect) in versions.iter().enumerate() {
+            let mut out = Vec::new();
+            p.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
+            prop_assert_eq!(&out, expect, "version {}", i + 1);
+        }
+    }
+
+    /// Chunkers cover the stream exactly and respect their bounds on
+    /// arbitrary data.
+    #[test]
+    fn chunkers_cover_arbitrary_data(
+        data in proptest::collection::vec(any::<u8>(), 1..60_000),
+        kind_idx in 0usize..5,
+    ) {
+        let kind = ChunkerKind::ALL[kind_idx];
+        let mut chunker = kind.build(1024);
+        let spans = chunk_spans(chunker.as_mut(), &data);
+        prop_assert_eq!(spans.first().map(|s| s.start), Some(0));
+        prop_assert_eq!(spans.last().map(|s| s.end), Some(data.len()));
+        for w in spans.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        for s in &spans {
+            prop_assert!(s.len() <= chunker.max_size());
+        }
+    }
+
+    /// SHA-1 incremental hashing equals one-shot hashing for arbitrary
+    /// splits.
+    #[test]
+    fn sha1_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..5_000),
+        split_points in proptest::collection::vec(any::<proptest::sample::Index>(), 0..5),
+    ) {
+        let expect = Sha1::hash(&data);
+        let mut splits: Vec<usize> =
+            split_points.iter().map(|ix| ix.index(data.len() + 1)).collect();
+        splits.sort_unstable();
+        let mut h = Sha1::new();
+        let mut prev = 0;
+        for s in splits {
+            h.update(&data[prev..s]);
+            prev = s;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), expect);
+    }
+
+    /// Containers round-trip arbitrary chunk sets through encode/decode.
+    #[test]
+    fn container_encode_decode_arbitrary(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..500), 1..20),
+    ) {
+        let mut c = Container::new(ContainerId::new(1), 1 << 20);
+        let mut kept = Vec::new();
+        for (i, data) in chunks.iter().enumerate() {
+            let fp = Fingerprint::synthetic(i as u64);
+            if c.try_add(fp, data) {
+                kept.push((fp, data.clone()));
+            }
+        }
+        let decoded = Container::decode(&c.encode()).unwrap();
+        prop_assert_eq!(decoded.chunk_count(), kept.len());
+        for (fp, data) in kept {
+            prop_assert_eq!(decoded.get(&fp), Some(&data[..]));
+        }
+    }
+
+    /// Recipes round-trip arbitrary entries through encode/decode.
+    #[test]
+    fn recipe_encode_decode_arbitrary(
+        entries in proptest::collection::vec((any::<u64>(), any::<u32>(), any::<i32>()), 0..100),
+        version in 1u32..10_000,
+    ) {
+        let mut r = Recipe::new(VersionId::new(version));
+        for &(fp, size, cid) in &entries {
+            r.push(RecipeEntry::new(Fingerprint::synthetic(fp), size, Cid::from_raw(cid)));
+        }
+        let decoded = Recipe::decode(&r.encode()).unwrap();
+        prop_assert_eq!(decoded, r);
+    }
+
+    /// HiDeStore's dedup ratio never falls below zero and two identical
+    /// consecutive versions always dedup the second fully.
+    #[test]
+    fn identical_versions_fully_deduplicated(
+        seed_len in 2_000usize..20_000,
+    ) {
+        let versions = version_history(seed_len, &[]);
+        let data = &versions[0];
+        let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+        hds.backup(data).unwrap();
+        let s2 = hds.backup(data).unwrap();
+        prop_assert_eq!(s2.stored_bytes, 0);
+        prop_assert_eq!(s2.cold_chunks, 0);
+    }
+}
+
+// ---- Additional properties over the streaming and maintenance paths ----
+
+use hidestore::chunking::{StreamChunker, TttdChunker};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Streaming chunking produces the same boundaries as whole-stream
+    /// chunking for arbitrary data and arbitrary push sizes.
+    #[test]
+    fn stream_chunker_equals_whole_stream(
+        data in proptest::collection::vec(any::<u8>(), 1..80_000),
+        push in 1usize..10_000,
+    ) {
+        let mut whole = TttdChunker::new(1024);
+        let expect: Vec<usize> =
+            chunk_spans(&mut whole, &data).iter().map(|s| s.len()).collect();
+        let mut got = Vec::new();
+        let mut stream = StreamChunker::new(TttdChunker::new(1024));
+        for piece in data.chunks(push) {
+            stream.push(piece, |c| got.push(c.len()));
+        }
+        stream.finish(|c| got.push(c.len()));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Archival re-clustering never changes restored bytes, for arbitrary
+    /// version histories.
+    #[test]
+    fn recluster_preserves_bytes(
+        seed_len in 4_000usize..20_000,
+        edits in proptest::collection::vec(edit_strategy(), 2..6),
+    ) {
+        let versions = version_history(seed_len, &edits);
+        let mut hds = HiDeStore::new(
+            HiDeStoreConfig {
+                avg_chunk_size: 512,
+                container_capacity: 8 * 1024,
+                ..HiDeStoreConfig::default()
+            },
+            MemoryContainerStore::new(),
+        );
+        for v in &versions {
+            hds.backup(v).unwrap();
+        }
+        hds.recluster_archival().unwrap();
+        for (i, expect) in versions.iter().enumerate() {
+            let mut out = Vec::new();
+            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
+            prop_assert_eq!(&out, expect, "version {}", i + 1);
+        }
+    }
+
+    /// Cid sign encoding round-trips through raw i32 for all values.
+    #[test]
+    fn cid_raw_round_trip(raw in any::<i32>()) {
+        let cid = Cid::from_raw(raw);
+        prop_assert_eq!(cid.raw(), raw);
+        match raw {
+            0 => prop_assert!(cid.is_active()),
+            r if r > 0 => prop_assert_eq!(cid.as_archival().map(|c| c.get() as i32), Some(r)),
+            r => prop_assert_eq!(cid.as_chained().map(|v| -(v.get() as i32)), Some(r)),
+        }
+    }
+
+    /// backup_reader equals backup for arbitrary histories and read sizes.
+    #[test]
+    fn reader_equals_slice_backup(
+        seed_len in 2_000usize..30_000,
+        edit in edit_strategy(),
+    ) {
+        let versions = version_history(seed_len, &[edit]);
+        let mut a = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+        let mut b = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+        for v in &versions {
+            let sa = a.backup(v).unwrap();
+            let sb = b.backup_reader(&v[..]).unwrap();
+            prop_assert_eq!(sa.chunks, sb.chunks);
+            prop_assert_eq!(sa.stored_bytes, sb.stored_bytes);
+        }
+    }
+}

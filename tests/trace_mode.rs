@@ -1,0 +1,159 @@
+//! Integration tests for trace-driven backup: the long-horizon behaviour the
+//! paper's scalability claims rest on, runnable in seconds because no
+//! content is generated or hashed.
+
+use hidestore::core::{HiDeStore, HiDeStoreConfig};
+use hidestore::dedup::{BackupPipeline, PipelineConfig};
+use hidestore::hash::Fingerprint;
+use hidestore::index::DdfsIndex;
+use hidestore::restore::Faa;
+use hidestore::rewriting::NoRewrite;
+use hidestore::storage::{MemoryContainerStore, VersionId};
+use hidestore::workloads::{TraceSpec, TraceStream};
+
+fn trace_versions(n: u32, churn: f64) -> Vec<Vec<(Fingerprint, u32)>> {
+    let spec = TraceSpec {
+        initial_chunks: 2048,
+        mean_chunk_size: 1024,
+        churn,
+        growth: 0.002,
+        flap: 0.0,
+    };
+    TraceStream::new(spec, 31)
+        .versions(n)
+        .into_iter()
+        .map(|v| v.into_iter().map(|c| (Fingerprint::synthetic(c.id), c.size)).collect())
+        .collect()
+}
+
+fn hds_config() -> HiDeStoreConfig {
+    HiDeStoreConfig {
+        avg_chunk_size: 1024,
+        container_capacity: 64 * 1024,
+        ..HiDeStoreConfig::default()
+    }
+}
+
+/// 60 versions: HiDeStore's lookup cost stays flat while DDFS's grows —
+/// the paper's scalability argument, checked end to end.
+#[test]
+fn long_horizon_lookups_flat_vs_growing() {
+    let versions = trace_versions(60, 0.03);
+
+    let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+    for v in &versions {
+        hds.backup_trace(v).unwrap();
+    }
+    let stats = hds.version_stats();
+    let early: u64 = stats[5..10].iter().map(|s| s.lookup_requests).sum();
+    let late: u64 = stats[55..60].iter().map(|s| s.lookup_requests).sum();
+    assert!(
+        late <= early + early / 2,
+        "HiDeStore lookups grew: {early} -> {late}"
+    );
+
+    let mut ddfs = BackupPipeline::new(
+        PipelineConfig {
+            avg_chunk_size: 1024,
+            container_capacity: 64 * 1024,
+            segment_chunks: 64,
+            ..PipelineConfig::default()
+        },
+        DdfsIndex::with_cache_containers(4),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        ddfs.backup_trace(v).unwrap();
+    }
+    let rows = ddfs.version_stats();
+    let ddfs_early: u64 = rows[5..10].iter().map(|s| s.disk_lookups).sum();
+    let ddfs_late: u64 = rows[55..60].iter().map(|s| s.disk_lookups).sum();
+    assert!(
+        ddfs_late > ddfs_early * 2,
+        "DDFS lookups should grow with fragmentation: {ddfs_early} -> {ddfs_late}"
+    );
+}
+
+/// At a long horizon the newest version restores far better under HiDeStore
+/// than under the no-rewrite baseline.
+#[test]
+fn long_horizon_newest_version_speed_gap() {
+    let versions = trace_versions(50, 0.04);
+
+    let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+    for v in &versions {
+        hds.backup_trace(v).unwrap();
+    }
+    let newest = VersionId::new(versions.len() as u32);
+    let hds_sf = hds
+        .restore(newest, &mut Faa::new(1 << 20), &mut std::io::sink())
+        .unwrap()
+        .speed_factor();
+
+    let mut ddfs = BackupPipeline::new(
+        PipelineConfig {
+            avg_chunk_size: 1024,
+            container_capacity: 64 * 1024,
+            segment_chunks: 64,
+            ..PipelineConfig::default()
+        },
+        DdfsIndex::new(),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        ddfs.backup_trace(v).unwrap();
+    }
+    let base_sf = ddfs
+        .restore(newest, &mut Faa::new(1 << 20), &mut std::io::sink())
+        .unwrap()
+        .speed_factor();
+    assert!(
+        hds_sf > base_sf * 2.0,
+        "at 50 versions the gap must be large: hidestore {hds_sf:.3} vs baseline {base_sf:.3}"
+    );
+}
+
+/// Dedup ratios agree between HiDeStore and exact dedup on the same trace.
+#[test]
+fn trace_dedup_parity_with_exact() {
+    let versions = trace_versions(30, 0.05);
+    let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+    let mut ddfs = BackupPipeline::new(
+        PipelineConfig {
+            avg_chunk_size: 1024,
+            container_capacity: 64 * 1024,
+            segment_chunks: 64,
+            ..PipelineConfig::default()
+        },
+        DdfsIndex::new(),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        hds.backup_trace(v).unwrap();
+        ddfs.backup_trace(v).unwrap();
+    }
+    let gap = (hds.run_stats().dedup_ratio() - ddfs.run_stats().dedup_ratio()).abs();
+    assert!(gap < 1e-6, "trace-mode dedup must be identical, gap {gap}");
+}
+
+/// Deletion on a long trace horizon: expire half the versions, survivors
+/// restore, containers dropped in bulk.
+#[test]
+fn long_horizon_deletion() {
+    let versions = trace_versions(40, 0.05);
+    let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+    for v in &versions {
+        hds.backup_trace(v).unwrap();
+    }
+    let report = hds.delete_expired(VersionId::new(20)).unwrap();
+    assert!(report.containers_dropped > 0);
+    assert_eq!(hds.versions().len(), 20);
+    for v in [21u32, 30, 40] {
+        let mut out = Vec::new();
+        hds.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out).unwrap();
+        assert!(!out.is_empty());
+    }
+}
