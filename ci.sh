@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Repository CI gate. Run from the workspace root:
+#
+#     ./ci.sh
+#
+# Four checks, in order of increasing cost; the script stops at the first
+# failure:
+#
+#   1. cargo fmt --check            -- formatting drift
+#   2. cargo xtask lint             -- panic-free library code + crate attrs
+#   3. cargo clippy -D warnings     -- clippy across every target
+#   4. cargo test -q                -- the full workspace test suite
+#
+# Everything runs offline against the vendored dependencies in vendor/.
+set -eu
+
+echo "ci: cargo fmt --check"
+cargo fmt --check
+
+echo "ci: cargo xtask lint"
+cargo xtask lint
+
+echo "ci: cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "ci: all checks passed"

@@ -25,7 +25,9 @@ fn bench_fig8_dedup_ratio(c: &mut Criterion) {
             &versions,
             |b, versions| {
                 b.iter(|| {
-                    black_box(run_dedup_scheme(scheme, versions, scale, Profile::Kernel).dedup_ratio)
+                    black_box(
+                        run_dedup_scheme(scheme, versions, scale, Profile::Kernel).dedup_ratio,
+                    )
                 });
             },
         );
@@ -64,5 +66,10 @@ fn bench_fig3_tag_matrix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig8_dedup_ratio, bench_fig11_restore, bench_fig3_tag_matrix);
+criterion_group!(
+    benches,
+    bench_fig8_dedup_ratio,
+    bench_fig11_restore,
+    bench_fig3_tag_matrix
+);
 criterion_main!(benches);

@@ -49,8 +49,10 @@ fn bench_hashing(c: &mut Criterion) {
 
 fn bench_parallel_fingerprinting(c: &mut Criterion) {
     let data = noise(16 << 20, 5);
-    let spans: Vec<std::ops::Range<usize>> =
-        (0..data.len()).step_by(4096).map(|i| i..(i + 4096).min(data.len())).collect();
+    let spans: Vec<std::ops::Range<usize>> = (0..data.len())
+        .step_by(4096)
+        .map(|i| i..(i + 4096).min(data.len()))
+        .collect();
     let mut group = c.benchmark_group("fingerprinting");
     group.throughput(Throughput::Bytes(data.len() as u64));
     group.sample_size(10);
@@ -89,7 +91,13 @@ fn bench_fingerprint_cache(c: &mut Criterion) {
             for i in 0..10_000u64 {
                 let fp = Fingerprint::synthetic(i);
                 cache.classify(fp);
-                cache.insert_current(fp, CacheEntry { size: 4096, active_cid: 1 });
+                cache.insert_current(
+                    fp,
+                    CacheEntry {
+                        size: 4096,
+                        active_cid: 1,
+                    },
+                );
             }
             black_box(cache.advance_version().len())
         });
@@ -132,7 +140,9 @@ fn bench_faa_restore(c: &mut Criterion) {
     group.bench_function("faa-sequential", |b| {
         b.iter(|| {
             let mut cache = Faa::new(1 << 20);
-            let report = cache.restore(&plan, &mut store, &mut std::io::sink()).unwrap();
+            let report = cache
+                .restore(&plan, &mut store, &mut std::io::sink())
+                .unwrap();
             black_box(report.container_reads)
         });
     });

@@ -83,7 +83,10 @@ fn main() {
     // 3. Chunking algorithm on kernel (FastCDC needs power-of-two average).
     let mut rows = Vec::new();
     for kind in ChunkerKind::ALL {
-        let cfg = HiDeStoreConfig { chunker: kind, ..scale.hidestore_config(Profile::Kernel) };
+        let cfg = HiDeStoreConfig {
+            chunker: kind,
+            ..scale.hidestore_config(Profile::Kernel)
+        };
         let (ratio, sf) = run(cfg, &versions, faa_area);
         rows.push(vec![
             kind.to_string(),

@@ -73,7 +73,10 @@ fn main() {
                 &mut std::io::sink(),
             )
             .expect("restore of retained version");
-        rows.push(vec![format!("V{v}"), format!("{:.3}", report.speed_factor())]);
+        rows.push(vec![
+            format!("V{v}"),
+            format!("{:.3}", report.speed_factor()),
+        ]);
     }
     hidestore_bench::print_table(
         &format!("restore speed factors ({profile})"),

@@ -20,7 +20,12 @@ fn main() {
     }
     hidestore_bench::print_table(
         "Figure 12: HiDeStore overheads (ms)",
-        &["dataset", "recipe update (mean)", "move+merge (mean)", "algorithm 1 (full)"],
+        &[
+            "dataset",
+            "recipe update (mean)",
+            "move+merge (mean)",
+            "algorithm 1 (full)",
+        ],
         &rows,
     );
     hidestore_bench::write_csv(

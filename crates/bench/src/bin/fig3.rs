@@ -53,7 +53,11 @@ fn main() {
             println!(
                 "{profile}: V1 chunks {v1_initial} -> {v1_after_2} after V2 -> {v1_final} at end \
                  (decay concentrated in the first step{})",
-                if profile == Profile::Macos { ", spread over two steps for macos" } else { "" }
+                if profile == Profile::Macos {
+                    ", spread over two steps for macos"
+                } else {
+                    ""
+                }
             );
         }
     }

@@ -24,7 +24,5 @@ fn main() {
     headers.extend(DedupScheme::FIG8.iter().map(|s| s.label()));
     hidestore_bench::print_table("Figure 8: deduplication ratio", &headers, &rows);
     hidestore_bench::write_csv("fig8", &headers, &rows);
-    println!(
-        "\nexpected shape: DDFS ≈ HiDeStore > SparseIndex, SiLo > SiLo+Capping, SiLo+FBW"
-    );
+    println!("\nexpected shape: DDFS ≈ HiDeStore > SparseIndex, SiLo > SiLo+Capping, SiLo+FBW");
 }

@@ -36,7 +36,10 @@ fn main() {
         // Headline number: mean reduction vs DDFS over the last half.
         let half = versions.len() / 2;
         let mean = |run: &hidestore_bench::DedupRun| {
-            run.rows[half..].iter().map(|r| r.lookups_per_gb).sum::<f64>()
+            run.rows[half..]
+                .iter()
+                .map(|r| r.lookups_per_gb)
+                .sum::<f64>()
                 / (versions.len() - half) as f64
         };
         let ddfs = mean(&runs[0]);

@@ -26,8 +26,7 @@ fn main() {
             baseline.backup(v).expect("memory store cannot fail");
         }
 
-        let mut hds =
-            HiDeStore::new(scale.hidestore_config(profile), MemoryContainerStore::new());
+        let mut hds = HiDeStore::new(scale.hidestore_config(profile), MemoryContainerStore::new());
         for v in &versions {
             hds.backup(v).expect("memory store cannot fail");
         }
@@ -41,12 +40,9 @@ fn main() {
             );
             // HiDeStore recipes keep hot chunks as ACTIVE entries; resolve
             // the chain so every chunk maps to a physical container.
-            let plan = hidestore_core::chain::resolve_plan(
-                hds.recipes(),
-                hds.pool(),
-                VersionId::new(v),
-            )
-            .expect("retained version resolves");
+            let plan =
+                hidestore_core::chain::resolve_plan(hds.recipes(), hds.pool(), VersionId::new(v))
+                    .expect("retained version resolves");
             let hd = hidestore_dedup::analysis::analyze_plan(
                 plan.into_iter().map(|(_, size, cid)| (size, cid)),
                 scale.container,
@@ -61,12 +57,24 @@ fn main() {
         }
         hidestore_bench::print_table(
             &format!("Fragmentation ({profile}): CFL and useful KiB per referenced container"),
-            &["version", "baseline CFL", "baseline KiB/ctr", "HiDeStore CFL", "HiDeStore KiB/ctr"],
+            &[
+                "version",
+                "baseline CFL",
+                "baseline KiB/ctr",
+                "HiDeStore CFL",
+                "HiDeStore KiB/ctr",
+            ],
             &rows,
         );
         hidestore_bench::write_csv(
             &format!("fragmentation_{profile}"),
-            &["version", "baseline_cfl", "baseline_kib_per_ctr", "hds_cfl", "hds_kib_per_ctr"],
+            &[
+                "version",
+                "baseline_cfl",
+                "baseline_kib_per_ctr",
+                "hds_cfl",
+                "hds_kib_per_ctr",
+            ],
             &rows,
         );
     }

@@ -30,7 +30,11 @@ fn main() {
     let versions: Vec<Vec<(Fingerprint, u32)>> = TraceStream::new(spec, scale.seed)
         .versions(n_versions)
         .into_iter()
-        .map(|v| v.into_iter().map(|c| (Fingerprint::synthetic(c.id), c.size)).collect())
+        .map(|v| {
+            v.into_iter()
+                .map(|c| (Fingerprint::synthetic(c.id), c.size))
+                .collect()
+        })
         .collect();
     let logical_mb: f64 = versions
         .iter()
@@ -64,8 +68,9 @@ fn main() {
 
     let faa = 8 * scale.container;
     let mut rows = Vec::new();
-    let checkpoints: Vec<u32> =
-        (1..=n_versions).filter(|v| *v == 1 || v % (n_versions / 8).max(1) == 0).collect();
+    let checkpoints: Vec<u32> = (1..=n_versions)
+        .filter(|v| *v == 1 || v % (n_versions / 8).max(1) == 0)
+        .collect();
     for &v in &checkpoints {
         let hds_stats = hds.version_stats()[(v - 1) as usize];
         let ddfs_stats = ddfs.version_stats()[(v - 1) as usize];
@@ -98,7 +103,13 @@ fn main() {
     );
     hidestore_bench::write_csv(
         "scaling",
-        &["version", "hds_lookups_gb", "ddfs_lookups_gb", "hds_sf", "ddfs_sf"],
+        &[
+            "version",
+            "hds_lookups_gb",
+            "ddfs_lookups_gb",
+            "hds_sf",
+            "ddfs_sf",
+        ],
         &rows,
     );
     println!(

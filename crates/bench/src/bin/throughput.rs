@@ -14,9 +14,11 @@ use hidestore_workloads::Profile;
 fn main() {
     let scale = Scale::from_env();
     let versions = workload_versions(Profile::Kernel, scale);
-    let total_mb: f64 =
-        versions.iter().map(|v| v.len() as f64).sum::<f64>() / (1024.0 * 1024.0);
-    println!("ingesting {total_mb:.0} MB (kernel workload, {} versions)\n", versions.len());
+    let total_mb: f64 = versions.iter().map(|v| v.len() as f64).sum::<f64>() / (1024.0 * 1024.0);
+    println!(
+        "ingesting {total_mb:.0} MB (kernel workload, {} versions)\n",
+        versions.len()
+    );
 
     let mut rows = Vec::new();
 
@@ -30,7 +32,10 @@ fn main() {
     for v in &versions {
         p.backup(v).expect("memory store cannot fail");
     }
-    rows.push(vec!["DDFS".into(), format!("{:.1}", total_mb / t.elapsed().as_secs_f64())]);
+    rows.push(vec![
+        "DDFS".into(),
+        format!("{:.1}", total_mb / t.elapsed().as_secs_f64()),
+    ]);
 
     let t = Instant::now();
     let mut p = BackupPipeline::new(
@@ -57,7 +62,10 @@ fn main() {
     for v in &versions {
         p.backup(v).expect("memory store cannot fail");
     }
-    rows.push(vec!["SiLo".into(), format!("{:.1}", total_mb / t.elapsed().as_secs_f64())]);
+    rows.push(vec![
+        "SiLo".into(),
+        format!("{:.1}", total_mb / t.elapsed().as_secs_f64()),
+    ]);
 
     let t = Instant::now();
     let mut hds = HiDeStore::new(

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Experiment harness for the HiDeStore reproduction.
@@ -210,7 +211,10 @@ fn boxed_index(scheme: DedupScheme) -> Box<dyn FingerprintIndex> {
             ..SparseConfig::default()
         })),
         DedupScheme::Silo | DedupScheme::SiloCapping | DedupScheme::SiloFbw => {
-            Box::new(SiloIndex::new(SiloConfig { cached_blocks: 4, ..SiloConfig::default() }))
+            Box::new(SiloIndex::new(SiloConfig {
+                cached_blocks: 4,
+                ..SiloConfig::default()
+            }))
         }
         DedupScheme::HiDeStore => unreachable!("HiDeStore does not run in the baseline pipeline"),
     }
@@ -219,16 +223,23 @@ fn boxed_index(scheme: DedupScheme) -> Box<dyn FingerprintIndex> {
 fn boxed_rewriter(scheme: DedupScheme, scale: Scale) -> Box<dyn RewritePolicy> {
     match scheme {
         DedupScheme::SiloCapping => Box::new(Capping::new(8)),
-        DedupScheme::SiloFbw => {
-            Box::new(Fbw::new((8 * scale.container) as u64, 0.05, scale.container as u64))
-        }
+        DedupScheme::SiloFbw => Box::new(Fbw::new(
+            (8 * scale.container) as u64,
+            0.05,
+            scale.container as u64,
+        )),
         _ => Box::new(NoRewrite::new()),
     }
 }
 
 /// Runs a dedup scheme over the version streams, collecting the Figure 8–10
 /// metrics.
-pub fn run_dedup_scheme(scheme: DedupScheme, versions: &[Vec<u8>], scale: Scale, profile: Profile) -> DedupRun {
+pub fn run_dedup_scheme(
+    scheme: DedupScheme,
+    versions: &[Vec<u8>],
+    scale: Scale,
+    profile: Profile,
+) -> DedupRun {
     let mut rows = Vec::with_capacity(versions.len());
     let mut cum_logical = 0u64;
     let mut cum_stored = 0u64;
@@ -250,7 +261,11 @@ pub fn run_dedup_scheme(scheme: DedupScheme, versions: &[Vec<u8>], scale: Scale,
             });
         }
         let dedup_ratio = hds.run_stats().dedup_ratio();
-        return DedupRun { scheme, rows, dedup_ratio };
+        return DedupRun {
+            scheme,
+            rows,
+            dedup_ratio,
+        };
     }
     let mut pipeline = BackupPipeline::new(
         scale.pipeline_config(),
@@ -272,7 +287,11 @@ pub fn run_dedup_scheme(scheme: DedupScheme, versions: &[Vec<u8>], scale: Scale,
         });
     }
     let dedup_ratio = pipeline.run_stats().dedup_ratio();
-    DedupRun { scheme, rows, dedup_ratio }
+    DedupRun {
+        scheme,
+        rows,
+        dedup_ratio,
+    }
 }
 
 fn ratio(logical: u64, stored: u64) -> f64 {
@@ -457,13 +476,13 @@ pub fn run_overheads(versions: &[Vec<u8>], scale: Scale, profile: Profile) -> Ov
     }
     let stats = hds.version_stats();
     let n = stats.len().max(1) as u32;
-    let mean_recipe_update =
-        stats.iter().map(|s| s.recipe_update_time).sum::<Duration>() / n;
+    let mean_recipe_update = stats.iter().map(|s| s.recipe_update_time).sum::<Duration>() / n;
     let mean_chunk_move = stats.iter().map(|s| s.chunk_move_time).sum::<Duration>() / n;
     let (_, flatten_time) = hds.flatten_recipes();
     let expire_to = (versions.len() as u32 / 3).max(1);
     let t = std::time::Instant::now();
-    hds.delete_expired(VersionId::new(expire_to)).expect("deletion of old versions");
+    hds.delete_expired(VersionId::new(expire_to))
+        .expect("deletion of old versions");
     let hidestore_delete = t.elapsed();
 
     // Baseline side: same workload through DDFS, deleted via mark-sweep.
@@ -480,8 +499,14 @@ pub fn run_overheads(versions: &[Vec<u8>], scale: Scale, profile: Profile) -> Ov
     let mut recipes = std::mem::take(pipeline.recipes_mut());
     let mut next_id = 1_000_000;
     let t = std::time::Instant::now();
-    gc::mark_sweep(&expired, &mut recipes, pipeline.store_mut(), 0.4, &mut next_id)
-        .expect("gc of memory store");
+    gc::mark_sweep(
+        &expired,
+        &mut recipes,
+        pipeline.store_mut(),
+        0.4,
+        &mut next_id,
+    )
+    .expect("gc of memory store");
     let gc_delete = t.elapsed();
 
     OverheadRow {
@@ -522,7 +547,9 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
         return;
     }
     let path = dir.join(format!("{name}.csv"));
-    let Ok(mut f) = fs::File::create(&path) else { return };
+    let Ok(mut f) = fs::File::create(&path) else {
+        return;
+    };
     let _ = writeln!(f, "{}", headers.join(","));
     for row in rows {
         let _ = writeln!(f, "{}", row.join(","));
@@ -557,7 +584,11 @@ mod tests {
         let versions = workload_versions(Profile::Kernel, scale);
         let run = run_dedup_scheme(DedupScheme::Ddfs, &versions, scale, Profile::Kernel);
         assert_eq!(run.rows.len(), versions.len());
-        assert!(run.dedup_ratio > 0.5, "kernel tiny ratio {}", run.dedup_ratio);
+        assert!(
+            run.dedup_ratio > 0.5,
+            "kernel tiny ratio {}",
+            run.dedup_ratio
+        );
         let hds = run_dedup_scheme(DedupScheme::HiDeStore, &versions, scale, Profile::Kernel);
         assert_eq!(hds.rows.len(), versions.len());
     }
@@ -568,7 +599,12 @@ mod tests {
         let versions = workload_versions(Profile::Kernel, scale);
         for scheme in [RestoreScheme::Baseline, RestoreScheme::HiDeStore] {
             let run = run_restore_scheme(scheme, &versions, scale, Profile::Kernel);
-            assert_eq!(run.speed_factors.len(), versions.len(), "{}", scheme.label());
+            assert_eq!(
+                run.speed_factors.len(),
+                versions.len(),
+                "{}",
+                scheme.label()
+            );
             assert!(run.speed_factors.iter().all(|&(_, sf)| sf > 0.0));
         }
     }

@@ -38,10 +38,16 @@ impl AeChunker {
     ///
     /// Panics if `avg_size < 64`.
     pub fn new(avg_size: usize) -> Self {
-        assert!(avg_size >= 64, "average chunk size must be at least 64 bytes");
+        assert!(
+            avg_size >= 64,
+            "average chunk size must be at least 64 bytes"
+        );
         // E[len] ≈ (e - 1) * w  =>  w = avg / 1.71828
         let window = ((avg_size as f64) / (std::f64::consts::E - 1.0)).round() as usize;
-        AeChunker { window: window.max(1), max_size: avg_size * 4 }
+        AeChunker {
+            window: window.max(1),
+            max_size: avg_size * 4,
+        }
     }
 
     fn value_at(data: &[u8], i: usize) -> u64 {

@@ -42,8 +42,14 @@ impl FastCdcChunker {
     ///
     /// Panics if `avg_size < 64` or `avg_size` is not a power of two.
     pub fn new(avg_size: usize) -> Self {
-        assert!(avg_size >= 64, "average chunk size must be at least 64 bytes");
-        assert!(avg_size.is_power_of_two(), "FastCDC average size must be a power of two");
+        assert!(
+            avg_size >= 64,
+            "average chunk size must be at least 64 bytes"
+        );
+        assert!(
+            avg_size.is_power_of_two(),
+            "FastCDC average size must be a power of two"
+        );
         let bits = avg_size.trailing_zeros();
         FastCdcChunker {
             min_size: avg_size / 4,
@@ -117,7 +123,10 @@ mod tests {
         let avg = data.len() / spans.len();
         assert!((2048..=8192).contains(&avg), "avg {avg}");
         // Normalization: a majority of chunks lie within [avg/2, 2*avg].
-        let near = spans.iter().filter(|s| (2048..=8192).contains(&s.len())).count();
+        let near = spans
+            .iter()
+            .filter(|s| (2048..=8192).contains(&s.len()))
+            .count();
         assert!(near * 2 > spans.len(), "{near}/{}", spans.len());
     }
 
@@ -143,10 +152,14 @@ mod tests {
         let mut shifted = vec![1u8, 2, 3];
         shifted.extend_from_slice(&shared);
         let mut c = FastCdcChunker::new(4096);
-        let a: std::collections::HashSet<usize> =
-            chunk_spans(&mut c, &shared).iter().map(|s| shared.len() - s.end).collect();
-        let b: std::collections::HashSet<usize> =
-            chunk_spans(&mut c, &shifted).iter().map(|s| shifted.len() - s.end).collect();
+        let a: std::collections::HashSet<usize> = chunk_spans(&mut c, &shared)
+            .iter()
+            .map(|s| shared.len() - s.end)
+            .collect();
+        let b: std::collections::HashSet<usize> = chunk_spans(&mut c, &shifted)
+            .iter()
+            .map(|s| shifted.len() - s.end)
+            .collect();
         let survived = a.intersection(&b).count();
         assert!(survived * 10 >= a.len() * 8, "{survived}/{}", a.len());
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Content-defined chunking substrate for the HiDeStore reproduction.
@@ -111,7 +112,10 @@ pub fn chunk_spans<C: Chunker + ?Sized>(chunker: &mut C, data: &[u8]) -> Vec<Ran
     let mut pos = 0;
     while pos < data.len() {
         let len = chunker.next_chunk_len(&data[pos..]);
-        assert!(len >= 1 && pos + len <= data.len(), "chunker returned invalid length {len}");
+        assert!(
+            len >= 1 && pos + len <= data.len(),
+            "chunker returned invalid length {len}"
+        );
         spans.push(pos..pos + len);
         pos += len;
     }
@@ -142,7 +146,11 @@ pub struct Chunks<'a, C: Chunker> {
 /// ```
 pub fn chunks<C: Chunker>(mut chunker: C, data: &[u8]) -> Chunks<'_, C> {
     chunker.reset();
-    Chunks { chunker, data, pos: 0 }
+    Chunks {
+        chunker,
+        data,
+        pos: 0,
+    }
 }
 
 impl<'a, C: Chunker> Iterator for Chunks<'a, C> {
@@ -281,7 +289,11 @@ mod tests {
         for kind in ChunkerKind::ALL {
             let mut a = kind.build(4096);
             let mut b = kind.build(4096);
-            assert_eq!(chunk_spans(a.as_mut(), &data), chunk_spans(b.as_mut(), &data), "{kind}");
+            assert_eq!(
+                chunk_spans(a.as_mut(), &data),
+                chunk_spans(b.as_mut(), &data),
+                "{kind}"
+            );
         }
     }
 
@@ -293,8 +305,12 @@ mod tests {
         let data = pseudo_random(200_000, 9);
         let mut shifted = pseudo_random(100, 77);
         shifted.extend_from_slice(&data);
-        for kind in [ChunkerKind::Rabin, ChunkerKind::Tttd, ChunkerKind::FastCdc, ChunkerKind::Ae]
-        {
+        for kind in [
+            ChunkerKind::Rabin,
+            ChunkerKind::Tttd,
+            ChunkerKind::FastCdc,
+            ChunkerKind::Ae,
+        ] {
             let mut c = kind.build(4096);
             let cuts_a: std::collections::HashSet<usize> = chunk_spans(c.as_mut(), &data)
                 .iter()

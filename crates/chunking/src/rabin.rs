@@ -49,7 +49,10 @@ impl RabinChunker {
     /// Panics if `avg_size < 64`, `min_size == 0`, or the bounds are not
     /// `min_size <= avg_size <= max_size`.
     pub fn with_bounds(avg_size: usize, min_size: usize, max_size: usize) -> Self {
-        assert!(avg_size >= 64, "average chunk size must be at least 64 bytes");
+        assert!(
+            avg_size >= 64,
+            "average chunk size must be at least 64 bytes"
+        );
         assert!(min_size > 0, "minimum chunk size must be non-zero");
         assert!(
             min_size <= avg_size && avg_size <= max_size,

@@ -189,7 +189,11 @@ pub fn spread_mask(bits: u32) -> u64 {
     let mut mask = 0u64;
     for i in 0..bits {
         // Odd bit positions from the top first, then even ones.
-        let pos = if i < 32 { 63 - 2 * i } else { 62 - 2 * (i - 32) };
+        let pos = if i < 32 {
+            63 - 2 * i
+        } else {
+            62 - 2 * (i - 32)
+        };
         mask |= 1u64 << pos;
     }
     mask

@@ -63,8 +63,7 @@ impl SizeSummary {
         let count = v.len();
         let total: u64 = v.iter().map(|&s| s as u64).sum();
         let mean = total as f64 / count as f64;
-        let variance =
-            v.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / count as f64;
+        let variance = v.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / count as f64;
         let pct = |p: f64| v[((count as f64 - 1.0) * p).round() as usize];
         SizeSummary {
             count,
@@ -75,7 +74,11 @@ impl SizeSummary {
             p90: pct(0.9),
             min: v[0],
             max: v[count - 1],
-            cv: if mean > 0.0 { variance.sqrt() / mean } else { 0.0 },
+            cv: if mean > 0.0 {
+                variance.sqrt() / mean
+            } else {
+                0.0
+            },
         }
     }
 
@@ -135,7 +138,10 @@ mod tests {
         };
         let fastcdc = cv(ChunkerKind::FastCdc);
         let rabin = cv(ChunkerKind::Rabin);
-        assert!(fastcdc < rabin, "fastcdc cv {fastcdc:.3} vs rabin {rabin:.3}");
+        assert!(
+            fastcdc < rabin,
+            "fastcdc cv {fastcdc:.3} vs rabin {rabin:.3}"
+        );
     }
 
     #[test]

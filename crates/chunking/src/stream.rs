@@ -41,7 +41,10 @@ impl<C: Chunker> StreamChunker<C> {
     /// Wraps a chunker for streaming use.
     pub fn new(mut chunker: C) -> Self {
         chunker.reset();
-        StreamChunker { chunker, buffer: Vec::new() }
+        StreamChunker {
+            chunker,
+            buffer: Vec::new(),
+        }
     }
 
     /// Bytes currently buffered awaiting a final boundary (always less than
@@ -108,7 +111,10 @@ mod tests {
         let data = noise(300_000, 5);
         for kind in ChunkerKind::ALL {
             let mut c = kind.build(1024);
-            let expect: Vec<usize> = chunk_spans(c.as_mut(), &data).iter().map(|s| s.len()).collect();
+            let expect: Vec<usize> = chunk_spans(c.as_mut(), &data)
+                .iter()
+                .map(|s| s.len())
+                .collect();
             for push_size in [1usize << 9, 1 << 12, 1 << 16, data.len()] {
                 let got = stream_lengths(&data, push_size, kind);
                 assert_eq!(got, expect, "{kind} push {push_size}");

@@ -43,7 +43,10 @@ impl TttdChunker {
     ///
     /// Panics if `avg_size < 64`.
     pub fn new(avg_size: usize) -> Self {
-        assert!(avg_size >= 64, "average chunk size must be at least 64 bytes");
+        assert!(
+            avg_size >= 64,
+            "average chunk size must be at least 64 bytes"
+        );
         // HP TR 2005-30 parameters scale: Tmin=460, Tmax=2800, D=540, D'=270
         // for an average of ~1015 bytes.
         let scale = avg_size as f64 / 1015.0;
@@ -147,7 +150,11 @@ mod tests {
         let max = c.max_size();
         let spans = chunk_spans(&mut c, &data);
         let forced = spans.iter().filter(|s| s.len() == max).count();
-        assert!(forced * 20 <= spans.len(), "{forced}/{} forced cuts", spans.len());
+        assert!(
+            forced * 20 <= spans.len(),
+            "{forced}/{} forced cuts",
+            spans.len()
+        );
     }
 
     #[test]

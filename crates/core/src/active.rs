@@ -78,7 +78,12 @@ impl ActivePool {
                     cid
                 }
             };
-            let container = self.containers.get_mut(&cid).expect("open container exists");
+            let Some(container) = self.containers.get_mut(&cid) else {
+                // The open marker pointed at a container that no longer
+                // exists (it was merged away); clear it and retry.
+                self.open = None;
+                continue;
+            };
             if container.try_add(fp, data) {
                 self.fp_index.insert(fp, cid);
                 return cid;
@@ -91,7 +96,7 @@ impl ActivePool {
     /// Removes a chunk (cold demotion), returning its content.
     pub fn remove(&mut self, fp: &Fingerprint) -> Option<Bytes> {
         let cid = self.fp_index.remove(fp)?;
-        let container = self.containers.get_mut(&cid).expect("indexed container exists");
+        let container = self.containers.get_mut(&cid)?;
         let data = container.get(fp).map(Bytes::copy_from_slice);
         container.remove(fp);
         if container.is_empty() {
@@ -152,10 +157,11 @@ impl ActivePool {
             // physical order for unranked chunks).
             let mut migrating: Vec<(Fingerprint, Bytes)> = Vec::new();
             for cid in &sparse_ids {
-                let container = self.containers.remove(cid).expect("listed id exists");
+                let Some(container) = self.containers.remove(cid) else {
+                    continue;
+                };
                 report.containers_merged += 1;
-                report.bytes_reclaimed +=
-                    (container.used_bytes() - container.live_bytes()) as u64;
+                report.bytes_reclaimed += (container.used_bytes() - container.live_bytes()) as u64;
                 if self.open == Some(*cid) {
                     self.open = None;
                 }
@@ -175,7 +181,9 @@ impl ActivePool {
                 let mut taken: Vec<Option<(Fingerprint, Bytes)>> =
                     migrating.into_iter().map(Some).collect();
                 for (_, i) in keyed {
-                    reordered.push(taken[i].take().expect("each index appears once"));
+                    if let Some(item) = taken[i].take() {
+                        reordered.push(item);
+                    }
                 }
                 migrating = reordered;
             }
@@ -204,7 +212,10 @@ impl ActivePool {
 
     /// Total live bytes pooled.
     pub fn live_bytes(&self) -> u64 {
-        self.containers.values().map(|c| c.live_bytes() as u64).sum()
+        self.containers
+            .values()
+            .map(|c| c.live_bytes() as u64)
+            .sum()
     }
 
     /// Number of chunks pooled.
@@ -217,22 +228,33 @@ impl ActivePool {
         self.containers.keys().copied().collect()
     }
 
+    /// Iterates over `(pool-local id, container)` pairs in ascending ID
+    /// order — the borrow-only view integrity checkers use to inspect the
+    /// pool without cloning container snapshots.
+    pub fn containers(&self) -> impl Iterator<Item = (u32, &Container)> {
+        self.containers.iter().map(|(&cid, c)| (cid, c))
+    }
+
     /// Rebuilds a pool from persisted containers (repository reopen). The
     /// containers must carry the [`ACTIVE_ID_BASE`]-offset IDs they were
-    /// snapshotted with.
-    pub fn from_containers(capacity: usize, containers: Vec<Container>) -> Self {
+    /// snapshotted with; a container outside the active ID space is reported
+    /// as an error naming the offending ID.
+    pub fn from_containers(capacity: usize, containers: Vec<Container>) -> Result<Self, String> {
         let mut pool = ActivePool::new(capacity);
         for container in containers {
-            let cid = container.id().get().checked_sub(ACTIVE_ID_BASE).unwrap_or_else(|| {
-                panic!("container {} is not an active-pool snapshot", container.id())
-            });
+            let Some(cid) = container.id().get().checked_sub(ACTIVE_ID_BASE) else {
+                return Err(format!(
+                    "container {} is not an active-pool snapshot",
+                    container.id()
+                ));
+            };
             pool.next_cid = pool.next_cid.max(cid + 1);
             for fp in container.fingerprints() {
                 pool.fp_index.insert(fp, cid);
             }
             pool.containers.insert(cid, container);
         }
-        pool
+        Ok(pool)
     }
 }
 
@@ -303,7 +325,7 @@ mod tests {
         let (report, relocations) = pool.compact(0.6);
         assert!(report.containers_merged >= 2, "{report:?}");
         assert_eq!(pool.container_count(), 2); // 3 chunks of 45B -> 2 containers of 100B
-        // Every surviving chunk remains readable and relocations point right.
+                                               // Every surviving chunk remains readable and relocations point right.
         for i in [1u64, 3, 5] {
             let data = pool.get(&fp(i)).unwrap();
             assert_eq!(data, &[i as u8; 45][..]);

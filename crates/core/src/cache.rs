@@ -104,10 +104,24 @@ impl FingerprintCache {
         let finished = std::mem::take(&mut self.current);
         self.history.push_front(finished);
         if self.history.len() > self.history_depth {
-            self.history.pop_back().expect("len > depth >= 1")
+            self.history.pop_back().unwrap_or_default()
         } else {
             HashMap::new()
         }
+    }
+
+    /// Iterates over every cached entry as `(table, fingerprint, entry)`,
+    /// where table `0` is `T2` (the current version) and `1..` are the
+    /// history tables, most recent first. Integrity checkers use this to
+    /// cross-check cache entries against the active pool.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, Fingerprint, CacheEntry)> + '_ {
+        let current = self.current.iter().map(|(fp, e)| (0usize, *fp, *e));
+        let history = self
+            .history
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| t.iter().map(move |(fp, e)| (i + 1, *fp, *e)));
+        current.chain(history)
     }
 
     /// Rewrites active-container IDs after a pool compaction moved chunks.
@@ -170,7 +184,10 @@ mod tests {
     }
 
     fn entry(cid: u32) -> CacheEntry {
-        CacheEntry { size: 100, active_cid: cid }
+        CacheEntry {
+            size: 100,
+            active_cid: cid,
+        }
     }
 
     #[test]
@@ -195,7 +212,10 @@ mod tests {
             c.classify(fp(i));
             c.insert_current(fp(i), entry(i as u32 + 1));
         }
-        assert!(c.advance_version().is_empty(), "nothing cold after first version");
+        assert!(
+            c.advance_version().is_empty(),
+            "nothing cold after first version"
+        );
         // Version 2 re-uses chunks 0 and 1 only.
         c.classify(fp(0));
         c.classify(fp(1));
@@ -230,7 +250,10 @@ mod tests {
         c.insert_current(fp(1), entry(1));
         c.advance_version();
         c.advance_version(); // version without the chunk
-        assert!(matches!(c.classify(fp(1)), Classification::HotFromPrevious(_)));
+        assert!(matches!(
+            c.classify(fp(1)),
+            Classification::HotFromPrevious(_)
+        ));
     }
 
     #[test]
@@ -269,6 +292,9 @@ mod tests {
         let mut table = HashMap::new();
         table.insert(fp(5), entry(3));
         c.preload_history(table);
-        assert!(matches!(c.classify(fp(5)), Classification::HotFromPrevious(_)));
+        assert!(matches!(
+            c.classify(fp(5)),
+            Classification::HotFromPrevious(_)
+        ));
     }
 }

@@ -37,7 +37,9 @@ pub fn update_previous_recipes(
     let cur = current.get();
     let oldest = cur.saturating_sub(depth as u32).max(1);
     for w in oldest..cur {
-        let Some(recipe) = recipes.get_mut(VersionId::new(w)) else { continue };
+        let Some(recipe) = recipes.get_mut(VersionId::new(w)) else {
+            continue;
+        };
         for entry in recipe.entries_mut() {
             if !entry.cid.is_active() {
                 continue;
@@ -76,7 +78,9 @@ pub fn flatten_recipes(recipes: &mut RecipeStore) -> u64 {
     let mut versions = recipes.versions();
     versions.reverse(); // newest first
     for v in versions {
-        let recipe = recipes.get_mut(v).expect("listed version exists");
+        let Some(recipe) = recipes.get_mut(v) else {
+            continue;
+        };
         for entry in recipe.entries_mut() {
             // Walking newest-first, the first sighting is the newest one.
             containing.entry(entry.fingerprint).or_insert(v);
@@ -141,7 +145,10 @@ impl std::fmt::Display for ResolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ResolveError::MissingRecipe(v) => write!(f, "recipe for {v} missing"),
-            ResolveError::BrokenChain { fingerprint, version } => {
+            ResolveError::BrokenChain {
+                fingerprint,
+                version,
+            } => {
                 write!(f, "chain for chunk {fingerprint} broke at {version}")
             }
             ResolveError::NotInPool(fp) => {
@@ -167,7 +174,9 @@ pub fn resolve_plan(
     pool: &ActivePool,
     version: VersionId,
 ) -> Result<Vec<(Fingerprint, u32, ContainerId)>, ResolveError> {
-    let recipe = recipes.get(version).ok_or(ResolveError::MissingRecipe(version))?;
+    let recipe = recipes
+        .get(version)
+        .ok_or(ResolveError::MissingRecipe(version))?;
     // Lazily built per-version lookup maps for chain following.
     let mut maps: HashMap<VersionId, HashMap<Fingerprint, Cid>> = HashMap::new();
     let mut plan = Vec::with_capacity(recipe.len());
@@ -194,18 +203,36 @@ fn resolve_one(
             let pool_cid = pool.locate(&fp).ok_or(ResolveError::NotInPool(fp))?;
             return Ok(ContainerId::new(ACTIVE_ID_BASE + pool_cid));
         }
-        let w = cid.as_chained().expect("not archival, not active");
+        // Not archival, not active: the remaining state is chained.
+        let Some(w) = cid.as_chained() else {
+            return Err(ResolveError::BrokenChain {
+                fingerprint: fp,
+                version: VersionId::new(1),
+            });
+        };
         if let std::collections::hash_map::Entry::Vacant(slot) = maps.entry(w) {
             let recipe = recipes.get(w).ok_or(ResolveError::MissingRecipe(w))?;
-            slot.insert(recipe.entries().iter().map(|e| (e.fingerprint, e.cid)).collect());
+            slot.insert(
+                recipe
+                    .entries()
+                    .iter()
+                    .map(|e| (e.fingerprint, e.cid))
+                    .collect(),
+            );
         }
         let next = maps[&w]
             .get(&fp)
             .copied()
-            .ok_or(ResolveError::BrokenChain { fingerprint: fp, version: w })?;
+            .ok_or(ResolveError::BrokenChain {
+                fingerprint: fp,
+                version: w,
+            })?;
         // Guard against self-loops from corrupt recipes.
         if next == cid {
-            return Err(ResolveError::BrokenChain { fingerprint: fp, version: w });
+            return Err(ResolveError::BrokenChain {
+                fingerprint: fp,
+                version: w,
+            });
         }
         cid = next;
     }
@@ -236,8 +263,7 @@ mod tests {
         let mut moved = HashMap::new();
         moved.insert(fp(2), ContainerId::new(7));
         let current: HashSet<Fingerprint> = [fp(1), fp(3)].into_iter().collect();
-        let updated =
-            update_previous_recipes(&mut recipes, VersionId::new(2), &moved, &current, 1);
+        let updated = update_previous_recipes(&mut recipes, VersionId::new(2), &moved, &current, 1);
         assert_eq!(updated, 3);
         let r1 = recipes.get(VersionId::new(1)).unwrap();
         assert_eq!(r1.entries()[0].cid, Cid::chained(VersionId::new(2)));
@@ -260,7 +286,9 @@ mod tests {
             2,
         );
         assert_eq!(updated, 0);
-        assert!(recipes.get(VersionId::new(1)).unwrap().entries()[0].cid.is_active());
+        assert!(recipes.get(VersionId::new(1)).unwrap().entries()[0]
+            .cid
+            .is_active());
     }
 
     #[test]
@@ -299,7 +327,9 @@ mod tests {
             recipes.get(VersionId::new(2)).unwrap().entries()[0].cid,
             Cid::chained(VersionId::new(3))
         );
-        assert!(recipes.get(VersionId::new(3)).unwrap().entries()[0].cid.is_active());
+        assert!(recipes.get(VersionId::new(3)).unwrap().entries()[0]
+            .cid
+            .is_active());
     }
 
     #[test]
@@ -335,7 +365,9 @@ mod tests {
             &HashSet::new(),
             2,
         );
-        assert!(recipes.get(VersionId::new(1)).unwrap().entries()[0].cid.is_active());
+        assert!(recipes.get(VersionId::new(1)).unwrap().entries()[0]
+            .cid
+            .is_active());
 
         // V3 contains A again; at its end, B (absent from V2 and V3) is
         // demoted to archival container 9.
@@ -346,8 +378,16 @@ mod tests {
         update_previous_recipes(&mut recipes, VersionId::new(3), &moved, &current, 2);
 
         let r1 = recipes.get(VersionId::new(1)).unwrap();
-        assert_eq!(r1.entries()[0].cid, Cid::chained(VersionId::new(3)), "A chains to V3");
-        assert_eq!(r1.entries()[1].cid, Cid::archival(ContainerId::new(9)), "B archived");
+        assert_eq!(
+            r1.entries()[0].cid,
+            Cid::chained(VersionId::new(3)),
+            "A chains to V3"
+        );
+        assert_eq!(
+            r1.entries()[1].cid,
+            Cid::archival(ContainerId::new(9)),
+            "B archived"
+        );
 
         // Resolution: A resolves through V3 to the pool; B to container 9.
         let mut pool = ActivePool::new(1024);

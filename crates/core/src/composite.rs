@@ -28,7 +28,12 @@ pub struct CompositeStore<'a, S> {
 impl<'a, S: ContainerStore> CompositeStore<'a, S> {
     /// Builds the view.
     pub fn new(archival: &'a mut S, active: &'a ActivePool) -> Self {
-        CompositeStore { archival, active, active_reads: 0, active_bytes_read: 0 }
+        CompositeStore {
+            archival,
+            active,
+            active_reads: 0,
+            active_bytes_read: 0,
+        }
     }
 }
 

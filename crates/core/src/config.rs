@@ -101,6 +101,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "history depth")]
     fn zero_depth_rejected() {
-        HiDeStoreConfig::small_for_tests().with_history_depth(0).validate();
+        HiDeStoreConfig::small_for_tests()
+            .with_history_depth(0)
+            .validate();
     }
 }

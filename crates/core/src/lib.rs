@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! **HiDeStore** — the paper's contribution: a backup system that enhances
@@ -60,9 +61,10 @@ mod stats;
 mod system;
 
 pub use active::{ActivePool, CompactionReport};
-pub use cache::{CacheEntry, FingerprintCache, Classification};
+pub use cache::{CacheEntry, Classification, FingerprintCache};
 pub use composite::{CompositeStore, ACTIVE_ID_BASE};
-pub use recluster::ReclusterReport;
 pub use config::HiDeStoreConfig;
+pub use persist::RepositoryMeta;
+pub use recluster::ReclusterReport;
 pub use stats::{DeletionReport, HiDeStoreRunStats, HiDeStoreVersionStats, ScrubReport};
-pub use system::{HiDeStore, HiDeStoreError};
+pub use system::{HiDeStore, HiDeStoreError, IntegrityViews};

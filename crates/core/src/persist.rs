@@ -29,6 +29,52 @@ use crate::system::{HiDeStore, HiDeStoreError};
 
 const META_MAGIC: &[u8; 4] = b"HDSM";
 
+/// The counters stored in a repository's `hidestore.meta` file, readable
+/// without opening the full repository (e.g. so `hds-fsck` can discover the
+/// history depth a repository was written with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepositoryMeta {
+    /// Next version number to assign (retained versions are below this).
+    pub next_version: u32,
+    /// Next archival container ID to assign.
+    pub next_archival: u32,
+    /// The history depth the repository was written with.
+    pub history_depth: u32,
+}
+
+impl RepositoryMeta {
+    /// Reads the meta file of the repository at `dir`. Returns `Ok(None)`
+    /// when no meta file exists (a fresh or never-saved repository).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or a corrupt meta file.
+    pub fn read(dir: impl AsRef<Path>) -> Result<Option<Self>, HiDeStoreError> {
+        let meta_path = dir.as_ref().join("hidestore.meta");
+        if !meta_path.exists() {
+            return Ok(None);
+        }
+        let meta = fs::read(&meta_path).map_err(StorageError::from)?;
+        if meta.len() < 16 || &meta[..4] != META_MAGIC {
+            return Err(HiDeStoreError::Storage(StorageError::Corrupt(
+                "bad repository meta file".into(),
+            )));
+        }
+        Ok(Some(RepositoryMeta {
+            next_version: meta_u32(&meta, 4),
+            next_archival: meta_u32(&meta, 8),
+            history_depth: meta_u32(&meta, 12),
+        }))
+    }
+}
+
+/// Little-endian u32 at `at`; the caller has checked `meta` is long enough.
+fn meta_u32(meta: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&meta[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
 impl HiDeStore<FileContainerStore> {
     /// Opens (or initializes) a persistent repository at `dir`.
     ///
@@ -48,28 +94,14 @@ impl HiDeStore<FileContainerStore> {
         let archival = FileContainerStore::open(dir.join("archival"))?;
         let mut system = HiDeStore::new(config, archival);
 
-        let meta_path = dir.join("hidestore.meta");
-        if !meta_path.exists() {
+        let Some(meta) = RepositoryMeta::read(dir)? else {
             return Ok(system);
-        }
-        // Counters.
-        let mut meta = Vec::new();
-        fs::File::open(&meta_path)
-            .map_err(StorageError::from)?
-            .read_to_end(&mut meta)
-            .map_err(StorageError::from)?;
-        if meta.len() < 16 || &meta[..4] != META_MAGIC {
-            return Err(HiDeStoreError::Storage(StorageError::Corrupt(
-                "bad repository meta file".into(),
-            )));
-        }
-        let next_version = u32::from_le_bytes(meta[4..8].try_into().expect("len checked"));
-        let next_archival = u32::from_le_bytes(meta[8..12].try_into().expect("len checked"));
-        let saved_depth = u32::from_le_bytes(meta[12..16].try_into().expect("len checked"));
-        if saved_depth as usize != system.config().history_depth {
+        };
+        if meta.history_depth as usize != system.config().history_depth {
             return Err(HiDeStoreError::Storage(StorageError::Corrupt(format!(
-                "repository was written with history depth {saved_depth}, \
+                "repository was written with history depth {}, \
                  reopened with {}",
+                meta.history_depth,
                 system.config().history_depth
             ))));
         }
@@ -91,7 +123,12 @@ impl HiDeStore<FileContainerStore> {
                 pool_containers.push(Container::decode(&bytes).map_err(StorageError::Corrupt)?);
             }
         }
-        system.restore_persistent_state(next_version, next_archival, recipes, pool_containers);
+        system.restore_persistent_state(
+            meta.next_version,
+            meta.next_archival,
+            recipes,
+            pool_containers,
+        )?;
         Ok(system)
     }
 
@@ -110,11 +147,11 @@ impl HiDeStore<FileContainerStore> {
         let active_dir = dir.join("active");
         let _ = fs::remove_dir_all(&active_dir);
         fs::create_dir_all(&active_dir).map_err(StorageError::from)?;
-        for cid in self.pool().container_ids() {
-            let snapshot = self.pool().snapshot(cid).expect("listed container exists");
+        for (cid, container) in self.pool().containers() {
             let path = active_dir.join(format!("a{cid}.ctr"));
             let mut f = fs::File::create(path).map_err(StorageError::from)?;
-            f.write_all(&snapshot.encode()).map_err(StorageError::from)?;
+            f.write_all(&container.encode())
+                .map_err(StorageError::from)?;
         }
 
         let mut meta = Vec::with_capacity(16);
@@ -136,7 +173,9 @@ pub(crate) fn rebuild_cache(
     depth: usize,
 ) -> FingerprintCache {
     let mut cache = FingerprintCache::new(depth);
-    let Some(latest) = recipes.latest_version() else { return cache };
+    let Some(latest) = recipes.latest_version() else {
+        return cache;
+    };
     // Collect the newest `depth` versions oldest-first so preload_history
     // ends with the newest at the front.
     let mut versions: Vec<VersionId> = Vec::new();
@@ -153,7 +192,9 @@ pub(crate) fn rebuild_cache(
     // Walk newest-first when assigning ownership; preload oldest-first.
     let mut tables: Vec<HashMap<Fingerprint, CacheEntry>> = Vec::new();
     for &w in versions.iter().rev() {
-        let recipe = recipes.get(w).expect("collected above");
+        let Some(recipe) = recipes.get(w) else {
+            continue;
+        };
         let mut table = HashMap::new();
         for entry in recipe.entries() {
             if seen_newer.contains(&entry.fingerprint) {
@@ -162,7 +203,10 @@ pub(crate) fn rebuild_cache(
             if let Some(cid) = pool.locate(&entry.fingerprint) {
                 table.insert(
                     entry.fingerprint,
-                    CacheEntry { size: entry.size, active_cid: cid },
+                    CacheEntry {
+                        size: entry.size,
+                        active_cid: cid,
+                    },
                 );
             }
             seen_newer.insert(entry.fingerprint);
@@ -184,8 +228,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("hidestore-persist-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("hidestore-persist-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -235,7 +279,11 @@ mod tests {
         for (i, expect) in [&v1, &v2].into_iter().enumerate() {
             let mut out = Vec::new();
             reopened
-                .restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out)
+                .restore(
+                    VersionId::new(i as u32 + 1),
+                    &mut Faa::new(1 << 18),
+                    &mut out,
+                )
                 .unwrap();
             assert_eq!(&out, expect, "V{} after reopen", i + 1);
         }
@@ -262,7 +310,9 @@ mod tests {
             stats.stored_bytes
         );
         let mut out = Vec::new();
-        reopened.restore(VersionId::new(2), &mut Faa::new(1 << 18), &mut out).unwrap();
+        reopened
+            .restore(VersionId::new(2), &mut Faa::new(1 << 18), &mut out)
+            .unwrap();
         assert_eq!(out, v2);
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -289,8 +339,7 @@ mod tests {
             system.backup(&noise(50_000, 7)).unwrap();
             system.save_repository(&dir).unwrap();
         }
-        let err =
-            HiDeStore::open_repository(config().with_history_depth(2), &dir).unwrap_err();
+        let err = HiDeStore::open_repository(config().with_history_depth(2), &dir).unwrap_err();
         assert!(err.to_string().contains("history depth"));
         fs::remove_dir_all(&dir).unwrap();
     }

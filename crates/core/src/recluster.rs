@@ -112,26 +112,29 @@ impl<S: ContainerStore> HiDeStore<S> {
             for (fp, data) in chunks {
                 report.chunks_moved += 1;
                 loop {
-                    if current.is_none() {
-                        let (id, reused) = if next_reuse < group_ids.len() {
-                            next_reuse += 1;
-                            (group_ids[next_reuse - 1], true)
-                        } else {
-                            (self.alloc_archival_id(), false)
-                        };
-                        let mut c = Container::new(id, capacity);
-                        c.set_version_tag(tag);
-                        current = Some(c);
-                        current_reused = reused;
-                    }
-                    let container = current.as_mut().expect("ensured above");
+                    let container = match current.as_mut() {
+                        Some(c) => c,
+                        None => {
+                            let (id, reused) = if next_reuse < group_ids.len() {
+                                next_reuse += 1;
+                                (group_ids[next_reuse - 1], true)
+                            } else {
+                                (self.alloc_archival_id(), false)
+                            };
+                            let mut c = Container::new(id, capacity);
+                            c.set_version_tag(tag);
+                            current_reused = reused;
+                            current.insert(c)
+                        }
+                    };
                     if container.try_add(fp, &data) {
                         relocations.insert(fp, container.id());
                         break;
                     }
-                    let full = current.take().expect("checked above");
-                    report.containers_rewritten += 1;
-                    seal(self, full, current_reused)?;
+                    if let Some(full) = current.take() {
+                        report.containers_rewritten += 1;
+                        seal(self, full, current_reused)?;
+                    }
                 }
             }
             if let Some(last) = current.take() {
@@ -155,10 +158,9 @@ impl<S: ContainerStore> HiDeStore<S> {
     ) -> u64 {
         let mut updated = 0;
         for version in self.recipes().versions() {
-            let recipe = self
-                .recipes_mut_internal()
-                .get_mut(version)
-                .expect("listed version exists");
+            let Some(recipe) = self.recipes_mut_internal().get_mut(version) else {
+                continue;
+            };
             for entry in recipe.entries_mut() {
                 if entry.cid.as_archival().is_some() {
                     if let Some(&new_cid) = relocations.get(&entry.fingerprint) {
@@ -223,8 +225,12 @@ mod tests {
         assert!(report.chunks_moved > 0, "{report:?}");
         for (i, snapshot) in snapshots.iter().enumerate() {
             let mut out = Vec::new();
-            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out)
-                .unwrap();
+            hds.restore(
+                VersionId::new(i as u32 + 1),
+                &mut Faa::new(1 << 18),
+                &mut out,
+            )
+            .unwrap();
             assert_eq!(&out, snapshot, "V{} after recluster", i + 1);
         }
     }
@@ -266,7 +272,8 @@ mod tests {
         hds.delete_expired(VersionId::new(4)).unwrap();
         for v in 5..=8u32 {
             let mut out = Vec::new();
-            hds.restore(VersionId::new(v), &mut Faa::new(1 << 18), &mut out).unwrap();
+            hds.restore(VersionId::new(v), &mut Faa::new(1 << 18), &mut out)
+                .unwrap();
             assert_eq!(&out, &snapshots[(v - 1) as usize], "survivor V{v}");
         }
     }
@@ -280,7 +287,8 @@ mod tests {
         // rewritten but restores stay correct.
         let _ = second;
         let mut out = Vec::new();
-        hds.restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out).unwrap();
+        hds.restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out)
+            .unwrap();
         assert_eq!(out, snapshots[0]);
     }
 }

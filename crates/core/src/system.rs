@@ -164,7 +164,9 @@ impl<S: ContainerStore> HiDeStore<S> {
         let sizes: Vec<u32> = trace.iter().map(|&(_, size)| size).collect();
         self.run_backup(&fingerprints, &sizes, |i| {
             std::borrow::Cow::Owned(
-                hidestore_storage::Chunk::synthetic(trace[i].0, trace[i].1).data().to_vec(),
+                hidestore_storage::Chunk::synthetic(trace[i].0, trace[i].1)
+                    .data()
+                    .to_vec(),
             )
         })
     }
@@ -243,8 +245,7 @@ impl<S: ContainerStore> HiDeStore<S> {
         let mut unique_chunks = 0u64;
         let mut current_fps: HashSet<Fingerprint> = HashSet::with_capacity(fingerprints.len());
         // Stream-order ranks guide the end-of-version compaction (§4.2).
-        let mut stream_rank: HashMap<Fingerprint, u32> =
-            HashMap::with_capacity(fingerprints.len());
+        let mut stream_rank: HashMap<Fingerprint, u32> = HashMap::with_capacity(fingerprints.len());
 
         for (i, (&fp, &size)) in fingerprints.iter().zip(sizes).enumerate() {
             stream_rank.entry(fp).or_insert(i as u32);
@@ -252,7 +253,8 @@ impl<S: ContainerStore> HiDeStore<S> {
                 Classification::Unique => {
                     let chunk = content(i);
                     let active_cid = self.pool.add(fp, &chunk);
-                    self.cache.insert_current(fp, CacheEntry { size, active_cid });
+                    self.cache
+                        .insert_current(fp, CacheEntry { size, active_cid });
                     stored_bytes += size as u64;
                     unique_chunks += 1;
                 }
@@ -268,8 +270,9 @@ impl<S: ContainerStore> HiDeStore<S> {
         let cold = self.cache.advance_version();
         let (moved, sealed) = self.demote_cold(&cold, version)?;
         let cold_bytes: u64 = cold.values().map(|e| e.size as u64).sum();
-        let (compaction, relocations) =
-            self.pool.compact_with_order(self.config.compact_threshold, &stream_rank);
+        let (compaction, relocations) = self
+            .pool
+            .compact_with_order(self.config.compact_threshold, &stream_rank);
         self.cache.apply_relocations(&relocations);
         let chunk_move_time = move_start.elapsed();
 
@@ -344,21 +347,24 @@ impl<S: ContainerStore> HiDeStore<S> {
             };
             pending.push(fp);
             loop {
-                if open.is_none() {
-                    let id = ContainerId::new(self.next_archival_id);
-                    self.next_archival_id += 1;
-                    let mut c = Container::new(id, self.config.container_capacity);
-                    c.set_version_tag(version.get());
-                    open = Some(c);
-                }
-                let container = open.as_mut().expect("ensured above");
+                let container = match open.as_mut() {
+                    Some(c) => c,
+                    None => {
+                        let id = ContainerId::new(self.next_archival_id);
+                        self.next_archival_id += 1;
+                        let mut c = Container::new(id, self.config.container_capacity);
+                        c.set_version_tag(version.get());
+                        open.insert(c)
+                    }
+                };
                 if container.try_add(fp, &data) {
                     moved.insert(fp, container.id());
                     break;
                 }
-                let full = open.take().expect("checked above");
-                self.archival.write(full)?;
-                sealed += 1;
+                if let Some(full) = open.take() {
+                    self.archival.write(full)?;
+                    sealed += 1;
+                }
             }
         }
         if let Some(last) = open.take() {
@@ -425,7 +431,10 @@ impl<S: ContainerStore> HiDeStore<S> {
             .latest_version()
             .ok_or(HiDeStoreError::UnknownVersion(up_to))?;
         if up_to >= newest {
-            return Err(HiDeStoreError::CannotExpireNewest { requested: up_to, newest });
+            return Err(HiDeStoreError::CannotExpireNewest {
+                requested: up_to,
+                newest,
+            });
         }
         let start = Instant::now();
         let mut report = DeletionReport::default();
@@ -487,13 +496,14 @@ impl<S: ContainerStore> HiDeStore<S> {
                 }
             }
         }
-        for cid in self.pool.container_ids() {
-            let container = self.pool.snapshot(cid).expect("listed container exists");
+        for (_, container) in self.pool.containers() {
             report.containers_checked += 1;
             for (fp, data) in container.iter() {
                 report.chunks_checked += 1;
                 if Fingerprint::of(data) != fp {
-                    report.corrupt_chunks.push((container.id().get(), fp.to_string()));
+                    report
+                        .corrupt_chunks
+                        .push((container.id().get(), fp.to_string()));
                 }
             }
         }
@@ -545,6 +555,22 @@ impl<S: ContainerStore> HiDeStore<S> {
         &self.config
     }
 
+    /// Splits the system into simultaneous borrows of the pieces an external
+    /// integrity checker needs: the recipe store, the active pool, and the
+    /// fingerprint cache read-only, plus the archival store mutably (reads
+    /// update its I/O statistics). This is the entry point `hidestore-fsck`
+    /// audits through.
+    pub fn integrity_views(&mut self) -> IntegrityViews<'_, S> {
+        IntegrityViews {
+            recipes: &self.recipes,
+            pool: &self.pool,
+            cache: &self.cache,
+            history_depth: self.config.history_depth,
+            next_version: self.next_version,
+            archival: &mut self.archival,
+        }
+    }
+
     /// Swaps in persisted state on repository reopen (see `persist`).
     pub(crate) fn restore_persistent_state(
         &mut self,
@@ -552,14 +578,14 @@ impl<S: ContainerStore> HiDeStore<S> {
         next_archival_id: u32,
         recipes: RecipeStore,
         pool_containers: Vec<Container>,
-    ) {
-        self.pool =
-            ActivePool::from_containers(self.config.container_capacity, pool_containers);
-        self.cache =
-            crate::persist::rebuild_cache(&recipes, &self.pool, self.config.history_depth);
+    ) -> Result<(), HiDeStoreError> {
+        self.pool = ActivePool::from_containers(self.config.container_capacity, pool_containers)
+            .map_err(|msg| HiDeStoreError::Storage(StorageError::Corrupt(msg)))?;
+        self.cache = crate::persist::rebuild_cache(&recipes, &self.pool, self.config.history_depth);
         self.recipes = recipes;
         self.next_version = next_version.max(1);
         self.next_archival_id = next_archival_id.max(1);
+        Ok(())
     }
 
     pub(crate) fn recipes_mut_internal(&mut self) -> &mut RecipeStore {
@@ -580,6 +606,25 @@ impl<S: ContainerStore> HiDeStore<S> {
     pub(crate) fn next_archival_raw(&self) -> u32 {
         self.next_archival_id
     }
+}
+
+/// Simultaneous borrow-split views of a [`HiDeStore`]'s state, produced by
+/// [`HiDeStore::integrity_views`] so a checker can walk recipes, pool, cache
+/// and archival store together without cloning any of them.
+pub struct IntegrityViews<'a, S> {
+    /// The recipe store (all retained versions).
+    pub recipes: &'a RecipeStore,
+    /// The active container pool.
+    pub pool: &'a ActivePool,
+    /// The double-hash fingerprint cache.
+    pub cache: &'a FingerprintCache,
+    /// The configured history depth (how many previous versions stay hot).
+    pub history_depth: usize,
+    /// The next version number to be assigned; every retained version and
+    /// container tag must be below it.
+    pub next_version: u32,
+    /// The archival container store, mutable because reads are `&mut`.
+    pub archival: &'a mut S,
 }
 
 impl<S: fmt::Debug> fmt::Debug for HiDeStore<S> {
@@ -612,7 +657,10 @@ mod tests {
     }
 
     fn system() -> HiDeStore<MemoryContainerStore> {
-        HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new())
+        HiDeStore::new(
+            HiDeStoreConfig::small_for_tests(),
+            MemoryContainerStore::new(),
+        )
     }
 
     /// Evolves `data` like a software upgrade: overwrite a region, append a
@@ -632,7 +680,8 @@ mod tests {
         assert_eq!(stats.logical_bytes, 150_000);
         assert!(stats.unique_chunks > 0);
         let mut out = Vec::new();
-        hds.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out).unwrap();
+        hds.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out)
+            .unwrap();
         assert_eq!(out, data);
     }
 
@@ -648,8 +697,12 @@ mod tests {
         }
         for (i, snapshot) in snapshots.iter().enumerate() {
             let mut out = Vec::new();
-            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 20), &mut out)
-                .unwrap();
+            hds.restore(
+                VersionId::new(i as u32 + 1),
+                &mut Faa::new(1 << 20),
+                &mut out,
+            )
+            .unwrap();
             assert_eq!(&out, snapshot, "version {}", i + 1);
         }
     }
@@ -697,7 +750,9 @@ mod tests {
         let latest = *hds.versions().last().unwrap();
         hds.archival_mut().reset_stats();
         let mut out = Vec::new();
-        let report = hds.restore(latest, &mut Faa::new(1 << 20), &mut out).unwrap();
+        let report = hds
+            .restore(latest, &mut Faa::new(1 << 20), &mut out)
+            .unwrap();
         assert_eq!(out, data);
         // The newest version's chunks are all hot, hence in the pool:
         // archival reads must be zero.
@@ -740,8 +795,12 @@ mod tests {
         assert!(updated > 0, "chains should have existed");
         for (i, snapshot) in snapshots.iter().enumerate() {
             let mut out = Vec::new();
-            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 20), &mut out)
-                .unwrap();
+            hds.restore(
+                VersionId::new(i as u32 + 1),
+                &mut Faa::new(1 << 20),
+                &mut out,
+            )
+            .unwrap();
             assert_eq!(&out, snapshot, "after flatten, version {}", i + 1);
         }
         // Post-flatten invariant: chains are at most one hop, and the hop
@@ -777,10 +836,14 @@ mod tests {
         let containers_before = hds.archival().ids().len();
         let report = hds.delete_expired(VersionId::new(3)).unwrap();
         assert_eq!(report.versions_removed, 3);
-        assert!(report.containers_dropped > 0, "had {containers_before} containers");
+        assert!(
+            report.containers_dropped > 0,
+            "had {containers_before} containers"
+        );
         for v in 4..=6u32 {
             let mut out = Vec::new();
-            hds.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out).unwrap();
+            hds.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out)
+                .unwrap();
             assert_eq!(&out, &snapshots[(v - 1) as usize], "survivor V{v}");
         }
         assert_eq!(hds.versions().len(), 3);
@@ -839,9 +902,13 @@ mod tests {
         hds.backup(&common).unwrap();
         let s3 = hds.backup(&v1).unwrap();
         // With depth 2 the extra chunks were still cached: nothing re-stored.
-        assert_eq!(s3.stored_bytes, 0, "depth-2 cache must rescue skipped chunks");
+        assert_eq!(
+            s3.stored_bytes, 0,
+            "depth-2 cache must rescue skipped chunks"
+        );
         let mut out = Vec::new();
-        hds.restore(VersionId::new(3), &mut Faa::new(1 << 20), &mut out).unwrap();
+        hds.restore(VersionId::new(3), &mut Faa::new(1 << 20), &mut out)
+            .unwrap();
         assert_eq!(out, v1);
     }
 
@@ -870,7 +937,10 @@ mod trace_tests {
     }
 
     fn system() -> HiDeStore<MemoryContainerStore> {
-        HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new())
+        HiDeStore::new(
+            HiDeStoreConfig::small_for_tests(),
+            MemoryContainerStore::new(),
+        )
     }
 
     #[test]
@@ -885,7 +955,10 @@ mod trace_tests {
         v3.truncate(900);
         v3.extend(trace(20_000..20_100));
         let s3 = hds.backup_trace(&v3).unwrap();
-        assert!(s3.stored_bytes <= 100 * 2048, "only the churned chunks stored");
+        assert!(
+            s3.stored_bytes <= 100 * 2048,
+            "only the churned chunks stored"
+        );
 
         // Every version restores (synthetic filler, correct sizes).
         for v in 1..=3u32 {
@@ -950,13 +1023,21 @@ mod reader_tests {
     #[test]
     fn reader_backup_equals_slice_backup() {
         let data = noise(300_000, 21);
-        let mut by_slice =
-            HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new());
-        let mut by_reader =
-            HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new());
+        let mut by_slice = HiDeStore::new(
+            HiDeStoreConfig::small_for_tests(),
+            MemoryContainerStore::new(),
+        );
+        let mut by_reader = HiDeStore::new(
+            HiDeStoreConfig::small_for_tests(),
+            MemoryContainerStore::new(),
+        );
         let a = by_slice.backup(&data).unwrap();
         let b = by_reader
-            .backup_reader(DribbleReader { data: &data, pos: 0, step: 997 })
+            .backup_reader(DribbleReader {
+                data: &data,
+                pos: 0,
+                step: 997,
+            })
             .unwrap();
         assert_eq!(a.chunks, b.chunks);
         assert_eq!(a.stored_bytes, b.stored_bytes);
@@ -970,19 +1051,24 @@ mod reader_tests {
     #[test]
     fn reader_backup_restores_byte_exact() {
         let data = noise(200_000, 22);
-        let mut hds =
-            HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new());
+        let mut hds = HiDeStore::new(
+            HiDeStoreConfig::small_for_tests(),
+            MemoryContainerStore::new(),
+        );
         hds.backup_reader(&data[..]).unwrap();
         let mut out = Vec::new();
-        hds.restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out).unwrap();
+        hds.restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out)
+            .unwrap();
         assert_eq!(out, data);
     }
 
     #[test]
     fn reader_backup_deduplicates_against_slice_backup() {
         let data = noise(150_000, 23);
-        let mut hds =
-            HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new());
+        let mut hds = HiDeStore::new(
+            HiDeStoreConfig::small_for_tests(),
+            MemoryContainerStore::new(),
+        );
         hds.backup(&data).unwrap();
         let s2 = hds.backup_reader(&data[..]).unwrap();
         assert_eq!(s2.stored_bytes, 0, "reader path must hit the same cache");
@@ -990,8 +1076,10 @@ mod reader_tests {
 
     #[test]
     fn empty_reader_is_valid() {
-        let mut hds =
-            HiDeStore::new(HiDeStoreConfig::small_for_tests(), MemoryContainerStore::new());
+        let mut hds = HiDeStore::new(
+            HiDeStoreConfig::small_for_tests(),
+            MemoryContainerStore::new(),
+        );
         let stats = hds.backup_reader(std::io::empty()).unwrap();
         assert_eq!(stats.chunks, 0);
     }

@@ -71,8 +71,7 @@ pub fn analyze_recipe(recipe: &Recipe, container_capacity: usize) -> Fragmentati
     }
     let logical_bytes = recipe.total_bytes();
     let containers_referenced = contribution.len();
-    let optimal_containers =
-        ((logical_bytes as usize).div_ceil(container_capacity.max(1))).max(1);
+    let optimal_containers = ((logical_bytes as usize).div_ceil(container_capacity.max(1))).max(1);
     let cfl = if containers_referenced == 0 {
         1.0
     } else {
@@ -105,8 +104,11 @@ fn gini(values: impl Iterator<Item = u64>) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let weighted: f64 =
-        v.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
     ((2.0 * weighted) / (n * total as f64) - (n + 1.0) / n).max(0.0)
 }
 
@@ -127,8 +129,7 @@ pub fn analyze_plan(
         *contribution.entry(container).or_default() += size as u64;
     }
     let containers_referenced = contribution.len();
-    let optimal_containers =
-        ((logical_bytes as usize).div_ceil(container_capacity.max(1))).max(1);
+    let optimal_containers = ((logical_bytes as usize).div_ceil(container_capacity.max(1))).max(1);
     let cfl = if containers_referenced == 0 {
         1.0
     } else {
@@ -226,7 +227,10 @@ mod tests {
         let skewed = analyze_recipe(&r, 1 << 20).contribution_skew;
         let uniform =
             analyze_recipe(&recipe_over(&[1, 2, 3, 4, 5, 6], 1024), 1 << 20).contribution_skew;
-        assert!(skewed > uniform + 0.2, "skewed {skewed:.3} vs uniform {uniform:.3}");
+        assert!(
+            skewed > uniform + 0.2,
+            "skewed {skewed:.3} vs uniform {uniform:.3}"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl PipelineConfig {
     /// maximum-size chunk.
     pub fn validate(&self) {
         assert!(self.avg_chunk_size >= 64, "average chunk size too small");
-        assert!(self.segment_chunks > 0, "segment must hold at least one chunk");
+        assert!(
+            self.segment_chunks > 0,
+            "segment must hold at least one chunk"
+        );
         let max_chunk = self.chunker.build(self.avg_chunk_size).max_size();
         assert!(
             self.container_capacity >= max_chunk,

@@ -111,16 +111,19 @@ impl FromStr for DestorConfig {
                     }
                 }
                 "chunk" => {
-                    config.pipeline.avg_chunk_size =
-                        value.parse().map_err(|e| err(format!("bad chunk size: {e}")))?
+                    config.pipeline.avg_chunk_size = value
+                        .parse()
+                        .map_err(|e| err(format!("bad chunk size: {e}")))?
                 }
                 "container" => {
-                    config.pipeline.container_capacity =
-                        value.parse().map_err(|e| err(format!("bad container size: {e}")))?
+                    config.pipeline.container_capacity = value
+                        .parse()
+                        .map_err(|e| err(format!("bad container size: {e}")))?
                 }
                 "segment" => {
-                    config.pipeline.segment_chunks =
-                        value.parse().map_err(|e| err(format!("bad segment size: {e}")))?
+                    config.pipeline.segment_chunks = value
+                        .parse()
+                        .map_err(|e| err(format!("bad segment size: {e}")))?
                 }
                 "index" => {
                     config.index = match value {
@@ -141,15 +144,15 @@ impl FromStr for DestorConfig {
                         other => return Err(err(format!("unknown rewrite scheme {other:?}"))),
                     }
                 }
-                "cap" => {
-                    config.cap =
-                        value.parse().map_err(|e| err(format!("bad cap: {e}")))?
-                }
+                "cap" => config.cap = value.parse().map_err(|e| err(format!("bad cap: {e}")))?,
                 other => return Err(err(format!("unknown key {other:?}"))),
             }
         }
         if config.cap == 0 {
-            return Err(ParseConfigError { line: 0, message: "cap must be >= 1".into() });
+            return Err(ParseConfigError {
+                line: 0,
+                message: "cap must be >= 1".into(),
+            });
         }
         Ok(config)
     }
@@ -261,10 +264,13 @@ mod tests {
             .parse()
             .unwrap();
         let mut p = config.build_pipeline();
-        let data: Vec<u8> = (0..200_000u32).map(|i| (i.wrapping_mul(2654435761) >> 17) as u8).collect();
+        let data: Vec<u8> = (0..200_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 17) as u8)
+            .collect();
         p.backup(&data).unwrap();
         let mut out = Vec::new();
-        p.restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out).unwrap();
+        p.restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out)
+            .unwrap();
         assert_eq!(out, data);
     }
 

@@ -72,8 +72,10 @@ pub fn mark_sweep(
     for id in store.ids() {
         report.containers_scanned += 1;
         let container = store.read(id)?;
-        let dead: Vec<Fingerprint> =
-            container.fingerprints().filter(|fp| !live.contains(fp)).collect();
+        let dead: Vec<Fingerprint> = container
+            .fingerprints()
+            .filter(|fp| !live.contains(fp))
+            .collect();
         if dead.is_empty() {
             continue;
         }
@@ -96,18 +98,21 @@ pub fn mark_sweep(
             report.containers_compacted += 1;
             for (fp, data) in modified.drain_chunks() {
                 loop {
-                    if merge_target.is_none() {
-                        let new_id = ContainerId::new(*next_container_id);
-                        *next_container_id += 1;
-                        merge_target = Some(Container::new(new_id, container.capacity()));
-                    }
-                    let target = merge_target.as_mut().expect("ensured above");
+                    let target = match merge_target.as_mut() {
+                        Some(t) => t,
+                        None => {
+                            let new_id = ContainerId::new(*next_container_id);
+                            *next_container_id += 1;
+                            merge_target.insert(Container::new(new_id, container.capacity()))
+                        }
+                    };
                     if target.try_add(fp, &data) {
                         relocations.insert(fp, target.id());
                         break;
                     }
-                    let full = merge_target.take().expect("checked above");
-                    store.write(full)?;
+                    if let Some(full) = merge_target.take() {
+                        store.write(full)?;
+                    }
                 }
             }
             store.remove(id)?;
@@ -125,7 +130,9 @@ pub fn mark_sweep(
     // Fix surviving recipes that referenced migrated chunks.
     if !relocations.is_empty() {
         for version in recipes.versions() {
-            let recipe = recipes.get_mut(version).expect("listed version exists");
+            let Some(recipe) = recipes.get_mut(version) else {
+                continue;
+            };
             for entry in recipe.entries_mut() {
                 if let Some(&new_cid) = relocations.get(&entry.fingerprint) {
                     if entry.cid != Cid::archival(new_cid) {
@@ -187,14 +194,20 @@ mod tests {
         let (mut p, datasets) = build_three_versions();
         let mut next_id = 10_000;
         let mut recipes = std::mem::take(p.recipes_mut());
-        let report =
-            mark_sweep(&[VersionId::new(1)], &mut recipes, p.store_mut(), 0.4, &mut next_id)
-                .unwrap();
+        let report = mark_sweep(
+            &[VersionId::new(1)],
+            &mut recipes,
+            p.store_mut(),
+            0.4,
+            &mut next_id,
+        )
+        .unwrap();
         *p.recipes_mut() = recipes;
         assert!(report.containers_scanned > 0);
         for v in 2..=3u32 {
             let mut out = Vec::new();
-            p.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out).unwrap();
+            p.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out)
+                .unwrap();
             assert_eq!(out, datasets[(v - 1) as usize], "version {v}");
         }
     }
@@ -205,9 +218,14 @@ mod tests {
         let stored_before: usize = p.store().ids().len();
         let mut next_id = 10_000;
         let mut recipes = std::mem::take(p.recipes_mut());
-        let report =
-            mark_sweep(&[VersionId::new(1)], &mut recipes, p.store_mut(), 0.4, &mut next_id)
-                .unwrap();
+        let report = mark_sweep(
+            &[VersionId::new(1)],
+            &mut recipes,
+            p.store_mut(),
+            0.4,
+            &mut next_id,
+        )
+        .unwrap();
         *p.recipes_mut() = recipes;
         assert!(report.chunks_reclaimed > 0, "v1-exclusive chunks must die");
         let _ = stored_before;
@@ -219,8 +237,7 @@ mod tests {
         let mut next_id = 10_000;
         let mut recipes = std::mem::take(p.recipes_mut());
         let versions: Vec<VersionId> = recipes.versions();
-        let report =
-            mark_sweep(&versions, &mut recipes, p.store_mut(), 0.4, &mut next_id).unwrap();
+        let report = mark_sweep(&versions, &mut recipes, p.store_mut(), 0.4, &mut next_id).unwrap();
         assert_eq!(p.store().ids().len(), 0);
         assert!(report.containers_dropped > 0);
     }

@@ -26,6 +26,14 @@ pub enum PipelineError {
     Restore(RestoreError),
     /// A restore was requested for an unknown version.
     UnknownVersion(VersionId),
+    /// A recipe entry was not fully resolved to an archival container —
+    /// baseline recipes never chain, so this indicates corruption.
+    UnresolvedRecipeEntry {
+        /// The version whose recipe held the bad entry.
+        version: VersionId,
+        /// The chunk whose location was not archival.
+        fingerprint: Fingerprint,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -34,6 +42,13 @@ impl fmt::Display for PipelineError {
             PipelineError::Storage(e) => write!(f, "storage error: {e}"),
             PipelineError::Restore(e) => write!(f, "restore error: {e}"),
             PipelineError::UnknownVersion(v) => write!(f, "no recipe for version {v}"),
+            PipelineError::UnresolvedRecipeEntry {
+                version,
+                fingerprint,
+            } => write!(
+                f,
+                "recipe for {version} holds a non-archival location for chunk {fingerprint}"
+            ),
         }
     }
 }
@@ -43,7 +58,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Storage(e) => Some(e),
             PipelineError::Restore(e) => Some(e),
-            PipelineError::UnknownVersion(_) => None,
+            PipelineError::UnknownVersion(_) | PipelineError::UnresolvedRecipeEntry { .. } => None,
         }
     }
 }
@@ -141,7 +156,9 @@ impl<I: FingerprintIndex, R: RewritePolicy, S: ContainerStore> BackupPipeline<I,
         let sizes: Vec<u32> = trace.iter().map(|&(_, size)| size).collect();
         self.run_backup(&fingerprints, &sizes, |i| {
             std::borrow::Cow::Owned(
-                hidestore_storage::Chunk::synthetic(trace[i].0, trace[i].1).data().to_vec(),
+                hidestore_storage::Chunk::synthetic(trace[i].0, trace[i].1)
+                    .data()
+                    .to_vec(),
             )
         })
     }
@@ -172,8 +189,10 @@ impl<I: FingerprintIndex, R: RewritePolicy, S: ContainerStore> BackupPipeline<I,
             let seg_range = seg_start..seg_end;
 
             // Phase 3: index lookup.
-            let lookup_input: Vec<(Fingerprint, u32)> =
-                seg_range.clone().map(|i| (fingerprints[i], sizes[i])).collect();
+            let lookup_input: Vec<(Fingerprint, u32)> = seg_range
+                .clone()
+                .map(|i| (fingerprints[i], sizes[i]))
+                .collect();
             let decisions = self.index.process_segment(&lookup_input);
 
             // Intra-version duplicates are resolved by the pipeline itself
@@ -240,18 +259,17 @@ impl<I: FingerprintIndex, R: RewritePolicy, S: ContainerStore> BackupPipeline<I,
         Ok(stats)
     }
 
-    fn append_chunk(
-        &mut self,
-        fp: Fingerprint,
-        data: &[u8],
-    ) -> Result<ContainerId, PipelineError> {
+    fn append_chunk(&mut self, fp: Fingerprint, data: &[u8]) -> Result<ContainerId, PipelineError> {
         loop {
-            if self.open_container.is_none() {
-                let id = ContainerId::new(self.next_container);
-                self.next_container += 1;
-                self.open_container = Some(Container::new(id, self.config.container_capacity));
-            }
-            let container = self.open_container.as_mut().expect("ensured above");
+            let container = match self.open_container.as_mut() {
+                Some(c) => c,
+                None => {
+                    let id = ContainerId::new(self.next_container);
+                    self.next_container += 1;
+                    self.open_container
+                        .insert(Container::new(id, self.config.container_capacity))
+                }
+            };
             if container.contains(&fp) {
                 return Ok(container.id());
             }
@@ -259,8 +277,9 @@ impl<I: FingerprintIndex, R: RewritePolicy, S: ContainerStore> BackupPipeline<I,
                 return Ok(container.id());
             }
             // Full: seal and retry with a fresh container.
-            let sealed = self.open_container.take().expect("just inserted");
-            self.store.write(sealed)?;
+            if let Some(sealed) = self.open_container.take() {
+                self.store.write(sealed)?;
+            }
         }
     }
 
@@ -293,10 +312,16 @@ impl<I: FingerprintIndex, R: RewritePolicy, S: ContainerStore> BackupPipeline<I,
             .entries()
             .iter()
             .map(|e| {
-                let cid = e.cid.as_archival().expect("baseline recipes are fully resolved");
-                RestoreEntry::new(e.fingerprint, e.size, cid)
+                let cid = e
+                    .cid
+                    .as_archival()
+                    .ok_or(PipelineError::UnresolvedRecipeEntry {
+                        version,
+                        fingerprint: e.fingerprint,
+                    })?;
+                Ok(RestoreEntry::new(e.fingerprint, e.size, cid))
             })
-            .collect();
+            .collect::<Result<_, PipelineError>>()?;
         Ok(cache.restore(&plan, &mut self.store, out)?)
     }
 
@@ -393,7 +418,8 @@ mod tests {
         let data = noise(200_000, 1);
         p.backup(&data).unwrap();
         let mut out = Vec::new();
-        p.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out).unwrap();
+        p.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out)
+            .unwrap();
         assert_eq!(out, data);
     }
 
@@ -409,7 +435,8 @@ mod tests {
         // Both versions restore correctly.
         for v in 1..=2 {
             let mut out = Vec::new();
-            p.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out).unwrap();
+            p.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out)
+                .unwrap();
             assert_eq!(out, data, "version {v}");
         }
     }
@@ -429,7 +456,8 @@ mod tests {
             s2.stored_bytes
         );
         let mut out = Vec::new();
-        p.restore(VersionId::new(2), &mut Faa::new(1 << 20), &mut out).unwrap();
+        p.restore(VersionId::new(2), &mut Faa::new(1 << 20), &mut out)
+            .unwrap();
         assert_eq!(out, data);
     }
 
@@ -448,7 +476,8 @@ mod tests {
             block.len()
         );
         let mut out = Vec::new();
-        p.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out).unwrap();
+        p.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out)
+            .unwrap();
         assert_eq!(out, data);
     }
 
@@ -510,7 +539,8 @@ mod tests {
         let ids = p.store().ids();
         assert!(!ids.is_empty());
         let mut out = Vec::new();
-        p.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out).unwrap();
+        p.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out)
+            .unwrap();
     }
 
     #[test]
@@ -519,7 +549,8 @@ mod tests {
         let s = p.backup(&[]).unwrap();
         assert_eq!(s.chunks, 0);
         let mut out = Vec::new();
-        p.restore(VersionId::new(1), &mut Faa::new(1024), &mut out).unwrap();
+        p.restore(VersionId::new(1), &mut Faa::new(1024), &mut out)
+            .unwrap();
         assert!(out.is_empty());
     }
 }
@@ -581,7 +612,8 @@ mod trace_tests {
         let data = vec![9u8; 50_000];
         p.backup(&data).unwrap();
         let mut out = Vec::new();
-        p.restore(VersionId::new(2), &mut Faa::new(1 << 18), &mut out).unwrap();
+        p.restore(VersionId::new(2), &mut Faa::new(1 << 18), &mut out)
+            .unwrap();
         assert_eq!(out, data);
     }
 }

@@ -1,0 +1,129 @@
+//! `hds-fsck` — offline invariant checker for an on-disk HiDeStore
+//! repository directory (as written by `HiDeStore::save_repository`).
+//!
+//! Usage: `hds-fsck <repo-dir> [--no-content] [--json]`
+//!
+//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+use hidestore_core::{HiDeStore, HiDeStoreConfig, RepositoryMeta};
+use hidestore_fsck::{AuditOptions, AuditReport, Severity, SystemAuditor};
+
+struct Args {
+    dir: String,
+    verify_content: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut dir = None;
+    let mut verify_content = true;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-content" => verify_content = false,
+            "--json" => json = true,
+            "-h" | "--help" => {
+                return Err("usage: hds-fsck <repo-dir> [--no-content] [--json]".into())
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
+            other => {
+                if dir.replace(other.to_string()).is_some() {
+                    return Err("expected exactly one repository directory".into());
+                }
+            }
+        }
+    }
+    let dir = dir.ok_or("usage: hds-fsck <repo-dir> [--no-content] [--json]")?;
+    Ok(Args {
+        dir,
+        verify_content,
+        json,
+    })
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(report: &AuditReport) {
+    println!("{{");
+    println!("  \"clean\": {},", report.is_clean());
+    println!("  \"containers_checked\": {},", report.containers_checked);
+    println!("  \"chunks_checked\": {},", report.chunks_checked);
+    println!("  \"recipes_checked\": {},", report.recipes_checked);
+    println!("  \"entries_checked\": {},", report.entries_checked);
+    println!("  \"orphan_chunks\": {},", report.orphan_chunks);
+    println!("  \"orphan_bytes\": {},", report.orphan_bytes);
+    println!("  \"findings\": [");
+    for (i, finding) in report.findings.iter().enumerate() {
+        let comma = if i + 1 < report.findings.len() {
+            ","
+        } else {
+            ""
+        };
+        println!(
+            "    {{\"severity\": \"{}\", \"message\": \"{}\"}}{comma}",
+            finding.severity,
+            json_escape(&finding.to_string())
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}
+
+fn run() -> Result<AuditReport, String> {
+    let args = parse_args()?;
+
+    // The repository meta file records the history depth the store was
+    // built with; opening with a mismatched depth is refused by the core.
+    let meta = RepositoryMeta::read(&args.dir)
+        .map_err(|e| format!("cannot read repository meta: {e}"))?
+        .ok_or_else(|| format!("{}: not a HiDeStore repository (no meta file)", args.dir))?;
+
+    let config = HiDeStoreConfig::default().with_history_depth(meta.history_depth as usize);
+    let mut system = HiDeStore::open_repository(config, &args.dir)
+        .map_err(|e| format!("cannot open repository: {e}"))?;
+
+    let auditor = SystemAuditor::with_options(AuditOptions {
+        verify_content: args.verify_content,
+    });
+    let report = auditor.audit(&mut system);
+
+    if args.json {
+        print_json(&report);
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        println!("{report}");
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(report) => match report.max_severity() {
+            None => ExitCode::SUCCESS,
+            Some(Severity::Warning) | Some(Severity::Error) => ExitCode::from(1),
+        },
+        Err(msg) => {
+            eprintln!("hds-fsck: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

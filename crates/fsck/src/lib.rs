@@ -1,0 +1,957 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Cross-layer invariant checker for HiDeStore repositories.
+//!
+//! HiDeStore's correctness rests on invariants that span three layers —
+//! recipes, the active container pool, and the archival container store —
+//! plus the in-memory fingerprint cache:
+//!
+//! 1. **Reference integrity** — every recipe entry's CID resolves, possibly
+//!    through a recipe chain, to a container that actually holds the chunk.
+//! 2. **Content integrity** — every stored chunk's payload re-hashes to its
+//!    20-byte fingerprint.
+//! 3. **Structural integrity** — each container's metadata section agrees
+//!    with its data section: entry offsets/lengths in bounds, live entries
+//!    non-overlapping, live-byte accounting exact.
+//! 4. **ID-space disjointness** — archival containers live below
+//!    [`ACTIVE_ID_BASE`], active-pool snapshots at or above it, so one
+//!    restore plan can mix both without collision.
+//! 5. **Chain sanity** — recipe chains only point *forward* (to strictly
+//!    newer versions), are acyclic, and never dangle.
+//! 6. **Cold accounting** — archival chunks referenced by no recipe are
+//!    tolerated only in version-tagged containers (the documented
+//!    failed-demotion case, reclaimed by tag-ranged deletion); an orphan in
+//!    an untagged container would leak forever.
+//!
+//! [`SystemAuditor`] walks all of it and reports each violation as a typed
+//! [`Finding`] with a [`Severity`] — it never panics on corrupt input, so a
+//! single audit pass enumerates *all* damage. The `hds-fsck` binary runs the
+//! same auditor against an on-disk repository directory.
+//!
+//! # Examples
+//!
+//! ```
+//! use hidestore_core::{HiDeStore, HiDeStoreConfig};
+//! use hidestore_fsck::SystemAuditor;
+//! use hidestore_storage::MemoryContainerStore;
+//!
+//! let mut system = HiDeStore::new(
+//!     HiDeStoreConfig::small_for_tests(),
+//!     MemoryContainerStore::new(),
+//! );
+//! system.backup(b"some data to back up and audit afterwards")?;
+//! let report = SystemAuditor::new().audit(&mut system);
+//! assert!(report.is_clean(), "{report}");
+//! # Ok::<(), hidestore_core::HiDeStoreError>(())
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use hidestore_core::{ActivePool, HiDeStore, IntegrityViews, ACTIVE_ID_BASE};
+use hidestore_hash::Fingerprint;
+use hidestore_storage::{Cid, Container, ContainerStore, RecipeStore};
+
+/// How bad a [`Finding`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious or wasteful, but every retained version still restores
+    /// correctly (e.g. a stale cache entry, a leaked orphan chunk).
+    Warning,
+    /// An invariant is broken: some restore would fail or return wrong data,
+    /// or metadata no longer describes the physical layout.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The specific invariant violation a [`Finding`] reports.
+///
+/// Container IDs are raw `u32`s (archival IDs below [`ACTIVE_ID_BASE`],
+/// active-pool snapshot IDs at or above it); versions are raw recipe
+/// version numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FindingKind {
+    /// A container listed by the store could not be read or decoded.
+    UnreadableContainer {
+        /// The unreadable container's ID.
+        id: u32,
+        /// The storage-layer error message.
+        detail: String,
+    },
+    /// A container sits in the wrong ID space (an archival container at or
+    /// above [`ACTIVE_ID_BASE`], or a pool container whose ID does not match
+    /// its pool slot).
+    IdSpaceViolation {
+        /// The offending container ID.
+        id: u32,
+        /// Whether the container was found on the archival side.
+        archival: bool,
+    },
+    /// A container metadata entry points past the end of the data section.
+    EntryOutOfBounds {
+        /// The container holding the bad entry.
+        container: u32,
+        /// The chunk whose entry is out of bounds.
+        fingerprint: Fingerprint,
+        /// The entry's byte offset.
+        offset: u32,
+        /// The entry's byte length.
+        length: u32,
+        /// The data section's actual size.
+        data_len: u64,
+    },
+    /// Two live metadata entries of one container overlap in the data
+    /// section.
+    EntryOverlap {
+        /// The container holding the overlapping entries.
+        container: u32,
+        /// One of the overlapping chunks.
+        a: Fingerprint,
+        /// The other overlapping chunk.
+        b: Fingerprint,
+    },
+    /// A chunk's payload does not re-hash to its fingerprint.
+    ChunkHashMismatch {
+        /// The container holding the corrupt chunk.
+        container: u32,
+        /// The expected fingerprint.
+        fingerprint: Fingerprint,
+    },
+    /// A container's recorded live-byte count disagrees with the sum of its
+    /// entry lengths.
+    AccountingMismatch {
+        /// The container with inconsistent accounting.
+        container: u32,
+        /// The container's own live-byte figure.
+        recorded: u64,
+        /// The sum of entry lengths the auditor computed.
+        computed: u64,
+    },
+    /// An archival container's version tag is newer than any version the
+    /// system has assigned — tag-ranged deletion would misjudge it.
+    FutureVersionTag {
+        /// The container with the anomalous tag.
+        container: u32,
+        /// The tag found.
+        tag: u32,
+        /// The system's next (not yet assigned) version number.
+        next_version: u32,
+    },
+    /// A recipe entry references an archival container the store does not
+    /// have.
+    DanglingArchivalRef {
+        /// The version whose recipe holds the entry.
+        version: u32,
+        /// The referenced chunk.
+        fingerprint: Fingerprint,
+        /// The missing container ID.
+        container: u32,
+    },
+    /// A referenced archival container exists but does not hold the chunk.
+    ArchivalChunkMissing {
+        /// The version whose recipe holds the entry.
+        version: u32,
+        /// The chunk the container should hold.
+        fingerprint: Fingerprint,
+        /// The container that lacks it.
+        container: u32,
+    },
+    /// A recipe entry marked `ACTIVE` references a chunk absent from the
+    /// active pool.
+    ActiveChunkMissingFromPool {
+        /// The version whose recipe holds the entry.
+        version: u32,
+        /// The missing chunk.
+        fingerprint: Fingerprint,
+    },
+    /// A chained recipe entry points at a version with no retained recipe.
+    MissingChainTarget {
+        /// The version whose recipe chain broke.
+        version: u32,
+        /// The chunk being resolved.
+        fingerprint: Fingerprint,
+        /// The chained-to version that has no recipe.
+        target: u32,
+    },
+    /// A chain hop landed in a recipe that does not contain the chunk.
+    ChainBrokenAt {
+        /// The version whose entry started the walk.
+        version: u32,
+        /// The chunk being resolved.
+        fingerprint: Fingerprint,
+        /// The recipe that lacks the chunk.
+        at: u32,
+    },
+    /// A chain hop points backward or sideways (target version not strictly
+    /// newer) — forward-only chains are what makes resolution finite.
+    ChainNotVersionOrdered {
+        /// The version whose entry started the walk.
+        version: u32,
+        /// The chunk being resolved.
+        fingerprint: Fingerprint,
+        /// The version the bad hop left from.
+        from: u32,
+        /// The version the bad hop points to.
+        to: u32,
+    },
+    /// Following a chain revisited a version — the chain is cyclic and the
+    /// chunk unresolvable.
+    ChainCycle {
+        /// The version whose entry started the walk.
+        version: u32,
+        /// The chunk whose chain cycles.
+        fingerprint: Fingerprint,
+    },
+    /// A fingerprint-cache entry disagrees with the pool (chunk gone, or
+    /// pooled in a different container than the cache believes).
+    StaleCacheEntry {
+        /// The cached chunk.
+        fingerprint: Fingerprint,
+        /// The pool-local container ID the cache records.
+        cached_cid: u32,
+    },
+    /// An unreferenced archival chunk lives in an *untagged* container:
+    /// tag-ranged deletion will never reclaim it.
+    OrphanUntagged {
+        /// The untagged container holding the orphan.
+        container: u32,
+        /// The orphaned chunk.
+        fingerprint: Fingerprint,
+    },
+}
+
+/// One invariant violation found by [`SystemAuditor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// How bad it is.
+    pub severity: Severity,
+    /// What exactly is wrong.
+    pub kind: FindingKind,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.severity)?;
+        match &self.kind {
+            FindingKind::UnreadableContainer { id, detail } => {
+                write!(f, "container {id} unreadable: {detail}")
+            }
+            FindingKind::IdSpaceViolation { id, archival } => {
+                let side = if *archival {
+                    "archival store"
+                } else {
+                    "active pool"
+                };
+                write!(f, "container {id} is in the wrong ID space for the {side}")
+            }
+            FindingKind::EntryOutOfBounds {
+                container,
+                fingerprint,
+                offset,
+                length,
+                data_len,
+            } => {
+                write!(
+                    f,
+                    "container {container} entry {fingerprint} spans {offset}+{length}, \
+                     past data section of {data_len} bytes"
+                )
+            }
+            FindingKind::EntryOverlap { container, a, b } => {
+                write!(f, "container {container} entries {a} and {b} overlap")
+            }
+            FindingKind::ChunkHashMismatch {
+                container,
+                fingerprint,
+            } => {
+                write!(f, "container {container} chunk {fingerprint} fails re-hash")
+            }
+            FindingKind::AccountingMismatch {
+                container,
+                recorded,
+                computed,
+            } => {
+                write!(
+                    f,
+                    "container {container} records {recorded} live bytes but entries \
+                     sum to {computed}"
+                )
+            }
+            FindingKind::FutureVersionTag {
+                container,
+                tag,
+                next_version,
+            } => {
+                write!(
+                    f,
+                    "container {container} tagged with version {tag}, but the next \
+                     version to be assigned is {next_version}"
+                )
+            }
+            FindingKind::DanglingArchivalRef {
+                version,
+                fingerprint,
+                container,
+            } => {
+                write!(
+                    f,
+                    "recipe V{version} chunk {fingerprint} references missing archival \
+                     container {container}"
+                )
+            }
+            FindingKind::ArchivalChunkMissing {
+                version,
+                fingerprint,
+                container,
+            } => {
+                write!(
+                    f,
+                    "recipe V{version} chunk {fingerprint} not held by archival \
+                     container {container}"
+                )
+            }
+            FindingKind::ActiveChunkMissingFromPool {
+                version,
+                fingerprint,
+            } => {
+                write!(
+                    f,
+                    "recipe V{version} chunk {fingerprint} marked active but absent \
+                     from the pool"
+                )
+            }
+            FindingKind::MissingChainTarget {
+                version,
+                fingerprint,
+                target,
+            } => {
+                write!(
+                    f,
+                    "recipe V{version} chunk {fingerprint} chains to V{target}, which \
+                     has no recipe"
+                )
+            }
+            FindingKind::ChainBrokenAt {
+                version,
+                fingerprint,
+                at,
+            } => {
+                write!(
+                    f,
+                    "recipe V{version} chunk {fingerprint} chain broke at V{at} (chunk \
+                     not in that recipe)"
+                )
+            }
+            FindingKind::ChainNotVersionOrdered {
+                version,
+                fingerprint,
+                from,
+                to,
+            } => {
+                write!(
+                    f,
+                    "recipe V{version} chunk {fingerprint} chain hop V{from} -> V{to} \
+                     is not forward"
+                )
+            }
+            FindingKind::ChainCycle {
+                version,
+                fingerprint,
+            } => {
+                write!(f, "recipe V{version} chunk {fingerprint} chain is cyclic")
+            }
+            FindingKind::StaleCacheEntry {
+                fingerprint,
+                cached_cid,
+            } => {
+                write!(
+                    f,
+                    "cache entry {fingerprint} -> active container {cached_cid} \
+                     disagrees with the pool"
+                )
+            }
+            FindingKind::OrphanUntagged {
+                container,
+                fingerprint,
+            } => {
+                write!(
+                    f,
+                    "orphan chunk {fingerprint} in untagged container {container} can \
+                     never be reclaimed"
+                )
+            }
+        }
+    }
+}
+
+/// What [`SystemAuditor`] should check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditOptions {
+    /// Re-hash every chunk payload against its fingerprint. On by default;
+    /// turn off for trace-driven repositories, whose synthetic chunk bodies
+    /// intentionally do not hash back to their fingerprints.
+    pub verify_content: bool,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        AuditOptions {
+            verify_content: true,
+        }
+    }
+}
+
+/// The outcome of one audit pass: every finding plus coverage counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// All violations found, in discovery order.
+    pub findings: Vec<Finding>,
+    /// Containers inspected (archival + pool).
+    pub containers_checked: u64,
+    /// Chunk payloads re-hashed.
+    pub chunks_checked: u64,
+    /// Recipes walked.
+    pub recipes_checked: u64,
+    /// Recipe entries resolved.
+    pub entries_checked: u64,
+    /// Archival chunks referenced by no recipe (tolerated in tagged
+    /// containers; see [`FindingKind::OrphanUntagged`]).
+    pub orphan_chunks: u64,
+    /// Total bytes of those orphan chunks.
+    pub orphan_bytes: u64,
+}
+
+impl AuditReport {
+    /// True when no findings were recorded (of any severity).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of findings at the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// The worst severity present, or `None` when clean.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    fn push(&mut self, severity: Severity, kind: FindingKind) {
+        self.findings.push(Finding { severity, kind });
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "checked {} containers, {} chunks, {} recipes ({} entries); \
+             {} orphan chunks ({} bytes)",
+            self.containers_checked,
+            self.chunks_checked,
+            self.recipes_checked,
+            self.entries_checked,
+            self.orphan_chunks,
+            self.orphan_bytes
+        )?;
+        if self.findings.is_empty() {
+            write!(f, "clean: all invariants hold")
+        } else {
+            write!(
+                f,
+                "{} finding(s): {} error(s), {} warning(s)",
+                self.findings.len(),
+                self.count(Severity::Error),
+                self.count(Severity::Warning)
+            )
+        }
+    }
+}
+
+/// Walks a HiDeStore instance and verifies every cross-layer invariant,
+/// reporting violations as typed [`Finding`]s instead of panicking.
+#[derive(Debug, Clone, Default)]
+pub struct SystemAuditor {
+    options: AuditOptions,
+}
+
+impl SystemAuditor {
+    /// An auditor with default options (content verification on).
+    pub fn new() -> Self {
+        SystemAuditor::default()
+    }
+
+    /// An auditor with explicit options.
+    pub fn with_options(options: AuditOptions) -> Self {
+        SystemAuditor { options }
+    }
+
+    /// Audits a whole system (the usual entry point).
+    pub fn audit<S: ContainerStore>(&self, system: &mut HiDeStore<S>) -> AuditReport {
+        self.audit_views(system.integrity_views())
+    }
+
+    /// Audits pre-split views — useful when the caller already holds the
+    /// borrow split (see [`HiDeStore::integrity_views`]).
+    pub fn audit_views<S: ContainerStore>(&self, views: IntegrityViews<'_, S>) -> AuditReport {
+        let mut report = AuditReport::default();
+
+        // Phase 1 — archival sweep: readability, ID space, structure,
+        // content. Record each container's contents for the reference and
+        // orphan phases.
+        let mut archival_fps: HashMap<u32, HashMap<Fingerprint, u32>> = HashMap::new();
+        let mut archival_tags: HashMap<u32, u32> = HashMap::new();
+        let mut unreadable: HashSet<u32> = HashSet::new();
+        for id in views.archival.ids() {
+            let raw = id.get();
+            let container = match views.archival.read(id) {
+                Ok(c) => c,
+                Err(e) => {
+                    unreadable.insert(raw);
+                    report.push(
+                        Severity::Error,
+                        FindingKind::UnreadableContainer {
+                            id: raw,
+                            detail: e.to_string(),
+                        },
+                    );
+                    continue;
+                }
+            };
+            report.containers_checked += 1;
+            if raw >= ACTIVE_ID_BASE {
+                report.push(
+                    Severity::Error,
+                    FindingKind::IdSpaceViolation {
+                        id: raw,
+                        archival: true,
+                    },
+                );
+            }
+            if container.version_tag() >= views.next_version && container.version_tag() != 0 {
+                report.push(
+                    Severity::Warning,
+                    FindingKind::FutureVersionTag {
+                        container: raw,
+                        tag: container.version_tag(),
+                        next_version: views.next_version,
+                    },
+                );
+            }
+            self.check_container(&container, raw, &mut report);
+            archival_tags.insert(raw, container.version_tag());
+            archival_fps.insert(
+                raw,
+                container
+                    .entry_locations()
+                    .map(|(fp, _, len)| (fp, len))
+                    .collect(),
+            );
+        }
+
+        // Phase 2 — active pool sweep: each pooled container must carry the
+        // ACTIVE_ID_BASE-offset ID of its pool slot, and pass the same
+        // structure/content checks.
+        for (cid, container) in views.pool.containers() {
+            report.containers_checked += 1;
+            let raw = container.id().get();
+            if raw != ACTIVE_ID_BASE.wrapping_add(cid) {
+                report.push(
+                    Severity::Error,
+                    FindingKind::IdSpaceViolation {
+                        id: raw,
+                        archival: false,
+                    },
+                );
+            }
+            self.check_container(container, raw, &mut report);
+        }
+
+        // Phase 3 — recipe walk: every entry must resolve through the chain
+        // to a real physical location, with forward-only, acyclic hops.
+        // Terminal archival locations feed the orphan accounting.
+        let mut referenced: HashSet<(u32, Fingerprint)> = HashSet::new();
+        let mut chain_maps: HashMap<u32, HashMap<Fingerprint, Cid>> = HashMap::new();
+        for v in views.recipes.versions() {
+            let Some(recipe) = views.recipes.get(v) else {
+                continue;
+            };
+            report.recipes_checked += 1;
+            for entry in recipe.entries() {
+                report.entries_checked += 1;
+                walk_entry(
+                    views.recipes,
+                    views.pool,
+                    v.get(),
+                    entry.fingerprint,
+                    entry.cid,
+                    &archival_fps,
+                    &unreadable,
+                    &mut chain_maps,
+                    &mut referenced,
+                    &mut report,
+                );
+            }
+        }
+
+        // Phase 4 — orphan accounting: archival chunks referenced by no
+        // recipe. Tolerated (counted) in tagged containers, which tag-ranged
+        // deletion eventually drops; a finding in untagged ones.
+        for (&container, fps) in &archival_fps {
+            let tag = archival_tags.get(&container).copied().unwrap_or(0);
+            for (&fp, &len) in fps {
+                if referenced.contains(&(container, fp)) {
+                    continue;
+                }
+                report.orphan_chunks += 1;
+                report.orphan_bytes += len as u64;
+                if tag == 0 {
+                    report.push(
+                        Severity::Warning,
+                        FindingKind::OrphanUntagged {
+                            container,
+                            fingerprint: fp,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Phase 5 — cache/pool agreement: every cached entry must point at
+        // the pool container actually holding the chunk.
+        for (_table, fp, entry) in views.cache.entries() {
+            match views.pool.locate(&fp) {
+                Some(cid) if cid == entry.active_cid => {}
+                _ => {
+                    report.push(
+                        Severity::Warning,
+                        FindingKind::StaleCacheEntry {
+                            fingerprint: fp,
+                            cached_cid: entry.active_cid,
+                        },
+                    );
+                }
+            }
+        }
+
+        report
+    }
+
+    /// Structural + content checks for one container (either side).
+    fn check_container(&self, container: &Container, raw_id: u32, report: &mut AuditReport) {
+        let data_len = container.used_bytes() as u64;
+        let mut spans: Vec<(u32, u32, Fingerprint)> = Vec::with_capacity(container.chunk_count());
+        let mut live_sum = 0u64;
+        for (fp, off, len) in container.entry_locations() {
+            if off as u64 + len as u64 > data_len {
+                report.push(
+                    Severity::Error,
+                    FindingKind::EntryOutOfBounds {
+                        container: raw_id,
+                        fingerprint: fp,
+                        offset: off,
+                        length: len,
+                        data_len,
+                    },
+                );
+                continue;
+            }
+            live_sum += len as u64;
+            spans.push((off, len, fp));
+        }
+        spans.sort_unstable_by_key(|&(off, len, _)| (off, len));
+        for pair in spans.windows(2) {
+            let (a_off, a_len, a_fp) = pair[0];
+            let (b_off, _, b_fp) = pair[1];
+            if a_off as u64 + a_len as u64 > b_off as u64 {
+                report.push(
+                    Severity::Error,
+                    FindingKind::EntryOverlap {
+                        container: raw_id,
+                        a: a_fp,
+                        b: b_fp,
+                    },
+                );
+            }
+        }
+        if live_sum != container.live_bytes() as u64 {
+            report.push(
+                Severity::Error,
+                FindingKind::AccountingMismatch {
+                    container: raw_id,
+                    recorded: container.live_bytes() as u64,
+                    computed: live_sum,
+                },
+            );
+        }
+        if self.options.verify_content {
+            for (fp, data) in container.iter() {
+                report.chunks_checked += 1;
+                if Fingerprint::of(data) != fp {
+                    report.push(
+                        Severity::Error,
+                        FindingKind::ChunkHashMismatch {
+                            container: raw_id,
+                            fingerprint: fp,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Resolves one recipe entry through the chain, reporting every violation on
+/// the way. Terminal archival locations are recorded in `referenced` for the
+/// orphan-accounting phase.
+#[allow(clippy::too_many_arguments)]
+fn walk_entry(
+    recipes: &RecipeStore,
+    pool: &ActivePool,
+    version: u32,
+    fp: Fingerprint,
+    start: Cid,
+    archival_fps: &HashMap<u32, HashMap<Fingerprint, u32>>,
+    unreadable: &HashSet<u32>,
+    chain_maps: &mut HashMap<u32, HashMap<Fingerprint, Cid>>,
+    referenced: &mut HashSet<(u32, Fingerprint)>,
+    report: &mut AuditReport,
+) {
+    let mut visited: HashSet<u32> = HashSet::new();
+    visited.insert(version);
+    let mut at = version;
+    let mut cid = start;
+    loop {
+        if let Some(archival) = cid.as_archival() {
+            let c = archival.get();
+            match archival_fps.get(&c) {
+                Some(fps) if fps.contains_key(&fp) => {
+                    referenced.insert((c, fp));
+                }
+                Some(_) => {
+                    report.push(
+                        Severity::Error,
+                        FindingKind::ArchivalChunkMissing {
+                            version,
+                            fingerprint: fp,
+                            container: c,
+                        },
+                    );
+                }
+                // An unreadable container's damage is already reported once;
+                // don't cascade a dangling-reference finding per entry.
+                None if unreadable.contains(&c) => {}
+                None => {
+                    report.push(
+                        Severity::Error,
+                        FindingKind::DanglingArchivalRef {
+                            version,
+                            fingerprint: fp,
+                            container: c,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+        if cid.is_active() {
+            if pool.locate(&fp).is_none() {
+                report.push(
+                    Severity::Error,
+                    FindingKind::ActiveChunkMissingFromPool {
+                        version,
+                        fingerprint: fp,
+                    },
+                );
+            }
+            return;
+        }
+        let Some(target) = cid.as_chained() else {
+            return;
+        };
+        let w = target.get();
+        if w <= at {
+            report.push(
+                Severity::Error,
+                FindingKind::ChainNotVersionOrdered {
+                    version,
+                    fingerprint: fp,
+                    from: at,
+                    to: w,
+                },
+            );
+        }
+        if !visited.insert(w) {
+            report.push(
+                Severity::Error,
+                FindingKind::ChainCycle {
+                    version,
+                    fingerprint: fp,
+                },
+            );
+            return;
+        }
+        if let std::collections::hash_map::Entry::Vacant(slot) = chain_maps.entry(w) {
+            match recipes.get(target) {
+                Some(r) => {
+                    slot.insert(r.entries().iter().map(|e| (e.fingerprint, e.cid)).collect());
+                }
+                None => {
+                    report.push(
+                        Severity::Error,
+                        FindingKind::MissingChainTarget {
+                            version,
+                            fingerprint: fp,
+                            target: w,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        let Some(&next) = chain_maps.get(&w).and_then(|m| m.get(&fp)) else {
+            report.push(
+                Severity::Error,
+                FindingKind::ChainBrokenAt {
+                    version,
+                    fingerprint: fp,
+                    at: w,
+                },
+            );
+            return;
+        };
+        at = w;
+        cid = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidestore_core::HiDeStoreConfig;
+    use hidestore_storage::{MemoryContainerStore, VersionId};
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn system() -> HiDeStore<MemoryContainerStore> {
+        HiDeStore::new(
+            HiDeStoreConfig::small_for_tests(),
+            MemoryContainerStore::new(),
+        )
+    }
+
+    #[test]
+    fn fresh_system_is_clean() {
+        let mut hds = system();
+        let report = SystemAuditor::new().audit(&mut hds);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.containers_checked, 0);
+    }
+
+    #[test]
+    fn multi_version_lifecycle_is_clean() {
+        let mut hds = system();
+        let mut data = noise(120_000, 1);
+        for round in 0..6u64 {
+            hds.backup(&data).unwrap();
+            let start = (round as usize * 17_000) % 100_000;
+            let patch = noise(8_000, 100 + round);
+            data[start..start + patch.len()].copy_from_slice(&patch);
+        }
+        let report = SystemAuditor::new().audit(&mut hds);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.containers_checked > 0);
+        assert!(report.chunks_checked > 0);
+        assert_eq!(report.recipes_checked, 6);
+    }
+
+    #[test]
+    fn clean_after_flatten_and_delete() {
+        let mut hds = system();
+        let mut data = noise(120_000, 2);
+        for round in 0..6u64 {
+            hds.backup(&data).unwrap();
+            let start = (round as usize * 13_000) % 100_000;
+            let patch = noise(9_000, 200 + round);
+            data[start..start + patch.len()].copy_from_slice(&patch);
+        }
+        hds.flatten_recipes();
+        hds.delete_expired(VersionId::new(2)).unwrap();
+        let report = SystemAuditor::new().audit(&mut hds);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn trace_mode_audits_clean_without_content_verification() {
+        let mut hds = system();
+        let trace: Vec<(Fingerprint, u32)> = (0..500u64)
+            .map(|i| (Fingerprint::synthetic(i), 2048))
+            .collect();
+        hds.backup_trace(&trace).unwrap();
+        let mut churned = trace[50..].to_vec();
+        churned.extend((1000..1050u64).map(|i| (Fingerprint::synthetic(i), 2048)));
+        hds.backup_trace(&churned).unwrap();
+        let report = SystemAuditor::with_options(AuditOptions {
+            verify_content: false,
+        })
+        .audit(&mut hds);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.chunks_checked, 0, "content verification was off");
+        // With verification on, synthetic filler necessarily fails re-hash.
+        let verified = SystemAuditor::new().audit(&mut hds);
+        assert!(!verified.is_clean());
+        assert!(verified
+            .findings
+            .iter()
+            .all(|f| matches!(f.kind, FindingKind::ChunkHashMismatch { .. })));
+    }
+
+    #[test]
+    fn report_severity_helpers() {
+        let mut report = AuditReport::default();
+        assert_eq!(report.max_severity(), None);
+        report.push(
+            Severity::Warning,
+            FindingKind::StaleCacheEntry {
+                fingerprint: Fingerprint::synthetic(1),
+                cached_cid: 1,
+            },
+        );
+        assert_eq!(report.max_severity(), Some(Severity::Warning));
+        report.push(
+            Severity::Error,
+            FindingKind::ChainCycle {
+                version: 1,
+                fingerprint: Fingerprint::synthetic(2),
+            },
+        );
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+        assert_eq!(report.count(Severity::Error), 1);
+        assert_eq!(report.count(Severity::Warning), 1);
+        assert!(Severity::Error > Severity::Warning);
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end tests for the `hds-fsck` binary against real on-disk
+//! repositories.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use hidestore_core::{HiDeStore, HiDeStoreConfig};
+
+fn noise(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+/// A unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("hds-fsck-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn build_repo(dir: &PathBuf) {
+    let mut hds =
+        HiDeStore::open_repository(HiDeStoreConfig::small_for_tests(), dir).expect("open");
+    let mut data = noise(90_000, 7);
+    for round in 0..3u64 {
+        hds.backup(&data).expect("backup");
+        let patch = noise(6_000, 70 + round);
+        let start = (round as usize * 11_000) % 80_000;
+        data[start..start + patch.len()].copy_from_slice(&patch);
+    }
+    hds.save_repository(dir).expect("save");
+}
+
+fn fsck(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hds-fsck"))
+        .args(args)
+        .output()
+        .expect("spawn hds-fsck");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn clean_repository_exits_zero() {
+    let scratch = Scratch::new("clean");
+    build_repo(&scratch.0);
+    let (code, stdout, stderr) = fsck(&[scratch.0.to_str().expect("utf-8 path")]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("clean"), "stdout: {stdout}");
+}
+
+#[test]
+fn json_output_reports_clean() {
+    let scratch = Scratch::new("json");
+    build_repo(&scratch.0);
+    let (code, stdout, _) = fsck(&[scratch.0.to_str().expect("utf-8 path"), "--json"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"clean\": true"), "stdout: {stdout}");
+    assert!(stdout.contains("\"findings\": ["), "stdout: {stdout}");
+}
+
+#[test]
+fn corrupted_container_exits_one() {
+    let scratch = Scratch::new("corrupt");
+    build_repo(&scratch.0);
+    // Flip the last byte (chunk payload) of one archival container.
+    let archival = scratch.0.join("archival");
+    let victim = std::fs::read_dir(&archival)
+        .expect("archival dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "ctr"))
+        .expect("at least one archival container");
+    let mut bytes = std::fs::read(&victim).expect("read container");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&victim, bytes).expect("write container");
+
+    let (code, stdout, _) = fsck(&[scratch.0.to_str().expect("utf-8 path")]);
+    assert_eq!(code, 1, "stdout: {stdout}");
+    assert!(stdout.contains("finding"), "stdout: {stdout}");
+}
+
+#[test]
+fn missing_repository_exits_two() {
+    let (code, _, stderr) = fsck(&["/nonexistent/hds-fsck-test-repo"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("hds-fsck:"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_flag_exits_two() {
+    let (code, _, stderr) = fsck(&["--bogus"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown flag"), "stderr: {stderr}");
+}

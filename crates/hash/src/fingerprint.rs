@@ -28,7 +28,6 @@ pub const FINGERPRINT_LEN: usize = 20;
 /// # Ok::<(), hidestore_hash::ParseFingerprintError>(())
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fingerprint([u8; FINGERPRINT_LEN]);
 
 impl Fingerprint {
@@ -51,7 +50,9 @@ impl Fingerprint {
     /// (e.g. sparse-index hooks select fingerprints where
     /// `prefix64() % sample_rate == 0`).
     pub fn prefix64(&self) -> u64 {
-        u64::from_be_bytes(self.0[..8].try_into().expect("fingerprint has >= 8 bytes"))
+        let mut prefix = [0u8; 8];
+        prefix.copy_from_slice(&self.0[..8]);
+        u64::from_be_bytes(prefix)
     }
 
     /// A deterministic fingerprint for tests and trace-driven simulations
@@ -118,7 +119,11 @@ impl fmt::Display for ParseFingerprintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             ParseErrorKind::Length(n) => {
-                write!(f, "expected {} hex characters, got {n}", FINGERPRINT_LEN * 2)
+                write!(
+                    f,
+                    "expected {} hex characters, got {n}",
+                    FINGERPRINT_LEN * 2
+                )
             }
             ParseErrorKind::InvalidHex(c) => write!(f, "invalid hex character {c:?}"),
         }
@@ -132,14 +137,18 @@ impl FromStr for Fingerprint {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         if s.len() != FINGERPRINT_LEN * 2 {
-            return Err(ParseFingerprintError { kind: ParseErrorKind::Length(s.len()) });
+            return Err(ParseFingerprintError {
+                kind: ParseErrorKind::Length(s.len()),
+            });
         }
         let mut bytes = [0u8; FINGERPRINT_LEN];
         for (i, pair) in s.as_bytes().chunks_exact(2).enumerate() {
-            let hi = hex_val(pair[0] as char)
-                .ok_or(ParseFingerprintError { kind: ParseErrorKind::InvalidHex(pair[0] as char) })?;
-            let lo = hex_val(pair[1] as char)
-                .ok_or(ParseFingerprintError { kind: ParseErrorKind::InvalidHex(pair[1] as char) })?;
+            let hi = hex_val(pair[0] as char).ok_or(ParseFingerprintError {
+                kind: ParseErrorKind::InvalidHex(pair[0] as char),
+            })?;
+            let lo = hex_val(pair[1] as char).ok_or(ParseFingerprintError {
+                kind: ParseErrorKind::InvalidHex(pair[1] as char),
+            })?;
             bytes[i] = (hi << 4) | lo;
         }
         Ok(Fingerprint(bytes))

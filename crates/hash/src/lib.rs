@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Cryptographic fingerprinting substrate for the HiDeStore reproduction.

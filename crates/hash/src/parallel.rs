@@ -39,14 +39,15 @@ pub fn fingerprints_parallel(
     // Below ~1 MiB of work per extra thread the spawn cost outweighs the
     // parallelism.
     if threads == 1 || spans.len() < 64 || data.len() < threads << 20 {
-        return spans.iter().map(|s| Fingerprint::of(&data[s.clone()])).collect();
+        return spans
+            .iter()
+            .map(|s| Fingerprint::of(&data[s.clone()]))
+            .collect();
     }
     let mut out = vec![Fingerprint::default(); spans.len()];
     let chunk_len = spans.len().div_ceil(threads);
     std::thread::scope(|scope| {
-        for (span_block, out_block) in
-            spans.chunks(chunk_len).zip(out.chunks_mut(chunk_len))
-        {
+        for (span_block, out_block) in spans.chunks(chunk_len).zip(out.chunks_mut(chunk_len)) {
             scope.spawn(move || {
                 for (span, slot) in span_block.iter().zip(out_block.iter_mut()) {
                     *slot = Fingerprint::of(&data[span.clone()]);
@@ -61,7 +62,9 @@ pub fn fingerprints_parallel(
 /// available parallelism capped at 8 (hashing saturates memory bandwidth
 /// beyond that).
 pub fn default_hash_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -69,7 +72,10 @@ mod tests {
     use super::*;
 
     fn spans_of(len: usize, step: usize) -> Vec<Range<usize>> {
-        (0..len).step_by(step).map(|i| i..(i + step).min(len)).collect()
+        (0..len)
+            .step_by(step)
+            .map(|i| i..(i + step).min(len))
+            .collect()
     }
 
     #[test]
@@ -77,8 +83,10 @@ mod tests {
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
         let spans = spans_of(data.len(), 333);
         let par = fingerprints_parallel(&data, &spans, 4);
-        let seq: Vec<Fingerprint> =
-            spans.iter().map(|s| Fingerprint::of(&data[s.clone()])).collect();
+        let seq: Vec<Fingerprint> = spans
+            .iter()
+            .map(|s| Fingerprint::of(&data[s.clone()]))
+            .collect();
         assert_eq!(par, seq);
     }
 
@@ -87,8 +95,10 @@ mod tests {
         let data: Vec<u8> = (0..8_000_000u32).map(|i| (i % 253) as u8).collect();
         let spans = spans_of(data.len(), 4096);
         let par = fingerprints_parallel(&data, &spans, 4);
-        let seq: Vec<Fingerprint> =
-            spans.iter().map(|s| Fingerprint::of(&data[s.clone()])).collect();
+        let seq: Vec<Fingerprint> = spans
+            .iter()
+            .map(|s| Fingerprint::of(&data[s.clone()]))
+            .collect();
         assert_eq!(par, seq);
     }
 

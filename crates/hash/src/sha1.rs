@@ -10,7 +10,13 @@
 
 use crate::Digest;
 
-const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+const H0: [u32; 5] = [
+    0x6745_2301,
+    0xEFCD_AB89,
+    0x98BA_DCFE,
+    0x1032_5476,
+    0xC3D2_E1F0,
+];
 
 /// Streaming SHA-1 hasher.
 ///
@@ -41,7 +47,12 @@ impl Default for Sha1 {
 impl Sha1 {
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
-        Sha1 { state: H0, len: 0, buf: [0; 64], buf_len: 0 }
+        Sha1 {
+            state: H0,
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hasher.
@@ -154,7 +165,11 @@ impl Digest for Sha1 {
     }
 
     fn finalize_into(self, out: &mut [u8]) {
-        assert_eq!(out.len(), Self::OUTPUT_LEN, "output buffer must be 20 bytes");
+        assert_eq!(
+            out.len(),
+            Self::OUTPUT_LEN,
+            "output buffer must be 20 bytes"
+        );
         out.copy_from_slice(&self.finalize());
     }
 }
@@ -170,18 +185,26 @@ mod tests {
     // FIPS 180-4 / RFC 3174 test vectors.
     #[test]
     fn empty_input() {
-        assert_eq!(hex(&Sha1::hash(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&Sha1::hash(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn abc() {
-        assert_eq!(hex(&Sha1::hash(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&Sha1::hash(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn two_block_message() {
         assert_eq!(
-            hex(&Sha1::hash(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&Sha1::hash(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
     }
@@ -189,7 +212,10 @@ mod tests {
     #[test]
     fn million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&Sha1::hash(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&Sha1::hash(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl BloomFilter {
         let ln2 = std::f64::consts::LN_2;
         let n_bits = ((expected_items as f64) * (-fp_rate.ln()) / (ln2 * ln2)).ceil() as u64;
         let n_bits = n_bits.max(64);
-        let n_hashes = ((n_bits as f64 / expected_items as f64) * ln2).round().max(1.0) as u32;
+        let n_hashes = ((n_bits as f64 / expected_items as f64) * ln2)
+            .round()
+            .max(1.0) as u32;
         BloomFilter {
             bits: vec![0; n_bits.div_ceil(64) as usize],
             n_bits,
@@ -53,8 +55,11 @@ impl BloomFilter {
 
     fn positions(&self, fp: &Fingerprint) -> impl Iterator<Item = u64> + '_ {
         let bytes = fp.as_bytes();
-        let h1 = u64::from_le_bytes(bytes[..8].try_into().expect("fp has 20 bytes"));
-        let h2 = u64::from_le_bytes(bytes[8..16].try_into().expect("fp has 20 bytes")) | 1;
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&bytes[..8]);
+        let h1 = u64::from_le_bytes(word);
+        word.copy_from_slice(&bytes[8..16]);
+        let h2 = u64::from_le_bytes(word) | 1;
         let n_bits = self.n_bits;
         (0..self.n_hashes as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % n_bits)
     }

@@ -62,7 +62,10 @@ impl DdfsIndex {
     ///
     /// Panics if `cache_containers == 0`.
     pub fn with_cache_containers(cache_containers: usize) -> Self {
-        assert!(cache_containers > 0, "cache must hold at least one container");
+        assert!(
+            cache_containers > 0,
+            "cache must hold at least one container"
+        );
         DdfsIndex {
             bloom: BloomFilter::with_capacity(1 << 20, 0.01),
             full_index: HashMap::new(),
@@ -84,14 +87,20 @@ impl DdfsIndex {
         if self.cache_members.contains_key(&container) {
             return;
         }
-        let members = self.container_meta.get(&container).cloned().unwrap_or_default();
+        let members = self
+            .container_meta
+            .get(&container)
+            .cloned()
+            .unwrap_or_default();
         for fp in &members {
             self.cache.insert(*fp, container);
         }
         self.cache_members.insert(container, members);
         self.cache_order.push_back(container);
         while self.cache_order.len() > self.cache_capacity {
-            let evicted = self.cache_order.pop_front().expect("len > capacity >= 1");
+            let Some(evicted) = self.cache_order.pop_front() else {
+                break;
+            };
             if let Some(members) = self.cache_members.remove(&evicted) {
                 for fp in members {
                     // Only drop mappings still pointing at the evicted
@@ -137,7 +146,10 @@ impl FingerprintIndex for DdfsIndex {
         }
         self.bloom.insert(&fingerprint);
         self.full_index.insert(fingerprint, container);
-        self.container_meta.entry(container).or_default().push(fingerprint);
+        self.container_meta
+            .entry(container)
+            .or_default()
+            .push(fingerprint);
     }
 
     fn end_version(&mut self) {}

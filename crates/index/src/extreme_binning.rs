@@ -80,7 +80,10 @@ impl ExtremeBinning {
             hasher.update(fp.as_bytes());
         }
         let whole = Fingerprint::from_bytes(hasher.finalize());
-        let rep = chunks.iter().map(|&(fp, _)| fp).min().expect("non-empty");
+        // `chunks` is non-empty (checked above), so a minimum exists.
+        let Some(rep) = chunks.iter().map(|&(fp, _)| fp).min() else {
+            return;
+        };
         let bin_id = match self.current_bin.take() {
             Some(id) => id,
             None => match self.primary.get(&rep) {
@@ -115,7 +118,10 @@ impl FingerprintIndex for ExtremeBinning {
                 self.current_bin = Some(bin_id);
             }
         }
-        segment.iter().map(|(fp, _)| self.loaded.get(fp).copied()).collect()
+        segment
+            .iter()
+            .map(|(fp, _)| self.loaded.get(fp).copied())
+            .collect()
     }
 
     fn record_chunk(&mut self, fingerprint: Fingerprint, _size: u32, container: ContainerId) {

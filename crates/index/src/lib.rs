@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Fingerprint index schemes for the deduplication phase.
@@ -125,8 +126,12 @@ pub enum IndexKind {
 
 impl IndexKind {
     /// Every selectable scheme.
-    pub const ALL: [IndexKind; 4] =
-        [IndexKind::Ddfs, IndexKind::Sparse, IndexKind::Silo, IndexKind::ExtremeBinning];
+    pub const ALL: [IndexKind; 4] = [
+        IndexKind::Ddfs,
+        IndexKind::Sparse,
+        IndexKind::Silo,
+        IndexKind::ExtremeBinning,
+    ];
 
     /// Builds a boxed index of this kind with default configuration.
     pub fn build(self) -> Box<dyn FingerprintIndex + Send> {
@@ -189,15 +194,15 @@ mod tests {
     fn exercise_exactness(index: &mut dyn FingerprintIndex) -> (usize, usize) {
         // Two identical versions: count how many of the second version's
         // chunks are recognized as duplicates.
-        let chunks: Vec<(Fingerprint, u32)> =
-            (0..400u64).map(|i| (Fingerprint::synthetic(i), 4096u32)).collect();
+        let chunks: Vec<(Fingerprint, u32)> = (0..400u64)
+            .map(|i| (Fingerprint::synthetic(i), 4096u32))
+            .collect();
         index.begin_version(VersionId::new(1));
         for (seg_idx, seg) in chunks.chunks(64).enumerate() {
             let d = index.process_segment(seg);
             for (j, ((fp, size), dup)) in seg.iter().zip(d).enumerate() {
-                let cid = dup.unwrap_or_else(|| {
-                    ContainerId::new((seg_idx * 64 + j) as u32 / 100 + 1)
-                });
+                let cid =
+                    dup.unwrap_or_else(|| ContainerId::new((seg_idx * 64 + j) as u32 / 100 + 1));
                 index.record_chunk(*fp, *size, cid);
             }
         }
@@ -258,7 +263,10 @@ mod tests {
     fn extreme_binning_is_near_exact_on_identical_versions() {
         let mut idx = ExtremeBinning::new();
         let (dups, total) = exercise_exactness(&mut idx);
-        assert!(dups * 10 >= total * 9, "extreme binning caught only {dups}/{total}");
+        assert!(
+            dups * 10 >= total * 9,
+            "extreme binning caught only {dups}/{total}"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub struct SiloConfig {
 
 impl Default for SiloConfig {
     fn default() -> Self {
-        SiloConfig { segments_per_block: 8, cached_blocks: 16 }
+        SiloConfig {
+            segments_per_block: 8,
+            cached_blocks: 16,
+        }
     }
 }
 
@@ -67,7 +70,10 @@ impl SiloIndex {
     ///
     /// Panics if either configuration field is zero.
     pub fn new(config: SiloConfig) -> Self {
-        assert!(config.segments_per_block > 0, "segments_per_block must be non-zero");
+        assert!(
+            config.segments_per_block > 0,
+            "segments_per_block must be non-zero"
+        );
         assert!(config.cached_blocks > 0, "cached_blocks must be non-zero");
         SiloIndex {
             config,
@@ -96,7 +102,9 @@ impl SiloIndex {
         self.cache_members.insert(block_id, members);
         self.cache_order.push_back(block_id);
         while self.cache_order.len() > self.config.cached_blocks {
-            let evicted = self.cache_order.pop_front().expect("len > capacity >= 1");
+            let Some(evicted) = self.cache_order.pop_front() else {
+                break;
+            };
             if let Some(members) = self.cache_members.remove(&evicted) {
                 for fp in members {
                     self.cache.remove(&fp);
@@ -233,7 +241,10 @@ mod tests {
 
     #[test]
     fn one_disk_lookup_per_block_not_per_segment() {
-        let cfg = SiloConfig { segments_per_block: 8, cached_blocks: 16 };
+        let cfg = SiloConfig {
+            segments_per_block: 8,
+            cached_blocks: 16,
+        };
         let mut idx = SiloIndex::new(cfg);
         let chunks = seg(0..1024); // 8 segments of 128 = exactly 1 block
         run_version(&mut idx, 1, &chunks);
@@ -253,7 +264,10 @@ mod tests {
 
     #[test]
     fn cache_eviction_bounded() {
-        let cfg = SiloConfig { segments_per_block: 1, cached_blocks: 2 };
+        let cfg = SiloConfig {
+            segments_per_block: 1,
+            cached_blocks: 2,
+        };
         let mut idx = SiloIndex::new(cfg);
         let chunks = seg(0..1280);
         run_version(&mut idx, 1, &chunks);

@@ -22,7 +22,11 @@ pub struct SparseConfig {
 
 impl Default for SparseConfig {
     fn default() -> Self {
-        SparseConfig { sample_rate: 64, max_manifests_per_hook: 4, max_champions: 8 }
+        SparseConfig {
+            sample_rate: 64,
+            max_manifests_per_hook: 4,
+            max_champions: 8,
+        }
     }
 }
 
@@ -207,14 +211,20 @@ mod tests {
 
     #[test]
     fn lookups_bounded_by_champions_per_segment() {
-        let cfg = SparseConfig { max_champions: 2, ..SparseConfig::default() };
+        let cfg = SparseConfig {
+            max_champions: 2,
+            ..SparseConfig::default()
+        };
         let mut idx = SparseIndex::new(cfg);
         let chunks = seg(0..1024);
         run_version(&mut idx, 1, &chunks);
         let before = idx.disk_lookups();
         run_version(&mut idx, 2, &chunks);
         let per_segment = (idx.disk_lookups() - before) as usize / (1024 / 128);
-        assert!(per_segment <= 2, "{per_segment} champions loaded per segment");
+        assert!(
+            per_segment <= 2,
+            "{per_segment} champions loaded per segment"
+        );
     }
 
     #[test]
@@ -232,7 +242,10 @@ mod tests {
 
     #[test]
     fn hook_entries_capped() {
-        let cfg = SparseConfig { max_manifests_per_hook: 2, ..SparseConfig::default() };
+        let cfg = SparseConfig {
+            max_manifests_per_hook: 2,
+            ..SparseConfig::default()
+        };
         let mut idx = SparseIndex::new(cfg);
         let chunks = seg(0..256);
         for v in 1..=6u32 {

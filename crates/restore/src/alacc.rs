@@ -111,8 +111,8 @@ impl Alacc {
         let min_part = self.total_budget / 8;
         let before = self.cache_budget;
         if self.area_hits >= 4 {
-            self.cache_budget = (self.cache_budget + self.total_budget / 16)
-                .min(self.total_budget - min_part);
+            self.cache_budget =
+                (self.cache_budget + self.total_budget / 16).min(self.total_budget - min_part);
         } else if self.area_hits == 0 {
             self.cache_budget = self
                 .cache_budget
@@ -162,8 +162,10 @@ impl RestoreCache for Alacc {
             let area_len = area.len();
             // Look-ahead window: as much of the following plan as two areas.
             let window_end = (pos + area_len + 2 * area_len.max(16)).min(plan.len());
-            let lookahead: HashSet<Fingerprint> =
-                plan[pos + area_len..window_end].iter().map(|e| e.fingerprint).collect();
+            let lookahead: HashSet<Fingerprint> = plan[pos + area_len..window_end]
+                .iter()
+                .map(|e| e.fingerprint)
+                .collect();
 
             let mut offsets = Vec::with_capacity(area.len());
             let mut total = 0usize;
@@ -198,10 +200,12 @@ impl RestoreCache for Alacc {
                 for &slot in &by_container[&cid] {
                     let entry = &area[slot];
                     let data =
-                        container.get(&entry.fingerprint).ok_or(RestoreError::MissingChunk {
-                            fingerprint: entry.fingerprint,
-                            container: cid,
-                        })?;
+                        container
+                            .get(&entry.fingerprint)
+                            .ok_or(RestoreError::MissingChunk {
+                                fingerprint: entry.fingerprint,
+                                container: cid,
+                            })?;
                     buffer[offsets[slot]..offsets[slot] + data.len()].copy_from_slice(data);
                 }
                 // Look-ahead: keep this container's soon-needed chunks.

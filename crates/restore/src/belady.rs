@@ -58,7 +58,7 @@ impl RestoreCache for BeladyCache {
         let mut bytes = 0u64;
         for (i, entry) in plan.iter().enumerate() {
             // Advance this container's use queue past position i.
-            let queue = uses.get_mut(&entry.container).expect("indexed above");
+            let queue = uses.entry(entry.container).or_default();
             while queue.front().is_some_and(|&p| p <= i) {
                 queue.pop_front();
             }
@@ -66,30 +66,34 @@ impl RestoreCache for BeladyCache {
 
             let container = if let Some(c) = cached.get(&entry.container) {
                 // Re-key its position in the eviction index.
-                let old_key = next_use
+                if let Some(old_key) = next_use
                     .iter()
                     .find(|&&(_, c2)| c2 == entry.container)
                     .copied()
-                    .expect("cached containers are indexed");
-                next_use.remove(&old_key);
+                {
+                    next_use.remove(&old_key);
+                }
                 next_use.insert((upcoming, entry.container));
                 Arc::clone(c)
             } else {
                 let c = store.read(entry.container)?;
                 if cached.len() >= self.capacity {
                     // Evict the farthest-in-future container.
-                    let victim = *next_use.iter().next_back().expect("cache non-empty");
-                    next_use.remove(&victim);
-                    cached.remove(&victim.1);
+                    if let Some(victim) = next_use.iter().next_back().copied() {
+                        next_use.remove(&victim);
+                        cached.remove(&victim.1);
+                    }
                 }
                 cached.insert(entry.container, Arc::clone(&c));
                 next_use.insert((upcoming, entry.container));
                 c
             };
-            let data = container.get(&entry.fingerprint).ok_or(RestoreError::MissingChunk {
-                fingerprint: entry.fingerprint,
-                container: entry.container,
-            })?;
+            let data = container
+                .get(&entry.fingerprint)
+                .ok_or(RestoreError::MissingChunk {
+                    fingerprint: entry.fingerprint,
+                    container: entry.container,
+                })?;
             out.write_all(data)?;
             bytes += data.len() as u64;
         }
@@ -114,7 +118,9 @@ mod tests {
     fn restores_exact_bytes() {
         let (mut store, plan, expect) = interleaved_fixture(6, 10, 256);
         let mut out = Vec::new();
-        BeladyCache::new(3).restore(&plan, &mut store, &mut out).unwrap();
+        BeladyCache::new(3)
+            .restore(&plan, &mut store, &mut out)
+            .unwrap();
         assert_eq!(out, expect);
     }
 
@@ -138,14 +144,18 @@ mod tests {
     #[test]
     fn sequential_plan_is_one_read_per_container() {
         let (mut store, plan, _) = sequential_fixture(5, 8, 128);
-        let report = BeladyCache::new(1).restore(&plan, &mut store, &mut Vec::new()).unwrap();
+        let report = BeladyCache::new(1)
+            .restore(&plan, &mut store, &mut Vec::new())
+            .unwrap();
         assert_eq!(report.container_reads, 5);
     }
 
     #[test]
     fn full_capacity_reads_each_container_once() {
         let (mut store, plan, _) = interleaved_fixture(8, 12, 128);
-        let report = BeladyCache::new(8).restore(&plan, &mut store, &mut Vec::new()).unwrap();
+        let report = BeladyCache::new(8)
+            .restore(&plan, &mut store, &mut Vec::new())
+            .unwrap();
         assert_eq!(report.container_reads, 8);
     }
 

@@ -40,7 +40,11 @@ impl ContainerLru {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache must hold at least one container");
-        ContainerLru { capacity, cache: HashMap::new(), order: Vec::new() }
+        ContainerLru {
+            capacity,
+            cache: HashMap::new(),
+            order: Vec::new(),
+        }
     }
 
     fn touch(&mut self, id: ContainerId) {
@@ -83,10 +87,12 @@ impl RestoreCache for ContainerLru {
         let mut bytes = 0u64;
         for entry in plan {
             let container = self.fetch(entry.container, store)?;
-            let data = container.get(&entry.fingerprint).ok_or(RestoreError::MissingChunk {
-                fingerprint: entry.fingerprint,
-                container: entry.container,
-            })?;
+            let data = container
+                .get(&entry.fingerprint)
+                .ok_or(RestoreError::MissingChunk {
+                    fingerprint: entry.fingerprint,
+                    container: entry.container,
+                })?;
             out.write_all(data)?;
             bytes += data.len() as u64;
         }

@@ -89,10 +89,12 @@ impl RestoreCache for Faa {
                 for &slot in &by_container[&cid] {
                     let entry = &area[slot];
                     let data =
-                        container.get(&entry.fingerprint).ok_or(RestoreError::MissingChunk {
-                            fingerprint: entry.fingerprint,
-                            container: cid,
-                        })?;
+                        container
+                            .get(&entry.fingerprint)
+                            .ok_or(RestoreError::MissingChunk {
+                                fingerprint: entry.fingerprint,
+                                container: cid,
+                            })?;
                     debug_assert_eq!(data.len(), entry.size as usize);
                     buffer[offsets[slot]..offsets[slot] + data.len()].copy_from_slice(data);
                 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Restore-phase caching schemes.
@@ -77,7 +78,11 @@ pub struct RestoreEntry {
 impl RestoreEntry {
     /// Convenience constructor.
     pub fn new(fingerprint: Fingerprint, size: u32, container: ContainerId) -> Self {
-        RestoreEntry { fingerprint, size, container }
+        RestoreEntry {
+            fingerprint,
+            size,
+            container,
+        }
     }
 }
 
@@ -120,7 +125,10 @@ pub enum RestoreError {
 impl fmt::Display for RestoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RestoreError::MissingChunk { fingerprint, container } => {
+            RestoreError::MissingChunk {
+                fingerprint,
+                container,
+            } => {
                 write!(f, "chunk {fingerprint} not found in container {container}")
             }
             RestoreError::Storage(e) => write!(f, "container store error: {e}"),
@@ -193,7 +201,11 @@ pub(crate) mod test_util {
                 let data = vec![(c * 100 + i) as u8; chunk_size];
                 let fp = Fingerprint::of(&data);
                 container.try_add(fp, &data);
-                plan.push(RestoreEntry::new(fp, chunk_size as u32, ContainerId::new(c)));
+                plan.push(RestoreEntry::new(
+                    fp,
+                    chunk_size as u32,
+                    ContainerId::new(c),
+                ));
                 expect.extend_from_slice(&data);
             }
             store.write(container).unwrap();
@@ -274,9 +286,15 @@ mod tests {
 
     #[test]
     fn speed_factor_math() {
-        let r = RestoreReport { bytes_restored: 8 * 1024 * 1024, container_reads: 4 };
+        let r = RestoreReport {
+            bytes_restored: 8 * 1024 * 1024,
+            container_reads: 4,
+        };
         assert!((r.speed_factor() - 2.0).abs() < 1e-9);
-        let zero = RestoreReport { bytes_restored: 10, container_reads: 0 };
+        let zero = RestoreReport {
+            bytes_restored: 10,
+            container_reads: 0,
+        };
         assert!(zero.speed_factor().is_infinite());
     }
 
@@ -285,7 +303,9 @@ mod tests {
         let (mut store, mut plan, _) = sequential_fixture(2, 4, 128);
         plan[0].fingerprint = Fingerprint::synthetic(u64::MAX);
         for mut scheme in all_schemes() {
-            let err = scheme.restore(&plan, &mut store, &mut Vec::new()).unwrap_err();
+            let err = scheme
+                .restore(&plan, &mut store, &mut Vec::new())
+                .unwrap_err();
             assert!(
                 matches!(err, RestoreError::MissingChunk { .. }),
                 "{}: {err}",
@@ -303,7 +323,9 @@ mod tests {
             ContainerId::new(99),
         )];
         for mut scheme in all_schemes() {
-            let err = scheme.restore(&plan, &mut store, &mut Vec::new()).unwrap_err();
+            let err = scheme
+                .restore(&plan, &mut store, &mut Vec::new())
+                .unwrap_err();
             assert!(matches!(err, RestoreError::Storage(_)), "{}", scheme.name());
         }
     }

@@ -47,7 +47,7 @@ struct VerifyingWriter<'a, W> {
     plan: &'a [RestoreEntry],
     next: usize,
     pending: Vec<u8>,
-    mismatch: Option<Fingerprint>,
+    mismatch: Option<(Fingerprint, hidestore_storage::ContainerId)>,
 }
 
 impl<W: Write> Write for VerifyingWriter<'_, W> {
@@ -63,7 +63,10 @@ impl<W: Write> Write for VerifyingWriter<'_, W> {
             if Fingerprint::of(&chunk) != self.plan[self.next].fingerprint
                 && self.mismatch.is_none()
             {
-                self.mismatch = Some(self.plan[self.next].fingerprint);
+                self.mismatch = Some((
+                    self.plan[self.next].fingerprint,
+                    self.plan[self.next].container,
+                ));
             }
             self.out.write_all(&chunk)?;
             self.next += 1;
@@ -83,17 +86,18 @@ impl<C: RestoreCache> RestoreCache for VerifyingRestore<C> {
         store: &mut dyn ContainerStore,
         out: &mut dyn Write,
     ) -> Result<RestoreReport, RestoreError> {
-        let mut writer =
-            VerifyingWriter { out, plan, next: 0, pending: Vec::new(), mismatch: None };
+        let mut writer = VerifyingWriter {
+            out,
+            plan,
+            next: 0,
+            pending: Vec::new(),
+            mismatch: None,
+        };
         let report = self.inner.restore(plan, store, &mut writer)?;
-        if let Some(fp) = writer.mismatch {
+        if let Some((fingerprint, container)) = writer.mismatch {
             return Err(RestoreError::MissingChunk {
-                fingerprint: fp,
-                container: plan
-                    .iter()
-                    .find(|e| e.fingerprint == fp)
-                    .map(|e| e.container)
-                    .expect("mismatched chunk came from the plan"),
+                fingerprint,
+                container,
             });
         }
         Ok(report)
@@ -134,8 +138,12 @@ mod tests {
         plan[0].size = 24;
 
         let mut cache = VerifyingRestore::new(Faa::new(1 << 18));
-        let err = cache.restore(&plan, &mut store, &mut Vec::new()).unwrap_err();
-        assert!(matches!(err, RestoreError::MissingChunk { fingerprint, .. } if fingerprint == honest_fp));
+        let err = cache
+            .restore(&plan, &mut store, &mut Vec::new())
+            .unwrap_err();
+        assert!(
+            matches!(err, RestoreError::MissingChunk { fingerprint, .. } if fingerprint == honest_fp)
+        );
 
         // The unverified scheme restores the corrupt bytes silently.
         let mut plain = Faa::new(1 << 18);
@@ -146,7 +154,9 @@ mod tests {
     fn reads_and_speed_factor_unchanged() {
         let (mut s1, plan, _) = sequential_fixture(4, 8, 256);
         let (mut s2, _, _) = sequential_fixture(4, 8, 256);
-        let plain = Faa::new(1 << 18).restore(&plan, &mut s1, &mut Vec::new()).unwrap();
+        let plain = Faa::new(1 << 18)
+            .restore(&plan, &mut s1, &mut Vec::new())
+            .unwrap();
         let verified = VerifyingRestore::new(Faa::new(1 << 18))
             .restore(&plan, &mut s2, &mut Vec::new())
             .unwrap();

@@ -40,7 +40,11 @@ impl Capping {
     /// Panics if `cap == 0`.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "cap must be at least 1");
-        Capping { cap, rewritten_bytes: 0, rewritten_chunks: 0 }
+        Capping {
+            cap,
+            rewritten_bytes: 0,
+            rewritten_chunks: 0,
+        }
     }
 
     /// The configured cap.

@@ -95,7 +95,9 @@ impl RewritePolicy for Cbr {
         segment
             .iter()
             .map(|chunk| {
-                let Some(c) = chunk.existing else { return false };
+                let Some(c) = chunk.existing else {
+                    return false;
+                };
                 let utility = supplied[&c] as f64 / segment_bytes as f64;
                 if utility < self.utility_threshold
                     && self.version_rewritten + chunk.size as u64 <= budget
@@ -134,7 +136,10 @@ mod tests {
         // containers 2 and 3 supply 1/8 each (12.5%, rewritten).
         let seg = segment_from(&[1, 1, 1, 1, 1, 1, 2, 3]);
         let d = p.process_segment(&seg);
-        assert_eq!(d, vec![false, false, false, false, false, false, true, true]);
+        assert_eq!(
+            d,
+            vec![false, false, false, false, false, false, true, true]
+        );
     }
 
     #[test]
@@ -157,7 +162,11 @@ mod tests {
         p.end_version();
         p.begin_version(VersionId::new(2));
         let d = p.process_segment(&seg);
-        assert_eq!(d.iter().filter(|&&r| r).count(), 1, "fresh budget per version");
+        assert_eq!(
+            d.iter().filter(|&&r| r).count(),
+            1,
+            "fresh budget per version"
+        );
     }
 
     #[test]

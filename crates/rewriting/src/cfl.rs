@@ -46,8 +46,14 @@ impl CflRewrite {
     ///
     /// Panics unless `0 < threshold <= 1` and `container_capacity > 0`.
     pub fn new(threshold: f64, container_capacity: u64) -> Self {
-        assert!(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0, 1]");
-        assert!(container_capacity > 0, "container capacity must be non-zero");
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        assert!(
+            container_capacity > 0,
+            "container capacity must be non-zero"
+        );
         CflRewrite {
             threshold,
             container_capacity,
@@ -60,7 +66,9 @@ impl CflRewrite {
 
     /// The current chunk fragmentation level of the in-flight version.
     pub fn current_cfl(&self) -> f64 {
-        let optimal = (self.stream_bytes as f64 / self.container_capacity as f64).ceil().max(1.0);
+        let optimal = (self.stream_bytes as f64 / self.container_capacity as f64)
+            .ceil()
+            .max(1.0);
         let new_containers = (self.new_bytes as f64 / self.container_capacity as f64).ceil();
         let actual = (self.referenced.len() as f64 + new_containers).max(1.0);
         (optimal / actual).min(1.0)
@@ -101,9 +109,7 @@ impl RewritePolicy for CflRewrite {
                         self.new_bytes += chunk.size as u64;
                         decisions.push(true);
                     } else {
-                        self.referenced.entry(c).or_insert(0);
-                        *self.referenced.get_mut(&c).expect("just inserted") +=
-                            chunk.size as u64;
+                        *self.referenced.entry(c).or_insert(0) += chunk.size as u64;
                         decisions.push(false);
                     }
                 }

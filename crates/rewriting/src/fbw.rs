@@ -60,7 +60,10 @@ impl Fbw {
             budget_fraction > 0.0 && budget_fraction <= 1.0,
             "budget fraction must be in (0, 1]"
         );
-        assert!(container_capacity > 0, "container capacity must be non-zero");
+        assert!(
+            container_capacity > 0,
+            "container capacity must be non-zero"
+        );
         Fbw {
             window_bytes,
             budget_fraction,
@@ -87,14 +90,16 @@ impl Fbw {
             *self.utilization.entry(c).or_default() += size as u64;
         }
         while self.window_total > self.window_bytes {
-            let (old_container, old_size) =
-                self.window.pop_front().expect("window_total > 0 implies non-empty");
+            let Some((old_container, old_size)) = self.window.pop_front() else {
+                break;
+            };
             self.window_total -= old_size as u64;
             if let Some(c) = old_container {
-                let u = self.utilization.get_mut(&c).expect("was counted on push");
-                *u -= old_size as u64;
-                if *u == 0 {
-                    self.utilization.remove(&c);
+                if let Some(u) = self.utilization.get_mut(&c) {
+                    *u = u.saturating_sub(old_size as u64);
+                    if *u == 0 {
+                        self.utilization.remove(&c);
+                    }
                 }
             }
         }
@@ -152,10 +157,11 @@ impl RewritePolicy for Fbw {
         // containers, so they no longer pull utilization toward the old one).
         for chunk in segment {
             if let Some(c) = chunk.existing {
-                let u = self.utilization.get_mut(&c).expect("pre-charged above");
-                *u -= chunk.size as u64;
-                if *u == 0 {
-                    self.utilization.remove(&c);
+                if let Some(u) = self.utilization.get_mut(&c) {
+                    *u = u.saturating_sub(chunk.size as u64);
+                    if *u == 0 {
+                        self.utilization.remove(&c);
+                    }
                 }
             }
         }

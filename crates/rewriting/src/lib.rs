@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Duplicate-chunk rewriting schemes.
@@ -58,7 +59,11 @@ pub struct SegmentChunk {
 impl SegmentChunk {
     /// Convenience constructor.
     pub fn new(fingerprint: Fingerprint, size: u32, existing: Option<ContainerId>) -> Self {
-        SegmentChunk { fingerprint, size, existing }
+        SegmentChunk {
+            fingerprint,
+            size,
+            existing,
+        }
     }
 }
 

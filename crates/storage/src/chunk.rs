@@ -28,7 +28,10 @@ impl Chunk {
     /// Builds a chunk from content, computing its fingerprint.
     pub fn from_data(data: impl Into<Bytes>) -> Self {
         let data = data.into();
-        Chunk { fingerprint: Fingerprint::of(&data), data }
+        Chunk {
+            fingerprint: Fingerprint::of(&data),
+            data,
+        }
     }
 
     /// Builds a chunk from a precomputed fingerprint and content.
@@ -36,7 +39,10 @@ impl Chunk {
     /// Used by trace-driven simulations where content is synthetic; callers
     /// are responsible for fingerprint/content consistency.
     pub fn from_parts(fingerprint: Fingerprint, data: impl Into<Bytes>) -> Self {
-        Chunk { fingerprint, data: data.into() }
+        Chunk {
+            fingerprint,
+            data: data.into(),
+        }
     }
 
     /// Builds a trace-mode chunk: `size` bytes of filler derived from the
@@ -50,7 +56,10 @@ impl Chunk {
             let take = (size as usize - data.len()).min(20);
             data.extend_from_slice(&fingerprint.as_bytes()[..take]);
         }
-        Chunk { fingerprint, data: data.into() }
+        Chunk {
+            fingerprint,
+            data: data.into(),
+        }
     }
 
     /// The chunk's fingerprint.

@@ -22,7 +22,10 @@ impl ContainerId {
     ///
     /// Panics if `id == 0` (reserved by the recipe encoding).
     pub fn new(id: u32) -> Self {
-        assert!(id != 0, "container id 0 is reserved for the active-container marker");
+        assert!(
+            id != 0,
+            "container id 0 is reserved for the active-container marker"
+        );
         ContainerId(id)
     }
 
@@ -115,7 +118,8 @@ impl Container {
         }
         let offset = self.data.len() as u32;
         self.data.extend_from_slice(data);
-        self.entries.insert(fingerprint, (offset, data.len() as u32));
+        self.entries
+            .insert(fingerprint, (offset, data.len() as u32));
         true
     }
 
@@ -126,9 +130,9 @@ impl Container {
 
     /// Looks up a chunk's content by fingerprint.
     pub fn get(&self, fingerprint: &Fingerprint) -> Option<&[u8]> {
-        self.entries.get(fingerprint).map(|&(off, len)| {
-            &self.data[off as usize..(off + len) as usize]
-        })
+        self.entries
+            .get(fingerprint)
+            .map(|&(off, len)| &self.data[off as usize..(off + len) as usize])
     }
 
     /// Whether the container holds this fingerprint.
@@ -177,14 +181,22 @@ impl Container {
     /// Iterates over live chunks as `(fingerprint, content)` pairs, in
     /// unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (Fingerprint, &[u8])> + '_ {
-        self.entries.iter().map(move |(fp, &(off, len))| {
-            (*fp, &self.data[off as usize..(off + len) as usize])
-        })
+        self.entries
+            .iter()
+            .map(move |(fp, &(off, len))| (*fp, &self.data[off as usize..(off + len) as usize]))
     }
 
     /// Live fingerprints, in unspecified order.
     pub fn fingerprints(&self) -> impl Iterator<Item = Fingerprint> + '_ {
         self.entries.keys().copied()
+    }
+
+    /// The metadata table as `(fingerprint, offset, length)` triples, in
+    /// unspecified order — the raw view integrity checkers need to validate
+    /// that the metadata section agrees with the data section (bounds,
+    /// overlaps) without going through content lookups.
+    pub fn entry_locations(&self) -> impl Iterator<Item = (Fingerprint, u32, u32)> + '_ {
+        self.entries.iter().map(|(fp, &(off, len))| (*fp, off, len))
     }
 
     /// Re-hashes every live chunk and returns the fingerprints whose content
@@ -257,25 +269,31 @@ impl Container {
             *bytes = tail;
             Ok(head)
         }
+        fn take_array<const N: usize>(bytes: &mut &[u8]) -> Result<[u8; N], String> {
+            let head = take(bytes, N)?;
+            let mut out = [0u8; N];
+            out.copy_from_slice(head);
+            Ok(out)
+        }
         let mut rest = bytes;
         if take(&mut rest, 4)? != b"HDSC" {
             return Err("bad container magic".into());
         }
-        let id = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap());
+        let id = u32::from_le_bytes(take_array(&mut rest)?);
         if id == 0 {
             return Err("container id 0 is invalid".into());
         }
-        let version_tag = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap());
-        let capacity = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()) as usize;
-        let n_entries = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap()) as usize;
-        let data_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap()) as usize;
+        let version_tag = u32::from_le_bytes(take_array(&mut rest)?);
+        let capacity = u64::from_le_bytes(take_array(&mut rest)?) as usize;
+        let n_entries = u32::from_le_bytes(take_array(&mut rest)?) as usize;
+        let data_len = u32::from_le_bytes(take_array(&mut rest)?) as usize;
         let mut entries = HashMap::with_capacity(n_entries);
         let mut live_bytes = 0usize;
         for _ in 0..n_entries {
-            let fp_bytes: [u8; 20] = take(&mut rest, 20)?.try_into().unwrap();
-            let off = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap());
-            let len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap());
-            if (off + len) as usize > data_len {
+            let fp_bytes: [u8; 20] = take_array(&mut rest)?;
+            let off = u32::from_le_bytes(take_array(&mut rest)?);
+            let len = u32::from_le_bytes(take_array(&mut rest)?);
+            if off as u64 + len as u64 > data_len as u64 {
                 return Err(format!("entry extends past data section: {}+{}", off, len));
             }
             live_bytes += len as usize;
@@ -300,7 +318,10 @@ impl Container {
         live.sort_by_key(|&(_, (off, _))| off);
         live.into_iter()
             .map(|(fp, (off, len))| {
-                (fp, Bytes::copy_from_slice(&self.data[off as usize..(off + len) as usize]))
+                (
+                    fp,
+                    Bytes::copy_from_slice(&self.data[off as usize..(off + len) as usize]),
+                )
             })
             .collect()
     }

@@ -79,7 +79,11 @@ mod tests {
     use super::*;
 
     fn stats(reads: u64, bytes: u64) -> IoStats {
-        IoStats { container_reads: reads, bytes_read: bytes, ..IoStats::default() }
+        IoStats {
+            container_reads: reads,
+            bytes_read: bytes,
+            ..IoStats::default()
+        }
     }
 
     #[test]
@@ -96,7 +100,10 @@ mod tests {
         // One read of 1.8 GB at 180 MB/s ≈ 10.24s.
         let s = stats(1, 1800 << 20);
         let t = DeviceProfile::HDD.read_time(&s);
-        assert!(t > Duration::from_secs(9) && t < Duration::from_secs(11), "{t:?}");
+        assert!(
+            t > Duration::from_secs(9) && t < Duration::from_secs(11),
+            "{t:?}"
+        );
     }
 
     #[test]
@@ -106,7 +113,10 @@ mod tests {
         let clustered = stats(1_000, 1 << 30);
         let f = DeviceProfile::HDD.restore_throughput_mbps(1 << 30, &fragmented);
         let c = DeviceProfile::HDD.restore_throughput_mbps(1 << 30, &clustered);
-        assert!(c > f * 2.0, "clustered {c:.1} MB/s vs fragmented {f:.1} MB/s");
+        assert!(
+            c > f * 2.0,
+            "clustered {c:.1} MB/s vs fragmented {f:.1} MB/s"
+        );
     }
 
     #[test]
@@ -121,6 +131,8 @@ mod tests {
     #[test]
     fn zero_reads_is_infinite_throughput() {
         let s = stats(0, 0);
-        assert!(DeviceProfile::NVME.restore_throughput_mbps(100, &s).is_infinite());
+        assert!(DeviceProfile::NVME
+            .restore_throughput_mbps(100, &s)
+            .is_infinite());
     }
 }

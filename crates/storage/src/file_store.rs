@@ -57,7 +57,11 @@ impl FileContainerStore {
                 ids.insert(ContainerId::new(id));
             }
         }
-        Ok(FileContainerStore { dir, ids, stats: IoStats::default() })
+        Ok(FileContainerStore {
+            dir,
+            ids,
+            stats: IoStats::default(),
+        })
     }
 
     /// The directory backing this store.
@@ -150,10 +154,8 @@ mod tests {
     use hidestore_hash::Fingerprint;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "hidestore-filestore-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("hidestore-filestore-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Container and recipe storage substrate for the HiDeStore reproduction.

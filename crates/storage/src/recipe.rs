@@ -144,7 +144,11 @@ pub struct RecipeEntry {
 impl RecipeEntry {
     /// Creates an entry.
     pub fn new(fingerprint: Fingerprint, size: u32, cid: Cid) -> Self {
-        RecipeEntry { fingerprint, size, cid }
+        RecipeEntry {
+            fingerprint,
+            size,
+            cid,
+        }
     }
 
     fn encode_into(&self, out: &mut Vec<u8>) {
@@ -154,9 +158,14 @@ impl RecipeEntry {
     }
 
     fn decode(bytes: &[u8]) -> Self {
-        let fp: [u8; 20] = bytes[..20].try_into().expect("entry is 28 bytes");
-        let size = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
-        let cid = i32::from_le_bytes(bytes[24..28].try_into().unwrap());
+        // The caller hands exactly ENTRY_BYTES bytes; copy fixed-size fields.
+        let mut fp = [0u8; 20];
+        fp.copy_from_slice(&bytes[..20]);
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&bytes[20..24]);
+        let size = u32::from_le_bytes(word);
+        word.copy_from_slice(&bytes[24..28]);
+        let cid = i32::from_le_bytes(word);
         RecipeEntry {
             fingerprint: Fingerprint::from_bytes(fp),
             size,
@@ -191,7 +200,11 @@ pub struct Recipe {
 impl Recipe {
     /// Creates an empty recipe for `version`.
     pub fn new(version: VersionId) -> Self {
-        Recipe { version, entries: Vec::new(), total_bytes: 0 }
+        Recipe {
+            version,
+            entries: Vec::new(),
+            total_bytes: 0,
+        }
     }
 
     /// The version this recipe restores.
@@ -256,11 +269,14 @@ impl Recipe {
         if bytes.len() < 12 || &bytes[..4] != b"HDSR" {
             return Err("bad recipe header".into());
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&bytes[4..8]);
+        let version = u32::from_le_bytes(word);
         if version == 0 {
             return Err("recipe version 0 is invalid".into());
         }
-        let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        word.copy_from_slice(&bytes[8..12]);
+        let count = u32::from_le_bytes(word) as usize;
         let body = &bytes[12..];
         if body.len() != count * RECIPE_ENTRY_LEN {
             return Err(format!(
@@ -439,7 +455,10 @@ mod tests {
     #[test]
     fn cid_display() {
         assert_eq!(Cid::ACTIVE.to_string(), "active");
-        assert_eq!(Cid::archival(ContainerId::new(3)).to_string(), "container 3");
+        assert_eq!(
+            Cid::archival(ContainerId::new(3)).to_string(),
+            "container 3"
+        );
         assert_eq!(Cid::chained(VersionId::new(2)).to_string(), "see V2");
     }
 
@@ -456,7 +475,11 @@ mod tests {
     fn recipe_accumulates_bytes() {
         let mut r = Recipe::new(VersionId::new(1));
         r.push(RecipeEntry::new(fp(1), 100, Cid::ACTIVE));
-        r.push(RecipeEntry::new(fp(2), 200, Cid::archival(ContainerId::new(1))));
+        r.push(RecipeEntry::new(
+            fp(2),
+            200,
+            Cid::archival(ContainerId::new(1)),
+        ));
         assert_eq!(r.total_bytes(), 300);
         assert_eq!(r.len(), 2);
         assert_eq!(r.encoded_len(), 12 + 2 * RECIPE_ENTRY_LEN);
@@ -510,8 +533,7 @@ mod tests {
 
     #[test]
     fn store_save_load_round_trip() {
-        let dir = std::env::temp_dir()
-            .join(format!("hidestore-recipes-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("hidestore-recipes-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let mut s = RecipeStore::new();
         for v in 1..=3u32 {
@@ -522,10 +544,7 @@ mod tests {
         s.save_dir(&dir).unwrap();
         let loaded = RecipeStore::load_dir(&dir).unwrap();
         assert_eq!(loaded.len(), 3);
-        assert_eq!(
-            loaded.get(VersionId::new(2)).unwrap().entries()[0].size,
-            20
-        );
+        assert_eq!(loaded.get(VersionId::new(2)).unwrap().entries()[0].size, 20);
         fs::remove_dir_all(&dir).unwrap();
     }
 

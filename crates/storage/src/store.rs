@@ -128,12 +128,18 @@ impl MemoryContainerStore {
 
     /// Total live bytes across all containers (for dedup-ratio accounting).
     pub fn total_live_bytes(&self) -> u64 {
-        self.containers.values().map(|c| c.live_bytes() as u64).sum()
+        self.containers
+            .values()
+            .map(|c| c.live_bytes() as u64)
+            .sum()
     }
 
     /// Total capacity-consuming bytes (live + dead) across containers.
     pub fn total_used_bytes(&self) -> u64 {
-        self.containers.values().map(|c| c.used_bytes() as u64).sum()
+        self.containers
+            .values()
+            .map(|c| c.used_bytes() as u64)
+            .sum()
     }
 }
 
@@ -210,14 +216,18 @@ pub struct SharedContainerStore<S> {
 
 impl<S> Clone for SharedContainerStore<S> {
     fn clone(&self) -> Self {
-        SharedContainerStore { inner: Arc::clone(&self.inner) }
+        SharedContainerStore {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
 impl<S: ContainerStore> SharedContainerStore<S> {
     /// Wraps a store.
     pub fn new(store: S) -> Self {
-        SharedContainerStore { inner: Arc::new(Mutex::new(store)) }
+        SharedContainerStore {
+            inner: Arc::new(Mutex::new(store)),
+        }
     }
 
     /// Runs `f` with exclusive access to the store.
@@ -272,7 +282,10 @@ mod tests {
     fn container_with(id: u32, n_chunks: u64) -> Container {
         let mut c = Container::new(ContainerId::new(id), 4096);
         for i in 0..n_chunks {
-            c.try_add(Fingerprint::synthetic(id as u64 * 1000 + i), &[id as u8; 16]);
+            c.try_add(
+                Fingerprint::synthetic(id as u64 * 1000 + i),
+                &[id as u8; 16],
+            );
         }
         c
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Versioned backup-workload generators.
@@ -71,7 +72,12 @@ pub enum Profile {
 
 impl Profile {
     /// The four Table 1 datasets, in the paper's order.
-    pub const ALL: [Profile; 4] = [Profile::Kernel, Profile::Gcc, Profile::Fslhomes, Profile::Macos];
+    pub const ALL: [Profile; 4] = [
+        Profile::Kernel,
+        Profile::Gcc,
+        Profile::Fslhomes,
+        Profile::Macos,
+    ];
 
     /// Every profile, including the §3 extras (gdb, cmake).
     pub const EXTENDED: [Profile; 6] = [
@@ -272,7 +278,11 @@ impl VersionStream {
         let mut remaining = self.spec.initial_bytes as i64;
         while remaining > 0 {
             // File sizes vary ±50% around the mean.
-            let size = self.rng.gen_range(mean / 2..=mean * 3 / 2).min(remaining as usize).max(1);
+            let size = self
+                .rng
+                .gen_range(mean / 2..=mean * 3 / 2)
+                .min(remaining as usize)
+                .max(1);
             let content = self.random_bytes(size);
             let flapping = self.rng.gen_bool(self.spec.flap_fraction.clamp(0.0, 1.0));
             let id = self.next_file_id;
@@ -342,7 +352,9 @@ impl VersionStream {
             let id = ids[self.rng.gen_range(0..ids.len())];
             // Pre-generate randomness to avoid borrowing `self` twice.
             let choice = self.rng.gen_range(0u8..10);
-            let Some(len) = self.files.get(&id).map(|f| f.content.len()) else { continue };
+            let Some(len) = self.files.get(&id).map(|f| f.content.len()) else {
+                continue;
+            };
             if len < 16 {
                 continue;
             }
@@ -353,20 +365,26 @@ impl VersionStream {
                 // 60%: in-place overwrite (no shift).
                 0..=5 => {
                     let patch = self.random_bytes(span);
-                    let file = self.files.get_mut(&id).expect("id listed");
+                    let Some(file) = self.files.get_mut(&id) else {
+                        continue;
+                    };
                     file.content[start..start + span].copy_from_slice(&patch);
                 }
                 // 20%: insertion (shifts the tail).
                 6..=7 => {
                     let insert = self.random_bytes(span / 4 + 1);
-                    let file = self.files.get_mut(&id).expect("id listed");
+                    let Some(file) = self.files.get_mut(&id) else {
+                        continue;
+                    };
                     let tail = file.content.split_off(start);
                     file.content.extend_from_slice(&insert);
                     file.content.extend_from_slice(&tail);
                 }
                 // 20%: deletion (shifts the tail).
                 _ => {
-                    let file = self.files.get_mut(&id).expect("id listed");
+                    let Some(file) = self.files.get_mut(&id) else {
+                        continue;
+                    };
                     file.content.drain(start..start + span / 4 + 1);
                 }
             }

@@ -97,7 +97,10 @@ impl TraceStream {
         let mean = self.spec.mean_chunk_size;
         let size = self.rng.gen_range(mean / 2..=mean * 3 / 2);
         let flap = self.rng.gen_bool(self.spec.flap.clamp(0.0, 1.0));
-        self.chunks.push(TraceChunk { id: self.next_id, size });
+        self.chunks.push(TraceChunk {
+            id: self.next_id,
+            size,
+        });
         self.flapping.push(flap);
         self.next_id += 1;
     }
@@ -112,13 +115,15 @@ impl TraceStream {
         self.version += 1;
         if self.version > 1 {
             // Churn: replace a fraction of chunks with fresh identities.
-            let replacements =
-                ((self.chunks.len() as f64) * self.spec.churn).round() as usize;
+            let replacements = ((self.chunks.len() as f64) * self.spec.churn).round() as usize;
             for _ in 0..replacements {
                 let i = self.rng.gen_range(0..self.chunks.len());
                 let mean = self.spec.mean_chunk_size;
                 let size = self.rng.gen_range(mean / 2..=mean * 3 / 2);
-                self.chunks[i] = TraceChunk { id: self.next_id, size };
+                self.chunks[i] = TraceChunk {
+                    id: self.next_id,
+                    size,
+                };
                 self.next_id += 1;
             }
             // Growth: append new chunks.
@@ -154,7 +159,11 @@ mod tests {
 
     #[test]
     fn churn_rate_respected() {
-        let spec = TraceSpec { churn: 0.10, growth: 0.0, ..TraceSpec::default() };
+        let spec = TraceSpec {
+            churn: 0.10,
+            growth: 0.0,
+            ..TraceSpec::default()
+        };
         let mut s = TraceStream::new(spec, 3);
         let v1 = s.next_version();
         let v2 = s.next_version();
@@ -166,16 +175,30 @@ mod tests {
 
     #[test]
     fn growth_extends_stream() {
-        let spec = TraceSpec { churn: 0.0, growth: 0.02, ..TraceSpec::default() };
+        let spec = TraceSpec {
+            churn: 0.0,
+            growth: 0.02,
+            ..TraceSpec::default()
+        };
         let mut s = TraceStream::new(spec, 5);
         let v1 = s.next_version();
-        let v5 = { s.next_version(); s.next_version(); s.next_version(); s.next_version() };
+        let v5 = {
+            s.next_version();
+            s.next_version();
+            s.next_version();
+            s.next_version()
+        };
         assert!(v5.len() > v1.len());
     }
 
     #[test]
     fn flapping_alternates() {
-        let spec = TraceSpec { flap: 0.2, churn: 0.0, growth: 0.0, ..TraceSpec::default() };
+        let spec = TraceSpec {
+            flap: 0.2,
+            churn: 0.0,
+            growth: 0.0,
+            ..TraceSpec::default()
+        };
         let mut s = TraceStream::new(spec, 9);
         let v1 = s.next_version();
         let v2 = s.next_version();
@@ -186,7 +209,10 @@ mod tests {
 
     #[test]
     fn ids_never_reused_after_churn() {
-        let spec = TraceSpec { churn: 0.5, ..TraceSpec::default() };
+        let spec = TraceSpec {
+            churn: 0.5,
+            ..TraceSpec::default()
+        };
         let mut s = TraceStream::new(spec, 11);
         let mut seen_max = 0u64;
         for _ in 0..5 {

@@ -26,7 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Three versions; each edit goes cold one version later and lands in an
     // on-disk archival container.
-    let v1: Vec<u8> = (0..150_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+    let v1: Vec<u8> = (0..150_000u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+        .collect();
     let mut v2 = v1.clone();
     v2[10_000..30_000].fill(0x11);
     let mut v3 = v2.clone();

@@ -49,9 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("1. the observation — chunks still tagged V1 after each backup:");
     println!("   {:?}", v1_counts);
-    println!(
-        "   one sharp drop after V2, then flat: cold chunks never come back.\n"
-    );
+    println!("   one sharp drop after V2, then flat: cold chunks never come back.\n");
 
     // ---- 2. The problem: baseline fragmentation ----
     let mut baseline = BackupPipeline::new(
@@ -69,8 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         baseline.backup(v)?;
     }
     let sf = |p: &mut BackupPipeline<_, _, _>, v: u32| {
-        p.restore(VersionId::new(v), &mut Faa::new(8 * CONTAINER), &mut std::io::sink())
-            .map(|r| r.speed_factor())
+        p.restore(
+            VersionId::new(v),
+            &mut Faa::new(8 * CONTAINER),
+            &mut std::io::sink(),
+        )
+        .map(|r| r.speed_factor())
     };
     println!("2. the problem — baseline speed factor decays toward the newest version:");
     print!("  ");

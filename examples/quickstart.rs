@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut system = HiDeStore::new(config, MemoryContainerStore::new());
 
     // Three versions of "a project": v2 edits the middle, v3 appends.
-    let v1: Vec<u8> = (0..200_000u32).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect();
+    let v1: Vec<u8> = (0..200_000u32)
+        .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+        .collect();
     let mut v2 = v1.clone();
     v2[100_000..101_000].fill(0xAB);
     let mut v3 = v2.clone();

@@ -16,8 +16,7 @@ const BUDGET: usize = 8 * CONTAINER; // same memory for every scheme
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ten versions of an evolving tree produce a fragmented final version.
-    let versions =
-        VersionStream::new(Profile::Gcc.spec().scaled(6 << 20, 10), 3).all_versions();
+    let versions = VersionStream::new(Profile::Gcc.spec().scaled(6 << 20, 10), 3).all_versions();
     let mut pipeline = BackupPipeline::new(
         PipelineConfig {
             avg_chunk_size: 2048,
@@ -48,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(Alacc::new(BUDGET / 2, BUDGET / 2)),
         Box::new(BeladyCache::new(BUDGET / CONTAINER)),
     ];
-    println!("{:<16} {:>16} {:>14}", "scheme", "container reads", "speed factor");
+    println!(
+        "{:<16} {:>16} {:>14}",
+        "scheme", "container reads", "speed factor"
+    );
     for scheme in schemes.iter_mut() {
         let report = pipeline.restore(newest, scheme.as_mut(), &mut std::io::sink())?;
         println!(

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // SiLo + Capping: near-exact dedup plus rewriting for locality.
     let mut capped = BackupPipeline::new(
         config(),
-        SiloIndex::new(SiloConfig { cached_blocks: 4, ..SiloConfig::default() }),
+        SiloIndex::new(SiloConfig {
+            cached_blocks: 4,
+            ..SiloConfig::default()
+        }),
         Capping::new(8),
         MemoryContainerStore::new(),
     );

@@ -72,7 +72,9 @@ fn load_config(repo: &str) -> Result<HiDeStoreConfig, Box<dyn std::error::Error>
         return Err(format!("{repo} is not a hidestore repository (run `init` first)").into());
     }
     for line in fs::read_to_string(path)?.lines() {
-        let Some((key, value)) = line.split_once('=') else { continue };
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
         match key.trim() {
             "chunk" => config.avg_chunk_size = value.trim().parse()?,
             "container" => config.container_capacity = value.trim().parse()?,
@@ -166,7 +168,12 @@ fn cmd_list(repo: &str) -> CliResult {
     println!("{:>8}  {:>12}  {:>8}", "version", "bytes", "chunks");
     for v in system.versions() {
         let recipe = system.recipes().get(v).expect("listed version exists");
-        println!("{:>8}  {:>12}  {:>8}", v.to_string(), recipe.total_bytes(), recipe.len());
+        println!(
+            "{:>8}  {:>12}  {:>8}",
+            v.to_string(),
+            recipe.total_bytes(),
+            recipe.len()
+        );
     }
     println!(
         "{} archival containers, {} active containers ({} hot chunks)",
@@ -188,7 +195,10 @@ fn cmd_prune(repo: &str, keep: &str) -> CliResult {
         return Ok(());
     };
     if newest.get() <= keep {
-        println!("nothing to prune ({} versions retained)", system.versions().len());
+        println!(
+            "nothing to prune ({} versions retained)",
+            system.versions().len()
+        );
         return Ok(());
     }
     let report = system.delete_expired(VersionId::new(newest.get() - keep))?;
@@ -233,8 +243,7 @@ fn cmd_stats(repo: &str) -> CliResult {
     for v in system.versions() {
         let recipe = system.recipes().get(v).expect("listed version exists");
         let plan = hidestore::core::chain::resolve_plan(system.recipes(), system.pool(), v)?;
-        let report =
-            analyze_plan(plan.into_iter().map(|(_, size, cid)| (size, cid)), capacity);
+        let report = analyze_plan(plan.into_iter().map(|(_, size, cid)| (size, cid)), capacity);
         println!(
             "{:>8}  {:>12}  {:>8}  {:>6.3}  {:>12.1}",
             v.to_string(),

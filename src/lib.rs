@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! **hidestore** — facade crate for the HiDeStore reproduction.
@@ -21,6 +22,7 @@
 //! | [`dedup`] | the baseline backup/restore pipeline + mark-sweep GC |
 //! | [`core`] | HiDeStore itself |
 //! | [`workloads`] | kernel / gcc / fslhomes / macos generators |
+//! | [`fsck`] | cross-layer invariant checker ([`fsck::SystemAuditor`]) |
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@
 pub use hidestore_chunking as chunking;
 pub use hidestore_core as core;
 pub use hidestore_dedup as dedup;
+pub use hidestore_fsck as fsck;
 pub use hidestore_hash as hash;
 pub use hidestore_index as index;
 pub use hidestore_restore as restore;

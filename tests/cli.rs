@@ -9,7 +9,10 @@ fn bin() -> &'static str {
 }
 
 fn run(args: &[&str]) -> Output {
-    Command::new(bin()).args(args).output().expect("binary launches")
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary launches")
 }
 
 fn temp(tag: &str) -> PathBuf {
@@ -39,7 +42,11 @@ fn full_cli_lifecycle() {
 
     // init
     let out = run(&["init", repo_s, "--chunk", "1024", "--container", "65536"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // three backups of an evolving file
     let mut content = noise(200_000, 1);
@@ -47,7 +54,11 @@ fn full_cli_lifecycle() {
         let f = data_dir.join(format!("v{i}.bin"));
         fs::write(&f, &content).unwrap();
         let out = run(&["backup", repo_s, f.to_str().unwrap()]);
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         content[5_000..9_000].copy_from_slice(&noise(4_000, 100 + i));
     }
 
@@ -64,18 +75,32 @@ fn full_cli_lifecycle() {
     // restore V1 and compare
     let restored = data_dir.join("restored.bin");
     let out = run(&["restore", repo_s, "1", restored.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert_eq!(fs::read(&restored).unwrap(), fs::read(data_dir.join("v0.bin")).unwrap());
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        fs::read(&restored).unwrap(),
+        fs::read(data_dir.join("v0.bin")).unwrap()
+    );
 
     // prune to the last 2; V1 must disappear, V2/V3 must survive
     let out = run(&["prune", repo_s, "2"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = run(&["list", repo_s]);
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(!text.contains("V1 "), "pruned version still listed: {text}");
     let out = run(&["restore", repo_s, "3", restored.to_str().unwrap()]);
     assert!(out.status.success());
-    assert_eq!(fs::read(&restored).unwrap(), fs::read(data_dir.join("v2.bin")).unwrap());
+    assert_eq!(
+        fs::read(&restored).unwrap(),
+        fs::read(data_dir.join("v2.bin")).unwrap()
+    );
 
     // flatten succeeds
     let out = run(&["flatten", repo_s]);
@@ -123,8 +148,13 @@ fn init_refuses_double_init_and_bad_args() {
     let repo = temp("doubleinit");
     let repo_s = repo.to_str().unwrap();
     assert!(run(&["init", repo_s]).status.success());
-    assert!(!run(&["init", repo_s]).status.success(), "second init must fail");
-    assert!(!run(&["backup", "/definitely/not/a/repo", "/etc/hostname"]).status.success());
+    assert!(
+        !run(&["init", repo_s]).status.success(),
+        "second init must fail"
+    );
+    assert!(!run(&["backup", "/definitely/not/a/repo", "/etc/hostname"])
+        .status
+        .success());
     assert!(!run(&["bogus-command"]).status.success());
     fs::remove_dir_all(&repo).unwrap();
 }
@@ -149,7 +179,9 @@ fn recluster_keeps_repository_restorable() {
     let mut content = noise(120_000, 77);
     for i in 0..4u64 {
         fs::write(&f, &content).unwrap();
-        assert!(run(&["backup", repo_s, f.to_str().unwrap()]).status.success());
+        assert!(run(&["backup", repo_s, f.to_str().unwrap()])
+            .status
+            .success());
         content[(i as usize * 25_000) % 90_000..][..20_000]
             .copy_from_slice(&noise(20_000, 300 + i));
     }
@@ -159,9 +191,15 @@ fn recluster_keeps_repository_restorable() {
         fs::read(&restored).unwrap()
     };
     let out = run(&["recluster", repo_s]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let restored = repo.join("v1-after.bin");
-    assert!(run(&["restore", repo_s, "1", restored.to_str().unwrap()]).status.success());
+    assert!(run(&["restore", repo_s, "1", restored.to_str().unwrap()])
+        .status
+        .success());
     assert_eq!(fs::read(&restored).unwrap(), snapshot_v1);
     // Still verifies clean.
     assert!(run(&["verify", repo_s]).status.success());

@@ -5,7 +5,9 @@
 
 use hidestore::core::{HiDeStore, HiDeStoreConfig};
 use hidestore::restore::{BeladyCache, ChunkLru, Faa, RestoreCache, VerifyingRestore};
-use hidestore::storage::{ContainerStore, DeviceProfile, FileContainerStore, MemoryContainerStore, VersionId};
+use hidestore::storage::{
+    ContainerStore, DeviceProfile, FileContainerStore, MemoryContainerStore, VersionId,
+};
 use hidestore::workloads::{Profile, VersionStream};
 
 fn noise(len: usize, seed: u64) -> Vec<u8> {
@@ -58,7 +60,9 @@ fn belady_bound_holds_on_hidestore_layout() {
     hds.flatten_recipes();
     let newest = VersionId::new(versions.len() as u32);
     let reads = |hds: &mut HiDeStore<MemoryContainerStore>, cache: &mut dyn RestoreCache| {
-        hds.restore(newest, cache, &mut std::io::sink()).unwrap().container_reads
+        hds.restore(newest, cache, &mut std::io::sink())
+            .unwrap()
+            .container_reads
     };
     // At equal container budgets, the clairvoyant cache can never need more
     // reads than LRU-family schemes — also true on the two-tier layout.
@@ -88,19 +92,20 @@ fn device_profiles_rank_hidestore_layouts() {
     };
     let hdd = DeviceProfile::HDD.restore_throughput_mbps(report.bytes_restored, &stats);
     let nvme = DeviceProfile::NVME.restore_throughput_mbps(report.bytes_restored, &stats);
-    assert!(nvme > hdd, "nvme {nvme:.1} MB/s must beat hdd {hdd:.1} MB/s");
+    assert!(
+        nvme > hdd,
+        "nvme {nvme:.1} MB/s must beat hdd {hdd:.1} MB/s"
+    );
     assert!(hdd > 0.0);
 }
 
 #[test]
 fn recluster_then_delete_then_persist_round_trip() {
     // The three maintenance operations compose on a real on-disk repository.
-    let dir = std::env::temp_dir()
-        .join(format!("hidestore-cross-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("hidestore-cross-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
-    let versions =
-        VersionStream::new(Profile::Gcc.spec().scaled(600_000, 6), 5).all_versions();
+    let versions = VersionStream::new(Profile::Gcc.spec().scaled(600_000, 6), 5).all_versions();
     {
         let mut hds = HiDeStore::open_repository(hds_config(), &dir).unwrap();
         for v in &versions {
@@ -128,8 +133,7 @@ fn recluster_then_delete_then_persist_round_trip() {
 fn streaming_ingest_into_file_repository() {
     // backup_reader + FileContainerStore: the full streaming path against
     // real files.
-    let dir = std::env::temp_dir()
-        .join(format!("hidestore-stream-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("hidestore-stream-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let store = FileContainerStore::open(&dir).unwrap();
     let mut hds = HiDeStore::new(hds_config(), store);
@@ -142,8 +146,12 @@ fn streaming_ingest_into_file_repository() {
     assert!(s2.stored_bytes < 60_000, "incremental ingest over a reader");
     for (v, expect) in [(1u32, &v1), (2, &v2)] {
         let mut out = Vec::new();
-        hds.restore(VersionId::new(v), &mut VerifyingRestore::new(Faa::new(1 << 18)), &mut out)
-            .unwrap();
+        hds.restore(
+            VersionId::new(v),
+            &mut VerifyingRestore::new(Faa::new(1 << 18)),
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(&out, expect, "V{v}");
     }
     std::fs::remove_dir_all(&dir).unwrap();
@@ -155,18 +163,21 @@ fn trace_and_content_interleave_in_one_hidestore() {
     // bookkeeping (dedup ratio, deletion) stays consistent.
     use hidestore::hash::Fingerprint;
     let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
-    let trace: Vec<(Fingerprint, u32)> =
-        (0..500u64).map(|i| (Fingerprint::synthetic(i), 1024)).collect();
+    let trace: Vec<(Fingerprint, u32)> = (0..500u64)
+        .map(|i| (Fingerprint::synthetic(i), 1024))
+        .collect();
     hds.backup_trace(&trace).unwrap();
     let data = noise(200_000, 11);
     hds.backup(&data).unwrap();
     hds.backup_trace(&trace).unwrap(); // trace chunks went cold, re-stored
     assert_eq!(hds.versions().len(), 3);
     let mut out = Vec::new();
-    hds.restore(VersionId::new(2), &mut Faa::new(1 << 18), &mut out).unwrap();
+    hds.restore(VersionId::new(2), &mut Faa::new(1 << 18), &mut out)
+        .unwrap();
     assert_eq!(out, data, "content version sandwiched between traces");
     hds.delete_expired(VersionId::new(1)).unwrap();
     let mut out = Vec::new();
-    hds.restore(VersionId::new(3), &mut Faa::new(1 << 18), &mut out).unwrap();
+    hds.restore(VersionId::new(3), &mut Faa::new(1 << 18), &mut out)
+        .unwrap();
     assert_eq!(out.len(), 500 * 1024);
 }

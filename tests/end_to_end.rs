@@ -51,7 +51,12 @@ fn assert_pipeline_round_trips(
     tag: &str,
 ) {
     let versions = workload(Profile::Kernel, 11);
-    let mut p = BackupPipeline::new(pipeline_config(), index, rewriter, MemoryContainerStore::new());
+    let mut p = BackupPipeline::new(
+        pipeline_config(),
+        index,
+        rewriter,
+        MemoryContainerStore::new(),
+    );
     for v in &versions {
         p.backup(v).unwrap();
     }
@@ -59,15 +64,27 @@ fn assert_pipeline_round_trips(
         for cache in restore_caches().iter_mut() {
             let mut out = Vec::new();
             p.restore(VersionId::new(i as u32 + 1), cache.as_mut(), &mut out)
-                .unwrap_or_else(|e| panic!("{tag}/{}: restore V{} failed: {e}", cache.name(), i + 1));
-            assert_eq!(&out, expect, "{tag}/{}: V{} bytes differ", cache.name(), i + 1);
+                .unwrap_or_else(|e| {
+                    panic!("{tag}/{}: restore V{} failed: {e}", cache.name(), i + 1)
+                });
+            assert_eq!(
+                &out,
+                expect,
+                "{tag}/{}: V{} bytes differ",
+                cache.name(),
+                i + 1
+            );
         }
     }
 }
 
 #[test]
 fn ddfs_round_trips_all_caches() {
-    assert_pipeline_round_trips(Box::new(DdfsIndex::new()), Box::new(NoRewrite::new()), "ddfs");
+    assert_pipeline_round_trips(
+        Box::new(DdfsIndex::new()),
+        Box::new(NoRewrite::new()),
+        "ddfs",
+    );
 }
 
 #[test]
@@ -90,7 +107,11 @@ fn silo_round_trips_all_caches() {
 
 #[test]
 fn capping_round_trips_all_caches() {
-    assert_pipeline_round_trips(Box::new(DdfsIndex::new()), Box::new(Capping::new(4)), "capping");
+    assert_pipeline_round_trips(
+        Box::new(DdfsIndex::new()),
+        Box::new(Capping::new(4)),
+        "capping",
+    );
 }
 
 #[test]
@@ -158,7 +179,12 @@ fn hidestore_round_trips_after_flatten_and_more_backups() {
     }
     for (i, expect) in versions.iter().enumerate() {
         let mut out = Vec::new();
-        hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 20), &mut out).unwrap();
+        hds.restore(
+            VersionId::new(i as u32 + 1),
+            &mut Faa::new(1 << 20),
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(&out, expect, "V{}", i + 1);
     }
 }

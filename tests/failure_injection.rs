@@ -1,9 +1,19 @@
-//! Failure injection: the container store fails mid-operation and the
-//! system must degrade safely — a failed backup never corrupts the versions
-//! already retained.
+//! Failure injection, in two families:
+//!
+//! 1. **Flaky store** — the container store fails mid-operation and the
+//!    system must degrade safely: a failed backup never corrupts the
+//!    versions already retained.
+//! 2. **Corruption injection** — an on-disk repository is tampered with in
+//!    four targeted ways (payload bit flip, container truncation, dangling
+//!    recipe CID, recipe-chain cycle) and `SystemAuditor` must report
+//!    exactly the injected damage — and nothing on an untouched store.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use hidestore::fsck::{FindingKind, SystemAuditor};
+use hidestore::storage::FileContainerStore;
 
 use hidestore::core::{HiDeStore, HiDeStoreConfig};
 use hidestore::dedup::{BackupPipeline, PipelineConfig};
@@ -11,8 +21,7 @@ use hidestore::index::DdfsIndex;
 use hidestore::restore::Faa;
 use hidestore::rewriting::NoRewrite;
 use hidestore::storage::{
-    Container, ContainerId, ContainerStore, IoStats, MemoryContainerStore, StorageError,
-    VersionId,
+    Container, ContainerId, ContainerStore, IoStats, MemoryContainerStore, StorageError, VersionId,
 };
 
 /// A store that fails every write once `fail_after_writes` have succeeded.
@@ -41,7 +50,9 @@ impl ContainerStore for FlakyStore {
     fn write(&mut self, container: Container) -> Result<(), StorageError> {
         let n = self.writes.fetch_add(1, Ordering::SeqCst);
         if n >= self.fail_after_writes {
-            return Err(StorageError::Io(std::io::Error::other("injected write failure")));
+            return Err(StorageError::Io(std::io::Error::other(
+                "injected write failure",
+            )));
         }
         self.inner.write(container)
     }
@@ -157,7 +168,8 @@ fn pipeline_failed_backup_preserves_old_versions() {
     assert!(err.to_string().contains("injected"), "{err}");
     p.store_mut().disarm();
     let mut out = Vec::new();
-    p.restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out).unwrap();
+    p.restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out)
+        .unwrap();
     assert_eq!(out, v1, "V1 must survive the failed ingest");
 }
 
@@ -170,4 +182,227 @@ fn scrub_passes_after_recovered_failure() {
     hds.backup(&noise(60_000, 11)).unwrap();
     let report = hds.scrub().unwrap();
     assert!(report.is_clean(), "{:?}", report.corrupt_chunks);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption injection against on-disk repositories, audited by hds-fsck's
+// library API.
+// ---------------------------------------------------------------------------
+
+/// A unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "hds-failure-injection-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Builds a repo with enough churn that cold chunks reach the archival
+/// store, then saves it.
+fn build_churned_repo(dir: &Path) {
+    let mut hds = HiDeStore::open_repository(hds_config(), dir).expect("open repository");
+    let mut data = noise(60_000, 11);
+    for round in 0..4u64 {
+        hds.backup(&data).expect("backup");
+        let start = (round as usize * 9_000) % 50_000;
+        let patch = noise(7_000, 500 + round);
+        data[start..start + patch.len()].copy_from_slice(&patch);
+    }
+    hds.save_repository(dir).expect("save repository");
+}
+
+/// Builds a repo of two *identical* versions (so V1's recipe chains into V2
+/// and nothing is demoted), then saves it.
+fn build_chained_repo(dir: &Path) {
+    let mut hds = HiDeStore::open_repository(hds_config(), dir).expect("open repository");
+    let data = noise(40_000, 23);
+    hds.backup(&data).expect("backup v1");
+    hds.backup(&data).expect("backup v2");
+    hds.save_repository(dir).expect("save repository");
+}
+
+fn reopen(dir: &Path) -> HiDeStore<FileContainerStore> {
+    HiDeStore::open_repository(hds_config(), dir).expect("reopen repository")
+}
+
+fn archival_container_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir.join("archival"))
+        .expect("archival dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ctr"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn recipe_file(dir: &Path, version: u32) -> PathBuf {
+    dir.join("recipes").join(format!("r{version}.rcp"))
+}
+
+/// Recipe layout: 12-byte header (`HDSR` + u32 version + u32 count), then
+/// 28-byte entries (20-byte fingerprint + u32 size + i32 cid, both LE).
+const RECIPE_HEADER: usize = 12;
+const RECIPE_ENTRY: usize = 28;
+const ENTRY_CID_OFFSET: usize = 24;
+
+/// Overwrites the CID of entry `idx` in a recipe file.
+fn patch_recipe_cid(path: &Path, idx: usize, cid: i32) {
+    let mut bytes = std::fs::read(path).expect("read recipe");
+    let at = RECIPE_HEADER + idx * RECIPE_ENTRY + ENTRY_CID_OFFSET;
+    bytes[at..at + 4].copy_from_slice(&cid.to_le_bytes());
+    std::fs::write(path, bytes).expect("write recipe");
+}
+
+/// Index of the first entry in a recipe file whose CID is a positive
+/// (archival) reference.
+fn first_archival_entry(path: &Path) -> Option<usize> {
+    let bytes = std::fs::read(path).expect("read recipe");
+    let n = (bytes.len() - RECIPE_HEADER) / RECIPE_ENTRY;
+    (0..n).find(|i| {
+        let at = RECIPE_HEADER + i * RECIPE_ENTRY + ENTRY_CID_OFFSET;
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&bytes[at..at + 4]);
+        i32::from_le_bytes(word) > 0
+    })
+}
+
+#[test]
+fn untouched_store_audits_clean() {
+    let scratch = Scratch::new("clean");
+    build_churned_repo(&scratch.0);
+    let mut hds = reopen(&scratch.0);
+    let report = SystemAuditor::new().audit(&mut hds);
+    assert!(
+        report.is_clean(),
+        "expected zero findings, got:\n{report:#?}"
+    );
+    assert!(report.containers_checked > 0);
+    assert!(report.chunks_checked > 0);
+    assert_eq!(report.recipes_checked, 4);
+}
+
+#[test]
+fn flipped_payload_byte_is_reported_as_hash_mismatch() {
+    let scratch = Scratch::new("bitflip");
+    build_churned_repo(&scratch.0);
+    // The data section is encoded last, so the file's final byte belongs to
+    // some chunk's payload.
+    let victim = archival_container_files(&scratch.0)
+        .into_iter()
+        .next()
+        .expect("an archival container");
+    let mut bytes = std::fs::read(&victim).expect("read container");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&victim, bytes).expect("write container");
+
+    let mut hds = reopen(&scratch.0);
+    let report = SystemAuditor::new().audit(&mut hds);
+    assert!(!report.is_clean(), "corruption must be detected");
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| matches!(f.kind, FindingKind::ChunkHashMismatch { .. })),
+        "only the injected hash mismatch may be reported:\n{:#?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 1, "exactly one chunk was corrupted");
+}
+
+#[test]
+fn truncated_container_is_reported_as_unreadable() {
+    let scratch = Scratch::new("truncate");
+    build_churned_repo(&scratch.0);
+    let victim = archival_container_files(&scratch.0)
+        .into_iter()
+        .next()
+        .expect("an archival container");
+    let bytes = std::fs::read(&victim).expect("read container");
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate container");
+
+    let mut hds = reopen(&scratch.0);
+    let report = SystemAuditor::new().audit(&mut hds);
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| matches!(f.kind, FindingKind::UnreadableContainer { .. })),
+        "unreadability must not cascade into per-entry findings:\n{:#?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 1);
+}
+
+#[test]
+fn dangling_recipe_cid_is_reported() {
+    let scratch = Scratch::new("dangle");
+    build_churned_repo(&scratch.0);
+    // Point V1's first archival reference at a container that was never
+    // written.
+    let r1 = recipe_file(&scratch.0, 1);
+    let idx = first_archival_entry(&r1).expect("V1 has an archival entry after churn");
+    patch_recipe_cid(&r1, idx, 9_999);
+
+    let mut hds = reopen(&scratch.0);
+    let report = SystemAuditor::new().audit(&mut hds);
+    assert!(!report.is_clean());
+    assert!(
+        report.findings.iter().all(|f| matches!(
+            f.kind,
+            FindingKind::DanglingArchivalRef {
+                version: 1,
+                container: 9_999,
+                ..
+            }
+        )),
+        "only the injected dangling reference may be reported:\n{:#?}",
+        report.findings
+    );
+    assert_eq!(report.findings.len(), 1);
+}
+
+#[test]
+fn chain_cycle_is_reported() {
+    let scratch = Scratch::new("cycle");
+    build_chained_repo(&scratch.0);
+    // V1's entries are all chained forward to V2 (cid -2). Rewriting V2's
+    // first entry to chain back to V1 (cid -1) closes a cycle — and is also
+    // a backward hop, violating version ordering.
+    let r2 = recipe_file(&scratch.0, 2);
+    patch_recipe_cid(&r2, 0, -1);
+
+    let mut hds = reopen(&scratch.0);
+    let report = SystemAuditor::new().audit(&mut hds);
+    assert!(!report.is_clean());
+    assert!(
+        report.findings.iter().all(|f| matches!(
+            f.kind,
+            FindingKind::ChainCycle { .. } | FindingKind::ChainNotVersionOrdered { .. }
+        )),
+        "only chain findings may be reported:\n{:#?}",
+        report.findings
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| matches!(f.kind, FindingKind::ChainCycle { .. })),
+        "the cycle itself must be among the findings:\n{:#?}",
+        report.findings
+    );
 }

@@ -41,7 +41,12 @@ fn hidestore_over_file_store_round_trips() {
     }
     for (i, expect) in versions.iter().enumerate() {
         let mut out = Vec::new();
-        hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
+        hds.restore(
+            VersionId::new(i as u32 + 1),
+            &mut Faa::new(1 << 18),
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(&out, expect, "V{}", i + 1);
     }
     // Cold chunks really are on disk as container files.
@@ -76,8 +81,7 @@ fn pipeline_repository_survives_reopen() {
     // ...then reopen a fresh store (a new process) and restore directly
     // from the on-disk recipes and containers.
     let mut store = FileContainerStore::open(&dir).unwrap();
-    let recipes =
-        hidestore::storage::RecipeStore::load_dir(dir.join("recipes")).unwrap();
+    let recipes = hidestore::storage::RecipeStore::load_dir(dir.join("recipes")).unwrap();
     assert_eq!(recipes.len(), versions.len());
     for (i, expect) in versions.iter().enumerate() {
         let recipe = recipes.get(VersionId::new(i as u32 + 1)).unwrap();
@@ -94,7 +98,9 @@ fn pipeline_repository_survives_reopen() {
             .collect();
         let mut out = Vec::new();
         use hidestore::restore::RestoreCache;
-        Faa::new(1 << 18).restore(&plan, &mut store, &mut out).unwrap();
+        Faa::new(1 << 18)
+            .restore(&plan, &mut store, &mut out)
+            .unwrap();
         assert_eq!(&out, expect, "V{} after reopen", i + 1);
     }
     fs::remove_dir_all(&dir).unwrap();
@@ -127,7 +133,11 @@ fn corrupt_container_file_is_reported() {
     fs::write(victim.path(), &bytes[..bytes.len() / 2]).unwrap();
 
     let err = p
-        .restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut std::io::sink())
+        .restore(
+            VersionId::new(1),
+            &mut Faa::new(1 << 18),
+            &mut std::io::sink(),
+        )
         .unwrap_err();
     let msg = err.to_string();
     assert!(
@@ -162,7 +172,8 @@ fn file_store_deletion_removes_files() {
     // Survivors still restore from disk.
     for v in 3..=versions.len() as u32 {
         let mut out = Vec::new();
-        hds.restore(VersionId::new(v), &mut Faa::new(1 << 18), &mut out).unwrap();
+        hds.restore(VersionId::new(v), &mut Faa::new(1 << 18), &mut out)
+            .unwrap();
         assert_eq!(&out, &versions[(v - 1) as usize]);
     }
     fs::remove_dir_all(&dir).unwrap();
@@ -175,6 +186,9 @@ fn duplicate_container_id_rejected_on_disk() {
     let mut c = hidestore::storage::Container::new(hidestore::storage::ContainerId::new(1), 1024);
     c.try_add(hidestore::hash::Fingerprint::of(b"x"), b"x");
     store.write(c.clone()).unwrap();
-    assert!(matches!(store.write(c), Err(StorageError::DuplicateContainer(_))));
+    assert!(matches!(
+        store.write(c),
+        Err(StorageError::DuplicateContainer(_))
+    ));
     fs::remove_dir_all(&dir).unwrap();
 }

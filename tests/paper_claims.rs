@@ -78,7 +78,10 @@ fn hidestore_dedup_ratio_matches_exact_and_beats_rewriting() {
         hds_ratio > capped_ratio,
         "HiDeStore {hds_ratio:.4} must beat SiLo+Capping {capped_ratio:.4}"
     );
-    assert!(capped.rewriter().rewritten_bytes() > 0, "capping should have rewritten");
+    assert!(
+        capped.rewriter().rewritten_bytes() > 0,
+        "capping should have rewritten"
+    );
 }
 
 /// Figure 11's core claim: after many versions, HiDeStore restores the
@@ -138,9 +141,13 @@ fn baseline_speed_factor_degrades_over_versions() {
         baseline.backup(v).unwrap();
     }
     let sf = |p: &mut BackupPipeline<_, _, _>, v: u32| {
-        p.restore(VersionId::new(v), &mut Faa::new(FAA_AREA), &mut std::io::sink())
-            .unwrap()
-            .speed_factor()
+        p.restore(
+            VersionId::new(v),
+            &mut Faa::new(FAA_AREA),
+            &mut std::io::sink(),
+        )
+        .unwrap()
+        .speed_factor()
     };
     let early = sf(&mut baseline, 2);
     let late = sf(&mut baseline, versions.len() as u32);
@@ -231,7 +238,8 @@ fn deletion_without_gc_vs_mark_sweep() {
     assert!(report.containers_dropped > 0);
     for v in 4..=9u32 {
         let mut out = Vec::new();
-        hds.restore(VersionId::new(v), &mut Faa::new(FAA_AREA), &mut out).unwrap();
+        hds.restore(VersionId::new(v), &mut Faa::new(FAA_AREA), &mut out)
+            .unwrap();
         assert_eq!(out, versions[(v - 1) as usize]);
     }
 
@@ -255,7 +263,8 @@ fn deletion_without_gc_vs_mark_sweep() {
     assert!(gc_report.containers_scanned as usize >= ddfs.store().ids().len());
     for v in 4..=9u32 {
         let mut out = Vec::new();
-        ddfs.restore(VersionId::new(v), &mut Faa::new(FAA_AREA), &mut out).unwrap();
+        ddfs.restore(VersionId::new(v), &mut Faa::new(FAA_AREA), &mut out)
+            .unwrap();
         assert_eq!(out, versions[(v - 1) as usize]);
     }
 }

@@ -1,10 +1,18 @@
 //! Property-based tests over the core invariants of the whole stack.
+//!
+//! Offline-friendly harness: instead of an external property-testing
+//! framework, each property runs over a fixed number of cases driven by the
+//! vendored deterministic [`StdRng`] — same seed, same inputs, every run.
+//! On failure the panic message names the case seed so the input can be
+//! reproduced exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use hidestore::chunking::{chunk_spans, ChunkerKind};
+use hidestore::chunking::{chunk_spans, ChunkerKind, StreamChunker, TttdChunker};
 use hidestore::core::{HiDeStore, HiDeStoreConfig};
 use hidestore::dedup::{BackupPipeline, PipelineConfig};
+use hidestore::fsck::SystemAuditor;
 use hidestore::hash::{Fingerprint, Sha1};
 use hidestore::index::DdfsIndex;
 use hidestore::restore::Faa;
@@ -13,7 +21,27 @@ use hidestore::storage::{
     Cid, Container, ContainerId, MemoryContainerStore, Recipe, RecipeEntry, VersionId,
 };
 
-/// An arbitrary sequence of version edits applied to an initial buffer.
+/// Runs `body` once per case with a per-case deterministic RNG. The case
+/// seed appears in any panic message via the wrapping assertion context.
+fn cases(n: u64, base_seed: u64, body: impl Fn(&mut StdRng)) {
+    for case in 0..n {
+        let seed = base_seed.wrapping_mul(1_000_003).wrapping_add(case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!("property failed for case seed {seed} (case {case}/{n})");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+fn random_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut data = vec![0u8; len];
+    rng.fill(&mut data[..]);
+    data
+}
+
+/// An arbitrary version edit applied to the previous version's buffer.
 #[derive(Debug, Clone)]
 enum Edit {
     Overwrite { at: usize, data: Vec<u8> },
@@ -22,15 +50,40 @@ enum Edit {
     Append { data: Vec<u8> },
 }
 
-fn edit_strategy() -> impl Strategy<Value = Edit> {
-    prop_oneof![
-        (0usize..50_000, proptest::collection::vec(any::<u8>(), 1..3000))
-            .prop_map(|(at, data)| Edit::Overwrite { at, data }),
-        (0usize..50_000, proptest::collection::vec(any::<u8>(), 1..2000))
-            .prop_map(|(at, data)| Edit::Insert { at, data }),
-        (0usize..50_000, 1usize..2000).prop_map(|(at, len)| Edit::Delete { at, len }),
-        proptest::collection::vec(any::<u8>(), 1..3000).prop_map(|data| Edit::Append { data }),
-    ]
+fn random_edit(rng: &mut StdRng) -> Edit {
+    match rng.gen_range(0usize..4) {
+        0 => {
+            let at = rng.gen_range(0usize..50_000);
+            let len = rng.gen_range(1usize..3000);
+            Edit::Overwrite {
+                at,
+                data: random_bytes(rng, len),
+            }
+        }
+        1 => {
+            let at = rng.gen_range(0usize..50_000);
+            let len = rng.gen_range(1usize..2000);
+            Edit::Insert {
+                at,
+                data: random_bytes(rng, len),
+            }
+        }
+        2 => Edit::Delete {
+            at: rng.gen_range(0usize..50_000),
+            len: rng.gen_range(1usize..2000),
+        },
+        _ => {
+            let len = rng.gen_range(1usize..3000);
+            Edit::Append {
+                data: random_bytes(rng, len),
+            }
+        }
+    }
+}
+
+fn random_edits(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<Edit> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| random_edit(rng)).collect()
 }
 
 fn apply(mut base: Vec<u8>, edit: &Edit) -> Vec<u8> {
@@ -70,8 +123,9 @@ fn apply(mut base: Vec<u8>, edit: &Edit) -> Vec<u8> {
 }
 
 fn version_history(seed_len: usize, edits: &[Edit]) -> Vec<Vec<u8>> {
-    let mut current: Vec<u8> =
-        (0..seed_len).map(|i| (i as u64).wrapping_mul(0x9E37_79B9).to_le_bytes()[0]).collect();
+    let mut current: Vec<u8> = (0..seed_len)
+        .map(|i| (i as u64).wrapping_mul(0x9E37_79B9).to_le_bytes()[0])
+        .collect();
     let mut versions = vec![current.clone()];
     for e in edits {
         current = apply(current, e);
@@ -88,15 +142,12 @@ fn hds_config() -> HiDeStoreConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// restore(backup(x)) == x for HiDeStore over arbitrary edit histories.
-    #[test]
-    fn hidestore_round_trips_arbitrary_histories(
-        seed_len in 2_000usize..30_000,
-        edits in proptest::collection::vec(edit_strategy(), 1..6),
-    ) {
+/// restore(backup(x)) == x for HiDeStore over arbitrary edit histories.
+#[test]
+fn hidestore_round_trips_arbitrary_histories() {
+    cases(10, 0x01, |rng| {
+        let seed_len = rng.gen_range(2_000usize..30_000);
+        let edits = random_edits(rng, 1, 6);
         let versions = version_history(seed_len, &edits);
         let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
         for v in &versions {
@@ -104,17 +155,23 @@ proptest! {
         }
         for (i, expect) in versions.iter().enumerate() {
             let mut out = Vec::new();
-            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
-            prop_assert_eq!(&out, expect, "version {}", i + 1);
+            hds.restore(
+                VersionId::new(i as u32 + 1),
+                &mut Faa::new(1 << 18),
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(&out, expect, "version {}", i + 1);
         }
-    }
+    });
+}
 
-    /// Flattening never changes restored bytes.
-    #[test]
-    fn flatten_preserves_restores(
-        seed_len in 2_000usize..20_000,
-        edits in proptest::collection::vec(edit_strategy(), 1..5),
-    ) {
+/// Flattening never changes restored bytes.
+#[test]
+fn flatten_preserves_restores() {
+    cases(8, 0x02, |rng| {
+        let seed_len = rng.gen_range(2_000usize..20_000);
+        let edits = random_edits(rng, 1, 5);
         let versions = version_history(seed_len, &edits);
         let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
         for v in &versions {
@@ -123,44 +180,56 @@ proptest! {
         let mut before = Vec::new();
         for i in 0..versions.len() {
             let mut out = Vec::new();
-            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
+            hds.restore(
+                VersionId::new(i as u32 + 1),
+                &mut Faa::new(1 << 18),
+                &mut out,
+            )
+            .unwrap();
             before.push(out);
         }
         hds.flatten_recipes();
         for (i, expect) in before.iter().enumerate() {
             let mut out = Vec::new();
-            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
-            prop_assert_eq!(&out, expect, "version {}", i + 1);
+            hds.restore(
+                VersionId::new(i as u32 + 1),
+                &mut Faa::new(1 << 18),
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(&out, expect, "version {}", i + 1);
         }
-    }
+    });
+}
 
-    /// Deleting an expired prefix never corrupts the survivors.
-    #[test]
-    fn deletion_preserves_survivors(
-        seed_len in 2_000usize..20_000,
-        edits in proptest::collection::vec(edit_strategy(), 3..7),
-        expire_frac in 0.1f64..0.8,
-    ) {
+/// Deleting an expired prefix never corrupts the survivors.
+#[test]
+fn deletion_preserves_survivors() {
+    cases(8, 0x03, |rng| {
+        let seed_len = rng.gen_range(2_000usize..20_000);
+        let edits = random_edits(rng, 3, 7);
         let versions = version_history(seed_len, &edits);
         let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
         for v in &versions {
             hds.backup(v).unwrap();
         }
-        let up_to = ((versions.len() as f64 * expire_frac) as u32).clamp(1, versions.len() as u32 - 1);
+        let up_to = rng.gen_range(1u32..versions.len() as u32);
         hds.delete_expired(VersionId::new(up_to)).unwrap();
         for v in up_to + 1..=versions.len() as u32 {
             let mut out = Vec::new();
-            hds.restore(VersionId::new(v), &mut Faa::new(1 << 18), &mut out).unwrap();
-            prop_assert_eq!(&out, &versions[(v - 1) as usize], "survivor V{}", v);
+            hds.restore(VersionId::new(v), &mut Faa::new(1 << 18), &mut out)
+                .unwrap();
+            assert_eq!(&out, &versions[(v - 1) as usize], "survivor V{v}");
         }
-    }
+    });
+}
 
-    /// The baseline pipeline round-trips arbitrary histories too.
-    #[test]
-    fn pipeline_round_trips_arbitrary_histories(
-        seed_len in 2_000usize..20_000,
-        edits in proptest::collection::vec(edit_strategy(), 1..5),
-    ) {
+/// The baseline pipeline round-trips arbitrary histories too.
+#[test]
+fn pipeline_round_trips_arbitrary_histories() {
+    cases(8, 0x04, |rng| {
+        let seed_len = rng.gen_range(2_000usize..20_000);
+        let edits = random_edits(rng, 1, 5);
         let versions = version_history(seed_len, &edits);
         let mut p = BackupPipeline::new(
             PipelineConfig {
@@ -178,41 +247,49 @@ proptest! {
         }
         for (i, expect) in versions.iter().enumerate() {
             let mut out = Vec::new();
-            p.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
-            prop_assert_eq!(&out, expect, "version {}", i + 1);
+            p.restore(
+                VersionId::new(i as u32 + 1),
+                &mut Faa::new(1 << 18),
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(&out, expect, "version {}", i + 1);
         }
-    }
+    });
+}
 
-    /// Chunkers cover the stream exactly and respect their bounds on
-    /// arbitrary data.
-    #[test]
-    fn chunkers_cover_arbitrary_data(
-        data in proptest::collection::vec(any::<u8>(), 1..60_000),
-        kind_idx in 0usize..5,
-    ) {
-        let kind = ChunkerKind::ALL[kind_idx];
+/// Chunkers cover the stream exactly and respect their bounds on arbitrary
+/// data.
+#[test]
+fn chunkers_cover_arbitrary_data() {
+    cases(20, 0x05, |rng| {
+        let len = rng.gen_range(1usize..60_000);
+        let data = random_bytes(rng, len);
+        let kind = ChunkerKind::ALL[rng.gen_range(0usize..ChunkerKind::ALL.len())];
         let mut chunker = kind.build(1024);
         let spans = chunk_spans(chunker.as_mut(), &data);
-        prop_assert_eq!(spans.first().map(|s| s.start), Some(0));
-        prop_assert_eq!(spans.last().map(|s| s.end), Some(data.len()));
+        assert_eq!(spans.first().map(|s| s.start), Some(0));
+        assert_eq!(spans.last().map(|s| s.end), Some(data.len()));
         for w in spans.windows(2) {
-            prop_assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].end, w[1].start);
         }
         for s in &spans {
-            prop_assert!(s.len() <= chunker.max_size());
+            assert!(s.len() <= chunker.max_size());
         }
-    }
+    });
+}
 
-    /// SHA-1 incremental hashing equals one-shot hashing for arbitrary
-    /// splits.
-    #[test]
-    fn sha1_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..5_000),
-        split_points in proptest::collection::vec(any::<proptest::sample::Index>(), 0..5),
-    ) {
+/// SHA-1 incremental hashing equals one-shot hashing for arbitrary splits.
+#[test]
+fn sha1_incremental_equals_oneshot() {
+    cases(30, 0x06, |rng| {
+        let len = rng.gen_range(0usize..5_000);
+        let data = random_bytes(rng, len);
         let expect = Sha1::hash(&data);
-        let mut splits: Vec<usize> =
-            split_points.iter().map(|ix| ix.index(data.len() + 1)).collect();
+        let n_splits = rng.gen_range(0usize..5);
+        let mut splits: Vec<usize> = (0..n_splits)
+            .map(|_| rng.gen_range(0usize..=data.len()))
+            .collect();
         splits.sort_unstable();
         let mut h = Sha1::new();
         let mut prev = 0;
@@ -221,14 +298,21 @@ proptest! {
             prev = s;
         }
         h.update(&data[prev..]);
-        prop_assert_eq!(h.finalize(), expect);
-    }
+        assert_eq!(h.finalize(), expect);
+    });
+}
 
-    /// Containers round-trip arbitrary chunk sets through encode/decode.
-    #[test]
-    fn container_encode_decode_arbitrary(
-        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..500), 1..20),
-    ) {
+/// Containers round-trip arbitrary chunk sets through encode/decode.
+#[test]
+fn container_encode_decode_arbitrary() {
+    cases(30, 0x07, |rng| {
+        let n_chunks = rng.gen_range(1usize..20);
+        let chunks: Vec<Vec<u8>> = (0..n_chunks)
+            .map(|_| {
+                let len = rng.gen_range(1usize..500);
+                random_bytes(rng, len)
+            })
+            .collect();
         let mut c = Container::new(ContainerId::new(1), 1 << 20);
         let mut kept = Vec::new();
         for (i, data) in chunks.iter().enumerate() {
@@ -238,75 +322,78 @@ proptest! {
             }
         }
         let decoded = Container::decode(&c.encode()).unwrap();
-        prop_assert_eq!(decoded.chunk_count(), kept.len());
+        assert_eq!(decoded.chunk_count(), kept.len());
         for (fp, data) in kept {
-            prop_assert_eq!(decoded.get(&fp), Some(&data[..]));
+            assert_eq!(decoded.get(&fp), Some(&data[..]));
         }
-    }
+    });
+}
 
-    /// Recipes round-trip arbitrary entries through encode/decode.
-    #[test]
-    fn recipe_encode_decode_arbitrary(
-        entries in proptest::collection::vec((any::<u64>(), any::<u32>(), any::<i32>()), 0..100),
-        version in 1u32..10_000,
-    ) {
+/// Recipes round-trip arbitrary entries through encode/decode.
+#[test]
+fn recipe_encode_decode_arbitrary() {
+    cases(30, 0x08, |rng| {
+        let version = rng.gen_range(1u32..10_000);
         let mut r = Recipe::new(VersionId::new(version));
-        for &(fp, size, cid) in &entries {
-            r.push(RecipeEntry::new(Fingerprint::synthetic(fp), size, Cid::from_raw(cid)));
+        for _ in 0..rng.gen_range(0usize..100) {
+            r.push(RecipeEntry::new(
+                Fingerprint::synthetic(rng.gen_range(0u64..u64::MAX)),
+                rng.gen_range(0u32..u32::MAX),
+                Cid::from_raw(rng.gen_range(0u64..u64::MAX) as u32 as i32),
+            ));
         }
         let decoded = Recipe::decode(&r.encode()).unwrap();
-        prop_assert_eq!(decoded, r);
-    }
+        assert_eq!(decoded, r);
+    });
+}
 
-    /// HiDeStore's dedup ratio never falls below zero and two identical
-    /// consecutive versions always dedup the second fully.
-    #[test]
-    fn identical_versions_fully_deduplicated(
-        seed_len in 2_000usize..20_000,
-    ) {
+/// Two identical consecutive versions always dedup the second fully.
+#[test]
+fn identical_versions_fully_deduplicated() {
+    cases(10, 0x09, |rng| {
+        let seed_len = rng.gen_range(2_000usize..20_000);
         let versions = version_history(seed_len, &[]);
         let data = &versions[0];
         let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
         hds.backup(data).unwrap();
         let s2 = hds.backup(data).unwrap();
-        prop_assert_eq!(s2.stored_bytes, 0);
-        prop_assert_eq!(s2.cold_chunks, 0);
-    }
+        assert_eq!(s2.stored_bytes, 0);
+        assert_eq!(s2.cold_chunks, 0);
+    });
 }
 
 // ---- Additional properties over the streaming and maintenance paths ----
 
-use hidestore::chunking::{StreamChunker, TttdChunker};
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Streaming chunking produces the same boundaries as whole-stream
-    /// chunking for arbitrary data and arbitrary push sizes.
-    #[test]
-    fn stream_chunker_equals_whole_stream(
-        data in proptest::collection::vec(any::<u8>(), 1..80_000),
-        push in 1usize..10_000,
-    ) {
+/// Streaming chunking produces the same boundaries as whole-stream chunking
+/// for arbitrary data and arbitrary push sizes.
+#[test]
+fn stream_chunker_equals_whole_stream() {
+    cases(12, 0x0A, |rng| {
+        let len = rng.gen_range(1usize..80_000);
+        let data = random_bytes(rng, len);
+        let push = rng.gen_range(1usize..10_000);
         let mut whole = TttdChunker::new(1024);
-        let expect: Vec<usize> =
-            chunk_spans(&mut whole, &data).iter().map(|s| s.len()).collect();
+        let expect: Vec<usize> = chunk_spans(&mut whole, &data)
+            .iter()
+            .map(|s| s.len())
+            .collect();
         let mut got = Vec::new();
         let mut stream = StreamChunker::new(TttdChunker::new(1024));
         for piece in data.chunks(push) {
             stream.push(piece, |c| got.push(c.len()));
         }
         stream.finish(|c| got.push(c.len()));
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// Archival re-clustering never changes restored bytes, for arbitrary
-    /// version histories.
-    #[test]
-    fn recluster_preserves_bytes(
-        seed_len in 4_000usize..20_000,
-        edits in proptest::collection::vec(edit_strategy(), 2..6),
-    ) {
+/// Archival re-clustering never changes restored bytes, for arbitrary
+/// version histories.
+#[test]
+fn recluster_preserves_bytes() {
+    cases(8, 0x0B, |rng| {
+        let seed_len = rng.gen_range(4_000usize..20_000);
+        let edits = random_edits(rng, 2, 6);
         let versions = version_history(seed_len, &edits);
         let mut hds = HiDeStore::new(
             HiDeStoreConfig {
@@ -322,37 +409,98 @@ proptest! {
         hds.recluster_archival().unwrap();
         for (i, expect) in versions.iter().enumerate() {
             let mut out = Vec::new();
-            hds.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out).unwrap();
-            prop_assert_eq!(&out, expect, "version {}", i + 1);
+            hds.restore(
+                VersionId::new(i as u32 + 1),
+                &mut Faa::new(1 << 18),
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(&out, expect, "version {}", i + 1);
         }
-    }
+    });
+}
 
-    /// Cid sign encoding round-trips through raw i32 for all values.
-    #[test]
-    fn cid_raw_round_trip(raw in any::<i32>()) {
+/// Cid sign encoding round-trips through raw i32 for all values.
+#[test]
+fn cid_raw_round_trip() {
+    cases(200, 0x0C, |rng| {
+        let raw = rng.gen_range(0u64..=u64::MAX) as u32 as i32;
         let cid = Cid::from_raw(raw);
-        prop_assert_eq!(cid.raw(), raw);
+        assert_eq!(cid.raw(), raw);
         match raw {
-            0 => prop_assert!(cid.is_active()),
-            r if r > 0 => prop_assert_eq!(cid.as_archival().map(|c| c.get() as i32), Some(r)),
-            r => prop_assert_eq!(cid.as_chained().map(|v| -(v.get() as i32)), Some(r)),
+            0 => assert!(cid.is_active()),
+            r if r > 0 => assert_eq!(cid.as_archival().map(|c| c.get() as i32), Some(r)),
+            r => assert_eq!(cid.as_chained().map(|v| -(v.get() as i32)), Some(r)),
         }
+    });
+    // The boundary values, explicitly.
+    for raw in [0, 1, -1, i32::MAX, i32::MIN + 1] {
+        assert_eq!(Cid::from_raw(raw).raw(), raw);
     }
+}
 
-    /// backup_reader equals backup for arbitrary histories and read sizes.
-    #[test]
-    fn reader_equals_slice_backup(
-        seed_len in 2_000usize..30_000,
-        edit in edit_strategy(),
-    ) {
+/// backup_reader equals backup for arbitrary histories and read sizes.
+#[test]
+fn reader_equals_slice_backup() {
+    cases(8, 0x0D, |rng| {
+        let seed_len = rng.gen_range(2_000usize..30_000);
+        let edit = random_edit(rng);
         let versions = version_history(seed_len, &[edit]);
         let mut a = HiDeStore::new(hds_config(), MemoryContainerStore::new());
         let mut b = HiDeStore::new(hds_config(), MemoryContainerStore::new());
         for v in &versions {
             let sa = a.backup(v).unwrap();
             let sb = b.backup_reader(&v[..]).unwrap();
-            prop_assert_eq!(sa.chunks, sb.chunks);
-            prop_assert_eq!(sa.stored_bytes, sb.stored_bytes);
+            assert_eq!(sa.chunks, sb.chunks);
+            assert_eq!(sa.stored_bytes, sb.stored_bytes);
         }
-    }
+    });
+}
+
+/// After an arbitrary sequence of backup / flatten / delete_expired
+/// operations, the cross-layer auditor finds nothing: every maintenance
+/// path preserves every invariant.
+#[test]
+fn random_operation_sequences_audit_clean() {
+    cases(8, 0x0E, |rng| {
+        let seed_len = rng.gen_range(2_000usize..20_000);
+        let mut current = version_history(seed_len, &[]).remove(0);
+        let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+        hds.backup(&current).unwrap();
+        let mut newest = 1u32;
+        let mut oldest = 1u32;
+        for _ in 0..rng.gen_range(3usize..10) {
+            match rng.gen_range(0usize..4) {
+                // Backup a mutated next version (weighted: half the ops).
+                0 | 1 => {
+                    current = apply(current, &random_edit(rng));
+                    hds.backup(&current).unwrap();
+                    newest += 1;
+                }
+                // Flatten recipe chains (Algorithm 1).
+                2 => {
+                    hds.flatten_recipes();
+                }
+                // Expire a prefix of the history, when one exists.
+                _ => {
+                    if oldest < newest {
+                        let up_to = rng.gen_range(oldest..newest);
+                        hds.delete_expired(VersionId::new(up_to)).unwrap();
+                        oldest = up_to + 1;
+                    }
+                }
+            }
+            let report = SystemAuditor::new().audit(&mut hds);
+            assert!(
+                report.is_clean(),
+                "auditor found violations after random ops (newest V{newest}):\n{:#?}",
+                report.findings
+            );
+        }
+        // Everything still restores byte-exact at the end.
+        let mut out = Vec::new();
+        hds.restore(VersionId::new(newest), &mut Faa::new(1 << 18), &mut out)
+            .unwrap();
+        assert_eq!(out, current);
+    });
 }

@@ -18,14 +18,16 @@ fn rewriters() -> Vec<(&'static str, Box<dyn RewritePolicy>)> {
         ("capping", Box::new(Capping::new(4))),
         ("cbr", Box::new(Cbr::default())),
         ("cfl", Box::new(CflRewrite::new(0.6, CONTAINER as u64))),
-        ("fbw", Box::new(Fbw::new((4 * CONTAINER) as u64, 0.05, CONTAINER as u64))),
+        (
+            "fbw",
+            Box::new(Fbw::new((4 * CONTAINER) as u64, 0.05, CONTAINER as u64)),
+        ),
     ]
 }
 
 #[test]
 fn every_index_rewriter_combination_round_trips() {
-    let versions =
-        VersionStream::new(Profile::Kernel.spec().scaled(600_000, 4), 19).all_versions();
+    let versions = VersionStream::new(Profile::Kernel.spec().scaled(600_000, 4), 19).all_versions();
     for index_kind in IndexKind::ALL {
         for (rewriter_name, rewriter) in rewriters() {
             let tag = format!("{index_kind}+{rewriter_name}");
@@ -41,12 +43,17 @@ fn every_index_rewriter_combination_round_trips() {
                 MemoryContainerStore::new(),
             );
             for v in &versions {
-                p.backup(v).unwrap_or_else(|e| panic!("{tag}: backup failed: {e}"));
+                p.backup(v)
+                    .unwrap_or_else(|e| panic!("{tag}: backup failed: {e}"));
             }
             for (i, expect) in versions.iter().enumerate() {
                 let mut out = Vec::new();
-                p.restore(VersionId::new(i as u32 + 1), &mut Faa::new(1 << 18), &mut out)
-                    .unwrap_or_else(|e| panic!("{tag}: restore V{} failed: {e}", i + 1));
+                p.restore(
+                    VersionId::new(i as u32 + 1),
+                    &mut Faa::new(1 << 18),
+                    &mut out,
+                )
+                .unwrap_or_else(|e| panic!("{tag}: restore V{} failed: {e}", i + 1));
                 assert_eq!(&out, expect, "{tag}: V{} bytes differ", i + 1);
             }
             // Sanity on the run's accounting.
@@ -65,8 +72,7 @@ fn every_index_rewriter_combination_round_trips() {
 fn rewriting_trades_space_for_locality_across_indexes() {
     // For each index, the no-rewrite run must store no more than the
     // rewriting runs (rewriting only ever adds bytes).
-    let versions =
-        VersionStream::new(Profile::Gcc.spec().scaled(600_000, 4), 23).all_versions();
+    let versions = VersionStream::new(Profile::Gcc.spec().scaled(600_000, 4), 23).all_versions();
     for index_kind in IndexKind::ALL {
         let stored = |rewriter: Box<dyn RewritePolicy>| {
             let mut p = BackupPipeline::new(
@@ -118,7 +124,11 @@ fn index_exactness_ordering_holds() {
         p.run_stats().stored_bytes
     };
     let ddfs = stored(IndexKind::Ddfs);
-    for kind in [IndexKind::Sparse, IndexKind::Silo, IndexKind::ExtremeBinning] {
+    for kind in [
+        IndexKind::Sparse,
+        IndexKind::Silo,
+        IndexKind::ExtremeBinning,
+    ] {
         assert!(
             stored(kind) >= ddfs,
             "{kind} stored less than exact deduplication"
@@ -130,8 +140,7 @@ fn index_exactness_ordering_holds() {
 fn index_memory_ordering_holds() {
     // Index-table footprints: DDFS (per chunk) > sparse (per hook) and
     // silo/extreme-binning (per segment/bin).
-    let versions =
-        VersionStream::new(Profile::Kernel.spec().scaled(800_000, 3), 31).all_versions();
+    let versions = VersionStream::new(Profile::Kernel.spec().scaled(800_000, 3), 31).all_versions();
     let bytes = |kind: IndexKind| {
         let mut p = BackupPipeline::new(
             PipelineConfig {
@@ -150,7 +159,11 @@ fn index_memory_ordering_holds() {
         p.index().index_table_bytes()
     };
     let ddfs = bytes(IndexKind::Ddfs);
-    for kind in [IndexKind::Sparse, IndexKind::Silo, IndexKind::ExtremeBinning] {
+    for kind in [
+        IndexKind::Sparse,
+        IndexKind::Silo,
+        IndexKind::ExtremeBinning,
+    ] {
         let b = bytes(kind);
         assert!(b < ddfs, "{kind}: {b} >= ddfs {ddfs}");
     }

@@ -22,7 +22,11 @@ fn trace_versions(n: u32, churn: f64) -> Vec<Vec<(Fingerprint, u32)>> {
     TraceStream::new(spec, 31)
         .versions(n)
         .into_iter()
-        .map(|v| v.into_iter().map(|c| (Fingerprint::synthetic(c.id), c.size)).collect())
+        .map(|v| {
+            v.into_iter()
+                .map(|c| (Fingerprint::synthetic(c.id), c.size))
+                .collect()
+        })
         .collect()
 }
 
@@ -153,7 +157,8 @@ fn long_horizon_deletion() {
     assert_eq!(hds.versions().len(), 20);
     for v in [21u32, 30, 40] {
         let mut out = Vec::new();
-        hds.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out).unwrap();
+        hds.restore(VersionId::new(v), &mut Faa::new(1 << 20), &mut out)
+            .unwrap();
         assert!(!out.is_empty());
     }
 }
