@@ -3,13 +3,14 @@
 #
 #     ./ci.sh
 #
-# Four checks, in order of increasing cost; the script stops at the first
+# Five checks, in order of increasing cost; the script stops at the first
 # failure:
 #
 #   1. cargo fmt --check            -- formatting drift
 #   2. cargo xtask lint             -- panic-free library code + crate attrs
 #   3. cargo clippy -D warnings     -- clippy across every target
 #   4. cargo test -q                -- the full workspace test suite
+#   5. crash matrix (release)       -- crash-at-every-I/O-site recovery sweep
 #
 # Everything runs offline against the vendored dependencies in vendor/.
 set -eu
@@ -25,5 +26,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "ci: cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "ci: cargo test --release --test crash_matrix"
+cargo test --release --test crash_matrix -q
 
 echo "ci: all checks passed"

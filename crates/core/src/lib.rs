@@ -55,6 +55,7 @@ mod cache;
 pub mod chain;
 mod composite;
 mod config;
+mod journal;
 mod persist;
 mod recluster;
 mod stats;
@@ -64,7 +65,11 @@ pub use active::{ActivePool, CompactionReport};
 pub use cache::{CacheEntry, Classification, FingerprintCache};
 pub use composite::{CompositeStore, ACTIVE_ID_BASE};
 pub use config::HiDeStoreConfig;
-pub use persist::RepositoryMeta;
+pub use journal::JournalRecovery;
+pub use persist::{
+    repository_recovery_state, OpenReport, PendingJournal, QuarantineEntry, QuarantinedArtifact,
+    RecoveryState, RepositoryMeta,
+};
 pub use recluster::ReclusterReport;
 pub use stats::{DeletionReport, HiDeStoreRunStats, HiDeStoreVersionStats, ScrubReport};
 pub use system::{HiDeStore, HiDeStoreError, IntegrityViews};

@@ -8,26 +8,51 @@
 //!   archival/      container files (managed by FileContainerStore)
 //!   active/        active-pool containers, same binary format
 //!   recipes/       r<version>.rcp files
-//!   hidestore.meta next version / next archival id / config echo
+//!   staging/       in-flight save transaction (absent when quiescent)
+//!   quarantine/    artifacts moved aside by degraded-mode recovery
+//!   hidestore.meta next version / next archival id / config echo, CRC-guarded
 //! ```
+//!
+//! Saves are **transactional** (see [`crate::journal`]): every file of a save
+//! is staged, fsynced, and published under a checksummed commit record, so a
+//! crash at any point leaves the repository openable in either the pre-save
+//! or the post-save state — never a mix. Opens are **degraded-mode**:
+//! unreadable or corrupt containers and recipes are moved to `quarantine/`
+//! and reported (see [`OpenReport`]) instead of aborting the open; versions
+//! that do not depend on quarantined artifacts restore normally, the rest
+//! fail with [`HiDeStoreError::PartialRestore`] naming their lost
+//! dependencies.
 //!
 //! The fingerprint cache is *not* persisted: per the paper (§4.1), the
 //! previous version's table `T1` is rebuilt by prefetching the newest
 //! recipe(s), with active-container locations recovered from the pool.
 
-use std::collections::HashMap;
-use std::fs;
-use std::io::{Read, Write};
-use std::path::Path;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::path::{Path, PathBuf};
 
-use hidestore_hash::Fingerprint;
-use hidestore_storage::{Container, FileContainerStore, RecipeStore, StorageError, VersionId};
+use hidestore_failpoint::{RealVfs, Vfs};
+use hidestore_hash::{crc32, Fingerprint};
+use hidestore_storage::{
+    Container, ContainerId, ContainerStore, FileContainerStore, RecipeStore, StorageError,
+    VersionId,
+};
 
 use crate::cache::{CacheEntry, FingerprintCache};
 use crate::config::HiDeStoreConfig;
+use crate::journal::{self, CommitRecord, JournalRecovery, PublishEntry};
 use crate::system::{HiDeStore, HiDeStoreError};
 
-const META_MAGIC: &[u8; 4] = b"HDSM";
+const META_FILE: &str = "hidestore.meta";
+/// Legacy (pre-CRC) meta format: magic + three LE u32 counters, 16 bytes.
+const META_MAGIC_V1: &[u8; 4] = b"HDSM";
+/// Current meta format: magic + three LE u32 counters + CRC-32 over the
+/// first 16 bytes, 20 bytes total. A torn or bit-flipped meta fails the
+/// length or CRC check and is reported as corrupt instead of misparsed.
+const META_MAGIC_V2: &[u8; 4] = b"HDS2";
+
+/// Directory quarantined artifacts are moved into.
+pub(crate) const QUARANTINE_DIR: &str = "quarantine";
 
 /// The counters stored in a repository's `hidestore.meta` file, readable
 /// without opening the full repository (e.g. so `hds-fsck` can discover the
@@ -48,23 +73,59 @@ impl RepositoryMeta {
     ///
     /// # Errors
     ///
-    /// Fails on filesystem errors or a corrupt meta file.
+    /// Fails on filesystem errors or a corrupt (torn, bit-flipped, or
+    /// unrecognized) meta file.
     pub fn read(dir: impl AsRef<Path>) -> Result<Option<Self>, HiDeStoreError> {
-        let meta_path = dir.as_ref().join("hidestore.meta");
-        if !meta_path.exists() {
+        Self::read_with(dir, &RealVfs)
+    }
+
+    /// [`RepositoryMeta::read`] through an explicit [`Vfs`] — the
+    /// fault-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or a corrupt meta file.
+    pub fn read_with<V: Vfs>(
+        dir: impl AsRef<Path>,
+        vfs: &V,
+    ) -> Result<Option<Self>, HiDeStoreError> {
+        let meta_path = dir.as_ref().join(META_FILE);
+        if !vfs.exists(&meta_path) {
             return Ok(None);
         }
-        let meta = fs::read(&meta_path).map_err(StorageError::from)?;
-        if meta.len() < 16 || &meta[..4] != META_MAGIC {
-            return Err(HiDeStoreError::Storage(StorageError::Corrupt(
-                "bad repository meta file".into(),
-            )));
+        let meta = vfs.read(&meta_path).map_err(StorageError::from)?;
+        let corrupt = |why: &str| {
+            HiDeStoreError::Storage(StorageError::Corrupt(format!(
+                "bad repository meta file: {why}"
+            )))
+        };
+        if meta.len() >= 4 && &meta[..4] == META_MAGIC_V2 {
+            if meta.len() != 20 {
+                return Err(corrupt(&format!("{} bytes, expected 20", meta.len())));
+            }
+            if crc32(&meta[..16]) != meta_u32(&meta, 16) {
+                return Err(corrupt("payload checksum mismatch (torn write?)"));
+            }
+        } else if !(meta.len() == 16 && &meta[..4] == META_MAGIC_V1) {
+            return Err(corrupt("unrecognized magic or length"));
         }
         Ok(Some(RepositoryMeta {
             next_version: meta_u32(&meta, 4),
             next_archival: meta_u32(&meta, 8),
             history_depth: meta_u32(&meta, 12),
         }))
+    }
+
+    /// Serializes in the current (CRC-guarded) format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20);
+        out.extend_from_slice(META_MAGIC_V2);
+        out.extend_from_slice(&self.next_version.to_le_bytes());
+        out.extend_from_slice(&self.next_archival.to_le_bytes());
+        out.extend_from_slice(&self.history_depth.to_le_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
     }
 }
 
@@ -75,27 +136,303 @@ fn meta_u32(meta: &[u8], at: usize) -> u32 {
     u32::from_le_bytes(b)
 }
 
+/// A repository artifact that degraded-mode recovery moved aside because it
+/// could not be read or decoded (or, for containers, was provably written
+/// by a save that never committed).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QuarantinedArtifact {
+    /// An archival container file (`archival/c<id>.ctr`).
+    ArchivalContainer(ContainerId),
+    /// An active-pool snapshot file (`active/a<cid>.ctr`), by pool-local ID.
+    ActiveContainer(u32),
+    /// A recipe file (`recipes/r<version>.rcp`).
+    Recipe(VersionId),
+    /// A file whose name did not parse as any known artifact.
+    Unrecognized(String),
+}
+
+impl fmt::Display for QuarantinedArtifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantinedArtifact::ArchivalContainer(id) => {
+                write!(f, "archival container {}", id.get())
+            }
+            QuarantinedArtifact::ActiveContainer(cid) => write!(f, "active container {cid}"),
+            QuarantinedArtifact::Recipe(v) => write!(f, "recipe of {v}"),
+            QuarantinedArtifact::Unrecognized(name) => write!(f, "file '{name}'"),
+        }
+    }
+}
+
+/// One artifact moved to `quarantine/` during a degraded open: what it was,
+/// where it now lives, and why it was pulled.
+#[derive(Debug, Clone)]
+pub struct QuarantineEntry {
+    /// The artifact, as identified from its file name.
+    pub artifact: QuarantinedArtifact,
+    /// Where the file now lives (inside the quarantine directory).
+    pub path: PathBuf,
+    /// Why it was quarantined.
+    pub reason: String,
+}
+
+/// What [`HiDeStore::open_repository_with`] found and fixed while opening:
+/// journal recovery outcome and every artifact quarantined this open.
+#[derive(Debug)]
+pub struct OpenReport {
+    /// Whether an interrupted save transaction was rolled forward or back.
+    pub journal: JournalRecovery,
+    /// Artifacts moved to `quarantine/` by this open.
+    pub quarantined: Vec<QuarantineEntry>,
+}
+
+/// An interrupted save transaction found on disk, and what opening the
+/// repository will do with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingJournal {
+    /// The commit record is valid: open will complete the publish.
+    RollForward {
+        /// Files the transaction still has to publish.
+        publishes: usize,
+        /// Files the transaction removes.
+        removals: usize,
+    },
+    /// No valid commit record: open will discard the staging tree.
+    RollBack,
+}
+
+/// Crash-recovery artifacts present in a repository directory, inspected
+/// *without* opening (and therefore without recovering) the repository —
+/// this is how `hds-fsck` reports a pending journal before
+/// [`HiDeStore::open_repository`] resolves it.
+#[derive(Debug, Default)]
+pub struct RecoveryState {
+    /// An interrupted save transaction, if `staging/` exists.
+    pub pending_journal: Option<PendingJournal>,
+    /// Files currently held in `quarantine/` (from this or earlier opens).
+    pub quarantined_files: Vec<PathBuf>,
+}
+
+/// Inspects the repository at `dir` for crash-recovery artifacts — a
+/// leftover `staging/` transaction and `quarantine/` contents — without
+/// opening or modifying anything.
+///
+/// # Errors
+///
+/// Fails on filesystem errors while listing the directories.
+pub fn repository_recovery_state(dir: impl AsRef<Path>) -> Result<RecoveryState, HiDeStoreError> {
+    let vfs = RealVfs;
+    let dir = dir.as_ref();
+    let mut state = RecoveryState::default();
+    if vfs.exists(&journal::staging_dir(dir)) {
+        let commit = journal::commit_path(dir);
+        let record = vfs
+            .read(&commit)
+            .ok()
+            .and_then(|bytes| CommitRecord::decode(&bytes));
+        state.pending_journal = Some(match record {
+            Some(r) => PendingJournal::RollForward {
+                publishes: r.publish.len(),
+                removals: r.remove.len(),
+            },
+            None => PendingJournal::RollBack,
+        });
+    }
+    let quarantine = dir.join(QUARANTINE_DIR);
+    if vfs.exists(&quarantine) {
+        state.quarantined_files = vfs.read_dir(&quarantine).map_err(StorageError::from)?;
+    }
+    Ok(state)
+}
+
+/// Moves `src` into the quarantine directory, fsyncing both directories so
+/// the move survives a crash. Returns the new location.
+fn quarantine_file<V: Vfs>(
+    vfs: &V,
+    quarantine_dir: &Path,
+    src: &Path,
+) -> Result<PathBuf, StorageError> {
+    vfs.create_dir_all(quarantine_dir)?;
+    let name = src
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".into());
+    let dest = quarantine_dir.join(name);
+    vfs.rename(src, &dest)?;
+    if let Some(parent) = src.parent() {
+        vfs.sync_dir(parent)?;
+    }
+    vfs.sync_dir(quarantine_dir)?;
+    Ok(dest)
+}
+
+/// Identifies a recipe file from its name for quarantine reporting.
+fn recipe_artifact(path: &Path) -> QuarantinedArtifact {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.strip_prefix('r')
+        .and_then(|s| s.strip_suffix(".rcp"))
+        .and_then(|s| s.parse::<u32>().ok())
+        .filter(|&v| v != 0)
+        .map_or(QuarantinedArtifact::Unrecognized(name.clone()), |v| {
+            QuarantinedArtifact::Recipe(VersionId::new(v))
+        })
+}
+
+/// Identifies any quarantined file from its name (`c<id>.ctr` archival,
+/// `a<cid>.ctr` active snapshot, `r<v>.rcp` recipe).
+fn quarantined_artifact_of(path: &Path) -> QuarantinedArtifact {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if let Some(id) = name
+        .strip_prefix('c')
+        .and_then(|s| s.strip_suffix(".ctr"))
+        .and_then(|s| s.parse::<u32>().ok())
+        .filter(|&id| id != 0)
+    {
+        return QuarantinedArtifact::ArchivalContainer(ContainerId::new(id));
+    }
+    if let Some(cid) = name
+        .strip_prefix('a')
+        .and_then(|s| s.strip_suffix(".ctr"))
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        return QuarantinedArtifact::ActiveContainer(cid);
+    }
+    recipe_artifact(path)
+}
+
 impl HiDeStore<FileContainerStore> {
     /// Opens (or initializes) a persistent repository at `dir`.
     ///
     /// A fresh directory becomes an empty repository; an existing one is
     /// reloaded: recipes, active containers, counters, and the fingerprint
-    /// cache rebuilt from the newest recipes.
+    /// cache rebuilt from the newest recipes. An interrupted save
+    /// transaction is rolled forward or back first, and unreadable/corrupt
+    /// artifacts are quarantined rather than failing the open — see
+    /// [`HiDeStore::open_repository_report`] to observe what recovery did.
     ///
     /// # Errors
     ///
-    /// Fails on filesystem errors or corrupt repository files.
+    /// Fails on filesystem errors, a corrupt meta file, or a history-depth
+    /// mismatch.
     pub fn open_repository(
         config: HiDeStoreConfig,
         dir: impl AsRef<Path>,
     ) -> Result<Self, HiDeStoreError> {
-        let dir = dir.as_ref();
-        fs::create_dir_all(dir).map_err(StorageError::from)?;
-        let archival = FileContainerStore::open(dir.join("archival"))?;
-        let mut system = HiDeStore::new(config, archival);
+        Ok(Self::open_repository_with(config, dir, RealVfs)?.0)
+    }
 
-        let Some(meta) = RepositoryMeta::read(dir)? else {
-            return Ok(system);
+    /// [`HiDeStore::open_repository`], additionally returning the
+    /// [`OpenReport`] describing journal recovery and quarantined artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HiDeStore::open_repository`].
+    pub fn open_repository_report(
+        config: HiDeStoreConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, OpenReport), HiDeStoreError> {
+        Self::open_repository_with(config, dir, RealVfs)
+    }
+}
+
+impl<V: Vfs> HiDeStore<FileContainerStore<V>> {
+    /// [`HiDeStore::open_repository`] through an explicit [`Vfs`] — the
+    /// fault-injection entry point. Every filesystem operation of the open
+    /// (journal recovery included) goes through `vfs`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HiDeStore::open_repository`].
+    pub fn open_repository_with(
+        config: HiDeStoreConfig,
+        dir: impl AsRef<Path>,
+        vfs: V,
+    ) -> Result<(Self, OpenReport), HiDeStoreError> {
+        let dir = dir.as_ref();
+        vfs.create_dir_all(dir).map_err(StorageError::from)?;
+
+        // 1. Resolve any interrupted save transaction before reading
+        // anything: after this, the on-disk state is exactly the pre-save
+        // or post-save repository.
+        let journal_outcome = journal::recover(dir, &vfs)?;
+        let quarantine_dir = dir.join(QUARANTINE_DIR);
+        let mut quarantined: Vec<QuarantineEntry> = Vec::new();
+
+        // 1b. Quarantine is durable: artifacts moved aside by an earlier
+        // open stay lost until an operator resolves them, so their entries
+        // are reconstructed from the directory — restores that depend on
+        // them keep failing with `PartialRestore` on every reopen, not just
+        // the one that performed the quarantine.
+        if vfs.exists(&quarantine_dir) {
+            for path in vfs.read_dir(&quarantine_dir).map_err(StorageError::from)? {
+                quarantined.push(QuarantineEntry {
+                    artifact: quarantined_artifact_of(&path),
+                    path: path.clone(),
+                    reason: "quarantined by an earlier open".into(),
+                });
+            }
+        }
+
+        // 2. Counters (CRC-guarded; a corrupt meta is a hard error — without
+        // trustworthy counters nothing else can be interpreted).
+        let meta = RepositoryMeta::read_with(dir, &vfs)?;
+
+        // 3. Archival store (sweeps stale tmp files). Removals are deferred
+        // from here on: `delete_expired` must not unlink container files
+        // before the save that commits the matching recipe drops.
+        let mut archival = FileContainerStore::open_with(dir.join("archival"), vfs.clone())?;
+        archival.set_deferred_removals(true);
+
+        // 4. Uncommitted residue: containers numbered at or above the
+        // committed next-archival counter were written by a backup whose
+        // save never committed. No committed recipe can reference them, so
+        // they are quarantined, restoring the exact committed state.
+        let archival_bound = meta.as_ref().map_or(1, |m| m.next_archival);
+        for id in archival.ids() {
+            if id.get() >= archival_bound {
+                let dest = quarantine_file(&vfs, &quarantine_dir, &archival.path_of(id))?;
+                archival.forget(id);
+                quarantined.push(QuarantineEntry {
+                    artifact: QuarantinedArtifact::ArchivalContainer(id),
+                    path: dest,
+                    reason: format!(
+                        "container id {} >= committed next-archival {archival_bound} \
+                         (residue of an uncommitted save)",
+                        id.get()
+                    ),
+                });
+            }
+        }
+
+        // 5. Decode-verify what remains; corrupt or unreadable containers
+        // are quarantined instead of failing every restore that walks past
+        // them.
+        for (id, why) in archival.verify_containers() {
+            let dest = quarantine_file(&vfs, &quarantine_dir, &archival.path_of(id))?;
+            archival.forget(id);
+            quarantined.push(QuarantineEntry {
+                artifact: QuarantinedArtifact::ArchivalContainer(id),
+                path: dest,
+                reason: why,
+            });
+        }
+
+        let mut system = HiDeStore::new(config, archival);
+        let Some(meta) = meta else {
+            system.set_quarantine(quarantined.clone());
+            return Ok((
+                system,
+                OpenReport {
+                    journal: journal_outcome,
+                    quarantined,
+                },
+            ));
         };
         if meta.history_depth as usize != system.config().history_depth {
             return Err(HiDeStoreError::Storage(StorageError::Corrupt(format!(
@@ -106,60 +443,184 @@ impl HiDeStore<FileContainerStore> {
             ))));
         }
 
-        // Recipes.
-        let recipes = RecipeStore::load_dir(dir.join("recipes"))?;
+        // 6. Recipes, per-file: a corrupt recipe quarantines that version
+        // and the rest of the repository opens normally.
+        let recipe_report = RecipeStore::load_dir_report_with(dir.join("recipes"), &vfs)?;
+        for (path, err) in recipe_report.failed {
+            let artifact = recipe_artifact(&path);
+            let dest = quarantine_file(&vfs, &quarantine_dir, &path)?;
+            quarantined.push(QuarantineEntry {
+                artifact,
+                path: dest,
+                reason: err.to_string(),
+            });
+        }
 
-        // Active pool.
+        // 7. Active pool, per-file likewise.
         let active_dir = dir.join("active");
         let mut pool_containers: Vec<Container> = Vec::new();
-        if active_dir.exists() {
-            for entry in fs::read_dir(&active_dir).map_err(StorageError::from)? {
-                let entry = entry.map_err(StorageError::from)?;
-                let mut bytes = Vec::new();
-                fs::File::open(entry.path())
-                    .map_err(StorageError::from)?
-                    .read_to_end(&mut bytes)
-                    .map_err(StorageError::from)?;
-                pool_containers.push(Container::decode(&bytes).map_err(StorageError::Corrupt)?);
+        if vfs.exists(&active_dir) {
+            for path in vfs.read_dir(&active_dir).map_err(StorageError::from)? {
+                let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                    continue;
+                };
+                let Some(cid) = name
+                    .strip_prefix('a')
+                    .and_then(|s| s.strip_suffix(".ctr"))
+                    .and_then(|s| s.parse::<u32>().ok())
+                else {
+                    continue;
+                };
+                let decoded = vfs
+                    .read(&path)
+                    .map_err(|e| format!("unreadable: {e}"))
+                    .and_then(|bytes| Container::decode(&bytes));
+                match decoded {
+                    Ok(container) => pool_containers.push(container),
+                    Err(reason) => {
+                        let dest = quarantine_file(&vfs, &quarantine_dir, &path)?;
+                        quarantined.push(QuarantineEntry {
+                            artifact: QuarantinedArtifact::ActiveContainer(cid),
+                            path: dest,
+                            reason,
+                        });
+                    }
+                }
             }
         }
+
         system.restore_persistent_state(
             meta.next_version,
             meta.next_archival,
-            recipes,
+            recipe_report.store,
             pool_containers,
         )?;
-        Ok(system)
+        system.set_quarantine(quarantined.clone());
+        Ok((
+            system,
+            OpenReport {
+                journal: journal_outcome,
+                quarantined,
+            },
+        ))
     }
 
     /// Saves the repository state so [`HiDeStore::open_repository`] can
     /// resume it: recipes, active containers, and counters. Archival
-    /// containers are already on disk (the store is file-backed).
+    /// containers are already on disk (the store is file-backed); container
+    /// removals deferred by `delete_expired` are committed here.
+    ///
+    /// The save is atomic: every file is staged under `staging/`, fsynced,
+    /// and published under a checksummed commit record. A crash at any
+    /// point leaves the repository reopening as either the pre-save or the
+    /// post-save state (see [`crate::journal`]).
     ///
     /// # Errors
     ///
     /// Fails on filesystem errors.
-    pub fn save_repository(&self, dir: impl AsRef<Path>) -> Result<(), HiDeStoreError> {
+    pub fn save_repository(&mut self, dir: impl AsRef<Path>) -> Result<(), HiDeStoreError> {
+        let vfs = self.archival().vfs().clone();
         let dir = dir.as_ref();
-        fs::create_dir_all(dir).map_err(StorageError::from)?;
-        self.recipes().save_dir(dir.join("recipes"))?;
+        vfs.create_dir_all(dir).map_err(StorageError::from)?;
+        // A transaction left behind by an earlier interrupted save in this
+        // process resolves exactly like it would at open.
+        journal::recover(dir, &vfs)?;
 
-        let active_dir = dir.join("active");
-        let _ = fs::remove_dir_all(&active_dir);
-        fs::create_dir_all(&active_dir).map_err(StorageError::from)?;
+        let staging = journal::staging_dir(dir);
+        let mut record = CommitRecord::default();
+
+        // Assemble the new file set.
+        let mut staged: Vec<(String, Vec<u8>)> = Vec::new();
+        for recipe in self.recipes().iter() {
+            staged.push((
+                format!("recipes/r{}.rcp", recipe.version().get()),
+                recipe.encode(),
+            ));
+        }
+        let mut live_active: BTreeSet<String> = BTreeSet::new();
         for (cid, container) in self.pool().containers() {
-            let path = active_dir.join(format!("a{cid}.ctr"));
-            let mut f = fs::File::create(path).map_err(StorageError::from)?;
-            f.write_all(&container.encode())
-                .map_err(StorageError::from)?;
+            let name = format!("a{cid}.ctr");
+            live_active.insert(name.clone());
+            staged.push((format!("active/{name}"), container.encode()));
+        }
+        let meta = RepositoryMeta {
+            next_version: self.next_version_raw(),
+            next_archival: self.next_archival_raw(),
+            history_depth: self.config().history_depth as u32,
+        };
+        staged.push((META_FILE.to_string(), meta.encode()));
+
+        // Assemble the removal set: stale recipes, stale active snapshots,
+        // and container removals deferred since the last save. The deferred
+        // queue is only drained after the commit succeeds, so a failed save
+        // retries them.
+        let recipes_dir = dir.join("recipes");
+        if vfs.exists(&recipes_dir) {
+            for path in vfs.read_dir(&recipes_dir).map_err(StorageError::from)? {
+                let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                    continue;
+                };
+                if let Some(v) = name.strip_prefix('r').and_then(|s| s.strip_suffix(".rcp")) {
+                    let stale = v
+                        .parse::<u32>()
+                        .ok()
+                        .and_then(|v| (v != 0).then(|| VersionId::new(v)))
+                        .is_none_or(|v| self.recipes().get(v).is_none());
+                    if stale {
+                        record.remove.push(format!("recipes/{name}"));
+                    }
+                }
+            }
+        }
+        let active_dir = dir.join("active");
+        if vfs.exists(&active_dir) {
+            for path in vfs.read_dir(&active_dir).map_err(StorageError::from)? {
+                let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                    continue;
+                };
+                if name.starts_with('a') && name.ends_with(".ctr") && !live_active.contains(&name) {
+                    record.remove.push(format!("active/{name}"));
+                }
+            }
+        }
+        for &id in self.archival().deferred_removals() {
+            record.remove.push(format!("archival/c{}.ctr", id.get()));
         }
 
-        let mut meta = Vec::with_capacity(16);
-        meta.extend_from_slice(META_MAGIC);
-        meta.extend_from_slice(&self.next_version_raw().to_le_bytes());
-        meta.extend_from_slice(&self.next_archival_raw().to_le_bytes());
-        meta.extend_from_slice(&(self.config().history_depth as u32).to_le_bytes());
-        fs::write(dir.join("hidestore.meta"), meta).map_err(StorageError::from)?;
+        // Stage: write + fsync every file, then fsync the staged
+        // directories and the repository root (making `staging/` itself
+        // durable) before the commit record exists.
+        let mut staged_dirs: BTreeSet<PathBuf> = BTreeSet::new();
+        staged_dirs.insert(staging.clone());
+        for (rel, bytes) in &staged {
+            let path = staging.join(rel);
+            if let Some(parent) = path.parent() {
+                vfs.create_dir_all(parent).map_err(StorageError::from)?;
+                staged_dirs.insert(parent.to_path_buf());
+            }
+            vfs.write(&path, bytes).map_err(StorageError::from)?;
+            vfs.sync_file(&path).map_err(StorageError::from)?;
+            record.publish.push(PublishEntry {
+                rel: rel.clone(),
+                len: bytes.len() as u64,
+                crc: crc32(bytes),
+            });
+        }
+        for d in &staged_dirs {
+            vfs.sync_dir(d).map_err(StorageError::from)?;
+        }
+        vfs.sync_dir(dir).map_err(StorageError::from)?;
+
+        // Commit: the fsynced record is the commit point.
+        let commit = journal::commit_path(dir);
+        vfs.write(&commit, &record.encode())
+            .map_err(StorageError::from)?;
+        vfs.sync_file(&commit).map_err(StorageError::from)?;
+        vfs.sync_dir(&staging).map_err(StorageError::from)?;
+
+        // Publish. From here on a crash is rolled *forward* at next open.
+        journal::apply(dir, &vfs, &record)?;
+        self.archival_mut().take_deferred();
         Ok(())
     }
 }
@@ -225,6 +686,7 @@ pub(crate) fn rebuild_cache(
 mod tests {
     use super::*;
     use hidestore_restore::Faa;
+    use std::fs;
     use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -354,6 +816,141 @@ mod tests {
         }
         fs::write(dir.join("hidestore.meta"), b"garbage").unwrap();
         assert!(HiDeStore::open_repository(config(), &dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_meta_detected_by_crc() {
+        let dir = temp_dir("torn-meta");
+        {
+            let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+            system.backup(&noise(50_000, 30)).unwrap();
+            system.save_repository(&dir).unwrap();
+        }
+        let meta = fs::read(dir.join("hidestore.meta")).unwrap();
+        assert_eq!(meta.len(), 20, "current meta format is 20 bytes");
+        // A truncated v2 meta must be corrupt, not misparsed as legacy.
+        fs::write(dir.join("hidestore.meta"), &meta[..16]).unwrap();
+        let err = HiDeStore::open_repository(config(), &dir).unwrap_err();
+        assert!(err.to_string().contains("bad repository meta"), "{err}");
+        // So must a bit flip inside the payload.
+        let mut flipped = meta.clone();
+        flipped[6] ^= 0x01;
+        fs::write(dir.join("hidestore.meta"), &flipped).unwrap();
+        let err = HiDeStore::open_repository(config(), &dir).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_meta_format_still_opens() {
+        let dir = temp_dir("legacy-meta");
+        {
+            let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+            system.backup(&noise(50_000, 31)).unwrap();
+            system.save_repository(&dir).unwrap();
+        }
+        // Rewrite the meta in the pre-CRC 16-byte format.
+        let meta = RepositoryMeta::read(&dir).unwrap().unwrap();
+        let mut legacy = Vec::with_capacity(16);
+        legacy.extend_from_slice(META_MAGIC_V1);
+        legacy.extend_from_slice(&meta.next_version.to_le_bytes());
+        legacy.extend_from_slice(&meta.next_archival.to_le_bytes());
+        legacy.extend_from_slice(&meta.history_depth.to_le_bytes());
+        fs::write(dir.join("hidestore.meta"), legacy).unwrap();
+        let reopened = HiDeStore::open_repository(config(), &dir).unwrap();
+        assert_eq!(reopened.versions().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_leaves_no_staging_directory() {
+        let dir = temp_dir("no-staging");
+        let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+        system.backup(&noise(60_000, 32)).unwrap();
+        system.save_repository(&dir).unwrap();
+        assert!(!dir.join("staging").exists());
+        let state = repository_recovery_state(&dir).unwrap();
+        assert!(state.pending_journal.is_none());
+        assert!(state.quarantined_files.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_survives_reopen() {
+        let dir = temp_dir("quarantine-durable");
+        let v1 = noise(100_000, 50);
+        let mut v2 = v1.clone();
+        v2[20_000..28_000].copy_from_slice(&noise(8_000, 51));
+        {
+            let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+            system.backup(&v1).unwrap();
+            system.backup(&v2).unwrap();
+            system.save_repository(&dir).unwrap();
+        }
+        // Corrupt one archival container; the next open quarantines it.
+        let victim = fs::read_dir(dir.join("archival"))
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "ctr"))
+            .unwrap();
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        {
+            let (system, report) = HiDeStore::open_repository_report(config(), &dir).unwrap();
+            assert_eq!(report.quarantined.len(), 1);
+            assert_eq!(system.quarantine().len(), 1);
+        }
+        // A *second* open performs no new quarantine, yet must still know
+        // about the artifact and keep degrading dependent restores.
+        let (mut system, report) = HiDeStore::open_repository_report(config(), &dir).unwrap();
+        assert_eq!(
+            report.quarantined.len(),
+            1,
+            "quarantine entry reconstructed"
+        );
+        assert!(matches!(
+            report.quarantined[0].artifact,
+            QuarantinedArtifact::ArchivalContainer(_)
+        ));
+        let mut out = Vec::new();
+        let err = system
+            .restore(VersionId::new(1), &mut Faa::new(1 << 18), &mut out)
+            .unwrap_err();
+        assert!(
+            matches!(err, HiDeStoreError::PartialRestore { .. }),
+            "expected PartialRestore after reopen, got: {err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deferred_removals_commit_with_the_save() {
+        let dir = temp_dir("deferred-rm");
+        let mut data = noise(80_000, 33);
+        {
+            let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+            for round in 0..4u64 {
+                system.backup(&data).unwrap();
+                let start = (round as usize * 13_000) % 60_000;
+                let patch = noise(9_000, 40 + round);
+                data[start..start + patch.len()].copy_from_slice(&patch);
+            }
+            system.save_repository(&dir).unwrap();
+        }
+        let mut system = HiDeStore::open_repository(config(), &dir).unwrap();
+        let report = system.delete_expired(VersionId::new(2)).unwrap();
+        assert!(report.containers_dropped > 0);
+        // Deferred: the files are still on disk until the save commits.
+        let on_disk = fs::read_dir(dir.join("archival")).unwrap().count();
+        assert!(
+            on_disk > system.archival().len(),
+            "removed container files must survive until the save"
+        );
+        system.save_repository(&dir).unwrap();
+        let on_disk = fs::read_dir(dir.join("archival")).unwrap().count();
+        assert_eq!(on_disk, system.archival().len());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,6 +1,6 @@
 //! The HiDeStore system: backup, restore, flatten, delete.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::io::Write;
 use std::time::Instant;
@@ -18,6 +18,7 @@ use crate::cache::{CacheEntry, Classification, FingerprintCache};
 use crate::chain::{self, ResolveError};
 use crate::composite::CompositeStore;
 use crate::config::HiDeStoreConfig;
+use crate::persist::{QuarantineEntry, QuarantinedArtifact};
 use crate::stats::{DeletionReport, HiDeStoreRunStats, HiDeStoreVersionStats, ScrubReport};
 
 /// Errors from HiDeStore operations.
@@ -38,6 +39,15 @@ pub enum HiDeStoreError {
         /// The newest retained version.
         newest: VersionId,
     },
+    /// The requested version depends on artifacts that degraded-mode
+    /// recovery quarantined; versions without quarantined dependencies
+    /// still restore normally.
+    PartialRestore {
+        /// The version that cannot be fully restored.
+        version: VersionId,
+        /// The quarantined artifacts the version depends on.
+        quarantined: Vec<QuarantinedArtifact>,
+    },
 }
 
 impl fmt::Display for HiDeStoreError {
@@ -51,6 +61,19 @@ impl fmt::Display for HiDeStoreError {
                 f,
                 "cannot expire up to {requested}: newest version {newest} must be retained"
             ),
+            HiDeStoreError::PartialRestore {
+                version,
+                quarantined,
+            } => {
+                write!(f, "cannot restore {version}: depends on quarantined ")?;
+                for (i, artifact) in quarantined.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{artifact}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -97,6 +120,7 @@ pub struct HiDeStore<S> {
     next_archival_id: u32,
     run_stats: HiDeStoreRunStats,
     version_stats: Vec<HiDeStoreVersionStats>,
+    quarantined: Vec<QuarantineEntry>,
 }
 
 impl<S: ContainerStore> HiDeStore<S> {
@@ -118,6 +142,7 @@ impl<S: ContainerStore> HiDeStore<S> {
             next_archival_id: 1,
             run_stats: HiDeStoreRunStats::default(),
             version_stats: Vec::new(),
+            quarantined: Vec::new(),
             config,
         }
     }
@@ -387,7 +412,10 @@ impl<S: ContainerStore> HiDeStore<S> {
     /// # Errors
     ///
     /// Fails for unknown versions, broken chains (corruption), or storage
-    /// errors.
+    /// errors. When the repository was opened in degraded mode and the
+    /// version depends on quarantined artifacts, fails with
+    /// [`HiDeStoreError::PartialRestore`] naming them — versions without
+    /// quarantined dependencies are unaffected.
     pub fn restore(
         &mut self,
         version: VersionId,
@@ -395,15 +423,104 @@ impl<S: ContainerStore> HiDeStore<S> {
         out: &mut dyn Write,
     ) -> Result<RestoreReport, HiDeStoreError> {
         if self.recipes.get(version).is_none() {
+            // A quarantined recipe is a *known* version whose recipe was
+            // pulled, not an unknown one.
+            if self
+                .quarantined
+                .iter()
+                .any(|e| matches!(e.artifact, QuarantinedArtifact::Recipe(v) if v == version))
+            {
+                return Err(HiDeStoreError::PartialRestore {
+                    version,
+                    quarantined: vec![QuarantinedArtifact::Recipe(version)],
+                });
+            }
             return Err(HiDeStoreError::UnknownVersion(version));
         }
-        let plan = chain::resolve_plan(&self.recipes, &self.pool, version)?;
+        let deps = self.quarantined_dependencies(version);
+        if !deps.is_empty() {
+            return Err(HiDeStoreError::PartialRestore {
+                version,
+                quarantined: deps,
+            });
+        }
+        let plan = match chain::resolve_plan(&self.recipes, &self.pool, version) {
+            Ok(plan) => plan,
+            // A chunk missing from the pool while active containers sit in
+            // quarantine: the pool snapshot lost that chunk with them.
+            Err(e @ ResolveError::NotInPool(_)) => {
+                let lost: Vec<QuarantinedArtifact> = self
+                    .quarantined
+                    .iter()
+                    .filter(|q| matches!(q.artifact, QuarantinedArtifact::ActiveContainer(_)))
+                    .map(|q| q.artifact.clone())
+                    .collect();
+                if lost.is_empty() {
+                    return Err(e.into());
+                }
+                return Err(HiDeStoreError::PartialRestore {
+                    version,
+                    quarantined: lost,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
         let entries: Vec<RestoreEntry> = plan
             .into_iter()
             .map(|(fp, size, cid)| RestoreEntry::new(fp, size, cid))
             .collect();
         let mut view = CompositeStore::new(&mut self.archival, &self.pool);
         Ok(cache.restore(&entries, &mut view, out)?)
+    }
+
+    /// Walks `version`'s recipe chain and collects every quarantined
+    /// artifact it (transitively) depends on: quarantined chain-target
+    /// recipes and quarantined archival containers referenced by entries.
+    fn quarantined_dependencies(&self, version: VersionId) -> Vec<QuarantinedArtifact> {
+        if self.quarantined.is_empty() {
+            return Vec::new();
+        }
+        let lost_recipes: HashSet<VersionId> = self
+            .quarantined
+            .iter()
+            .filter_map(|e| match e.artifact {
+                QuarantinedArtifact::Recipe(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        let lost_archival: HashSet<ContainerId> = self
+            .quarantined
+            .iter()
+            .filter_map(|e| match e.artifact {
+                QuarantinedArtifact::ArchivalContainer(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        let mut deps: BTreeSet<QuarantinedArtifact> = BTreeSet::new();
+        let mut visited: HashSet<VersionId> = HashSet::new();
+        let mut stack = vec![version];
+        while let Some(v) = stack.pop() {
+            if !visited.insert(v) {
+                continue;
+            }
+            if lost_recipes.contains(&v) {
+                deps.insert(QuarantinedArtifact::Recipe(v));
+                continue;
+            }
+            let Some(recipe) = self.recipes.get(v) else {
+                continue;
+            };
+            for entry in recipe.entries() {
+                if let Some(cid) = entry.cid.as_archival() {
+                    if lost_archival.contains(&cid) {
+                        deps.insert(QuarantinedArtifact::ArchivalContainer(cid));
+                    }
+                } else if let Some(w) = entry.cid.as_chained() {
+                    stack.push(w);
+                }
+            }
+        }
+        deps.into_iter().collect()
     }
 
     /// Runs Algorithm 1 offline, collapsing all recipe chains. Returns the
@@ -567,8 +684,20 @@ impl<S: ContainerStore> HiDeStore<S> {
             cache: &self.cache,
             history_depth: self.config.history_depth,
             next_version: self.next_version,
+            quarantined: &self.quarantined,
             archival: &mut self.archival,
         }
+    }
+
+    /// Artifacts quarantined by degraded-mode recovery when this instance
+    /// was opened from disk (empty for in-memory systems and clean opens).
+    pub fn quarantine(&self) -> &[QuarantineEntry] {
+        &self.quarantined
+    }
+
+    /// Records what degraded-mode recovery quarantined (see `persist`).
+    pub(crate) fn set_quarantine(&mut self, quarantined: Vec<QuarantineEntry>) {
+        self.quarantined = quarantined;
     }
 
     /// Swaps in persisted state on repository reopen (see `persist`).
@@ -623,6 +752,8 @@ pub struct IntegrityViews<'a, S> {
     /// The next version number to be assigned; every retained version and
     /// container tag must be below it.
     pub next_version: u32,
+    /// Artifacts quarantined by degraded-mode recovery at open.
+    pub quarantined: &'a [QuarantineEntry],
     /// The archival container store, mutable because reads are `&mut`.
     pub archival: &'a mut S,
 }

@@ -1,0 +1,208 @@
+//! The filesystem io-shim trait and its zero-cost production implementation.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The filesystem surface the persistence layer is written against.
+///
+/// Every operation a store performs on disk goes through one of these
+/// methods, so a fault-injecting implementation observes (and can fail)
+/// exactly the operations the production code performs — no parallel code
+/// path to drift out of sync.
+///
+/// Implementations are cheap handles: stores clone them freely, and clones
+/// of a fault-injecting instance share one operation counter (one simulated
+/// process, one crash).
+pub trait Vfs: Clone + Send + fmt::Debug {
+    /// Reads the entire file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Creates (truncating if present) the file at `path` and writes `data`
+    /// fully. Durability requires a following [`Vfs::sync_file`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error; an injected *torn*
+    /// write persists only a prefix of `data` before failing.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Forces the file contents at `path` to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to`. Durability of the new directory
+    /// entry requires a following [`Vfs::sync_dir`] on the parent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Forces the directory entries of `path` to stable storage, making
+    /// renames and unlinks inside it durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error (including
+    /// `NotFound`, which idempotent callers tolerate explicitly).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates `path` and all missing parents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Lists the entries of the directory at `path`, sorted by name so
+    /// every traversal is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Removes the directory at `path` and everything beneath it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Whether `path` exists. Never fails (and is not a failpoint site: a
+    /// crashed process cannot observe anything, so injection is moot).
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production [`Vfs`]: a zero-sized passthrough to `std::fs`.
+///
+/// Stores default their `Vfs` parameter to `RealVfs`, so production builds
+/// monomorphize every shim call into the direct `std::fs` call — the
+/// injection layer costs nothing when injection is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        fs::File::create(path)?.write_all(data)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_data()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Directory fsync: open the directory and sync its entry list. On
+        // platforms where directories cannot be opened this degrades to a
+        // no-op rather than failing the save.
+        match fs::File::open(path) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut entries: Vec<PathBuf> = fs::read_dir(path)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        Ok(entries)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::remove_dir_all(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fp-vfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn real_vfs_round_trip() {
+        let dir = scratch("roundtrip");
+        let v = RealVfs;
+        v.create_dir_all(&dir).unwrap();
+        let file = dir.join("x.bin");
+        v.write(&file, b"abc").unwrap();
+        v.sync_file(&file).unwrap();
+        assert_eq!(v.read(&file).unwrap(), b"abc");
+        let moved = dir.join("y.bin");
+        v.rename(&file, &moved).unwrap();
+        v.sync_dir(&dir).unwrap();
+        assert!(v.exists(&moved) && !v.exists(&file));
+        assert_eq!(v.read_dir(&dir).unwrap(), vec![moved.clone()]);
+        v.remove_file(&moved).unwrap();
+        v.remove_dir_all(&dir).unwrap();
+        assert!(!v.exists(&dir));
+    }
+
+    #[test]
+    fn read_dir_is_sorted() {
+        let dir = scratch("sorted");
+        let v = RealVfs;
+        v.create_dir_all(&dir).unwrap();
+        for name in ["c", "a", "b"] {
+            v.write(&dir.join(name), b"").unwrap();
+        }
+        let names: Vec<_> = v
+            .read_dir(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn real_vfs_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<RealVfs>(), 0);
+    }
+}

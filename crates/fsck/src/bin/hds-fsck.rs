@@ -3,12 +3,20 @@
 //!
 //! Usage: `hds-fsck <repo-dir> [--no-content] [--json]`
 //!
+//! Besides the cross-layer invariants, crash-recovery state is reported as
+//! warnings: an interrupted save transaction pending in `staging/` (scanned
+//! *before* the repository is opened, since opening resolves it by rolling
+//! the transaction forward or back) and artifacts held in `quarantine/` by
+//! degraded-mode recovery.
+//!
 //! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
 
 use std::process::ExitCode;
 
-use hidestore_core::{HiDeStore, HiDeStoreConfig, RepositoryMeta};
-use hidestore_fsck::{AuditOptions, AuditReport, Severity, SystemAuditor};
+use hidestore_core::{
+    repository_recovery_state, HiDeStore, HiDeStoreConfig, PendingJournal, RepositoryMeta,
+};
+use hidestore_fsck::{AuditOptions, AuditReport, Finding, FindingKind, Severity, SystemAuditor};
 
 struct Args {
     dir: String,
@@ -25,7 +33,17 @@ fn parse_args() -> Result<Args, String> {
             "--no-content" => verify_content = false,
             "--json" => json = true,
             "-h" | "--help" => {
-                return Err("usage: hds-fsck <repo-dir> [--no-content] [--json]".into())
+                return Err("usage: hds-fsck <repo-dir> [--no-content] [--json]\n\
+                     \n\
+                     Checks every cross-layer invariant of a HiDeStore repository and\n\
+                     reports violations as typed findings. Crash-recovery state is\n\
+                     reported as warnings: an interrupted save transaction pending in\n\
+                     staging/ (inspected before the open resolves it) and artifacts\n\
+                     held in quarantine/ by degraded-mode recovery.\n\
+                     \n\
+                     --no-content  skip payload re-hashing (for trace-driven repos)\n\
+                     --json        machine-readable report"
+                    .into())
             }
             other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
             other => {
@@ -89,6 +107,31 @@ fn print_json(report: &AuditReport) {
 fn run() -> Result<AuditReport, String> {
     let args = parse_args()?;
 
+    // Crash-recovery scan *before* the open: opening resolves a pending
+    // journal (roll forward or back), so this is the only moment it can be
+    // observed and reported.
+    let recovery = repository_recovery_state(&args.dir)
+        .map_err(|e| format!("cannot scan recovery state: {e}"))?;
+    let mut pre_open: Vec<Finding> = Vec::new();
+    if let Some(pending) = recovery.pending_journal {
+        let detail = match pending {
+            PendingJournal::RollForward {
+                publishes,
+                removals,
+            } => format!(
+                "valid commit record ({publishes} publishes, {removals} removals); \
+                 opening the repository rolls it forward"
+            ),
+            PendingJournal::RollBack => "no valid commit record; opening the repository \
+                 discards the staging tree"
+                .to_string(),
+        };
+        pre_open.push(Finding {
+            severity: Severity::Warning,
+            kind: FindingKind::PendingJournal { detail },
+        });
+    }
+
     // The repository meta file records the history depth the store was
     // built with; opening with a mismatched depth is refused by the core.
     let meta = RepositoryMeta::read(&args.dir)
@@ -102,7 +145,10 @@ fn run() -> Result<AuditReport, String> {
     let auditor = SystemAuditor::with_options(AuditOptions {
         verify_content: args.verify_content,
     });
-    let report = auditor.audit(&mut system);
+    let mut report = auditor.audit(&mut system);
+    // Pre-open findings (the pending journal) lead the report; quarantine
+    // contents are already reported by the auditor via the system's views.
+    report.findings.splice(0..0, pre_open);
 
     if args.json {
         print_json(&report);

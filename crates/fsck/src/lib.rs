@@ -29,6 +29,16 @@
 //! single audit pass enumerates *all* damage. The `hds-fsck` binary runs the
 //! same auditor against an on-disk repository directory.
 //!
+//! **Crash-recovery awareness**: repositories opened from disk may carry
+//! state left by degraded-mode recovery — artifacts moved to `quarantine/`
+//! ([`FindingKind::QuarantinedArtifact`]) and recipe references that resolve
+//! into them ([`FindingKind::QuarantinedRef`]). Both are reported at
+//! [`Severity::Warning`]: the damage is real but already contained, and
+//! every version without quarantined dependencies still restores. The
+//! `hds-fsck` binary additionally reports an interrupted save transaction
+//! pending in `staging/` ([`FindingKind::PendingJournal`]) by scanning the
+//! directory *before* opening it (opening resolves the transaction).
+//!
 //! # Examples
 //!
 //! ```
@@ -49,7 +59,9 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use hidestore_core::{ActivePool, HiDeStore, IntegrityViews, ACTIVE_ID_BASE};
+use hidestore_core::{
+    ActivePool, HiDeStore, IntegrityViews, QuarantinedArtifact as CoreArtifact, ACTIVE_ID_BASE,
+};
 use hidestore_hash::Fingerprint;
 use hidestore_storage::{Cid, Container, ContainerStore, RecipeStore};
 
@@ -228,6 +240,35 @@ pub enum FindingKind {
         /// The orphaned chunk.
         fingerprint: Fingerprint,
     },
+    /// Degraded-mode recovery moved a repository artifact to `quarantine/`
+    /// when the repository was opened (corrupt, unreadable, or residue of an
+    /// uncommitted save).
+    QuarantinedArtifact {
+        /// What was quarantined (e.g. "archival container 3").
+        artifact: String,
+        /// Why recovery pulled it.
+        reason: String,
+    },
+    /// A recipe entry resolves into a quarantined artifact. The damage is
+    /// already contained — the affected version fails restore with a typed
+    /// partial-restore error naming its lost dependencies — so this is a
+    /// warning, not a fresh integrity error.
+    QuarantinedRef {
+        /// The version whose recipe holds the entry.
+        version: u32,
+        /// The chunk that resolves into quarantine.
+        fingerprint: Fingerprint,
+        /// The quarantined artifact it resolves to.
+        artifact: String,
+    },
+    /// An interrupted save transaction is pending in `staging/`. Reported by
+    /// the offline `hds-fsck` scan; opening the repository resolves it (roll
+    /// forward if the commit record is valid, roll back otherwise).
+    PendingJournal {
+        /// What the pending transaction looks like and how open will
+        /// resolve it.
+        detail: String,
+    },
 }
 
 /// One invariant violation found by [`SystemAuditor`].
@@ -390,6 +431,23 @@ impl fmt::Display for Finding {
                      never be reclaimed"
                 )
             }
+            FindingKind::QuarantinedArtifact { artifact, reason } => {
+                write!(f, "{artifact} was quarantined at open: {reason}")
+            }
+            FindingKind::QuarantinedRef {
+                version,
+                fingerprint,
+                artifact,
+            } => {
+                write!(
+                    f,
+                    "recipe V{version} chunk {fingerprint} resolves into quarantined \
+                     {artifact}; restoring V{version} reports a partial-restore error"
+                )
+            }
+            FindingKind::PendingJournal { detail } => {
+                write!(f, "interrupted save transaction in staging/: {detail}")
+            }
         }
     }
 }
@@ -510,6 +568,31 @@ impl SystemAuditor {
     pub fn audit_views<S: ContainerStore>(&self, views: IntegrityViews<'_, S>) -> AuditReport {
         let mut report = AuditReport::default();
 
+        // Phase 0 — quarantine ledger: everything degraded-mode recovery
+        // moved aside at open is surfaced as a warning, and indexed so the
+        // recipe walk can distinguish "resolves into quarantine" (contained,
+        // warning) from fresh integrity damage (error).
+        let mut quarantine = QuarantineIndex::default();
+        for entry in views.quarantined {
+            report.push(
+                Severity::Warning,
+                FindingKind::QuarantinedArtifact {
+                    artifact: entry.artifact.to_string(),
+                    reason: entry.reason.clone(),
+                },
+            );
+            match &entry.artifact {
+                CoreArtifact::ArchivalContainer(id) => {
+                    quarantine.archival.insert(id.get());
+                }
+                CoreArtifact::ActiveContainer(_) => quarantine.active = true,
+                CoreArtifact::Recipe(v) => {
+                    quarantine.recipes.insert(v.get());
+                }
+                CoreArtifact::Unrecognized(_) => {}
+            }
+        }
+
         // Phase 1 — archival sweep: readability, ID space, structure,
         // content. Record each container's contents for the reference and
         // orphan phases.
@@ -601,6 +684,7 @@ impl SystemAuditor {
                     entry.cid,
                     &archival_fps,
                     &unreadable,
+                    &quarantine,
                     &mut chain_maps,
                     &mut referenced,
                     &mut report,
@@ -715,6 +799,20 @@ impl SystemAuditor {
     }
 }
 
+/// What degraded-mode recovery quarantined at open, indexed so the recipe
+/// walk can classify resolution failures that land in quarantine as
+/// contained (warning) rather than fresh damage (error).
+#[derive(Debug, Default)]
+struct QuarantineIndex {
+    /// Quarantined archival container IDs.
+    archival: HashSet<u32>,
+    /// Whether any active-pool snapshot was quarantined (the pool then
+    /// legitimately lacks the chunks that lived in it).
+    active: bool,
+    /// Versions whose recipes were quarantined.
+    recipes: HashSet<u32>,
+}
+
 /// Resolves one recipe entry through the chain, reporting every violation on
 /// the way. Terminal archival locations are recorded in `referenced` for the
 /// orphan-accounting phase.
@@ -727,6 +825,7 @@ fn walk_entry(
     start: Cid,
     archival_fps: &HashMap<u32, HashMap<Fingerprint, u32>>,
     unreadable: &HashSet<u32>,
+    quarantine: &QuarantineIndex,
     chain_maps: &mut HashMap<u32, HashMap<Fingerprint, Cid>>,
     referenced: &mut HashSet<(u32, Fingerprint)>,
     report: &mut AuditReport,
@@ -755,6 +854,19 @@ fn walk_entry(
                 // An unreadable container's damage is already reported once;
                 // don't cascade a dangling-reference finding per entry.
                 None if unreadable.contains(&c) => {}
+                // The container is in quarantine: the reference is expected
+                // to dangle, and restore reports it as a partial-restore
+                // dependency — contained, so a warning.
+                None if quarantine.archival.contains(&c) => {
+                    report.push(
+                        Severity::Warning,
+                        FindingKind::QuarantinedRef {
+                            version,
+                            fingerprint: fp,
+                            artifact: format!("archival container {c}"),
+                        },
+                    );
+                }
                 None => {
                     report.push(
                         Severity::Error,
@@ -770,13 +882,25 @@ fn walk_entry(
         }
         if cid.is_active() {
             if pool.locate(&fp).is_none() {
-                report.push(
-                    Severity::Error,
-                    FindingKind::ActiveChunkMissingFromPool {
-                        version,
-                        fingerprint: fp,
-                    },
-                );
+                if quarantine.active {
+                    // A quarantined pool snapshot took its chunks with it.
+                    report.push(
+                        Severity::Warning,
+                        FindingKind::QuarantinedRef {
+                            version,
+                            fingerprint: fp,
+                            artifact: "a quarantined active-pool snapshot".to_string(),
+                        },
+                    );
+                } else {
+                    report.push(
+                        Severity::Error,
+                        FindingKind::ActiveChunkMissingFromPool {
+                            version,
+                            fingerprint: fp,
+                        },
+                    );
+                }
             }
             return;
         }
@@ -809,6 +933,18 @@ fn walk_entry(
             match recipes.get(target) {
                 Some(r) => {
                     slot.insert(r.entries().iter().map(|e| (e.fingerprint, e.cid)).collect());
+                }
+                // Chain target sits in quarantine: expected to be missing.
+                None if quarantine.recipes.contains(&w) => {
+                    report.push(
+                        Severity::Warning,
+                        FindingKind::QuarantinedRef {
+                            version,
+                            fingerprint: fp,
+                            artifact: format!("recipe of version {w}"),
+                        },
+                    );
+                    return;
                 }
                 None => {
                     report.push(

@@ -1,0 +1,82 @@
+//! CRC-32 (IEEE 802.3 polynomial) for on-disk integrity checks.
+//!
+//! Repository metadata and the commit journal guard their payloads with a
+//! CRC so a torn or bit-flipped file is *detected* as corrupt instead of
+//! silently misparsed. CRC-32 is the right tool here: the threat is
+//! accidental corruption (torn write, media error), not an adversary —
+//! content addressing still uses the cryptographic digests.
+
+/// Byte-at-a-time lookup table for the reflected IEEE polynomial
+/// (`0xEDB8_8320`), built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC-32 (IEEE) checksum of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_hash::crc32;
+///
+/// // The classic check value from the CRC catalogue.
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(crc32(b""), 0);
+/// ```
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"hidestore meta payload".to_vec();
+        let clean = crc32(&data);
+        data[3] ^= 0x40;
+        assert_ne!(crc32(&data), clean);
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let data = b"0123456789abcdef";
+        assert_ne!(crc32(data), crc32(&data[..15]));
+    }
+}

@@ -28,12 +28,14 @@
 //! assert_eq!(Fingerprint::from_bytes(hasher.finalize()), fp);
 //! ```
 
+mod crc32;
 mod fingerprint;
 mod md5;
 mod parallel;
 mod sha1;
 mod sha256;
 
+pub use crc32::crc32;
 pub use fingerprint::{Fingerprint, ParseFingerprintError, FINGERPRINT_LEN};
 pub use md5::Md5;
 pub use parallel::{default_hash_threads, fingerprints_parallel};

@@ -1,10 +1,10 @@
 //! File-backed container store: one file per container under a directory.
 
 use std::collections::BTreeSet;
-use std::fs;
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+use hidestore_failpoint::{RealVfs, Vfs};
 
 use crate::container::{Container, ContainerId};
 use crate::error::StorageError;
@@ -18,6 +18,15 @@ use crate::store::{ContainerStore, IoStats};
 /// is what makes the reproduction a real backup system rather than only a
 /// simulator.
 ///
+/// Writes are crash-safe: the container is staged as a hidden `.c<id>.tmp`
+/// file, fsynced, renamed into place, and the directory entry is fsynced, so
+/// a crash can never leave a half-written `c<id>.ctr` visible. Stale tmp
+/// files from an interrupted write are swept on open.
+///
+/// The store is generic over the [`Vfs`] io-shim so crash-consistency tests
+/// can inject faults into *the same code path* production uses; the default
+/// [`RealVfs`] monomorphizes every operation to a direct `std::fs` call.
+///
 /// # Examples
 ///
 /// ```no_run
@@ -28,10 +37,13 @@ use crate::store::{ContainerStore, IoStats};
 /// # Ok::<(), hidestore_storage::StorageError>(())
 /// ```
 #[derive(Debug)]
-pub struct FileContainerStore {
+pub struct FileContainerStore<V: Vfs = RealVfs> {
     dir: PathBuf,
     ids: BTreeSet<ContainerId>,
     stats: IoStats,
+    vfs: V,
+    defer_removals: bool,
+    deferred: Vec<ContainerId>,
 }
 
 impl FileContainerStore {
@@ -43,24 +55,51 @@ impl FileContainerStore {
     /// Fails if the directory cannot be created or listed, or if a container
     /// file has an unparsable name.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Self::open_with(dir, RealVfs)
+    }
+}
+
+impl<V: Vfs> FileContainerStore<V> {
+    /// Opens the store through an explicit [`Vfs`] — the fault-injection
+    /// entry point. Production code uses [`FileContainerStore::open`].
+    ///
+    /// Stale `.c<id>.tmp` files left behind by an interrupted
+    /// [`ContainerStore::write`] are removed here: they were never renamed
+    /// into place, so they are invisible to the index and must not
+    /// accumulate on disk.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created or listed, or if a container
+    /// file has an unparsable name.
+    pub fn open_with(dir: impl AsRef<Path>, vfs: V) -> Result<Self, StorageError> {
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
+        vfs.create_dir_all(&dir)?;
         let mut ids = BTreeSet::new();
-        for entry in fs::read_dir(&dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        let mut stale_tmp: Vec<PathBuf> = Vec::new();
+        for path in vfs.read_dir(&dir)? {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
             if let Some(id_str) = name.strip_prefix('c').and_then(|s| s.strip_suffix(".ctr")) {
                 let id: u32 = id_str.parse().map_err(|_| {
                     StorageError::Corrupt(format!("bad container file name: {name}"))
                 })?;
                 ids.insert(ContainerId::new(id));
+            } else if name.starts_with(".c") && name.ends_with(".tmp") {
+                stale_tmp.push(path);
             }
+        }
+        for tmp in stale_tmp {
+            vfs.remove_file(&tmp)?;
         }
         Ok(FileContainerStore {
             dir,
             ids,
             stats: IoStats::default(),
+            vfs,
+            defer_removals: false,
+            deferred: Vec::new(),
         })
     }
 
@@ -69,24 +108,79 @@ impl FileContainerStore {
         &self.dir
     }
 
-    fn path_for(&self, id: ContainerId) -> PathBuf {
+    /// The [`Vfs`] this store performs its I/O through.
+    pub fn vfs(&self) -> &V {
+        &self.vfs
+    }
+
+    /// The on-disk path of container `id` (whether or not it exists).
+    pub fn path_of(&self, id: ContainerId) -> PathBuf {
         self.dir.join(format!("c{}.ctr", id.get()))
+    }
+
+    /// Switches removal handling. With deferral on, [`ContainerStore::remove`]
+    /// drops the container from the index but leaves its file on disk,
+    /// queueing the ID for [`FileContainerStore::take_deferred`] — the
+    /// transactional save turns the queue into journaled removals so a crash
+    /// between a delete and the next save never leaves committed recipes
+    /// pointing at vanished containers.
+    pub fn set_deferred_removals(&mut self, defer: bool) {
+        self.defer_removals = defer;
+    }
+
+    /// Container IDs removed since the last call, in removal order. The
+    /// files are still on disk; the caller owns unlinking them now.
+    pub fn take_deferred(&mut self) -> Vec<ContainerId> {
+        std::mem::take(&mut self.deferred)
+    }
+
+    /// IDs currently queued for deferred removal.
+    pub fn deferred_removals(&self) -> &[ContainerId] {
+        &self.deferred
+    }
+
+    /// Drops `id` from the index without touching its file — used when the
+    /// caller has moved the file elsewhere (e.g. into quarantine).
+    ///
+    /// Returns whether the ID was present.
+    pub fn forget(&mut self, id: ContainerId) -> bool {
+        self.ids.remove(&id)
+    }
+
+    /// Decode-verifies every indexed container file, returning the IDs that
+    /// are unreadable or structurally corrupt along with the reason.
+    ///
+    /// Does not count toward [`IoStats`]: this is an integrity scan, not
+    /// restore traffic.
+    pub fn verify_containers(&self) -> Vec<(ContainerId, String)> {
+        let mut bad = Vec::new();
+        for &id in &self.ids {
+            match self.vfs.read(&self.path_of(id)) {
+                Ok(bytes) => {
+                    if let Err(reason) = Container::decode(&bytes) {
+                        bad.push((id, reason));
+                    }
+                }
+                Err(err) => bad.push((id, format!("unreadable: {err}"))),
+            }
+        }
+        bad
     }
 
     fn write_file(&self, container: &Container) -> Result<u64, StorageError> {
         let encoded = container.encode();
         let tmp = self.dir.join(format!(".c{}.tmp", container.id().get()));
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&encoded)?;
-            f.sync_data()?;
-        }
-        fs::rename(&tmp, self.path_for(container.id()))?;
+        self.vfs.write(&tmp, &encoded)?;
+        self.vfs.sync_file(&tmp)?;
+        self.vfs.rename(&tmp, &self.path_of(container.id()))?;
+        // Make the rename durable: without syncing the directory entry a
+        // crash can forget a container the caller believes is sealed.
+        self.vfs.sync_dir(&self.dir)?;
         Ok(encoded.len() as u64)
     }
 }
 
-impl ContainerStore for FileContainerStore {
+impl<V: Vfs> ContainerStore for FileContainerStore<V> {
     fn write(&mut self, container: Container) -> Result<(), StorageError> {
         if self.ids.contains(&container.id()) {
             return Err(StorageError::DuplicateContainer(container.id()));
@@ -102,8 +196,7 @@ impl ContainerStore for FileContainerStore {
         if !self.ids.contains(&id) {
             return Err(StorageError::ContainerNotFound(id));
         }
-        let mut bytes = Vec::new();
-        fs::File::open(self.path_for(id))?.read_to_end(&mut bytes)?;
+        let bytes = self.vfs.read(&self.path_of(id))?;
         let container = Container::decode(&bytes).map_err(StorageError::Corrupt)?;
         self.stats.container_reads += 1;
         self.stats.bytes_read += bytes.len() as u64;
@@ -118,7 +211,12 @@ impl ContainerStore for FileContainerStore {
         if !self.ids.remove(&id) {
             return Err(StorageError::ContainerNotFound(id));
         }
-        fs::remove_file(self.path_for(id))?;
+        if self.defer_removals {
+            self.deferred.push(id);
+        } else {
+            self.vfs.remove_file(&self.path_of(id))?;
+            self.vfs.sync_dir(&self.dir)?;
+        }
         self.stats.container_deletes += 1;
         Ok(())
     }
@@ -152,6 +250,7 @@ impl ContainerStore for FileContainerStore {
 mod tests {
     use super::*;
     use hidestore_hash::Fingerprint;
+    use std::fs;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir =
@@ -202,6 +301,68 @@ mod tests {
         s.remove(ContainerId::new(1)).unwrap();
         assert!(!dir.join("c1.ctr").exists());
         assert!(s.read(ContainerId::new(1)).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deferred_remove_keeps_file_until_taken() {
+        let dir = temp_dir("deferred");
+        let mut s = FileContainerStore::open(&dir).unwrap();
+        s.write(sample_container(1)).unwrap();
+        s.set_deferred_removals(true);
+        s.remove(ContainerId::new(1)).unwrap();
+        // Logically gone, physically still on disk.
+        assert!(!s.contains(ContainerId::new(1)));
+        assert!(s.read(ContainerId::new(1)).is_err());
+        assert!(dir.join("c1.ctr").exists());
+        assert_eq!(s.deferred_removals(), &[ContainerId::new(1)]);
+        assert_eq!(s.take_deferred(), vec![ContainerId::new(1)]);
+        assert!(s.take_deferred().is_empty());
+        assert_eq!(s.stats().container_deletes, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let dir = temp_dir("sweep");
+        {
+            let mut s = FileContainerStore::open(&dir).unwrap();
+            s.write(sample_container(1)).unwrap();
+        }
+        // Simulate a crash mid-write: a torn tmp file next to a good one.
+        fs::write(dir.join(".c7.tmp"), b"half a contai").unwrap();
+        let s = FileContainerStore::open(&dir).unwrap();
+        assert!(!dir.join(".c7.tmp").exists(), "stale tmp not swept");
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(ContainerId::new(1)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn forget_drops_index_entry_only() {
+        let dir = temp_dir("forget");
+        let mut s = FileContainerStore::open(&dir).unwrap();
+        s.write(sample_container(1)).unwrap();
+        assert!(s.forget(ContainerId::new(1)));
+        assert!(!s.forget(ContainerId::new(1)));
+        assert!(!s.contains(ContainerId::new(1)));
+        assert!(dir.join("c1.ctr").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_containers_flags_corruption() {
+        let dir = temp_dir("verify");
+        let mut s = FileContainerStore::open(&dir).unwrap();
+        s.write(sample_container(1)).unwrap();
+        s.write(sample_container(2)).unwrap();
+        assert!(s.verify_containers().is_empty());
+        // Truncate one container behind the store's back.
+        let bytes = fs::read(dir.join("c2.ctr")).unwrap();
+        fs::write(dir.join("c2.ctr"), &bytes[..bytes.len() / 2]).unwrap();
+        let bad = s.verify_containers();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, ContainerId::new(2));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -53,5 +53,7 @@ pub use container::{Container, ContainerId, CONTAINER_CAPACITY};
 pub use cost::DeviceProfile;
 pub use error::StorageError;
 pub use file_store::FileContainerStore;
-pub use recipe::{Cid, Recipe, RecipeEntry, RecipeStore, VersionId, RECIPE_ENTRY_LEN};
+pub use recipe::{
+    Cid, Recipe, RecipeEntry, RecipeLoadReport, RecipeStore, VersionId, RECIPE_ENTRY_LEN,
+};
 pub use store::{ContainerStore, IoStats, MemoryContainerStore, SharedContainerStore};

@@ -12,10 +12,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::fs;
-use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use hidestore_failpoint::{RealVfs, Vfs};
 use hidestore_hash::Fingerprint;
 
 use crate::container::ContainerId;
@@ -373,16 +372,34 @@ impl RecipeStore {
     /// Writes every recipe as `r<version>.rcp` under `dir`, removing stale
     /// recipe files for versions no longer retained (e.g. after expiry).
     ///
+    /// Each file is staged as `.r<version>.tmp`, fsynced, and renamed into
+    /// place, and the directory entries are fsynced afterwards — a crash
+    /// mid-save never leaves a half-written recipe visible.
+    ///
     /// # Errors
     ///
     /// Fails on filesystem errors.
     pub fn save_dir(&self, dir: impl AsRef<Path>) -> Result<(), StorageError> {
+        self.save_dir_with(dir, &RealVfs)
+    }
+
+    /// [`RecipeStore::save_dir`] through an explicit [`Vfs`] — the
+    /// fault-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors.
+    pub fn save_dir_with<V: Vfs>(
+        &self,
+        dir: impl AsRef<Path>,
+        vfs: &V,
+    ) -> Result<(), StorageError> {
         let dir = dir.as_ref();
-        fs::create_dir_all(dir)?;
-        for entry in fs::read_dir(dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        vfs.create_dir_all(dir)?;
+        for path in vfs.read_dir(dir)? {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
             if let Some(v) = name.strip_prefix('r').and_then(|s| s.strip_suffix(".rcp")) {
                 let stale = v
                     .parse::<u32>()
@@ -390,46 +407,102 @@ impl RecipeStore {
                     .and_then(|v| (v != 0).then(|| VersionId::new(v)))
                     .is_none_or(|v| !self.recipes.contains_key(&v));
                 if stale {
-                    fs::remove_file(entry.path())?;
+                    vfs.remove_file(&path)?;
                 }
             }
         }
         for recipe in self.recipes.values() {
+            let tmp = dir.join(format!(".r{}.tmp", recipe.version().get()));
             let path = dir.join(format!("r{}.rcp", recipe.version().get()));
-            let mut f = fs::File::create(path)?;
-            f.write_all(&recipe.encode())?;
+            vfs.write(&tmp, &recipe.encode())?;
+            vfs.sync_file(&tmp)?;
+            vfs.rename(&tmp, &path)?;
         }
+        vfs.sync_dir(dir)?;
         Ok(())
     }
 
-    /// Loads every `r<version>.rcp` under `dir`.
+    /// Loads every `r<version>.rcp` under `dir`, failing on the first
+    /// unreadable or corrupt file. Use [`RecipeStore::load_dir_report`] when
+    /// a bad recipe must not block the readable ones (degraded open).
     ///
     /// # Errors
     ///
     /// Fails on filesystem errors or corrupt recipe files.
     pub fn load_dir(dir: impl AsRef<Path>) -> Result<Self, StorageError> {
-        let mut store = RecipeStore::new();
-        let dir = dir.as_ref();
-        if !dir.exists() {
-            return Ok(store);
+        let report = Self::load_dir_report(dir)?;
+        if let Some((path, err)) = report.failed.into_iter().next() {
+            return Err(StorageError::Corrupt(format!(
+                "recipe file {}: {err}",
+                path.display()
+            )));
         }
-        for entry in fs::read_dir(dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        Ok(report.store)
+    }
+
+    /// Loads every `r<version>.rcp` under `dir`, collecting per-file
+    /// failures instead of aborting on the first corrupt recipe: one bad
+    /// file no longer blocks opening the other versions.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the directory itself cannot be listed; per-file
+    /// problems are reported in [`RecipeLoadReport::failed`].
+    pub fn load_dir_report(dir: impl AsRef<Path>) -> Result<RecipeLoadReport, StorageError> {
+        Self::load_dir_report_with(dir, &RealVfs)
+    }
+
+    /// [`RecipeStore::load_dir_report`] through an explicit [`Vfs`] — the
+    /// fault-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the directory itself cannot be listed.
+    pub fn load_dir_report_with<V: Vfs>(
+        dir: impl AsRef<Path>,
+        vfs: &V,
+    ) -> Result<RecipeLoadReport, StorageError> {
+        let mut report = RecipeLoadReport {
+            store: RecipeStore::new(),
+            failed: Vec::new(),
+        };
+        let dir = dir.as_ref();
+        if !vfs.exists(dir) {
+            return Ok(report);
+        }
+        for path in vfs.read_dir(dir)? {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
             if name.starts_with('r') && name.ends_with(".rcp") {
-                let mut bytes = Vec::new();
-                fs::File::open(entry.path())?.read_to_end(&mut bytes)?;
-                store.insert(Recipe::decode(&bytes).map_err(StorageError::Corrupt)?);
+                match vfs.read(&path) {
+                    Ok(bytes) => match Recipe::decode(&bytes) {
+                        Ok(recipe) => report.store.insert(recipe),
+                        Err(reason) => report.failed.push((path, StorageError::Corrupt(reason))),
+                    },
+                    Err(err) => report.failed.push((path, StorageError::from(err))),
+                }
             }
         }
-        Ok(store)
+        Ok(report)
     }
+}
+
+/// Outcome of [`RecipeStore::load_dir_report`]: the recipes that loaded,
+/// plus the files that did not and why — so a degraded open can quarantine
+/// the casualties and proceed with the rest.
+#[derive(Debug)]
+pub struct RecipeLoadReport {
+    /// The successfully loaded recipes.
+    pub store: RecipeStore,
+    /// Recipe files that could not be read or decoded.
+    pub failed: Vec<(PathBuf, StorageError)>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn fp(n: u64) -> Fingerprint {
         Fingerprint::synthetic(n)
@@ -552,6 +625,48 @@ mod tests {
     fn load_missing_dir_is_empty() {
         let s = RecipeStore::load_dir("/definitely/not/a/real/dir").unwrap();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn one_bad_recipe_does_not_block_the_rest() {
+        let dir =
+            std::env::temp_dir().join(format!("hidestore-recipes-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = RecipeStore::new();
+        for v in 1..=3u32 {
+            let mut r = Recipe::new(VersionId::new(v));
+            r.push(RecipeEntry::new(fp(v as u64), v * 10, Cid::ACTIVE));
+            s.insert(r);
+        }
+        s.save_dir(&dir).unwrap();
+        // Tear one recipe in half: strict load aborts, report load carries on.
+        let bytes = fs::read(dir.join("r2.rcp")).unwrap();
+        fs::write(dir.join("r2.rcp"), &bytes[..bytes.len() - 5]).unwrap();
+        assert!(RecipeStore::load_dir(&dir).is_err());
+        let report = RecipeStore::load_dir_report(&dir).unwrap();
+        assert_eq!(
+            report.store.versions(),
+            vec![VersionId::new(1), VersionId::new(3)]
+        );
+        assert_eq!(report.failed.len(), 1);
+        assert!(report.failed[0].0.ends_with("r2.rcp"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_dir_leaves_no_tmp_files() {
+        let dir =
+            std::env::temp_dir().join(format!("hidestore-recipes-tmp-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut s = RecipeStore::new();
+        s.insert(Recipe::new(VersionId::new(1)));
+        s.save_dir(&dir).unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["r1.rcp"]);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

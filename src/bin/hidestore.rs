@@ -116,7 +116,7 @@ fn cmd_init(repo: &str, opts: &[String]) -> CliResult {
         ),
     )?;
     // Materialize the directory layout.
-    let system = HiDeStore::open_repository(config, repo)?;
+    let mut system = HiDeStore::open_repository(config, repo)?;
     system.save_repository(repo)?;
     println!(
         "initialized repository at {repo} (chunk {} B, container {} B, history depth {})",

@@ -23,6 +23,7 @@
 //! | [`core`] | HiDeStore itself |
 //! | [`workloads`] | kernel / gcc / fslhomes / macos generators |
 //! | [`fsck`] | cross-layer invariant checker ([`fsck::SystemAuditor`]) |
+//! | [`failpoint`] | [`failpoint::Vfs`] io-shim + fault injection for crash testing |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@
 pub use hidestore_chunking as chunking;
 pub use hidestore_core as core;
 pub use hidestore_dedup as dedup;
+pub use hidestore_failpoint as failpoint;
 pub use hidestore_fsck as fsck;
 pub use hidestore_hash as hash;
 pub use hidestore_index as index;

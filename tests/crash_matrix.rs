@@ -1,0 +1,350 @@
+//! Crash-consistency matrix: enumerate every filesystem operation in a full
+//! open → backup → save → delete lifecycle, crash at each one, reopen, and
+//! require the repository to come back *clean* in exactly one of the states
+//! a save boundary could have left — never a torn mix.
+//!
+//! "Clean" is checked three ways after every crash:
+//!
+//! 1. reopening succeeds (degraded-mode recovery resolves the journal and
+//!    quarantines uncommitted residue instead of failing),
+//! 2. `SystemAuditor` reports no `Error`-severity findings (only quarantine
+//!    warnings are tolerated — contained damage, not integrity loss),
+//! 3. the set of retained versions *and their restored bytes* equals one of
+//!    the pre-computed save-boundary states.
+//!
+//! The fault injection runs through [`hidestore::failpoint::FaultVfs`]: a
+//! counting run numbers every filesystem operation of the scripted
+//! sequence, then one run per site crashes there (all I/O after the fault
+//! fails, modeling process death). Torn-write variants re-run every write
+//! site persisting only a prefix of the payload.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use hidestore::core::{HiDeStore, HiDeStoreConfig, HiDeStoreError, JournalRecovery, OpenReport};
+use hidestore::failpoint::{FaultKind, FaultVfs, OpKind, Vfs};
+use hidestore::fsck::{FindingKind, Severity, SystemAuditor};
+use hidestore::hash::crc32;
+use hidestore::restore::Faa;
+use hidestore::storage::VersionId;
+
+/// A unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("hds-crash-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn config() -> HiDeStoreConfig {
+    HiDeStoreConfig {
+        avg_chunk_size: 1024,
+        container_capacity: 16 * 1024,
+        ..HiDeStoreConfig::default()
+    }
+}
+
+fn noise(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+/// The three version payloads of the scripted sequence: churned evolutions
+/// of one base, so each backup demotes cold chunks into archival containers.
+fn version_payloads() -> Vec<Vec<u8>> {
+    let mut data = noise(30_000, 1);
+    let mut out = Vec::new();
+    for round in 0..3u64 {
+        out.push(data.clone());
+        let start = (round as usize * 7_000) % 20_000;
+        let patch = noise(6_000, 100 + round);
+        data[start..start + patch.len()].copy_from_slice(&patch);
+    }
+    out
+}
+
+/// The scripted lifecycle under test. `saves` caps how many save boundaries
+/// run (used to build the reference states); `usize::MAX` runs everything:
+/// three backup+save rounds, then delete_expired(V1) + save.
+fn run_sequence<V: Vfs>(dir: &Path, vfs: V, saves: usize) -> Result<(), HiDeStoreError> {
+    let payloads = version_payloads();
+    let (mut hds, _) = HiDeStore::open_repository_with(config(), dir, vfs)?;
+    let mut done = 0;
+    for data in &payloads {
+        if done >= saves {
+            return Ok(());
+        }
+        hds.backup(data)?;
+        hds.save_repository(dir)?;
+        done += 1;
+    }
+    if done >= saves {
+        return Ok(());
+    }
+    hds.delete_expired(VersionId::new(1))?;
+    hds.save_repository(dir)?;
+    Ok(())
+}
+
+/// Reopens `dir` and captures its logical state: version -> CRC-32 of the
+/// restored bytes. Also asserts the audit carries no `Error` finding and
+/// nothing beyond quarantine warnings.
+fn reopen_and_check(dir: &Path, context: &str) -> (BTreeMap<u32, u32>, OpenReport) {
+    let (mut hds, report) = HiDeStore::open_repository_report(config(), dir)
+        .unwrap_or_else(|e| panic!("{context}: reopen after crash must succeed: {e}"));
+    let audit = SystemAuditor::new().audit(&mut hds);
+    assert_eq!(
+        audit.count(Severity::Error),
+        0,
+        "{context}: audit must be error-free, got:\n{:#?}",
+        audit.findings
+    );
+    assert!(
+        audit.findings.iter().all(|f| matches!(
+            f.kind,
+            FindingKind::QuarantinedArtifact { .. } | FindingKind::QuarantinedRef { .. }
+        )),
+        "{context}: only quarantine warnings tolerated, got:\n{:#?}",
+        audit.findings
+    );
+    let mut state = BTreeMap::new();
+    for v in hds.versions() {
+        let mut out = Vec::new();
+        hds.restore(v, &mut Faa::new(1 << 18), &mut out)
+            .unwrap_or_else(|e| panic!("{context}: retained {v} must restore: {e}"));
+        state.insert(v.get(), crc32(&out));
+    }
+    (state, report)
+}
+
+/// The states a crash is allowed to land in: one per save boundary (0 saves
+/// = fresh repository, up through the full sequence).
+fn boundary_states(tag: &str) -> Vec<BTreeMap<u32, u32>> {
+    (0..=4)
+        .map(|saves| {
+            let scratch = Scratch::new(&format!("{tag}-boundary-{saves}"));
+            run_sequence(&scratch.0, hidestore::failpoint::RealVfs, saves)
+                .expect("unfaulted boundary build");
+            reopen_and_check(&scratch.0, &format!("boundary {saves}")).0
+        })
+        .collect()
+}
+
+fn assert_at_boundary(state: &BTreeMap<u32, u32>, boundaries: &[BTreeMap<u32, u32>], ctx: &str) {
+    assert!(
+        boundaries.contains(state),
+        "{ctx}: recovered state {:?} matches no save boundary {:?}",
+        state,
+        boundaries
+            .iter()
+            .map(|b| b.keys().collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    );
+}
+
+/// One crash run: arm the fault, run the sequence (it must fail — the crash
+/// model kills every op after the fault), reopen, check.
+fn crash_at(site: u64, kind: FaultKind, boundaries: &[BTreeMap<u32, u32>], tag: &str) {
+    let scratch = Scratch::new(&format!("{tag}-site-{site}"));
+    let vfs = FaultVfs::armed(site, kind);
+    let result = run_sequence(&scratch.0, vfs.clone(), usize::MAX);
+    assert!(
+        vfs.crashed(),
+        "{tag} site {site}: the fault must have fired"
+    );
+    assert!(
+        result.is_err(),
+        "{tag} site {site}: a crashed sequence cannot succeed"
+    );
+    let ctx = format!("{tag} site {site}");
+    let (state, _) = reopen_and_check(&scratch.0, &ctx);
+    assert_at_boundary(&state, boundaries, &ctx);
+}
+
+#[test]
+fn crash_matrix_every_site() {
+    // Counting run: number every filesystem op of the full sequence.
+    let scratch = Scratch::new("count");
+    let vfs = FaultVfs::counting();
+    run_sequence(&scratch.0, vfs.clone(), usize::MAX).expect("counting run");
+    let total = vfs.ops();
+    assert!(
+        total > 50,
+        "sequence too small to be interesting: {total} ops"
+    );
+    drop(scratch);
+
+    let boundaries = boundary_states("matrix");
+    for site in 0..total {
+        crash_at(site, FaultKind::Error, &boundaries, "matrix");
+    }
+}
+
+#[test]
+fn crash_matrix_torn_writes() {
+    // Same matrix, but every write site persists only half its payload
+    // before the crash — the torn-write model of a power failure.
+    let scratch = Scratch::new("torn-count");
+    let vfs = FaultVfs::counting();
+    run_sequence(&scratch.0, vfs.clone(), usize::MAX).expect("counting run");
+    let writes: Vec<(u64, usize)> = vfs
+        .trace()
+        .into_iter()
+        .filter(|op| op.kind == OpKind::Write && op.len >= 2)
+        .map(|op| (op.index, op.len))
+        .collect();
+    assert!(!writes.is_empty());
+    drop(scratch);
+
+    let boundaries = boundary_states("torn");
+    for (site, len) in writes {
+        crash_at(site, FaultKind::Torn(len / 2), &boundaries, "torn");
+    }
+}
+
+/// Seeded pseudo-random variant: random payload shapes, random crash sites.
+/// Vendored xorshift64* keeps it deterministic without external crates.
+#[test]
+fn crash_matrix_seeded_random_sites() {
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+
+    let scratch = Scratch::new("seeded-count");
+    let vfs = FaultVfs::counting();
+    run_sequence(&scratch.0, vfs.clone(), usize::MAX).expect("counting run");
+    let total = vfs.ops();
+    let trace = vfs.trace();
+    drop(scratch);
+
+    let boundaries = boundary_states("seeded");
+    for trial in 0..24 {
+        let site = rng.next() % total;
+        // Half the trials tear the write (if the site is one) at a random
+        // offset; the rest crash with a plain error.
+        let kind = match trace.iter().find(|op| op.index == site) {
+            Some(op) if op.kind == OpKind::Write && op.len > 0 && trial % 2 == 0 => {
+                FaultKind::Torn((rng.next() % op.len as u64) as usize)
+            }
+            _ => FaultKind::Error,
+        };
+        crash_at(site, kind, &boundaries, "seeded");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Targeted commit-protocol cases: the three classically wrong crash windows.
+// ---------------------------------------------------------------------------
+
+/// Locates interesting sites within the *second* save of a two-save
+/// sequence: the COMMIT record write, the first publish rename after it, and
+/// the first directory fsync after the last publish rename.
+fn second_save_sites() -> (u64, u64, u64, usize) {
+    let scratch = Scratch::new("targeted-count");
+    let vfs = FaultVfs::counting();
+    run_sequence(&scratch.0, vfs.clone(), 2).expect("counting run");
+    let trace = vfs.trace();
+    let commit_writes: Vec<&hidestore::failpoint::OpRecord> = trace
+        .iter()
+        .filter(|op| op.kind == OpKind::Write && op.path.ends_with("COMMIT"))
+        .collect();
+    assert_eq!(commit_writes.len(), 2, "one COMMIT per save");
+    let commit = commit_writes[1];
+    let renames_after: Vec<u64> = trace
+        .iter()
+        .filter(|op| op.kind == OpKind::Rename && op.index > commit.index)
+        .map(|op| op.index)
+        .collect();
+    assert!(
+        !renames_after.is_empty(),
+        "the publish renames staged files"
+    );
+    let first_rename = renames_after[0];
+    let last_rename = *renames_after.last().expect("non-empty");
+    let sync_after_publish = trace
+        .iter()
+        .find(|op| op.kind == OpKind::SyncDir && op.index > last_rename)
+        .expect("publish fsyncs the touched directories")
+        .index;
+    (commit.index, first_rename, sync_after_publish, commit.len)
+}
+
+fn two_save_boundaries() -> (BTreeMap<u32, u32>, BTreeMap<u32, u32>) {
+    let b1 = {
+        let s = Scratch::new("targeted-b1");
+        run_sequence(&s.0, hidestore::failpoint::RealVfs, 1).expect("build");
+        reopen_and_check(&s.0, "targeted boundary 1").0
+    };
+    let b2 = {
+        let s = Scratch::new("targeted-b2");
+        run_sequence(&s.0, hidestore::failpoint::RealVfs, 2).expect("build");
+        reopen_and_check(&s.0, "targeted boundary 2").0
+    };
+    (b1, b2)
+}
+
+fn targeted_crash(site: u64, kind: FaultKind, tag: &str) -> (BTreeMap<u32, u32>, OpenReport) {
+    let scratch = Scratch::new(tag);
+    let vfs = FaultVfs::armed(site, kind);
+    let result = run_sequence(&scratch.0, vfs.clone(), 2);
+    assert!(vfs.crashed() && result.is_err(), "{tag}: fault must fire");
+    reopen_and_check(&scratch.0, tag)
+}
+
+#[test]
+fn torn_commit_record_rolls_back_to_pre_save_state() {
+    let (commit_site, _, _, commit_len) = second_save_sites();
+    let (b1, _) = two_save_boundaries();
+    // Half a COMMIT record on disk: its trailing CRC cannot validate, so the
+    // transaction never committed and recovery must discard it.
+    let (state, report) =
+        targeted_crash(commit_site, FaultKind::Torn(commit_len / 2), "torn-commit");
+    assert_eq!(report.journal, JournalRecovery::RolledBack);
+    assert_eq!(state, b1, "a torn commit record must land pre-save");
+}
+
+#[test]
+fn crash_before_publish_rolls_forward() {
+    let (_, first_rename, _, _) = second_save_sites();
+    let (_, b2) = two_save_boundaries();
+    // The fsynced COMMIT record is the commit point: dying before the first
+    // publish rename must still surface the *new* state after recovery.
+    let (state, report) = targeted_crash(first_rename, FaultKind::Error, "pre-publish");
+    assert_eq!(report.journal, JournalRecovery::RolledForward);
+    assert_eq!(state, b2, "a committed transaction must roll forward");
+}
+
+#[test]
+fn crash_after_publish_before_dir_fsync_rolls_forward() {
+    let (_, _, sync_site, _) = second_save_sites();
+    let (_, b2) = two_save_boundaries();
+    // Every staged file is renamed into place but no directory fsync has
+    // happened: the journal is still present, so replaying the (idempotent)
+    // apply completes the publish.
+    let (state, report) = targeted_crash(sync_site, FaultKind::Error, "post-publish");
+    assert_eq!(report.journal, JournalRecovery::RolledForward);
+    assert_eq!(state, b2, "replayed publish must complete");
+}

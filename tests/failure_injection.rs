@@ -12,10 +12,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use hidestore::fsck::{FindingKind, SystemAuditor};
+use hidestore::fsck::{FindingKind, Severity, SystemAuditor};
 use hidestore::storage::FileContainerStore;
 
-use hidestore::core::{HiDeStore, HiDeStoreConfig};
+use hidestore::core::{HiDeStore, HiDeStoreConfig, HiDeStoreError, QuarantinedArtifact};
 use hidestore::dedup::{BackupPipeline, PipelineConfig};
 use hidestore::index::DdfsIndex;
 use hidestore::restore::Faa;
@@ -324,7 +324,7 @@ fn flipped_payload_byte_is_reported_as_hash_mismatch() {
 }
 
 #[test]
-fn truncated_container_is_reported_as_unreadable() {
+fn truncated_container_is_quarantined_and_contained() {
     let scratch = Scratch::new("truncate");
     build_churned_repo(&scratch.0);
     let victim = archival_container_files(&scratch.0)
@@ -334,18 +334,66 @@ fn truncated_container_is_reported_as_unreadable() {
     let bytes = std::fs::read(&victim).expect("read container");
     std::fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate container");
 
+    // Degraded-mode open: the damaged container is moved to quarantine/
+    // instead of failing the open or poisoning every restore.
     let mut hds = reopen(&scratch.0);
+    assert_eq!(hds.quarantine().len(), 1, "{:?}", hds.quarantine());
+    let victim_name = victim.file_name().expect("container file name");
+    assert!(
+        scratch.0.join("quarantine").join(victim_name).exists(),
+        "the damaged file must be preserved in quarantine/"
+    );
+    assert!(!victim.exists(), "and gone from archival/");
+
+    // The audit reports the damage as *contained*: quarantine warnings, no
+    // fresh integrity errors.
     let report = SystemAuditor::new().audit(&mut hds);
     assert!(!report.is_clean());
-    assert!(
-        report
-            .findings
-            .iter()
-            .all(|f| matches!(f.kind, FindingKind::UnreadableContainer { .. })),
-        "unreadability must not cascade into per-entry findings:\n{:#?}",
+    assert_eq!(
+        report.count(Severity::Error),
+        0,
+        "quarantined damage must not surface as errors:\n{:#?}",
         report.findings
     );
-    assert_eq!(report.findings.len(), 1);
+    assert!(
+        report.findings.iter().all(|f| matches!(
+            f.kind,
+            FindingKind::QuarantinedArtifact { .. } | FindingKind::QuarantinedRef { .. }
+        )),
+        "only quarantine findings may be reported:\n{:#?}",
+        report.findings
+    );
+
+    // The newest version never references archival containers; it restores.
+    let latest = *hds.versions().last().expect("versions retained");
+    let mut out = Vec::new();
+    hds.restore(latest, &mut Faa::new(1 << 18), &mut out)
+        .expect("newest version must survive the quarantine");
+
+    // Versions that depended on the container fail with a typed partial
+    // restore naming it — never a wrong-data success.
+    let mut partial = 0;
+    for v in hds.versions() {
+        let mut out = Vec::new();
+        match hds.restore(v, &mut Faa::new(1 << 18), &mut out) {
+            Ok(_) => {}
+            Err(HiDeStoreError::PartialRestore {
+                version,
+                quarantined,
+            }) => {
+                assert_eq!(version, v);
+                assert!(
+                    quarantined
+                        .iter()
+                        .any(|a| matches!(a, QuarantinedArtifact::ArchivalContainer(_))),
+                    "the lost container must be named: {quarantined:?}"
+                );
+                partial += 1;
+            }
+            Err(other) => panic!("V{v} must fail as PartialRestore, got: {other}"),
+        }
+    }
+    assert!(partial > 0, "some version depended on the lost container");
 }
 
 #[test]
