@@ -3,7 +3,7 @@
 #
 #     ./ci.sh
 #
-# Five checks, in order of increasing cost; the script stops at the first
+# Six checks, in order of increasing cost; the script stops at the first
 # failure:
 #
 #   1. cargo fmt --check            -- formatting drift
@@ -11,6 +11,8 @@
 #   3. cargo clippy -D warnings     -- clippy across every target
 #   4. cargo test -q                -- the full workspace test suite
 #   5. crash matrix (release)       -- crash-at-every-I/O-site recovery sweep
+#   6. differential suite (release) -- serial-vs-concurrent pipeline equality,
+#                                      once at HDS_THREADS=1 and once at 8
 #
 # Everything runs offline against the vendored dependencies in vendor/.
 set -eu
@@ -29,5 +31,11 @@ cargo test --workspace -q
 
 echo "ci: cargo test --release --test crash_matrix"
 cargo test --release --test crash_matrix -q
+
+echo "ci: cargo test --release --test pipeline_differential (HDS_THREADS=1)"
+HDS_THREADS=1 cargo test --release --test pipeline_differential -q
+
+echo "ci: cargo test --release --test pipeline_differential (HDS_THREADS=8)"
+HDS_THREADS=8 cargo test --release --test pipeline_differential -q
 
 echo "ci: all checks passed"

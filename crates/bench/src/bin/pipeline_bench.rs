@@ -1,0 +1,154 @@
+//! Serial vs staged-concurrent backup throughput.
+//!
+//! Runs the same synthetic workload through the backup pipeline at a sweep
+//! of thread counts and reports ingest throughput plus the per-stage
+//! counters, then cross-checks that every configuration produced an
+//! identical repository (the staged pipeline's hard determinism
+//! requirement). Thread counts beyond the machine's available parallelism
+//! cannot speed anything up — the harness prints the detected parallelism
+//! so the numbers can be read in context.
+//!
+//! Scale via `HIDESTORE_MB` / `HIDESTORE_VERSIONS` / `HIDESTORE_SEED`;
+//! sweep via `HDS_THREADS` (comma-separated list, default `1,2,4,8`).
+
+use std::time::Instant;
+
+use hidestore_bench::{workload_versions, Scale};
+use hidestore_dedup::{BackupPipeline, ConcurrencyConfig, PipelineConfig};
+use hidestore_index::DdfsIndex;
+use hidestore_rewriting::NoRewrite;
+use hidestore_storage::{ContainerStore, MemoryContainerStore};
+use hidestore_workloads::Profile;
+
+fn thread_sweep() -> Vec<usize> {
+    match std::env::var("HDS_THREADS") {
+        Ok(list) => list
+            .split(',')
+            .map(|t| t.trim().parse().expect("HDS_THREADS must be numbers"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+struct Run {
+    threads: usize,
+    elapsed_s: f64,
+    mb_per_s: f64,
+    blocked_full: u64,
+    blocked_empty: u64,
+    container_crc: u32,
+}
+
+fn run_once(threads: usize, scale: Scale, versions: &[Vec<u8>]) -> Run {
+    let config = PipelineConfig {
+        avg_chunk_size: scale.chunk,
+        container_capacity: scale.container,
+        segment_chunks: 128,
+        concurrency: ConcurrencyConfig::threads(threads),
+        ..PipelineConfig::default()
+    };
+    let mut p = BackupPipeline::new(
+        config,
+        DdfsIndex::new(),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    let start = Instant::now();
+    for v in versions {
+        p.backup(v).expect("memory store cannot fail");
+    }
+    let elapsed = start.elapsed();
+    let logical = p.run_stats().logical_bytes;
+    let stages = p.run_stats().stages;
+
+    // A digest of the whole repository, for cross-thread-count comparison.
+    let mut repo_bytes = Vec::new();
+    for id in p.store().ids() {
+        repo_bytes.extend_from_slice(&p.store_mut().read(id).unwrap().encode());
+    }
+    let crc = hidestore_hash::crc32(&repo_bytes);
+    Run {
+        threads,
+        elapsed_s: elapsed.as_secs_f64(),
+        mb_per_s: logical as f64 / (1 << 20) as f64 / elapsed.as_secs_f64(),
+        blocked_full: stages.chunk.blocked_full + stages.hash.blocked_full,
+        blocked_empty: stages.hash.blocked_empty + stages.commit.blocked_empty,
+        container_crc: crc,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let versions = workload_versions(Profile::Kernel, scale);
+
+    let runs: Vec<Run> = thread_sweep()
+        .into_iter()
+        .map(|threads| run_once(threads, scale, &versions))
+        .collect();
+
+    let baseline = runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.elapsed_s)
+        .unwrap_or(runs[0].elapsed_s);
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                format!("{:.3}", r.elapsed_s),
+                format!("{:.1}", r.mb_per_s),
+                format!("{:.2}x", baseline / r.elapsed_s),
+                r.blocked_full.to_string(),
+                r.blocked_empty.to_string(),
+                format!("{:08x}", r.container_crc),
+            ]
+        })
+        .collect();
+    hidestore_bench::print_table(
+        &format!(
+            "Backup throughput, serial vs staged pipeline (hardware parallelism: {parallelism})"
+        ),
+        &[
+            "threads",
+            "seconds",
+            "MB/s",
+            "speedup",
+            "blocked_full",
+            "blocked_empty",
+            "repo_crc32",
+        ],
+        &rows,
+    );
+    hidestore_bench::write_csv(
+        "pipeline_bench",
+        &[
+            "threads",
+            "seconds",
+            "mb_per_s",
+            "speedup",
+            "blocked_full",
+            "blocked_empty",
+            "repo_crc32",
+        ],
+        &rows,
+    );
+
+    // Determinism cross-check: every thread count must have produced the
+    // byte-identical repository.
+    let crc = runs[0].container_crc;
+    for r in &runs {
+        assert_eq!(
+            r.container_crc, crc,
+            "thread count {} produced a different repository",
+            r.threads
+        );
+    }
+    println!(
+        "\nall {} thread counts produced identical repositories",
+        runs.len()
+    );
+}

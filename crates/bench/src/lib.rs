@@ -101,6 +101,7 @@ impl Scale {
             avg_chunk_size: self.chunk,
             container_capacity: self.container,
             segment_chunks: 128,
+            concurrency: Default::default(),
         }
     }
 
@@ -114,6 +115,7 @@ impl Scale {
             compact_threshold: 0.95,
             history_depth: if profile == Profile::Macos { 2 } else { 1 },
             lookup_unit_bytes: 4096,
+            ..HiDeStoreConfig::default()
         }
     }
 }

@@ -22,6 +22,13 @@ pub struct HiDeStoreConfig {
     /// of prefetching the previous recipe in the same units as the
     /// traditional schemes' index lookups (§5.2.2).
     pub lookup_unit_bytes: usize,
+    /// Threads for the chunk/fingerprint front end of [`crate::HiDeStore::backup`]:
+    /// `0` auto-detects from the machine, `1` runs serially, more selects
+    /// the staged concurrent pipeline. The repository produced is identical
+    /// at every setting.
+    pub threads: usize,
+    /// Bounded depth of each inter-stage queue when `threads > 1`.
+    pub queue_depth: usize,
 }
 
 impl Default for HiDeStoreConfig {
@@ -33,6 +40,8 @@ impl Default for HiDeStoreConfig {
             compact_threshold: 0.95,
             history_depth: 1,
             lookup_unit_bytes: 4096,
+            threads: 1,
+            queue_depth: 4,
         }
     }
 }
@@ -47,6 +56,8 @@ impl HiDeStoreConfig {
             compact_threshold: 0.5,
             history_depth: 1,
             lookup_unit_bytes: 4096,
+            threads: 1,
+            queue_depth: 4,
         }
     }
 
@@ -54,6 +65,27 @@ impl HiDeStoreConfig {
     pub fn with_history_depth(mut self, depth: usize) -> Self {
         self.history_depth = depth;
         self
+    }
+
+    /// Variant with a threaded backup front end (`0` = auto-detect).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Variant with the given inter-stage queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// The concrete backup thread count after resolving `0` = auto.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            hidestore_hash::default_hash_threads()
+        } else {
+            self.threads
+        }
     }
 
     /// Validates the configuration.
@@ -70,6 +102,7 @@ impl HiDeStoreConfig {
             "compaction threshold must be in (0, 1]"
         );
         assert!(self.lookup_unit_bytes > 0, "lookup unit must be non-zero");
+        assert!(self.queue_depth >= 1, "queue depth must be at least 1");
         let max_chunk = self.chunker.build(self.avg_chunk_size).max_size();
         assert!(
             self.container_capacity >= max_chunk,
@@ -103,6 +136,25 @@ mod tests {
     fn zero_depth_rejected() {
         HiDeStoreConfig::small_for_tests()
             .with_history_depth(0)
+            .validate();
+    }
+
+    #[test]
+    fn threads_resolve() {
+        let c = HiDeStoreConfig::small_for_tests();
+        assert_eq!(c.effective_threads(), 1);
+        assert_eq!(c.with_threads(8).effective_threads(), 8);
+        assert_eq!(
+            c.with_threads(0).effective_threads(),
+            hidestore_hash::default_hash_threads()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_queue_depth_rejected() {
+        HiDeStoreConfig::small_for_tests()
+            .with_queue_depth(0)
             .validate();
     }
 }

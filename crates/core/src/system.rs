@@ -21,6 +21,11 @@ use crate::config::HiDeStoreConfig;
 use crate::persist::{QuarantineEntry, QuarantinedArtifact};
 use crate::stats::{DeletionReport, HiDeStoreRunStats, HiDeStoreVersionStats, ScrubReport};
 
+/// Chunks per batch handed between the staged pipeline's threads. Purely a
+/// hand-off granularity — the spans and fingerprints produced are identical
+/// at any value.
+const STAGED_SEGMENT_CHUNKS: usize = 256;
+
 /// Errors from HiDeStore operations.
 #[derive(Debug)]
 pub enum HiDeStoreError {
@@ -158,14 +163,29 @@ impl<S: ContainerStore> HiDeStore<S> {
     ///
     /// Fails if the archival store rejects a write.
     pub fn backup(&mut self, data: &[u8]) -> Result<HiDeStoreVersionStats, HiDeStoreError> {
-        // Chunking + fingerprinting (hashing parallelized like Destor's
-        // pipelined phases).
-        let spans = chunk_spans(self.chunker.as_mut(), data);
-        let fingerprints = hidestore_hash::fingerprints_parallel(
-            data,
-            &spans,
-            hidestore_hash::default_hash_threads(),
-        );
+        // Chunking + fingerprinting. With `config.threads > 1` the staged
+        // pipeline overlaps chunking with hashing on dedicated threads;
+        // either front end yields the same spans and fingerprints, so the
+        // repository is identical at every thread count.
+        let threads = self.config.effective_threads();
+        let spans;
+        let fingerprints;
+        if threads > 1 {
+            (spans, fingerprints) = hidestore_dedup::staged_chunk_fingerprints(
+                data,
+                self.chunker.as_mut(),
+                STAGED_SEGMENT_CHUNKS,
+                threads,
+                self.config.queue_depth,
+            );
+        } else {
+            spans = chunk_spans(self.chunker.as_mut(), data);
+            fingerprints = hidestore_hash::fingerprints_parallel(
+                data,
+                &spans,
+                hidestore_hash::default_hash_threads(),
+            );
+        }
         let sizes: Vec<u32> = spans.iter().map(|s| s.len() as u32).collect();
         self.run_backup(&fingerprints, &sizes, |i| {
             std::borrow::Cow::Borrowed(&data[spans[i].clone()])

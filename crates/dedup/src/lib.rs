@@ -51,9 +51,9 @@ pub mod gc;
 mod pipeline;
 mod stats;
 
-pub use config::PipelineConfig;
-pub use pipeline::{BackupPipeline, PipelineError};
-pub use stats::{BackupRunStats, VersionStats};
+pub use config::{ConcurrencyConfig, PipelineConfig};
+pub use pipeline::{staged_chunk_fingerprints, BackupPipeline, PipelineError};
+pub use stats::{BackupRunStats, PipelineStageStats, StageCounters, VersionStats};
 
 // Re-exported for convenience so downstream code can name phase
 // implementations through one crate, as Destor's config file does.

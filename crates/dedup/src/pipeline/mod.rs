@@ -1,6 +1,16 @@
-//! The backup and restore pipeline.
+//! The backup and restore pipeline, in serial and staged-concurrent form.
+//!
+//! The module is split by stage: [`commit`] holds the single-threaded commit
+//! stage both forms share, [`staged`] the multi-threaded chunk/fingerprint
+//! front end, and [`queue`] the bounded inter-stage channel. See `DESIGN.md`
+//! §8 for the determinism argument.
 
-use std::collections::HashMap;
+mod commit;
+mod queue;
+mod staged;
+
+pub use staged::staged_chunk_fingerprints;
+
 use std::fmt;
 use std::io::Write;
 
@@ -8,14 +18,13 @@ use hidestore_chunking::{chunk_spans, Chunker};
 use hidestore_hash::Fingerprint;
 use hidestore_index::FingerprintIndex;
 use hidestore_restore::{RestoreCache, RestoreEntry, RestoreError, RestoreReport};
-use hidestore_rewriting::{RewritePolicy, SegmentChunk};
-use hidestore_storage::{
-    Cid, Container, ContainerId, ContainerStore, Recipe, RecipeEntry, RecipeStore, StorageError,
-    VersionId,
-};
+use hidestore_rewriting::RewritePolicy;
+use hidestore_storage::{ContainerBuilder, ContainerStore, RecipeStore, StorageError, VersionId};
 
 use crate::config::PipelineConfig;
-use crate::stats::{BackupRunStats, VersionStats};
+use crate::stats::{BackupRunStats, PipelineStageStats, VersionStats};
+use commit::CommitState;
+use staged::StagedOptions;
 
 /// Errors from backup or restore runs.
 #[derive(Debug)]
@@ -78,6 +87,12 @@ impl From<RestoreError> for PipelineError {
 /// The Destor-style backup pipeline: chunk → fingerprint → index → rewrite →
 /// store → recipe, over pluggable phase implementations.
 ///
+/// With [`crate::ConcurrencyConfig`] workers > 1 the chunking and
+/// fingerprinting phases run on their own threads (Destor's pipelined
+/// layout) while indexing, rewriting and container filling stay on the
+/// calling thread in stream order — so the repository produced is
+/// byte-identical to a serial run at any thread count.
+///
 /// See the crate docs for an end-to-end example.
 pub struct BackupPipeline<I, R, S> {
     config: PipelineConfig,
@@ -85,10 +100,9 @@ pub struct BackupPipeline<I, R, S> {
     index: I,
     rewriter: R,
     store: S,
+    builder: ContainerBuilder,
     recipes: RecipeStore,
     next_version: u32,
-    next_container: u32,
-    open_container: Option<Container>,
     run_stats: BackupRunStats,
     version_stats: Vec<VersionStats>,
     lookups_at_version_start: u64,
@@ -104,27 +118,32 @@ impl<I: FingerprintIndex, R: RewritePolicy, S: ContainerStore> BackupPipeline<I,
         config.validate();
         let chunker = config.chunker.build(config.avg_chunk_size);
         BackupPipeline {
-            config,
             chunker,
             index,
             rewriter,
             store,
+            builder: ContainerBuilder::new(1, config.container_capacity),
             recipes: RecipeStore::new(),
             next_version: 1,
-            next_container: 1,
-            open_container: None,
             run_stats: BackupRunStats::default(),
             version_stats: Vec::new(),
             lookups_at_version_start: 0,
+            config,
         }
     }
 
     /// Backs up one version (the full stream content).
     ///
+    /// Runs the serial pipeline or the staged concurrent one according to
+    /// [`PipelineConfig::concurrency`]; both produce identical repositories.
+    ///
     /// # Errors
     ///
     /// Fails if the container store rejects a write.
     pub fn backup(&mut self, data: &[u8]) -> Result<VersionStats, PipelineError> {
+        if self.config.concurrency.is_staged() {
+            return self.backup_staged(data);
+        }
         // Phase 1+2: chunking and fingerprinting (hashing parallelized, as
         // in Destor's pipelined implementation).
         let spans = chunk_spans(self.chunker.as_mut(), data);
@@ -137,6 +156,50 @@ impl<I: FingerprintIndex, R: RewritePolicy, S: ContainerStore> BackupPipeline<I,
         self.run_backup(&fingerprints, &sizes, |i| {
             std::borrow::Cow::Borrowed(&data[spans[i].clone()])
         })
+    }
+
+    /// Backs up one version through the staged concurrent pipeline: a
+    /// chunker thread and a fingerprint worker pool feed the (serial) commit
+    /// stage through bounded queues, overlapping CPU-bound hashing with
+    /// index lookups and container filling.
+    fn backup_staged(&mut self, data: &[u8]) -> Result<VersionStats, PipelineError> {
+        let version = self.begin_version();
+        let rewritten_before = self.rewriter.rewritten_bytes();
+
+        let opts = StagedOptions {
+            segment_chunks: self.config.segment_chunks,
+            workers: self.config.concurrency.effective_workers(),
+            queue_depth: self.config.concurrency.queue_depth,
+        };
+        let mut stage_stats = PipelineStageStats::default();
+        let mut logical_bytes = 0u64;
+        let mut chunks = 0u64;
+        let mut commit = CommitState::new(
+            &mut self.index,
+            &mut self.rewriter,
+            &mut self.store,
+            &mut self.builder,
+            version,
+        );
+        staged::run_staged(
+            data,
+            self.chunker.as_mut(),
+            &opts,
+            &mut stage_stats,
+            |batch| {
+                let sizes: Vec<u32> = batch.spans.iter().map(|s| s.len() as u32).collect();
+                chunks += sizes.len() as u64;
+                logical_bytes += sizes.iter().map(|&s| s as u64).sum::<u64>();
+                commit.commit_segment(&batch.fingerprints, &sizes, |i| {
+                    std::borrow::Cow::Borrowed(&data[batch.spans[i].clone()])
+                })
+            },
+        )?;
+        let outcome = commit.finish()?;
+        stage_stats.commit.items += chunks;
+        stage_stats.commit.bytes += logical_bytes;
+        self.run_stats.stages.merge(&stage_stats);
+        self.finish_version(version, outcome, logical_bytes, chunks, rewritten_before)
     }
 
     /// Backs up one version given as a chunk *trace* — `(fingerprint,
@@ -163,133 +226,78 @@ impl<I: FingerprintIndex, R: RewritePolicy, S: ContainerStore> BackupPipeline<I,
         })
     }
 
+    /// Allocates the next version and opens it in the index and rewriter.
+    fn begin_version(&mut self) -> VersionId {
+        let version = VersionId::new(self.next_version);
+        self.next_version += 1;
+        self.index.begin_version(version);
+        self.rewriter.begin_version(version);
+        self.lookups_at_version_start = self.index.disk_lookups();
+        version
+    }
+
+    /// Closes the version in the index and rewriter and records its stats.
+    fn finish_version(
+        &mut self,
+        version: VersionId,
+        outcome: commit::CommitOutcome,
+        logical_bytes: u64,
+        chunks: u64,
+        rewritten_before: u64,
+    ) -> Result<VersionStats, PipelineError> {
+        self.index.end_version();
+        self.rewriter.end_version();
+        let stats = VersionStats {
+            version,
+            logical_bytes,
+            stored_bytes: outcome.stored_bytes,
+            rewritten_bytes: self.rewriter.rewritten_bytes() - rewritten_before,
+            chunks,
+            stored_chunks: outcome.stored_chunks,
+            disk_lookups: self.index.disk_lookups() - self.lookups_at_version_start,
+            index_table_bytes: self.index.index_table_bytes() as u64,
+        };
+        self.recipes.insert(outcome.recipe);
+        self.run_stats.absorb(&stats);
+        self.version_stats.push(stats);
+        Ok(stats)
+    }
+
     fn run_backup<'a>(
         &mut self,
         fingerprints: &[Fingerprint],
         sizes: &[u32],
         content: impl Fn(usize) -> std::borrow::Cow<'a, [u8]>,
     ) -> Result<VersionStats, PipelineError> {
-        let version = VersionId::new(self.next_version);
-        self.next_version += 1;
-        self.index.begin_version(version);
-        self.rewriter.begin_version(version);
-        self.lookups_at_version_start = self.index.disk_lookups();
+        let version = self.begin_version();
         let rewritten_before = self.rewriter.rewritten_bytes();
         let logical_bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
 
-        let mut recipe = Recipe::new(version);
-        let mut stored_this_version: HashMap<Fingerprint, ContainerId> = HashMap::new();
-        let mut stored_bytes = 0u64;
-        let mut stored_chunks = 0u64;
-
-        // Phases 3-6, segment by segment.
+        // Phases 3-6, segment by segment, on this thread.
         let seg_len = self.config.segment_chunks;
+        let mut commit = CommitState::new(
+            &mut self.index,
+            &mut self.rewriter,
+            &mut self.store,
+            &mut self.builder,
+            version,
+        );
         for seg_start in (0..fingerprints.len()).step_by(seg_len) {
             let seg_end = (seg_start + seg_len).min(fingerprints.len());
-            let seg_range = seg_start..seg_end;
-
-            // Phase 3: index lookup.
-            let lookup_input: Vec<(Fingerprint, u32)> = seg_range
-                .clone()
-                .map(|i| (fingerprints[i], sizes[i]))
-                .collect();
-            let decisions = self.index.process_segment(&lookup_input);
-
-            // Intra-version duplicates are resolved by the pipeline itself
-            // (Destor's "rewrite buffer" behaviour): they always reference
-            // the copy stored moments ago and are never rewritten.
-            let mut rewrite_input = Vec::with_capacity(lookup_input.len());
-            let mut intra: Vec<Option<ContainerId>> = Vec::with_capacity(lookup_input.len());
-            for (offset, i) in seg_range.clone().enumerate() {
-                let fp = fingerprints[i];
-                if let Some(&cid) = stored_this_version.get(&fp) {
-                    intra.push(Some(cid));
-                    rewrite_input.push(SegmentChunk::new(fp, sizes[i], None));
-                } else {
-                    intra.push(None);
-                    rewrite_input.push(SegmentChunk::new(fp, sizes[i], decisions[offset]));
-                }
-            }
-
-            // Phase 4: rewriting decision.
-            let rewrites = self.rewriter.process_segment(&rewrite_input);
-
-            // Phase 5: store chunks and build the recipe.
-            for (offset, i) in seg_range.clone().enumerate() {
-                let fp = fingerprints[i];
-                let size = sizes[i];
-                let final_cid = if let Some(cid) = intra[offset] {
-                    cid
-                } else {
-                    match (rewrite_input[offset].existing, rewrites[offset]) {
-                        (Some(cid), false) => cid, // reference the old copy
-                        _ => {
-                            // Unique, or duplicate elected for rewriting.
-                            let cid = self.append_chunk(fp, &content(i))?;
-                            stored_bytes += size as u64;
-                            stored_chunks += 1;
-                            stored_this_version.insert(fp, cid);
-                            cid
-                        }
-                    }
-                };
-                self.index.record_chunk(fp, size, final_cid);
-                recipe.push(RecipeEntry::new(fp, size, Cid::archival(final_cid)));
-            }
+            commit.commit_segment(
+                &fingerprints[seg_start..seg_end],
+                &sizes[seg_start..seg_end],
+                |local| content(seg_start + local),
+            )?;
         }
-
-        // Seal the version's open container so restores can read it.
-        self.seal_open_container()?;
-        self.index.end_version();
-        self.rewriter.end_version();
-
-        let stats = VersionStats {
+        let outcome = commit.finish()?;
+        self.finish_version(
             version,
+            outcome,
             logical_bytes,
-            stored_bytes,
-            rewritten_bytes: self.rewriter.rewritten_bytes() - rewritten_before,
-            chunks: fingerprints.len() as u64,
-            stored_chunks,
-            disk_lookups: self.index.disk_lookups() - self.lookups_at_version_start,
-            index_table_bytes: self.index.index_table_bytes() as u64,
-        };
-        self.recipes.insert(recipe);
-        self.run_stats.absorb(&stats);
-        self.version_stats.push(stats);
-        Ok(stats)
-    }
-
-    fn append_chunk(&mut self, fp: Fingerprint, data: &[u8]) -> Result<ContainerId, PipelineError> {
-        loop {
-            let container = match self.open_container.as_mut() {
-                Some(c) => c,
-                None => {
-                    let id = ContainerId::new(self.next_container);
-                    self.next_container += 1;
-                    self.open_container
-                        .insert(Container::new(id, self.config.container_capacity))
-                }
-            };
-            if container.contains(&fp) {
-                return Ok(container.id());
-            }
-            if container.try_add(fp, data) {
-                return Ok(container.id());
-            }
-            // Full: seal and retry with a fresh container.
-            if let Some(sealed) = self.open_container.take() {
-                self.store.write(sealed)?;
-            }
-        }
-    }
-
-    fn seal_open_container(&mut self) -> Result<(), PipelineError> {
-        if let Some(c) = self.open_container.take() {
-            if !c.is_empty() {
-                self.store.write(c)?;
-            }
-        }
-        Ok(())
+            fingerprints.len() as u64,
+            rewritten_before,
+        )
     }
 
     /// Restores `version` through the given restore cache, writing the
@@ -386,6 +394,7 @@ impl<I: fmt::Debug, R: fmt::Debug, S: fmt::Debug> fmt::Debug for BackupPipeline<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ConcurrencyConfig;
     use hidestore_index::DdfsIndex;
     use hidestore_restore::Faa;
     use hidestore_rewriting::{Capping, NoRewrite};
@@ -552,6 +561,97 @@ mod tests {
         p.restore(VersionId::new(1), &mut Faa::new(1024), &mut out)
             .unwrap();
         assert!(out.is_empty());
+    }
+
+    // ----- staged concurrent pipeline -----
+
+    fn staged_pipeline(
+        workers: usize,
+        depth: usize,
+    ) -> BackupPipeline<DdfsIndex, NoRewrite, MemoryContainerStore> {
+        BackupPipeline::new(
+            PipelineConfig {
+                concurrency: ConcurrencyConfig::threads(workers).with_queue_depth(depth),
+                ..PipelineConfig::small_for_tests()
+            },
+            DdfsIndex::new(),
+            NoRewrite::new(),
+            MemoryContainerStore::new(),
+        )
+    }
+
+    #[test]
+    fn staged_backup_round_trips() {
+        let mut p = staged_pipeline(4, 2);
+        let data = noise(250_000, 11);
+        p.backup(&data).unwrap();
+        let mut out = Vec::new();
+        p.restore(VersionId::new(1), &mut Faa::new(1 << 20), &mut out)
+            .unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn staged_empty_backup_is_valid() {
+        let mut p = staged_pipeline(4, 1);
+        let s = p.backup(&[]).unwrap();
+        assert_eq!(s.chunks, 0);
+    }
+
+    #[test]
+    fn staged_matches_serial_repository() {
+        let mut data = noise(180_000, 12);
+        let mut serial = ddfs_pipeline();
+        let mut parallel = staged_pipeline(4, 2);
+        for round in 0..3u64 {
+            let s1 = serial.backup(&data).unwrap();
+            let s2 = parallel.backup(&data).unwrap();
+            assert_eq!(s1, s2, "round {round}: version stats must be identical");
+            let patch = noise(9_000, 500 + round);
+            let at = (round as usize * 31_000) % 150_000;
+            data[at..at + patch.len()].copy_from_slice(&patch);
+        }
+        assert_eq!(serial.store().ids(), parallel.store().ids());
+        for id in serial.store().ids() {
+            let a = serial.store_mut().read(id).unwrap().encode();
+            let b = parallel.store_mut().read(id).unwrap().encode();
+            assert_eq!(a, b, "container {id} bytes differ");
+        }
+        for v in serial.versions() {
+            assert_eq!(
+                serial.recipes().get(v).unwrap().entries(),
+                parallel.recipes().get(v).unwrap().entries(),
+                "recipe {v} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn staged_records_stage_counters() {
+        let mut p = staged_pipeline(2, 1);
+        let data = noise(200_000, 13);
+        p.backup(&data).unwrap();
+        let stages = p.run_stats().stages;
+        assert_eq!(stages.chunk.bytes, data.len() as u64);
+        assert_eq!(stages.hash.bytes, data.len() as u64);
+        assert_eq!(stages.commit.bytes, data.len() as u64);
+        assert_eq!(stages.chunk.items, stages.commit.items);
+        // With a depth-1 queue some stage must have felt backpressure.
+        assert!(
+            stages.chunk.blocked_full
+                + stages.hash.blocked_full
+                + stages.hash.blocked_empty
+                + stages.commit.blocked_empty
+                > 0,
+            "depth-1 queues cannot run without a single wait: {stages:?}"
+        );
+    }
+
+    #[test]
+    fn serial_pipeline_reports_no_stage_activity() {
+        let mut p = ddfs_pipeline();
+        p.backup(&noise(100_000, 14)).unwrap();
+        assert_eq!(p.run_stats().stages, PipelineStageStats::default());
     }
 }
 

@@ -1,0 +1,341 @@
+//! The staged, multi-threaded front half of the backup pipeline.
+//!
+//! Destor runs each backup phase on its own thread connected by bounded
+//! queues; this module reproduces that shape for the phases that may run
+//! concurrently without changing any dedup decision:
+//!
+//! ```text
+//!  chunker thread ──q1──► fingerprint workers (×N) ──q2──► commit (caller)
+//!  (sequential:           (embarrassingly parallel        (sequential:
+//!   boundaries depend      per segment)                    index + rewrite +
+//!   on the stream)                                         container fill)
+//! ```
+//!
+//! Chunking is sequential by nature — content-defined boundaries depend on
+//! everything before them — so it gets one dedicated thread that slices the
+//! stream into segments of `segment_chunks` spans. Fingerprinting is pure per
+//! chunk, so a worker pool hashes whole segments in parallel. The commit
+//! stage runs on the calling thread and consumes segments **in stream
+//! order** (a reorder buffer keyed by segment sequence number restores the
+//! order the workers scrambled), which is what makes the concurrent pipeline
+//! bit-identical to the serial one: every index lookup, rewrite decision and
+//! container append happens in exactly the order the serial loop would have
+//! produced.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hidestore_chunking::Chunker;
+use hidestore_hash::Fingerprint;
+
+use super::queue::{BoundedQueue, ProducerGuard};
+use crate::stats::PipelineStageStats;
+
+/// One segment of the stream after chunking and fingerprinting: `spans[i]`
+/// of the backed-up data has fingerprint `fingerprints[i]`.
+pub(crate) struct SegmentBatch {
+    /// Sequence number in stream order (0, 1, 2, …).
+    pub seq: usize,
+    /// Chunk spans, contiguous in the stream.
+    pub spans: Vec<Range<usize>>,
+    /// Fingerprint of each span, same order.
+    pub fingerprints: Vec<Fingerprint>,
+}
+
+struct RawBatch {
+    seq: usize,
+    spans: Vec<Range<usize>>,
+}
+
+/// Tuning for one staged run.
+pub(crate) struct StagedOptions {
+    /// Chunks per segment (the index/rewrite segment size).
+    pub segment_chunks: usize,
+    /// Fingerprint worker threads.
+    pub workers: usize,
+    /// Bounded depth of each inter-stage queue.
+    pub queue_depth: usize,
+}
+
+/// Runs the staged front end over `data`, invoking `consume` once per
+/// segment **in stream order** on the calling thread. Stage and queue
+/// counters are accumulated into `stats`. If `consume` fails, upstream
+/// stages are cancelled and the error is returned.
+pub(crate) fn run_staged<E>(
+    data: &[u8],
+    chunker: &mut (dyn Chunker + Send),
+    opts: &StagedOptions,
+    stats: &mut PipelineStageStats,
+    mut consume: impl FnMut(&SegmentBatch) -> Result<(), E>,
+) -> Result<(), E> {
+    let workers = opts.workers.max(1);
+    let segment_chunks = opts.segment_chunks.max(1);
+    let q_raw: BoundedQueue<RawBatch> = BoundedQueue::new(opts.queue_depth.max(1), 1);
+    let q_hashed: BoundedQueue<SegmentBatch> = BoundedQueue::new(opts.queue_depth.max(1), workers);
+    let chunked = (AtomicU64::new(0), AtomicU64::new(0));
+    let hashed = (AtomicU64::new(0), AtomicU64::new(0));
+
+    let result = std::thread::scope(|scope| {
+        // Stage 1: chunking, one thread, sequential.
+        {
+            let (q_raw, chunked) = (&q_raw, &chunked);
+            scope.spawn(move || {
+                let _done = ProducerGuard(q_raw);
+                chunker.reset();
+                let mut pos = 0usize;
+                let mut seq = 0usize;
+                let mut spans: Vec<Range<usize>> = Vec::with_capacity(segment_chunks);
+                while pos < data.len() {
+                    let len = chunker.next_chunk_len(&data[pos..]);
+                    assert!(
+                        len >= 1 && pos + len <= data.len(),
+                        "chunker returned invalid length {len}"
+                    );
+                    spans.push(pos..pos + len);
+                    chunked.0.fetch_add(1, Ordering::Relaxed);
+                    chunked.1.fetch_add(len as u64, Ordering::Relaxed);
+                    pos += len;
+                    if spans.len() == segment_chunks {
+                        let batch = RawBatch {
+                            seq,
+                            spans: std::mem::replace(
+                                &mut spans,
+                                Vec::with_capacity(segment_chunks),
+                            ),
+                        };
+                        seq += 1;
+                        if q_raw.push(batch).is_err() {
+                            return; // cancelled downstream
+                        }
+                    }
+                }
+                if !spans.is_empty() {
+                    let _ = q_raw.push(RawBatch { seq, spans });
+                }
+            });
+        }
+
+        // Stage 2: fingerprinting worker pool.
+        for _ in 0..workers {
+            let (q_raw, q_hashed, hashed) = (&q_raw, &q_hashed, &hashed);
+            scope.spawn(move || {
+                let _done = ProducerGuard(q_hashed);
+                while let Some(batch) = q_raw.pop() {
+                    let fingerprints: Vec<Fingerprint> = batch
+                        .spans
+                        .iter()
+                        .map(|s| Fingerprint::of(&data[s.clone()]))
+                        .collect();
+                    hashed
+                        .0
+                        .fetch_add(batch.spans.len() as u64, Ordering::Relaxed);
+                    hashed.1.fetch_add(
+                        batch.spans.iter().map(|s| s.len() as u64).sum::<u64>(),
+                        Ordering::Relaxed,
+                    );
+                    let out = SegmentBatch {
+                        seq: batch.seq,
+                        spans: batch.spans,
+                        fingerprints,
+                    };
+                    if q_hashed.push(out).is_err() {
+                        return; // cancelled downstream
+                    }
+                }
+            });
+        }
+
+        // Stage 3: in-order consumption on the calling thread. Workers
+        // finish segments out of order; the reorder buffer holds at most
+        // ~(workers + queue_depth) segments.
+        let mut pending: BTreeMap<usize, SegmentBatch> = BTreeMap::new();
+        let mut next_seq = 0usize;
+        while let Some(batch) = q_hashed.pop() {
+            pending.insert(batch.seq, batch);
+            while let Some(batch) = pending.remove(&next_seq) {
+                if let Err(e) = consume(&batch) {
+                    q_raw.cancel();
+                    q_hashed.cancel();
+                    return Err(e);
+                }
+                next_seq += 1;
+            }
+        }
+        debug_assert!(pending.is_empty(), "reorder buffer fully drained");
+        Ok(())
+    });
+
+    let (chunk_blocked_full, hash_blocked_empty) = q_raw.blocked_counts();
+    let (hash_blocked_full, commit_blocked_empty) = q_hashed.blocked_counts();
+    stats.chunk.items += chunked.0.load(Ordering::Relaxed);
+    stats.chunk.bytes += chunked.1.load(Ordering::Relaxed);
+    stats.chunk.blocked_full += chunk_blocked_full;
+    stats.hash.items += hashed.0.load(Ordering::Relaxed);
+    stats.hash.bytes += hashed.1.load(Ordering::Relaxed);
+    stats.hash.blocked_full += hash_blocked_full;
+    stats.hash.blocked_empty += hash_blocked_empty;
+    stats.commit.blocked_empty += commit_blocked_empty;
+    result
+}
+
+/// Chunks and fingerprints `data` with the staged pipeline, returning the
+/// spans and fingerprints in stream order — the concurrent equivalent of
+/// `chunk_spans` + `fingerprints_parallel`, overlapping chunking with
+/// hashing. Produces exactly the spans and fingerprints the sequential pair
+/// would.
+///
+/// This is the front end `hidestore-core` wires into `HiDeStore::backup`
+/// when configured with more than one thread.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_chunking::{chunk_spans, TttdChunker};
+/// use hidestore_dedup::staged_chunk_fingerprints;
+///
+/// let data = vec![42u8; 64 * 1024];
+/// let (spans, fps) = staged_chunk_fingerprints(&data, &mut TttdChunker::new(1024), 32, 4, 4);
+/// assert_eq!(spans, chunk_spans(&mut TttdChunker::new(1024), &data));
+/// assert_eq!(spans.len(), fps.len());
+/// ```
+pub fn staged_chunk_fingerprints(
+    data: &[u8],
+    chunker: &mut (dyn Chunker + Send),
+    segment_chunks: usize,
+    workers: usize,
+    queue_depth: usize,
+) -> (Vec<Range<usize>>, Vec<Fingerprint>) {
+    let opts = StagedOptions {
+        segment_chunks,
+        workers,
+        queue_depth,
+    };
+    let mut stats = PipelineStageStats::default();
+    let mut spans = Vec::new();
+    let mut fingerprints = Vec::new();
+    let result: Result<(), std::convert::Infallible> =
+        run_staged(data, chunker, &opts, &mut stats, |batch| {
+            spans.extend(batch.spans.iter().cloned());
+            fingerprints.extend(batch.fingerprints.iter().copied());
+            Ok(())
+        });
+    match result {
+        Ok(()) => (spans, fingerprints),
+        Err(never) => match never {},
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidestore_chunking::{chunk_spans, FixedChunker, TttdChunker};
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn reference(data: &[u8], chunk: usize) -> (Vec<Range<usize>>, Vec<Fingerprint>) {
+        let spans = chunk_spans(&mut TttdChunker::new(chunk), data);
+        let fps = spans
+            .iter()
+            .map(|s| Fingerprint::of(&data[s.clone()]))
+            .collect();
+        (spans, fps)
+    }
+
+    #[test]
+    fn matches_sequential_front_end() {
+        let data = noise(300_000, 1);
+        let (want_spans, want_fps) = reference(&data, 1024);
+        for workers in [1, 2, 4, 8] {
+            for depth in [1, 2, 4] {
+                let (spans, fps) = staged_chunk_fingerprints(
+                    &data,
+                    &mut TttdChunker::new(1024),
+                    16,
+                    workers,
+                    depth,
+                );
+                assert_eq!(spans, want_spans, "workers={workers} depth={depth}");
+                assert_eq!(fps, want_fps, "workers={workers} depth={depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_nothing() {
+        let (spans, fps) = staged_chunk_fingerprints(&[], &mut TttdChunker::new(1024), 16, 4, 2);
+        assert!(spans.is_empty());
+        assert!(fps.is_empty());
+    }
+
+    #[test]
+    fn partial_tail_segment_preserved() {
+        // 10 fixed chunks with a segment size of 4: segments of 4, 4, 2.
+        let data = vec![7u8; 1000];
+        let (spans, fps) = staged_chunk_fingerprints(&data, &mut FixedChunker::new(100), 4, 3, 1);
+        assert_eq!(spans.len(), 10);
+        assert_eq!(fps.len(), 10);
+        assert_eq!(spans.last(), Some(&(900..1000)));
+    }
+
+    #[test]
+    fn consume_error_cancels_cleanly() {
+        let data = noise(200_000, 2);
+        let opts = StagedOptions {
+            segment_chunks: 8,
+            workers: 4,
+            queue_depth: 1,
+        };
+        let mut stats = PipelineStageStats::default();
+        let mut seen = 0usize;
+        let result = run_staged(
+            &data,
+            &mut TttdChunker::new(1024),
+            &opts,
+            &mut stats,
+            |_batch| {
+                seen += 1;
+                if seen == 3 {
+                    Err("boom")
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(result, Err("boom"));
+        assert_eq!(seen, 3, "no segment after the error is consumed");
+    }
+
+    #[test]
+    fn counters_record_work() {
+        let data = noise(100_000, 3);
+        let mut stats = PipelineStageStats::default();
+        let opts = StagedOptions {
+            segment_chunks: 16,
+            workers: 2,
+            queue_depth: 2,
+        };
+        let result: Result<(), std::convert::Infallible> = run_staged(
+            &data,
+            &mut TttdChunker::new(1024),
+            &opts,
+            &mut stats,
+            |_| Ok(()),
+        );
+        assert!(result.is_ok());
+        assert_eq!(stats.chunk.bytes, data.len() as u64);
+        assert_eq!(stats.hash.bytes, data.len() as u64);
+        assert_eq!(stats.chunk.items, stats.hash.items);
+        assert!(stats.chunk.items > 0);
+    }
+}

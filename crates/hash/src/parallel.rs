@@ -36,13 +36,29 @@ pub fn fingerprints_parallel(
     threads: usize,
 ) -> Vec<Fingerprint> {
     let threads = threads.max(1);
-    // Below ~1 MiB of work per extra thread the spawn cost outweighs the
-    // parallelism.
-    if threads == 1 || spans.len() < 64 || data.len() < threads << 20 {
+    if sequential_fallback(data.len(), spans.len(), threads) {
         return spans
             .iter()
             .map(|s| Fingerprint::of(&data[s.clone()]))
             .collect();
+    }
+    fingerprints_threaded(data, spans, threads)
+}
+
+/// Whether to hash on the calling thread instead of spawning workers: below
+/// ~1 MiB of work per thread (or very few spans) the spawn cost outweighs
+/// the parallelism.
+fn sequential_fallback(data_len: usize, span_count: usize, threads: usize) -> bool {
+    threads == 1 || span_count < 64 || data_len < threads << 20
+}
+
+/// The threaded path, unconditionally: spans are split into at most
+/// `threads` contiguous blocks, each hashed by its own scoped worker into a
+/// disjoint region of the output — so order is preserved by construction,
+/// including when `threads` exceeds `spans.len()` (blocks of one span each).
+fn fingerprints_threaded(data: &[u8], spans: &[Range<usize>], threads: usize) -> Vec<Fingerprint> {
+    if spans.is_empty() {
+        return Vec::new();
     }
     let mut out = vec![Fingerprint::default(); spans.len()];
     let chunk_len = spans.len().div_ceil(threads);
@@ -120,5 +136,71 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_hash_threads() >= 1);
+    }
+
+    #[test]
+    fn fallback_threshold_is_one_mib_per_thread() {
+        // Exactly at the cutoff (threads << 20 bytes) the threaded path
+        // runs; one byte below it falls back to the sequential loop.
+        for threads in [2usize, 4, 8] {
+            let cutoff = threads << 20;
+            assert!(
+                sequential_fallback(cutoff - 1, 64, threads),
+                "{threads} threads, one byte under the cutoff"
+            );
+            assert!(
+                !sequential_fallback(cutoff, 64, threads),
+                "{threads} threads, exactly at the cutoff"
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_on_few_spans_or_one_thread() {
+        // 63 spans is sequential no matter how large the data is.
+        assert!(sequential_fallback(usize::MAX, 63, 8));
+        assert!(!sequential_fallback(usize::MAX, 64, 8));
+        // One thread is always sequential.
+        assert!(sequential_fallback(usize::MAX, 1 << 20, 1));
+    }
+
+    #[test]
+    fn threshold_boundary_results_identical() {
+        // Hash the same spans just below and just above the cutoff and
+        // against the sequential loop: the answer must not depend on which
+        // path ran.
+        let threads = 2;
+        let cutoff = threads << 20;
+        for len in [cutoff - 1, cutoff] {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i % 249) as u8).collect();
+            let spans = spans_of(len, len / 100);
+            let got = fingerprints_parallel(&data, &spans, threads);
+            let want: Vec<Fingerprint> = spans
+                .iter()
+                .map(|s| Fingerprint::of(&data[s.clone()]))
+                .collect();
+            assert_eq!(got, want, "len={len}");
+        }
+    }
+
+    #[test]
+    fn threaded_path_empty_spans() {
+        assert!(fingerprints_threaded(b"abc", &[], 4).is_empty());
+        assert!(fingerprints_parallel(&[], &[], 8).is_empty());
+    }
+
+    #[test]
+    fn threaded_path_preserves_order_with_more_threads_than_spans() {
+        // 10 distinct spans, 32 threads: every block holds one span, and
+        // the output must still be in span order.
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 241) as u8).collect();
+        let spans = spans_of(data.len(), 100);
+        assert!(spans.len() < 32);
+        let got = fingerprints_threaded(&data, &spans, 32);
+        let want: Vec<Fingerprint> = spans
+            .iter()
+            .map(|s| Fingerprint::of(&data[s.clone()]))
+            .collect();
+        assert_eq!(got, want);
     }
 }

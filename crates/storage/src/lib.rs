@@ -40,6 +40,7 @@
 //! # Ok::<(), hidestore_storage::StorageError>(())
 //! ```
 
+mod builder;
 mod chunk;
 mod container;
 mod cost;
@@ -48,6 +49,7 @@ mod file_store;
 mod recipe;
 mod store;
 
+pub use builder::ContainerBuilder;
 pub use chunk::Chunk;
 pub use container::{Container, ContainerId, CONTAINER_CAPACITY};
 pub use cost::DeviceProfile;

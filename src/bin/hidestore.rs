@@ -24,7 +24,7 @@ const CONFIG_FILE: &str = "config";
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  hidestore init    <repo> [--chunk <bytes>] [--container <bytes>] [--depth <1|2>]\n  \
+        "usage:\n  hidestore init    <repo> [--chunk <bytes>] [--container <bytes>] [--depth <1|2>] [--threads <n>]\n  \
          hidestore backup  <repo> <file>\n  \
          hidestore restore <repo> <version> <outfile>\n  \
          hidestore list    <repo>\n  \
@@ -79,8 +79,14 @@ fn load_config(repo: &str) -> Result<HiDeStoreConfig, Box<dyn std::error::Error>
             "chunk" => config.avg_chunk_size = value.trim().parse()?,
             "container" => config.container_capacity = value.trim().parse()?,
             "depth" => config.history_depth = value.trim().parse()?,
+            "threads" => config.threads = value.trim().parse()?,
             _ => {}
         }
+    }
+    // An environment override beats the repository config, so CI and
+    // benchmarks can sweep thread counts without rewriting the config file.
+    if let Ok(threads) = std::env::var("HDS_THREADS") {
+        config.threads = threads.trim().parse()?;
     }
     Ok(config)
 }
@@ -99,6 +105,7 @@ fn cmd_init(repo: &str, opts: &[String]) -> CliResult {
             "--chunk" => config.avg_chunk_size = value.parse()?,
             "--container" => config.container_capacity = value.parse()?,
             "--depth" => config.history_depth = value.parse()?,
+            "--threads" => config.threads = value.parse()?,
             other => return Err(format!("unknown option {other}").into()),
         }
     }
@@ -111,16 +118,16 @@ fn cmd_init(repo: &str, opts: &[String]) -> CliResult {
     fs::write(
         dir.join(CONFIG_FILE),
         format!(
-            "chunk={}\ncontainer={}\ndepth={}\n",
-            config.avg_chunk_size, config.container_capacity, config.history_depth
+            "chunk={}\ncontainer={}\ndepth={}\nthreads={}\n",
+            config.avg_chunk_size, config.container_capacity, config.history_depth, config.threads
         ),
     )?;
     // Materialize the directory layout.
     let mut system = HiDeStore::open_repository(config, repo)?;
     system.save_repository(repo)?;
     println!(
-        "initialized repository at {repo} (chunk {} B, container {} B, history depth {})",
-        config.avg_chunk_size, config.container_capacity, config.history_depth
+        "initialized repository at {repo} (chunk {} B, container {} B, history depth {}, threads {})",
+        config.avg_chunk_size, config.container_capacity, config.history_depth, config.threads
     );
     Ok(())
 }

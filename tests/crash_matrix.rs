@@ -83,8 +83,19 @@ fn version_payloads() -> Vec<Vec<u8>> {
 /// run (used to build the reference states); `usize::MAX` runs everything:
 /// three backup+save rounds, then delete_expired(V1) + save.
 fn run_sequence<V: Vfs>(dir: &Path, vfs: V, saves: usize) -> Result<(), HiDeStoreError> {
+    run_sequence_cfg(dir, vfs, saves, config())
+}
+
+/// [`run_sequence`] with an explicit configuration, so the matrix can also
+/// run with the backup phase on the staged concurrent pipeline.
+fn run_sequence_cfg<V: Vfs>(
+    dir: &Path,
+    vfs: V,
+    saves: usize,
+    cfg: HiDeStoreConfig,
+) -> Result<(), HiDeStoreError> {
     let payloads = version_payloads();
-    let (mut hds, _) = HiDeStore::open_repository_with(config(), dir, vfs)?;
+    let (mut hds, _) = HiDeStore::open_repository_with(cfg, dir, vfs)?;
     let mut done = 0;
     for data in &payloads {
         if done >= saves {
@@ -252,6 +263,82 @@ fn crash_matrix_seeded_random_sites() {
             _ => FaultKind::Error,
         };
         crash_at(site, kind, &boundaries, "seeded");
+    }
+}
+
+/// The same matrix with the backup phase on the staged concurrent pipeline:
+/// the pipeline only changes *who computes* the in-memory state, never the
+/// state itself, so the filesystem op trace — and therefore every fault
+/// site and the whole journal protocol — must be unaffected.
+#[test]
+fn crash_matrix_threaded_backup_variant() {
+    let threaded = config().with_threads(8).with_queue_depth(2);
+
+    // The threaded counting run must produce exactly the serial op trace
+    // (paths compared relative to each run's scratch directory).
+    let mt_scratch = Scratch::new("mt-count");
+    let vfs = FaultVfs::counting();
+    run_sequence_cfg(&mt_scratch.0, vfs.clone(), usize::MAX, threaded).expect("mt counting run");
+    let mt_trace = vfs.trace();
+    let serial_scratch = Scratch::new("mt-serial-count");
+    let vfs = FaultVfs::counting();
+    run_sequence(&serial_scratch.0, vfs.clone(), usize::MAX).expect("serial counting run");
+    let serial_trace = vfs.trace();
+    assert_eq!(
+        mt_trace.len(),
+        serial_trace.len(),
+        "threaded backup changed the filesystem op count"
+    );
+    let rel = |path: &Path, scratch: &Scratch| {
+        path.strip_prefix(&scratch.0).unwrap_or(path).to_path_buf()
+    };
+    for (mt, serial) in mt_trace.iter().zip(&serial_trace) {
+        assert_eq!(
+            (mt.index, mt.kind, rel(&mt.path, &mt_scratch), mt.len),
+            (
+                serial.index,
+                serial.kind,
+                rel(&serial.path, &serial_scratch),
+                serial.len
+            ),
+            "threaded backup diverged from the serial op trace"
+        );
+    }
+    drop(mt_scratch);
+    drop(serial_scratch);
+
+    // Seeded crash-site sample through the threaded sequence; recovery must
+    // land on the same save boundaries as ever.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+    let mut rng = Rng(0x5EED_CAFE);
+    let boundaries = boundary_states("mt");
+    let total = mt_trace.len() as u64;
+    for trial in 0..12 {
+        let site = rng.next() % total;
+        let kind = match mt_trace.iter().find(|op| op.index == site) {
+            Some(op) if op.kind == OpKind::Write && op.len > 0 && trial % 2 == 0 => {
+                FaultKind::Torn((rng.next() % op.len as u64) as usize)
+            }
+            _ => FaultKind::Error,
+        };
+        let scratch = Scratch::new(&format!("mt-site-{site}"));
+        let vfs = FaultVfs::armed(site, kind);
+        let result = run_sequence_cfg(&scratch.0, vfs.clone(), usize::MAX, threaded);
+        assert!(
+            vfs.crashed() && result.is_err(),
+            "mt site {site}: the fault must fire and fail the sequence"
+        );
+        let ctx = format!("mt site {site}");
+        let (state, _) = reopen_and_check(&scratch.0, &ctx);
+        assert_at_boundary(&state, &boundaries, &ctx);
     }
 }
 

@@ -1,0 +1,242 @@
+//! Differential serial-equivalence suite for the staged concurrent backup
+//! pipeline.
+//!
+//! Dedup decisions are order-dependent, so the concurrent pipeline is only
+//! correct if it is *indistinguishable* from the serial one: for every
+//! fingerprint index × rewrite policy combination and every thread count,
+//! the two must produce byte-identical containers, identical recipes, and
+//! identical version statistics. The same must hold for HiDeStore itself,
+//! whose backup front end switches to the staged pipeline when configured
+//! with threads — there the repositories must additionally pass a clean
+//! `SystemAuditor` audit.
+//!
+//! `HDS_THREADS=<n>` narrows the sweep to one concurrent thread count so CI
+//! can run the suite once per setting in release mode.
+
+use hidestore::core::{HiDeStore, HiDeStoreConfig, HiDeStoreVersionStats};
+use hidestore::dedup::{BackupPipeline, ConcurrencyConfig, PipelineConfig};
+use hidestore::fsck::{Severity, SystemAuditor};
+use hidestore::index::IndexKind;
+use hidestore::restore::Faa;
+use hidestore::rewriting::{Capping, Cbr, CflRewrite, Fbw, NoRewrite, RewritePolicy};
+use hidestore::storage::{ContainerStore, MemoryContainerStore, VersionId};
+use hidestore::workloads::{Profile, VersionStream};
+
+const CHUNK: usize = 1024;
+const CONTAINER: usize = 32 * 1024;
+
+fn rewriters() -> Vec<(&'static str, Box<dyn RewritePolicy>)> {
+    vec![
+        ("none", Box::new(NoRewrite::new())),
+        ("capping", Box::new(Capping::new(4))),
+        ("cbr", Box::new(Cbr::default())),
+        ("cfl", Box::new(CflRewrite::new(0.6, CONTAINER as u64))),
+        (
+            "fbw",
+            Box::new(Fbw::new((4 * CONTAINER) as u64, 0.05, CONTAINER as u64)),
+        ),
+    ]
+}
+
+/// Concurrent thread counts under test: {1, 2, 8} by default, or exactly
+/// the value of `HDS_THREADS` when set (how ci.sh sweeps the settings).
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("HDS_THREADS") {
+        Ok(v) => vec![v.trim().parse().expect("HDS_THREADS must be a number")],
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+fn pipeline_config(concurrency: ConcurrencyConfig) -> PipelineConfig {
+    PipelineConfig {
+        avg_chunk_size: CHUNK,
+        container_capacity: CONTAINER,
+        segment_chunks: 32,
+        concurrency,
+        ..PipelineConfig::default()
+    }
+}
+
+type DynPipeline = BackupPipeline<
+    Box<dyn hidestore::index::FingerprintIndex + Send>,
+    Box<dyn RewritePolicy>,
+    MemoryContainerStore,
+>;
+
+/// Asserts two pipeline repositories are indistinguishable: same version
+/// stats, same cumulative stats (stage counters excluded — blocked counts
+/// are scheduling-dependent), same container IDs and bytes, same recipes.
+fn assert_pipelines_identical(serial: &mut DynPipeline, concurrent: &mut DynPipeline, tag: &str) {
+    assert_eq!(
+        serial.version_stats(),
+        concurrent.version_stats(),
+        "{tag}: version stats differ"
+    );
+    let mut a = serial.run_stats();
+    let mut b = concurrent.run_stats();
+    a.stages = Default::default();
+    b.stages = Default::default();
+    assert_eq!(a, b, "{tag}: run stats differ");
+
+    let ids = serial.store().ids();
+    assert_eq!(
+        ids,
+        concurrent.store().ids(),
+        "{tag}: container sets differ"
+    );
+    for id in ids {
+        assert_eq!(
+            serial.store_mut().read(id).unwrap().encode(),
+            concurrent.store_mut().read(id).unwrap().encode(),
+            "{tag}: container {id} bytes differ"
+        );
+    }
+    assert_eq!(
+        serial.versions(),
+        concurrent.versions(),
+        "{tag}: version sets differ"
+    );
+    for v in serial.versions() {
+        assert_eq!(
+            serial.recipes().get(v).unwrap().entries(),
+            concurrent.recipes().get(v).unwrap().entries(),
+            "{tag}: recipe {v} differs"
+        );
+    }
+}
+
+/// Every scheme × rewrite policy × thread count: the staged pipeline's
+/// repository must be byte-identical to the serial pipeline's.
+#[test]
+fn every_scheme_and_policy_is_thread_count_invariant() {
+    let versions = VersionStream::new(Profile::Kernel.spec().scaled(300_000, 3), 19).all_versions();
+    for index_kind in IndexKind::ALL {
+        for (rewriter_name, rewriter) in rewriters() {
+            let mut serial = BackupPipeline::new(
+                pipeline_config(ConcurrencyConfig::serial()),
+                index_kind.build(),
+                rewriter,
+                MemoryContainerStore::new(),
+            );
+            for v in &versions {
+                serial.backup(v).unwrap();
+            }
+            for threads in thread_counts() {
+                let tag = format!("{index_kind}+{rewriter_name}@{threads}");
+                let (_, rewriter) = rewriters()
+                    .into_iter()
+                    .find(|(name, _)| *name == rewriter_name)
+                    .unwrap();
+                let mut concurrent = BackupPipeline::new(
+                    pipeline_config(ConcurrencyConfig::threads(threads).with_queue_depth(2)),
+                    index_kind.build(),
+                    rewriter,
+                    MemoryContainerStore::new(),
+                );
+                for v in &versions {
+                    concurrent.backup(v).unwrap();
+                }
+                assert_pipelines_identical(&mut serial, &mut concurrent, &tag);
+                // And the concurrent repository restores byte-exact.
+                for (i, expect) in versions.iter().enumerate() {
+                    let mut out = Vec::new();
+                    concurrent
+                        .restore(
+                            VersionId::new(i as u32 + 1),
+                            &mut Faa::new(1 << 18),
+                            &mut out,
+                        )
+                        .unwrap_or_else(|e| panic!("{tag}: restore V{} failed: {e}", i + 1));
+                    assert_eq!(&out, expect, "{tag}: V{} bytes differ", i + 1);
+                }
+            }
+        }
+    }
+}
+
+fn hds_config(threads: usize) -> HiDeStoreConfig {
+    HiDeStoreConfig {
+        avg_chunk_size: CHUNK,
+        container_capacity: CONTAINER,
+        ..HiDeStoreConfig::default()
+    }
+    .with_threads(threads)
+    .with_queue_depth(2)
+}
+
+/// Durations are wall-clock measurements, not repository state; blank them
+/// before differential comparison.
+fn strip_times(stats: &[HiDeStoreVersionStats]) -> Vec<HiDeStoreVersionStats> {
+    stats
+        .iter()
+        .map(|s| HiDeStoreVersionStats {
+            recipe_update_time: Default::default(),
+            chunk_move_time: Default::default(),
+            ..*s
+        })
+        .collect()
+}
+
+/// HiDeStore itself (the fifth scheme): a threaded backup front end must
+/// produce the identical repository, and both must audit clean.
+#[test]
+fn hidestore_is_thread_count_invariant_and_audits_clean() {
+    let versions = VersionStream::new(Profile::Macos.spec().scaled(300_000, 4), 43).all_versions();
+    let mut serial = HiDeStore::new(hds_config(1), MemoryContainerStore::new());
+    for v in &versions {
+        serial.backup(v).unwrap();
+    }
+    for threads in thread_counts() {
+        let tag = format!("hidestore@{threads}");
+        let mut concurrent = HiDeStore::new(hds_config(threads), MemoryContainerStore::new());
+        for v in &versions {
+            concurrent.backup(v).unwrap();
+        }
+        assert_eq!(
+            strip_times(serial.version_stats()),
+            strip_times(concurrent.version_stats()),
+            "{tag}: version stats differ"
+        );
+        let ids = serial.archival().ids();
+        assert_eq!(
+            ids,
+            concurrent.archival().ids(),
+            "{tag}: archival container sets differ"
+        );
+        for id in ids {
+            assert_eq!(
+                serial.archival_mut().read(id).unwrap().encode(),
+                concurrent.archival_mut().read(id).unwrap().encode(),
+                "{tag}: archival container {id} bytes differ"
+            );
+        }
+        assert_eq!(serial.versions(), concurrent.versions(), "{tag}");
+        for v in serial.versions() {
+            assert_eq!(
+                serial.recipes().get(v).unwrap().entries(),
+                concurrent.recipes().get(v).unwrap().entries(),
+                "{tag}: recipe {v} differs"
+            );
+        }
+        for (sys, which) in [(&mut serial, "serial"), (&mut concurrent, "concurrent")] {
+            let audit = SystemAuditor::new().audit(sys);
+            assert_eq!(
+                audit.count(Severity::Error),
+                0,
+                "{tag}: {which} repository must audit clean:\n{:#?}",
+                audit.findings
+            );
+        }
+        for (i, expect) in versions.iter().enumerate() {
+            let mut out = Vec::new();
+            concurrent
+                .restore(
+                    VersionId::new(i as u32 + 1),
+                    &mut Faa::new(1 << 18),
+                    &mut out,
+                )
+                .unwrap_or_else(|e| panic!("{tag}: restore V{} failed: {e}", i + 1));
+            assert_eq!(&out, expect, "{tag}: V{} bytes differ", i + 1);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Seeded concurrency stress for the staged backup pipeline.
+//!
+//! Random backup / delete / save sequences run through the concurrent
+//! pipeline with queue depths of 1–2, the smallest legal settings — every
+//! segment hand-off contends, so any missing wake-up or ordering bug in the
+//! bounded queues shows up as a deadlock or a corrupted repository. Each
+//! case runs under a watchdog thread: if the pipeline hangs, the test fails
+//! with a timeout instead of hanging CI. After every save the repository
+//! must reopen and pass a clean fsck audit.
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hidestore::core::{HiDeStore, HiDeStoreConfig};
+use hidestore::dedup::{BackupPipeline, ConcurrencyConfig, PipelineConfig};
+use hidestore::fsck::{Severity, SystemAuditor};
+use hidestore::index::DdfsIndex;
+use hidestore::restore::Faa;
+use hidestore::rewriting::Capping;
+use hidestore::storage::{MemoryContainerStore, VersionId};
+
+/// A unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("hds-stress-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs `body` on its own thread under a deadline. A deadlocked pipeline
+/// trips the watchdog instead of hanging the test binary forever.
+fn with_watchdog(tag: &str, timeout: Duration, body: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        body();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(()) => handle
+            .join()
+            .unwrap_or_else(|e| std::panic::resume_unwind(e)),
+        Err(_) => panic!("{tag}: watchdog fired after {timeout:?} — pipeline deadlocked"),
+    }
+}
+
+fn random_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    let mut data = vec![0u8; len];
+    rng.fill(&mut data[..]);
+    data
+}
+
+/// Mutates a random window of the previous payload so successive versions
+/// share most chunks (the realistic dedup regime).
+fn mutate(rng: &mut StdRng, data: &mut Vec<u8>) {
+    match rng.gen_range(0u32..3) {
+        0 => {
+            let at = rng.gen_range(0..data.len().max(1));
+            let len = rng.gen_range(500usize..4000).min(data.len() - at);
+            let patch = random_bytes(rng, len);
+            data[at..at + len].copy_from_slice(&patch);
+        }
+        1 => {
+            let len = rng.gen_range(500usize..4000);
+            let extra = random_bytes(rng, len);
+            data.extend_from_slice(&extra);
+        }
+        _ => {
+            let keep = rng.gen_range(data.len() / 2..data.len()).max(1);
+            data.truncate(keep);
+        }
+    }
+}
+
+/// Random backup / delete / save sequences against an on-disk repository
+/// with the tightest queues, fsck-audited after every save.
+#[test]
+fn random_ops_under_backpressure_audit_clean() {
+    for (case, &(threads, depth)) in [(2usize, 1usize), (4, 1), (8, 2)].iter().enumerate() {
+        let tag = format!("stress-{threads}t-{depth}q");
+        with_watchdog(&tag.clone(), Duration::from_secs(300), move || {
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE + case as u64);
+            let scratch = Scratch::new(&tag);
+            let config = HiDeStoreConfig {
+                avg_chunk_size: 1024,
+                container_capacity: 16 * 1024,
+                ..HiDeStoreConfig::default()
+            }
+            .with_threads(threads)
+            .with_queue_depth(depth);
+            let (mut hds, _) = HiDeStore::open_repository_report(config, &scratch.0)
+                .unwrap_or_else(|e| panic!("{tag}: open: {e}"));
+            let mut data = random_bytes(&mut rng, 40_000);
+            hds.backup(&data).unwrap();
+            let mut newest = 1u32;
+            let mut oldest = 1u32;
+            for round in 0..12 {
+                match rng.gen_range(0u32..4) {
+                    // Backup a mutated version (weighted: half the ops).
+                    0 | 1 => {
+                        mutate(&mut rng, &mut data);
+                        hds.backup(&data).unwrap();
+                        newest += 1;
+                    }
+                    // Expire a random prefix when history allows.
+                    2 => {
+                        if oldest < newest {
+                            let up_to = rng.gen_range(oldest..newest);
+                            hds.delete_expired(VersionId::new(up_to)).unwrap();
+                            oldest = up_to + 1;
+                        }
+                    }
+                    // Save, reopen, audit.
+                    _ => {
+                        hds.save_repository(&scratch.0).unwrap();
+                        let (mut reopened, _) =
+                            HiDeStore::open_repository_report(config, &scratch.0)
+                                .unwrap_or_else(|e| panic!("{tag} round {round}: reopen: {e}"));
+                        let audit = SystemAuditor::new().audit(&mut reopened);
+                        assert_eq!(
+                            audit.count(Severity::Error),
+                            0,
+                            "{tag} round {round}: fsck after save:\n{:#?}",
+                            audit.findings
+                        );
+                        hds = reopened;
+                    }
+                }
+            }
+            // Final save + audit + byte-exact restore of the newest version.
+            hds.save_repository(&scratch.0).unwrap();
+            let audit = SystemAuditor::new().audit(&mut hds);
+            assert_eq!(audit.count(Severity::Error), 0, "{tag}: final fsck");
+            let mut out = Vec::new();
+            hds.restore(VersionId::new(newest), &mut Faa::new(1 << 18), &mut out)
+                .unwrap();
+            assert_eq!(out, data, "{tag}: newest version must restore");
+        });
+    }
+}
+
+/// Depth-1 queues on the raw `BackupPipeline`: every stage hand-off blocks,
+/// and the resulting repository must still match a serial run byte-for-byte.
+#[test]
+fn tightest_queues_still_serial_equivalent() {
+    with_watchdog("depth1-differential", Duration::from_secs(300), || {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let config = |concurrency| PipelineConfig {
+            avg_chunk_size: 1024,
+            container_capacity: 32 * 1024,
+            segment_chunks: 8,
+            concurrency,
+            ..PipelineConfig::default()
+        };
+        let mut serial = BackupPipeline::new(
+            config(ConcurrencyConfig::serial()),
+            DdfsIndex::new(),
+            Capping::new(4),
+            MemoryContainerStore::new(),
+        );
+        let mut concurrent = BackupPipeline::new(
+            config(ConcurrencyConfig::threads(8).with_queue_depth(1)),
+            DdfsIndex::new(),
+            Capping::new(4),
+            MemoryContainerStore::new(),
+        );
+        let mut data = random_bytes(&mut rng, 60_000);
+        for _ in 0..8 {
+            let s1 = serial.backup(&data).unwrap();
+            let s2 = concurrent.backup(&data).unwrap();
+            assert_eq!(s1, s2, "per-version stats must be identical");
+            mutate(&mut rng, &mut data);
+        }
+        use hidestore::storage::ContainerStore;
+        assert_eq!(serial.store().ids(), concurrent.store().ids());
+        for id in serial.store().ids() {
+            assert_eq!(
+                serial.store_mut().read(id).unwrap().encode(),
+                concurrent.store_mut().read(id).unwrap().encode(),
+                "container {id} differs under depth-1 queues"
+            );
+        }
+        // The tight queues must actually have exercised backpressure.
+        let stages = concurrent.run_stats().stages;
+        assert!(
+            stages.chunk.blocked_full + stages.hash.blocked_full + stages.hash.blocked_empty > 0,
+            "depth-1 queues ran without any wait: {stages:?}"
+        );
+    });
+}
