@@ -11,8 +11,9 @@
 #   3. cargo clippy -D warnings     -- clippy across every target
 #   4. cargo test -q                -- the full workspace test suite
 #   5. crash matrix (release)       -- crash-at-every-I/O-site recovery sweep
-#   6. differential suite (release) -- serial-vs-concurrent pipeline equality,
-#                                      once at HDS_THREADS=1 and once at 8
+#   6. differential suites (release)-- serial-vs-concurrent equality of the
+#                                      backup pipeline AND the staged restore
+#                                      engine, once at HDS_THREADS=1 and 8
 #
 # Everything runs offline against the vendored dependencies in vendor/.
 set -eu
@@ -37,5 +38,11 @@ HDS_THREADS=1 cargo test --release --test pipeline_differential -q
 
 echo "ci: cargo test --release --test pipeline_differential (HDS_THREADS=8)"
 HDS_THREADS=8 cargo test --release --test pipeline_differential -q
+
+echo "ci: cargo test --release --test restore_differential (HDS_THREADS=1)"
+HDS_THREADS=1 cargo test --release --test restore_differential -q
+
+echo "ci: cargo test --release --test restore_differential (HDS_THREADS=8)"
+HDS_THREADS=8 cargo test --release --test restore_differential -q
 
 echo "ci: all checks passed"

@@ -1,0 +1,170 @@
+//! Serial vs staged-concurrent restore: scheme × cache size × threads.
+//!
+//! Ingests a fragmented multi-version workload into HiDeStore once, then
+//! restores the oldest (most fragmented) version through every restore
+//! scheme at two cache sizes and a sweep of engine thread counts. Each run
+//! reports the paper's §5.3 speed factor plus the staged engine's per-stage
+//! counters, and the harness cross-checks that every configuration restored
+//! CRC-identical data — the engine's serial-equivalence requirement.
+//!
+//! Scale via `HIDESTORE_MB` / `HIDESTORE_VERSIONS` / `HIDESTORE_SEED`;
+//! sweep via `HDS_THREADS` (comma-separated list, default `1,2,8`).
+
+use std::time::Instant;
+
+use hidestore_bench::{workload_versions, Scale};
+use hidestore_core::HiDeStore;
+use hidestore_restore::{Alacc, BeladyCache, ChunkLru, ContainerLru, Faa, RestoreCache};
+use hidestore_restore::{RestoreConcurrency, RestoreReport};
+use hidestore_storage::{MemoryContainerStore, VersionId};
+use hidestore_workloads::Profile;
+
+fn thread_sweep() -> Vec<usize> {
+    match std::env::var("HDS_THREADS") {
+        Ok(list) => list
+            .split(',')
+            .map(|t| t.trim().parse().expect("HDS_THREADS must be numbers"))
+            .collect(),
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// Scheme constructors at a given cache scale (container slots for
+/// container-granular schemes, bytes for chunk/area-granular ones).
+fn make_scheme(kind: &str, slots: usize, bytes: usize) -> Box<dyn RestoreCache> {
+    match kind {
+        "container-lru" => Box::new(ContainerLru::new(slots)),
+        "chunk-lru" => Box::new(ChunkLru::new(bytes)),
+        "faa" => Box::new(Faa::new(bytes)),
+        "alacc" => Box::new(Alacc::new(bytes / 2, bytes / 2)),
+        "belady" => Box::new(BeladyCache::new(slots)),
+        other => unreachable!("unknown scheme {other}"),
+    }
+}
+
+struct Run {
+    scheme: &'static str,
+    cache: &'static str,
+    threads: usize,
+    elapsed_s: f64,
+    report: RestoreReport,
+    crc: u32,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let versions = workload_versions(Profile::Kernel, scale);
+    let mut hds = HiDeStore::new(
+        scale.hidestore_config(Profile::Kernel),
+        MemoryContainerStore::new(),
+    );
+    for data in &versions {
+        hds.backup(data).expect("memory store cannot fail");
+    }
+    hds.flatten_recipes();
+    // The oldest version reads through the most relocated layout.
+    let target = VersionId::new(1);
+
+    let cache_sizes: [(&str, usize, usize); 2] = [
+        ("small", 2, 4 * scale.container),
+        ("large", 32, 64 * scale.container),
+    ];
+    let schemes = ["container-lru", "chunk-lru", "faa", "alacc", "belady"];
+    let sweep = thread_sweep();
+
+    let mut runs: Vec<Run> = Vec::new();
+    for scheme in schemes {
+        for (cache, slots, bytes) in cache_sizes {
+            for &threads in &sweep {
+                let mut cache_impl = make_scheme(scheme, slots, bytes);
+                let conc = RestoreConcurrency::threads(threads);
+                let mut out = Vec::new();
+                let start = Instant::now();
+                let report = hds
+                    .restore_with(target, cache_impl.as_mut(), &mut out, &conc)
+                    .expect("restore of retained version");
+                runs.push(Run {
+                    scheme,
+                    cache,
+                    threads,
+                    elapsed_s: start.elapsed().as_secs_f64(),
+                    report,
+                    crc: hidestore_hash::crc32(&out),
+                });
+            }
+        }
+    }
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                r.cache.to_string(),
+                r.threads.to_string(),
+                format!("{:.4}", r.elapsed_s),
+                r.report.container_reads.to_string(),
+                format!("{:.2}", r.report.speed_factor()),
+                r.report.stage.containers_prefetched.to_string(),
+                r.report.stage.prefetch_hits.to_string(),
+                r.report.stage.prefetch_misses.to_string(),
+                r.report.stage.prefetch_wasted.to_string(),
+                format!("{:08x}", r.crc),
+            ]
+        })
+        .collect();
+    let headers = [
+        "scheme",
+        "cache",
+        "threads",
+        "seconds",
+        "reads",
+        "MB/read",
+        "prefetched",
+        "pf_hits",
+        "pf_miss",
+        "pf_waste",
+        "crc32",
+    ];
+    hidestore_bench::print_table(
+        &format!(
+            "Restore speed factor, serial vs staged engine (restoring {} of {} versions)",
+            target,
+            versions.len()
+        ),
+        &headers,
+        &rows,
+    );
+    hidestore_bench::write_csv("restore_bench", &headers, &rows);
+
+    // Serial-equivalence cross-checks: every configuration restored the
+    // exact same data, and within a (scheme, cache) group every thread
+    // count issued the identical number of container reads.
+    let crc = runs[0].crc;
+    for r in &runs {
+        assert_eq!(
+            r.crc, crc,
+            "{} ({} cache) at {} threads restored different data",
+            r.scheme, r.cache, r.threads
+        );
+    }
+    for scheme in schemes {
+        for (cache, _, _) in cache_sizes {
+            let group: Vec<&Run> = runs
+                .iter()
+                .filter(|r| r.scheme == scheme && r.cache == cache)
+                .collect();
+            for r in &group {
+                assert_eq!(
+                    r.report.container_reads, group[0].report.container_reads,
+                    "{scheme} ({cache} cache): thread count {} changed container reads",
+                    r.threads
+                );
+            }
+        }
+    }
+    println!(
+        "\nall {} configurations restored CRC-identical data with thread-invariant reads",
+        runs.len()
+    );
+}

@@ -1,6 +1,7 @@
 //! HiDeStore configuration.
 
 use hidestore_chunking::ChunkerKind;
+use hidestore_restore::RestoreConcurrency;
 
 /// Configuration of a [`crate::HiDeStore`] instance.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +30,10 @@ pub struct HiDeStoreConfig {
     pub threads: usize,
     /// Bounded depth of each inter-stage queue when `threads > 1`.
     pub queue_depth: usize,
+    /// Concurrency of the staged restore engine (prefetcher threads, queue
+    /// depth, readahead window). Restored bytes and cache accounting are
+    /// identical at every setting.
+    pub restore: RestoreConcurrency,
 }
 
 impl Default for HiDeStoreConfig {
@@ -42,6 +47,7 @@ impl Default for HiDeStoreConfig {
             lookup_unit_bytes: 4096,
             threads: 1,
             queue_depth: 4,
+            restore: RestoreConcurrency::serial(),
         }
     }
 }
@@ -58,6 +64,7 @@ impl HiDeStoreConfig {
             lookup_unit_bytes: 4096,
             threads: 1,
             queue_depth: 4,
+            restore: RestoreConcurrency::serial(),
         }
     }
 
@@ -76,6 +83,19 @@ impl HiDeStoreConfig {
     /// Variant with the given inter-stage queue depth.
     pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
         self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Variant with a staged restore engine of the given total thread count
+    /// (`0` = auto-detect, `1` = serial).
+    pub fn with_restore_threads(mut self, threads: usize) -> Self {
+        self.restore.threads = threads;
+        self
+    }
+
+    /// Variant with the given restore concurrency settings.
+    pub fn with_restore(mut self, restore: RestoreConcurrency) -> Self {
+        self.restore = restore;
         self
     }
 
@@ -103,6 +123,7 @@ impl HiDeStoreConfig {
         );
         assert!(self.lookup_unit_bytes > 0, "lookup unit must be non-zero");
         assert!(self.queue_depth >= 1, "queue depth must be at least 1");
+        self.restore.validate();
         let max_chunk = self.chunker.build(self.avg_chunk_size).max_size();
         assert!(
             self.container_capacity >= max_chunk,
@@ -155,6 +176,22 @@ mod tests {
     fn zero_queue_depth_rejected() {
         HiDeStoreConfig::small_for_tests()
             .with_queue_depth(0)
+            .validate();
+    }
+
+    #[test]
+    fn restore_concurrency_defaults_serial_and_validates() {
+        let c = HiDeStoreConfig::small_for_tests();
+        assert_eq!(c.restore, RestoreConcurrency::serial());
+        c.with_restore_threads(8).validate();
+        c.with_restore(RestoreConcurrency::threads(0)).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "restore queue depth")]
+    fn invalid_restore_concurrency_rejected() {
+        HiDeStoreConfig::small_for_tests()
+            .with_restore(RestoreConcurrency::serial().with_queue_depth(0))
             .validate();
     }
 }

@@ -7,7 +7,9 @@ use std::time::Instant;
 
 use hidestore_chunking::{chunk_spans, Chunker};
 use hidestore_hash::Fingerprint;
-use hidestore_restore::{RestoreCache, RestoreEntry, RestoreError, RestoreReport};
+use hidestore_restore::{
+    restore_staged, RestoreCache, RestoreConcurrency, RestoreEntry, RestoreError, RestoreReport,
+};
 use hidestore_storage::{
     Cid, Container, ContainerId, ContainerStore, Recipe, RecipeEntry, RecipeStore, StorageError,
     VersionId,
@@ -441,7 +443,80 @@ impl<S: ContainerStore> HiDeStore<S> {
         version: VersionId,
         cache: &mut dyn RestoreCache,
         out: &mut dyn Write,
-    ) -> Result<RestoreReport, HiDeStoreError> {
+    ) -> Result<RestoreReport, HiDeStoreError>
+    where
+        S: Send,
+    {
+        let conc = self.config.restore;
+        self.restore_with(version, cache, out, &conc)
+    }
+
+    /// Like [`HiDeStore::restore`] but with explicit restore-engine
+    /// concurrency instead of the configured default. Restored bytes,
+    /// container reads, and cache hit/miss accounting are identical at every
+    /// setting; only [`RestoreReport::stage`] differs.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`HiDeStore::restore`].
+    pub fn restore_with(
+        &mut self,
+        version: VersionId,
+        cache: &mut dyn RestoreCache,
+        out: &mut dyn Write,
+        conc: &RestoreConcurrency,
+    ) -> Result<RestoreReport, HiDeStoreError>
+    where
+        S: Send,
+    {
+        let entries = self.resolve_restore_entries(version)?;
+        let mut view = CompositeStore::new(&mut self.archival, &self.pool);
+        Ok(restore_staged(cache, &entries, &mut view, out, conc)?)
+    }
+
+    /// Restores `version` to `path`, staging the output in `<path>.tmp` and
+    /// renaming it into place only on success, so a failed restore — e.g. a
+    /// fault in the prefetcher's container reads — never leaves a partial
+    /// output file behind.
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`HiDeStore::restore_with`], plus I/O errors creating,
+    /// writing, or renaming the output file. On error the temporary file is
+    /// removed.
+    pub fn restore_to_path(
+        &mut self,
+        version: VersionId,
+        cache: &mut dyn RestoreCache,
+        path: &std::path::Path,
+        conc: &RestoreConcurrency,
+    ) -> Result<RestoreReport, HiDeStoreError>
+    where
+        S: Send,
+    {
+        let tmp = path.with_extension("tmp");
+        let io_err = |e: std::io::Error| HiDeStoreError::Storage(StorageError::Io(e));
+        let result = (|| {
+            let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+            let report = self.restore_with(version, cache, &mut file, conc)?;
+            file.sync_all().map_err(io_err)?;
+            drop(file);
+            std::fs::rename(&tmp, path).map_err(io_err)?;
+            Ok(report)
+        })();
+        if result.is_err() {
+            // Best-effort cleanup; the original error is what matters.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Resolves `version`'s recipe chain into a flat restore plan, checking
+    /// quarantined dependencies first (degraded-mode repositories).
+    fn resolve_restore_entries(
+        &mut self,
+        version: VersionId,
+    ) -> Result<Vec<RestoreEntry>, HiDeStoreError> {
         if self.recipes.get(version).is_none() {
             // A quarantined recipe is a *known* version whose recipe was
             // pulled, not an unknown one.
@@ -485,12 +560,10 @@ impl<S: ContainerStore> HiDeStore<S> {
             }
             Err(e) => return Err(e.into()),
         };
-        let entries: Vec<RestoreEntry> = plan
+        Ok(plan
             .into_iter()
             .map(|(fp, size, cid)| RestoreEntry::new(fp, size, cid))
-            .collect();
-        let mut view = CompositeStore::new(&mut self.archival, &self.pool);
-        Ok(cache.restore(&entries, &mut view, out)?)
+            .collect())
     }
 
     /// Walks `version`'s recipe chain and collects every quarantined

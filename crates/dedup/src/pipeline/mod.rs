@@ -1,12 +1,12 @@
 //! The backup and restore pipeline, in serial and staged-concurrent form.
 //!
 //! The module is split by stage: [`commit`] holds the single-threaded commit
-//! stage both forms share, [`staged`] the multi-threaded chunk/fingerprint
-//! front end, and [`queue`] the bounded inter-stage channel. See `DESIGN.md`
-//! §8 for the determinism argument.
+//! stage both forms share and [`staged`] the multi-threaded chunk/fingerprint
+//! front end; the bounded inter-stage channel is the shared
+//! [`hidestore_sync::BoundedQueue`]. See `DESIGN.md` §8 for the determinism
+//! argument.
 
 mod commit;
-mod queue;
 mod staged;
 
 pub use staged::staged_chunk_fingerprints;

@@ -29,8 +29,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use hidestore_chunking::Chunker;
 use hidestore_hash::Fingerprint;
 
-use super::queue::{BoundedQueue, ProducerGuard};
 use crate::stats::PipelineStageStats;
+use hidestore_sync::{BoundedQueue, ProducerGuard};
 
 /// One segment of the stream after chunking and fingerprinting: `spans[i]`
 /// of the backed-up data has fingerprint `fingerprints[i]`.

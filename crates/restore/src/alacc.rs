@@ -220,9 +220,13 @@ impl RestoreCache for Alacc {
             pos += area_len;
             self.adapt();
         }
+        let reads = store.stats().container_reads - reads_before;
         Ok(RestoreReport {
             bytes_restored: bytes,
-            container_reads: store.stats().container_reads - reads_before,
+            container_reads: reads,
+            cache_hits: self.hits_total,
+            cache_misses: reads,
+            ..RestoreReport::default()
         })
     }
 

@@ -56,6 +56,8 @@ impl RestoreCache for BeladyCache {
         const NEVER: usize = usize::MAX;
 
         let mut bytes = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
         for (i, entry) in plan.iter().enumerate() {
             // Advance this container's use queue past position i.
             let queue = uses.entry(entry.container).or_default();
@@ -65,6 +67,7 @@ impl RestoreCache for BeladyCache {
             let upcoming = queue.front().copied().unwrap_or(NEVER);
 
             let container = if let Some(c) = cached.get(&entry.container) {
+                hits += 1;
                 // Re-key its position in the eviction index.
                 if let Some(old_key) = next_use
                     .iter()
@@ -76,6 +79,7 @@ impl RestoreCache for BeladyCache {
                 next_use.insert((upcoming, entry.container));
                 Arc::clone(c)
             } else {
+                misses += 1;
                 let c = store.read(entry.container)?;
                 if cached.len() >= self.capacity {
                     // Evict the farthest-in-future container.
@@ -100,6 +104,9 @@ impl RestoreCache for BeladyCache {
         Ok(RestoreReport {
             bytes_restored: bytes,
             container_reads: store.stats().container_reads - reads_before,
+            cache_hits: hits,
+            cache_misses: misses,
+            ..RestoreReport::default()
         })
     }
 

@@ -77,11 +77,15 @@ impl RestoreCache for ChunkLru {
         self.cached_bytes = 0;
         let reads_before = store.stats().container_reads;
         let mut bytes = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
         for entry in plan {
             let data = if let Some(data) = self.cache.get(&entry.fingerprint).cloned() {
                 self.touch(entry.fingerprint);
+                hits += 1;
                 data
             } else {
+                misses += 1;
                 let container = store.read(entry.container)?;
                 let needed = container
                     .get(&entry.fingerprint)
@@ -101,6 +105,9 @@ impl RestoreCache for ChunkLru {
         Ok(RestoreReport {
             bytes_restored: bytes,
             container_reads: store.stats().container_reads - reads_before,
+            cache_hits: hits,
+            cache_misses: misses,
+            ..RestoreReport::default()
         })
     }
 

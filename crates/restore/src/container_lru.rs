@@ -30,6 +30,8 @@ pub struct ContainerLru {
     capacity: usize,
     cache: HashMap<ContainerId, Arc<Container>>,
     order: Vec<ContainerId>,
+    hits: u64,
+    misses: u64,
 }
 
 impl ContainerLru {
@@ -44,6 +46,8 @@ impl ContainerLru {
             capacity,
             cache: HashMap::new(),
             order: Vec::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -61,8 +65,10 @@ impl ContainerLru {
     ) -> Result<Arc<Container>, RestoreError> {
         if let Some(c) = self.cache.get(&id).cloned() {
             self.touch(id);
+            self.hits += 1;
             return Ok(c);
         }
+        self.misses += 1;
         let container = store.read(id)?;
         self.cache.insert(id, Arc::clone(&container));
         self.touch(id);
@@ -83,6 +89,8 @@ impl RestoreCache for ContainerLru {
     ) -> Result<RestoreReport, RestoreError> {
         self.cache.clear();
         self.order.clear();
+        self.hits = 0;
+        self.misses = 0;
         let reads_before = store.stats().container_reads;
         let mut bytes = 0u64;
         for entry in plan {
@@ -99,6 +107,9 @@ impl RestoreCache for ContainerLru {
         Ok(RestoreReport {
             bytes_restored: bytes,
             container_reads: store.stats().container_reads - reads_before,
+            cache_hits: self.hits,
+            cache_misses: self.misses,
+            ..RestoreReport::default()
         })
     }
 

@@ -1,0 +1,533 @@
+//! The staged concurrent restore engine.
+//!
+//! Restore is I/O-bound: every scheme in this crate spends its time waiting
+//! for whole-container reads. The engine overlaps that latency with assembly
+//! by splitting a restore into two stages connected by a bounded queue:
+//!
+//! * **Prefetcher** — 1..N I/O threads walk the restore plan's container
+//!   *transition sequence* (consecutive duplicates collapsed) ahead of the
+//!   consumer, read each container from the shared store, and push it into a
+//!   [`BoundedQueue`] whose depth bounds how far ahead they run.
+//! * **Assembly** — the calling thread runs the chosen [`RestoreCache`]
+//!   scheme *unchanged* against a [`ContainerStore`] view that serves reads
+//!   from the prefetched stream when possible and falls back to a direct
+//!   (locked) store read otherwise.
+//!
+//! # Serial equivalence
+//!
+//! Every scheme is a deterministic function of the plan and the container
+//! bytes it reads. The view returns, for each `read(id)`, exactly the bytes
+//! the underlying store would return, and counts exactly one container read
+//! in its *own* [`IoStats`] — the same accounting a serial restore observes
+//! on the raw store. Whether a given container arrived via the prefetch
+//! stream or the direct fallback changes only the [`RestoreStageCounters`],
+//! never the data, so restored bytes, `container_reads`, and cache hit/miss
+//! counters are byte/count-identical to the serial path at every thread
+//! count (asserted by `tests/restore_differential.rs`).
+//!
+//! Error paths preserve equivalence too: a *failed* prefetch read is pushed
+//! as an empty slot, not raised — a scheme whose cache absorbs that request
+//! would never have issued it serially. Only when the scheme actually
+//! requests the container does the fallback read reproduce the store's
+//! error. On any assembly error the queue is cancelled, which unblocks every
+//! prefetcher so the scope join cannot hang.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use hidestore_storage::{Container, ContainerId, ContainerStore, IoStats, StorageError};
+use hidestore_sync::{BoundedQueue, CancelGuard, ProducerGuard};
+
+use crate::{RestoreCache, RestoreEntry, RestoreError, RestoreReport, RestoreStageCounters};
+use std::sync::Arc;
+
+/// Concurrency settings of the staged restore engine.
+///
+/// `threads <= 1` selects the serial path (the scheme runs directly against
+/// the store); `threads >= 2` runs `threads - 1` prefetcher I/O threads with
+/// assembly on the calling thread; `0` auto-detects from the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreConcurrency {
+    /// Total restore threads: `0` = auto-detect, `1` = serial, `n >= 2` =
+    /// `n - 1` prefetchers plus the assembling caller.
+    pub threads: usize,
+    /// Bounded depth of the prefetch queue (containers in flight).
+    pub queue_depth: usize,
+    /// Maximum prefetched containers the assembly stage parks while looking
+    /// for the one a scheme requested; past this, requests fall back to
+    /// direct reads.
+    pub readahead_containers: usize,
+}
+
+impl Default for RestoreConcurrency {
+    fn default() -> Self {
+        RestoreConcurrency {
+            threads: 1,
+            queue_depth: 4,
+            readahead_containers: 8,
+        }
+    }
+}
+
+impl RestoreConcurrency {
+    /// The serial configuration (no prefetch threads).
+    pub fn serial() -> Self {
+        RestoreConcurrency::default()
+    }
+
+    /// Configuration with the given total thread count.
+    pub fn threads(threads: usize) -> Self {
+        RestoreConcurrency {
+            threads,
+            ..RestoreConcurrency::default()
+        }
+    }
+
+    /// Variant with the given prefetch queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Variant with the given readahead window (parked containers).
+    pub fn with_readahead(mut self, readahead_containers: usize) -> Self {
+        self.readahead_containers = readahead_containers;
+        self
+    }
+
+    /// The concrete thread count after resolving `0` = auto.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            hidestore_hash::default_hash_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` or `readahead_containers` is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.queue_depth >= 1,
+            "restore queue depth must be at least 1"
+        );
+        assert!(
+            self.readahead_containers >= 1,
+            "restore readahead must be at least 1 container"
+        );
+    }
+}
+
+/// One prefetched slot: position in the transition sequence, the container
+/// ID, and the container (`None` when the prefetch read failed — the direct
+/// fallback read reproduces the error iff the scheme requests the ID).
+type PrefetchItem = (usize, ContainerId, Option<Arc<Container>>);
+
+fn lock<'m, T>(m: &'m Mutex<T>) -> MutexGuard<'m, T> {
+    // The store behind the mutex is plain data; a panic in another stage
+    // cannot leave it inconsistent, so a poisoned lock is safe to re-enter.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The assembly stage's [`ContainerStore`] view: serves scheme reads from
+/// the prefetch stream, falling back to direct (locked) store reads, while
+/// keeping its own serial-equivalent I/O statistics.
+struct PrefetchView<'q, 'st, 's, S> {
+    queue: &'q BoundedQueue<PrefetchItem>,
+    store: &'st Mutex<&'s mut S>,
+    /// Prefetched containers pulled off the stream but not yet requested.
+    window: HashMap<ContainerId, Arc<Container>>,
+    /// Reorder buffer: prefetchers finish out of order, the stream is
+    /// consumed in sequence order.
+    pending: BTreeMap<usize, (ContainerId, Option<Arc<Container>>)>,
+    next_seq: usize,
+    readahead: usize,
+    stream_done: bool,
+    stats: IoStats,
+    hits: u64,
+    misses: u64,
+}
+
+impl<S: ContainerStore> PrefetchView<'_, '_, '_, S> {
+    /// The next prefetched slot in transition-sequence order, or `None` once
+    /// the stream has ended.
+    fn next_in_order(&mut self) -> Option<(ContainerId, Option<Arc<Container>>)> {
+        loop {
+            if let Some(slot) = self.pending.remove(&self.next_seq) {
+                self.next_seq += 1;
+                return Some(slot);
+            }
+            if self.stream_done {
+                return None;
+            }
+            match self.queue.pop() {
+                Some((seq, cid, payload)) => {
+                    self.pending.insert(seq, (cid, payload));
+                }
+                None => self.stream_done = true,
+            }
+        }
+    }
+}
+
+impl<S: ContainerStore> ContainerStore for PrefetchView<'_, '_, '_, S> {
+    fn write(&mut self, container: Container) -> Result<(), StorageError> {
+        Err(StorageError::Corrupt(format!(
+            "restore view is read-only; attempted write of container {}",
+            container.id()
+        )))
+    }
+
+    fn read(&mut self, id: ContainerId) -> Result<Arc<Container>, StorageError> {
+        // One counted read per request, exactly like the serial path.
+        self.stats.container_reads += 1;
+        if let Some(c) = self.window.remove(&id) {
+            self.hits += 1;
+            self.stats.bytes_read += c.used_bytes() as u64;
+            return Ok(c);
+        }
+        // Pull the stream forward while the readahead window has room.
+        while self.window.len() < self.readahead {
+            match self.next_in_order() {
+                None => break,
+                Some((cid, Some(c))) if cid == id => {
+                    self.hits += 1;
+                    self.stats.bytes_read += c.used_bytes() as u64;
+                    return Ok(c);
+                }
+                Some((cid, Some(c))) => {
+                    self.window.insert(cid, c);
+                }
+                // Failed prefetch: not an error yet. The fallback below
+                // reproduces it deterministically if this ID is requested.
+                Some((_, None)) => {}
+            }
+        }
+        self.misses += 1;
+        let c = lock(self.store).read(id)?;
+        self.stats.bytes_read += c.used_bytes() as u64;
+        Ok(c)
+    }
+
+    fn contains(&self, id: ContainerId) -> bool {
+        lock(self.store).contains(id)
+    }
+
+    fn remove(&mut self, id: ContainerId) -> Result<(), StorageError> {
+        Err(StorageError::Corrupt(format!(
+            "restore view is read-only; attempted removal of container {id}"
+        )))
+    }
+
+    fn replace(&mut self, container: Container) -> Result<(), StorageError> {
+        Err(StorageError::Corrupt(format!(
+            "restore view is read-only; attempted replace of container {}",
+            container.id()
+        )))
+    }
+
+    fn ids(&self) -> Vec<ContainerId> {
+        lock(self.store).ids()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+/// Runs `scheme` over `plan` with the staged concurrent engine.
+///
+/// With `conc.threads <= 1` (or an empty plan) this is exactly
+/// `scheme.restore(plan, store, out)`; otherwise `threads - 1` prefetcher
+/// threads feed the assembling caller through a bounded queue. Restored
+/// bytes, `container_reads`, and cache hit/miss counters are identical at
+/// every thread count; the staged path additionally fills
+/// [`RestoreReport::stage`].
+///
+/// # Errors
+///
+/// Exactly the errors of the serial restore: missing chunks/containers or
+/// store failures surface as typed [`RestoreError`]s after every prefetch
+/// thread has been unblocked and joined.
+///
+/// # Panics
+///
+/// Panics if `conc` is invalid (see [`RestoreConcurrency::validate`]).
+pub fn restore_staged<S: ContainerStore + Send>(
+    scheme: &mut dyn RestoreCache,
+    plan: &[RestoreEntry],
+    store: &mut S,
+    out: &mut dyn Write,
+    conc: &RestoreConcurrency,
+) -> Result<RestoreReport, RestoreError> {
+    conc.validate();
+    let threads = conc.effective_threads();
+    if threads <= 1 || plan.is_empty() {
+        return scheme.restore(plan, store, out);
+    }
+
+    // The plan's container transition sequence: the order containers are
+    // first needed in, with consecutive repeats collapsed.
+    let mut sequence: Vec<ContainerId> = Vec::new();
+    for entry in plan {
+        if sequence.last() != Some(&entry.container) {
+            sequence.push(entry.container);
+        }
+    }
+    let prefetchers = (threads - 1).min(sequence.len()).max(1);
+    let queue: BoundedQueue<PrefetchItem> = BoundedQueue::new(conc.queue_depth, prefetchers);
+    let cursor = AtomicUsize::new(0);
+    let prefetched = AtomicU64::new(0);
+    let shared = Mutex::new(store);
+
+    let (result, hits, misses) = std::thread::scope(|scope| {
+        for _ in 0..prefetchers {
+            scope.spawn(|| {
+                let _done = ProducerGuard(&queue);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= sequence.len() {
+                        break;
+                    }
+                    let id = sequence[i];
+                    let payload = lock(&shared).read(id).ok();
+                    if payload.is_some() {
+                        prefetched.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if queue.push((i, id, payload)).is_err() {
+                        break; // cancelled: assembly errored out or finished
+                    }
+                }
+            });
+        }
+        // Cancel on every exit from this block — scheme error, early return
+        // with a cache-satisfied plan, or a panic unwinding through the
+        // scheme — so blocked prefetchers always release before the join.
+        let _cancel = CancelGuard(&queue);
+        let mut view = PrefetchView {
+            queue: &queue,
+            store: &shared,
+            window: HashMap::new(),
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            readahead: conc.readahead_containers,
+            stream_done: false,
+            stats: IoStats::default(),
+            hits: 0,
+            misses: 0,
+        };
+        let result = scheme.restore(plan, &mut view, out);
+        (result, view.hits, view.misses)
+    });
+
+    let (blocked_full, blocked_empty) = queue.blocked_counts();
+    let prefetched = prefetched.load(Ordering::Relaxed);
+    result.map(|mut report| {
+        report.stage = RestoreStageCounters {
+            containers_prefetched: prefetched,
+            prefetch_hits: hits,
+            prefetch_misses: misses,
+            prefetch_wasted: prefetched.saturating_sub(hits),
+            blocked_full,
+            blocked_empty,
+            bytes_assembled: report.bytes_restored,
+        };
+        report
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{interleaved_fixture, sequential_fixture};
+    use crate::{Alacc, BeladyCache, ChunkLru, ContainerLru, Faa};
+    use hidestore_hash::Fingerprint;
+
+    /// Fresh scheme instances per call: Alacc's adaptive split is carried
+    /// state, so serial/staged comparisons must each start from new().
+    fn all_schemes() -> Vec<fn() -> Box<dyn RestoreCache>> {
+        vec![
+            || Box::new(ContainerLru::new(4)),
+            || Box::new(ChunkLru::new(1 << 20)),
+            || Box::new(Faa::new(1 << 14)),
+            || Box::new(Alacc::new(1 << 14, 1 << 14)),
+            || Box::new(BeladyCache::new(4)),
+        ]
+    }
+
+    /// Reports must match the serial ones in every field except `stage`.
+    fn assert_equivalent(serial: &RestoreReport, staged: &RestoreReport, tag: &str) {
+        let mut stripped = *staged;
+        stripped.stage = RestoreStageCounters::default();
+        assert_eq!(serial, &stripped, "{tag}");
+    }
+
+    #[test]
+    fn staged_matches_serial_for_every_scheme_and_thread_count() {
+        for threads in [2usize, 4, 9] {
+            for make in all_schemes() {
+                let mut serial_scheme = make();
+                let tag = format!("{}@{threads}", serial_scheme.name());
+                let (mut s1, plan, expect) = interleaved_fixture(8, 16, 512);
+                let serial = serial_scheme
+                    .restore(&plan, &mut s1, &mut Vec::new())
+                    .unwrap();
+
+                let mut staged_scheme = make();
+                let (mut s2, _, _) = interleaved_fixture(8, 16, 512);
+                let mut out = Vec::new();
+                let conc = RestoreConcurrency::threads(threads).with_queue_depth(2);
+                let staged =
+                    restore_staged(staged_scheme.as_mut(), &plan, &mut s2, &mut out, &conc)
+                        .unwrap();
+                assert_eq!(out, expect, "{tag}: bytes differ");
+                assert_equivalent(&serial, &staged, &tag);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_config_is_passthrough_with_zero_stage_counters() {
+        let (mut store, plan, expect) = sequential_fixture(4, 8, 256);
+        let mut out = Vec::new();
+        let report = restore_staged(
+            &mut Faa::new(1 << 14),
+            &plan,
+            &mut store,
+            &mut out,
+            &RestoreConcurrency::serial(),
+        )
+        .unwrap();
+        assert_eq!(out, expect);
+        assert_eq!(report.stage, RestoreStageCounters::default());
+    }
+
+    #[test]
+    fn staged_records_prefetch_activity() {
+        let (mut store, plan, _) = sequential_fixture(8, 8, 256);
+        let conc = RestoreConcurrency::threads(2).with_queue_depth(2);
+        let report = restore_staged(
+            &mut Faa::new(1 << 20),
+            &plan,
+            &mut store,
+            &mut Vec::new(),
+            &conc,
+        )
+        .unwrap();
+        assert!(report.stage.containers_prefetched > 0);
+        assert_eq!(
+            report.stage.prefetch_hits + report.stage.prefetch_misses,
+            report.container_reads
+        );
+        assert_eq!(report.stage.bytes_assembled, report.bytes_restored);
+        assert_eq!(
+            report.stage.prefetch_wasted,
+            report.stage.containers_prefetched - report.stage.prefetch_hits
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_trivial_at_any_thread_count() {
+        for threads in [1usize, 2, 8] {
+            let (mut store, _, _) = sequential_fixture(1, 1, 64);
+            let report = restore_staged(
+                &mut Faa::new(1 << 14),
+                &[],
+                &mut store,
+                &mut Vec::new(),
+                &RestoreConcurrency::threads(threads),
+            )
+            .unwrap();
+            assert_eq!(report, RestoreReport::default());
+        }
+    }
+
+    #[test]
+    fn missing_container_cancels_and_errors_at_every_thread_count() {
+        for threads in [2usize, 8] {
+            let (mut store, _, _) = sequential_fixture(2, 4, 128);
+            let plan = vec![RestoreEntry::new(
+                Fingerprint::synthetic(1),
+                64,
+                ContainerId::new(99),
+            )];
+            for make in all_schemes() {
+                let mut scheme = make();
+                let err = restore_staged(
+                    scheme.as_mut(),
+                    &plan,
+                    &mut store,
+                    &mut Vec::new(),
+                    &RestoreConcurrency::threads(threads),
+                )
+                .unwrap_err();
+                assert!(
+                    matches!(err, RestoreError::Storage(_)),
+                    "{}@{threads}: {err}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_chunk_surfaces_through_the_staged_path() {
+        let (mut store, mut plan, _) = sequential_fixture(2, 4, 128);
+        plan[0].fingerprint = Fingerprint::synthetic(u64::MAX);
+        let err = restore_staged(
+            &mut Faa::new(1 << 14),
+            &plan,
+            &mut store,
+            &mut Vec::new(),
+            &RestoreConcurrency::threads(4),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RestoreError::MissingChunk { .. }), "{err}");
+    }
+
+    #[test]
+    fn tiny_queue_and_readahead_still_equivalent() {
+        let (mut s1, plan, expect) = interleaved_fixture(6, 12, 256);
+        let mut scheme = ContainerLru::new(2);
+        let serial = scheme.restore(&plan, &mut s1, &mut Vec::new()).unwrap();
+        let (mut s2, _, _) = interleaved_fixture(6, 12, 256);
+        let mut out = Vec::new();
+        let conc = RestoreConcurrency::threads(3)
+            .with_queue_depth(1)
+            .with_readahead(1);
+        let staged = restore_staged(&mut scheme, &plan, &mut s2, &mut out, &conc).unwrap();
+        assert_eq!(out, expect);
+        assert_equivalent(&serial, &staged, "container-lru@3 depth1 ra1");
+    }
+
+    #[test]
+    fn effective_threads_resolve() {
+        assert_eq!(RestoreConcurrency::serial().effective_threads(), 1);
+        assert_eq!(RestoreConcurrency::threads(8).effective_threads(), 8);
+        assert_eq!(
+            RestoreConcurrency::threads(0).effective_threads(),
+            hidestore_hash::default_hash_threads()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_queue_depth_rejected() {
+        RestoreConcurrency::serial().with_queue_depth(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "readahead")]
+    fn zero_readahead_rejected() {
+        RestoreConcurrency::serial().with_readahead(0).validate();
+    }
+}

@@ -102,9 +102,14 @@ impl RestoreCache for Faa {
             out.write_all(&buffer)?;
             bytes += total as u64;
         }
+        let reads = store.stats().container_reads - reads_before;
         Ok(RestoreReport {
             bytes_restored: bytes,
-            container_reads: store.stats().container_reads - reads_before,
+            container_reads: reads,
+            // FAA keeps no cache across areas: every counted read is a miss.
+            cache_hits: 0,
+            cache_misses: reads,
+            ..RestoreReport::default()
         })
     }
 

@@ -46,6 +46,7 @@ mod alacc;
 mod belady;
 mod chunk_lru;
 mod container_lru;
+mod engine;
 mod faa;
 mod verify;
 
@@ -53,6 +54,7 @@ pub use alacc::Alacc;
 pub use belady::BeladyCache;
 pub use chunk_lru::ChunkLru;
 pub use container_lru::ContainerLru;
+pub use engine::{restore_staged, RestoreConcurrency};
 pub use faa::Faa;
 pub use verify::VerifyingRestore;
 
@@ -87,12 +89,23 @@ impl RestoreEntry {
 }
 
 /// Outcome of a restore run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RestoreReport {
     /// Logical bytes written to the output stream.
     pub bytes_restored: u64,
     /// Whole-container reads issued to the store.
     pub container_reads: u64,
+    /// Chunk requests the scheme served from its own cached state without
+    /// touching the store (scheme-defined: cached containers for
+    /// [`ContainerLru`]/[`BeladyCache`], cached chunks for
+    /// [`ChunkLru`]/[`Alacc`]; always zero for the cache-less [`Faa`]).
+    pub cache_hits: u64,
+    /// Cache misses — each one cost a container read, so this always equals
+    /// [`RestoreReport::container_reads`] for the built-in schemes.
+    pub cache_misses: u64,
+    /// Per-stage counters of the staged concurrent engine; all zero for a
+    /// serial (`threads <= 1`) restore.
+    pub stage: RestoreStageCounters,
 }
 
 impl RestoreReport {
@@ -104,6 +117,28 @@ impl RestoreReport {
         }
         (self.bytes_restored as f64 / (1024.0 * 1024.0)) / self.container_reads as f64
     }
+}
+
+/// Per-stage counters of the staged concurrent restore engine (see
+/// [`restore_staged`]). Scheduling-dependent (`blocked_*` vary run to run);
+/// everything the correctness tests compare lives outside this struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreStageCounters {
+    /// Containers the prefetcher stage read ahead of the assembly stage.
+    pub containers_prefetched: u64,
+    /// Scheme container requests served from prefetched data.
+    pub prefetch_hits: u64,
+    /// Scheme container requests that fell back to a direct store read
+    /// (container not prefetched in time, or outside the readahead window).
+    pub prefetch_misses: u64,
+    /// Containers prefetched but never consumed by the assembly stage.
+    pub prefetch_wasted: u64,
+    /// Times a prefetcher sat blocked on a full queue (backpressure).
+    pub blocked_full: u64,
+    /// Times the assembly stage sat blocked on an empty queue.
+    pub blocked_empty: u64,
+    /// Bytes assembled into the output stream by the staged engine.
+    pub bytes_assembled: u64,
 }
 
 /// Errors during restore.
@@ -289,11 +324,13 @@ mod tests {
         let r = RestoreReport {
             bytes_restored: 8 * 1024 * 1024,
             container_reads: 4,
+            ..RestoreReport::default()
         };
         assert!((r.speed_factor() - 2.0).abs() < 1e-9);
         let zero = RestoreReport {
             bytes_restored: 10,
             container_reads: 0,
+            ..RestoreReport::default()
         };
         assert!(zero.speed_factor().is_infinite());
     }

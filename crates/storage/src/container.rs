@@ -178,12 +178,19 @@ impl Container {
         self.live_bytes() as f64 / self.capacity as f64
     }
 
-    /// Iterates over live chunks as `(fingerprint, content)` pairs, in
-    /// unspecified order.
+    /// Iterates over live chunks as `(fingerprint, content)` pairs, in data
+    /// (= insertion) order.
+    ///
+    /// Deterministic order matters: restore caches (ChunkLru, ALACC) insert
+    /// a read container's chunks in this order, so their eviction behaviour
+    /// — and therefore container-read counts — must not vary run to run.
     pub fn iter(&self) -> impl Iterator<Item = (Fingerprint, &[u8])> + '_ {
-        self.entries
-            .iter()
-            .map(move |(fp, &(off, len))| (*fp, &self.data[off as usize..(off + len) as usize]))
+        let mut order: Vec<(Fingerprint, (u32, u32))> =
+            self.entries.iter().map(|(fp, &sl)| (*fp, sl)).collect();
+        order.sort_unstable_by_key(|&(_, (off, _))| off);
+        order
+            .into_iter()
+            .map(move |(fp, (off, len))| (fp, &self.data[off as usize..(off + len) as usize]))
     }
 
     /// Live fingerprints, in unspecified order.

@@ -1,11 +1,17 @@
-//! A small bounded MPMC queue for the staged pipeline.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Shared concurrency primitives for the staged pipelines.
 //!
-//! `std::sync::mpsc::sync_channel` is bounded but cannot report how often a
-//! stage sat blocked on a full or empty queue — exactly the observability the
-//! staged pipeline needs to show *where* the backup path is bottlenecked. This
-//! queue counts both, supports multiple producers with explicit completion
-//! (`producer_done`), and can be cancelled so an error in the commit stage
-//! unblocks every upstream thread instead of deadlocking the scope join.
+//! Both the staged backup pipeline (`hidestore-dedup`) and the staged restore
+//! engine (`hidestore-restore`) move work between threads through the same
+//! bounded channel. `std::sync::mpsc::sync_channel` is bounded but cannot
+//! report how often a stage sat blocked on a full or empty queue — exactly
+//! the observability the staged pipelines need to show *where* a path is
+//! bottlenecked. [`BoundedQueue`] counts both, supports multiple producers
+//! with explicit completion ([`BoundedQueue::producer_done`]), and can be
+//! cancelled so an error in a downstream stage unblocks every upstream
+//! thread instead of deadlocking the scope join.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
@@ -20,7 +26,7 @@ struct State<T> {
 }
 
 /// Bounded multi-producer multi-consumer queue with backpressure counters.
-pub(crate) struct BoundedQueue<T> {
+pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
     not_full: Condvar,
     not_empty: Condvar,
@@ -29,6 +35,10 @@ pub(crate) struct BoundedQueue<T> {
 impl<T> BoundedQueue<T> {
     /// Creates a queue holding at most `capacity` items, fed by `producers`
     /// threads (each must call [`BoundedQueue::producer_done`] exactly once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
     pub fn new(capacity: usize, producers: usize) -> Self {
         assert!(capacity >= 1, "queue capacity must be at least 1");
         BoundedQueue {
@@ -53,6 +63,10 @@ impl<T> BoundedQueue<T> {
 
     /// Blocks until there is room, then enqueues `item`. Returns the item
     /// back if the queue was cancelled while waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` if the queue was cancelled.
     pub fn push(&self, item: T) -> Result<(), T> {
         let mut s = self.lock();
         while s.items.len() >= s.capacity && !s.cancelled {
@@ -102,7 +116,7 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Cancels the queue: blocked pushes fail, blocked pops return `None`,
-    /// and no further traffic flows. Used on the commit stage's error path.
+    /// and no further traffic flows. Used on a consumer stage's error path.
     pub fn cancel(&self) {
         let mut s = self.lock();
         s.cancelled = true;
@@ -121,11 +135,29 @@ impl<T> BoundedQueue<T> {
 /// Calls [`BoundedQueue::producer_done`] on drop, so a producer thread that
 /// panics (or returns early after cancellation) still releases its consumers
 /// instead of deadlocking the pipeline's scope join.
-pub(crate) struct ProducerGuard<'a, T>(pub &'a BoundedQueue<T>);
+pub struct ProducerGuard<'a, T>(
+    /// The queue this producer feeds.
+    pub &'a BoundedQueue<T>,
+);
 
 impl<T> Drop for ProducerGuard<'_, T> {
     fn drop(&mut self) {
         self.0.producer_done();
+    }
+}
+
+/// Calls [`BoundedQueue::cancel`] on drop. A consumer stage holds one so an
+/// early return — or a panic unwinding through the consumer — cancels the
+/// queue and unblocks producers waiting on a full queue before the
+/// surrounding `thread::scope` joins them.
+pub struct CancelGuard<'a, T>(
+    /// The queue to cancel when the consumer stops consuming.
+    pub &'a BoundedQueue<T>,
+);
+
+impl<T> Drop for CancelGuard<'_, T> {
+    fn drop(&mut self) {
+        self.0.cancel();
     }
 }
 
@@ -209,5 +241,24 @@ mod tests {
         }
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None, "guard drop counted the producer done");
+    }
+
+    #[test]
+    fn cancel_guard_unblocks_producer_on_drop() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1, 1);
+        q.push(1).unwrap();
+        std::thread::scope(|scope| {
+            let q = &q;
+            let h = scope.spawn(move || {
+                let _done = ProducerGuard(q);
+                q.push(2)
+            });
+            {
+                let _cancel = CancelGuard(q);
+                std::thread::sleep(Duration::from_millis(20));
+                // Consumer "errors out" here without draining the queue.
+            }
+            assert_eq!(h.join().ok(), Some(Err(2)), "blocked push must fail");
+        });
     }
 }

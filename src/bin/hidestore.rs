@@ -3,7 +3,8 @@
 //! ```text
 //! hidestore init    <repo>                      create an empty repository
 //! hidestore backup  <repo> <file>               back up a file as the next version
-//! hidestore restore <repo> <version> <outfile>  restore a version to a file
+//! hidestore restore <repo> <version> <outfile> [--threads <n>]
+//!                                               restore a version to a file
 //! hidestore list    <repo>                      list retained versions
 //! hidestore prune   <repo> <keep-last-N>        expire all but the newest N versions
 //! hidestore verify  <repo>                      integrity scrub
@@ -26,7 +27,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  hidestore init    <repo> [--chunk <bytes>] [--container <bytes>] [--depth <1|2>] [--threads <n>]\n  \
          hidestore backup  <repo> <file>\n  \
-         hidestore restore <repo> <version> <outfile>\n  \
+         hidestore restore <repo> <version> <outfile> [--threads <n>]\n  \
          hidestore list    <repo>\n  \
          hidestore prune   <repo> <keep-last-N>\n  \
          hidestore verify  <repo>\n  \
@@ -43,7 +44,9 @@ fn main() -> ExitCode {
         [cmd, rest @ ..] => match (cmd.as_str(), rest) {
             ("init", [repo, opts @ ..]) => cmd_init(repo, opts),
             ("backup", [repo, file]) => cmd_backup(repo, file),
-            ("restore", [repo, version, outfile]) => cmd_restore(repo, version, outfile),
+            ("restore", [repo, version, outfile, opts @ ..]) => {
+                cmd_restore(repo, version, outfile, opts)
+            }
             ("list", [repo]) => cmd_list(repo),
             ("prune", [repo, keep]) => cmd_prune(repo, keep),
             ("verify", [repo]) => cmd_verify(repo),
@@ -80,6 +83,9 @@ fn load_config(repo: &str) -> Result<HiDeStoreConfig, Box<dyn std::error::Error>
             "container" => config.container_capacity = value.trim().parse()?,
             "depth" => config.history_depth = value.trim().parse()?,
             "threads" => config.threads = value.trim().parse()?,
+            "restore_threads" => config.restore.threads = value.trim().parse()?,
+            "restore_queue" => config.restore.queue_depth = value.trim().parse()?,
+            "restore_readahead" => config.restore.readahead_containers = value.trim().parse()?,
             _ => {}
         }
     }
@@ -87,6 +93,7 @@ fn load_config(repo: &str) -> Result<HiDeStoreConfig, Box<dyn std::error::Error>
     // benchmarks can sweep thread counts without rewriting the config file.
     if let Ok(threads) = std::env::var("HDS_THREADS") {
         config.threads = threads.trim().parse()?;
+        config.restore.threads = config.threads;
     }
     Ok(config)
 }
@@ -105,7 +112,10 @@ fn cmd_init(repo: &str, opts: &[String]) -> CliResult {
             "--chunk" => config.avg_chunk_size = value.parse()?,
             "--container" => config.container_capacity = value.parse()?,
             "--depth" => config.history_depth = value.parse()?,
-            "--threads" => config.threads = value.parse()?,
+            "--threads" => {
+                config.threads = value.parse()?;
+                config.restore.threads = config.threads;
+            }
             other => return Err(format!("unknown option {other}").into()),
         }
     }
@@ -118,8 +128,14 @@ fn cmd_init(repo: &str, opts: &[String]) -> CliResult {
     fs::write(
         dir.join(CONFIG_FILE),
         format!(
-            "chunk={}\ncontainer={}\ndepth={}\nthreads={}\n",
-            config.avg_chunk_size, config.container_capacity, config.history_depth, config.threads
+            "chunk={}\ncontainer={}\ndepth={}\nthreads={}\nrestore_threads={}\nrestore_queue={}\nrestore_readahead={}\n",
+            config.avg_chunk_size,
+            config.container_capacity,
+            config.history_depth,
+            config.threads,
+            config.restore.threads,
+            config.restore.queue_depth,
+            config.restore.readahead_containers,
         ),
     )?;
     // Materialize the directory layout.
@@ -151,18 +167,44 @@ fn cmd_backup(repo: &str, file: &str) -> CliResult {
     Ok(())
 }
 
-fn cmd_restore(repo: &str, version: &str, outfile: &str) -> CliResult {
+fn cmd_restore(repo: &str, version: &str, outfile: &str, opts: &[String]) -> CliResult {
     let v: u32 = version.trim_start_matches(['v', 'V']).parse()?;
     let mut system = open(repo)?;
-    let mut out = Vec::new();
-    let report = system.restore(VersionId::new(v), &mut Faa::new(32 << 20), &mut out)?;
-    fs::write(outfile, &out)?;
+    // Flag > HDS_THREADS > repository config (the latter two are already
+    // folded into the opened system's config by load_config).
+    let mut conc = system.config().restore;
+    let mut it = opts.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--threads" => conc.threads = value.parse()?,
+            other => return Err(format!("unknown option {other}").into()),
+        }
+    }
+    conc.validate();
+    // Output is staged in `<outfile>.tmp` and renamed on success, so a
+    // failed restore never leaves a partial file behind.
+    let report = system.restore_to_path(
+        VersionId::new(v),
+        &mut Faa::new(32 << 20),
+        Path::new(outfile),
+        &conc,
+    )?;
     println!(
         "restored V{v} to {outfile}: {} bytes, {} container reads (speed factor {:.2} MB/read)",
         report.bytes_restored,
         report.container_reads,
         report.speed_factor(),
     );
+    if conc.effective_threads() > 1 {
+        println!(
+            "  staged engine: {} prefetched, {} hits, {} misses, {} wasted",
+            report.stage.containers_prefetched,
+            report.stage.prefetch_hits,
+            report.stage.prefetch_misses,
+            report.stage.prefetch_wasted,
+        );
+    }
     Ok(())
 }
 

@@ -268,3 +268,119 @@ fn deletion_without_gc_vs_mark_sweep() {
         assert_eq!(out, versions[(v - 1) as usize]);
     }
 }
+
+/// §5.3 at equal cache budget: after a fragmented multi-version history,
+/// restoring the newest version from HiDeStore's physically-local layout
+/// reads strictly fewer containers than from the DDFS baseline's
+/// fragmented one — with the *same* restore scheme and cache size on both.
+#[test]
+fn hidestore_reads_fewer_containers_than_ddfs_at_equal_cache() {
+    use hidestore::restore::ContainerLru;
+
+    let versions = kernel_versions(12);
+    let newest = VersionId::new(versions.len() as u32);
+
+    let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+    for v in &versions {
+        hds.backup(v).unwrap();
+    }
+    hds.flatten_recipes();
+
+    let mut ddfs = BackupPipeline::new(
+        pipeline_config(),
+        DdfsIndex::new(),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        ddfs.backup(v).unwrap();
+    }
+
+    for capacity in [2usize, 8] {
+        let hds_reads = hds
+            .restore(
+                newest,
+                &mut ContainerLru::new(capacity),
+                &mut std::io::sink(),
+            )
+            .unwrap()
+            .container_reads;
+        let ddfs_reads = ddfs
+            .restore(
+                newest,
+                &mut ContainerLru::new(capacity),
+                &mut std::io::sink(),
+            )
+            .unwrap()
+            .container_reads;
+        assert!(
+            hds_reads < ddfs_reads,
+            "cache {capacity}: HiDeStore {hds_reads} reads must be strictly \
+             fewer than DDFS {ddfs_reads}"
+        );
+    }
+}
+
+/// Growing the cache can only help: FAA's container reads are monotone
+/// non-increasing in the assembly-area size, and ALACC's in its chunk-cache
+/// budget, over the baseline's fragmented newest version.
+#[test]
+fn faa_and_alacc_reads_monotone_nonincreasing_with_capacity() {
+    use hidestore::restore::Alacc;
+
+    let versions = kernel_versions(10);
+    let newest = VersionId::new(versions.len() as u32);
+    let mut ddfs = BackupPipeline::new(
+        pipeline_config(),
+        DdfsIndex::new(),
+        NoRewrite::new(),
+        MemoryContainerStore::new(),
+    );
+    for v in &versions {
+        ddfs.backup(v).unwrap();
+    }
+
+    let mut faa_reads = Vec::new();
+    for factor in [1usize, 2, 4, 8, 16] {
+        let reads = ddfs
+            .restore(
+                newest,
+                &mut Faa::new(factor * CONTAINER),
+                &mut std::io::sink(),
+            )
+            .unwrap()
+            .container_reads;
+        faa_reads.push((factor, reads));
+    }
+    for pair in faa_reads.windows(2) {
+        assert!(
+            pair[1].1 <= pair[0].1,
+            "FAA reads must not grow with the area: {faa_reads:?}"
+        );
+    }
+    assert!(
+        faa_reads.last().unwrap().1 < faa_reads[0].1,
+        "the sweep must show an actual improvement: {faa_reads:?}"
+    );
+
+    let mut alacc_reads = Vec::new();
+    for factor in [1usize, 2, 4, 8, 16] {
+        // Fixed split: the area stays put, only the chunk cache grows.
+        let mut alacc = Alacc::new(CONTAINER, factor * CONTAINER).with_fixed_split();
+        let reads = ddfs
+            .restore(newest, &mut alacc, &mut std::io::sink())
+            .unwrap()
+            .container_reads;
+        alacc_reads.push((factor, reads));
+    }
+    for pair in alacc_reads.windows(2) {
+        assert!(
+            pair[1].1 <= pair[0].1,
+            "ALACC reads must not grow with the cache: {alacc_reads:?}"
+        );
+    }
+    assert!(
+        alacc_reads.last().unwrap().1 < alacc_reads[0].1,
+        "the sweep must show an actual improvement: {alacc_reads:?}"
+    );
+}

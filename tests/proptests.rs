@@ -504,3 +504,106 @@ fn random_operation_sequences_audit_clean() {
         assert_eq!(out, current);
     });
 }
+
+/// Random backup / delete / save / restore sequences over an on-disk
+/// repository: every surviving version restores byte-exact through a
+/// randomly drawn restore scheme, engine thread count, and queue depth, and
+/// the repository audits clean after every save.
+#[test]
+fn random_lifecycles_restore_exactly_under_random_concurrency() {
+    use hidestore::restore::{
+        Alacc, BeladyCache, ChunkLru, ContainerLru, RestoreCache, RestoreConcurrency,
+    };
+
+    fn random_scheme(rng: &mut StdRng) -> Box<dyn RestoreCache> {
+        match rng.gen_range(0usize..5) {
+            0 => Box::new(ContainerLru::new(rng.gen_range(1usize..8))),
+            1 => Box::new(ChunkLru::new(rng.gen_range(600usize..32_000))),
+            2 => Box::new(Faa::new(rng.gen_range(600usize..32_000))),
+            3 => {
+                let half = rng.gen_range(600usize..16_000);
+                Box::new(Alacc::new(half, half))
+            }
+            _ => Box::new(BeladyCache::new(rng.gen_range(1usize..8))),
+        }
+    }
+
+    fn random_conc(rng: &mut StdRng) -> RestoreConcurrency {
+        RestoreConcurrency::threads(rng.gen_range(1usize..9))
+            .with_queue_depth(rng.gen_range(1usize..5))
+            .with_readahead(rng.gen_range(1usize..9))
+    }
+
+    cases(6, 0x0F, |rng| {
+        let dir = std::env::temp_dir().join(format!(
+            "hds-proptest-lifecycle-{}-{}",
+            std::process::id(),
+            rng.gen_range(0u64..u64::MAX)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let seed_len = rng.gen_range(2_000usize..20_000);
+            let mut current = version_history(seed_len, &[]).remove(0);
+            let mut hds = HiDeStore::open_repository(hds_config(), &dir).unwrap();
+            hds.backup(&current).unwrap();
+            // Surviving version -> original bytes.
+            let mut originals = std::collections::BTreeMap::new();
+            originals.insert(1u32, current.clone());
+            let mut newest = 1u32;
+            for _ in 0..rng.gen_range(4usize..9) {
+                match rng.gen_range(0usize..4) {
+                    // Backup a mutated next version (weighted).
+                    0 | 1 => {
+                        current = apply(current, &random_edit(rng));
+                        hds.backup(&current).unwrap();
+                        newest += 1;
+                        originals.insert(newest, current.clone());
+                    }
+                    // Save, audit, reopen.
+                    2 => {
+                        hds.save_repository(&dir).unwrap();
+                        let report = SystemAuditor::new().audit(&mut hds);
+                        assert!(
+                            report.is_clean(),
+                            "audit after save (newest V{newest}):\n{:#?}",
+                            report.findings
+                        );
+                        hds = HiDeStore::open_repository(hds_config(), &dir).unwrap();
+                    }
+                    // Expire a random prefix, when one exists.
+                    _ => {
+                        let oldest = *originals.keys().next().unwrap();
+                        if oldest < newest {
+                            let up_to = rng.gen_range(oldest..newest);
+                            hds.delete_expired(VersionId::new(up_to)).unwrap();
+                            originals.retain(|&v, _| v > up_to);
+                        }
+                    }
+                }
+                // One random surviving version restores exactly, through a
+                // random scheme at random engine concurrency.
+                let pick = rng.gen_range(0usize..originals.len());
+                let (&v, expect) = originals.iter().nth(pick).unwrap();
+                let mut scheme = random_scheme(rng);
+                let conc = random_conc(rng);
+                let mut out = Vec::new();
+                hds.restore_with(VersionId::new(v), scheme.as_mut(), &mut out, &conc)
+                    .unwrap();
+                assert_eq!(&out, expect, "V{v} under {conc:?}");
+            }
+            // Epilogue: every survivor restores exactly one more time.
+            for (&v, expect) in &originals {
+                let mut scheme = random_scheme(rng);
+                let conc = random_conc(rng);
+                let mut out = Vec::new();
+                hds.restore_with(VersionId::new(v), scheme.as_mut(), &mut out, &conc)
+                    .unwrap();
+                assert_eq!(&out, expect, "final V{v} under {conc:?}");
+            }
+        }));
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Err(panic) = result {
+            std::panic::resume_unwind(panic);
+        }
+    });
+}

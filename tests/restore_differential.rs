@@ -1,0 +1,337 @@
+//! Differential serial-equivalence suite for the staged concurrent restore
+//! engine.
+//!
+//! The engine's contract is that concurrency is *invisible* to everything
+//! but wall-clock time: for every restore scheme, cache capacity, and thread
+//! count, the staged path must restore byte-identical data with identical
+//! `container_reads` and cache hit/miss accounting to the serial path. The
+//! suite checks that over a fresh (2-version) repository and over a heavily
+//! fragmented one (20 mutated versions, recipes flattened), restoring both
+//! the most-relocated oldest version and the newest.
+//!
+//! `HDS_THREADS=<n>` narrows the sweep to one concurrent thread count so CI
+//! can run the suite once per setting in release mode.
+
+use std::path::{Path, PathBuf};
+
+use hidestore::core::{HiDeStore, HiDeStoreConfig, HiDeStoreError, QuarantinedArtifact};
+use hidestore::restore::{
+    Alacc, BeladyCache, ChunkLru, ContainerLru, Faa, RestoreCache, RestoreConcurrency,
+    RestoreReport,
+};
+use hidestore::storage::{ContainerStore, FileContainerStore, MemoryContainerStore, VersionId};
+use hidestore::workloads::{Profile, VersionStream};
+
+const CHUNK: usize = 1024;
+const CONTAINER: usize = 32 * 1024;
+
+fn hds_config() -> HiDeStoreConfig {
+    HiDeStoreConfig {
+        avg_chunk_size: CHUNK,
+        container_capacity: CONTAINER,
+        ..HiDeStoreConfig::default()
+    }
+}
+
+/// Concurrent thread counts under test: {1, 2, 8} by default, or exactly
+/// the value of `HDS_THREADS` when set (how ci.sh sweeps the settings).
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("HDS_THREADS") {
+        Ok(v) => vec![v.trim().parse().expect("HDS_THREADS must be a number")],
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// Capacity sweep: every scheme at a degenerate single-slot cache, a
+/// two-slot cache, and a cache big enough to hold the working set.
+/// (`slots` parameterizes container-granular schemes, `bytes` the
+/// chunk/area-granular ones.)
+const CAPACITIES: [(&str, usize, usize); 3] = [
+    ("cap1", 1, CHUNK + 1),
+    ("cap2", 2, 2 * CHUNK),
+    ("large", 64, 1 << 20),
+];
+
+fn make_scheme(kind: &str, slots: usize, bytes: usize) -> Box<dyn RestoreCache> {
+    match kind {
+        "container-lru" => Box::new(ContainerLru::new(slots)),
+        "chunk-lru" => Box::new(ChunkLru::new(bytes)),
+        "faa" => Box::new(Faa::new(bytes)),
+        "alacc" => Box::new(Alacc::new(bytes.div_ceil(2), bytes.div_ceil(2))),
+        "belady" => Box::new(BeladyCache::new(slots)),
+        other => unreachable!("unknown scheme {other}"),
+    }
+}
+
+const SCHEMES: [&str; 5] = ["container-lru", "chunk-lru", "faa", "alacc", "belady"];
+
+fn strip_stage(report: &RestoreReport) -> RestoreReport {
+    RestoreReport {
+        stage: Default::default(),
+        ..*report
+    }
+}
+
+/// Builds the repo, then asserts every scheme × capacity × thread count
+/// restores `versions_to_check` byte-identically to the serial run with
+/// identical read and hit/miss accounting.
+fn assert_repo_thread_invariant(
+    repo_tag: &str,
+    hds: &mut HiDeStore<MemoryContainerStore>,
+    originals: &[Vec<u8>],
+    versions_to_check: &[u32],
+) {
+    for &v in versions_to_check {
+        let expect = &originals[(v - 1) as usize];
+        for scheme in SCHEMES {
+            for (cap_tag, slots, bytes) in CAPACITIES {
+                let mut serial_scheme = make_scheme(scheme, slots, bytes);
+                let mut serial_out = Vec::new();
+                let serial = hds
+                    .restore_with(
+                        VersionId::new(v),
+                        serial_scheme.as_mut(),
+                        &mut serial_out,
+                        &RestoreConcurrency::serial(),
+                    )
+                    .expect("serial restore of retained version");
+                assert_eq!(
+                    &serial_out, expect,
+                    "{repo_tag}/{scheme}/{cap_tag}: serial V{v} bytes differ from original"
+                );
+                for threads in thread_counts() {
+                    let tag = format!("{repo_tag}/{scheme}/{cap_tag}@{threads} V{v}");
+                    let mut staged_scheme = make_scheme(scheme, slots, bytes);
+                    let mut out = Vec::new();
+                    let conc = RestoreConcurrency::threads(threads).with_queue_depth(2);
+                    let staged = hds
+                        .restore_with(VersionId::new(v), staged_scheme.as_mut(), &mut out, &conc)
+                        .unwrap_or_else(|e| panic!("{tag}: staged restore failed: {e}"));
+                    assert_eq!(out, serial_out, "{tag}: bytes differ");
+                    assert_eq!(
+                        strip_stage(&serial),
+                        strip_stage(&staged),
+                        "{tag}: reads / hit-miss accounting differs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Fresh repository: two lightly-mutated versions, nothing flattened.
+#[test]
+fn fresh_repository_is_thread_count_invariant() {
+    let originals = VersionStream::new(Profile::Kernel.spec().scaled(200_000, 2), 7).all_versions();
+    let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+    for v in &originals {
+        hds.backup(v).unwrap();
+    }
+    let newest = originals.len() as u32;
+    assert_repo_thread_invariant("fresh", &mut hds, &originals, &[1, newest]);
+}
+
+/// Heavily fragmented repository: 20 mutated versions, recipes flattened —
+/// old versions read through many relocated archival containers.
+#[test]
+fn fragmented_repository_is_thread_count_invariant() {
+    let originals =
+        VersionStream::new(Profile::Macos.spec().scaled(150_000, 20), 29).all_versions();
+    let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+    for v in &originals {
+        hds.backup(v).unwrap();
+    }
+    hds.flatten_recipes();
+    let newest = originals.len() as u32;
+    assert_repo_thread_invariant("fragmented", &mut hds, &originals, &[1, newest / 2, newest]);
+}
+
+// ---------------------------------------------------------------------------
+// Edge-case regressions.
+// ---------------------------------------------------------------------------
+
+/// A zero-byte backup has an empty restore plan; it must restore to zero
+/// bytes at every thread count, not hang an idle prefetcher.
+#[test]
+fn empty_version_restores_at_every_thread_count() {
+    let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+    hds.backup(&[]).unwrap();
+    for threads in thread_counts() {
+        for scheme in SCHEMES {
+            let mut cache = make_scheme(scheme, 1, CHUNK + 1);
+            let mut out = Vec::new();
+            let report = hds
+                .restore_with(
+                    VersionId::new(1),
+                    cache.as_mut(),
+                    &mut out,
+                    &RestoreConcurrency::threads(threads),
+                )
+                .unwrap_or_else(|e| panic!("{scheme}@{threads}: {e}"));
+            assert!(out.is_empty(), "{scheme}@{threads}");
+            assert_eq!(report.bytes_restored, 0, "{scheme}@{threads}");
+            assert_eq!(report.container_reads, 0, "{scheme}@{threads}");
+        }
+    }
+}
+
+/// A version of a single chunk exercises the one-entry plan / one-container
+/// transition sequence path.
+#[test]
+fn single_chunk_version_restores_at_every_thread_count() {
+    let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+    let data = vec![0xA5u8; 64]; // far below the minimum chunk size
+    hds.backup(&data).unwrap();
+    for threads in thread_counts() {
+        for scheme in SCHEMES {
+            let mut cache = make_scheme(scheme, 1, CHUNK + 1);
+            let mut out = Vec::new();
+            let report = hds
+                .restore_with(
+                    VersionId::new(1),
+                    cache.as_mut(),
+                    &mut out,
+                    &RestoreConcurrency::threads(threads),
+                )
+                .unwrap_or_else(|e| panic!("{scheme}@{threads}: {e}"));
+            assert_eq!(out, data, "{scheme}@{threads}");
+            assert_eq!(report.container_reads, 1, "{scheme}@{threads}");
+        }
+    }
+}
+
+/// Degenerate single-slot caches at high thread counts: the prefetch window
+/// runs far ahead of a cache that evicts on every transition; accounting
+/// must still match serial exactly (covered broadly by the matrix, pinned
+/// here against regression with a deliberately thrashing plan).
+#[test]
+fn capacity_one_caches_thrash_identically_across_threads() {
+    let originals =
+        VersionStream::new(Profile::Kernel.spec().scaled(120_000, 6), 13).all_versions();
+    let mut hds = HiDeStore::new(hds_config(), MemoryContainerStore::new());
+    for v in &originals {
+        hds.backup(v).unwrap();
+    }
+    hds.flatten_recipes();
+    for scheme in ["container-lru", "chunk-lru"] {
+        let mut serial_scheme = make_scheme(scheme, 1, CHUNK + 1);
+        let mut serial_out = Vec::new();
+        let serial = hds
+            .restore_with(
+                VersionId::new(1),
+                serial_scheme.as_mut(),
+                &mut serial_out,
+                &RestoreConcurrency::serial(),
+            )
+            .unwrap();
+        // A capacity-1 cache over a fragmented old version really thrashes.
+        assert!(
+            serial.container_reads > hds.archival().ids().len() as u64 / 2,
+            "{scheme}: expected a thrashing plan, got {} reads",
+            serial.container_reads
+        );
+        for threads in thread_counts() {
+            let mut staged_scheme = make_scheme(scheme, 1, CHUNK + 1);
+            let mut out = Vec::new();
+            let staged = hds
+                .restore_with(
+                    VersionId::new(1),
+                    staged_scheme.as_mut(),
+                    &mut out,
+                    &RestoreConcurrency::threads(threads).with_queue_depth(2),
+                )
+                .unwrap();
+            assert_eq!(out, serial_out, "{scheme}@{threads}");
+            assert_eq!(
+                strip_stage(&serial),
+                strip_stage(&staged),
+                "{scheme}@{threads}"
+            );
+        }
+    }
+}
+
+/// A unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "hds-restore-differential-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn build_churned_repo(dir: &Path) {
+    let mut hds = HiDeStore::open_repository(hds_config(), dir).expect("open repository");
+    let versions = VersionStream::new(Profile::Kernel.spec().scaled(120_000, 5), 31).all_versions();
+    for v in &versions {
+        hds.backup(v).expect("backup");
+    }
+    hds.save_repository(dir).expect("save repository");
+}
+
+/// A plan referencing a quarantined archival container must surface the
+/// typed `PartialRestore` — raised before the engine spawns any prefetcher,
+/// so it cannot hang regardless of the configured thread count.
+#[test]
+fn quarantined_dependency_fails_typed_not_hung_with_staged_engine() {
+    let scratch = Scratch::new("quarantine");
+    build_churned_repo(&scratch.0);
+
+    // Truncate one archival container on disk; the degraded reopen moves it
+    // to quarantine/.
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scratch.0.join("archival"))
+        .expect("archival dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ctr"))
+        .collect();
+    files.sort();
+    let victim = files.into_iter().next().expect("an archival container");
+    let bytes = std::fs::read(&victim).expect("read container");
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate container");
+
+    let mut hds: HiDeStore<FileContainerStore> =
+        HiDeStore::open_repository(hds_config(), &scratch.0).expect("degraded reopen");
+    assert_eq!(hds.quarantine().len(), 1, "{:?}", hds.quarantine());
+
+    let mut partial = 0;
+    for v in hds.versions() {
+        for threads in thread_counts() {
+            let mut out = Vec::new();
+            match hds.restore_with(
+                v,
+                &mut Faa::new(1 << 18),
+                &mut out,
+                &RestoreConcurrency::threads(threads).with_queue_depth(2),
+            ) {
+                Ok(_) => {}
+                Err(HiDeStoreError::PartialRestore {
+                    version,
+                    quarantined,
+                }) => {
+                    assert_eq!(version, v);
+                    assert!(
+                        quarantined
+                            .iter()
+                            .any(|a| matches!(a, QuarantinedArtifact::ArchivalContainer(_))),
+                        "the lost container must be named: {quarantined:?}"
+                    );
+                    partial += 1;
+                }
+                Err(other) => panic!("V{v}@{threads}: expected PartialRestore, got: {other}"),
+            }
+        }
+    }
+    assert!(partial > 0, "some version depended on the lost container");
+}
