@@ -3,7 +3,7 @@
 #
 #     ./ci.sh
 #
-# Six checks, in order of increasing cost; the script stops at the first
+# Seven checks, in order of increasing cost; the script stops at the first
 # failure:
 #
 #   1. cargo fmt --check            -- formatting drift
@@ -14,6 +14,10 @@
 #   6. differential suites (release)-- serial-vs-concurrent equality of the
 #                                      backup pipeline AND the staged restore
 #                                      engine, once at HDS_THREADS=1 and 8
+#   7. served round trip            -- hds-served on an ephemeral port:
+#                                      remote backup -> list -> restore ->
+#                                      verify, byte-compare, fsck-clean repo,
+#                                      graceful shutdown
 #
 # Everything runs offline against the vendored dependencies in vendor/.
 set -eu
@@ -44,5 +48,33 @@ HDS_THREADS=1 cargo test --release --test restore_differential -q
 
 echo "ci: cargo test --release --test restore_differential (HDS_THREADS=8)"
 HDS_THREADS=8 cargo test --release --test restore_differential -q
+
+echo "ci: hds-served remote round trip"
+cargo build -q -p hidestore -p hidestore-server -p hidestore-fsck --bins
+SERVE_DIR=$(mktemp -d)
+SERVE_REPO="$SERVE_DIR/repo"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SERVE_DIR"' EXIT
+./target/debug/hidestore init "$SERVE_REPO" --chunk 4096 --container 262144 > /dev/null
+head -c 3000000 /dev/urandom > "$SERVE_DIR/input.bin"
+# Ephemeral port: the daemon prints the bound address on stdout.
+./target/debug/hds-served "$SERVE_REPO" --quiet > "$SERVE_DIR/serve.out" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^hds-served listening on //p' "$SERVE_DIR/serve.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "ci: hds-served never reported its address"; exit 1; }
+./target/debug/hidestore backup  --remote "$ADDR" "$SERVE_DIR/input.bin"
+./target/debug/hidestore list    --remote "$ADDR" --json | grep -q '"version":1'
+./target/debug/hidestore restore --remote "$ADDR" 1 "$SERVE_DIR/output.bin"
+cmp "$SERVE_DIR/input.bin" "$SERVE_DIR/output.bin"
+./target/debug/hidestore verify  --remote "$ADDR" | grep -q "clean"
+./target/debug/hidestore shutdown --remote "$ADDR"
+wait "$SERVE_PID"
+./target/debug/hds-fsck "$SERVE_REPO"
+trap - EXIT
+rm -rf "$SERVE_DIR"
 
 echo "ci: all checks passed"

@@ -1,0 +1,129 @@
+//! Loopback throughput of `hds-served`: client count × payload size.
+//!
+//! Starts the daemon on an ephemeral loopback port over a fresh on-disk
+//! repository, then sweeps concurrent client counts and per-backup payload
+//! sizes. Each cell backs up every client's distinct payload concurrently,
+//! then restores them all concurrently, reporting wall-clock MB/s for both
+//! directions; the run ends with the daemon's own counters so throughput
+//! can be read against accepted connections, failures, and bytes moved.
+//!
+//! Sweep via `HDS_CLIENTS` (comma-separated list, default `1,2,4,8`) and
+//! `HIDESTORE_MB` (payload megabytes per backup, default sweeps `1,4`).
+
+use std::time::Instant;
+
+use hidestore_core::HiDeStoreConfig;
+use hidestore_server::{serve, RemoteClient, ServerConfig};
+
+fn client_sweep() -> Vec<usize> {
+    match std::env::var("HDS_CLIENTS") {
+        Ok(list) => list
+            .split(',')
+            .map(|t| t.trim().parse().expect("HDS_CLIENTS must be numbers"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn size_sweep() -> Vec<usize> {
+    match std::env::var("HIDESTORE_MB") {
+        Ok(mb) => vec![
+            mb.trim()
+                .parse::<usize>()
+                .expect("HIDESTORE_MB must be a number")
+                << 20,
+        ],
+        Err(_) => vec![1 << 20, 4 << 20],
+    }
+}
+
+fn noise(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+fn mb_per_s(bytes: u64, elapsed_s: f64) -> f64 {
+    (bytes as f64 / (1 << 20) as f64) / elapsed_s.max(1e-9)
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("hds-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench repo dir");
+    HiDeStoreConfig::default()
+        .save_to(&dir)
+        .expect("write repo config");
+    let handle = serve(
+        &dir,
+        ServerConfig {
+            workers: 16,
+            quiet: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start hds-served");
+    let addr = handle.addr();
+    println!("# hds-served loopback throughput ({addr})");
+    println!(
+        "{:>8} {:>12} {:>14} {:>15}",
+        "clients", "payload_MB", "backup_MB/s", "restore_MB/s"
+    );
+
+    let mut next_version: u32 = 0;
+    for &payload_len in &size_sweep() {
+        for &clients in &client_sweep() {
+            let payloads: Vec<Vec<u8>> = (0..clients)
+                .map(|c| noise(payload_len, 0xBE7C_0000 + c as u64))
+                .collect();
+            let total_bytes = (payload_len * clients) as u64;
+
+            let started = Instant::now();
+            std::thread::scope(|scope| {
+                for payload in &payloads {
+                    scope.spawn(move || {
+                        let mut conn = RemoteClient::connect(addr).expect("bench client connects");
+                        let summary = conn.backup_bytes(payload).expect("bench backup");
+                        assert_eq!(summary.logical_bytes, payload.len() as u64);
+                    });
+                }
+            });
+            let backup_s = started.elapsed().as_secs_f64();
+
+            let first = next_version + 1;
+            next_version += clients as u32;
+            let started = Instant::now();
+            std::thread::scope(|scope| {
+                for offset in 0..clients as u32 {
+                    scope.spawn(move || {
+                        let mut conn = RemoteClient::connect(addr).expect("bench client connects");
+                        let mut out = Vec::with_capacity(payload_len);
+                        conn.restore_to(first + offset, &mut out)
+                            .expect("bench restore");
+                        assert_eq!(out.len(), payload_len);
+                    });
+                }
+            });
+            let restore_s = started.elapsed().as_secs_f64();
+
+            println!(
+                "{:>8} {:>12} {:>14.1} {:>15.1}",
+                clients,
+                payload_len >> 20,
+                mb_per_s(total_bytes, backup_s),
+                mb_per_s(total_bytes, restore_s),
+            );
+        }
+    }
+
+    let stats = handle.shutdown_and_join();
+    println!("# server counters: {stats}");
+    assert_eq!(stats.requests_failed, 0, "bench requests must all succeed");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -195,7 +195,7 @@ impl ChunkerKind {
     /// let spans = chunk_spans(c.as_mut(), &vec![3u8; 50_000]);
     /// assert!(!spans.is_empty());
     /// ```
-    pub fn build(self, avg_size: usize) -> Box<dyn Chunker + Send> {
+    pub fn build(self, avg_size: usize) -> Box<dyn Chunker + Send + Sync> {
         match self {
             ChunkerKind::Fixed => Box::new(FixedChunker::new(avg_size)),
             ChunkerKind::Rabin => Box::new(RabinChunker::new(avg_size)),

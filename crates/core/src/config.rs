@@ -1,7 +1,15 @@
 //! HiDeStore configuration.
 
+use std::path::Path;
+
 use hidestore_chunking::ChunkerKind;
 use hidestore_restore::RestoreConcurrency;
+
+use crate::system::HiDeStoreError;
+
+/// Name of the repository's configuration file, a plain `key=value` text
+/// file in the repository root written by `init` and read on every open.
+pub const CONFIG_FILE: &str = "config";
 
 /// Configuration of a [`crate::HiDeStore`] instance.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +114,82 @@ impl HiDeStoreConfig {
         } else {
             self.threads
         }
+    }
+
+    /// Reads the repository's `config` file at `dir`, returning the stored
+    /// configuration with the `HDS_THREADS` environment override applied
+    /// (CI and benchmarks sweep thread counts without rewriting the file).
+    /// Unknown keys are ignored for forward compatibility.
+    ///
+    /// # Errors
+    ///
+    /// [`HiDeStoreError::Config`] when the file is missing (not a
+    /// repository), unreadable, or a known key has an unparsable value.
+    pub fn load_from(dir: impl AsRef<Path>) -> Result<Self, HiDeStoreError> {
+        let dir = dir.as_ref();
+        let path = dir.join(CONFIG_FILE);
+        if !path.exists() {
+            return Err(HiDeStoreError::Config(format!(
+                "{} is not a hidestore repository (run `init` first)",
+                dir.display()
+            )));
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| HiDeStoreError::Config(format!("cannot read {}: {e}", path.display())))?;
+        let mut config = HiDeStoreConfig::default();
+        for line in text.lines() {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let parsed = |what: &str| {
+                value.parse::<usize>().map_err(|_| {
+                    HiDeStoreError::Config(format!("config key {what} has invalid value {value:?}"))
+                })
+            };
+            match key {
+                "chunk" => config.avg_chunk_size = parsed(key)?,
+                "container" => config.container_capacity = parsed(key)?,
+                "depth" => config.history_depth = parsed(key)?,
+                "threads" => config.threads = parsed(key)?,
+                "restore_threads" => config.restore.threads = parsed(key)?,
+                "restore_queue" => config.restore.queue_depth = parsed(key)?,
+                "restore_readahead" => config.restore.readahead_containers = parsed(key)?,
+                _ => {}
+            }
+        }
+        if let Ok(threads) = std::env::var("HDS_THREADS") {
+            let threads = threads.trim().parse::<usize>().map_err(|_| {
+                HiDeStoreError::Config(format!("HDS_THREADS has invalid value {threads:?}"))
+            })?;
+            config.threads = threads;
+            config.restore.threads = threads;
+        }
+        Ok(config)
+    }
+
+    /// Writes this configuration as `dir/config`, the file
+    /// [`HiDeStoreConfig::load_from`] reads.
+    ///
+    /// # Errors
+    ///
+    /// [`HiDeStoreError::Config`] when the file cannot be written.
+    pub fn save_to(&self, dir: impl AsRef<Path>) -> Result<(), HiDeStoreError> {
+        let path = dir.as_ref().join(CONFIG_FILE);
+        let text = format!(
+            "chunk={}\ncontainer={}\ndepth={}\nthreads={}\nrestore_threads={}\n\
+             restore_queue={}\nrestore_readahead={}\n",
+            self.avg_chunk_size,
+            self.container_capacity,
+            self.history_depth,
+            self.threads,
+            self.restore.threads,
+            self.restore.queue_depth,
+            self.restore.readahead_containers,
+        );
+        std::fs::write(&path, text)
+            .map_err(|e| HiDeStoreError::Config(format!("cannot write {}: {e}", path.display())))
     }
 
     /// Validates the configuration.

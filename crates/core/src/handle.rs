@@ -1,0 +1,290 @@
+//! [`RepositoryHandle`] — the open/save lifecycle owner for long-lived
+//! processes.
+//!
+//! The CLI opens a repository, runs one operation, saves, and exits; the
+//! `hds-served` daemon instead keeps a repository open for hours while many
+//! connections operate on it concurrently. The handle centralizes the rules
+//! that make that safe:
+//!
+//! * **One writer, many readers.** Mutations (`backup`, `prune`, `flatten`,
+//!   …) run under an exclusive lock and are immediately persisted with the
+//!   atomic commit journal from [`crate::HiDeStore::save_repository`].
+//!   Read-only operations share a read lock, so restores and listings
+//!   proceed concurrently with each other and never observe a half-applied
+//!   mutation.
+//! * **Rollback on failure.** If a mutation — or its save — fails, the
+//!   on-disk repository is untouched (the journal guarantees the save is
+//!   all-or-nothing), but the in-memory instance may hold the failed
+//!   mutation. The handle discards it by reopening from disk, restoring
+//!   memory/disk agreement; [`RepositoryHandle::rollbacks`] counts how
+//!   often that happened.
+//! * **Snapshot reads.** Operations that need `&mut` access for I/O
+//!   accounting (restore, scrub) run against a *fresh* instance opened from
+//!   disk under the read lock. Because every mutation saves before
+//!   releasing the writer lock, a snapshot always sees a committed state,
+//!   and multiple snapshot readers stream containers from the filesystem
+//!   in parallel without contending on the writer's instance.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use hidestore_storage::FileContainerStore;
+
+use crate::config::HiDeStoreConfig;
+use crate::system::{HiDeStore, HiDeStoreError};
+
+/// A thread-safe, long-lived handle to an on-disk repository. See the
+/// module docs for the locking and rollback rules.
+pub struct RepositoryHandle {
+    dir: PathBuf,
+    /// `None` only after a rollback reopen itself failed — the handle is
+    /// then poisoned and every operation reports it, because neither the
+    /// in-memory state nor a fresh open can be trusted.
+    state: RwLock<Option<HiDeStore<FileContainerStore>>>,
+    rollbacks: AtomicU64,
+}
+
+impl RepositoryHandle {
+    /// Opens the repository at `dir`, reading its `config` file (with the
+    /// `HDS_THREADS` override applied) and running journal recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`HiDeStoreError::Config`] for a missing/invalid config file, or the
+    /// errors of [`HiDeStore::open_repository`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, HiDeStoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let config = HiDeStoreConfig::load_from(&dir)?;
+        let system = HiDeStore::open_repository(config, &dir)?;
+        Ok(RepositoryHandle {
+            dir,
+            state: RwLock::new(Some(system)),
+            rollbacks: AtomicU64::new(0),
+        })
+    }
+
+    /// The repository directory this handle serves.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// How many failed mutations were rolled back by reopening from disk.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks.load(Ordering::Relaxed)
+    }
+
+    fn read_guard(&self) -> RwLockReadGuard<'_, Option<HiDeStore<FileContainerStore>>> {
+        // The Option inside the lock carries the poison state explicitly, so
+        // a lock poisoned by a panicking reader is safe to re-enter.
+        self.state.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_guard(&self) -> RwLockWriteGuard<'_, Option<HiDeStore<FileContainerStore>>> {
+        self.state.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn poisoned() -> HiDeStoreError {
+        HiDeStoreError::Config(
+            "repository handle is poisoned: a failed mutation could not be rolled back \
+             by reopening from disk"
+                .into(),
+        )
+    }
+
+    /// Runs a read-only closure against the shared in-memory instance under
+    /// the read lock. Use for operations that take `&HiDeStore` (listings,
+    /// statistics); they run concurrently with each other.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the handle is poisoned.
+    pub fn read<R>(
+        &self,
+        f: impl FnOnce(&HiDeStore<FileContainerStore>) -> R,
+    ) -> Result<R, HiDeStoreError> {
+        let guard = self.read_guard();
+        match guard.as_ref() {
+            Some(system) => Ok(f(system)),
+            None => Err(Self::poisoned()),
+        }
+    }
+
+    /// Opens a fresh snapshot of the committed on-disk state under the read
+    /// lock and runs `f` against it. Use for read-path operations that need
+    /// `&mut` access (restore, scrub): each caller gets its own instance,
+    /// so snapshot readers proceed fully in parallel while mutations are
+    /// held off by the read lock.
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`HiDeStore::open_repository`], or `f`'s own.
+    pub fn read_snapshot<R>(
+        &self,
+        f: impl FnOnce(&mut HiDeStore<FileContainerStore>) -> Result<R, HiDeStoreError>,
+    ) -> Result<R, HiDeStoreError> {
+        let guard = self.read_guard();
+        let config = match guard.as_ref() {
+            Some(system) => *system.config(),
+            None => return Err(Self::poisoned()),
+        };
+        let mut snapshot = HiDeStore::open_repository(config, &self.dir)?;
+        f(&mut snapshot)
+    }
+
+    /// Runs a mutating closure under the exclusive lock and persists the
+    /// result with [`HiDeStore::save_repository`]. If the closure or the
+    /// save fails, the in-memory instance is rolled back by reopening the
+    /// (journal-guaranteed intact) on-disk state, and the original error is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// The closure's error or the save's, with the in-memory state rolled
+    /// back either way. If even the rollback reopen fails, the handle is
+    /// poisoned and subsequent operations fail fast.
+    pub fn write<R>(
+        &self,
+        f: impl FnOnce(&mut HiDeStore<FileContainerStore>) -> Result<R, HiDeStoreError>,
+    ) -> Result<R, HiDeStoreError> {
+        let mut guard = self.write_guard();
+        let Some(system) = guard.as_mut() else {
+            return Err(Self::poisoned());
+        };
+        let result = f(system).and_then(|r| {
+            system.save_repository(&self.dir)?;
+            Ok(r)
+        });
+        if let Err(e) = result {
+            // The mutation (or its save) failed. Disk still holds the last
+            // committed state; discard the dirty in-memory instance.
+            self.rollbacks.fetch_add(1, Ordering::Relaxed);
+            let config = *system.config();
+            match HiDeStore::open_repository(config, &self.dir) {
+                Ok(fresh) => *guard = Some(fresh),
+                Err(_) => *guard = None,
+            }
+            return Err(e);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidestore_restore::{Faa, RestoreConcurrency};
+    use hidestore_storage::VersionId;
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hidestore-handle-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn init_repo(dir: &Path) {
+        let config = HiDeStoreConfig::small_for_tests();
+        config.save_to(dir).unwrap();
+        let mut system = HiDeStore::open_repository(config, dir).unwrap();
+        system.save_repository(dir).unwrap();
+    }
+
+    #[test]
+    fn open_requires_config() {
+        let dir = temp("noconfig");
+        match RepositoryHandle::open(&dir).err() {
+            Some(HiDeStoreError::Config(msg)) => assert!(msg.contains("not a hidestore")),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_persists_and_reads_see_it() {
+        let dir = temp("write");
+        init_repo(&dir);
+        let handle = RepositoryHandle::open(&dir).unwrap();
+        let stats = handle.write(|s| s.backup(&vec![42u8; 50_000])).unwrap();
+        assert_eq!(stats.version.get(), 1);
+        let versions = handle.read(|s| s.versions()).unwrap();
+        assert_eq!(versions, vec![VersionId::new(1)]);
+        // A snapshot sees the committed state and can restore from it.
+        let bytes = handle
+            .read_snapshot(|s| {
+                let mut out = Vec::new();
+                s.restore_with(
+                    VersionId::new(1),
+                    &mut Faa::new(1 << 20),
+                    &mut out,
+                    &RestoreConcurrency::serial(),
+                )?;
+                Ok(out)
+            })
+            .unwrap();
+        assert_eq!(bytes, vec![42u8; 50_000]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_mutation_rolls_back_memory() {
+        let dir = temp("rollback");
+        init_repo(&dir);
+        let handle = RepositoryHandle::open(&dir).unwrap();
+        handle.write(|s| s.backup(&vec![1u8; 20_000])).unwrap();
+        // A mutation that backs up and then errors: the version must not
+        // survive in memory or on disk.
+        let err = handle.write(|s| {
+            s.backup(&vec![2u8; 20_000])?;
+            Err::<(), _>(HiDeStoreError::UnknownVersion(VersionId::new(99)))
+        });
+        assert!(matches!(err, Err(HiDeStoreError::UnknownVersion(_))));
+        assert_eq!(handle.rollbacks(), 1);
+        let versions = handle.read(|s| s.versions()).unwrap();
+        assert_eq!(versions, vec![VersionId::new(1)], "rolled back in memory");
+        // And the next mutation gets the expected version number.
+        let stats = handle.write(|s| s.backup(&vec![3u8; 20_000])).unwrap();
+        assert_eq!(stats.version.get(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let dir = temp("concurrent");
+        init_repo(&dir);
+        let handle = RepositoryHandle::open(&dir).unwrap();
+        handle.write(|s| s.backup(&vec![9u8; 30_000])).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        let out = handle
+                            .read_snapshot(|s| {
+                                let mut out = Vec::new();
+                                s.restore_with(
+                                    VersionId::new(1),
+                                    &mut Faa::new(1 << 20),
+                                    &mut out,
+                                    &RestoreConcurrency::serial(),
+                                )?;
+                                Ok(out)
+                            })
+                            .unwrap();
+                        assert_eq!(out.len(), 30_000);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 0..5u8 {
+                    handle
+                        .write(|s| s.backup(&vec![i; 10_000 + i as usize]))
+                        .unwrap();
+                }
+            });
+        });
+        let versions = handle.read(|s| s.versions()).unwrap();
+        assert_eq!(versions.len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -55,6 +55,7 @@ mod cache;
 pub mod chain;
 mod composite;
 mod config;
+mod handle;
 mod journal;
 mod persist;
 mod recluster;
@@ -64,7 +65,8 @@ mod system;
 pub use active::{ActivePool, CompactionReport};
 pub use cache::{CacheEntry, Classification, FingerprintCache};
 pub use composite::{CompositeStore, ACTIVE_ID_BASE};
-pub use config::HiDeStoreConfig;
+pub use config::{HiDeStoreConfig, CONFIG_FILE};
+pub use handle::RepositoryHandle;
 pub use journal::JournalRecovery;
 pub use persist::{
     repository_recovery_state, OpenReport, PendingJournal, QuarantineEntry, QuarantinedArtifact,

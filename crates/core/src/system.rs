@@ -46,6 +46,9 @@ pub enum HiDeStoreError {
         /// The newest retained version.
         newest: VersionId,
     },
+    /// The repository's configuration file is missing, unreadable, or
+    /// invalid (also covers a poisoned [`crate::RepositoryHandle`]).
+    Config(String),
     /// The requested version depends on artifacts that degraded-mode
     /// recovery quarantined; versions without quarantined dependencies
     /// still restore normally.
@@ -68,6 +71,7 @@ impl fmt::Display for HiDeStoreError {
                 f,
                 "cannot expire up to {requested}: newest version {newest} must be retained"
             ),
+            HiDeStoreError::Config(msg) => write!(f, "configuration error: {msg}"),
             HiDeStoreError::PartialRestore {
                 version,
                 quarantined,
@@ -118,7 +122,7 @@ impl From<ResolveError> for HiDeStoreError {
 /// end-to-end example).
 pub struct HiDeStore<S> {
     config: HiDeStoreConfig,
-    chunker: Box<dyn Chunker + Send>,
+    chunker: Box<dyn Chunker + Send + Sync>,
     cache: FingerprintCache,
     pool: ActivePool,
     archival: S,

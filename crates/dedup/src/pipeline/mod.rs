@@ -96,7 +96,7 @@ impl From<RestoreError> for PipelineError {
 /// See the crate docs for an end-to-end example.
 pub struct BackupPipeline<I, R, S> {
     config: PipelineConfig,
-    chunker: Box<dyn Chunker + Send>,
+    chunker: Box<dyn Chunker + Send + Sync>,
     index: I,
     rewriter: R,
     store: S,

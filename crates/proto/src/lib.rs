@@ -1,0 +1,328 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Wire protocol for `hds-served`, the HiDeStore network daemon.
+//!
+//! The protocol is a versioned, length-prefixed binary framing over any
+//! reliable byte stream (in practice TCP):
+//!
+//! * [`frame`] — the CRC32-guarded frame layer: `magic | type | len |
+//!   payload | crc32`, with [`Limits`] bounding frame and stream sizes so a
+//!   hostile or corrupt peer cannot force unbounded allocation.
+//! * [`message`] — the typed payloads: [`Hello`] version negotiation,
+//!   [`Request`] / [`Response`] enums covering every CLI verb
+//!   (backup/restore/list/stats/prune/verify/ping/shutdown), and
+//!   [`WireError`] with stable [`ErrorCode`]s.
+//! * [`json`] — deterministic JSON serialization of [`ListResponse`] and
+//!   [`StatsResponse`], shared by the CLI's `--json` flags so local and
+//!   remote output cannot drift.
+//!
+//! # Connection lifecycle
+//!
+//! ```text
+//! client                                server
+//!   | -- HELLO {min,max} ------------------> |
+//!   | <------------------ HELLO {v,v} ----- |   (or ERROR unsupported)
+//!   | -- REQUEST Backup -------------------> |
+//!   | -- DATA* ----------------------------> |
+//!   | -- END ------------------------------> |
+//!   | <------------ RESPONSE BackupDone ---- |   (or ERROR)
+//!   | -- REQUEST Restore{v} ---------------> |
+//!   | <-------- RESPONSE RestoreStarted ---- |
+//!   | <---------------------------- DATA* -- |
+//!   | <------------------------------ END -- |
+//!   | <----------- RESPONSE RestoreDone ---- |   (mid-stream failure: ERROR)
+//! ```
+//!
+//! Decoding is total: any byte sequence either decodes or yields a typed
+//! [`DecodeError`] / [`FrameError`] — never a panic. Torn frames (a peer
+//! vanishing mid-frame) surface as `UnexpectedEof` transport errors, and a
+//! single flipped bit anywhere in a frame fails the CRC.
+
+pub mod frame;
+pub mod json;
+pub mod message;
+pub mod wire;
+
+pub use frame::{
+    encode_frame, read_frame, write_frame, Frame, FrameError, FrameKind, Limits, FRAME_MAGIC,
+    FRAME_OVERHEAD,
+};
+pub use message::{
+    BackupSummary, ErrorCode, Hello, ListResponse, PruneSummary, Request, Response, RestoreSummary,
+    StatsResponse, VerifySummary, VersionEntry, VersionStatsEntry, WireError, HELLO_MAGIC,
+    MIN_PROTO_VERSION, PROTO_VERSION,
+};
+pub use wire::DecodeError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::BackupDone(BackupSummary {
+                version: 7,
+                logical_bytes: 123_456,
+                stored_bytes: 789,
+                chunks: 42,
+                unique_chunks: 17,
+                cold_chunks: 5,
+            }),
+            Response::RestoreStarted {
+                total_bytes: 1 << 33,
+            },
+            Response::RestoreDone(RestoreSummary {
+                bytes_restored: 99,
+                container_reads: 3,
+                cache_hits: 2,
+                cache_misses: 1,
+            }),
+            Response::ListOk(ListResponse {
+                versions: vec![
+                    VersionEntry {
+                        version: 1,
+                        bytes: 10,
+                        chunks: 1,
+                    },
+                    VersionEntry {
+                        version: 2,
+                        bytes: 20,
+                        chunks: 2,
+                    },
+                ],
+                archival_containers: 3,
+                active_containers: 1,
+                hot_chunks: 8,
+            }),
+            Response::StatsOk(StatsResponse {
+                versions: vec![VersionStatsEntry {
+                    version: 1,
+                    bytes: 10,
+                    chunks: 1,
+                    cfl: 0.75,
+                    mean_kib_per_container: 3.5,
+                }],
+                pool_containers: 1,
+                pool_chunks: 2,
+                pool_live_bytes: 4096,
+            }),
+            Response::PruneOk(PruneSummary {
+                versions_removed: 2,
+                containers_dropped: 4,
+                bytes_reclaimed: 1 << 20,
+            }),
+            Response::VerifyOk(VerifySummary {
+                containers_checked: 10,
+                chunks_checked: 100,
+                recipes_checked: 5,
+                corrupt_chunks: vec![(3, "deadbeef".into())],
+            }),
+            Response::ShutdownOk,
+        ]
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Backup,
+            Request::Restore { version: 3 },
+            Request::List,
+            Request::Stats,
+            Request::Prune { keep_last: 2 },
+            Request::Verify,
+            Request::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn hello_negotiation() {
+        let a = Hello {
+            min_version: 1,
+            max_version: 3,
+        };
+        let b = Hello {
+            min_version: 2,
+            max_version: 5,
+        };
+        assert_eq!(a.negotiate(&b), Some(3));
+        assert_eq!(b.negotiate(&a), Some(3));
+        let c = Hello {
+            min_version: 4,
+            max_version: 5,
+        };
+        assert_eq!(a.negotiate(&c), None, "disjoint ranges must not connect");
+        assert_eq!(
+            Hello::current().negotiate(&Hello::current()),
+            Some(PROTO_VERSION)
+        );
+    }
+
+    #[test]
+    fn hello_round_trip_and_bad_magic() {
+        let h = Hello::current();
+        assert_eq!(Hello::decode(&h.encode()).unwrap(), h);
+        let mut bad = h.encode();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            Hello::decode(&bad),
+            Err(DecodeError::BadMagic { what: "hello" })
+        );
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let encoded = req.encode();
+            assert_eq!(Request::decode(&encoded).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in sample_responses() {
+            let encoded = resp.encode();
+            assert_eq!(Response::decode(&encoded).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn wire_errors_round_trip() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::Unsupported,
+            ErrorCode::TooLarge,
+            ErrorCode::Timeout,
+            ErrorCode::NotFound,
+            ErrorCode::Conflict,
+            ErrorCode::Internal,
+            ErrorCode::ShuttingDown,
+        ] {
+            let err = WireError::new(code, format!("context for {code}"));
+            assert_eq!(WireError::decode(&err.encode()).unwrap(), err);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_at_message_layer() {
+        let mut encoded = Request::Ping.encode();
+        encoded.push(0);
+        assert_eq!(
+            Request::decode(&encoded),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    /// Fuzz-ish corrupted-frame corpus: every sample message is framed,
+    /// then attacked with random byte flips, truncations, insertions, and
+    /// splices. Decoding must always return a typed error or — in the
+    /// astronomically unlikely case a mutation preserves the CRC — a valid
+    /// message; it must never panic or misbehave.
+    #[test]
+    fn corrupted_frame_corpus() {
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for req in sample_requests() {
+            frames.push(encode_frame(FrameKind::Request, &req.encode()));
+        }
+        for resp in sample_responses() {
+            frames.push(encode_frame(FrameKind::Response, &resp.encode()));
+        }
+        frames.push(encode_frame(FrameKind::Hello, &Hello::current().encode()));
+        frames.push(encode_frame(FrameKind::Data, &[0xA5; 300]));
+        frames.push(encode_frame(FrameKind::End, &[]));
+        frames.push(encode_frame(
+            FrameKind::Error,
+            &WireError::new(ErrorCode::Internal, "boom").encode(),
+        ));
+
+        let limits = Limits::default();
+        let mut rng = StdRng::seed_from_u64(0x1DE5_70FE);
+        let mut decoded_ok = 0u32;
+        let mut rejected = 0u32;
+        for frame in &frames {
+            for _ in 0..200 {
+                let mut mutated = frame.clone();
+                match rng.gen_range(0usize..4) {
+                    // Byte flip.
+                    0 => {
+                        let at = rng.gen_range(0usize..mutated.len());
+                        mutated[at] ^= rng.gen_range(1u32..256) as u8;
+                    }
+                    // Truncation (torn frame).
+                    1 => {
+                        let keep = rng.gen_range(0usize..mutated.len());
+                        mutated.truncate(keep);
+                    }
+                    // Insertion.
+                    2 => {
+                        let at = rng.gen_range(0usize..mutated.len() + 1);
+                        mutated.insert(at, rng.gen_range(0u32..256) as u8);
+                    }
+                    // Splice: overwrite a window with random bytes.
+                    _ => {
+                        let at = rng.gen_range(0usize..mutated.len());
+                        let len = rng.gen_range(1usize..16).min(mutated.len() - at);
+                        for b in &mut mutated[at..at + len] {
+                            *b = rng.gen_range(0u32..256) as u8;
+                        }
+                    }
+                }
+                match read_frame(&mut &mutated[..], &limits) {
+                    Ok(frame) => {
+                        // Mutation happened to produce a CRC-valid frame
+                        // (e.g. flipped then spliced back). The payload must
+                        // still decode or reject without panicking.
+                        decoded_ok += 1;
+                        match frame.kind {
+                            FrameKind::Request => {
+                                let _ = Request::decode(&frame.payload);
+                            }
+                            FrameKind::Response => {
+                                let _ = Response::decode(&frame.payload);
+                            }
+                            FrameKind::Hello => {
+                                let _ = Hello::decode(&frame.payload);
+                            }
+                            FrameKind::Error => {
+                                let _ = WireError::decode(&frame.payload);
+                            }
+                            FrameKind::Data | FrameKind::End => {}
+                        }
+                    }
+                    Err(_) => rejected += 1,
+                }
+            }
+        }
+        assert!(
+            rejected > decoded_ok,
+            "the corpus must overwhelmingly reject corruption \
+             ({rejected} rejected, {decoded_ok} survived)"
+        );
+    }
+
+    /// Multiple frames on one stream decode in sequence — the reader never
+    /// consumes bytes beyond its own frame.
+    #[test]
+    fn frames_are_self_delimiting() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(FrameKind::Request, &Request::List.encode()));
+        stream.extend_from_slice(&encode_frame(FrameKind::Data, b"abc"));
+        stream.extend_from_slice(&encode_frame(FrameKind::End, &[]));
+        let mut cursor = &stream[..];
+        let limits = Limits::default();
+        assert_eq!(
+            read_frame(&mut cursor, &limits).unwrap().kind,
+            FrameKind::Request
+        );
+        let data = read_frame(&mut cursor, &limits).unwrap();
+        assert_eq!(data.payload, b"abc");
+        assert_eq!(
+            read_frame(&mut cursor, &limits).unwrap().kind,
+            FrameKind::End
+        );
+        assert!(cursor.is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Little-endian byte-level encoding helpers shared by every protocol
+//! message.
+//!
+//! All multi-byte integers on the wire are little-endian, matching the
+//! repository's on-disk container and journal encodings. Strings are
+//! `u32` length + UTF-8 bytes; sequences are `u32` count + elements.
+//! Floats travel as their IEEE-754 bit pattern (`f64::to_bits`).
+
+use std::fmt;
+
+/// Typed decoding failure. Every malformed input maps to one of these —
+/// decoding never panics, whatever the bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the announced structure was complete.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// An enum tag byte had no defined meaning.
+    BadTag {
+        /// The message kind being decoded (for diagnostics).
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A magic prefix did not match.
+    BadMagic {
+        /// The structure whose magic was wrong.
+        what: &'static str,
+    },
+    /// A length field exceeded the permitted maximum.
+    TooLong {
+        /// The structure whose length was excessive.
+        what: &'static str,
+        /// The announced length.
+        announced: u64,
+        /// The permitted maximum.
+        max: u64,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes remained after a complete message was decoded.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} more bytes, {remaining} left"
+                )
+            }
+            DecodeError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            DecodeError::BadMagic { what } => write!(f, "bad {what} magic"),
+            DecodeError::TooLong {
+                what,
+                announced,
+                max,
+            } => write!(f, "{what} length {announced} exceeds maximum {max}"),
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maximum encoded length accepted for a string field. Keeps a corrupt
+/// length field from asking the decoder to allocate gigabytes.
+pub const MAX_STRING_LEN: u32 = 1 << 20;
+
+/// Maximum element count accepted for a sequence field.
+pub const MAX_SEQ_LEN: u32 = 1 << 20;
+
+/// Appends little-endian primitives to a byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16` little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Reads little-endian primitives from a byte slice, tracking position.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps `bytes` for sequential decoding.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Fails with [`DecodeError::TrailingBytes`] unless everything was
+    /// consumed — decoding a complete message must account for every byte.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16` little-endian.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u32` little-endian.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64` little-endian.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()?;
+        if len > MAX_STRING_LEN {
+            return Err(DecodeError::TooLong {
+                what: "string",
+                announced: len as u64,
+                max: MAX_STRING_LEN as u64,
+            });
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Reads a sequence length prefix, bounded by [`MAX_SEQ_LEN`].
+    pub fn seq_len(&mut self) -> Result<usize, DecodeError> {
+        let len = self.u32()?;
+        if len > MAX_SEQ_LEN {
+            return Err(DecodeError::TooLong {
+                what: "sequence",
+                announced: len as u64,
+                max: MAX_SEQ_LEN as u64,
+            });
+        }
+        Ok(len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.f64(1.25);
+        w.string("héllo");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.f64().unwrap(), 1.25);
+        assert_eq!(r.string().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn eof_is_typed() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(DecodeError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn oversized_string_rejected() {
+        let mut w = ByteWriter::new();
+        w.u32(MAX_STRING_LEN + 1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.string(), Err(DecodeError::TooLong { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = ByteWriter::new();
+        w.u32(2);
+        w.raw(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.string(), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let r = ByteReader::new(&[0]);
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes { remaining: 1 }));
+    }
+}

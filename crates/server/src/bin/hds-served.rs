@@ -1,0 +1,75 @@
+//! `hds-served` — serve a HiDeStore repository over TCP.
+//!
+//! ```text
+//! hds-served <repo-dir> [--bind ADDR] [--port N] [--workers N] [--quiet]
+//! ```
+//!
+//! Prints `hds-served listening on <addr>` once the listener is bound (the
+//! line scripts parse to learn an ephemeral port), then runs until a client
+//! sends the protocol's `Shutdown` request. Exits 0 after a graceful drain,
+//! 1 on a startup/runtime failure, 2 on a usage error.
+
+use std::process::ExitCode;
+
+use hidestore_server::{serve, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hds-served <repo-dir> [--bind ADDR] [--port N] [--workers N] [--quiet]\n\
+         \n\
+         Serves the repository at <repo-dir> over the HiDeStore wire protocol.\n\
+         --bind ADDR    address to listen on (default 127.0.0.1)\n\
+         --port N       TCP port (default 0 = ephemeral)\n\
+         --workers N    concurrent connections served (default 4)\n\
+         --quiet        suppress per-request log lines"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(repo) = args.next() else {
+        return usage();
+    };
+    if repo.starts_with('-') {
+        return usage();
+    }
+    let mut bind = "127.0.0.1".to_string();
+    let mut port: u16 = 0;
+    let mut config = ServerConfig::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--bind" => match args.next() {
+                Some(v) => bind = v,
+                None => return usage(),
+            },
+            "--port" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => port = v,
+                None => return usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.workers = v,
+                _ => return usage(),
+            },
+            "--quiet" => config.quiet = true,
+            _ => return usage(),
+        }
+    }
+    config.bind = format!("{bind}:{port}");
+
+    let handle = match serve(&repo, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("hds-served: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Scripts block on this exact line to learn the bound (ephemeral) port.
+    println!("hds-served listening on {}", handle.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    let stats = handle.join();
+    eprintln!("hds-served: drained; final counters: {stats}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,363 @@
+//! [`RemoteClient`] — the blocking client side of the wire protocol.
+//!
+//! One client owns one connection: connect, negotiate HELLO once, then issue
+//! any number of requests. Every request sends one `REQUEST` frame and reads
+//! until the matching `RESPONSE` (streaming `DATA` frames in between for
+//! backup/restore). An `ERROR` frame from the daemon surfaces as
+//! [`ClientError::Remote`] with the typed code intact, and a reply that does
+//! not fit the protocol state machine is [`ClientError::Protocol`].
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::Duration;
+
+use hidestore_proto::{
+    read_frame, write_frame, BackupSummary, Frame, FrameError, FrameKind, Hello, Limits,
+    ListResponse, PruneSummary, Request, Response, RestoreSummary, StatsResponse, VerifySummary,
+    WireError,
+};
+
+/// Payload bytes per DATA frame when streaming a backup to the daemon.
+const DATA_CHUNK: usize = 256 * 1024;
+
+/// Errors a [`RemoteClient`] operation can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed or a frame was torn/corrupt.
+    Frame(FrameError),
+    /// The daemon answered with a typed ERROR frame.
+    Remote(WireError),
+    /// The daemon's reply broke the protocol state machine.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport error: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+/// A negotiated connection to an `hds-served` daemon.
+pub struct RemoteClient {
+    stream: TcpStream,
+    limits: Limits,
+    /// The protocol version both ends agreed on during HELLO.
+    version: u16,
+}
+
+impl RemoteClient {
+    /// Connects to `addr` and performs HELLO negotiation with default
+    /// limits and a 30-second I/O deadline.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, torn frames, or a version-negotiation refusal.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, Limits::default(), Duration::from_secs(30))
+    }
+
+    /// [`RemoteClient::connect`] with explicit limits and I/O deadline
+    /// (`Duration::ZERO` disables the deadline).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, torn frames, or a version-negotiation refusal.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        limits: Limits,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let timeout = (!timeout.is_zero()).then_some(timeout);
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = RemoteClient {
+            stream,
+            limits,
+            version: 0,
+        };
+        write_frame(
+            &mut client.stream,
+            FrameKind::Hello,
+            &Hello::current().encode(),
+        )?;
+        let frame = client.read()?;
+        match frame.kind {
+            FrameKind::Hello => {
+                let server = Hello::decode(&frame.payload)
+                    .map_err(|e| ClientError::Protocol(format!("bad HELLO reply: {e}")))?;
+                let Some(version) = Hello::current().negotiate(&server) else {
+                    return Err(ClientError::Protocol(format!(
+                        "server offered unsupported version range {}..={}",
+                        server.min_version, server.max_version
+                    )));
+                };
+                client.version = version;
+                Ok(client)
+            }
+            FrameKind::Error => Err(ClientError::Remote(decode_error_frame(&frame)?)),
+            other => Err(ClientError::Protocol(format!(
+                "expected HELLO reply, got {other}"
+            ))),
+        }
+    }
+
+    /// The protocol version negotiated at connect time.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    fn read(&mut self) -> Result<Frame, ClientError> {
+        Ok(read_frame(&mut self.stream, &self.limits)?)
+    }
+
+    fn send_request(&mut self, request: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, FrameKind::Request, &request.encode())?;
+        Ok(())
+    }
+
+    /// Reads the next frame, expecting a RESPONSE (ERROR becomes
+    /// [`ClientError::Remote`], anything else [`ClientError::Protocol`]).
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let frame = self.read()?;
+        match frame.kind {
+            FrameKind::Response => Response::decode(&frame.payload)
+                .map_err(|e| ClientError::Protocol(format!("bad response: {e}"))),
+            FrameKind::Error => Err(ClientError::Remote(decode_error_frame(&frame)?)),
+            other => Err(ClientError::Protocol(format!(
+                "expected RESPONSE, got {other}"
+            ))),
+        }
+    }
+
+    /// Health check: sends `Ping`, expects `Pong`.
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote, or protocol errors.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send_request(&Request::Ping)?;
+        match self.read_response()? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Streams `data` to the daemon as a new backup version.
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote (e.g. oversize stream), or protocol errors.
+    pub fn backup_bytes(&mut self, data: &[u8]) -> Result<BackupSummary, ClientError> {
+        self.send_request(&Request::Backup)?;
+        for chunk in data.chunks(DATA_CHUNK.max(1)) {
+            write_frame(&mut self.stream, FrameKind::Data, chunk)?;
+        }
+        write_frame(&mut self.stream, FrameKind::End, &[])?;
+        match self.read_response()? {
+            Response::BackupDone(summary) => Ok(summary),
+            other => Err(unexpected("BackupDone", &other)),
+        }
+    }
+
+    /// Restores `version` into `out`, returning the daemon's restore
+    /// summary. The stream is `RestoreStarted` → DATA… → END →
+    /// `RestoreDone`; an ERROR frame mid-stream aborts with the bytes
+    /// written so far already in `out` (callers writing to a file should
+    /// use [`RemoteClient::restore_to_path`], which cleans up for them).
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote (unknown version, aborted stream), or protocol
+    /// errors — and `out`'s own write errors.
+    pub fn restore_to(
+        &mut self,
+        version: u32,
+        out: &mut dyn Write,
+    ) -> Result<RestoreSummary, ClientError> {
+        self.send_request(&Request::Restore { version })?;
+        let total_bytes = match self.read_response()? {
+            Response::RestoreStarted { total_bytes } => total_bytes,
+            other => return Err(unexpected("RestoreStarted", &other)),
+        };
+        let mut received: u64 = 0;
+        loop {
+            let frame = self.read()?;
+            match frame.kind {
+                FrameKind::Data => {
+                    received += frame.payload.len() as u64;
+                    if received > self.limits.max_stream {
+                        return Err(ClientError::Protocol(format!(
+                            "restore stream exceeds the {}-byte limit",
+                            self.limits.max_stream
+                        )));
+                    }
+                    out.write_all(&frame.payload)?;
+                }
+                FrameKind::End => break,
+                FrameKind::Error => return Err(ClientError::Remote(decode_error_frame(&frame)?)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected DATA/END, got {other}"
+                    )))
+                }
+            }
+        }
+        match self.read_response()? {
+            Response::RestoreDone(summary) => {
+                if summary.bytes_restored != received || received != total_bytes {
+                    return Err(ClientError::Protocol(format!(
+                        "restore length mismatch: announced {total_bytes}, received \
+                         {received}, daemon reports {}",
+                        summary.bytes_restored
+                    )));
+                }
+                Ok(summary)
+            }
+            other => Err(unexpected("RestoreDone", &other)),
+        }
+    }
+
+    /// Restores `version` into the file at `path`, writing through a
+    /// `.tmp` sibling and renaming only on success, so an aborted stream
+    /// never leaves a truncated file behind.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteClient::restore_to`], plus filesystem errors; the `.tmp`
+    /// file is removed on every error path.
+    pub fn restore_to_path(
+        &mut self,
+        version: u32,
+        path: impl AsRef<Path>,
+    ) -> Result<RestoreSummary, ClientError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        let result = (|| {
+            let file = File::create(&tmp)?;
+            let mut writer = BufWriter::new(file);
+            let summary = self.restore_to(version, &mut writer)?;
+            writer.flush()?;
+            writer
+                .into_inner()
+                .map_err(|e| io::Error::other(e.to_string()))?
+                .sync_all()?;
+            Ok(summary)
+        })();
+        match result {
+            Ok(summary) => {
+                std::fs::rename(&tmp, path)?;
+                Ok(summary)
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Fetches the version listing.
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote, or protocol errors.
+    pub fn list(&mut self) -> Result<ListResponse, ClientError> {
+        self.send_request(&Request::List)?;
+        match self.read_response()? {
+            Response::ListOk(list) => Ok(list),
+            other => Err(unexpected("ListOk", &other)),
+        }
+    }
+
+    /// Fetches per-version locality statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote, or protocol errors.
+    pub fn stats(&mut self) -> Result<StatsResponse, ClientError> {
+        self.send_request(&Request::Stats)?;
+        match self.read_response()? {
+            Response::StatsOk(stats) => Ok(stats),
+            other => Err(unexpected("StatsOk", &other)),
+        }
+    }
+
+    /// Expires all but the newest `keep_last` versions.
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote (`keep_last == 0` is a conflict), or protocol
+    /// errors.
+    pub fn prune(&mut self, keep_last: u32) -> Result<PruneSummary, ClientError> {
+        self.send_request(&Request::Prune { keep_last })?;
+        match self.read_response()? {
+            Response::PruneOk(summary) => Ok(summary),
+            other => Err(unexpected("PruneOk", &other)),
+        }
+    }
+
+    /// Runs an integrity scrub on the daemon's repository.
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote, or protocol errors.
+    pub fn verify(&mut self) -> Result<VerifySummary, ClientError> {
+        self.send_request(&Request::Verify)?;
+        match self.read_response()? {
+            Response::VerifyOk(summary) => Ok(summary),
+            other => Err(unexpected("VerifyOk", &other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit. The connection is spent after
+    /// this call.
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote, or protocol errors.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        self.send_request(&Request::Shutdown)?;
+        match self.read_response()? {
+            Response::ShutdownOk => Ok(()),
+            other => Err(unexpected("ShutdownOk", &other)),
+        }
+    }
+}
+
+fn decode_error_frame(frame: &Frame) -> Result<WireError, ClientError> {
+    WireError::decode(&frame.payload)
+        .map_err(|e| ClientError::Protocol(format!("bad error frame: {e}")))
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

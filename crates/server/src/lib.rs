@@ -1,0 +1,153 @@
+//! `hds-served`: the HiDeStore network daemon and its client.
+//!
+//! This crate turns the local repository engine into a network service over
+//! the framed wire protocol of `hidestore-proto`:
+//!
+//! * [`serve`] starts the daemon — a `TcpListener` acceptor feeding a
+//!   [`hidestore_sync::BoundedQueue`] of connections to a worker pool, each
+//!   worker speaking the HELLO-negotiated protocol over one connection at a
+//!   time. The returned [`ServerHandle`] exposes the bound address, live
+//!   [`StatsSnapshot`] counters, graceful [`ServerHandle::request_shutdown`]
+//!   / [`ServerHandle::join`], and a force-stop on drop.
+//! * [`RemoteClient`] is the matching blocking client used by the
+//!   `--remote` CLI paths and the test/bench harnesses.
+//! * [`view`] builds the protocol's `List`/`Stats` response types from a
+//!   repository, shared by the daemon and the local CLI's `--json` output.
+//!
+//! Concurrency and crash-safety are delegated downward: the repository is
+//! held in a [`hidestore_core::RepositoryHandle`] (single writer lock,
+//! concurrent snapshot readers, rollback-by-reopen on failed mutations), and
+//! the commit journal underneath keeps the on-disk state atomic even if the
+//! daemon is killed mid-mutation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod server;
+pub mod stats;
+pub mod view;
+
+pub use client::{ClientError, RemoteClient};
+pub use server::{serve, ServerConfig, ServerError, ServerHandle, DATA_CHUNK};
+pub use stats::{ServerStats, StatsSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidestore_core::HiDeStoreConfig;
+    use hidestore_proto::ErrorCode;
+    use std::path::{Path, PathBuf};
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hidestore-served-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn init_repo(dir: &Path) {
+        HiDeStoreConfig::small_for_tests().save_to(dir).unwrap();
+    }
+
+    fn quiet_config() -> ServerConfig {
+        ServerConfig {
+            quiet: true,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn ping_round_trip_and_graceful_shutdown() {
+        let dir = temp("ping");
+        init_repo(&dir);
+        let handle = serve(&dir, quiet_config()).unwrap();
+        let addr = handle.addr();
+        let mut client = RemoteClient::connect(addr).unwrap();
+        assert_eq!(client.version(), hidestore_proto::PROTO_VERSION);
+        client.ping().unwrap();
+        client.shutdown().unwrap();
+        let stats = handle.join();
+        assert!(stats.requests_ok >= 2, "ping + shutdown: {stats}");
+        // A post-shutdown connect must be refused.
+        assert!(RemoteClient::connect(addr).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backup_then_restore_round_trips_bytes() {
+        let dir = temp("roundtrip");
+        init_repo(&dir);
+        let handle = serve(&dir, quiet_config()).unwrap();
+        let payload: Vec<u8> = (0..600_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let mut client = RemoteClient::connect(handle.addr()).unwrap();
+        let summary = client.backup_bytes(&payload).unwrap();
+        assert_eq!(summary.version, 1);
+        assert_eq!(summary.logical_bytes, payload.len() as u64);
+        let mut out = Vec::new();
+        let restored = client.restore_to(1, &mut out).unwrap();
+        assert_eq!(out, payload);
+        assert_eq!(restored.bytes_restored, payload.len() as u64);
+        let list = client.list().unwrap();
+        assert_eq!(list.versions.len(), 1);
+        assert_eq!(list.versions[0].bytes, payload.len() as u64);
+        client.shutdown().unwrap();
+        handle.join();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_version_is_a_typed_not_found() {
+        let dir = temp("notfound");
+        init_repo(&dir);
+        let handle = serve(&dir, quiet_config()).unwrap();
+        let mut client = RemoteClient::connect(handle.addr()).unwrap();
+        for version in [0u32, 7] {
+            let err = client.restore_to(version, &mut Vec::new()).unwrap_err();
+            match err {
+                ClientError::Remote(e) => assert_eq!(e.code, ErrorCode::NotFound),
+                other => panic!("expected Remote(NotFound), got {other}"),
+            }
+        }
+        // The connection survives typed errors.
+        client.ping().unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversize_backup_stream_is_rejected() {
+        let dir = temp("oversize");
+        init_repo(&dir);
+        let config = ServerConfig {
+            limits: hidestore_proto::Limits {
+                max_stream: 10_000,
+                ..hidestore_proto::Limits::default()
+            },
+            ..quiet_config()
+        };
+        let handle = serve(&dir, config).unwrap();
+        let mut client = RemoteClient::connect(handle.addr()).unwrap();
+        let err = client.backup_bytes(&vec![0u8; 50_000]).unwrap_err();
+        match err {
+            ClientError::Remote(e) => assert_eq!(e.code, ErrorCode::TooLarge),
+            other => panic!("expected Remote(TooLarge), got {other}"),
+        }
+        let stats = handle.shutdown_and_join();
+        assert_eq!(stats.rejected_oversize, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drop_force_stops_the_server() {
+        let dir = temp("drop");
+        init_repo(&dir);
+        let handle = serve(&dir, quiet_config()).unwrap();
+        let addr = handle.addr();
+        drop(handle);
+        assert!(RemoteClient::connect(addr).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

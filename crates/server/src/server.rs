@@ -1,0 +1,826 @@
+//! The `hds-served` daemon: a thread-per-connection TCP server over the
+//! framed wire protocol.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             acceptor thread                 worker pool (N threads)
+//!   TcpListener --accept--> BoundedQueue --pop--> handle_connection
+//!                           (hidestore-sync,       |  HELLO negotiation
+//!                            backpressure on       |  request loop
+//!                            accept bursts)        |  per-request log line
+//!                                                  v
+//!                                         RepositoryHandle
+//!                                 (single writer-lock: mutations
+//!                                  serialize; restores/listings run
+//!                                  concurrently on snapshots)
+//! ```
+//!
+//! * **Robustness.** Every connection has read/write timeouts; frames and
+//!   streams are size-limited; a torn frame, CRC mismatch, or mid-stream
+//!   disconnect aborts only that request. Mutations go through
+//!   [`RepositoryHandle::write`], so a failed backup/prune is rolled back
+//!   (the journal keeps disk atomic, the handle reloads memory) and the
+//!   repository stays `hds-fsck`-clean.
+//! * **Graceful shutdown.** [`ServerHandle::request_shutdown`] (also
+//!   triggered by the protocol's `Shutdown` request) stops the acceptor via
+//!   a wake connection, lets in-flight requests finish, refuses queued
+//!   connections with a typed `shutting-down` error, and joins every
+//!   thread. Dropping an un-joined handle force-cancels the queue instead
+//!   (the `CancelGuard` path). There is no signal handler — the workspace
+//!   is std-only — but an unannounced SIGTERM/SIGKILL is still safe: the
+//!   commit journal makes every mutation atomic, so the next open recovers
+//!   the last committed state.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hidestore_core::{HiDeStoreError, RepositoryHandle};
+use hidestore_proto::{
+    read_frame, write_frame, ErrorCode, Frame, FrameError, FrameKind, Hello, Limits, PruneSummary,
+    Request, Response, RestoreSummary, VerifySummary, WireError,
+};
+use hidestore_restore::Faa;
+use hidestore_storage::VersionId;
+use hidestore_sync::{BoundedQueue, CancelGuard, ProducerGuard};
+
+use crate::stats::{ServerStats, StatsSnapshot};
+use crate::view;
+
+/// Payload bytes per DATA frame when streaming restores to a client.
+pub const DATA_CHUNK: usize = 256 * 1024;
+
+/// Bytes of the restore cache each served restore gets (matches the local
+/// CLI's default FAA cache).
+const RESTORE_CACHE_BYTES: usize = 32 << 20;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` for an ephemeral loopback port.
+    pub bind: String,
+    /// Worker threads (concurrent connections served). At least 1.
+    pub workers: usize,
+    /// Accepted connections queued ahead of the workers before the
+    /// acceptor blocks (backpressure).
+    pub queue_depth: usize,
+    /// Per-connection read deadline; zero disables the timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline; zero disables the timeout.
+    pub write_timeout: Duration,
+    /// Frame/stream size limits enforced on everything received.
+    pub limits: Limits,
+    /// Suppress per-request log lines (tests, benchmarks).
+    pub quiet: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 16,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            limits: Limits::default(),
+            quiet: false,
+        }
+    }
+}
+
+/// Errors starting the daemon.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding or configuring the listener failed.
+    Io(io::Error),
+    /// Opening the repository failed.
+    Repo(HiDeStoreError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "listener error: {e}"),
+            ServerError::Repo(e) => write!(f, "repository error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Repo(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<HiDeStoreError> for ServerError {
+    fn from(e: HiDeStoreError) -> Self {
+        ServerError::Repo(e)
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    repo: RepositoryHandle,
+    queue: BoundedQueue<(TcpStream, SocketAddr)>,
+    shutdown: AtomicBool,
+    stats: ServerStats,
+    config: ServerConfig,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Sets the shutdown flag and pokes the blocking acceptor with a wake
+    /// connection so it observes the flag immediately.
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(std::net::IpAddr::from([127, 0, 0, 1]));
+        }
+        if let Ok(stream) = TcpStream::connect_timeout(&wake, Duration::from_secs(1)) {
+            drop(stream);
+        }
+    }
+
+    fn log(&self, line: fmt::Arguments<'_>) {
+        if !self.config.quiet {
+            eprintln!("hds-served: {line}");
+        }
+    }
+}
+
+/// A running daemon. Keep it to observe stats and to shut the server down;
+/// dropping it without [`ServerHandle::join`] force-stops the server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Point-in-time copy of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// How many failed mutations the repository handle rolled back.
+    pub fn rollbacks(&self) -> u64 {
+        self.shared.repo.rollbacks()
+    }
+
+    /// Begins a graceful shutdown: the acceptor stops, in-flight requests
+    /// finish, queued connections are refused with `shutting-down`.
+    /// Non-blocking; follow with [`ServerHandle::join`].
+    pub fn request_shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+
+    /// Waits for the acceptor and every worker to finish (after a
+    /// [`ServerHandle::request_shutdown`] or a protocol `Shutdown`
+    /// request), returning the final counters.
+    pub fn join(mut self) -> StatsSnapshot {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.stats.snapshot()
+    }
+
+    /// [`ServerHandle::request_shutdown`] followed by [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) -> StatsSnapshot {
+        self.request_shutdown();
+        self.join()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        // Force path: cancel the queue (dropping queued connections) and
+        // wake the acceptor, then join. CancelGuard mirrors the pipelines'
+        // error path — its drop unblocks any worker waiting on the queue.
+        {
+            let _cancel = CancelGuard(&self.shared.queue);
+            self.shared.trigger_shutdown();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Opens the repository at `repo_dir` and serves it until shutdown.
+///
+/// # Errors
+///
+/// Fails if the repository cannot be opened or the listener cannot bind.
+pub fn serve(
+    repo_dir: impl AsRef<Path>,
+    config: ServerConfig,
+) -> Result<ServerHandle, ServerError> {
+    let repo = RepositoryHandle::open(repo_dir)?;
+    let listener = TcpListener::bind(&config.bind)?;
+    let addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let queue_depth = config.queue_depth.max(1);
+    let shared = Arc::new(Shared {
+        repo,
+        queue: BoundedQueue::new(queue_depth, 1),
+        shutdown: AtomicBool::new(false),
+        stats: ServerStats::default(),
+        config,
+        addr,
+    });
+
+    let mut threads = Vec::with_capacity(workers + 1);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || acceptor(&listener, &shared)));
+    }
+    for _ in 0..workers {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || worker(&shared)));
+    }
+    Ok(ServerHandle { shared, threads })
+}
+
+fn acceptor(listener: &TcpListener, shared: &Shared) {
+    // Ensures workers observe end-of-stream even if the acceptor exits on
+    // an unexpected path.
+    let _done = ProducerGuard(&shared.queue);
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if shared.shutting_down() {
+                    // Either the wake connection or a late client; both are
+                    // dropped, and the listener closes with the loop.
+                    break;
+                }
+                ServerStats::bump(&shared.stats.accepted);
+                if shared.queue.push((stream, peer)).is_err() {
+                    break; // queue cancelled (force shutdown)
+                }
+            }
+            Err(_) if shared.shutting_down() => break,
+            Err(_) => {
+                // Transient accept failure (e.g. aborted connection);
+                // keep serving.
+            }
+        }
+    }
+}
+
+fn worker(shared: &Shared) {
+    while let Some((mut stream, peer)) = shared.queue.pop() {
+        if shared.shutting_down() {
+            refuse_shutting_down(&mut stream, shared);
+            continue;
+        }
+        handle_connection(&mut stream, peer, shared);
+    }
+}
+
+/// Tells a queued-but-unserved client the daemon is draining, with a typed
+/// error, instead of silently dropping the connection.
+fn refuse_shutting_down(stream: &mut TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    // Consume the client's HELLO if it already sent one, then refuse.
+    let _ = read_frame(stream, &shared.config.limits);
+    let err = WireError::new(ErrorCode::ShuttingDown, "daemon is draining for shutdown");
+    let _ = write_frame(stream, FrameKind::Error, &err.encode());
+}
+
+fn timeout_opt(d: Duration) -> Option<Duration> {
+    (!d.is_zero()).then_some(d)
+}
+
+/// Reads one frame, returning `Ok(None)` when the peer closed the
+/// connection cleanly at a frame boundary.
+fn read_frame_opt(stream: &mut TcpStream, limits: &Limits) -> Result<Option<Frame>, FrameError> {
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let mut chained = (&first[..]).chain(&mut *stream);
+    read_frame(&mut chained, limits).map(Some)
+}
+
+fn send_error(stream: &mut TcpStream, code: ErrorCode, message: impl Into<String>) {
+    let err = WireError::new(code, message);
+    let _ = write_frame(stream, FrameKind::Error, &err.encode());
+}
+
+/// Classifies a transport-level failure for the stats counters and log.
+fn classify_transport(shared: &Shared, err: &FrameError) -> &'static str {
+    if err.is_timeout() {
+        ServerStats::bump(&shared.stats.timed_out);
+        "timeout"
+    } else {
+        "disconnect"
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, peer: SocketAddr, shared: &Shared) {
+    let limits = shared.config.limits;
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(timeout_opt(shared.config.read_timeout))
+        .is_err()
+        || stream
+            .set_write_timeout(timeout_opt(shared.config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+
+    // HELLO negotiation. A connection that closes without a byte (port
+    // probe, liveness poll) is not an event worth logging.
+    match read_frame_opt(stream, &limits) {
+        Ok(None) => return,
+        Ok(Some(frame)) if frame.kind == FrameKind::Hello => {
+            let client = match Hello::decode(&frame.payload) {
+                Ok(h) => h,
+                Err(e) => {
+                    ServerStats::bump(&shared.stats.requests_failed);
+                    send_error(stream, ErrorCode::Malformed, format!("bad HELLO: {e}"));
+                    return;
+                }
+            };
+            match Hello::current().negotiate(&client) {
+                Some(version) => {
+                    let reply = Hello {
+                        min_version: version,
+                        max_version: version,
+                    };
+                    if write_frame(stream, FrameKind::Hello, &reply.encode()).is_err() {
+                        return;
+                    }
+                }
+                None => {
+                    ServerStats::bump(&shared.stats.requests_failed);
+                    send_error(
+                        stream,
+                        ErrorCode::Unsupported,
+                        format!(
+                            "no common protocol version: client {}..={}, server {}..={}",
+                            client.min_version,
+                            client.max_version,
+                            hidestore_proto::MIN_PROTO_VERSION,
+                            hidestore_proto::PROTO_VERSION,
+                        ),
+                    );
+                    return;
+                }
+            }
+        }
+        Ok(Some(frame)) => {
+            ServerStats::bump(&shared.stats.requests_failed);
+            send_error(
+                stream,
+                ErrorCode::Malformed,
+                format!("expected HELLO, got {}", frame.kind),
+            );
+            return;
+        }
+        Err(e) => {
+            let kind = classify_transport(shared, &e);
+            shared.log(format_args!("peer={peer} req=hello result={kind} ({e})"));
+            return;
+        }
+    }
+
+    // Request loop: one frame opens each request; the connection persists
+    // until the peer closes, errors, or the daemon drains.
+    loop {
+        let frame = match read_frame_opt(stream, &limits) {
+            Ok(None) => return,
+            Ok(Some(f)) => f,
+            Err(e) => {
+                let kind = classify_transport(shared, &e);
+                // A torn frame aborts the connection; nothing was mutated.
+                ServerStats::bump(&shared.stats.requests_failed);
+                shared.log(format_args!("peer={peer} req=? result={kind} ({e})"));
+                if !matches!(e, FrameError::Io(_)) {
+                    send_error(stream, ErrorCode::Malformed, format!("{e}"));
+                }
+                return;
+            }
+        };
+        if frame.kind != FrameKind::Request {
+            ServerStats::bump(&shared.stats.requests_failed);
+            send_error(
+                stream,
+                ErrorCode::Malformed,
+                format!("expected REQUEST, got {}", frame.kind),
+            );
+            return;
+        }
+        let request = match Request::decode(&frame.payload) {
+            Ok(r) => r,
+            Err(e) => {
+                ServerStats::bump(&shared.stats.requests_failed);
+                send_error(stream, ErrorCode::Malformed, format!("bad request: {e}"));
+                return;
+            }
+        };
+
+        let started = Instant::now();
+        let name = request.name();
+        let shutdown_requested = matches!(request, Request::Shutdown);
+        match dispatch(request, stream, shared) {
+            Outcome::Ok { detail } => {
+                ServerStats::bump(&shared.stats.requests_ok);
+                shared.log(format_args!(
+                    "peer={peer} req={name} dur_ms={} result=ok{detail}",
+                    started.elapsed().as_millis(),
+                ));
+            }
+            Outcome::Failed { code, message } => {
+                ServerStats::bump(&shared.stats.requests_failed);
+                shared.log(format_args!(
+                    "peer={peer} req={name} dur_ms={} result=error code={code} msg={message:?}",
+                    started.elapsed().as_millis(),
+                ));
+                send_error(stream, code, message);
+            }
+            Outcome::Transport(e) => {
+                ServerStats::bump(&shared.stats.requests_failed);
+                let kind = classify_transport(shared, &e);
+                shared.log(format_args!(
+                    "peer={peer} req={name} dur_ms={} result={kind} ({e})",
+                    started.elapsed().as_millis(),
+                ));
+                return;
+            }
+        }
+        if shutdown_requested || shared.shutting_down() {
+            return;
+        }
+    }
+}
+
+/// What one request dispatch produced.
+enum Outcome {
+    /// Response sent; `detail` is appended to the log line.
+    Ok { detail: String },
+    /// The request failed in a way the client can be told about.
+    Failed { code: ErrorCode, message: String },
+    /// The transport died mid-request; the connection is finished.
+    Transport(FrameError),
+}
+
+fn repo_error_outcome(e: HiDeStoreError) -> Outcome {
+    let code = match &e {
+        HiDeStoreError::UnknownVersion(_) => ErrorCode::NotFound,
+        HiDeStoreError::CannotExpireNewest { .. } => ErrorCode::Conflict,
+        HiDeStoreError::PartialRestore { .. } => ErrorCode::Conflict,
+        _ => ErrorCode::Internal,
+    };
+    Outcome::Failed {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn send_response(stream: &mut TcpStream, response: &Response) -> Result<(), FrameError> {
+    write_frame(stream, FrameKind::Response, &response.encode())
+}
+
+fn dispatch(request: Request, stream: &mut TcpStream, shared: &Shared) -> Outcome {
+    match request {
+        Request::Ping => match send_response(stream, &Response::Pong) {
+            Ok(()) => Outcome::Ok {
+                detail: String::new(),
+            },
+            Err(e) => Outcome::Transport(e),
+        },
+        Request::Backup => serve_backup(stream, shared),
+        Request::Restore { version } => serve_restore(version, stream, shared),
+        Request::List => {
+            let list = match shared.repo.read(view::list_response) {
+                Ok(l) => l,
+                Err(e) => return repo_error_outcome(e),
+            };
+            match send_response(stream, &Response::ListOk(list)) {
+                Ok(()) => Outcome::Ok {
+                    detail: String::new(),
+                },
+                Err(e) => Outcome::Transport(e),
+            }
+        }
+        Request::Stats => {
+            let stats = match shared.repo.read(view::stats_response) {
+                Ok(Ok(s)) => s,
+                Ok(Err(e)) | Err(e) => return repo_error_outcome(e),
+            };
+            match send_response(stream, &Response::StatsOk(stats)) {
+                Ok(()) => Outcome::Ok {
+                    detail: String::new(),
+                },
+                Err(e) => Outcome::Transport(e),
+            }
+        }
+        Request::Prune { keep_last } => serve_prune(keep_last, stream, shared),
+        Request::Verify => serve_verify(stream, shared),
+        Request::Shutdown => {
+            // Acknowledge first, then trigger: the client gets its reply
+            // even though the daemon is now draining.
+            let result = send_response(stream, &Response::ShutdownOk);
+            shared.trigger_shutdown();
+            match result {
+                Ok(()) => Outcome::Ok {
+                    detail: " (draining)".into(),
+                },
+                Err(e) => Outcome::Transport(e),
+            }
+        }
+    }
+}
+
+fn serve_backup(stream: &mut TcpStream, shared: &Shared) -> Outcome {
+    let limits = shared.config.limits;
+    let mut data: Vec<u8> = Vec::new();
+    loop {
+        let frame = match read_frame(stream, &limits) {
+            Ok(f) => f,
+            // A disconnect or torn frame mid-stream: nothing has touched
+            // the repository yet, so the request simply aborts.
+            Err(e) => return Outcome::Transport(e),
+        };
+        match frame.kind {
+            FrameKind::Data => {
+                if data.len() as u64 + frame.payload.len() as u64 > limits.max_stream {
+                    ServerStats::bump(&shared.stats.rejected_oversize);
+                    return Outcome::Failed {
+                        code: ErrorCode::TooLarge,
+                        message: format!(
+                            "backup stream exceeds the {}-byte limit",
+                            limits.max_stream
+                        ),
+                    };
+                }
+                ServerStats::add(&shared.stats.bytes_in, frame.payload.len() as u64);
+                data.extend_from_slice(&frame.payload);
+            }
+            FrameKind::End => break,
+            other => {
+                return Outcome::Failed {
+                    code: ErrorCode::Malformed,
+                    message: format!("expected DATA or END, got {other}"),
+                }
+            }
+        }
+    }
+    // The stream arrived intact; commit it. A failure rolls the repository
+    // back to the previous committed state (journal + handle reopen).
+    let result = shared.repo.write(|s| s.backup(&data));
+    match result {
+        Ok(stats) => {
+            let summary = hidestore_proto::BackupSummary {
+                version: stats.version.get(),
+                logical_bytes: stats.logical_bytes,
+                stored_bytes: stats.stored_bytes,
+                chunks: stats.chunks,
+                unique_chunks: stats.unique_chunks,
+                cold_chunks: stats.cold_chunks,
+            };
+            match send_response(stream, &Response::BackupDone(summary)) {
+                Ok(()) => Outcome::Ok {
+                    detail: format!(
+                        " version=V{} bytes={} stored={}",
+                        summary.version, summary.logical_bytes, summary.stored_bytes
+                    ),
+                },
+                Err(e) => Outcome::Transport(e),
+            }
+        }
+        Err(e) => {
+            ServerStats::bump(&shared.stats.rolled_back);
+            repo_error_outcome(e)
+        }
+    }
+}
+
+/// An `io::Write` that packages restore output into DATA frames.
+struct DataFrameWriter<'a> {
+    stream: &'a mut TcpStream,
+    buf: Vec<u8>,
+    bytes_out: u64,
+}
+
+impl<'a> DataFrameWriter<'a> {
+    fn new(stream: &'a mut TcpStream) -> Self {
+        DataFrameWriter {
+            stream,
+            buf: Vec::with_capacity(DATA_CHUNK),
+            bytes_out: 0,
+        }
+    }
+
+    fn emit(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        write_frame(self.stream, FrameKind::Data, &self.buf).map_err(|e| match e {
+            FrameError::Io(e) => e,
+            other => io::Error::other(other.to_string()),
+        })?;
+        self.bytes_out += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+impl Write for DataFrameWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= DATA_CHUNK {
+            self.emit()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.emit()
+    }
+}
+
+/// What happened inside the snapshot closure of a served restore.
+enum ServedRestore {
+    Done {
+        summary: RestoreSummary,
+        bytes_out: u64,
+    },
+    RepoError {
+        error: HiDeStoreError,
+        streamed: bool,
+    },
+    Transport(io::Error),
+}
+
+fn serve_restore(version: u32, stream: &mut TcpStream, shared: &Shared) -> Outcome {
+    if version == 0 {
+        return Outcome::Failed {
+            code: ErrorCode::NotFound,
+            message: "version ids are 1-based".into(),
+        };
+    }
+    let v = VersionId::new(version);
+    let served = shared.repo.read_snapshot(|system| {
+        let Some(recipe) = system.recipes().get(v) else {
+            return Ok(ServedRestore::RepoError {
+                error: HiDeStoreError::UnknownVersion(v),
+                streamed: false,
+            });
+        };
+        let total_bytes = recipe.total_bytes();
+        if let Err(e) = send_response(stream, &Response::RestoreStarted { total_bytes }) {
+            return Ok(ServedRestore::Transport(match e {
+                FrameError::Io(e) => e,
+                other => io::Error::other(other.to_string()),
+            }));
+        }
+        let conc = system.config().restore;
+        let mut writer = DataFrameWriter::new(stream);
+        let mut cache = Faa::new(RESTORE_CACHE_BYTES);
+        match system
+            .restore_with(v, &mut cache, &mut writer, &conc)
+            .and_then(|report| {
+                writer
+                    .flush()
+                    .map_err(|e| HiDeStoreError::Storage(hidestore_storage::StorageError::Io(e)))?;
+                Ok(report)
+            }) {
+            Ok(report) => Ok(ServedRestore::Done {
+                summary: RestoreSummary {
+                    bytes_restored: report.bytes_restored,
+                    container_reads: report.container_reads,
+                    cache_hits: report.cache_hits,
+                    cache_misses: report.cache_misses,
+                },
+                bytes_out: writer.bytes_out,
+            }),
+            Err(error) => Ok(ServedRestore::RepoError {
+                error,
+                streamed: true,
+            }),
+        }
+    });
+    match served {
+        Ok(ServedRestore::Done { summary, bytes_out }) => {
+            ServerStats::add(&shared.stats.bytes_out, bytes_out);
+            let finish = write_frame(stream, FrameKind::End, &[])
+                .and_then(|()| send_response(stream, &Response::RestoreDone(summary)));
+            match finish {
+                Ok(()) => Outcome::Ok {
+                    detail: format!(
+                        " version=V{version} bytes={} reads={}",
+                        summary.bytes_restored, summary.container_reads
+                    ),
+                },
+                Err(e) => Outcome::Transport(e),
+            }
+        }
+        Ok(ServedRestore::RepoError { error, streamed }) => {
+            // If DATA frames already went out, the ERROR frame tells the
+            // client the stream is aborted (it discards its .tmp output).
+            let _ = streamed;
+            repo_error_outcome(error)
+        }
+        Ok(ServedRestore::Transport(e)) => Outcome::Transport(FrameError::Io(e)),
+        Err(e) => repo_error_outcome(e),
+    }
+}
+
+fn serve_prune(keep_last: u32, stream: &mut TcpStream, shared: &Shared) -> Outcome {
+    if keep_last == 0 {
+        return Outcome::Failed {
+            code: ErrorCode::Conflict,
+            message: "must keep at least one version".into(),
+        };
+    }
+    let newest = match shared.repo.read(|s| s.versions().last().copied()) {
+        Ok(n) => n,
+        Err(e) => return repo_error_outcome(e),
+    };
+    let summary = match newest {
+        Some(newest) if newest.get() > keep_last => {
+            let result = shared
+                .repo
+                .write(|s| s.delete_expired(VersionId::new(newest.get() - keep_last)));
+            match result {
+                Ok(report) => PruneSummary {
+                    versions_removed: report.versions_removed,
+                    containers_dropped: report.containers_dropped,
+                    bytes_reclaimed: report.bytes_reclaimed,
+                },
+                Err(e) => {
+                    ServerStats::bump(&shared.stats.rolled_back);
+                    return repo_error_outcome(e);
+                }
+            }
+        }
+        // Empty repository or nothing old enough: a successful no-op.
+        _ => PruneSummary::default(),
+    };
+    match send_response(stream, &Response::PruneOk(summary)) {
+        Ok(()) => Outcome::Ok {
+            detail: format!(" removed={}", summary.versions_removed),
+        },
+        Err(e) => Outcome::Transport(e),
+    }
+}
+
+fn serve_verify(stream: &mut TcpStream, shared: &Shared) -> Outcome {
+    let report = shared.repo.read_snapshot(|s| s.scrub());
+    match report {
+        Ok(report) => {
+            let summary = VerifySummary {
+                containers_checked: report.containers_checked,
+                chunks_checked: report.chunks_checked,
+                recipes_checked: report.recipes_checked,
+                corrupt_chunks: report.corrupt_chunks.clone(),
+            };
+            let clean = summary.is_clean();
+            match send_response(stream, &Response::VerifyOk(summary)) {
+                Ok(()) => Outcome::Ok {
+                    detail: format!(" clean={clean}"),
+                },
+                Err(e) => Outcome::Transport(e),
+            }
+        }
+        Err(e) => repo_error_outcome(e),
+    }
+}

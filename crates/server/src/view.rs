@@ -1,0 +1,66 @@
+//! Builders mapping repository state to the wire protocol's response
+//! types.
+//!
+//! Both the daemon (answering `List`/`Stats` requests) and the local CLI
+//! (`hidestore list --json` without a server) go through these builders, so
+//! the machine-readable output is one serialization, not two.
+
+use hidestore_core::{chain, HiDeStore, HiDeStoreError};
+use hidestore_dedup::analysis::analyze_plan;
+use hidestore_proto::{ListResponse, StatsResponse, VersionEntry, VersionStatsEntry};
+use hidestore_storage::ContainerStore;
+
+/// Builds the [`ListResponse`] for `hidestore list` / `Request::List`.
+pub fn list_response<S: ContainerStore>(system: &HiDeStore<S>) -> ListResponse {
+    let mut versions = Vec::new();
+    for v in system.versions() {
+        // A listed version always has a recipe; a repository where it does
+        // not is corrupt, and `list` reports what is resolvable.
+        let Some(recipe) = system.recipes().get(v) else {
+            continue;
+        };
+        versions.push(VersionEntry {
+            version: v.get(),
+            bytes: recipe.total_bytes(),
+            chunks: recipe.len() as u64,
+        });
+    }
+    ListResponse {
+        versions,
+        archival_containers: system.archival().ids().len() as u64,
+        active_containers: system.pool().container_count() as u64,
+        hot_chunks: system.pool().chunk_count() as u64,
+    }
+}
+
+/// Builds the [`StatsResponse`] for `hidestore stats` / `Request::Stats`.
+///
+/// # Errors
+///
+/// Fails when a version's recipe chain cannot be resolved (corruption).
+pub fn stats_response<S: ContainerStore>(
+    system: &HiDeStore<S>,
+) -> Result<StatsResponse, HiDeStoreError> {
+    let capacity = system.config().container_capacity;
+    let mut versions = Vec::new();
+    for v in system.versions() {
+        let Some(recipe) = system.recipes().get(v) else {
+            continue;
+        };
+        let plan = chain::resolve_plan(system.recipes(), system.pool(), v)?;
+        let report = analyze_plan(plan.into_iter().map(|(_, size, cid)| (size, cid)), capacity);
+        versions.push(VersionStatsEntry {
+            version: v.get(),
+            bytes: recipe.total_bytes(),
+            chunks: recipe.len() as u64,
+            cfl: report.cfl,
+            mean_kib_per_container: report.mean_bytes_per_container / 1024.0,
+        });
+    }
+    Ok(StatsResponse {
+        versions,
+        pool_containers: system.pool().container_count() as u64,
+        pool_chunks: system.pool().chunk_count() as u64,
+        pool_live_bytes: system.pool().live_bytes(),
+    })
+}

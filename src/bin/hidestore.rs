@@ -5,139 +5,282 @@
 //! hidestore backup  <repo> <file>               back up a file as the next version
 //! hidestore restore <repo> <version> <outfile> [--threads <n>]
 //!                                               restore a version to a file
-//! hidestore list    <repo>                      list retained versions
+//! hidestore list    <repo> [--json]             list retained versions
 //! hidestore prune   <repo> <keep-last-N>        expire all but the newest N versions
 //! hidestore verify  <repo>                      integrity scrub
 //! hidestore flatten <repo>                      run Algorithm 1 on the recipe chain
 //! hidestore recluster <repo>                    defragment old versions' archival layout
-//! hidestore stats   <repo>                      per-version fragmentation statistics
+//! hidestore stats   <repo> [--json]             per-version fragmentation statistics
+//! hidestore serve   <repo> [--port N] ...       run the hds-served daemon in-process
 //! ```
+//!
+//! Every data command also takes `--remote <host:port>` to run against an
+//! `hds-served` daemon instead of a local repository directory; the `<repo>`
+//! argument is then omitted:
+//!
+//! ```text
+//! hidestore backup  --remote 127.0.0.1:4321 <file>
+//! hidestore restore --remote 127.0.0.1:4321 <version> <outfile>
+//! hidestore list    --remote 127.0.0.1:4321 [--json]
+//! hidestore stats   --remote 127.0.0.1:4321 [--json]
+//! hidestore prune   --remote 127.0.0.1:4321 <keep-last-N>
+//! hidestore verify  --remote 127.0.0.1:4321
+//! hidestore shutdown --remote 127.0.0.1:4321
+//! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
+use std::fmt;
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
 
 use hidestore::core::{HiDeStore, HiDeStoreConfig};
 use hidestore::restore::Faa;
-use hidestore::storage::{ContainerStore, FileContainerStore, VersionId};
+use hidestore::server::{view, RemoteClient, ServerConfig};
+use hidestore::storage::{FileContainerStore, VersionId};
 
-const CONFIG_FILE: &str = "config";
+/// A CLI failure, split by who got it wrong.
+///
+/// `Usage` is the operator's mistake (bad flag, missing argument) and maps
+/// to exit code 2 with the usage text; `Runtime` is the operation's failure
+/// (I/O, corruption, server error) and maps to exit code 1 with an
+/// `error:` line. The split is pinned by `tests/cli.rs`.
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
 
-fn usage() -> ExitCode {
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Runtime(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl<E: std::error::Error> From<E> for CliError {
+    fn from(e: E) -> Self {
+        CliError::Runtime(e.to_string())
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn runtime(msg: impl Into<String>) -> CliError {
+    CliError::Runtime(msg.into())
+}
+
+type CliResult = Result<(), CliError>;
+
+fn print_usage() {
     eprintln!(
         "usage:\n  hidestore init    <repo> [--chunk <bytes>] [--container <bytes>] [--depth <1|2>] [--threads <n>]\n  \
          hidestore backup  <repo> <file>\n  \
          hidestore restore <repo> <version> <outfile> [--threads <n>]\n  \
-         hidestore list    <repo>\n  \
+         hidestore list    <repo> [--json]\n  \
          hidestore prune   <repo> <keep-last-N>\n  \
          hidestore verify  <repo>\n  \
          hidestore flatten <repo>\n  \
          hidestore recluster <repo>\n  \
-         hidestore stats   <repo>"
+         hidestore stats   <repo> [--json]\n  \
+         hidestore serve   <repo> [--bind ADDR] [--port N] [--workers N] [--quiet]\n\n\
+         remote variants (against a running hds-served):\n  \
+         hidestore backup  --remote <host:port> <file>\n  \
+         hidestore restore --remote <host:port> <version> <outfile>\n  \
+         hidestore list    --remote <host:port> [--json]\n  \
+         hidestore stats   --remote <host:port> [--json]\n  \
+         hidestore prune   --remote <host:port> <keep-last-N>\n  \
+         hidestore verify  --remote <host:port>\n  \
+         hidestore shutdown --remote <host:port>"
     );
-    ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.as_slice() {
-        [cmd, rest @ ..] => match (cmd.as_str(), rest) {
-            ("init", [repo, opts @ ..]) => cmd_init(repo, opts),
-            ("backup", [repo, file]) => cmd_backup(repo, file),
-            ("restore", [repo, version, outfile, opts @ ..]) => {
-                cmd_restore(repo, version, outfile, opts)
-            }
-            ("list", [repo]) => cmd_list(repo),
-            ("prune", [repo, keep]) => cmd_prune(repo, keep),
-            ("verify", [repo]) => cmd_verify(repo),
-            ("flatten", [repo]) => cmd_flatten(repo),
-            ("recluster", [repo]) => cmd_recluster(repo),
-            ("stats", [repo]) => cmd_stats(repo),
-            _ => return usage(),
-        },
-        _ => return usage(),
-    };
+    let result = run(&args);
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
+        Err(CliError::Usage(msg)) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            print_usage();
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
 }
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
-
-fn load_config(repo: &str) -> Result<HiDeStoreConfig, Box<dyn std::error::Error>> {
-    let mut config = HiDeStoreConfig::default();
-    let path = Path::new(repo).join(CONFIG_FILE);
-    if !path.exists() {
-        return Err(format!("{repo} is not a hidestore repository (run `init` first)").into());
-    }
-    for line in fs::read_to_string(path)?.lines() {
-        let Some((key, value)) = line.split_once('=') else {
-            continue;
-        };
-        match key.trim() {
-            "chunk" => config.avg_chunk_size = value.trim().parse()?,
-            "container" => config.container_capacity = value.trim().parse()?,
-            "depth" => config.history_depth = value.trim().parse()?,
-            "threads" => config.threads = value.trim().parse()?,
-            "restore_threads" => config.restore.threads = value.trim().parse()?,
-            "restore_queue" => config.restore.queue_depth = value.trim().parse()?,
-            "restore_readahead" => config.restore.readahead_containers = value.trim().parse()?,
-            _ => {}
+/// Pulls `--remote <host:port>` out of the argument list, returning the
+/// address (if present) and the remaining positional/flag arguments.
+fn split_remote(args: &[String]) -> Result<(Option<String>, Vec<String>), CliError> {
+    let mut remote = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--remote" {
+            let addr = it
+                .next()
+                .ok_or_else(|| usage("--remote needs a <host:port> value"))?;
+            remote = Some(addr.clone());
+        } else {
+            rest.push(arg.clone());
         }
     }
-    // An environment override beats the repository config, so CI and
-    // benchmarks can sweep thread counts without rewriting the config file.
-    if let Ok(threads) = std::env::var("HDS_THREADS") {
-        config.threads = threads.trim().parse()?;
-        config.restore.threads = config.threads;
-    }
-    Ok(config)
+    Ok((remote, rest))
 }
 
-fn open(repo: &str) -> Result<HiDeStore<FileContainerStore>, Box<dyn std::error::Error>> {
-    let config = load_config(repo)?;
+/// Pulls a boolean `--json` flag out of the argument list.
+fn split_json(args: Vec<String>) -> (bool, Vec<String>) {
+    let json = args.iter().any(|a| a == "--json");
+    let rest = args.into_iter().filter(|a| a != "--json").collect();
+    (json, rest)
+}
+
+fn run(args: &[String]) -> CliResult {
+    let [cmd, raw @ ..] = args else {
+        return Err(usage(""));
+    };
+    let (remote, rest) = split_remote(raw)?;
+    match (cmd.as_str(), remote) {
+        ("init", None) => match rest.as_slice() {
+            [repo, opts @ ..] => cmd_init(repo, opts),
+            _ => Err(usage("init needs a <repo>")),
+        },
+        ("backup", None) => match rest.as_slice() {
+            [repo, file] => cmd_backup(repo, file),
+            _ => Err(usage("backup needs <repo> <file>")),
+        },
+        ("backup", Some(addr)) => match rest.as_slice() {
+            [file] => cmd_backup_remote(&addr, file),
+            _ => Err(usage("remote backup needs <file>")),
+        },
+        ("restore", None) => match rest.as_slice() {
+            [repo, version, outfile, opts @ ..] => cmd_restore(repo, version, outfile, opts),
+            _ => Err(usage("restore needs <repo> <version> <outfile>")),
+        },
+        ("restore", Some(addr)) => match rest.as_slice() {
+            [version, outfile] => cmd_restore_remote(&addr, version, outfile),
+            _ => Err(usage("remote restore needs <version> <outfile>")),
+        },
+        ("list", None) => {
+            let (json, rest) = split_json(rest);
+            match rest.as_slice() {
+                [repo] => cmd_list(repo, json),
+                _ => Err(usage("list needs a <repo>")),
+            }
+        }
+        ("list", Some(addr)) => {
+            let (json, rest) = split_json(rest);
+            match rest.as_slice() {
+                [] => cmd_list_remote(&addr, json),
+                _ => Err(usage("remote list takes no positional arguments")),
+            }
+        }
+        ("stats", None) => {
+            let (json, rest) = split_json(rest);
+            match rest.as_slice() {
+                [repo] => cmd_stats(repo, json),
+                _ => Err(usage("stats needs a <repo>")),
+            }
+        }
+        ("stats", Some(addr)) => {
+            let (json, rest) = split_json(rest);
+            match rest.as_slice() {
+                [] => cmd_stats_remote(&addr, json),
+                _ => Err(usage("remote stats takes no positional arguments")),
+            }
+        }
+        ("prune", None) => match rest.as_slice() {
+            [repo, keep] => cmd_prune(repo, keep),
+            _ => Err(usage("prune needs <repo> <keep-last-N>")),
+        },
+        ("prune", Some(addr)) => match rest.as_slice() {
+            [keep] => cmd_prune_remote(&addr, keep),
+            _ => Err(usage("remote prune needs <keep-last-N>")),
+        },
+        ("verify", None) => match rest.as_slice() {
+            [repo] => cmd_verify(repo),
+            _ => Err(usage("verify needs a <repo>")),
+        },
+        ("verify", Some(addr)) => match rest.as_slice() {
+            [] => cmd_verify_remote(&addr),
+            _ => Err(usage("remote verify takes no positional arguments")),
+        },
+        ("shutdown", Some(addr)) => match rest.as_slice() {
+            [] => cmd_shutdown_remote(&addr),
+            _ => Err(usage("shutdown takes no positional arguments")),
+        },
+        ("flatten", None) => match rest.as_slice() {
+            [repo] => cmd_flatten(repo),
+            _ => Err(usage("flatten needs a <repo>")),
+        },
+        ("recluster", None) => match rest.as_slice() {
+            [repo] => cmd_recluster(repo),
+            _ => Err(usage("recluster needs a <repo>")),
+        },
+        ("serve", None) => match rest.as_slice() {
+            [repo, opts @ ..] => cmd_serve(repo, opts),
+            _ => Err(usage("serve needs a <repo>")),
+        },
+        (cmd, Some(_)) => Err(usage(format!("{cmd} has no --remote variant"))),
+        _ => Err(usage("")),
+    }
+}
+
+fn open(repo: &str) -> Result<HiDeStore<FileContainerStore>, CliError> {
+    let config = HiDeStoreConfig::load_from(repo)?;
     Ok(HiDeStore::open_repository(config, repo)?)
+}
+
+fn connect(addr: &str) -> Result<RemoteClient, CliError> {
+    RemoteClient::connect(addr)
+        .map_err(|e| runtime(format!("cannot reach hds-served at {addr}: {e}")))
+}
+
+fn parse_version(version: &str) -> Result<u32, CliError> {
+    version
+        .trim_start_matches(['v', 'V'])
+        .parse()
+        .map_err(|_| usage(format!("{version} is not a version number")))
 }
 
 fn cmd_init(repo: &str, opts: &[String]) -> CliResult {
     let mut config = HiDeStoreConfig::default();
     let mut it = opts.iter();
     while let Some(flag) = it.next() {
-        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| usage(format!("{flag} needs a value")))?;
+        let parsed = |what: &str| {
+            value
+                .parse::<usize>()
+                .map_err(|_| usage(format!("{what} must be a number, got {value}")))
+        };
         match flag.as_str() {
-            "--chunk" => config.avg_chunk_size = value.parse()?,
-            "--container" => config.container_capacity = value.parse()?,
-            "--depth" => config.history_depth = value.parse()?,
+            "--chunk" => config.avg_chunk_size = parsed("--chunk")?,
+            "--container" => config.container_capacity = parsed("--container")?,
+            "--depth" => config.history_depth = parsed("--depth")?,
             "--threads" => {
-                config.threads = value.parse()?;
+                config.threads = parsed("--threads")?;
                 config.restore.threads = config.threads;
             }
-            other => return Err(format!("unknown option {other}").into()),
+            other => return Err(usage(format!("unknown option {other}"))),
         }
     }
     config.validate();
     let dir = Path::new(repo);
-    if dir.join(CONFIG_FILE).exists() {
-        return Err(format!("{repo} already contains a repository").into());
+    if dir.join(hidestore::core::CONFIG_FILE).exists() {
+        return Err(runtime(format!("{repo} already contains a repository")));
     }
     fs::create_dir_all(dir)?;
-    fs::write(
-        dir.join(CONFIG_FILE),
-        format!(
-            "chunk={}\ncontainer={}\ndepth={}\nthreads={}\nrestore_threads={}\nrestore_queue={}\nrestore_readahead={}\n",
-            config.avg_chunk_size,
-            config.container_capacity,
-            config.history_depth,
-            config.threads,
-            config.restore.threads,
-            config.restore.queue_depth,
-            config.restore.readahead_containers,
-        ),
-    )?;
+    config.save_to(dir)?;
     // Materialize the directory layout.
     let mut system = HiDeStore::open_repository(config, repo)?;
     system.save_repository(repo)?;
@@ -167,18 +310,44 @@ fn cmd_backup(repo: &str, file: &str) -> CliResult {
     Ok(())
 }
 
+fn cmd_backup_remote(addr: &str, file: &str) -> CliResult {
+    let data = fs::read(file)?;
+    let mut client = connect(addr)?;
+    let summary = client.backup_bytes(&data)?;
+    println!(
+        "{} -> V{} on {}: {} bytes, {} chunks, {} new bytes stored, {} cold chunks archived",
+        file,
+        summary.version,
+        addr,
+        summary.logical_bytes,
+        summary.chunks,
+        summary.stored_bytes,
+        summary.cold_chunks,
+    );
+    Ok(())
+}
+
 fn cmd_restore(repo: &str, version: &str, outfile: &str, opts: &[String]) -> CliResult {
-    let v: u32 = version.trim_start_matches(['v', 'V']).parse()?;
+    let v = parse_version(version)?;
+    if v == 0 {
+        return Err(runtime("version ids are 1-based".to_string()));
+    }
     let mut system = open(repo)?;
     // Flag > HDS_THREADS > repository config (the latter two are already
-    // folded into the opened system's config by load_config).
+    // folded into the opened system's config by load_from).
     let mut conc = system.config().restore;
     let mut it = opts.iter();
     while let Some(flag) = it.next() {
-        let value = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| usage(format!("{flag} needs a value")))?;
         match flag.as_str() {
-            "--threads" => conc.threads = value.parse()?,
-            other => return Err(format!("unknown option {other}").into()),
+            "--threads" => {
+                conc.threads = value
+                    .parse()
+                    .map_err(|_| usage(format!("--threads must be a number, got {value}")))?;
+            }
+            other => return Err(usage(format!("unknown option {other}"))),
         }
     }
     conc.validate();
@@ -208,35 +377,114 @@ fn cmd_restore(repo: &str, version: &str, outfile: &str, opts: &[String]) -> Cli
     Ok(())
 }
 
-fn cmd_list(repo: &str) -> CliResult {
-    let system = open(repo)?;
-    if system.versions().is_empty() {
-        println!("repository is empty");
-        return Ok(());
-    }
-    println!("{:>8}  {:>12}  {:>8}", "version", "bytes", "chunks");
-    for v in system.versions() {
-        let recipe = system.recipes().get(v).expect("listed version exists");
-        println!(
-            "{:>8}  {:>12}  {:>8}",
-            v.to_string(),
-            recipe.total_bytes(),
-            recipe.len()
-        );
-    }
+fn cmd_restore_remote(addr: &str, version: &str, outfile: &str) -> CliResult {
+    let v = parse_version(version)?;
+    let mut client = connect(addr)?;
+    let summary = client.restore_to_path(v, Path::new(outfile))?;
     println!(
-        "{} archival containers, {} active containers ({} hot chunks)",
-        system.archival().len(),
-        system.pool().container_count(),
-        system.pool().chunk_count(),
+        "restored V{v} from {addr} to {outfile}: {} bytes, {} container reads",
+        summary.bytes_restored, summary.container_reads,
     );
     Ok(())
 }
 
+fn cmd_list(repo: &str, json: bool) -> CliResult {
+    let system = open(repo)?;
+    let list = view::list_response(&system);
+    if json {
+        println!("{}", list.to_json());
+        return Ok(());
+    }
+    print_list(&list);
+    Ok(())
+}
+
+fn cmd_list_remote(addr: &str, json: bool) -> CliResult {
+    let mut client = connect(addr)?;
+    let list = client.list()?;
+    if json {
+        println!("{}", list.to_json());
+        return Ok(());
+    }
+    print_list(&list);
+    Ok(())
+}
+
+fn print_list(list: &hidestore::proto::ListResponse) {
+    if list.versions.is_empty() {
+        println!("repository is empty");
+        return;
+    }
+    println!("{:>8}  {:>12}  {:>8}", "version", "bytes", "chunks");
+    for v in &list.versions {
+        println!(
+            "{:>8}  {:>12}  {:>8}",
+            format!("V{}", v.version),
+            v.bytes,
+            v.chunks
+        );
+    }
+    println!(
+        "{} archival containers, {} active containers ({} hot chunks)",
+        list.archival_containers, list.active_containers, list.hot_chunks,
+    );
+}
+
+fn cmd_stats(repo: &str, json: bool) -> CliResult {
+    let system = open(repo)?;
+    let stats = view::stats_response(&system)?;
+    if json {
+        println!("{}", stats.to_json());
+        return Ok(());
+    }
+    print_stats(&stats);
+    Ok(())
+}
+
+fn cmd_stats_remote(addr: &str, json: bool) -> CliResult {
+    let mut client = connect(addr)?;
+    let stats = client.stats()?;
+    if json {
+        println!("{}", stats.to_json());
+        return Ok(());
+    }
+    print_stats(&stats);
+    Ok(())
+}
+
+fn print_stats(stats: &hidestore::proto::StatsResponse) {
+    if stats.versions.is_empty() {
+        println!("repository is empty");
+        return;
+    }
+    println!(
+        "{:>8}  {:>12}  {:>8}  {:>6}  {:>12}",
+        "version", "bytes", "chunks", "CFL", "KiB/container"
+    );
+    for v in &stats.versions {
+        println!(
+            "{:>8}  {:>12}  {:>8}  {:>6.3}  {:>12.1}",
+            format!("V{}", v.version),
+            v.bytes,
+            v.chunks,
+            v.cfl,
+            v.mean_kib_per_container,
+        );
+    }
+    println!(
+        "pool: {} containers, {} hot chunks, {:.1} KiB live",
+        stats.pool_containers,
+        stats.pool_chunks,
+        stats.pool_live_bytes as f64 / 1024.0,
+    );
+}
+
 fn cmd_prune(repo: &str, keep: &str) -> CliResult {
-    let keep: u32 = keep.parse()?;
+    let keep: u32 = keep
+        .parse()
+        .map_err(|_| usage(format!("keep-last must be a number, got {keep}")))?;
     if keep == 0 {
-        return Err("must keep at least one version".into());
+        return Err(runtime("must keep at least one version".to_string()));
     }
     let mut system = open(repo)?;
     let Some(newest) = system.versions().last().copied() else {
@@ -259,6 +507,19 @@ fn cmd_prune(repo: &str, keep: &str) -> CliResult {
     Ok(())
 }
 
+fn cmd_prune_remote(addr: &str, keep: &str) -> CliResult {
+    let keep: u32 = keep
+        .parse()
+        .map_err(|_| usage(format!("keep-last must be a number, got {keep}")))?;
+    let mut client = connect(addr)?;
+    let summary = client.prune(keep)?;
+    println!(
+        "pruned {} versions, dropped {} containers, reclaimed {} bytes on {addr}",
+        summary.versions_removed, summary.containers_dropped, summary.bytes_reclaimed,
+    );
+    Ok(())
+}
+
 fn cmd_verify(repo: &str) -> CliResult {
     let mut system = open(repo)?;
     let report = system.scrub()?;
@@ -273,41 +534,38 @@ fn cmd_verify(repo: &str) -> CliResult {
         for (container, fp) in &report.corrupt_chunks {
             eprintln!("CORRUPT: chunk {fp} in container {container}");
         }
-        Err(format!("{} corrupt chunks found", report.corrupt_chunks.len()).into())
+        Err(runtime(format!(
+            "{} corrupt chunks found",
+            report.corrupt_chunks.len()
+        )))
     }
 }
 
-fn cmd_stats(repo: &str) -> CliResult {
-    use hidestore::dedup::analysis::analyze_plan;
-    let system = open(repo)?;
-    if system.versions().is_empty() {
-        println!("repository is empty");
-        return Ok(());
-    }
-    let capacity = system.config().container_capacity;
+fn cmd_verify_remote(addr: &str) -> CliResult {
+    let mut client = connect(addr)?;
+    let summary = client.verify()?;
     println!(
-        "{:>8}  {:>12}  {:>8}  {:>6}  {:>12}",
-        "version", "bytes", "chunks", "CFL", "KiB/container"
+        "checked {} containers, {} chunks, {} recipes on {addr}",
+        summary.containers_checked, summary.chunks_checked, summary.recipes_checked,
     );
-    for v in system.versions() {
-        let recipe = system.recipes().get(v).expect("listed version exists");
-        let plan = hidestore::core::chain::resolve_plan(system.recipes(), system.pool(), v)?;
-        let report = analyze_plan(plan.into_iter().map(|(_, size, cid)| (size, cid)), capacity);
-        println!(
-            "{:>8}  {:>12}  {:>8}  {:>6.3}  {:>12.1}",
-            v.to_string(),
-            recipe.total_bytes(),
-            recipe.len(),
-            report.cfl,
-            report.mean_bytes_per_container / 1024.0,
-        );
+    if summary.is_clean() {
+        println!("repository is clean");
+        Ok(())
+    } else {
+        for (container, fp) in &summary.corrupt_chunks {
+            eprintln!("CORRUPT: chunk {fp} in container {container}");
+        }
+        Err(runtime(format!(
+            "{} corrupt chunks found",
+            summary.corrupt_chunks.len()
+        )))
     }
-    println!(
-        "pool: {} containers, {} hot chunks, {:.1} KiB live",
-        system.pool().container_count(),
-        system.pool().chunk_count(),
-        system.pool().live_bytes() as f64 / 1024.0,
-    );
+}
+
+fn cmd_shutdown_remote(addr: &str) -> CliResult {
+    let client = connect(addr)?;
+    client.shutdown()?;
+    println!("hds-served at {addr} is draining");
     Ok(())
 }
 
@@ -331,5 +589,45 @@ fn cmd_flatten(repo: &str) -> CliResult {
     let (updated, elapsed) = system.flatten_recipes();
     system.save_repository(repo)?;
     println!("flattened recipe chains: {updated} entries updated in {elapsed:?}");
+    Ok(())
+}
+
+fn cmd_serve(repo: &str, opts: &[String]) -> CliResult {
+    let mut bind = "127.0.0.1".to_string();
+    let mut port: u16 = 0;
+    let mut config = ServerConfig::default();
+    let mut it = opts.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--bind" => {
+                bind = it
+                    .next()
+                    .ok_or_else(|| usage("--bind needs a value"))?
+                    .clone();
+            }
+            "--port" => {
+                let value = it.next().ok_or_else(|| usage("--port needs a value"))?;
+                port = value
+                    .parse()
+                    .map_err(|_| usage(format!("--port must be a number, got {value}")))?;
+            }
+            "--workers" => {
+                let value = it.next().ok_or_else(|| usage("--workers needs a value"))?;
+                config.workers = value
+                    .parse()
+                    .map_err(|_| usage(format!("--workers must be a number, got {value}")))?;
+            }
+            "--quiet" => config.quiet = true,
+            other => return Err(usage(format!("unknown option {other}"))),
+        }
+    }
+    config.bind = format!("{bind}:{port}");
+    let handle = hidestore::server::serve(repo, config)?;
+    // Scripts block on this exact line to learn the bound (ephemeral) port.
+    println!("hds-served listening on {}", handle.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    let stats = handle.join();
+    eprintln!("hds-served: drained; final counters: {stats}");
     Ok(())
 }

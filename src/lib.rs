@@ -24,6 +24,8 @@
 //! | [`workloads`] | kernel / gcc / fslhomes / macos generators |
 //! | [`fsck`] | cross-layer invariant checker ([`fsck::SystemAuditor`]) |
 //! | [`failpoint`] | [`failpoint::Vfs`] io-shim + fault injection for crash testing |
+//! | [`proto`] | framed wire protocol: versioned HELLO, CRC-guarded frames, typed messages |
+//! | [`server`] | `hds-served` daemon + [`server::RemoteClient`] |
 //!
 //! # Quickstart
 //!
@@ -50,8 +52,10 @@ pub use hidestore_failpoint as failpoint;
 pub use hidestore_fsck as fsck;
 pub use hidestore_hash as hash;
 pub use hidestore_index as index;
+pub use hidestore_proto as proto;
 pub use hidestore_restore as restore;
 pub use hidestore_rewriting as rewriting;
+pub use hidestore_server as server;
 pub use hidestore_storage as storage;
 pub use hidestore_workloads as workloads;
 

@@ -170,6 +170,126 @@ fn restore_unknown_version_fails_cleanly() {
     fs::remove_dir_all(&repo).unwrap();
 }
 
+/// Exit codes are part of the CLI contract: 2 for usage mistakes (with the
+/// usage text), 1 for runtime failures (with an `error:` line), 0 for
+/// success. Scripts and ci.sh branch on them.
+#[test]
+fn exit_codes_distinguish_usage_from_runtime_errors() {
+    let repo = temp("exitcodes");
+    let repo_s = repo.to_str().unwrap();
+
+    // Usage errors -> exit 2 + usage text.
+    for args in [
+        &[] as &[&str],
+        &["bogus-command"],
+        &["init"],
+        &["backup", repo_s],
+        &["restore", repo_s, "1"],
+        &["backup", "--remote"],
+        &["restore", repo_s, "not-a-number", "/tmp/x"],
+        &["prune", repo_s, "many"],
+        &["list", repo_s, "extra-arg"],
+        &["flatten", "--remote", "127.0.0.1:1", repo_s],
+    ] {
+        let out = run(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "usage error {args:?} must exit 2: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage:"),
+            "usage text expected for {args:?}"
+        );
+    }
+
+    // Runtime errors -> exit 1 + error line, no usage text.
+    assert!(run(&["init", repo_s]).status.success());
+    for args in [
+        &["backup", repo_s, "/definitely/missing/file.bin"] as &[&str],
+        &["restore", repo_s, "7", "/tmp/never-written.bin"],
+        &["prune", repo_s, "0"],
+        &["init", repo_s],
+        &["list", "--remote", "127.0.0.1:1"],
+    ] {
+        let out = run(args);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "runtime error {args:?} must exit 1: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("error:"),
+            "error line expected for {args:?}"
+        );
+        assert!(
+            !stderr.contains("usage:"),
+            "runtime error {args:?} must not print usage"
+        );
+    }
+
+    // Success -> exit 0.
+    assert_eq!(run(&["list", repo_s]).status.code(), Some(0));
+    fs::remove_dir_all(&repo).unwrap();
+}
+
+/// The `--json` schema is a stable machine interface shared with the wire
+/// protocol's response types; this pins it byte-for-byte on an empty
+/// repository and structurally once versions exist.
+#[test]
+fn json_output_schema_is_pinned() {
+    let repo = temp("json");
+    let repo_s = repo.to_str().unwrap();
+    assert!(
+        run(&["init", repo_s, "--chunk", "1024", "--container", "32768"])
+            .status
+            .success()
+    );
+
+    let out = run(&["list", repo_s, "--json"]);
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "{\"versions\":[],\"archival_containers\":0,\"active_containers\":0,\"hot_chunks\":0}"
+    );
+    let out = run(&["stats", repo_s, "--json"]);
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "{\"versions\":[],\"pool_containers\":0,\"pool_chunks\":0,\"pool_live_bytes\":0}"
+    );
+
+    let f = repo.join("input.bin");
+    fs::write(&f, noise(50_000, 4)).unwrap();
+    assert!(run(&["backup", repo_s, f.to_str().unwrap()])
+        .status
+        .success());
+
+    let out = run(&["list", repo_s, "--json"]);
+    let text = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert!(
+        text.starts_with("{\"versions\":[{\"version\":1,\"bytes\":50000,\"chunks\":"),
+        "{text}"
+    );
+    assert!(text.contains("\"archival_containers\":"), "{text}");
+    let out = run(&["stats", repo_s, "--json"]);
+    let text = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert!(
+        text.starts_with("{\"versions\":[{\"version\":1,\"bytes\":50000,\"chunks\":"),
+        "{text}"
+    );
+    assert!(
+        text.contains("\"cfl\":") && text.contains("\"mean_kib_per_container\":"),
+        "{text}"
+    );
+    assert!(text.contains("\"pool_live_bytes\":50000"), "{text}");
+
+    fs::remove_dir_all(&repo).unwrap();
+}
+
 #[test]
 fn recluster_keeps_repository_restorable() {
     let repo = temp("recluster");
