@@ -3,18 +3,21 @@
 #
 #     ./ci.sh
 #
-# Seven checks, in order of increasing cost; the script stops at the first
+# Eight checks, in order of increasing cost; the script stops at the first
 # failure:
 #
 #   1. cargo fmt --check            -- formatting drift
 #   2. cargo xtask lint             -- panic-free library code + crate attrs
-#   3. cargo clippy -D warnings     -- clippy across every target
-#   4. cargo test -q                -- the full workspace test suite
-#   5. crash matrix (release)       -- crash-at-every-I/O-site recovery sweep
-#   6. differential suites (release)-- serial-vs-concurrent equality of the
+#   3. cargo xtask analyze          -- static-analysis wall: Vfs I/O
+#                                      discipline, lock discipline, wire
+#                                      safety, panic markers
+#   4. cargo clippy -D warnings     -- clippy across every target
+#   5. cargo test -q                -- the full workspace test suite
+#   6. crash matrix (release)       -- crash-at-every-I/O-site recovery sweep
+#   7. differential suites (release)-- serial-vs-concurrent equality of the
 #                                      backup pipeline AND the staged restore
 #                                      engine, once at HDS_THREADS=1 and 8
-#   7. served round trip            -- hds-served on an ephemeral port:
+#   8. served round trip            -- hds-served on an ephemeral port:
 #                                      remote backup -> list -> restore ->
 #                                      verify, byte-compare, fsck-clean repo,
 #                                      graceful shutdown
@@ -27,6 +30,9 @@ cargo fmt --check
 
 echo "ci: cargo xtask lint"
 cargo xtask lint
+
+echo "ci: cargo xtask analyze"
+cargo xtask analyze
 
 echo "ci: cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -3,6 +3,7 @@
 use std::path::Path;
 
 use hidestore_chunking::ChunkerKind;
+use hidestore_failpoint::{RealVfs, Vfs};
 use hidestore_restore::RestoreConcurrency;
 
 use crate::system::HiDeStoreError;
@@ -126,16 +127,30 @@ impl HiDeStoreConfig {
     /// [`HiDeStoreError::Config`] when the file is missing (not a
     /// repository), unreadable, or a known key has an unparsable value.
     pub fn load_from(dir: impl AsRef<Path>) -> Result<Self, HiDeStoreError> {
+        Self::load_from_with(dir, &RealVfs)
+    }
+
+    /// [`HiDeStoreConfig::load_from`] against an explicit [`Vfs`], so crash
+    /// tests can exercise config reads through the fault-injecting shim.
+    ///
+    /// # Errors
+    ///
+    /// As [`HiDeStoreConfig::load_from`].
+    pub fn load_from_with<V: Vfs>(dir: impl AsRef<Path>, vfs: &V) -> Result<Self, HiDeStoreError> {
         let dir = dir.as_ref();
         let path = dir.join(CONFIG_FILE);
-        if !path.exists() {
+        if !vfs.exists(&path) {
             return Err(HiDeStoreError::Config(format!(
                 "{} is not a hidestore repository (run `init` first)",
                 dir.display()
             )));
         }
-        let text = std::fs::read_to_string(&path)
+        let bytes = vfs
+            .read(&path)
             .map_err(|e| HiDeStoreError::Config(format!("cannot read {}: {e}", path.display())))?;
+        let text = String::from_utf8(bytes).map_err(|_| {
+            HiDeStoreError::Config(format!("{} is not valid UTF-8", path.display()))
+        })?;
         let mut config = HiDeStoreConfig::default();
         for line in text.lines() {
             let Some((key, value)) = line.split_once('=') else {
@@ -176,6 +191,20 @@ impl HiDeStoreConfig {
     ///
     /// [`HiDeStoreError::Config`] when the file cannot be written.
     pub fn save_to(&self, dir: impl AsRef<Path>) -> Result<(), HiDeStoreError> {
+        self.save_to_with(dir, &RealVfs)
+    }
+
+    /// [`HiDeStoreConfig::save_to`] against an explicit [`Vfs`], so crash
+    /// tests can exercise config writes through the fault-injecting shim.
+    ///
+    /// # Errors
+    ///
+    /// As [`HiDeStoreConfig::save_to`].
+    pub fn save_to_with<V: Vfs>(
+        &self,
+        dir: impl AsRef<Path>,
+        vfs: &V,
+    ) -> Result<(), HiDeStoreError> {
         let path = dir.as_ref().join(CONFIG_FILE);
         let text = format!(
             "chunk={}\ncontainer={}\ndepth={}\nthreads={}\nrestore_threads={}\n\
@@ -188,7 +217,7 @@ impl HiDeStoreConfig {
             self.restore.queue_depth,
             self.restore.readahead_containers,
         );
-        std::fs::write(&path, text)
+        vfs.write(&path, text.as_bytes())
             .map_err(|e| HiDeStoreError::Config(format!("cannot write {}: {e}", path.display())))
     }
 

@@ -189,7 +189,11 @@ pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
     buf.extend_from_slice(&FRAME_MAGIC);
     buf.push(kind.as_u8());
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    // Saturate rather than truncate: a wrapped-around length would make the
+    // receiver misparse the stream, while a saturated one fails the
+    // receiver's max_frame check cleanly.
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    buf.extend_from_slice(&len.to_le_bytes());
     buf.extend_from_slice(payload);
     let crc = crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());

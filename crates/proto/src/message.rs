@@ -349,7 +349,7 @@ impl Response {
             }
             Response::ListOk(list) => {
                 w.u8(5);
-                w.u32(list.versions.len() as u32);
+                w.len_u32(list.versions.len());
                 for v in &list.versions {
                     w.u32(v.version);
                     w.u64(v.bytes);
@@ -361,7 +361,7 @@ impl Response {
             }
             Response::StatsOk(stats) => {
                 w.u8(6);
-                w.u32(stats.versions.len() as u32);
+                w.len_u32(stats.versions.len());
                 for v in &stats.versions {
                     w.u32(v.version);
                     w.u64(v.bytes);
@@ -384,7 +384,7 @@ impl Response {
                 w.u64(s.containers_checked);
                 w.u64(s.chunks_checked);
                 w.u64(s.recipes_checked);
-                w.u32(s.corrupt_chunks.len() as u32);
+                w.len_u32(s.corrupt_chunks.len());
                 for (cid, fp) in &s.corrupt_chunks {
                     w.u32(*cid);
                     w.string(fp);

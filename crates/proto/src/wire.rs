@@ -129,9 +129,18 @@ impl ByteWriter {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Appends a `usize` length or count as a `u32`, saturating instead of
+    /// truncating on overflow. A saturated value always exceeds
+    /// [`MAX_STRING_LEN`]/[`MAX_SEQ_LEN`], so the decoder rejects the frame
+    /// with [`DecodeError::TooLong`] rather than silently reading a
+    /// wrapped-around length (fail closed).
+    pub fn len_u32(&mut self, n: usize) {
+        self.u32(u32::try_from(n).unwrap_or(u32::MAX));
+    }
+
     /// Appends a length-prefixed UTF-8 string.
     pub fn string(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+        self.len_u32(s.len());
         self.buf.extend_from_slice(s.as_bytes());
     }
 }

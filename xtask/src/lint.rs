@@ -1,0 +1,114 @@
+//! `cargo xtask lint` — the PR 1 lint wall, now riding the shared lexer.
+//!
+//! Two checks over every library source in the workspace:
+//!
+//! 1. **Panic-free library code** — `.unwrap()`, `.expect(` and `panic!`
+//!    are forbidden outside `#[cfg(test)]`/`#[test]` scope and `src/bin/`
+//!    binaries. Deliberate exceptions live in `xtask/lint-allow.txt`
+//!    (`<path> :: <substring>`, one per line); stale entries fail the lint.
+//! 2. **Mandatory crate-root attributes** — every `src/lib.rs` must carry
+//!    `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//!
+//! Because the token scan and test-scope tracking now come from
+//! [`crate::lexer`] — the same engine `analyze` uses — the two tasks cannot
+//! disagree about what is test code, and the substring scanner's false
+//! classes are gone: tokens inside string literals and block comments are
+//! invisible, and `#[cfg(test)]` scope is tracked by real brace matching.
+
+use std::path::Path;
+
+use crate::allow::Allowlist;
+use crate::lexer::TokKind;
+use crate::workspace::Workspace;
+
+const REQUIRED_CRATE_ATTRS: [&str; 2] = ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
+
+/// Runs the lint over `root`. Returns the process exit code.
+pub fn run(root: &Path) -> u8 {
+    let allowlist = match Allowlist::load(&root.join("xtask").join("lint-allow.txt")) {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("xtask: cannot read allowlist: {e}");
+            return 2;
+        }
+    };
+
+    let ws = Workspace::collect(root);
+    let mut violations: Vec<String> = ws.unreadable.clone();
+    let mut allow_hits = vec![false; allowlist.entries.len()];
+
+    for sf in &ws.files {
+        for (i, t) in sf.toks.iter().enumerate() {
+            if sf.test_mask[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            let name = match t.text.as_str() {
+                // `.unwrap()` — exactly the niladic panic form.
+                "unwrap"
+                    if i >= 1
+                        && sf.toks[i - 1].is_punct(".")
+                        && sf.toks.get(i + 1).is_some_and(|p| p.is_punct("("))
+                        && sf.toks.get(i + 2).is_some_and(|p| p.is_punct(")")) =>
+                {
+                    "unwrap"
+                }
+                // `.expect(…)`
+                "expect"
+                    if i >= 1
+                        && sf.toks[i - 1].is_punct(".")
+                        && sf.toks.get(i + 1).is_some_and(|p| p.is_punct("(")) =>
+                {
+                    "expect"
+                }
+                // `panic!`
+                "panic" if sf.toks.get(i + 1).is_some_and(|p| p.is_punct("!")) => "panic",
+                _ => continue,
+            };
+            let line_text = sf.line_text(t.line);
+            if let Some(idx) = allowlist.matches(&sf.rel, line_text) {
+                allow_hits[idx] = true;
+            } else {
+                violations.push(format!(
+                    "{}:{}: forbidden `{name}` in library code: {line_text}",
+                    sf.rel, t.line
+                ));
+            }
+        }
+    }
+
+    for (i, entry) in allowlist.entries.iter().enumerate() {
+        if !allow_hits[i] {
+            violations.push(format!(
+                "xtask/lint-allow.txt: stale entry `{} :: {}` matches nothing",
+                entry.path, entry.pattern
+            ));
+        }
+    }
+
+    for rel in &ws.crate_roots {
+        let Some(sf) = ws.files.iter().find(|f| &f.rel == rel) else {
+            continue;
+        };
+        for attr in REQUIRED_CRATE_ATTRS {
+            if !sf.lines.iter().any(|l| l.trim() == attr) {
+                violations.push(format!("{rel}: crate root is missing `{attr}`"));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "xtask lint: clean ({} library files, {} crate roots)",
+            ws.files.len(),
+            ws.crate_roots.len()
+        );
+        0
+    } else {
+        violations.sort();
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        1
+    }
+}

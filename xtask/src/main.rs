@@ -1,443 +1,9 @@
-//! Workspace automation tasks, invoked as `cargo xtask <task>`.
-//!
-//! The only task today is `lint`: the repo-wide lint wall.
-//!
-//! # `cargo xtask lint`
-//!
-//! Two checks over every library source in the workspace (root facade,
-//! `crates/*`, and the vendored stand-ins in `vendor/*`):
-//!
-//! 1. **Panic-free library code** — `.unwrap()`, `.expect(` and `panic!` are
-//!    forbidden outside `#[cfg(test)]`/`#[test]` blocks and `src/bin/`
-//!    binaries. Deliberate exceptions live in `xtask/lint-allow.txt`, one
-//!    per line as `<path> :: <substring>`; stale entries fail the lint so
-//!    the list cannot rot.
-//! 2. **Mandatory crate-root attributes** — every `src/lib.rs` must carry
-//!    `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
-//!
-//! Exit code 0 when clean, 1 with findings, 2 on usage/I/O errors.
+//! Thin binary entry point: all logic lives in the `xtask` library so the
+//! lexer, rules, and allowlists are unit-testable.
 
-use std::fmt::Write as _;
-use std::fs;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Tokens forbidden in non-test library code.
-///
-/// Assembled at runtime so this file would not trip the scan even if it were
-/// in scope (it is not: binaries are exempt).
-fn forbidden_tokens() -> [(String, &'static str); 3] {
-    [
-        (format!(".{}()", "unwrap"), "unwrap"),
-        (format!(".{}(", "expect"), "expect"),
-        (format!("{}!", "panic"), "panic"),
-    ]
-}
-
-const REQUIRED_CRATE_ATTRS: [&str; 2] = ["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
-
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("lint") => run_lint(),
-        Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint)");
-            ExitCode::from(2)
-        }
-        None => {
-            eprintln!("usage: cargo xtask lint");
-            ExitCode::from(2)
-        }
-    }
-}
-
-fn workspace_root() -> PathBuf {
-    // xtask lives at <root>/xtask; its manifest dir is compiled in.
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
-}
-
-fn run_lint() -> ExitCode {
-    let root = workspace_root();
-    let mut violations: Vec<String> = Vec::new();
-
-    let allowlist = match Allowlist::load(&root.join("xtask").join("lint-allow.txt")) {
-        Ok(list) => list,
-        Err(e) => {
-            eprintln!("xtask: cannot read allowlist: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
-    // Library source roots: the facade, the workspace crates, the vendored
-    // stand-ins. Binaries (src/bin/) are exempt from the token scan; xtask
-    // itself is dev tooling and out of scope.
-    let mut lib_files: Vec<PathBuf> = Vec::new();
-    let mut crate_roots: Vec<PathBuf> = Vec::new();
-    collect_src_dir(
-        &root.join("src"),
-        &mut lib_files,
-        &mut crate_roots,
-        &mut violations,
-    );
-    for family in ["crates", "vendor"] {
-        let Ok(entries) = fs::read_dir(root.join(family)) else {
-            continue;
-        };
-        let mut dirs: Vec<PathBuf> = entries
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.is_dir())
-            .collect();
-        dirs.sort();
-        for dir in dirs {
-            collect_src_dir(
-                &dir.join("src"),
-                &mut lib_files,
-                &mut crate_roots,
-                &mut violations,
-            );
-        }
-    }
-
-    let tokens = forbidden_tokens();
-    let mut allow_hits = vec![false; allowlist.entries.len()];
-    for file in &lib_files {
-        let rel = relative(&root, file);
-        let source = match fs::read_to_string(file) {
-            Ok(s) => s,
-            Err(e) => {
-                violations.push(format!("{rel}: unreadable: {e}"));
-                continue;
-            }
-        };
-        for (line_no, line) in non_test_lines(&source) {
-            let code = strip_comment(line);
-            for (token, name) in &tokens {
-                if !code.contains(token.as_str()) {
-                    continue;
-                }
-                if let Some(i) = allowlist.matches(&rel, line) {
-                    allow_hits[i] = true;
-                } else {
-                    violations.push(format!(
-                        "{rel}:{line_no}: forbidden `{name}` in library code: {}",
-                        line.trim()
-                    ));
-                }
-            }
-        }
-    }
-
-    for (i, entry) in allowlist.entries.iter().enumerate() {
-        if !allow_hits[i] {
-            violations.push(format!(
-                "xtask/lint-allow.txt: stale entry `{} :: {}` matches nothing",
-                entry.path, entry.pattern
-            ));
-        }
-    }
-
-    for root_file in &crate_roots {
-        let rel = relative(&root, root_file);
-        let source = match fs::read_to_string(root_file) {
-            Ok(s) => s,
-            Err(e) => {
-                violations.push(format!("{rel}: unreadable: {e}"));
-                continue;
-            }
-        };
-        for attr in REQUIRED_CRATE_ATTRS {
-            if !source.lines().any(|l| l.trim() == attr) {
-                violations.push(format!("{rel}: crate root is missing `{attr}`"));
-            }
-        }
-    }
-
-    if violations.is_empty() {
-        println!(
-            "xtask lint: clean ({} library files, {} crate roots)",
-            lib_files.len(),
-            crate_roots.len()
-        );
-        ExitCode::SUCCESS
-    } else {
-        let mut out = String::new();
-        for v in &violations {
-            let _ = writeln!(out, "{v}");
-        }
-        eprint!("{out}");
-        eprintln!("xtask lint: {} violation(s)", violations.len());
-        ExitCode::from(1)
-    }
-}
-
-/// Recursively collects `.rs` files under a `src/` dir, skipping `bin/`
-/// subtrees, and records `lib.rs` crate roots.
-fn collect_src_dir(
-    src: &Path,
-    files: &mut Vec<PathBuf>,
-    crate_roots: &mut Vec<PathBuf>,
-    violations: &mut Vec<String>,
-) {
-    if !src.is_dir() {
-        return;
-    }
-    let lib = src.join("lib.rs");
-    if lib.is_file() {
-        crate_roots.push(lib);
-    }
-    let mut stack = vec![src.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        let entries = match fs::read_dir(&dir) {
-            Ok(e) => e,
-            Err(e) => {
-                violations.push(format!("{}: unreadable directory: {e}", dir.display()));
-                continue;
-            }
-        };
-        let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
-        paths.sort();
-        for path in paths {
-            if path.is_dir() {
-                if path.file_name().is_some_and(|n| n == "bin") {
-                    continue; // binaries are exempt from the token scan
-                }
-                stack.push(path);
-            } else if path.extension().is_some_and(|x| x == "rs") {
-                files.push(path);
-            }
-        }
-    }
-}
-
-fn relative(root: &Path, file: &Path) -> String {
-    file.strip_prefix(root)
-        .unwrap_or(file)
-        .components()
-        .map(|c| c.as_os_str().to_string_lossy())
-        .collect::<Vec<_>>()
-        .join("/")
-}
-
-/// Yields `(line_number, line)` for lines outside `#[cfg(test)]` / `#[test]`
-/// items, tracking brace depth to find where the skipped item ends.
-fn non_test_lines(source: &str) -> Vec<(usize, &str)> {
-    enum State {
-        Code,
-        /// Saw a test attribute; the next non-attribute line starts the item.
-        Pending,
-        /// Inside the test item, `depth` braces deep; `entered` once a `{`
-        /// has been seen.
-        Skipping {
-            depth: i64,
-            entered: bool,
-        },
-    }
-    let mut state = State::Code;
-    let mut out = Vec::new();
-    for (idx, line) in source.lines().enumerate() {
-        let trimmed = line.trim_start();
-        match state {
-            State::Code => {
-                if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[test]") {
-                    state = State::Pending;
-                } else {
-                    out.push((idx + 1, line));
-                }
-            }
-            State::Pending => {
-                if trimmed.starts_with("#[") {
-                    // Another attribute on the same item; keep waiting.
-                } else {
-                    let code = strip_comment(line);
-                    let (delta, saw_open) = brace_delta(&code);
-                    if saw_open {
-                        if delta <= 0 {
-                            state = State::Code; // one-line item
-                        } else {
-                            state = State::Skipping {
-                                depth: delta,
-                                entered: true,
-                            };
-                        }
-                    } else if code.contains(';') {
-                        state = State::Code; // e.g. `mod tests;` — body is elsewhere
-                    } else {
-                        // Signature continues on following lines.
-                        state = State::Skipping {
-                            depth: delta,
-                            entered: false,
-                        };
-                    }
-                }
-            }
-            State::Skipping { depth, entered } => {
-                let code = strip_comment(line);
-                let (delta, saw_open) = brace_delta(&code);
-                let depth = depth + delta;
-                let entered = entered || saw_open;
-                if entered && depth <= 0 {
-                    state = State::Code;
-                } else {
-                    state = State::Skipping { depth, entered };
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Net `{`/`}` balance of a line, ignoring braces inside string and char
-/// literals; also reports whether any real `{` was seen.
-fn brace_delta(code: &str) -> (i64, bool) {
-    let mut delta = 0i64;
-    let mut saw_open = false;
-    let mut in_str = false;
-    let mut chars = code.chars().peekable();
-    while let Some(c) = chars.next() {
-        match c {
-            '\\' if in_str => {
-                let _ = chars.next();
-            }
-            '"' => in_str = !in_str,
-            '\'' if !in_str => {
-                // Char literal: consume it whole so `'{'` does not count.
-                // Lifetimes (`'a`) have no closing quote and fall through.
-                let mut look = chars.clone();
-                match (look.next(), look.next(), look.next()) {
-                    (Some('\\'), _, Some('\'')) => chars = look,
-                    (Some(_), Some('\''), _) => {
-                        let _ = chars.next();
-                        let _ = chars.next();
-                    }
-                    _ => {}
-                }
-            }
-            '{' if !in_str => {
-                delta += 1;
-                saw_open = true;
-            }
-            '}' if !in_str => delta -= 1,
-            _ => {}
-        }
-    }
-    (delta, saw_open)
-}
-
-/// Cuts a trailing `//` comment off a line (quote-parity heuristic: a `//`
-/// preceded by an even number of quotes is treated as a comment).
-fn strip_comment(line: &str) -> String {
-    let mut quotes = 0usize;
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if !quotes.is_multiple_of(2) => i += 1, // skip escaped char in string
-            b'"' => quotes += 1,
-            b'/' if quotes.is_multiple_of(2) && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return line[..i].to_string();
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line.to_string()
-}
-
-/// One deliberate exception: a file plus a required line substring.
-struct AllowEntry {
-    path: String,
-    pattern: String,
-}
-
-struct Allowlist {
-    entries: Vec<AllowEntry>,
-}
-
-impl Allowlist {
-    fn load(path: &Path) -> Result<Self, std::io::Error> {
-        let text = if path.is_file() {
-            fs::read_to_string(path)?
-        } else {
-            String::new()
-        };
-        let mut entries = Vec::new();
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let (path, pattern) = match line.split_once("::") {
-                Some((p, pat)) => (p.trim().to_string(), pat.trim().to_string()),
-                None => (line.to_string(), String::new()),
-            };
-            entries.push(AllowEntry { path, pattern });
-        }
-        Ok(Allowlist { entries })
-    }
-
-    /// Index of the first entry covering this (file, line), if any.
-    fn matches(&self, rel_path: &str, line: &str) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.path == rel_path && (e.pattern.is_empty() || line.contains(&e.pattern)))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn non_test_lines_skip_cfg_test_blocks() {
-        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap() }\n}\nfn c() {}\n";
-        let kept: Vec<usize> = non_test_lines(src).iter().map(|&(n, _)| n).collect();
-        assert_eq!(kept, vec![1, 6]);
-    }
-
-    #[test]
-    fn non_test_lines_skip_test_fns_with_extra_attrs() {
-        let src = "#[test]\n#[should_panic]\nfn t() {\n    boom();\n}\nfn keep() {}\n";
-        let kept: Vec<usize> = non_test_lines(src).iter().map(|&(n, _)| n).collect();
-        assert_eq!(kept, vec![6]);
-    }
-
-    #[test]
-    fn braces_in_strings_do_not_confuse_tracking() {
-        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"{\";\n}\nfn after() {}\n";
-        let kept: Vec<usize> = non_test_lines(src).iter().map(|&(n, _)| n).collect();
-        assert_eq!(kept, vec![5]);
-    }
-
-    #[test]
-    fn char_brace_literal_not_counted() {
-        assert_eq!(brace_delta("let c = '{';"), (0, false));
-        assert_eq!(brace_delta("fn f() {"), (1, true));
-    }
-
-    #[test]
-    fn comments_are_stripped() {
-        assert_eq!(
-            strip_comment("code(); // has .unwrap() mention"),
-            "code(); "
-        );
-        assert_eq!(
-            strip_comment("let url = \"http://x\"; real();"),
-            "let url = \"http://x\"; real();"
-        );
-    }
-
-    #[test]
-    fn allowlist_requires_both_path_and_pattern() {
-        let list = Allowlist {
-            entries: vec![AllowEntry {
-                path: "a/b.rs".into(),
-                pattern: "expect(\"ok\")".into(),
-            }],
-        };
-        assert!(list.matches("a/b.rs", "x.expect(\"ok\");").is_some());
-        assert!(list.matches("a/b.rs", "x.expect(\"other\");").is_none());
-        assert!(list.matches("a/c.rs", "x.expect(\"ok\");").is_none());
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(xtask::run(&args))
 }

@@ -1,0 +1,83 @@
+//! Rule family 4 — panic-audit upgrade (`panic-marker`, medium/low).
+//!
+//! `cargo xtask lint` forbids `.unwrap()`, `.expect(` and `panic!` in
+//! library code; both tasks now share the same lexer, so they agree exactly
+//! on what is test code. This family adds the markers the lint wall never
+//! covered:
+//!
+//! * `todo!` / `unimplemented!` (medium) — a guaranteed panic pretending to
+//!   be a plan; library code must return errors, not placeholders.
+//! * `dbg!` (low) — a debug leftover that writes to stderr in production.
+
+use crate::findings::{Finding, Severity};
+use crate::workspace::Workspace;
+
+/// Scans all library code (the same surface as `lint`) for panic markers.
+pub fn scan(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for sf in &ws.files {
+        for (i, t) in sf.toks.iter().enumerate() {
+            if sf.test_mask[i] {
+                continue;
+            }
+            let marker = matches!(t.text.as_str(), "todo" | "unimplemented" | "dbg")
+                && t.kind == crate::lexer::TokKind::Ident
+                && sf.toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+            if !marker {
+                continue;
+            }
+            let severity = if t.text == "dbg" {
+                Severity::Low
+            } else {
+                Severity::Medium
+            };
+            findings.push(Finding {
+                rule: "panic-marker",
+                severity,
+                file: sf.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "forbidden `{}!` in library code: {}",
+                    t.text,
+                    sf.line_text(t.line)
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+    use std::path::PathBuf;
+
+    fn scan_src(src: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            root: PathBuf::new(),
+            files: vec![SourceFile::parse("crates/x/src/lib.rs", src)],
+            crate_roots: vec![],
+            unreadable: vec![],
+        };
+        scan(&ws)
+    }
+
+    #[test]
+    fn markers_are_flagged_with_severities() {
+        let f = scan_src(
+            "fn a() { todo!() }\nfn b() { unimplemented!() }\nfn c(x: u32) { let _ = dbg!(x); }\n",
+        );
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0].severity, Severity::Medium);
+        assert_eq!(f[2].severity, Severity::Low);
+    }
+
+    #[test]
+    fn test_scope_and_strings_are_exempt() {
+        let f = scan_src(
+            "#[cfg(test)]\nmod tests { fn t() { todo!() } }\nfn live() { let _ = \"todo! dbg!\"; }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Rule family 1 — Vfs I/O discipline (`vfs-io`, severity high).
+//!
+//! The crash-consistency story of PR 2 holds only if every byte the
+//! repository reads or writes flows through the `failpoint` Vfs shim: the
+//! crash matrix enumerates *Vfs call sites*, so a direct `std::fs` call is
+//! an I/O operation the matrix can never crash at. This rule forbids, in
+//! library code outside `crates/failpoint`:
+//!
+//! * any `std::fs` path (including `use std::fs…` imports),
+//! * `OpenOptions` (a `std::fs` handle factory however it was imported),
+//! * `File::create` / `File::open` / `File::options` calls.
+//!
+//! Genuinely non-repository I/O (a restore's *destination* file on the
+//! client, the bench harness's CSV results) is waived in
+//! `xtask/analyze-allow.txt` with a one-line justification.
+
+use crate::findings::{Finding, Severity};
+use crate::lexer::SourceFile;
+use crate::workspace::Workspace;
+
+const FILE_FACTORIES: [&str; 3] = ["create", "open", "options"];
+
+/// Whether `rel` is in scope for this rule.
+fn in_scope(rel: &str) -> bool {
+    (rel.starts_with("src/") || rel.starts_with("crates/")) && !rel.starts_with("crates/failpoint/")
+}
+
+/// Scans the workspace for direct filesystem access.
+pub fn scan(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for sf in ws.files.iter().filter(|f| in_scope(&f.rel)) {
+        scan_file(sf, &mut findings);
+    }
+    findings
+}
+
+fn scan_file(sf: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &sf.toks;
+    let mut flagged_lines: Vec<u32> = Vec::new();
+    let mut push = |line: u32, what: &str, findings: &mut Vec<Finding>| {
+        if flagged_lines.contains(&line) {
+            return; // one finding per line: `std::fs::File::create` is one sin
+        }
+        flagged_lines.push(line);
+        findings.push(Finding {
+            rule: "vfs-io",
+            severity: Severity::High,
+            file: sf.rel.clone(),
+            line,
+            message: format!(
+                "direct {what} bypasses the Vfs shim (crash-matrix blind spot): {}",
+                sf.line_text(line)
+            ),
+        });
+    };
+    for i in 0..toks.len() {
+        if sf.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `std :: fs`
+        if t.is_ident("std")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("fs"))
+        {
+            push(t.line, "`std::fs`", findings);
+            continue;
+        }
+        // `OpenOptions`
+        if t.is_ident("OpenOptions") {
+            push(t.line, "`OpenOptions`", findings);
+            continue;
+        }
+        // `fs::…` after a `use std::fs;` import (not a field named `fs`).
+        if t.is_ident("fs")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && (i == 0 || !(toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::")))
+        {
+            push(t.line, "`fs::` module access", findings);
+            continue;
+        }
+        // `File::create` / `File::open` / `File::options`
+        if t.is_ident("File")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| FILE_FACTORIES.iter().any(|m| t.is_ident(m)))
+        {
+            push(t.line, "`File::` constructor", findings);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+    use std::path::PathBuf;
+
+    fn scan_src(rel: &str, src: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            root: PathBuf::new(),
+            files: vec![SourceFile::parse(rel, src)],
+            crate_roots: vec![],
+            unreadable: vec![],
+        };
+        scan(&ws)
+    }
+
+    #[test]
+    fn flags_std_fs_and_file_and_openoptions() {
+        let src = "use std::fs::File;\nfn f() { let _ = File::create(\"x\"); }\nfn g() { let _ = OpenOptions::new(); }\n";
+        let f = scan_src("crates/storage/src/lib.rs", src);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|x| x.rule == "vfs-io"));
+    }
+
+    #[test]
+    fn one_finding_per_line() {
+        let f = scan_src(
+            "crates/core/src/lib.rs",
+            "fn f() { std::fs::File::create(\"x\").ok(); }\n",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn test_code_and_failpoint_and_comments_are_exempt() {
+        let test_side =
+            "#[cfg(test)]\nmod tests { use std::fs; fn t() { fs::write(\"x\", b\"\").ok(); } }\n";
+        assert!(scan_src("crates/core/src/lib.rs", test_side).is_empty());
+        let failpoint = "use std::fs;\n";
+        assert!(scan_src("crates/failpoint/src/vfs.rs", failpoint).is_empty());
+        let comment = "/// [`RealVfs`] maps to a direct `std::fs` call.\nfn doc() {}\n// std::fs in a comment\n";
+        assert!(scan_src("crates/storage/src/lib.rs", comment).is_empty());
+    }
+
+    #[test]
+    fn fs_file_create_without_std_prefix_is_caught() {
+        let f = scan_src(
+            "crates/bench/src/lib.rs",
+            "fn f() { let _ = fs::File::create(\"x\"); }\n",
+        );
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! Violation-free fixture crate: `analyze` must exit 0 here.
+
+/// Adds without overflow.
+pub fn add(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}

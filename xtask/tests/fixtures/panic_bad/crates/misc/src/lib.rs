@@ -1,0 +1,6 @@
+//! Fixture: a `todo!` placeholder shipped in library code.
+
+/// Not implemented yet — the marker the panic-audit rule forbids.
+pub fn later() {
+    todo!()
+}

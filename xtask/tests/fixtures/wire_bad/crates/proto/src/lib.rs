@@ -1,0 +1,11 @@
+//! Fixture: truncating length cast and unbounded wire-sized allocation.
+
+/// Announces a length as `u32`, silently truncating on 32-bit overflow.
+pub fn announce(len: usize) -> u32 {
+    len as u32
+}
+
+/// Allocates from a wire-derived count with no visible bound.
+pub fn reserve(count: usize) -> Vec<u64> {
+    Vec::with_capacity(count)
+}
