@@ -3,21 +3,26 @@
 #
 #     ./ci.sh
 #
-# Eight checks, in order of increasing cost; the script stops at the first
+# Nine checks, in order of increasing cost; the script stops at the first
 # failure:
 #
 #   1. cargo fmt --check            -- formatting drift
 #   2. cargo xtask lint             -- panic-free library code + crate attrs
 #   3. cargo xtask analyze          -- static-analysis wall: Vfs I/O
 #                                      discipline, lock discipline, wire
-#                                      safety, panic markers
+#                                      safety, panic markers, raw-socket use
 #   4. cargo clippy -D warnings     -- clippy across every target
 #   5. cargo test -q                -- the full workspace test suite
 #   6. crash matrix (release)       -- crash-at-every-I/O-site recovery sweep
 #   7. differential suites (release)-- serial-vs-concurrent equality of the
 #                                      backup pipeline AND the staged restore
 #                                      engine, once at HDS_THREADS=1 and 8
-#   8. served round trip            -- hds-served on an ephemeral port:
+#   8. chaos matrix (release)       -- fault-at-every-wire-op sweep of the
+#                                      retrying client against the daemon:
+#                                      cut/short/black-hole/delay on both
+#                                      sides, resume-tail accounting, server
+#                                      restart ride-through, busy shedding
+#   9. served round trip            -- hds-served on an ephemeral port:
 #                                      remote backup -> list -> restore ->
 #                                      verify, byte-compare, fsck-clean repo,
 #                                      graceful shutdown
@@ -54,6 +59,9 @@ HDS_THREADS=1 cargo test --release --test restore_differential -q
 
 echo "ci: cargo test --release --test restore_differential (HDS_THREADS=8)"
 HDS_THREADS=8 cargo test --release --test restore_differential -q
+
+echo "ci: cargo test --release --test server_chaos"
+cargo test --release --test server_chaos -q
 
 echo "ci: hds-served remote round trip"
 cargo build -q -p hidestore -p hidestore-server -p hidestore-fsck --bins

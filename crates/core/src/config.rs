@@ -43,6 +43,11 @@ pub struct HiDeStoreConfig {
     /// depth, readahead window). Restored bytes and cache accounting are
     /// identical at every setting.
     pub restore: RestoreConcurrency,
+    /// Default per-operation network timeout in whole seconds for the
+    /// `hds-served` daemon and remote CLI when neither a flag nor the
+    /// `HDS_NET_TIMEOUT` environment override is given. `0` disables
+    /// timeouts (blocking I/O).
+    pub net_timeout_secs: u64,
 }
 
 impl Default for HiDeStoreConfig {
@@ -57,6 +62,7 @@ impl Default for HiDeStoreConfig {
             threads: 1,
             queue_depth: 4,
             restore: RestoreConcurrency::serial(),
+            net_timeout_secs: 30,
         }
     }
 }
@@ -74,6 +80,7 @@ impl HiDeStoreConfig {
             threads: 1,
             queue_depth: 4,
             restore: RestoreConcurrency::serial(),
+            net_timeout_secs: 30,
         }
     }
 
@@ -105,6 +112,13 @@ impl HiDeStoreConfig {
     /// Variant with the given restore concurrency settings.
     pub fn with_restore(mut self, restore: RestoreConcurrency) -> Self {
         self.restore = restore;
+        self
+    }
+
+    /// Variant with the given default network timeout in seconds (`0`
+    /// disables timeouts).
+    pub fn with_net_timeout(mut self, secs: u64) -> Self {
+        self.net_timeout_secs = secs;
         self
     }
 
@@ -171,6 +185,7 @@ impl HiDeStoreConfig {
                 "restore_threads" => config.restore.threads = parsed(key)?,
                 "restore_queue" => config.restore.queue_depth = parsed(key)?,
                 "restore_readahead" => config.restore.readahead_containers = parsed(key)?,
+                "net_timeout" => config.net_timeout_secs = parsed(key)? as u64,
                 _ => {}
             }
         }
@@ -208,7 +223,7 @@ impl HiDeStoreConfig {
         let path = dir.as_ref().join(CONFIG_FILE);
         let text = format!(
             "chunk={}\ncontainer={}\ndepth={}\nthreads={}\nrestore_threads={}\n\
-             restore_queue={}\nrestore_readahead={}\n",
+             restore_queue={}\nrestore_readahead={}\nnet_timeout={}\n",
             self.avg_chunk_size,
             self.container_capacity,
             self.history_depth,
@@ -216,6 +231,7 @@ impl HiDeStoreConfig {
             self.restore.threads,
             self.restore.queue_depth,
             self.restore.readahead_containers,
+            self.net_timeout_secs,
         );
         vfs.write(&path, text.as_bytes())
             .map_err(|e| HiDeStoreError::Config(format!("cannot write {}: {e}", path.display())))
@@ -290,6 +306,25 @@ mod tests {
         HiDeStoreConfig::small_for_tests()
             .with_queue_depth(0)
             .validate();
+    }
+
+    #[test]
+    fn net_timeout_round_trips_through_config_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "hidestore-config-nettimeout-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let c = HiDeStoreConfig::small_for_tests().with_net_timeout(7);
+        c.save_to(&dir).unwrap();
+        let loaded = HiDeStoreConfig::load_from(&dir).unwrap();
+        assert_eq!(loaded.net_timeout_secs, 7);
+        // A pre-v2 config file without the key falls back to the default.
+        std::fs::write(dir.join(CONFIG_FILE), "chunk=1024\ncontainer=32768\n").unwrap();
+        let legacy = HiDeStoreConfig::load_from(&dir).unwrap();
+        assert_eq!(legacy.net_timeout_secs, 30);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use hidestore_failpoint::{RealVfs, Vfs};
 use hidestore_storage::FileContainerStore;
 
 use crate::config::HiDeStoreConfig;
@@ -36,16 +37,22 @@ use crate::system::{HiDeStore, HiDeStoreError};
 
 /// A thread-safe, long-lived handle to an on-disk repository. See the
 /// module docs for the locking and rollback rules.
-pub struct RepositoryHandle {
+///
+/// Generic over the [`Vfs`] so fault-injection tests can drive the
+/// rollback-reopen path (and prove the poisoned state) through
+/// [`hidestore_failpoint::FaultVfs`]; production callers use the
+/// [`RealVfs`] default.
+pub struct RepositoryHandle<V: Vfs = RealVfs> {
     dir: PathBuf,
+    vfs: V,
     /// `None` only after a rollback reopen itself failed — the handle is
     /// then poisoned and every operation reports it, because neither the
     /// in-memory state nor a fresh open can be trusted.
-    state: RwLock<Option<HiDeStore<FileContainerStore>>>,
+    state: RwLock<Option<HiDeStore<FileContainerStore<V>>>>,
     rollbacks: AtomicU64,
 }
 
-impl RepositoryHandle {
+impl RepositoryHandle<RealVfs> {
     /// Opens the repository at `dir`, reading its `config` file (with the
     /// `HDS_THREADS` override applied) and running journal recovery.
     ///
@@ -54,11 +61,26 @@ impl RepositoryHandle {
     /// [`HiDeStoreError::Config`] for a missing/invalid config file, or the
     /// errors of [`HiDeStore::open_repository`].
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, HiDeStoreError> {
+        Self::open_with(dir, RealVfs)
+    }
+}
+
+impl<V: Vfs> RepositoryHandle<V> {
+    /// [`RepositoryHandle::open`] through an explicit [`Vfs`] — the
+    /// fault-injection entry point. Every filesystem operation of the
+    /// handle's lifecycle (open, save, rollback reopen, snapshots) goes
+    /// through `vfs`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RepositoryHandle::open`].
+    pub fn open_with(dir: impl AsRef<Path>, vfs: V) -> Result<Self, HiDeStoreError> {
         let dir = dir.as_ref().to_path_buf();
-        let config = HiDeStoreConfig::load_from(&dir)?;
-        let system = HiDeStore::open_repository(config, &dir)?;
+        let config = HiDeStoreConfig::load_from_with(&dir, &vfs)?;
+        let (system, _report) = HiDeStore::open_repository_with(config, &dir, vfs.clone())?;
         Ok(RepositoryHandle {
             dir,
+            vfs,
             state: RwLock::new(Some(system)),
             rollbacks: AtomicU64::new(0),
         })
@@ -74,22 +96,14 @@ impl RepositoryHandle {
         self.rollbacks.load(Ordering::Relaxed)
     }
 
-    fn read_guard(&self) -> RwLockReadGuard<'_, Option<HiDeStore<FileContainerStore>>> {
+    fn read_guard(&self) -> RwLockReadGuard<'_, Option<HiDeStore<FileContainerStore<V>>>> {
         // The Option inside the lock carries the poison state explicitly, so
         // a lock poisoned by a panicking reader is safe to re-enter.
         self.state.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn write_guard(&self) -> RwLockWriteGuard<'_, Option<HiDeStore<FileContainerStore>>> {
+    fn write_guard(&self) -> RwLockWriteGuard<'_, Option<HiDeStore<FileContainerStore<V>>>> {
         self.state.write().unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn poisoned() -> HiDeStoreError {
-        HiDeStoreError::Config(
-            "repository handle is poisoned: a failed mutation could not be rolled back \
-             by reopening from disk"
-                .into(),
-        )
     }
 
     /// Runs a read-only closure against the shared in-memory instance under
@@ -98,15 +112,15 @@ impl RepositoryHandle {
     ///
     /// # Errors
     ///
-    /// Fails only if the handle is poisoned.
+    /// [`HiDeStoreError::Poisoned`] if the handle is poisoned.
     pub fn read<R>(
         &self,
-        f: impl FnOnce(&HiDeStore<FileContainerStore>) -> R,
+        f: impl FnOnce(&HiDeStore<FileContainerStore<V>>) -> R,
     ) -> Result<R, HiDeStoreError> {
         let guard = self.read_guard();
         match guard.as_ref() {
             Some(system) => Ok(f(system)),
-            None => Err(Self::poisoned()),
+            None => Err(HiDeStoreError::Poisoned),
         }
     }
 
@@ -118,17 +132,19 @@ impl RepositoryHandle {
     ///
     /// # Errors
     ///
-    /// The errors of [`HiDeStore::open_repository`], or `f`'s own.
+    /// [`HiDeStoreError::Poisoned`] if the handle is poisoned, the errors
+    /// of [`HiDeStore::open_repository`], or `f`'s own.
     pub fn read_snapshot<R>(
         &self,
-        f: impl FnOnce(&mut HiDeStore<FileContainerStore>) -> Result<R, HiDeStoreError>,
+        f: impl FnOnce(&mut HiDeStore<FileContainerStore<V>>) -> Result<R, HiDeStoreError>,
     ) -> Result<R, HiDeStoreError> {
         let guard = self.read_guard();
         let config = match guard.as_ref() {
             Some(system) => *system.config(),
-            None => return Err(Self::poisoned()),
+            None => return Err(HiDeStoreError::Poisoned),
         };
-        let mut snapshot = HiDeStore::open_repository(config, &self.dir)?;
+        let (mut snapshot, _report) =
+            HiDeStore::open_repository_with(config, &self.dir, self.vfs.clone())?;
         f(&mut snapshot)
     }
 
@@ -142,14 +158,15 @@ impl RepositoryHandle {
     ///
     /// The closure's error or the save's, with the in-memory state rolled
     /// back either way. If even the rollback reopen fails, the handle is
-    /// poisoned and subsequent operations fail fast.
+    /// poisoned and subsequent operations fail fast with
+    /// [`HiDeStoreError::Poisoned`].
     pub fn write<R>(
         &self,
-        f: impl FnOnce(&mut HiDeStore<FileContainerStore>) -> Result<R, HiDeStoreError>,
+        f: impl FnOnce(&mut HiDeStore<FileContainerStore<V>>) -> Result<R, HiDeStoreError>,
     ) -> Result<R, HiDeStoreError> {
         let mut guard = self.write_guard();
         let Some(system) = guard.as_mut() else {
-            return Err(Self::poisoned());
+            return Err(HiDeStoreError::Poisoned);
         };
         let result = f(system).and_then(|r| {
             system.save_repository(&self.dir)?;
@@ -160,8 +177,8 @@ impl RepositoryHandle {
             // committed state; discard the dirty in-memory instance.
             self.rollbacks.fetch_add(1, Ordering::Relaxed);
             let config = *system.config();
-            match HiDeStore::open_repository(config, &self.dir) {
-                Ok(fresh) => *guard = Some(fresh),
+            match HiDeStore::open_repository_with(config, &self.dir, self.vfs.clone()) {
+                Ok((fresh, _report)) => *guard = Some(fresh),
                 Err(_) => *guard = None,
             }
             return Err(e);
@@ -173,6 +190,7 @@ impl RepositoryHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hidestore_failpoint::{FaultKind, FaultVfs};
     use hidestore_restore::{Faa, RestoreConcurrency};
     use hidestore_storage::VersionId;
 
@@ -246,6 +264,52 @@ mod tests {
         // And the next mutation gets the expected version number.
         let stats = handle.write(|s| s.backup(&vec![3u8; 20_000])).unwrap();
         assert_eq!(stats.version.get(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A fault that makes the mutation's save fail AND (crash semantics:
+    /// every vfs op after the armed site fails too) makes the rollback
+    /// reopen fail must poison the handle: every subsequent operation
+    /// fast-fails with the typed [`HiDeStoreError::Poisoned`], never a
+    /// half-trusted instance.
+    #[test]
+    fn failed_rollback_poisons_the_handle_with_typed_error() {
+        let dir = temp("poison");
+        init_repo(&dir);
+        // Counting run: how many vfs ops does the open itself take? The
+        // armed run fails the first op after that, i.e. the first I/O of
+        // the mutation/save.
+        let counting = FaultVfs::counting();
+        let probe = RepositoryHandle::open_with(&dir, counting.clone()).unwrap();
+        let open_ops = counting.ops();
+        drop(probe);
+
+        let vfs = FaultVfs::armed(open_ops, FaultKind::Error);
+        let handle = RepositoryHandle::open_with(&dir, vfs.clone()).unwrap();
+        let err = handle.write(|s| s.backup(&vec![5u8; 40_000]));
+        assert!(err.is_err(), "the armed fault must fail the mutation");
+        assert!(vfs.crashed(), "the armed site must have fired");
+        assert_eq!(handle.rollbacks(), 1);
+        // The rollback reopen also failed (crashed vfs), so the handle is
+        // poisoned: reads, snapshots, and writes all fast-fail typed.
+        assert!(matches!(
+            handle.read(|s| s.versions()),
+            Err(HiDeStoreError::Poisoned)
+        ));
+        assert!(matches!(
+            handle.read_snapshot(|_s| Ok(())),
+            Err(HiDeStoreError::Poisoned)
+        ));
+        assert!(matches!(
+            handle.write(|s| s.backup(b"more")),
+            Err(HiDeStoreError::Poisoned)
+        ));
+        let msg = HiDeStoreError::Poisoned.to_string();
+        assert!(msg.contains("poisoned"), "display names the state: {msg}");
+        // The repository on disk is still intact: a fresh handle over the
+        // real filesystem opens and serves reads.
+        let fresh = RepositoryHandle::open(&dir).unwrap();
+        assert_eq!(fresh.read(|s| s.versions()).unwrap(), vec![]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

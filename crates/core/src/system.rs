@@ -47,8 +47,13 @@ pub enum HiDeStoreError {
         newest: VersionId,
     },
     /// The repository's configuration file is missing, unreadable, or
-    /// invalid (also covers a poisoned [`crate::RepositoryHandle`]).
+    /// invalid.
     Config(String),
+    /// A [`crate::RepositoryHandle`] is poisoned: a failed mutation could
+    /// not be rolled back by reopening from disk, so neither the in-memory
+    /// state nor a fresh open can be trusted. Every subsequent operation on
+    /// the handle fails fast with this error.
+    Poisoned,
     /// The requested version depends on artifacts that degraded-mode
     /// recovery quarantined; versions without quarantined dependencies
     /// still restore normally.
@@ -72,6 +77,11 @@ impl fmt::Display for HiDeStoreError {
                 "cannot expire up to {requested}: newest version {newest} must be retained"
             ),
             HiDeStoreError::Config(msg) => write!(f, "configuration error: {msg}"),
+            HiDeStoreError::Poisoned => write!(
+                f,
+                "repository handle is poisoned: a failed mutation could not be \
+                 rolled back by reopening from disk"
+            ),
             HiDeStoreError::PartialRestore {
                 version,
                 quarantined,

@@ -50,8 +50,8 @@ pub use frame::{
 };
 pub use message::{
     BackupSummary, ErrorCode, Hello, ListResponse, PruneSummary, Request, Response, RestoreSummary,
-    StatsResponse, VerifySummary, VersionEntry, VersionStatsEntry, WireError, HELLO_MAGIC,
-    MIN_PROTO_VERSION, PROTO_VERSION,
+    SessionToken, StatsResponse, VerifySummary, VersionEntry, VersionStatsEntry, WireError,
+    HELLO_MAGIC, MIN_PROTO_VERSION, PROTO_VERSION,
 };
 pub use wire::DecodeError;
 
@@ -122,6 +122,7 @@ mod tests {
                 corrupt_chunks: vec![(3, "deadbeef".into())],
             }),
             Response::ShutdownOk,
+            Response::BackupAccepted { offset: 777 },
         ]
     }
 
@@ -135,6 +136,14 @@ mod tests {
             Request::Prune { keep_last: 2 },
             Request::Verify,
             Request::Shutdown,
+            Request::BackupResume {
+                token: [7; 16],
+                total_len: 1 << 30,
+            },
+            Request::RestoreResume {
+                version: 4,
+                offset: 4096,
+            },
         ]
     }
 
@@ -200,10 +209,25 @@ mod tests {
             ErrorCode::Conflict,
             ErrorCode::Internal,
             ErrorCode::ShuttingDown,
+            ErrorCode::Busy,
         ] {
             let err = WireError::new(code, format!("context for {code}"));
             assert_eq!(WireError::decode(&err.encode()).unwrap(), err);
         }
+        // The retry hint survives a round trip, and a v1 payload (no
+        // trailing hint) still decodes with hint 0.
+        let busy = WireError::busy(250, "queue full");
+        assert_eq!(WireError::decode(&busy.encode()).unwrap(), busy);
+        let mut v1 = busy.encode();
+        v1.truncate(v1.len() - 4);
+        let decoded = WireError::decode(&v1).unwrap();
+        assert_eq!(decoded.retry_after_ms, 0);
+        assert_eq!(decoded.code, ErrorCode::Busy);
+        assert!(
+            ErrorCode::Busy.is_retryable() && ErrorCode::ShuttingDown.is_retryable(),
+            "load-shedding and shutdown refusals must invite a retry"
+        );
+        assert!(!ErrorCode::Malformed.is_retryable());
     }
 
     #[test]

@@ -10,11 +10,20 @@ use std::fmt;
 
 use crate::wire::{ByteReader, ByteWriter, DecodeError};
 
-/// Newest protocol version this build speaks.
-pub const PROTO_VERSION: u16 = 1;
+/// Newest protocol version this build speaks. Version 2 adds the
+/// resumable-session messages ([`Request::BackupResume`],
+/// [`Request::RestoreResume`], [`Response::BackupAccepted`]) and the
+/// retryable [`ErrorCode::Busy`] code.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_PROTO_VERSION: u16 = 1;
+
+/// A client-generated idempotency token identifying one backup session.
+/// The server dedupes on it: a retried `BackupResume` whose token already
+/// committed is answered from the recorded summary instead of committing a
+/// second version.
+pub type SessionToken = [u8; 16];
 
 /// Magic prefix inside HELLO payloads, distinguishing an `hds-served`
 /// endpoint from an arbitrary TCP service.
@@ -109,6 +118,30 @@ pub enum Request {
     /// Ask the daemon to shut down gracefully after in-flight requests
     /// drain.
     Shutdown,
+    /// Protocol v2: begin (or resume) an idempotent backup session. The
+    /// server answers [`Response::BackupAccepted`] with the byte offset it
+    /// already buffered for this token (0 for a fresh session), then the
+    /// client streams DATA frames carrying `data[offset..]` and END. A
+    /// token the server already committed is answered directly with the
+    /// recorded [`Response::BackupDone`] — never committed twice.
+    BackupResume {
+        /// Client-generated idempotency token for this backup.
+        token: SessionToken,
+        /// Total length of the stream the client intends to upload, so the
+        /// server can reject a resume whose buffered prefix cannot belong
+        /// to it.
+        total_len: u64,
+    },
+    /// Protocol v2: restore a version starting at a byte offset, so an
+    /// interrupted restore re-transfers only the tail after the last
+    /// chunk boundary the client acknowledged (by having received it).
+    RestoreResume {
+        /// The version to restore (1-based).
+        version: u32,
+        /// Bytes of the version the client already holds; the DATA stream
+        /// starts at this offset.
+        offset: u64,
+    },
 }
 
 impl Request {
@@ -123,7 +156,17 @@ impl Request {
             Request::Prune { .. } => "prune",
             Request::Verify => "verify",
             Request::Shutdown => "shutdown",
+            Request::BackupResume { .. } => "backup-resume",
+            Request::RestoreResume { .. } => "restore-resume",
         }
+    }
+
+    /// Whether this request is only served at protocol version 2 or newer.
+    pub fn needs_v2(&self) -> bool {
+        matches!(
+            self,
+            Request::BackupResume { .. } | Request::RestoreResume { .. }
+        )
     }
 
     /// Encodes this request as a REQUEST frame payload.
@@ -144,6 +187,16 @@ impl Request {
             }
             Request::Verify => w.u8(7),
             Request::Shutdown => w.u8(8),
+            Request::BackupResume { token, total_len } => {
+                w.u8(9);
+                w.raw(token);
+                w.u64(*total_len);
+            }
+            Request::RestoreResume { version, offset } => {
+                w.u8(10);
+                w.u32(*version);
+                w.u64(*offset);
+            }
         }
         w.into_bytes()
     }
@@ -166,6 +219,20 @@ impl Request {
             },
             7 => Request::Verify,
             8 => Request::Shutdown,
+            9 => {
+                let mut token = [0u8; 16];
+                for byte in &mut token {
+                    *byte = r.u8()?;
+                }
+                Request::BackupResume {
+                    token,
+                    total_len: r.u64()?,
+                }
+            }
+            10 => Request::RestoreResume {
+                version: r.u32()?,
+                offset: r.u64()?,
+            },
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "request",
@@ -319,6 +386,13 @@ pub enum Response {
     /// The daemon acknowledged [`Request::Shutdown`] and will exit once
     /// in-flight requests drain.
     ShutdownOk,
+    /// Protocol v2: a [`Request::BackupResume`] session is open. `offset`
+    /// bytes are already buffered server-side for this token; the client
+    /// streams the remainder.
+    BackupAccepted {
+        /// Bytes of the stream the server already holds (resume point).
+        offset: u64,
+    },
 }
 
 impl Response {
@@ -391,6 +465,10 @@ impl Response {
                 }
             }
             Response::ShutdownOk => w.u8(9),
+            Response::BackupAccepted { offset } => {
+                w.u8(10);
+                w.u64(*offset);
+            }
         }
         w.into_bytes()
     }
@@ -481,6 +559,7 @@ impl Response {
                 })
             }
             9 => Response::ShutdownOk,
+            10 => Response::BackupAccepted { offset: r.u64()? },
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "response",
@@ -515,7 +594,11 @@ pub enum ErrorCode {
     /// back.
     Internal,
     /// The daemon is draining for shutdown and accepts no new requests.
+    /// Retryable: the operator is restarting the daemon, not removing it.
     ShuttingDown,
+    /// The daemon's admission gate is full and shed this connection.
+    /// Retryable after the hint in [`WireError::retry_after_ms`].
+    Busy,
 }
 
 impl ErrorCode {
@@ -530,6 +613,7 @@ impl ErrorCode {
             ErrorCode::Conflict => 6,
             ErrorCode::Internal => 7,
             ErrorCode::ShuttingDown => 8,
+            ErrorCode::Busy => 9,
         }
     }
 
@@ -544,6 +628,7 @@ impl ErrorCode {
             6 => ErrorCode::Conflict,
             7 => ErrorCode::Internal,
             8 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::Busy,
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "error code",
@@ -551,6 +636,17 @@ impl ErrorCode {
                 })
             }
         })
+    }
+
+    /// Whether a client may safely retry the request after receiving this
+    /// code. `ShuttingDown` and `Busy` are transient server states;
+    /// `Timeout` means the server gave up waiting and nothing committed.
+    /// Everything else reflects the request itself and will fail again.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::ShuttingDown | ErrorCode::Busy | ErrorCode::Timeout
+        )
     }
 }
 
@@ -565,6 +661,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Conflict => "conflict",
             ErrorCode::Internal => "internal",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Busy => "busy",
         };
         f.write_str(name)
     }
@@ -577,14 +674,28 @@ pub struct WireError {
     pub code: ErrorCode,
     /// Human-readable detail (never parsed by clients).
     pub message: String,
+    /// Backoff hint in milliseconds for retryable codes (0 = no hint). A
+    /// shedding server sets this on [`ErrorCode::Busy`] so clients spread
+    /// their retries instead of stampeding.
+    pub retry_after_ms: u32,
 }
 
 impl WireError {
-    /// Builds an error with a formatted message.
+    /// Builds an error with a formatted message and no retry hint.
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
         WireError {
             code,
             message: message.into(),
+            retry_after_ms: 0,
+        }
+    }
+
+    /// Builds a retryable `Busy` error carrying a backoff hint.
+    pub fn busy(retry_after_ms: u32, message: impl Into<String>) -> Self {
+        WireError {
+            code: ErrorCode::Busy,
+            message: message.into(),
+            retry_after_ms,
         }
     }
 
@@ -593,10 +704,13 @@ impl WireError {
         let mut w = ByteWriter::new();
         w.u16(self.code.as_u16());
         w.string(&self.message);
+        w.u32(self.retry_after_ms);
         w.into_bytes()
     }
 
-    /// Decodes an ERROR frame payload.
+    /// Decodes an ERROR frame payload. The trailing retry hint was added
+    /// in protocol v2; a v1 payload without it decodes with hint 0, so the
+    /// error taxonomy stays readable across versions.
     ///
     /// # Errors
     ///
@@ -606,8 +720,13 @@ impl WireError {
         let mut r = ByteReader::new(payload);
         let code = ErrorCode::from_u16(r.u16()?)?;
         let message = r.string()?;
+        let retry_after_ms = if r.remaining() > 0 { r.u32()? } else { 0 };
         r.finish()?;
-        Ok(WireError { code, message })
+        Ok(WireError {
+            code,
+            message,
+            retry_after_ms,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! hds-served <repo-dir> [--bind ADDR] [--port N] [--workers N] [--quiet]
+//!            [--read-timeout SECS] [--write-timeout SECS]
 //! ```
 //!
 //! Prints `hds-served listening on <addr>` once the listener is bound (the
@@ -16,12 +17,17 @@ use hidestore_server::{serve, ServerConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hds-served <repo-dir> [--bind ADDR] [--port N] [--workers N] [--quiet]\n\
+         \x20                        [--read-timeout SECS] [--write-timeout SECS]\n\
          \n\
          Serves the repository at <repo-dir> over the HiDeStore wire protocol.\n\
-         --bind ADDR    address to listen on (default 127.0.0.1)\n\
-         --port N       TCP port (default 0 = ephemeral)\n\
-         --workers N    concurrent connections served (default 4)\n\
-         --quiet        suppress per-request log lines"
+         --bind ADDR          address to listen on (default 127.0.0.1)\n\
+         --port N             TCP port (default 0 = ephemeral)\n\
+         --workers N          concurrent connections served (default 4)\n\
+         --quiet              suppress per-request log lines\n\
+         --read-timeout SECS  per-read socket deadline, 0 disables\n\
+         --write-timeout SECS per-write socket deadline, 0 disables\n\
+         (timeouts default to HDS_NET_TIMEOUT, then the repository's\n\
+         net_timeout config, then 30s)"
     );
     ExitCode::from(2)
 }
@@ -52,6 +58,14 @@ fn main() -> ExitCode {
                 _ => return usage(),
             },
             "--quiet" => config.quiet = true,
+            "--read-timeout" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => config.read_timeout = Some(std::time::Duration::from_secs(v)),
+                None => return usage(),
+            },
+            "--write-timeout" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => config.write_timeout = Some(std::time::Duration::from_secs(v)),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }

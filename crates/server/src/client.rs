@@ -10,18 +10,34 @@
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::ToSocketAddrs;
 use std::path::Path;
 use std::time::Duration;
 
+use hidestore_netfault::{NetStream, RealStream};
 use hidestore_proto::{
     read_frame, write_frame, BackupSummary, Frame, FrameError, FrameKind, Hello, Limits,
-    ListResponse, PruneSummary, Request, Response, RestoreSummary, StatsResponse, VerifySummary,
-    WireError,
+    ListResponse, PruneSummary, Request, Response, RestoreSummary, SessionToken, StatsResponse,
+    VerifySummary, WireError,
 };
 
 /// Payload bytes per DATA frame when streaming a backup to the daemon.
 const DATA_CHUNK: usize = 256 * 1024;
+
+/// The default network I/O deadline: the `HDS_NET_TIMEOUT` environment
+/// variable in whole seconds (`0` disables timeouts; non-numeric values
+/// are ignored), falling back to 30 seconds. Explicit flags and
+/// [`RemoteClient::connect_with`] arguments override this.
+#[must_use]
+pub fn default_net_timeout() -> Duration {
+    match std::env::var("HDS_NET_TIMEOUT") {
+        Ok(value) => match value.trim().parse::<u64>() {
+            Ok(secs) => Duration::from_secs(secs),
+            Err(_) => Duration::from_secs(30),
+        },
+        Err(_) => Duration::from_secs(30),
+    }
+}
 
 /// Errors a [`RemoteClient`] operation can produce.
 #[derive(Debug)]
@@ -66,22 +82,26 @@ impl From<io::Error> for ClientError {
 }
 
 /// A negotiated connection to an `hds-served` daemon.
-pub struct RemoteClient {
-    stream: TcpStream,
+///
+/// Generic over the [`NetStream`] transport so the chaos suite can drive a
+/// client through a fault-injecting stream; production callers use the
+/// plain-TCP [`RealStream`] default.
+pub struct RemoteClient<S: NetStream = RealStream> {
+    stream: S,
     limits: Limits,
     /// The protocol version both ends agreed on during HELLO.
     version: u16,
 }
 
-impl RemoteClient {
+impl RemoteClient<RealStream> {
     /// Connects to `addr` and performs HELLO negotiation with default
-    /// limits and a 30-second I/O deadline.
+    /// limits and the [`default_net_timeout`] I/O deadline.
     ///
     /// # Errors
     ///
     /// Connection failures, torn frames, or a version-negotiation refusal.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        Self::connect_with(addr, Limits::default(), Duration::from_secs(30))
+        Self::connect_with(addr, Limits::default(), default_net_timeout())
     }
 
     /// [`RemoteClient::connect`] with explicit limits and I/O deadline
@@ -95,7 +115,24 @@ impl RemoteClient {
         limits: Limits,
         timeout: Duration,
     ) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Self::handshake(RealStream::connect(addr)?, limits, timeout)
+    }
+}
+
+impl<S: NetStream> RemoteClient<S> {
+    /// Performs HELLO negotiation over an already-established transport.
+    /// This is the generic entry point: the chaos suite hands it a
+    /// fault-injecting stream, [`RemoteClient::connect_with`] a real TCP
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, torn frames, or a version-negotiation refusal.
+    pub fn handshake(
+        mut stream: S,
+        limits: Limits,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
         let timeout = (!timeout.is_zero()).then_some(timeout);
         stream.set_read_timeout(timeout)?;
         stream.set_write_timeout(timeout)?;
@@ -189,6 +226,63 @@ impl RemoteClient {
         }
     }
 
+    /// One leg of a resumable backup: offers `token` to the daemon, and —
+    /// unless the token already committed — streams `data` from the
+    /// daemon's acknowledged offset onward. Retrying callers pass the same
+    /// token and the full `data` every time; only the unacknowledged tail
+    /// crosses the wire, and the daemon never commits the token twice.
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote, or protocol errors; requires a protocol-v2 peer.
+    pub fn backup_resume(
+        &mut self,
+        token: SessionToken,
+        data: &[u8],
+    ) -> Result<BackupAttempt, ClientError> {
+        if self.version < 2 {
+            return Err(ClientError::Protocol(format!(
+                "resumable backup needs protocol v2, negotiated v{}",
+                self.version
+            )));
+        }
+        let total_len = data.len() as u64;
+        self.send_request(&Request::BackupResume { token, total_len })?;
+        let offset = match self.read_response()? {
+            // The daemon recognized the token as already committed and
+            // answered from its cache: nothing to send.
+            Response::BackupDone(summary) => {
+                return Ok(BackupAttempt {
+                    resumed_at: total_len,
+                    sent: 0,
+                    deduped: true,
+                    summary,
+                })
+            }
+            Response::BackupAccepted { offset } => offset,
+            other => return Err(unexpected("BackupAccepted", &other)),
+        };
+        if offset > total_len {
+            return Err(ClientError::Protocol(format!(
+                "daemon acknowledged {offset} bytes of a {total_len}-byte backup"
+            )));
+        }
+        let tail = &data[offset as usize..];
+        for chunk in tail.chunks(DATA_CHUNK.max(1)) {
+            write_frame(&mut self.stream, FrameKind::Data, chunk)?;
+        }
+        write_frame(&mut self.stream, FrameKind::End, &[])?;
+        match self.read_response()? {
+            Response::BackupDone(summary) => Ok(BackupAttempt {
+                resumed_at: offset,
+                sent: tail.len() as u64,
+                deduped: false,
+                summary,
+            }),
+            other => Err(unexpected("BackupDone", &other)),
+        }
+    }
+
     /// Restores `version` into `out`, returning the daemon's restore
     /// summary. The stream is `RestoreStarted` → DATA… → END →
     /// `RestoreDone`; an ERROR frame mid-stream aborts with the bytes
@@ -242,6 +336,86 @@ impl RemoteClient {
                     )));
                 }
                 Ok(summary)
+            }
+            other => Err(unexpected("RestoreDone", &other)),
+        }
+    }
+
+    /// One leg of a resumable restore: asks the daemon for `version`
+    /// starting at byte `offset`, appending only the tail to `out`. The
+    /// first leg uses `offset == 0`; after an interruption the caller
+    /// passes the byte count it already holds and the daemon skips that
+    /// prefix, so interrupted restores re-transfer only what was lost.
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote, or protocol errors (including an offset past the
+    /// version's end) — and `out`'s own write errors. A non-zero offset
+    /// requires a protocol-v2 peer.
+    pub fn restore_resume(
+        &mut self,
+        version: u32,
+        offset: u64,
+        out: &mut dyn Write,
+    ) -> Result<RestoreAttempt, ClientError> {
+        if offset > 0 && self.version < 2 {
+            return Err(ClientError::Protocol(format!(
+                "resumable restore needs protocol v2, negotiated v{}",
+                self.version
+            )));
+        }
+        if offset == 0 {
+            self.send_request(&Request::Restore { version })?;
+        } else {
+            self.send_request(&Request::RestoreResume { version, offset })?;
+        }
+        let total_bytes = match self.read_response()? {
+            Response::RestoreStarted { total_bytes } => total_bytes,
+            other => return Err(unexpected("RestoreStarted", &other)),
+        };
+        if offset > total_bytes {
+            return Err(ClientError::Protocol(format!(
+                "daemon announced {total_bytes} bytes but accepted resume offset {offset}"
+            )));
+        }
+        let mut received: u64 = 0;
+        loop {
+            let frame = self.read()?;
+            match frame.kind {
+                FrameKind::Data => {
+                    received += frame.payload.len() as u64;
+                    if received > self.limits.max_stream {
+                        return Err(ClientError::Protocol(format!(
+                            "restore stream exceeds the {}-byte limit",
+                            self.limits.max_stream
+                        )));
+                    }
+                    out.write_all(&frame.payload)?;
+                }
+                FrameKind::End => break,
+                FrameKind::Error => return Err(ClientError::Remote(decode_error_frame(&frame)?)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected DATA/END, got {other}"
+                    )))
+                }
+            }
+        }
+        match self.read_response()? {
+            Response::RestoreDone(summary) => {
+                if offset + received != total_bytes || summary.bytes_restored != total_bytes {
+                    return Err(ClientError::Protocol(format!(
+                        "resumed restore length mismatch: announced {total_bytes}, offset \
+                         {offset} + received {received}, daemon reports {}",
+                        summary.bytes_restored
+                    )));
+                }
+                Ok(RestoreAttempt {
+                    resumed_at: offset,
+                    received,
+                    total_bytes,
+                    summary,
+                })
             }
             other => Err(unexpected("RestoreDone", &other)),
         }
@@ -351,6 +525,33 @@ impl RemoteClient {
             other => Err(unexpected("ShutdownOk", &other)),
         }
     }
+}
+
+/// Transfer accounting of one [`RemoteClient::backup_resume`] leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackupAttempt {
+    /// Offset the daemon acknowledged — bytes before it were NOT re-sent.
+    pub resumed_at: u64,
+    /// Bytes this leg actually streamed.
+    pub sent: u64,
+    /// True when the daemon answered from its idempotency cache (the
+    /// token had already committed) without accepting any bytes.
+    pub deduped: bool,
+    /// The commit's summary (cached original on a dedup answer).
+    pub summary: BackupSummary,
+}
+
+/// Transfer accounting of one [`RemoteClient::restore_resume`] leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreAttempt {
+    /// Offset this leg started at — bytes before it were NOT re-sent.
+    pub resumed_at: u64,
+    /// Bytes this leg actually received.
+    pub received: u64,
+    /// Total logical bytes of the version.
+    pub total_bytes: u64,
+    /// The daemon's restore summary (covers the full version).
+    pub summary: RestoreSummary,
 }
 
 fn decode_error_frame(frame: &Frame) -> Result<WireError, ClientError> {

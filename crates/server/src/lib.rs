@@ -24,12 +24,16 @@
 #![warn(missing_docs)]
 
 mod client;
+mod retry;
 mod server;
+mod session;
 pub mod stats;
 pub mod view;
 
-pub use client::{ClientError, RemoteClient};
+pub use client::{default_net_timeout, BackupAttempt, ClientError, RemoteClient, RestoreAttempt};
+pub use retry::{retryable, ResumeEvent, RetryClient, RetryCounters, RetryPolicy};
 pub use server::{serve, ServerConfig, ServerError, ServerHandle, DATA_CHUNK};
+pub use session::SessionTable;
 pub use stats::{ServerStats, StatsSnapshot};
 
 #[cfg(test)]

@@ -37,19 +37,21 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use hidestore_core::{HiDeStoreError, RepositoryHandle};
+use hidestore_netfault::{NetPlan, NetStream, RealStream};
 use hidestore_proto::{
     read_frame, write_frame, ErrorCode, Frame, FrameError, FrameKind, Hello, Limits, PruneSummary,
-    Request, Response, RestoreSummary, VerifySummary, WireError,
+    Request, Response, RestoreSummary, SessionToken, VerifySummary, WireError,
 };
 use hidestore_restore::Faa;
 use hidestore_storage::VersionId;
-use hidestore_sync::{BoundedQueue, CancelGuard, ProducerGuard};
+use hidestore_sync::{BoundedQueue, CancelGuard, ProducerGuard, TryPushError};
 
+use crate::session::SessionTable;
 use crate::stats::{ServerStats, StatsSnapshot};
 use crate::view;
 
@@ -67,17 +69,30 @@ pub struct ServerConfig {
     pub bind: String,
     /// Worker threads (concurrent connections served). At least 1.
     pub workers: usize,
-    /// Accepted connections queued ahead of the workers before the
-    /// acceptor blocks (backpressure).
+    /// Accepted connections the admission gate queues ahead of the
+    /// workers; when it is full, further connections are shed with a
+    /// retryable `busy` refusal instead of queueing without bound.
     pub queue_depth: usize,
-    /// Per-connection read deadline; zero disables the timeout.
-    pub read_timeout: Duration,
-    /// Per-connection write deadline; zero disables the timeout.
-    pub write_timeout: Duration,
+    /// Per-connection read deadline. `None` inherits the default chain
+    /// (`HDS_NET_TIMEOUT` env, then the repository's `net_timeout` config
+    /// key, then 30 s); `Some(Duration::ZERO)` disables the timeout.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline; resolution as `read_timeout`.
+    pub write_timeout: Option<Duration>,
     /// Frame/stream size limits enforced on everything received.
     pub limits: Limits,
     /// Suppress per-request log lines (tests, benchmarks).
     pub quiet: bool,
+    /// Deterministic network fault plan applied to every served
+    /// connection's wire I/O (chaos tests); `None` serves plain TCP.
+    pub fault: Option<NetPlan>,
+    /// Maximum parked resumable sessions held at once (LRU-evicted).
+    pub max_sessions: usize,
+    /// Idle lifetime of a parked/committed session entry; zero never
+    /// expires.
+    pub session_ttl: Duration,
+    /// Backoff hint (milliseconds) sent with `busy` refusals.
+    pub busy_retry_after_ms: u32,
 }
 
 impl Default for ServerConfig {
@@ -86,12 +101,31 @@ impl Default for ServerConfig {
             bind: "127.0.0.1:0".into(),
             workers: 4,
             queue_depth: 16,
-            read_timeout: Duration::from_secs(30),
-            write_timeout: Duration::from_secs(30),
+            read_timeout: None,
+            write_timeout: None,
             limits: Limits::default(),
             quiet: false,
+            fault: None,
+            max_sessions: 64,
+            session_ttl: Duration::from_secs(300),
+            busy_retry_after_ms: 100,
         }
     }
+}
+
+/// Resolves a configured deadline against the default chain: an explicit
+/// `Some` wins, else `HDS_NET_TIMEOUT` (whole seconds, non-numeric
+/// ignored), else the repository's persisted default. A zero result
+/// means "no timeout" and becomes `None` for the socket API.
+fn resolve_timeout(explicit: Option<Duration>, repo_default_secs: u64) -> Option<Duration> {
+    let resolved = explicit.unwrap_or_else(|| match std::env::var("HDS_NET_TIMEOUT") {
+        Ok(value) => match value.trim().parse::<u64>() {
+            Ok(secs) => Duration::from_secs(secs),
+            Err(_) => Duration::from_secs(repo_default_secs),
+        },
+        Err(_) => Duration::from_secs(repo_default_secs),
+    });
+    (!resolved.is_zero()).then_some(resolved)
 }
 
 /// Errors starting the daemon.
@@ -141,11 +175,26 @@ struct Shared {
     stats: ServerStats,
     config: ServerConfig,
     addr: SocketAddr,
+    /// Parked/committed resumable-session state (LRU + TTL bounded).
+    sessions: Mutex<SessionTable>,
+    /// Serializes the committed-check → commit → record-summary window of
+    /// resumable backups, so two retries racing on one token cannot both
+    /// commit.
+    commit_gate: Mutex<()>,
+    /// Deadlines after resolving flag/env/repo-config defaults.
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
 }
 
 impl Shared {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn sessions(&self) -> MutexGuard<'_, SessionTable> {
+        // The table holds plain data; a panicking holder cannot leave it
+        // inconsistent, so a poisoned lock is safe to re-enter.
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Sets the shutdown flag and pokes the blocking acceptor with a wake
@@ -191,6 +240,12 @@ impl ServerHandle {
     /// How many failed mutations the repository handle rolled back.
     pub fn rollbacks(&self) -> u64 {
         self.shared.repo.rollbacks()
+    }
+
+    /// Parked (incomplete) resumable sessions currently held. The chaos
+    /// suite asserts this drains to zero.
+    pub fn open_sessions(&self) -> usize {
+        self.shared.sessions().open_sessions()
     }
 
     /// Begins a graceful shutdown: the acceptor stops, in-flight requests
@@ -245,10 +300,14 @@ pub fn serve(
     config: ServerConfig,
 ) -> Result<ServerHandle, ServerError> {
     let repo = RepositoryHandle::open(repo_dir)?;
+    let repo_timeout_secs = repo.read(|s| s.config().net_timeout_secs)?;
     let listener = TcpListener::bind(&config.bind)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
     let queue_depth = config.queue_depth.max(1);
+    let read_timeout = resolve_timeout(config.read_timeout, repo_timeout_secs);
+    let write_timeout = resolve_timeout(config.write_timeout, repo_timeout_secs);
+    let sessions = Mutex::new(SessionTable::new(config.max_sessions, config.session_ttl));
     let shared = Arc::new(Shared {
         repo,
         queue: BoundedQueue::new(queue_depth, 1),
@@ -256,6 +315,10 @@ pub fn serve(
         stats: ServerStats::default(),
         config,
         addr,
+        sessions,
+        commit_gate: Mutex::new(()),
+        read_timeout,
+        write_timeout,
     });
 
     let mut threads = Vec::with_capacity(workers + 1);
@@ -283,8 +346,16 @@ fn acceptor(listener: &TcpListener, shared: &Shared) {
                     break;
                 }
                 ServerStats::bump(&shared.stats.accepted);
-                if shared.queue.push((stream, peer)).is_err() {
-                    break; // queue cancelled (force shutdown)
+                // Admission gate: never park on a saturated worker queue.
+                // A full queue sheds the connection with a retryable
+                // `busy` refusal carrying a backoff hint.
+                match shared.queue.try_push((stream, peer)) {
+                    Ok(()) => {}
+                    Err(TryPushError::Full(rejected)) => {
+                        ServerStats::bump(&shared.stats.busy_rejected);
+                        shed_busy(rejected.0, shared);
+                    }
+                    Err(TryPushError::Cancelled(_)) => break, // force shutdown
                 }
             }
             Err(_) if shared.shutting_down() => break,
@@ -296,34 +367,70 @@ fn acceptor(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-fn worker(shared: &Shared) {
-    while let Some((mut stream, peer)) = shared.queue.pop() {
-        if shared.shutting_down() {
-            refuse_shutting_down(&mut stream, shared);
-            continue;
-        }
-        handle_connection(&mut stream, peer, shared);
+/// Refuses an un-admitted connection with `busy` + a retry hint. Runs on
+/// the acceptor thread under short deadlines, so a slow client cannot
+/// stall admission for long.
+fn shed_busy(stream: TcpStream, shared: &Shared) {
+    let hint = shared.config.busy_retry_after_ms;
+    let message = "worker queue is full, retry later";
+    match &shared.config.fault {
+        None => refuse(
+            RealStream::from_tcp(stream),
+            shared,
+            WireError::busy(hint, message),
+        ),
+        Some(plan) => refuse(plan.wrap(stream), shared, WireError::busy(hint, message)),
     }
 }
 
-/// Tells a queued-but-unserved client the daemon is draining, with a typed
-/// error, instead of silently dropping the connection.
-fn refuse_shutting_down(stream: &mut TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-    // Consume the client's HELLO if it already sent one, then refuse.
-    let _ = read_frame(stream, &shared.config.limits);
-    let err = WireError::new(ErrorCode::ShuttingDown, "daemon is draining for shutdown");
-    let _ = write_frame(stream, FrameKind::Error, &err.encode());
+fn worker(shared: &Shared) {
+    while let Some((stream, peer)) = shared.queue.pop() {
+        let draining = shared.shutting_down();
+        match &shared.config.fault {
+            None => {
+                let mut s = RealStream::from_tcp(stream);
+                if draining {
+                    refuse(
+                        s,
+                        shared,
+                        WireError::new(ErrorCode::ShuttingDown, "daemon is draining for shutdown"),
+                    );
+                } else {
+                    handle_connection(&mut s, peer, shared);
+                }
+            }
+            Some(plan) => {
+                let mut s = plan.wrap(stream);
+                if draining {
+                    refuse(
+                        s,
+                        shared,
+                        WireError::new(ErrorCode::ShuttingDown, "daemon is draining for shutdown"),
+                    );
+                } else {
+                    handle_connection(&mut s, peer, shared);
+                }
+            }
+        }
+    }
 }
 
-fn timeout_opt(d: Duration) -> Option<Duration> {
-    (!d.is_zero()).then_some(d)
+/// Tells a client it will not be served — with a typed error instead of a
+/// silently dropped connection. Consumes the client's HELLO first so the
+/// refusal lands where the client expects the HELLO reply.
+fn refuse<S: NetStream>(mut stream: S, shared: &Shared, err: WireError) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let _ = read_frame(&mut stream, &shared.config.limits);
+    let _ = write_frame(&mut stream, FrameKind::Error, &err.encode());
 }
 
 /// Reads one frame, returning `Ok(None)` when the peer closed the
 /// connection cleanly at a frame boundary.
-fn read_frame_opt(stream: &mut TcpStream, limits: &Limits) -> Result<Option<Frame>, FrameError> {
+fn read_frame_opt<S: NetStream>(
+    stream: &mut S,
+    limits: &Limits,
+) -> Result<Option<Frame>, FrameError> {
     let mut first = [0u8; 1];
     loop {
         match stream.read(&mut first) {
@@ -337,7 +444,7 @@ fn read_frame_opt(stream: &mut TcpStream, limits: &Limits) -> Result<Option<Fram
     read_frame(&mut chained, limits).map(Some)
 }
 
-fn send_error(stream: &mut TcpStream, code: ErrorCode, message: impl Into<String>) {
+fn send_error<S: NetStream>(stream: &mut S, code: ErrorCode, message: impl Into<String>) {
     let err = WireError::new(code, message);
     let _ = write_frame(stream, FrameKind::Error, &err.encode());
 }
@@ -352,21 +459,18 @@ fn classify_transport(shared: &Shared, err: &FrameError) -> &'static str {
     }
 }
 
-fn handle_connection(stream: &mut TcpStream, peer: SocketAddr, shared: &Shared) {
+fn handle_connection<S: NetStream>(stream: &mut S, peer: SocketAddr, shared: &Shared) {
     let limits = shared.config.limits;
     let _ = stream.set_nodelay(true);
-    if stream
-        .set_read_timeout(timeout_opt(shared.config.read_timeout))
-        .is_err()
-        || stream
-            .set_write_timeout(timeout_opt(shared.config.write_timeout))
-            .is_err()
+    if stream.set_read_timeout(shared.read_timeout).is_err()
+        || stream.set_write_timeout(shared.write_timeout).is_err()
     {
         return;
     }
 
     // HELLO negotiation. A connection that closes without a byte (port
     // probe, liveness poll) is not an event worth logging.
+    let negotiated;
     match read_frame_opt(stream, &limits) {
         Ok(None) => return,
         Ok(Some(frame)) if frame.kind == FrameKind::Hello => {
@@ -380,6 +484,7 @@ fn handle_connection(stream: &mut TcpStream, peer: SocketAddr, shared: &Shared) 
             };
             match Hello::current().negotiate(&client) {
                 Some(version) => {
+                    negotiated = version;
                     let reply = Hello {
                         min_version: version,
                         max_version: version,
@@ -432,7 +537,12 @@ fn handle_connection(stream: &mut TcpStream, peer: SocketAddr, shared: &Shared) 
                 // A torn frame aborts the connection; nothing was mutated.
                 ServerStats::bump(&shared.stats.requests_failed);
                 shared.log(format_args!("peer={peer} req=? result={kind} ({e})"));
-                if !matches!(e, FrameError::Io(_)) {
+                if e.is_timeout() {
+                    // The peer went silent past the deadline: tell it with
+                    // a typed error (the write side may still work)
+                    // instead of silently dropping the stream.
+                    send_error(stream, ErrorCode::Timeout, "request deadline exceeded");
+                } else if !matches!(e, FrameError::Io(_)) {
                     send_error(stream, ErrorCode::Malformed, format!("{e}"));
                 }
                 return;
@@ -455,6 +565,18 @@ fn handle_connection(stream: &mut TcpStream, peer: SocketAddr, shared: &Shared) 
                 return;
             }
         };
+        if request.needs_v2() && negotiated < 2 {
+            ServerStats::bump(&shared.stats.requests_failed);
+            send_error(
+                stream,
+                ErrorCode::Unsupported,
+                format!(
+                    "{} needs protocol v2, negotiated v{negotiated}",
+                    request.name()
+                ),
+            );
+            continue;
+        }
 
         let started = Instant::now();
         let name = request.name();
@@ -482,6 +604,12 @@ fn handle_connection(stream: &mut TcpStream, peer: SocketAddr, shared: &Shared) 
                     "peer={peer} req={name} dur_ms={} result={kind} ({e})",
                     started.elapsed().as_millis(),
                 ));
+                if e.is_timeout() {
+                    // The request overran its deadline mid-exchange: the
+                    // peer gets a typed `timeout` before the connection
+                    // closes, never a silent drop.
+                    send_error(stream, ErrorCode::Timeout, "request deadline exceeded");
+                }
                 return;
             }
         }
@@ -514,11 +642,11 @@ fn repo_error_outcome(e: HiDeStoreError) -> Outcome {
     }
 }
 
-fn send_response(stream: &mut TcpStream, response: &Response) -> Result<(), FrameError> {
+fn send_response<S: NetStream>(stream: &mut S, response: &Response) -> Result<(), FrameError> {
     write_frame(stream, FrameKind::Response, &response.encode())
 }
 
-fn dispatch(request: Request, stream: &mut TcpStream, shared: &Shared) -> Outcome {
+fn dispatch<S: NetStream>(request: Request, stream: &mut S, shared: &Shared) -> Outcome {
     match request {
         Request::Ping => match send_response(stream, &Response::Pong) {
             Ok(()) => Outcome::Ok {
@@ -527,7 +655,13 @@ fn dispatch(request: Request, stream: &mut TcpStream, shared: &Shared) -> Outcom
             Err(e) => Outcome::Transport(e),
         },
         Request::Backup => serve_backup(stream, shared),
-        Request::Restore { version } => serve_restore(version, stream, shared),
+        Request::BackupResume { token, total_len } => {
+            serve_backup_resume(token, total_len, stream, shared)
+        }
+        Request::Restore { version } => serve_restore(version, 0, stream, shared),
+        Request::RestoreResume { version, offset } => {
+            serve_restore(version, offset, stream, shared)
+        }
         Request::List => {
             let list = match shared.repo.read(view::list_response) {
                 Ok(l) => l,
@@ -569,53 +703,84 @@ fn dispatch(request: Request, stream: &mut TcpStream, shared: &Shared) -> Outcom
     }
 }
 
-fn serve_backup(stream: &mut TcpStream, shared: &Shared) -> Outcome {
+/// What receiving a backup's DATA stream produced.
+enum BackupStream {
+    /// END arrived; `data` holds the complete payload.
+    Complete(Vec<u8>),
+    /// The request failed in a way the client can be told about.
+    Failed(Outcome),
+    /// The transport died mid-stream; `data` holds the complete frames
+    /// received before the failure (resumable).
+    Interrupted { data: Vec<u8>, error: FrameError },
+}
+
+/// Receives DATA frames into `data` (which may already hold a resumed
+/// prefix) until END, a failure, or a transport error.
+fn receive_backup_stream<S: NetStream>(
+    stream: &mut S,
+    shared: &Shared,
+    mut data: Vec<u8>,
+) -> BackupStream {
     let limits = shared.config.limits;
-    let mut data: Vec<u8> = Vec::new();
     loop {
         let frame = match read_frame(stream, &limits) {
             Ok(f) => f,
-            // A disconnect or torn frame mid-stream: nothing has touched
-            // the repository yet, so the request simply aborts.
-            Err(e) => return Outcome::Transport(e),
+            Err(error) => return BackupStream::Interrupted { data, error },
         };
         match frame.kind {
             FrameKind::Data => {
                 if data.len() as u64 + frame.payload.len() as u64 > limits.max_stream {
                     ServerStats::bump(&shared.stats.rejected_oversize);
-                    return Outcome::Failed {
+                    return BackupStream::Failed(Outcome::Failed {
                         code: ErrorCode::TooLarge,
                         message: format!(
                             "backup stream exceeds the {}-byte limit",
                             limits.max_stream
                         ),
-                    };
+                    });
                 }
                 ServerStats::add(&shared.stats.bytes_in, frame.payload.len() as u64);
                 data.extend_from_slice(&frame.payload);
             }
-            FrameKind::End => break,
+            FrameKind::End => return BackupStream::Complete(data),
             other => {
-                return Outcome::Failed {
+                return BackupStream::Failed(Outcome::Failed {
                     code: ErrorCode::Malformed,
                     message: format!("expected DATA or END, got {other}"),
-                }
+                })
             }
         }
     }
+}
+
+fn backup_summary_proto(
+    stats: &hidestore_core::HiDeStoreVersionStats,
+) -> hidestore_proto::BackupSummary {
+    hidestore_proto::BackupSummary {
+        version: stats.version.get(),
+        logical_bytes: stats.logical_bytes,
+        stored_bytes: stats.stored_bytes,
+        chunks: stats.chunks,
+        unique_chunks: stats.unique_chunks,
+        cold_chunks: stats.cold_chunks,
+    }
+}
+
+fn serve_backup<S: NetStream>(stream: &mut S, shared: &Shared) -> Outcome {
+    let data = match receive_backup_stream(stream, shared, Vec::new()) {
+        BackupStream::Complete(data) => data,
+        BackupStream::Failed(outcome) => return outcome,
+        // A disconnect or torn frame mid-stream: nothing has touched the
+        // repository, and a plain (tokenless) backup has no session to
+        // park, so the request simply aborts.
+        BackupStream::Interrupted { error, .. } => return Outcome::Transport(error),
+    };
     // The stream arrived intact; commit it. A failure rolls the repository
     // back to the previous committed state (journal + handle reopen).
     let result = shared.repo.write(|s| s.backup(&data));
     match result {
         Ok(stats) => {
-            let summary = hidestore_proto::BackupSummary {
-                version: stats.version.get(),
-                logical_bytes: stats.logical_bytes,
-                stored_bytes: stats.stored_bytes,
-                chunks: stats.chunks,
-                unique_chunks: stats.unique_chunks,
-                cold_chunks: stats.cold_chunks,
-            };
+            let summary = backup_summary_proto(&stats);
             match send_response(stream, &Response::BackupDone(summary)) {
                 Ok(()) => Outcome::Ok {
                     detail: format!(
@@ -633,15 +798,147 @@ fn serve_backup(stream: &mut TcpStream, shared: &Shared) -> Outcome {
     }
 }
 
+/// Parks an interrupted backup prefix unless the token already committed —
+/// a stale worker (its client long gone) must not resurrect a session that
+/// a faster retry already finished. One lock guard makes check-and-park
+/// atomic against `record_committed`. Empty prefixes are dropped: there is
+/// nothing to resume and no session worth holding.
+fn park_if_uncommitted(shared: &Shared, token: SessionToken, data: Vec<u8>, total_len: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let mut sessions = shared.sessions();
+    if sessions.committed(token).is_none() {
+        sessions.park(token, data, total_len);
+    }
+}
+
+/// The resumable, idempotent backup path (protocol v2).
+///
+/// The token is the client's name for the whole logical backup across all
+/// its attempts. Commit exactly once: the committed-token cache answers
+/// retries that lost the acknowledgement, the commit gate serializes the
+/// check-then-commit window against a racing retry, and an interrupted
+/// stream parks its prefix so the next attempt continues from the
+/// acknowledged offset instead of starting over.
+fn serve_backup_resume<S: NetStream>(
+    token: SessionToken,
+    total_len: u64,
+    stream: &mut S,
+    shared: &Shared,
+) -> Outcome {
+    if total_len > shared.config.limits.max_stream {
+        ServerStats::bump(&shared.stats.rejected_oversize);
+        return Outcome::Failed {
+            code: ErrorCode::TooLarge,
+            message: format!(
+                "backup stream exceeds the {}-byte limit",
+                shared.config.limits.max_stream
+            ),
+        };
+    }
+    // Already committed? Answer from the cache without accepting a byte —
+    // the retried backup must never commit twice.
+    if let Some(summary) = shared.sessions().committed(token) {
+        ServerStats::bump(&shared.stats.dedup_hits);
+        return match send_response(stream, &Response::BackupDone(summary)) {
+            Ok(()) => Outcome::Ok {
+                detail: format!(" version=V{} dedup=hit", summary.version),
+            },
+            Err(e) => Outcome::Transport(e),
+        };
+    }
+    // Resume from the parked prefix if one survives; a prefix longer than
+    // the declared total is a stale/mismatched session and is discarded.
+    let parked = shared
+        .sessions()
+        .take(token)
+        .map(|(data, _total)| data)
+        .filter(|data| data.len() as u64 <= total_len)
+        .unwrap_or_default();
+    let offset = parked.len() as u64;
+    if offset > 0 {
+        ServerStats::bump(&shared.stats.sessions_resumed);
+    }
+    if let Err(e) = send_response(stream, &Response::BackupAccepted { offset }) {
+        // The acknowledgement never left: keep the prefix for the retry.
+        park_if_uncommitted(shared, token, parked, total_len);
+        return Outcome::Transport(e);
+    }
+    let data = match receive_backup_stream(stream, shared, parked) {
+        BackupStream::Complete(data) => data,
+        BackupStream::Failed(outcome) => return outcome,
+        BackupStream::Interrupted { data, error } => {
+            // Park what arrived (complete frames only — the frame layer is
+            // all-or-nothing) so the retry continues from here.
+            park_if_uncommitted(shared, token, data, total_len);
+            return Outcome::Transport(error);
+        }
+    };
+    if data.len() as u64 != total_len {
+        // The client's END disagrees with its own declared length; the
+        // session is unusable, start over on the next attempt.
+        return Outcome::Failed {
+            code: ErrorCode::Malformed,
+            message: format!(
+                "backup stream length {} does not match the declared {total_len}",
+                data.len()
+            ),
+        };
+    }
+    // Serialize the committed-check → commit → record window so a racing
+    // retry of the same token observes either "not committed yet" plus a
+    // held gate, or the cached summary — never a second commit.
+    let gate = shared.commit_gate.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(summary) = shared.sessions().committed(token) {
+        drop(gate);
+        ServerStats::bump(&shared.stats.dedup_hits);
+        return match send_response(stream, &Response::BackupDone(summary)) {
+            Ok(()) => Outcome::Ok {
+                detail: format!(" version=V{} dedup=hit", summary.version),
+            },
+            Err(e) => Outcome::Transport(e),
+        };
+    }
+    let result = shared.repo.write(|s| s.backup(&data));
+    let outcome = match result {
+        Ok(stats) => {
+            let summary = backup_summary_proto(&stats);
+            shared.sessions().record_committed(token, summary);
+            match send_response(stream, &Response::BackupDone(summary)) {
+                // Even if this acknowledgement is lost, the commit is
+                // recorded: the retry gets a dedup answer, not a second
+                // version.
+                Ok(()) => Outcome::Ok {
+                    detail: format!(
+                        " version=V{} bytes={} stored={}",
+                        summary.version, summary.logical_bytes, summary.stored_bytes
+                    ),
+                },
+                Err(e) => Outcome::Transport(e),
+            }
+        }
+        Err(e) => {
+            // A repository failure is not transport loss: the data arrived
+            // intact and the commit was rolled back, so nothing is parked
+            // and the client sees the typed (non-retryable) error.
+            ServerStats::bump(&shared.stats.rolled_back);
+            repo_error_outcome(e)
+        }
+    };
+    drop(gate);
+    outcome
+}
+
 /// An `io::Write` that packages restore output into DATA frames.
-struct DataFrameWriter<'a> {
-    stream: &'a mut TcpStream,
+struct DataFrameWriter<'a, S: NetStream> {
+    stream: &'a mut S,
     buf: Vec<u8>,
     bytes_out: u64,
 }
 
-impl<'a> DataFrameWriter<'a> {
-    fn new(stream: &'a mut TcpStream) -> Self {
+impl<'a, S: NetStream> DataFrameWriter<'a, S> {
+    fn new(stream: &'a mut S) -> Self {
         DataFrameWriter {
             stream,
             buf: Vec::with_capacity(DATA_CHUNK),
@@ -663,7 +960,7 @@ impl<'a> DataFrameWriter<'a> {
     }
 }
 
-impl Write for DataFrameWriter<'_> {
+impl<S: NetStream> Write for DataFrameWriter<'_, S> {
     fn write(&mut self, data: &[u8]) -> io::Result<usize> {
         self.buf.extend_from_slice(data);
         if self.buf.len() >= DATA_CHUNK {
@@ -687,10 +984,44 @@ enum ServedRestore {
         error: HiDeStoreError,
         streamed: bool,
     },
+    /// The requested resume offset lies past the end of the version.
+    BadOffset {
+        total_bytes: u64,
+    },
     Transport(io::Error),
 }
 
-fn serve_restore(version: u32, stream: &mut TcpStream, shared: &Shared) -> Outcome {
+/// An `io::Write` that discards the first `skip` bytes and forwards the
+/// rest. A resumed restore replays the whole version through the restore
+/// pipeline (the engine has no mid-version seek) but only re-transfers the
+/// bytes after the client's acknowledged offset.
+struct SkipWriter<W> {
+    skip: u64,
+    inner: W,
+}
+
+impl<W: Write> Write for SkipWriter<W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let len = data.len();
+        let drop = (self.skip.min(len as u64)) as usize;
+        self.skip -= drop as u64;
+        if drop < len {
+            self.inner.write_all(&data[drop..])?;
+        }
+        Ok(len)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+fn serve_restore<S: NetStream>(
+    version: u32,
+    offset: u64,
+    stream: &mut S,
+    shared: &Shared,
+) -> Outcome {
     if version == 0 {
         return Outcome::Failed {
             code: ErrorCode::NotFound,
@@ -706,6 +1037,9 @@ fn serve_restore(version: u32, stream: &mut TcpStream, shared: &Shared) -> Outco
             });
         };
         let total_bytes = recipe.total_bytes();
+        if offset > total_bytes {
+            return Ok(ServedRestore::BadOffset { total_bytes });
+        }
         if let Err(e) = send_response(stream, &Response::RestoreStarted { total_bytes }) {
             return Ok(ServedRestore::Transport(match e {
                 FrameError::Io(e) => e,
@@ -713,7 +1047,10 @@ fn serve_restore(version: u32, stream: &mut TcpStream, shared: &Shared) -> Outco
             }));
         }
         let conc = system.config().restore;
-        let mut writer = DataFrameWriter::new(stream);
+        let mut writer = SkipWriter {
+            skip: offset,
+            inner: DataFrameWriter::new(stream),
+        };
         let mut cache = Faa::new(RESTORE_CACHE_BYTES);
         match system
             .restore_with(v, &mut cache, &mut writer, &conc)
@@ -730,7 +1067,7 @@ fn serve_restore(version: u32, stream: &mut TcpStream, shared: &Shared) -> Outco
                     cache_hits: report.cache_hits,
                     cache_misses: report.cache_misses,
                 },
-                bytes_out: writer.bytes_out,
+                bytes_out: writer.inner.bytes_out,
             }),
             Err(error) => Ok(ServedRestore::RepoError {
                 error,
@@ -738,6 +1075,9 @@ fn serve_restore(version: u32, stream: &mut TcpStream, shared: &Shared) -> Outco
             }),
         }
     });
+    if offset > 0 && matches!(served, Ok(ServedRestore::Done { .. })) {
+        ServerStats::bump(&shared.stats.sessions_resumed);
+    }
     match served {
         Ok(ServedRestore::Done { summary, bytes_out }) => {
             ServerStats::add(&shared.stats.bytes_out, bytes_out);
@@ -759,12 +1099,18 @@ fn serve_restore(version: u32, stream: &mut TcpStream, shared: &Shared) -> Outco
             let _ = streamed;
             repo_error_outcome(error)
         }
+        Ok(ServedRestore::BadOffset { total_bytes }) => Outcome::Failed {
+            code: ErrorCode::Conflict,
+            message: format!(
+                "resume offset {offset} is past the end of V{version} ({total_bytes} bytes)"
+            ),
+        },
         Ok(ServedRestore::Transport(e)) => Outcome::Transport(FrameError::Io(e)),
         Err(e) => repo_error_outcome(e),
     }
 }
 
-fn serve_prune(keep_last: u32, stream: &mut TcpStream, shared: &Shared) -> Outcome {
+fn serve_prune<S: NetStream>(keep_last: u32, stream: &mut S, shared: &Shared) -> Outcome {
     if keep_last == 0 {
         return Outcome::Failed {
             code: ErrorCode::Conflict,
@@ -803,7 +1149,7 @@ fn serve_prune(keep_last: u32, stream: &mut TcpStream, shared: &Shared) -> Outco
     }
 }
 
-fn serve_verify(stream: &mut TcpStream, shared: &Shared) -> Outcome {
+fn serve_verify<S: NetStream>(stream: &mut S, shared: &Shared) -> Outcome {
     let report = shared.repo.read_snapshot(|s| s.scrub());
     match report {
         Ok(report) => {

@@ -1,0 +1,224 @@
+//! Server-side resumable-session state.
+//!
+//! A backup interrupted mid-stream parks its received prefix here, keyed by
+//! the client-generated [`SessionToken`]; the retrying client's
+//! `BackupResume` finds the prefix and continues from the acknowledged
+//! offset instead of re-sending everything. Tokens whose backup already
+//! committed are remembered with their summary, so a retry that races the
+//! commit acknowledgement is answered from the cache — the repository never
+//! commits the same token twice.
+//!
+//! Both tables are bounded: at most `max_sessions` entries each, evicting
+//! least-recently-used, and every entry expires `ttl` after its last touch.
+//! The bounds are the honest limit of the scheme — a client that comes back
+//! after eviction or expiry simply starts over (backup) or re-transfers
+//! (restore); correctness never depends on an entry still being present.
+
+use std::time::{Duration, Instant};
+
+use hidestore_proto::{BackupSummary, SessionToken};
+
+/// A parked, partially-received backup stream.
+struct ParkedBackup {
+    token: SessionToken,
+    data: Vec<u8>,
+    total_len: u64,
+    touched: Instant,
+}
+
+/// A committed token with the summary the original commit produced.
+struct CommittedBackup {
+    token: SessionToken,
+    summary: BackupSummary,
+    touched: Instant,
+}
+
+/// LRU + TTL bounded tables of parked and committed backup sessions. One
+/// instance lives behind a mutex in the server's shared state.
+pub struct SessionTable {
+    max_sessions: usize,
+    ttl: Duration,
+    /// Least-recently-used first.
+    parked: Vec<ParkedBackup>,
+    /// Least-recently-used first.
+    committed: Vec<CommittedBackup>,
+}
+
+impl SessionTable {
+    /// A table bounded to `max_sessions` parked (and `max_sessions`
+    /// committed) entries, each expiring `ttl` after its last touch. A
+    /// zero `ttl` never expires; `max_sessions` is clamped to at least 1.
+    #[must_use]
+    pub fn new(max_sessions: usize, ttl: Duration) -> Self {
+        SessionTable {
+            max_sessions: max_sessions.max(1),
+            ttl,
+            parked: Vec::new(),
+            committed: Vec::new(),
+        }
+    }
+
+    fn expired(&self, touched: Instant, now: Instant) -> bool {
+        !self.ttl.is_zero() && now.duration_since(touched) >= self.ttl
+    }
+
+    /// Drops every entry whose TTL has elapsed. Called lazily from each
+    /// mutating entry point, so an idle table still cannot hold dead
+    /// sessions past one more access.
+    fn sweep(&mut self, now: Instant) {
+        let ttl = self.ttl;
+        if ttl.is_zero() {
+            return;
+        }
+        self.parked.retain(|p| now.duration_since(p.touched) < ttl);
+        self.committed
+            .retain(|c| now.duration_since(c.touched) < ttl);
+    }
+
+    /// Parks the received prefix of an interrupted backup. Replaces any
+    /// previous entry for the token; evicts the least-recently-used entry
+    /// when the table is full.
+    pub fn park(&mut self, token: SessionToken, data: Vec<u8>, total_len: u64) {
+        let now = Instant::now();
+        self.sweep(now);
+        self.parked.retain(|p| p.token != token);
+        if self.parked.len() >= self.max_sessions {
+            self.parked.remove(0);
+        }
+        self.parked.push(ParkedBackup {
+            token,
+            data,
+            total_len,
+            touched: now,
+        });
+    }
+
+    /// Removes and returns the parked prefix for `token` (and its declared
+    /// total length), if present and not expired.
+    pub fn take(&mut self, token: SessionToken) -> Option<(Vec<u8>, u64)> {
+        let now = Instant::now();
+        self.sweep(now);
+        let at = self.parked.iter().position(|p| p.token == token)?;
+        let parked = self.parked.remove(at);
+        Some((parked.data, parked.total_len))
+    }
+
+    /// Records that `token`'s backup committed, caching the summary for
+    /// duplicate-suppression. Any parked prefix for the token is dropped.
+    pub fn record_committed(&mut self, token: SessionToken, summary: BackupSummary) {
+        let now = Instant::now();
+        self.sweep(now);
+        self.parked.retain(|p| p.token != token);
+        self.committed.retain(|c| c.token != token);
+        if self.committed.len() >= self.max_sessions {
+            self.committed.remove(0);
+        }
+        self.committed.push(CommittedBackup {
+            token,
+            summary,
+            touched: now,
+        });
+    }
+
+    /// The cached summary if `token` already committed (refreshes its LRU
+    /// position and TTL — a client actively retrying keeps its dedup
+    /// window alive).
+    pub fn committed(&mut self, token: SessionToken) -> Option<BackupSummary> {
+        let now = Instant::now();
+        let at = self.committed.iter().position(|c| c.token == token)?;
+        if self.expired(self.committed[at].touched, now) {
+            self.committed.remove(at);
+            return None;
+        }
+        let mut entry = self.committed.remove(at);
+        entry.touched = now;
+        let summary = entry.summary;
+        self.committed.push(entry);
+        Some(summary)
+    }
+
+    /// Number of parked (incomplete) sessions currently held. The chaos
+    /// suite asserts this returns to zero — no leaked sessions.
+    #[must_use]
+    pub fn open_sessions(&self) -> usize {
+        self.parked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(version: u32) -> BackupSummary {
+        BackupSummary {
+            version,
+            logical_bytes: 10,
+            stored_bytes: 10,
+            chunks: 1,
+            unique_chunks: 1,
+            cold_chunks: 0,
+        }
+    }
+
+    #[test]
+    fn park_take_round_trip() {
+        let mut t = SessionTable::new(4, Duration::ZERO);
+        t.park([1; 16], vec![1, 2, 3], 10);
+        assert_eq!(t.open_sessions(), 1);
+        assert_eq!(t.take([1; 16]), Some((vec![1, 2, 3], 10)));
+        assert_eq!(t.open_sessions(), 0);
+        assert_eq!(t.take([1; 16]), None, "take is consuming");
+    }
+
+    #[test]
+    fn park_replaces_same_token() {
+        let mut t = SessionTable::new(4, Duration::ZERO);
+        t.park([1; 16], vec![1], 10);
+        t.park([1; 16], vec![1, 2], 10);
+        assert_eq!(t.open_sessions(), 1);
+        assert_eq!(t.take([1; 16]), Some((vec![1, 2], 10)));
+    }
+
+    #[test]
+    fn lru_eviction_caps_the_table() {
+        let mut t = SessionTable::new(2, Duration::ZERO);
+        t.park([1; 16], vec![1], 1);
+        t.park([2; 16], vec![2], 2);
+        t.park([3; 16], vec![3], 3);
+        assert_eq!(t.open_sessions(), 2);
+        assert_eq!(t.take([1; 16]), None, "oldest was evicted");
+        assert!(t.take([2; 16]).is_some());
+        assert!(t.take([3; 16]).is_some());
+    }
+
+    #[test]
+    fn committed_dedupes_and_drops_parked() {
+        let mut t = SessionTable::new(4, Duration::ZERO);
+        t.park([1; 16], vec![1], 10);
+        t.record_committed([1; 16], summary(3));
+        assert_eq!(t.open_sessions(), 0, "commit clears the parked prefix");
+        assert_eq!(t.committed([1; 16]).map(|s| s.version), Some(3));
+        assert_eq!(t.committed([2; 16]), None);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut t = SessionTable::new(4, Duration::from_millis(20));
+        t.park([1; 16], vec![1], 10);
+        t.record_committed([2; 16], summary(1));
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(t.take([1; 16]), None, "parked entry expired");
+        assert_eq!(t.committed([2; 16]), None, "committed entry expired");
+        assert_eq!(t.open_sessions(), 0);
+    }
+
+    #[test]
+    fn committed_refresh_keeps_active_token_alive() {
+        let mut t = SessionTable::new(4, Duration::from_millis(60));
+        t.record_committed([1; 16], summary(1));
+        for _ in 0..3 {
+            std::thread::sleep(Duration::from_millis(25));
+            assert!(t.committed([1; 16]).is_some(), "each hit refreshes TTL");
+        }
+    }
+}

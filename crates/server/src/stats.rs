@@ -26,6 +26,15 @@ pub struct ServerStats {
     pub bytes_in: AtomicU64,
     /// Payload bytes sent in DATA frames.
     pub bytes_out: AtomicU64,
+    /// Connections refused with a retryable `busy` error because the
+    /// admission gate found the worker queue full (load shedding).
+    pub busy_rejected: AtomicU64,
+    /// Backup/restore requests that resumed an interrupted session at a
+    /// non-zero offset.
+    pub sessions_resumed: AtomicU64,
+    /// Retried backups answered from the idempotency cache instead of
+    /// committing a second time.
+    pub dedup_hits: AtomicU64,
 }
 
 impl ServerStats {
@@ -50,6 +59,9 @@ impl ServerStats {
             rolled_back: self.rolled_back.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            busy_rejected: self.busy_rejected.load(Ordering::Relaxed),
+            sessions_resumed: self.sessions_resumed.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -73,6 +85,12 @@ pub struct StatsSnapshot {
     pub bytes_in: u64,
     /// DATA bytes sent.
     pub bytes_out: u64,
+    /// Connections shed with a `busy` refusal.
+    pub busy_rejected: u64,
+    /// Requests that resumed an interrupted session.
+    pub sessions_resumed: u64,
+    /// Duplicate backup commits suppressed by the idempotency cache.
+    pub dedup_hits: u64,
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -80,7 +98,8 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "accepted={} ok={} failed={} rejected_oversize={} timed_out={} \
-             rolled_back={} bytes_in={} bytes_out={}",
+             rolled_back={} bytes_in={} bytes_out={} busy_rejected={} \
+             sessions_resumed={} dedup_hits={}",
             self.accepted,
             self.requests_ok,
             self.requests_failed,
@@ -89,6 +108,9 @@ impl fmt::Display for StatsSnapshot {
             self.rolled_back,
             self.bytes_in,
             self.bytes_out,
+            self.busy_rejected,
+            self.sessions_resumed,
+            self.dedup_hits,
         )
     }
 }

@@ -82,6 +82,31 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Enqueues `item` without blocking, or hands it back immediately when
+    /// the queue is full or cancelled. This is the admission-gate primitive:
+    /// an acceptor thread must never park on a saturated worker queue, it
+    /// has to refuse the connection instead.
+    ///
+    /// # Errors
+    ///
+    /// [`TryPushError::Full`] when the queue is at capacity,
+    /// [`TryPushError::Cancelled`] after [`BoundedQueue::cancel`]. Both
+    /// return the item so the caller can dispose of it (e.g. close the
+    /// refused connection gracefully).
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut s = self.lock();
+        if s.cancelled {
+            return Err(TryPushError::Cancelled(item));
+        }
+        if s.items.len() >= s.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Blocks until an item is available; returns `None` once every producer
     /// has finished and the queue is drained, or immediately on cancellation.
     pub fn pop(&self) -> Option<T> {
@@ -129,6 +154,25 @@ impl<T> BoundedQueue<T> {
     pub fn blocked_counts(&self) -> (u64, u64) {
         let s = self.lock();
         (s.blocked_full, s.blocked_empty)
+    }
+}
+
+/// Why a non-blocking [`BoundedQueue::try_push`] failed, carrying the
+/// rejected item back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue was at capacity; the caller should shed the work.
+    Full(T),
+    /// The queue was cancelled; no further traffic flows.
+    Cancelled(T),
+}
+
+impl<T> TryPushError<T> {
+    /// Recovers the item that could not be enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            TryPushError::Full(item) | TryPushError::Cancelled(item) => item,
+        }
     }
 }
 
@@ -230,6 +274,18 @@ mod tests {
             assert_eq!(h.join().ok(), Some(Err(8)), "blocked push fails");
             assert_eq!(q.pop(), None, "cancelled pop yields nothing");
         });
+    }
+
+    #[test]
+    fn try_push_refuses_instead_of_blocking() {
+        let q = BoundedQueue::new(1, 1);
+        assert_eq!(q.try_push(1u32), Ok(()));
+        assert_eq!(q.try_push(2), Err(TryPushError::Full(2)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()), "room again after a pop");
+        q.cancel();
+        assert_eq!(q.try_push(4), Err(TryPushError::Cancelled(4)));
+        assert_eq!(TryPushError::Full(9u32).into_inner(), 9);
     }
 
     #[test]

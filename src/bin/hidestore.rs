@@ -34,10 +34,11 @@ use std::fmt;
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use hidestore::core::{HiDeStore, HiDeStoreConfig};
 use hidestore::restore::Faa;
-use hidestore::server::{view, RemoteClient, ServerConfig};
+use hidestore::server::{default_net_timeout, view, RemoteClient, ServerConfig};
 use hidestore::storage::{FileContainerStore, VersionId};
 
 /// A CLI failure, split by who got it wrong.
@@ -86,8 +87,11 @@ fn print_usage() {
          hidestore flatten <repo>\n  \
          hidestore recluster <repo>\n  \
          hidestore stats   <repo> [--json]\n  \
-         hidestore serve   <repo> [--bind ADDR] [--port N] [--workers N] [--quiet]\n\n\
-         remote variants (against a running hds-served):\n  \
+         hidestore serve   <repo> [--bind ADDR] [--port N] [--workers N] [--quiet]\n  \
+         \x20                [--read-timeout SECS] [--write-timeout SECS]\n\n\
+         remote variants (against a running hds-served); each also takes\n\
+         --remote-timeout SECS (per-I/O deadline, 0 disables, default\n\
+         HDS_NET_TIMEOUT then 30):\n  \
          hidestore backup  --remote <host:port> <file>\n  \
          hidestore restore --remote <host:port> <version> <outfile>\n  \
          hidestore list    --remote <host:port> [--json]\n  \
@@ -117,23 +121,45 @@ fn main() -> ExitCode {
     }
 }
 
-/// Pulls `--remote <host:port>` out of the argument list, returning the
-/// address (if present) and the remaining positional/flag arguments.
-fn split_remote(args: &[String]) -> Result<(Option<String>, Vec<String>), CliError> {
-    let mut remote = None;
+/// The `--remote` connection options shared by every remote verb.
+struct Remote {
+    addr: String,
+    /// `--remote-timeout` if given; otherwise resolved from
+    /// `HDS_NET_TIMEOUT` / the 30s default at connect time.
+    timeout: Option<Duration>,
+}
+
+/// Pulls `--remote <host:port>` (and `--remote-timeout SECS`) out of the
+/// argument list, returning the connection options (if remote) and the
+/// remaining positional/flag arguments.
+fn split_remote(args: &[String]) -> Result<(Option<Remote>, Vec<String>), CliError> {
+    let mut addr = None;
+    let mut timeout = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--remote" {
-            let addr = it
+            let value = it
                 .next()
                 .ok_or_else(|| usage("--remote needs a <host:port> value"))?;
-            remote = Some(addr.clone());
+            addr = Some(value.clone());
+        } else if arg == "--remote-timeout" {
+            let value = it
+                .next()
+                .ok_or_else(|| usage("--remote-timeout needs a seconds value"))?;
+            let secs: u64 = value
+                .parse()
+                .map_err(|_| usage(format!("--remote-timeout must be a number, got {value}")))?;
+            timeout = Some(Duration::from_secs(secs));
         } else {
             rest.push(arg.clone());
         }
     }
-    Ok((remote, rest))
+    match (addr, timeout) {
+        (Some(addr), timeout) => Ok((Some(Remote { addr, timeout }), rest)),
+        (None, Some(_)) => Err(usage("--remote-timeout requires --remote")),
+        (None, None) => Ok((None, rest)),
+    }
 }
 
 /// Pulls a boolean `--json` flag out of the argument list.
@@ -157,16 +183,16 @@ fn run(args: &[String]) -> CliResult {
             [repo, file] => cmd_backup(repo, file),
             _ => Err(usage("backup needs <repo> <file>")),
         },
-        ("backup", Some(addr)) => match rest.as_slice() {
-            [file] => cmd_backup_remote(&addr, file),
+        ("backup", Some(remote)) => match rest.as_slice() {
+            [file] => cmd_backup_remote(&remote, file),
             _ => Err(usage("remote backup needs <file>")),
         },
         ("restore", None) => match rest.as_slice() {
             [repo, version, outfile, opts @ ..] => cmd_restore(repo, version, outfile, opts),
             _ => Err(usage("restore needs <repo> <version> <outfile>")),
         },
-        ("restore", Some(addr)) => match rest.as_slice() {
-            [version, outfile] => cmd_restore_remote(&addr, version, outfile),
+        ("restore", Some(remote)) => match rest.as_slice() {
+            [version, outfile] => cmd_restore_remote(&remote, version, outfile),
             _ => Err(usage("remote restore needs <version> <outfile>")),
         },
         ("list", None) => {
@@ -176,10 +202,10 @@ fn run(args: &[String]) -> CliResult {
                 _ => Err(usage("list needs a <repo>")),
             }
         }
-        ("list", Some(addr)) => {
+        ("list", Some(remote)) => {
             let (json, rest) = split_json(rest);
             match rest.as_slice() {
-                [] => cmd_list_remote(&addr, json),
+                [] => cmd_list_remote(&remote, json),
                 _ => Err(usage("remote list takes no positional arguments")),
             }
         }
@@ -190,10 +216,10 @@ fn run(args: &[String]) -> CliResult {
                 _ => Err(usage("stats needs a <repo>")),
             }
         }
-        ("stats", Some(addr)) => {
+        ("stats", Some(remote)) => {
             let (json, rest) = split_json(rest);
             match rest.as_slice() {
-                [] => cmd_stats_remote(&addr, json),
+                [] => cmd_stats_remote(&remote, json),
                 _ => Err(usage("remote stats takes no positional arguments")),
             }
         }
@@ -201,20 +227,20 @@ fn run(args: &[String]) -> CliResult {
             [repo, keep] => cmd_prune(repo, keep),
             _ => Err(usage("prune needs <repo> <keep-last-N>")),
         },
-        ("prune", Some(addr)) => match rest.as_slice() {
-            [keep] => cmd_prune_remote(&addr, keep),
+        ("prune", Some(remote)) => match rest.as_slice() {
+            [keep] => cmd_prune_remote(&remote, keep),
             _ => Err(usage("remote prune needs <keep-last-N>")),
         },
         ("verify", None) => match rest.as_slice() {
             [repo] => cmd_verify(repo),
             _ => Err(usage("verify needs a <repo>")),
         },
-        ("verify", Some(addr)) => match rest.as_slice() {
-            [] => cmd_verify_remote(&addr),
+        ("verify", Some(remote)) => match rest.as_slice() {
+            [] => cmd_verify_remote(&remote),
             _ => Err(usage("remote verify takes no positional arguments")),
         },
-        ("shutdown", Some(addr)) => match rest.as_slice() {
-            [] => cmd_shutdown_remote(&addr),
+        ("shutdown", Some(remote)) => match rest.as_slice() {
+            [] => cmd_shutdown_remote(&remote),
             _ => Err(usage("shutdown takes no positional arguments")),
         },
         ("flatten", None) => match rest.as_slice() {
@@ -239,9 +265,10 @@ fn open(repo: &str) -> Result<HiDeStore<FileContainerStore>, CliError> {
     Ok(HiDeStore::open_repository(config, repo)?)
 }
 
-fn connect(addr: &str) -> Result<RemoteClient, CliError> {
-    RemoteClient::connect(addr)
-        .map_err(|e| runtime(format!("cannot reach hds-served at {addr}: {e}")))
+fn connect(remote: &Remote) -> Result<RemoteClient, CliError> {
+    let timeout = remote.timeout.unwrap_or_else(default_net_timeout);
+    RemoteClient::connect_with(&remote.addr, hidestore::proto::Limits::default(), timeout)
+        .map_err(|e| runtime(format!("cannot reach hds-served at {}: {e}", remote.addr)))
 }
 
 fn parse_version(version: &str) -> Result<u32, CliError> {
@@ -310,15 +337,15 @@ fn cmd_backup(repo: &str, file: &str) -> CliResult {
     Ok(())
 }
 
-fn cmd_backup_remote(addr: &str, file: &str) -> CliResult {
+fn cmd_backup_remote(remote: &Remote, file: &str) -> CliResult {
     let data = fs::read(file)?;
-    let mut client = connect(addr)?;
+    let mut client = connect(remote)?;
     let summary = client.backup_bytes(&data)?;
     println!(
         "{} -> V{} on {}: {} bytes, {} chunks, {} new bytes stored, {} cold chunks archived",
         file,
         summary.version,
-        addr,
+        remote.addr,
         summary.logical_bytes,
         summary.chunks,
         summary.stored_bytes,
@@ -377,13 +404,13 @@ fn cmd_restore(repo: &str, version: &str, outfile: &str, opts: &[String]) -> Cli
     Ok(())
 }
 
-fn cmd_restore_remote(addr: &str, version: &str, outfile: &str) -> CliResult {
+fn cmd_restore_remote(remote: &Remote, version: &str, outfile: &str) -> CliResult {
     let v = parse_version(version)?;
-    let mut client = connect(addr)?;
+    let mut client = connect(remote)?;
     let summary = client.restore_to_path(v, Path::new(outfile))?;
     println!(
-        "restored V{v} from {addr} to {outfile}: {} bytes, {} container reads",
-        summary.bytes_restored, summary.container_reads,
+        "restored V{v} from {} to {outfile}: {} bytes, {} container reads",
+        remote.addr, summary.bytes_restored, summary.container_reads,
     );
     Ok(())
 }
@@ -399,8 +426,8 @@ fn cmd_list(repo: &str, json: bool) -> CliResult {
     Ok(())
 }
 
-fn cmd_list_remote(addr: &str, json: bool) -> CliResult {
-    let mut client = connect(addr)?;
+fn cmd_list_remote(remote: &Remote, json: bool) -> CliResult {
+    let mut client = connect(remote)?;
     let list = client.list()?;
     if json {
         println!("{}", list.to_json());
@@ -441,8 +468,8 @@ fn cmd_stats(repo: &str, json: bool) -> CliResult {
     Ok(())
 }
 
-fn cmd_stats_remote(addr: &str, json: bool) -> CliResult {
-    let mut client = connect(addr)?;
+fn cmd_stats_remote(remote: &Remote, json: bool) -> CliResult {
+    let mut client = connect(remote)?;
     let stats = client.stats()?;
     if json {
         println!("{}", stats.to_json());
@@ -507,15 +534,15 @@ fn cmd_prune(repo: &str, keep: &str) -> CliResult {
     Ok(())
 }
 
-fn cmd_prune_remote(addr: &str, keep: &str) -> CliResult {
+fn cmd_prune_remote(remote: &Remote, keep: &str) -> CliResult {
     let keep: u32 = keep
         .parse()
         .map_err(|_| usage(format!("keep-last must be a number, got {keep}")))?;
-    let mut client = connect(addr)?;
+    let mut client = connect(remote)?;
     let summary = client.prune(keep)?;
     println!(
-        "pruned {} versions, dropped {} containers, reclaimed {} bytes on {addr}",
-        summary.versions_removed, summary.containers_dropped, summary.bytes_reclaimed,
+        "pruned {} versions, dropped {} containers, reclaimed {} bytes on {}",
+        summary.versions_removed, summary.containers_dropped, summary.bytes_reclaimed, remote.addr,
     );
     Ok(())
 }
@@ -541,12 +568,12 @@ fn cmd_verify(repo: &str) -> CliResult {
     }
 }
 
-fn cmd_verify_remote(addr: &str) -> CliResult {
-    let mut client = connect(addr)?;
+fn cmd_verify_remote(remote: &Remote) -> CliResult {
+    let mut client = connect(remote)?;
     let summary = client.verify()?;
     println!(
-        "checked {} containers, {} chunks, {} recipes on {addr}",
-        summary.containers_checked, summary.chunks_checked, summary.recipes_checked,
+        "checked {} containers, {} chunks, {} recipes on {}",
+        summary.containers_checked, summary.chunks_checked, summary.recipes_checked, remote.addr,
     );
     if summary.is_clean() {
         println!("repository is clean");
@@ -562,10 +589,10 @@ fn cmd_verify_remote(addr: &str) -> CliResult {
     }
 }
 
-fn cmd_shutdown_remote(addr: &str) -> CliResult {
-    let client = connect(addr)?;
+fn cmd_shutdown_remote(remote: &Remote) -> CliResult {
+    let client = connect(remote)?;
     client.shutdown()?;
-    println!("hds-served at {addr} is draining");
+    println!("hds-served at {} is draining", remote.addr);
     Ok(())
 }
 
@@ -618,6 +645,24 @@ fn cmd_serve(repo: &str, opts: &[String]) -> CliResult {
                     .map_err(|_| usage(format!("--workers must be a number, got {value}")))?;
             }
             "--quiet" => config.quiet = true,
+            "--read-timeout" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| usage("--read-timeout needs a value"))?;
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| usage(format!("--read-timeout must be a number, got {value}")))?;
+                config.read_timeout = Some(Duration::from_secs(secs));
+            }
+            "--write-timeout" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| usage("--write-timeout needs a value"))?;
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| usage(format!("--write-timeout must be a number, got {value}")))?;
+                config.write_timeout = Some(Duration::from_secs(secs));
+            }
             other => return Err(usage(format!("unknown option {other}"))),
         }
     }

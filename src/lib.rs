@@ -52,6 +52,7 @@ pub use hidestore_failpoint as failpoint;
 pub use hidestore_fsck as fsck;
 pub use hidestore_hash as hash;
 pub use hidestore_index as index;
+pub use hidestore_netfault as netfault;
 pub use hidestore_proto as proto;
 pub use hidestore_restore as restore;
 pub use hidestore_rewriting as rewriting;

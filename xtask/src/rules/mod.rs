@@ -11,9 +11,11 @@
 //! | `lock-poison`    | lock discipline| medium  | `src/`, `crates/*`            |
 //! | `wire-cast`      | wire safety   | medium   | `crates/proto`, `crates/server` |
 //! | `wire-alloc`     | wire safety   | high     | `crates/proto`, `crates/server` |
+//! | `net-io`         | I/O discipline| high     | `src/`, `crates/server`, `crates/proto` except `crates/netfault` |
 //! | `panic-marker`   | panic audit   | medium/low | everything `lint` scans     |
 
 pub mod locks;
+pub mod net;
 pub mod panic;
 pub mod vfs;
 pub mod wire;

@@ -62,6 +62,13 @@ fn wire_fixture_trips_both_wire_rules() {
 }
 
 #[test]
+fn net_fixture_trips_net_io() {
+    let (code, stdout, _) = analyze_fixture("net_bad");
+    assert_eq!(code, 1);
+    assert!(stdout.contains("[net-io/high]"), "stdout: {stdout}");
+}
+
+#[test]
 fn panic_fixture_trips_panic_marker() {
     let (code, stdout, _) = analyze_fixture("panic_bad");
     assert_eq!(code, 1);

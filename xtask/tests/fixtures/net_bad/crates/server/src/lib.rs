@@ -1,0 +1,10 @@
+//! Fixture: raw socket I/O outside the netfault shim.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+/// Writes bytes straight onto a raw socket, bypassing the shim.
+pub fn send(addr: &str, data: &[u8]) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(data)
+}
