@@ -3,7 +3,7 @@
 #
 #     ./ci.sh
 #
-# Nine checks, in order of increasing cost; the script stops at the first
+# Ten checks, in order of increasing cost; the script stops at the first
 # failure:
 #
 #   1. cargo fmt --check            -- formatting drift
@@ -22,7 +22,11 @@
 #                                      cut/short/black-hole/delay on both
 #                                      sides, resume-tail accounting, server
 #                                      restart ride-through, busy shedding
-#   9. served round trip            -- hds-served on an ephemeral port:
+#   9. tenant isolation (release)   -- N tenants raced through one daemon:
+#                                      byte-identical to serial runs, LRU
+#                                      eviction churn, v2-compat default
+#                                      tenant, quota/unknown-tenant refusals
+#  10. served round trip            -- hds-served on an ephemeral port:
 #                                      remote backup -> list -> restore ->
 #                                      verify, byte-compare, fsck-clean repo,
 #                                      graceful shutdown
@@ -62,6 +66,9 @@ HDS_THREADS=8 cargo test --release --test restore_differential -q
 
 echo "ci: cargo test --release --test server_chaos"
 cargo test --release --test server_chaos -q
+
+echo "ci: cargo test --release --test tenant_isolation"
+cargo test --release --test tenant_isolation -q
 
 echo "ci: hds-served remote round trip"
 cargo build -q -p hidestore -p hidestore-server -p hidestore-fsck --bins

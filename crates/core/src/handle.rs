@@ -185,6 +185,44 @@ impl<V: Vfs> RepositoryHandle<V> {
         }
         result
     }
+
+    /// [`RepositoryHandle::write`] with an admission check that runs under
+    /// the same exclusive lock *before* the mutation. A failing `check`
+    /// refuses the mutation without touching anything: no rollback, no
+    /// reopen, no [`RepositoryHandle::rollbacks`] bump — the in-memory
+    /// instance is exactly as committed. Quota enforcement uses this so a
+    /// refused backup is a cheap read, not a rollback, and so the check
+    /// and the mutation are atomic against concurrent writers.
+    ///
+    /// # Errors
+    ///
+    /// `check`'s error (nothing mutated), or as
+    /// [`RepositoryHandle::write`] once the mutation begins.
+    pub fn write_checked<R>(
+        &self,
+        check: impl FnOnce(&HiDeStore<FileContainerStore<V>>) -> Result<(), HiDeStoreError>,
+        f: impl FnOnce(&mut HiDeStore<FileContainerStore<V>>) -> Result<R, HiDeStoreError>,
+    ) -> Result<R, HiDeStoreError> {
+        let mut guard = self.write_guard();
+        let Some(system) = guard.as_mut() else {
+            return Err(HiDeStoreError::Poisoned);
+        };
+        check(system)?;
+        let result = f(system).and_then(|r| {
+            system.save_repository(&self.dir)?;
+            Ok(r)
+        });
+        if let Err(e) = result {
+            self.rollbacks.fetch_add(1, Ordering::Relaxed);
+            let config = *system.config();
+            match HiDeStore::open_repository_with(config, &self.dir, self.vfs.clone()) {
+                Ok((fresh, _report)) => *guard = Some(fresh),
+                Err(_) => *guard = None,
+            }
+            return Err(e);
+        }
+        result
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +348,53 @@ mod tests {
         // real filesystem opens and serves reads.
         let fresh = RepositoryHandle::open(&dir).unwrap();
         assert_eq!(fresh.read(|s| s.versions()).unwrap(), vec![]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_checked_refuses_without_rollback() {
+        let dir = temp("checked");
+        init_repo(&dir);
+        let handle = RepositoryHandle::open(&dir).unwrap();
+        handle.write(|s| s.backup(&vec![1u8; 10_000])).unwrap();
+        // A failing check refuses before anything mutates: no new version,
+        // no rollback, and the error passes through verbatim.
+        let err = handle.write_checked(
+            |s| {
+                Err(HiDeStoreError::QuotaExceeded {
+                    what: "versions",
+                    used: s.versions().len() as u64,
+                    limit: 1,
+                })
+            },
+            |s| s.backup(&vec![2u8; 10_000]),
+        );
+        assert!(matches!(
+            err,
+            Err(HiDeStoreError::QuotaExceeded {
+                what: "versions",
+                used: 1,
+                limit: 1
+            })
+        ));
+        assert_eq!(handle.rollbacks(), 0, "a refused check is not a rollback");
+        assert_eq!(handle.read(|s| s.versions()).unwrap().len(), 1);
+        // A passing check lets the mutation commit normally.
+        let stats = handle
+            .write_checked(|_| Ok(()), |s| s.backup(&vec![3u8; 10_000]))
+            .unwrap();
+        assert_eq!(stats.version.get(), 2);
+        // And a failing mutation after a passing check still rolls back.
+        let err = handle.write_checked(
+            |_| Ok(()),
+            |s| {
+                s.backup(&vec![4u8; 10_000])?;
+                Err::<(), _>(HiDeStoreError::UnknownVersion(VersionId::new(77)))
+            },
+        );
+        assert!(matches!(err, Err(HiDeStoreError::UnknownVersion(_))));
+        assert_eq!(handle.rollbacks(), 1);
+        assert_eq!(handle.read(|s| s.versions()).unwrap().len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

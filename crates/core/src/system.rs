@@ -54,6 +54,18 @@ pub enum HiDeStoreError {
     /// state nor a fresh open can be trusted. Every subsequent operation on
     /// the handle fails fast with this error.
     Poisoned,
+    /// A mutation was refused because it would push the repository past a
+    /// tenant quota. Raised by the pre-mutation check of
+    /// [`crate::RepositoryHandle::write_checked`], so nothing was changed
+    /// and nothing needs rolling back.
+    QuotaExceeded {
+        /// Which limit was hit (`"bytes"` or `"versions"`).
+        what: &'static str,
+        /// Current usage before the refused mutation.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
     /// The requested version depends on artifacts that degraded-mode
     /// recovery quarantined; versions without quarantined dependencies
     /// still restore normally.
@@ -82,6 +94,9 @@ impl fmt::Display for HiDeStoreError {
                 "repository handle is poisoned: a failed mutation could not be \
                  rolled back by reopening from disk"
             ),
+            HiDeStoreError::QuotaExceeded { what, used, limit } => {
+                write!(f, "quota exceeded: {used} of {limit} {what} already used")
+            }
             HiDeStoreError::PartialRestore {
                 version,
                 quarantined,

@@ -12,7 +12,7 @@
 
 use std::fmt::Write as _;
 
-use crate::message::{ListResponse, StatsResponse};
+use crate::message::{ListResponse, StatsResponse, TenantListResponse, TenantStatsResponse};
 
 /// Escapes `s` into `out` as a JSON string literal (with quotes).
 fn escape_into(out: &mut String, s: &str) {
@@ -95,6 +95,61 @@ impl StatsResponse {
     }
 }
 
+impl TenantListResponse {
+    /// Serializes as one line of JSON with a fixed key order:
+    /// `{"tenants":[{"tenant":..,"versions":..,"logical_bytes":..,
+    /// "live":..},..]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(16 + self.tenants.len() * 64);
+        out.push_str("{\"tenants\":[");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"tenant\":");
+            escape_into(&mut out, &t.tenant);
+            let _ = write!(
+                out,
+                ",\"versions\":{},\"logical_bytes\":{},\"live\":{}}}",
+                t.versions, t.logical_bytes, t.live
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl TenantStatsResponse {
+    /// Serializes as one line of JSON with a fixed key order:
+    /// `{"tenants":[{"tenant":..,"requests_ok":..,"requests_failed":..,
+    /// "bytes_in":..,"bytes_out":..,"rolled_back":..,
+    /// "quota_refused":..},..]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(16 + self.tenants.len() * 128);
+        out.push_str("{\"tenants\":[");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"tenant\":");
+            escape_into(&mut out, &t.tenant);
+            let _ = write!(
+                out,
+                ",\"requests_ok\":{},\"requests_failed\":{},\"bytes_in\":{},\
+                 \"bytes_out\":{},\"rolled_back\":{},\"quota_refused\":{}}}",
+                t.requests_ok,
+                t.requests_failed,
+                t.bytes_in,
+                t.bytes_out,
+                t.rolled_back,
+                t.quota_refused
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 /// Serializes an arbitrary string as a standalone JSON string literal —
 /// used by callers composing ad-hoc JSON around the response types.
 pub fn json_string(s: &str) -> String {
@@ -155,6 +210,51 @@ mod tests {
              \"cfl\":0.5000,\"mean_kib_per_container\":12.2500}],\
              \"pool_containers\":2,\"pool_chunks\":7,\"pool_live_bytes\":4096}"
         );
+    }
+
+    #[test]
+    fn tenant_json_shapes() {
+        use crate::message::{TenantListEntry, TenantStatsEntry};
+        let list = TenantListResponse {
+            tenants: vec![
+                TenantListEntry {
+                    tenant: "alice".into(),
+                    versions: 3,
+                    logical_bytes: 4096,
+                    live: true,
+                },
+                TenantListEntry {
+                    tenant: "bob".into(),
+                    versions: 0,
+                    logical_bytes: 0,
+                    live: false,
+                },
+            ],
+        };
+        assert_eq!(
+            list.to_json(),
+            "{\"tenants\":[{\"tenant\":\"alice\",\"versions\":3,\
+             \"logical_bytes\":4096,\"live\":true},\
+             {\"tenant\":\"bob\",\"versions\":0,\"logical_bytes\":0,\"live\":false}]}"
+        );
+        let stats = TenantStatsResponse {
+            tenants: vec![TenantStatsEntry {
+                tenant: "alice".into(),
+                requests_ok: 5,
+                requests_failed: 1,
+                bytes_in: 100,
+                bytes_out: 200,
+                rolled_back: 0,
+                quota_refused: 2,
+            }],
+        };
+        assert_eq!(
+            stats.to_json(),
+            "{\"tenants\":[{\"tenant\":\"alice\",\"requests_ok\":5,\
+             \"requests_failed\":1,\"bytes_in\":100,\"bytes_out\":200,\
+             \"rolled_back\":0,\"quota_refused\":2}]}"
+        );
+        assert_eq!(TenantListResponse::default().to_json(), "{\"tenants\":[]}");
     }
 
     #[test]

@@ -42,6 +42,7 @@
 pub mod frame;
 pub mod json;
 pub mod message;
+pub mod tenant;
 pub mod wire;
 
 pub use frame::{
@@ -50,9 +51,11 @@ pub use frame::{
 };
 pub use message::{
     BackupSummary, ErrorCode, Hello, ListResponse, PruneSummary, Request, Response, RestoreSummary,
-    SessionToken, StatsResponse, VerifySummary, VersionEntry, VersionStatsEntry, WireError,
-    HELLO_MAGIC, MIN_PROTO_VERSION, PROTO_VERSION,
+    SessionToken, StatsResponse, TenantListEntry, TenantListResponse, TenantStatsEntry,
+    TenantStatsResponse, VerifySummary, VersionEntry, VersionStatsEntry, WireError, HELLO_MAGIC,
+    MIN_PROTO_VERSION, PROTO_VERSION, TENANT_ENVELOPE_TAG,
 };
+pub use tenant::{TenantId, TenantIdError, DEFAULT_TENANT, MAX_TENANT_ID_LEN};
 pub use wire::DecodeError;
 
 #[cfg(test)]
@@ -123,6 +126,33 @@ mod tests {
             }),
             Response::ShutdownOk,
             Response::BackupAccepted { offset: 777 },
+            Response::TenantListOk(TenantListResponse {
+                tenants: vec![
+                    TenantListEntry {
+                        tenant: "alice".into(),
+                        versions: 4,
+                        logical_bytes: 1 << 16,
+                        live: true,
+                    },
+                    TenantListEntry {
+                        tenant: "bob".into(),
+                        versions: 0,
+                        logical_bytes: 0,
+                        live: false,
+                    },
+                ],
+            }),
+            Response::TenantStatsOk(TenantStatsResponse {
+                tenants: vec![TenantStatsEntry {
+                    tenant: "alice".into(),
+                    requests_ok: 12,
+                    requests_failed: 3,
+                    bytes_in: 1 << 20,
+                    bytes_out: 1 << 21,
+                    rolled_back: 1,
+                    quota_refused: 2,
+                }],
+            }),
         ]
     }
 
@@ -144,6 +174,8 @@ mod tests {
                 version: 4,
                 offset: 4096,
             },
+            Request::TenantList,
+            Request::TenantStats,
         ]
     }
 
@@ -210,6 +242,7 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::ShuttingDown,
             ErrorCode::Busy,
+            ErrorCode::QuotaExceeded,
         ] {
             let err = WireError::new(code, format!("context for {code}"));
             assert_eq!(WireError::decode(&err.encode()).unwrap(), err);
@@ -228,6 +261,61 @@ mod tests {
             "load-shedding and shutdown refusals must invite a retry"
         );
         assert!(!ErrorCode::Malformed.is_retryable());
+        assert!(
+            !ErrorCode::QuotaExceeded.is_retryable(),
+            "a quota refusal repeats identically — retrying it is pure waste"
+        );
+    }
+
+    #[test]
+    fn tenant_envelope_round_trips() {
+        let tenant = TenantId::new("alice").unwrap();
+        for req in sample_requests() {
+            let enveloped = req.encode_with_tenant(&tenant);
+            let (decoded_tenant, decoded) = Request::decode_enveloped(&enveloped).unwrap();
+            assert_eq!(decoded_tenant.as_ref(), Some(&tenant), "{req:?}");
+            assert_eq!(decoded, req, "{req:?}");
+            // A bare payload decodes with no tenant (the server maps it to
+            // the default tenant) — exactly what v1/v2 clients send.
+            let (none, bare) = Request::decode_enveloped(&req.encode()).unwrap();
+            assert_eq!(none, None, "{req:?}");
+            assert_eq!(bare, req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_tenant_ids_rejected_at_decode() {
+        // Hand-build envelopes naming ids TenantId::new would refuse; the
+        // decoder must reject them with the typed error before dispatch.
+        for bad in ["../escape", "a/b", "a\\b", "..", "", "UPPER", "-rf", ".git"] {
+            let mut payload = vec![TENANT_ENVELOPE_TAG];
+            payload.extend_from_slice(&(bad.len() as u32).to_le_bytes());
+            payload.extend_from_slice(bad.as_bytes());
+            payload.extend_from_slice(&Request::Ping.encode());
+            assert!(
+                matches!(
+                    Request::decode_enveloped(&payload),
+                    Err(DecodeError::InvalidTenant(_))
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+        // An envelope with a valid tenant but garbage inner request still
+        // fails typed.
+        let mut payload = vec![TENANT_ENVELOPE_TAG];
+        payload.extend_from_slice(&5u32.to_le_bytes());
+        payload.extend_from_slice(b"alice");
+        payload.push(0xEE);
+        assert!(matches!(
+            Request::decode_enveloped(&payload),
+            Err(DecodeError::BadTag { .. })
+        ));
+        // A truncated envelope (torn mid-tenant-id) is a typed EOF.
+        let enveloped = Request::List.encode_with_tenant(&TenantId::new("alice").unwrap());
+        assert!(matches!(
+            Request::decode_enveloped(&enveloped[..3]),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]
@@ -248,8 +336,13 @@ mod tests {
     #[test]
     fn corrupted_frame_corpus() {
         let mut frames: Vec<Vec<u8>> = Vec::new();
+        let tenant = TenantId::new("fuzz-tenant").unwrap();
         for req in sample_requests() {
             frames.push(encode_frame(FrameKind::Request, &req.encode()));
+            frames.push(encode_frame(
+                FrameKind::Request,
+                &req.encode_with_tenant(&tenant),
+            ));
         }
         for resp in sample_responses() {
             frames.push(encode_frame(FrameKind::Response, &resp.encode()));
@@ -302,7 +395,9 @@ mod tests {
                         decoded_ok += 1;
                         match frame.kind {
                             FrameKind::Request => {
-                                let _ = Request::decode(&frame.payload);
+                                // The enveloped decoder is what the server
+                                // actually runs; it must be total too.
+                                let _ = Request::decode_enveloped(&frame.payload);
                             }
                             FrameKind::Response => {
                                 let _ = Response::decode(&frame.payload);

@@ -8,13 +8,18 @@
 
 use std::fmt;
 
+use crate::tenant::TenantId;
 use crate::wire::{ByteReader, ByteWriter, DecodeError};
 
 /// Newest protocol version this build speaks. Version 2 adds the
 /// resumable-session messages ([`Request::BackupResume`],
 /// [`Request::RestoreResume`], [`Response::BackupAccepted`]) and the
-/// retryable [`ErrorCode::Busy`] code.
-pub const PROTO_VERSION: u16 = 2;
+/// retryable [`ErrorCode::Busy`] code. Version 3 adds the tenant
+/// envelope (every request may name the tenant it targets; envelope-less
+/// requests run as the default tenant), the tenant admin requests
+/// ([`Request::TenantList`], [`Request::TenantStats`]) and the
+/// non-retryable [`ErrorCode::QuotaExceeded`] code.
+pub const PROTO_VERSION: u16 = 3;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_PROTO_VERSION: u16 = 1;
@@ -142,7 +147,20 @@ pub enum Request {
         /// starts at this offset.
         offset: u64,
     },
+    /// Protocol v3: list every tenant under the server's root with its
+    /// version count and logical size. Admin verb — not scoped to the
+    /// enveloped tenant.
+    TenantList,
+    /// Protocol v3: per-tenant server counters (requests, bytes, quota
+    /// refusals). Admin verb — not scoped to the enveloped tenant.
+    TenantStats,
 }
+
+/// Reserved first byte of a REQUEST payload marking a tenant envelope.
+/// Request tags start at 1, so a leading 0 unambiguously announces
+/// `0 | tenant-id string | inner request` (protocol v3); payloads starting
+/// with any other byte are bare v1/v2 requests for the default tenant.
+pub const TENANT_ENVELOPE_TAG: u8 = 0;
 
 impl Request {
     /// Short name for log lines.
@@ -158,6 +176,8 @@ impl Request {
             Request::Shutdown => "shutdown",
             Request::BackupResume { .. } => "backup-resume",
             Request::RestoreResume { .. } => "restore-resume",
+            Request::TenantList => "tenant-list",
+            Request::TenantStats => "tenant-stats",
         }
     }
 
@@ -167,6 +187,11 @@ impl Request {
             self,
             Request::BackupResume { .. } | Request::RestoreResume { .. }
         )
+    }
+
+    /// Whether this request is only served at protocol version 3 or newer.
+    pub fn needs_v3(&self) -> bool {
+        matches!(self, Request::TenantList | Request::TenantStats)
     }
 
     /// Encodes this request as a REQUEST frame payload.
@@ -197,8 +222,42 @@ impl Request {
                 w.u32(*version);
                 w.u64(*offset);
             }
+            Request::TenantList => w.u8(11),
+            Request::TenantStats => w.u8(12),
         }
         w.into_bytes()
+    }
+
+    /// Encodes this request wrapped in a protocol-v3 tenant envelope:
+    /// `0 | tenant-id | bare request`. Only sent to servers that
+    /// negotiated version 3 or newer.
+    pub fn encode_with_tenant(&self, tenant: &TenantId) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u8(TENANT_ENVELOPE_TAG);
+        w.string(tenant.as_str());
+        w.raw(&self.encode());
+        w.into_bytes()
+    }
+
+    /// Decodes a REQUEST frame payload that may carry a tenant envelope.
+    /// Returns the enveloped tenant (`None` for a bare v1/v2 payload,
+    /// which the server maps to the default tenant) and the request.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`DecodeError`] on unknown tags, truncation, or trailing
+    /// bytes; [`DecodeError::InvalidTenant`] when the envelope names an
+    /// id that fails validation (including path-traversal attempts).
+    pub fn decode_enveloped(payload: &[u8]) -> Result<(Option<TenantId>, Self), DecodeError> {
+        if payload.first() != Some(&TENANT_ENVELOPE_TAG) {
+            return Ok((None, Request::decode(payload)?));
+        }
+        let mut r = ByteReader::new(payload);
+        let _ = r.u8()?;
+        let name = r.string()?;
+        let tenant = TenantId::new(&name).map_err(DecodeError::InvalidTenant)?;
+        let request = Request::decode(r.rest())?;
+        Ok((Some(tenant), request))
     }
 
     /// Decodes a REQUEST frame payload.
@@ -233,6 +292,8 @@ impl Request {
                 version: r.u32()?,
                 offset: r.u64()?,
             },
+            11 => Request::TenantList,
+            12 => Request::TenantStats,
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "request",
@@ -358,6 +419,55 @@ impl VerifySummary {
     }
 }
 
+/// One tenant in a [`TenantListResponse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantListEntry {
+    /// The tenant's id.
+    pub tenant: String,
+    /// Versions the tenant's repository retains.
+    pub versions: u64,
+    /// Logical bytes across the tenant's retained versions.
+    pub logical_bytes: u64,
+    /// Whether the tenant's repository handle is currently live (resident
+    /// in the server's LRU handle table).
+    pub live: bool,
+}
+
+/// Answer to [`Request::TenantList`]: every tenant under the server's
+/// root, sorted by id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantListResponse {
+    /// Tenants sorted by id.
+    pub tenants: Vec<TenantListEntry>,
+}
+
+/// One tenant's server-side counters in a [`TenantStatsResponse`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantStatsEntry {
+    /// The tenant's id.
+    pub tenant: String,
+    /// Requests answered successfully.
+    pub requests_ok: u64,
+    /// Requests answered with an ERROR frame.
+    pub requests_failed: u64,
+    /// Payload bytes received in backup streams.
+    pub bytes_in: u64,
+    /// Payload bytes sent in restore streams.
+    pub bytes_out: u64,
+    /// Failed mutations rolled back by reopening the repository.
+    pub rolled_back: u64,
+    /// Mutations refused because they would exceed the tenant's quota.
+    pub quota_refused: u64,
+}
+
+/// Answer to [`Request::TenantStats`]: counters for every tenant that has
+/// served at least one request since the daemon started, sorted by id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantStatsResponse {
+    /// Per-tenant counters sorted by id.
+    pub tenants: Vec<TenantStatsEntry>,
+}
+
 /// A server response. Every request gets exactly one RESPONSE (or ERROR)
 /// frame; `Restore` additionally streams DATA frames before its
 /// `RestoreDone`.
@@ -393,6 +503,10 @@ pub enum Response {
         /// Bytes of the stream the server already holds (resume point).
         offset: u64,
     },
+    /// Protocol v3: answer to [`Request::TenantList`].
+    TenantListOk(TenantListResponse),
+    /// Protocol v3: answer to [`Request::TenantStats`].
+    TenantStatsOk(TenantStatsResponse),
 }
 
 impl Response {
@@ -468,6 +582,29 @@ impl Response {
             Response::BackupAccepted { offset } => {
                 w.u8(10);
                 w.u64(*offset);
+            }
+            Response::TenantListOk(list) => {
+                w.u8(11);
+                w.len_u32(list.tenants.len());
+                for t in &list.tenants {
+                    w.string(&t.tenant);
+                    w.u64(t.versions);
+                    w.u64(t.logical_bytes);
+                    w.u8(u8::from(t.live));
+                }
+            }
+            Response::TenantStatsOk(stats) => {
+                w.u8(12);
+                w.len_u32(stats.tenants.len());
+                for t in &stats.tenants {
+                    w.string(&t.tenant);
+                    w.u64(t.requests_ok);
+                    w.u64(t.requests_failed);
+                    w.u64(t.bytes_in);
+                    w.u64(t.bytes_out);
+                    w.u64(t.rolled_back);
+                    w.u64(t.quota_refused);
+                }
             }
         }
         w.into_bytes()
@@ -560,6 +697,35 @@ impl Response {
             }
             9 => Response::ShutdownOk,
             10 => Response::BackupAccepted { offset: r.u64()? },
+            11 => {
+                let n = r.seq_len()?;
+                let mut tenants = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    tenants.push(TenantListEntry {
+                        tenant: r.string()?,
+                        versions: r.u64()?,
+                        logical_bytes: r.u64()?,
+                        live: r.u8()? != 0,
+                    });
+                }
+                Response::TenantListOk(TenantListResponse { tenants })
+            }
+            12 => {
+                let n = r.seq_len()?;
+                let mut tenants = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    tenants.push(TenantStatsEntry {
+                        tenant: r.string()?,
+                        requests_ok: r.u64()?,
+                        requests_failed: r.u64()?,
+                        bytes_in: r.u64()?,
+                        bytes_out: r.u64()?,
+                        rolled_back: r.u64()?,
+                        quota_refused: r.u64()?,
+                    });
+                }
+                Response::TenantStatsOk(TenantStatsResponse { tenants })
+            }
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "response",
@@ -599,6 +765,10 @@ pub enum ErrorCode {
     /// The daemon's admission gate is full and shed this connection.
     /// Retryable after the hint in [`WireError::retry_after_ms`].
     Busy,
+    /// The mutation would exceed the tenant's quota (max bytes or max
+    /// versions). Not retryable: the request will fail identically until
+    /// the tenant prunes data or the operator raises the quota.
+    QuotaExceeded,
 }
 
 impl ErrorCode {
@@ -614,6 +784,7 @@ impl ErrorCode {
             ErrorCode::Internal => 7,
             ErrorCode::ShuttingDown => 8,
             ErrorCode::Busy => 9,
+            ErrorCode::QuotaExceeded => 10,
         }
     }
 
@@ -629,6 +800,7 @@ impl ErrorCode {
             7 => ErrorCode::Internal,
             8 => ErrorCode::ShuttingDown,
             9 => ErrorCode::Busy,
+            10 => ErrorCode::QuotaExceeded,
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "error code",
@@ -641,7 +813,9 @@ impl ErrorCode {
     /// Whether a client may safely retry the request after receiving this
     /// code. `ShuttingDown` and `Busy` are transient server states;
     /// `Timeout` means the server gave up waiting and nothing committed.
-    /// Everything else reflects the request itself and will fail again.
+    /// Everything else — including `QuotaExceeded`, which only clears
+    /// when the tenant prunes or the quota is raised — reflects the
+    /// request itself and will fail again.
     pub fn is_retryable(self) -> bool {
         matches!(
             self,
@@ -662,6 +836,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Busy => "busy",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
         };
         f.write_str(name)
     }

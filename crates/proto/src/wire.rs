@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::tenant::TenantIdError;
+
 /// Typed decoding failure. Every malformed input maps to one of these —
 /// decoding never panics, whatever the bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +44,10 @@ pub enum DecodeError {
     },
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// A tenant envelope named a tenant id that fails validation (empty,
+    /// too long, path traversal, bad characters). Rejected here so a
+    /// hostile id never reaches dispatch, let alone the filesystem.
+    InvalidTenant(TenantIdError),
     /// Trailing bytes remained after a complete message was decoded.
     TrailingBytes {
         /// How many bytes were left over.
@@ -66,6 +72,7 @@ impl fmt::Display for DecodeError {
                 max,
             } => write!(f, "{what} length {announced} exceeds maximum {max}"),
             DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::InvalidTenant(err) => write!(f, "invalid tenant id: {err}"),
             DecodeError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after message")
             }
@@ -229,6 +236,14 @@ impl<'a> ByteReader<'a> {
         }
         let bytes = self.take(len as usize)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Consumes and returns every remaining byte. Used by envelope
+    /// decoders that strip a prefix and hand the rest to an inner decoder.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        slice
     }
 
     /// Reads a sequence length prefix, bounded by [`MAX_SEQ_LEN`].

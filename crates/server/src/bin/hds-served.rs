@@ -3,6 +3,8 @@
 //! ```text
 //! hds-served <repo-dir> [--bind ADDR] [--port N] [--workers N] [--quiet]
 //!            [--read-timeout SECS] [--write-timeout SECS]
+//!            [--tenants] [--max-tenants N] [--no-auto-tenants]
+//!            [--quota-bytes N] [--quota-versions N]
 //! ```
 //!
 //! Prints `hds-served listening on <addr>` once the listener is bound (the
@@ -18,6 +20,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hds-served <repo-dir> [--bind ADDR] [--port N] [--workers N] [--quiet]\n\
          \x20                        [--read-timeout SECS] [--write-timeout SECS]\n\
+         \x20                        [--tenants] [--max-tenants N] [--no-auto-tenants]\n\
+         \x20                        [--quota-bytes N] [--quota-versions N]\n\
          \n\
          Serves the repository at <repo-dir> over the HiDeStore wire protocol.\n\
          --bind ADDR          address to listen on (default 127.0.0.1)\n\
@@ -26,6 +30,17 @@ fn usage() -> ExitCode {
          --quiet              suppress per-request log lines\n\
          --read-timeout SECS  per-read socket deadline, 0 disables\n\
          --write-timeout SECS per-write socket deadline, 0 disables\n\
+         --tenants            serve <repo-dir> as a multi-tenant root\n\
+         \x20                    (<repo-dir>/tenants/<id>/, one repository per\n\
+         \x20                    tenant); without it the directory is one\n\
+         \x20                    repository served as the `default` tenant\n\
+         --max-tenants N      live tenant repository handles kept open\n\
+         \x20                    (default 8; idle handles evicted LRU-first)\n\
+         --no-auto-tenants    do not create tenant repositories on first\n\
+         \x20                    backup; unknown tenants are refused\n\
+         --quota-bytes N      default per-tenant logical-byte quota, 0 = none\n\
+         --quota-versions N   default per-tenant retained-version quota,\n\
+         \x20                    0 = none\n\
          (timeouts default to HDS_NET_TIMEOUT, then the repository's\n\
          net_timeout config, then 30s)"
     );
@@ -64,6 +79,20 @@ fn main() -> ExitCode {
             },
             "--write-timeout" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(v) => config.write_timeout = Some(std::time::Duration::from_secs(v)),
+                None => return usage(),
+            },
+            "--tenants" => config.tenants_root = true,
+            "--max-tenants" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => config.max_live_tenants = v,
+                _ => return usage(),
+            },
+            "--no-auto-tenants" => config.auto_create_tenants = false,
+            "--quota-bytes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.default_quota.max_bytes = v,
+                None => return usage(),
+            },
+            "--quota-versions" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.default_quota.max_versions = v,
                 None => return usage(),
             },
             _ => return usage(),

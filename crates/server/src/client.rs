@@ -18,7 +18,7 @@ use hidestore_netfault::{NetStream, RealStream};
 use hidestore_proto::{
     read_frame, write_frame, BackupSummary, Frame, FrameError, FrameKind, Hello, Limits,
     ListResponse, PruneSummary, Request, Response, RestoreSummary, SessionToken, StatsResponse,
-    VerifySummary, WireError,
+    TenantId, TenantListResponse, TenantStatsResponse, VerifySummary, WireError,
 };
 
 /// Payload bytes per DATA frame when streaming a backup to the daemon.
@@ -91,6 +91,9 @@ pub struct RemoteClient<S: NetStream = RealStream> {
     limits: Limits,
     /// The protocol version both ends agreed on during HELLO.
     version: u16,
+    /// Tenant every request is addressed to. `None` sends bare (v1/v2)
+    /// request payloads, which the server maps to the `default` tenant.
+    tenant: Option<TenantId>,
 }
 
 impl RemoteClient<RealStream> {
@@ -141,6 +144,7 @@ impl<S: NetStream> RemoteClient<S> {
             stream,
             limits,
             version: 0,
+            tenant: None,
         };
         write_frame(
             &mut client.stream,
@@ -173,12 +177,56 @@ impl<S: NetStream> RemoteClient<S> {
         self.version
     }
 
+    /// Addresses every subsequent request to `tenant`. Needs a
+    /// protocol-v3 peer for any tenant other than `default`; against an
+    /// older server the `default` tenant is expressed by sending bare
+    /// (unenveloped) requests, which is what such a server serves anyway.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] when a non-default tenant is requested
+    /// over a pre-v3 connection — the older server would silently operate
+    /// on the wrong (default) tenant otherwise.
+    pub fn set_tenant(&mut self, tenant: TenantId) -> Result<(), ClientError> {
+        if self.version < 3 {
+            if tenant.is_default() {
+                self.tenant = None;
+                return Ok(());
+            }
+            return Err(ClientError::Protocol(format!(
+                "tenant addressing needs protocol v3, negotiated v{}",
+                self.version
+            )));
+        }
+        self.tenant = Some(tenant);
+        Ok(())
+    }
+
+    /// Builder form of [`RemoteClient::set_tenant`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteClient::set_tenant`].
+    pub fn with_tenant(mut self, tenant: TenantId) -> Result<Self, ClientError> {
+        self.set_tenant(tenant)?;
+        Ok(self)
+    }
+
+    /// The tenant requests are currently addressed to, if any.
+    pub fn tenant(&self) -> Option<&TenantId> {
+        self.tenant.as_ref()
+    }
+
     fn read(&mut self) -> Result<Frame, ClientError> {
         Ok(read_frame(&mut self.stream, &self.limits)?)
     }
 
     fn send_request(&mut self, request: &Request) -> Result<(), ClientError> {
-        write_frame(&mut self.stream, FrameKind::Request, &request.encode())?;
+        let payload = match &self.tenant {
+            Some(tenant) => request.encode_with_tenant(tenant),
+            None => request.encode(),
+        };
+        write_frame(&mut self.stream, FrameKind::Request, &payload)?;
         Ok(())
     }
 
@@ -496,6 +544,46 @@ impl<S: NetStream> RemoteClient<S> {
         match self.read_response()? {
             Response::PruneOk(summary) => Ok(summary),
             other => Err(unexpected("PruneOk", &other)),
+        }
+    }
+
+    /// Fetches the daemon's tenant listing (admin verb; requires a
+    /// protocol-v3 peer).
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote, or protocol errors.
+    pub fn tenant_list(&mut self) -> Result<TenantListResponse, ClientError> {
+        if self.version < 3 {
+            return Err(ClientError::Protocol(format!(
+                "tenant-list needs protocol v3, negotiated v{}",
+                self.version
+            )));
+        }
+        self.send_request(&Request::TenantList)?;
+        match self.read_response()? {
+            Response::TenantListOk(list) => Ok(list),
+            other => Err(unexpected("TenantListOk", &other)),
+        }
+    }
+
+    /// Fetches the daemon's per-tenant request counters (admin verb;
+    /// requires a protocol-v3 peer).
+    ///
+    /// # Errors
+    ///
+    /// Transport, remote, or protocol errors.
+    pub fn tenant_stats(&mut self) -> Result<TenantStatsResponse, ClientError> {
+        if self.version < 3 {
+            return Err(ClientError::Protocol(format!(
+                "tenant-stats needs protocol v3, negotiated v{}",
+                self.version
+            )));
+        }
+        self.send_request(&Request::TenantStats)?;
+        match self.read_response()? {
+            Response::TenantStatsOk(stats) => Ok(stats),
+            other => Err(unexpected("TenantStatsOk", &other)),
         }
     }
 

@@ -14,11 +14,15 @@
 //! * [`view`] builds the protocol's `List`/`Stats` response types from a
 //!   repository, shared by the daemon and the local CLI's `--json` output.
 //!
-//! Concurrency and crash-safety are delegated downward: the repository is
-//! held in a [`hidestore_core::RepositoryHandle`] (single writer lock,
-//! concurrent snapshot readers, rollback-by-reopen on failed mutations), and
-//! the commit journal underneath keeps the on-disk state atomic even if the
-//! daemon is killed mid-mutation.
+//! Concurrency and crash-safety are delegated downward: tenant ids map to
+//! independent repositories through a
+//! [`hidestore_tenant::TenantRegistry`], each held in a
+//! [`hidestore_core::RepositoryHandle`] (per-tenant writer lock, concurrent
+//! snapshot readers, rollback-by-reopen on failed mutations), and the
+//! commit journal underneath keeps the on-disk state atomic even if the
+//! daemon is killed mid-mutation. A plain repository (no tenant root) is
+//! served as exactly the `default` tenant, which keeps protocol v1/v2
+//! clients and pre-tenancy deployments working unchanged.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +38,7 @@ pub use client::{default_net_timeout, BackupAttempt, ClientError, RemoteClient, 
 pub use retry::{retryable, ResumeEvent, RetryClient, RetryCounters, RetryPolicy};
 pub use server::{serve, ServerConfig, ServerError, ServerHandle, DATA_CHUNK};
 pub use session::SessionTable;
-pub use stats::{ServerStats, StatsSnapshot};
+pub use stats::{ServerStats, StatsSnapshot, TenantStats, TenantStatsSnapshot};
 
 #[cfg(test)]
 mod tests {
@@ -142,6 +146,100 @@ mod tests {
         let stats = handle.shutdown_and_join();
         assert_eq!(stats.rejected_oversize, 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tenant_root_serves_isolated_tenants_with_quotas_and_admin_verbs() {
+        let root = temp("tenants");
+        // Root config: template for auto-created tenant repositories.
+        HiDeStoreConfig::small_for_tests().save_to(&root).unwrap();
+        let config = ServerConfig {
+            tenants_root: true,
+            default_quota: hidestore_tenant::TenantQuota {
+                max_bytes: 0,
+                max_versions: 2,
+            },
+            ..quiet_config()
+        };
+        let handle = serve(&root, config).unwrap();
+        let addr = handle.addr();
+        let tenant = |name: &str| hidestore_proto::TenantId::new(name).unwrap();
+
+        let mut alice = RemoteClient::connect(addr)
+            .unwrap()
+            .with_tenant(tenant("alice"))
+            .unwrap();
+        let mut bob = RemoteClient::connect(addr)
+            .unwrap()
+            .with_tenant(tenant("bob"))
+            .unwrap();
+        // Independent version-id spaces: both first backups are V1.
+        assert_eq!(alice.backup_bytes(&vec![0xAA; 40_000]).unwrap().version, 1);
+        assert_eq!(bob.backup_bytes(&vec![0xBB; 20_000]).unwrap().version, 1);
+        assert_eq!(alice.backup_bytes(&vec![0xAC; 10_000]).unwrap().version, 2);
+        let mut out = Vec::new();
+        bob.restore_to(1, &mut out).unwrap();
+        assert_eq!(out, vec![0xBB; 20_000]);
+        // Alice's second version is invisible to Bob.
+        assert_eq!(bob.list().unwrap().versions.len(), 1);
+        assert_eq!(alice.list().unwrap().versions.len(), 2);
+
+        // Quota: Alice holds 2 versions, the default quota caps at 2.
+        let err = alice.backup_bytes(&vec![0xAD; 5_000]).unwrap_err();
+        match err {
+            ClientError::Remote(e) => {
+                assert_eq!(e.code, ErrorCode::QuotaExceeded);
+                assert!(!e.code.is_retryable(), "quota refusals are permanent");
+            }
+            other => panic!("expected Remote(QuotaExceeded), got {other}"),
+        }
+
+        // Unknown tenant on a read path: typed not-found, nothing created.
+        let mut ghost = RemoteClient::connect(addr)
+            .unwrap()
+            .with_tenant(tenant("ghost"))
+            .unwrap();
+        match ghost.list().unwrap_err() {
+            ClientError::Remote(e) => assert_eq!(e.code, ErrorCode::NotFound),
+            other => panic!("expected Remote(NotFound), got {other}"),
+        }
+        assert!(!root
+            .join(hidestore_tenant::TENANTS_SUBDIR)
+            .join("ghost")
+            .exists());
+
+        // Admin verbs.
+        let mut admin = RemoteClient::connect(addr).unwrap();
+        let list = admin.tenant_list().unwrap();
+        let names: Vec<&str> = list.tenants.iter().map(|t| t.tenant.as_str()).collect();
+        assert_eq!(names, ["alice", "bob"]);
+        assert_eq!(list.tenants[0].versions, 2);
+        assert_eq!(list.tenants[1].versions, 1);
+        let stats = admin.tenant_stats().unwrap();
+        let alice_row = stats
+            .tenants
+            .iter()
+            .find(|t| t.tenant == "alice")
+            .expect("alice has a stats row");
+        assert_eq!(alice_row.quota_refused, 1);
+        assert!(alice_row.bytes_in >= 50_000);
+        let bob_row = stats.tenants.iter().find(|t| t.tenant == "bob").unwrap();
+        assert_eq!(bob_row.quota_refused, 0, "no cross-tenant stats bleed");
+        assert!(bob_row.bytes_out >= 20_000);
+
+        assert_eq!(
+            handle.rollbacks(),
+            0,
+            "a quota refusal must not roll anything back"
+        );
+        // Close the idle connections so the drain below does not wait out
+        // their read deadlines.
+        drop(alice);
+        drop(bob);
+        drop(ghost);
+        admin.shutdown().unwrap();
+        handle.join();
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant, SystemTime};
 
 use hidestore_netfault::{AnyStream, NetPlan, RealStream};
-use hidestore_proto::{BackupSummary, Limits, RestoreSummary, SessionToken};
+use hidestore_proto::{BackupSummary, Limits, RestoreSummary, SessionToken, TenantId};
 
 use crate::client::{default_net_timeout, ClientError, RemoteClient};
 
@@ -201,6 +201,7 @@ pub struct RetryClient {
     limits: Limits,
     policy: RetryPolicy,
     fault: Option<NetPlan>,
+    tenant: Option<TenantId>,
     counters: RetryCounters,
 }
 
@@ -214,6 +215,7 @@ impl RetryClient {
             limits: Limits::default(),
             policy,
             fault: None,
+            tenant: None,
             counters: RetryCounters::default(),
         }
     }
@@ -222,6 +224,16 @@ impl RetryClient {
     #[must_use]
     pub fn with_limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Variant whose every operation is addressed to `tenant`. Each
+    /// attempt re-applies the tenant after its fresh handshake; a peer
+    /// too old for tenant addressing fails the attempt with a
+    /// (non-retryable) protocol error.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
         self
     }
 
@@ -250,7 +262,11 @@ impl RetryClient {
             Some(plan) => AnyStream::Fault(plan.wrap(tcp)),
             None => AnyStream::Real(RealStream::from_tcp(tcp)),
         };
-        RemoteClient::handshake(stream, self.limits, self.policy.attempt_timeout)
+        let mut client = RemoteClient::handshake(stream, self.limits, self.policy.attempt_timeout)?;
+        if let Some(tenant) = &self.tenant {
+            client.set_tenant(tenant.clone())?;
+        }
+        Ok(client)
     }
 
     /// Pings the daemon, retrying per policy.

@@ -10,10 +10,13 @@
 //!                            backpressure on       |  request loop
 //!                            accept bursts)        |  per-request log line
 //!                                                  v
-//!                                         RepositoryHandle
-//!                                 (single writer-lock: mutations
-//!                                  serialize; restores/listings run
-//!                                  concurrently on snapshots)
+//!                                          TenantRegistry
+//!                                (tenant id -> RepositoryHandle via a
+//!                                 bounded LRU; each tenant has its own
+//!                                 writer lock, so only same-tenant
+//!                                 mutations serialize — restores and
+//!                                 listings run concurrently on
+//!                                 snapshots)
 //! ```
 //!
 //! * **Robustness.** Every connection has read/write timeouts; frames and
@@ -41,18 +44,20 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hidestore_core::{HiDeStoreError, RepositoryHandle};
+use hidestore_core::{HiDeStoreConfig, HiDeStoreError};
 use hidestore_netfault::{NetPlan, NetStream, RealStream};
 use hidestore_proto::{
     read_frame, write_frame, ErrorCode, Frame, FrameError, FrameKind, Hello, Limits, PruneSummary,
-    Request, Response, RestoreSummary, SessionToken, VerifySummary, WireError,
+    Request, Response, RestoreSummary, SessionToken, TenantId, TenantListEntry, TenantListResponse,
+    TenantStatsEntry, TenantStatsResponse, VerifySummary, WireError,
 };
 use hidestore_restore::Faa;
 use hidestore_storage::VersionId;
 use hidestore_sync::{BoundedQueue, CancelGuard, ProducerGuard, TryPushError};
+use hidestore_tenant::{RegistryOptions, TenantError, TenantQuota, TenantRegistry};
 
 use crate::session::SessionTable;
-use crate::stats::{ServerStats, StatsSnapshot};
+use crate::stats::{ServerStats, StatsSnapshot, TenantStats, TenantStatsSnapshot};
 use crate::view;
 
 /// Payload bytes per DATA frame when streaming restores to a client.
@@ -93,6 +98,21 @@ pub struct ServerConfig {
     pub session_ttl: Duration,
     /// Backoff hint (milliseconds) sent with `busy` refusals.
     pub busy_retry_after_ms: u32,
+    /// Serve the directory as a multi-tenant root (`<dir>/tenants/<id>/`,
+    /// one repository per tenant) instead of a single legacy repository
+    /// mapped to the `default` tenant.
+    pub tenants_root: bool,
+    /// Soft cap on concurrently open tenant repository handles (tenant
+    /// roots; clamped to at least 1). Idle handles beyond the cap are
+    /// evicted least-recently-used.
+    pub max_live_tenants: usize,
+    /// Whether a backup against an absent tenant creates its repository
+    /// from the template config (tenant roots only; read paths never
+    /// create).
+    pub auto_create_tenants: bool,
+    /// Quota applied to every tenant without an explicit override. The
+    /// zero default is unlimited.
+    pub default_quota: TenantQuota,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +129,10 @@ impl Default for ServerConfig {
             max_sessions: 64,
             session_ttl: Duration::from_secs(300),
             busy_retry_after_ms: 100,
+            tenants_root: false,
+            max_live_tenants: 8,
+            auto_create_tenants: true,
+            default_quota: TenantQuota::UNLIMITED,
         }
     }
 }
@@ -135,6 +159,8 @@ pub enum ServerError {
     Io(io::Error),
     /// Opening the repository failed.
     Repo(HiDeStoreError),
+    /// Mounting the tenant registry failed.
+    Tenant(TenantError),
 }
 
 impl fmt::Display for ServerError {
@@ -142,6 +168,7 @@ impl fmt::Display for ServerError {
         match self {
             ServerError::Io(e) => write!(f, "listener error: {e}"),
             ServerError::Repo(e) => write!(f, "repository error: {e}"),
+            ServerError::Tenant(e) => write!(f, "tenant registry error: {e}"),
         }
     }
 }
@@ -151,6 +178,7 @@ impl std::error::Error for ServerError {
         match self {
             ServerError::Io(e) => Some(e),
             ServerError::Repo(e) => Some(e),
+            ServerError::Tenant(e) => Some(e),
         }
     }
 }
@@ -167,20 +195,26 @@ impl From<HiDeStoreError> for ServerError {
     }
 }
 
+impl From<TenantError> for ServerError {
+    fn from(e: TenantError) -> Self {
+        ServerError::Tenant(e)
+    }
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
-    repo: RepositoryHandle,
+    /// Tenant id → repository handle, through a capacity-bounded LRU.
+    /// Each tenant's slot owns its own writer lock and resumable-commit
+    /// gate, so unrelated tenants' mutations commit in parallel.
+    registry: TenantRegistry,
     queue: BoundedQueue<(TcpStream, SocketAddr)>,
     shutdown: AtomicBool,
     stats: ServerStats,
     config: ServerConfig,
     addr: SocketAddr,
-    /// Parked/committed resumable-session state (LRU + TTL bounded).
+    /// Parked/committed resumable-session state, keyed by
+    /// *(tenant, token)* (LRU + TTL bounded).
     sessions: Mutex<SessionTable>,
-    /// Serializes the committed-check → commit → record-summary window of
-    /// resumable backups, so two retries racing on one token cannot both
-    /// commit.
-    commit_gate: Mutex<()>,
     /// Deadlines after resolving flag/env/repo-config defaults.
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
@@ -237,9 +271,17 @@ impl ServerHandle {
         self.shared.stats.snapshot()
     }
 
-    /// How many failed mutations the repository handle rolled back.
+    /// How many failed mutations the tenant repositories rolled back,
+    /// summed across all tenants (including evicted handles).
     pub fn rollbacks(&self) -> u64 {
-        self.shared.repo.rollbacks()
+        self.shared.registry.rollbacks()
+    }
+
+    /// Point-in-time copies of every tenant's request counters, sorted by
+    /// tenant id. The isolation suite asserts one tenant's traffic never
+    /// bleeds into another tenant's row.
+    pub fn tenant_stats(&self) -> Vec<(TenantId, TenantStatsSnapshot)> {
+        self.shared.stats.tenant_snapshots()
     }
 
     /// Parked (incomplete) resumable sessions currently held. The chaos
@@ -290,17 +332,35 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Opens the repository at `repo_dir` and serves it until shutdown.
+/// Opens the repository (or tenant root, with
+/// [`ServerConfig::tenants_root`]) at `repo_dir` and serves it until
+/// shutdown. A plain repository is served as exactly the `default` tenant,
+/// which is how pre-tenancy deployments and protocol v1/v2 clients keep
+/// working unchanged.
 ///
 /// # Errors
 ///
-/// Fails if the repository cannot be opened or the listener cannot bind.
+/// Fails if the repository/tenant root cannot be mounted or the listener
+/// cannot bind.
 pub fn serve(
     repo_dir: impl AsRef<Path>,
     config: ServerConfig,
 ) -> Result<ServerHandle, ServerError> {
-    let repo = RepositoryHandle::open(repo_dir)?;
-    let repo_timeout_secs = repo.read(|s| s.config().net_timeout_secs)?;
+    let options = RegistryOptions {
+        max_live: config.max_live_tenants,
+        auto_create: config.auto_create_tenants,
+        template: HiDeStoreConfig::default(),
+        default_quota: config.default_quota,
+    };
+    let registry = if config.tenants_root {
+        TenantRegistry::open_root(repo_dir, options)?
+    } else {
+        TenantRegistry::open_legacy(repo_dir, options)?
+    };
+    // Legacy mounts load the repository's own config as the template, so
+    // this resolves to the served repo's `net_timeout` key; tenant roots
+    // use the root `config` file (or the default).
+    let repo_timeout_secs = registry.template().net_timeout_secs;
     let listener = TcpListener::bind(&config.bind)?;
     let addr = listener.local_addr()?;
     let workers = config.workers.max(1);
@@ -309,14 +369,13 @@ pub fn serve(
     let write_timeout = resolve_timeout(config.write_timeout, repo_timeout_secs);
     let sessions = Mutex::new(SessionTable::new(config.max_sessions, config.session_ttl));
     let shared = Arc::new(Shared {
-        repo,
+        registry,
         queue: BoundedQueue::new(queue_depth, 1),
         shutdown: AtomicBool::new(false),
         stats: ServerStats::default(),
         config,
         addr,
         sessions,
-        commit_gate: Mutex::new(()),
         read_timeout,
         write_timeout,
     });
@@ -557,14 +616,28 @@ fn handle_connection<S: NetStream>(stream: &mut S, peer: SocketAddr, shared: &Sh
             );
             return;
         }
-        let request = match Request::decode(&frame.payload) {
-            Ok(r) => r,
+        // Protocol v3 prefixes the request with a tenant envelope; a bare
+        // (v1/v2) payload maps to the `default` tenant. A hostile tenant
+        // id (path traversal, bad charset) is rejected right here by the
+        // decoder, before it can reach anything that touches a path.
+        let (tenant, request) = match Request::decode_enveloped(&frame.payload) {
+            Ok(pair) => pair,
             Err(e) => {
                 ServerStats::bump(&shared.stats.requests_failed);
                 send_error(stream, ErrorCode::Malformed, format!("bad request: {e}"));
                 return;
             }
         };
+        if tenant.is_some() && negotiated < 3 {
+            ServerStats::bump(&shared.stats.requests_failed);
+            send_error(
+                stream,
+                ErrorCode::Unsupported,
+                format!("tenant addressing needs protocol v3, negotiated v{negotiated}"),
+            );
+            continue;
+        }
+        let tenant = tenant.unwrap_or_else(TenantId::default_tenant);
         if request.needs_v2() && negotiated < 2 {
             ServerStats::bump(&shared.stats.requests_failed);
             send_error(
@@ -577,31 +650,48 @@ fn handle_connection<S: NetStream>(stream: &mut S, peer: SocketAddr, shared: &Sh
             );
             continue;
         }
+        if request.needs_v3() && negotiated < 3 {
+            ServerStats::bump(&shared.stats.requests_failed);
+            send_error(
+                stream,
+                ErrorCode::Unsupported,
+                format!(
+                    "{} needs protocol v3, negotiated v{negotiated}",
+                    request.name()
+                ),
+            );
+            continue;
+        }
 
         let started = Instant::now();
         let name = request.name();
         let shutdown_requested = matches!(request, Request::Shutdown);
-        match dispatch(request, stream, shared) {
+        let tstats = shared.stats.tenant(&tenant);
+        match dispatch(request, &tenant, &tstats, stream, shared) {
             Outcome::Ok { detail } => {
                 ServerStats::bump(&shared.stats.requests_ok);
+                ServerStats::bump(&tstats.requests_ok);
                 shared.log(format_args!(
-                    "peer={peer} req={name} dur_ms={} result=ok{detail}",
+                    "peer={peer} tenant={tenant} req={name} dur_ms={} result=ok{detail}",
                     started.elapsed().as_millis(),
                 ));
             }
             Outcome::Failed { code, message } => {
                 ServerStats::bump(&shared.stats.requests_failed);
+                ServerStats::bump(&tstats.requests_failed);
                 shared.log(format_args!(
-                    "peer={peer} req={name} dur_ms={} result=error code={code} msg={message:?}",
+                    "peer={peer} tenant={tenant} req={name} dur_ms={} result=error code={code} \
+                     msg={message:?}",
                     started.elapsed().as_millis(),
                 ));
                 send_error(stream, code, message);
             }
             Outcome::Transport(e) => {
                 ServerStats::bump(&shared.stats.requests_failed);
+                ServerStats::bump(&tstats.requests_failed);
                 let kind = classify_transport(shared, &e);
                 shared.log(format_args!(
-                    "peer={peer} req={name} dur_ms={} result={kind} ({e})",
+                    "peer={peer} tenant={tenant} req={name} dur_ms={} result={kind} ({e})",
                     started.elapsed().as_millis(),
                 ));
                 if e.is_timeout() {
@@ -634,6 +724,10 @@ fn repo_error_outcome(e: HiDeStoreError) -> Outcome {
         HiDeStoreError::UnknownVersion(_) => ErrorCode::NotFound,
         HiDeStoreError::CannotExpireNewest { .. } => ErrorCode::Conflict,
         HiDeStoreError::PartialRestore { .. } => ErrorCode::Conflict,
+        // A quota refusal is a typed permanent answer: retrying the same
+        // backup cannot succeed until the tenant frees space, so the code
+        // is deliberately non-retryable.
+        HiDeStoreError::QuotaExceeded { .. } => ErrorCode::QuotaExceeded,
         _ => ErrorCode::Internal,
     };
     Outcome::Failed {
@@ -642,11 +736,45 @@ fn repo_error_outcome(e: HiDeStoreError) -> Outcome {
     }
 }
 
+/// Maps a registry failure onto the wire: an absent tenant is the same
+/// typed `not-found` an absent version gets; everything else is internal.
+fn tenant_error_outcome(e: TenantError) -> Outcome {
+    match e {
+        TenantError::UnknownTenant(t) => Outcome::Failed {
+            code: ErrorCode::NotFound,
+            message: format!("unknown tenant {t}"),
+        },
+        TenantError::Repo(e) => repo_error_outcome(e),
+        TenantError::Io(e) => Outcome::Failed {
+            code: ErrorCode::Internal,
+            message: format!("tenant root I/O error: {e}"),
+        },
+    }
+}
+
+/// Bumps the failure counters for a failed tenant mutation: a quota
+/// refusal is an admission check (nothing mutated, nothing rolled back);
+/// anything else was rolled back by the handle.
+fn bump_mutation_failure(shared: &Shared, tstats: &TenantStats, e: &HiDeStoreError) {
+    if matches!(e, HiDeStoreError::QuotaExceeded { .. }) {
+        ServerStats::bump(&tstats.quota_refused);
+    } else {
+        ServerStats::bump(&shared.stats.rolled_back);
+        ServerStats::bump(&tstats.rolled_back);
+    }
+}
+
 fn send_response<S: NetStream>(stream: &mut S, response: &Response) -> Result<(), FrameError> {
     write_frame(stream, FrameKind::Response, &response.encode())
 }
 
-fn dispatch<S: NetStream>(request: Request, stream: &mut S, shared: &Shared) -> Outcome {
+fn dispatch<S: NetStream>(
+    request: Request,
+    tenant: &TenantId,
+    tstats: &TenantStats,
+    stream: &mut S,
+    shared: &Shared,
+) -> Outcome {
     match request {
         Request::Ping => match send_response(stream, &Response::Pong) {
             Ok(()) => Outcome::Ok {
@@ -654,16 +782,20 @@ fn dispatch<S: NetStream>(request: Request, stream: &mut S, shared: &Shared) -> 
             },
             Err(e) => Outcome::Transport(e),
         },
-        Request::Backup => serve_backup(stream, shared),
+        Request::Backup => serve_backup(tenant, tstats, stream, shared),
         Request::BackupResume { token, total_len } => {
-            serve_backup_resume(token, total_len, stream, shared)
+            serve_backup_resume(tenant, tstats, token, total_len, stream, shared)
         }
-        Request::Restore { version } => serve_restore(version, 0, stream, shared),
+        Request::Restore { version } => serve_restore(tenant, tstats, version, 0, stream, shared),
         Request::RestoreResume { version, offset } => {
-            serve_restore(version, offset, stream, shared)
+            serve_restore(tenant, tstats, version, offset, stream, shared)
         }
         Request::List => {
-            let list = match shared.repo.read(view::list_response) {
+            let slot = match shared.registry.get(tenant) {
+                Ok(s) => s,
+                Err(e) => return tenant_error_outcome(e),
+            };
+            let list = match slot.handle().read(view::list_response) {
                 Ok(l) => l,
                 Err(e) => return repo_error_outcome(e),
             };
@@ -675,7 +807,11 @@ fn dispatch<S: NetStream>(request: Request, stream: &mut S, shared: &Shared) -> 
             }
         }
         Request::Stats => {
-            let stats = match shared.repo.read(view::stats_response) {
+            let slot = match shared.registry.get(tenant) {
+                Ok(s) => s,
+                Err(e) => return tenant_error_outcome(e),
+            };
+            let stats = match slot.handle().read(view::stats_response) {
                 Ok(Ok(s)) => s,
                 Ok(Err(e)) | Err(e) => return repo_error_outcome(e),
             };
@@ -686,8 +822,10 @@ fn dispatch<S: NetStream>(request: Request, stream: &mut S, shared: &Shared) -> 
                 Err(e) => Outcome::Transport(e),
             }
         }
-        Request::Prune { keep_last } => serve_prune(keep_last, stream, shared),
-        Request::Verify => serve_verify(stream, shared),
+        Request::Prune { keep_last } => serve_prune(tenant, tstats, keep_last, stream, shared),
+        Request::Verify => serve_verify(tenant, stream, shared),
+        Request::TenantList => serve_tenant_list(stream, shared),
+        Request::TenantStats => serve_tenant_stats(stream, shared),
         Request::Shutdown => {
             // Acknowledge first, then trigger: the client gets its reply
             // even though the daemon is now draining.
@@ -719,6 +857,7 @@ enum BackupStream {
 fn receive_backup_stream<S: NetStream>(
     stream: &mut S,
     shared: &Shared,
+    tstats: &TenantStats,
     mut data: Vec<u8>,
 ) -> BackupStream {
     let limits = shared.config.limits;
@@ -740,6 +879,7 @@ fn receive_backup_stream<S: NetStream>(
                     });
                 }
                 ServerStats::add(&shared.stats.bytes_in, frame.payload.len() as u64);
+                ServerStats::add(&tstats.bytes_in, frame.payload.len() as u64);
                 data.extend_from_slice(&frame.payload);
             }
             FrameKind::End => return BackupStream::Complete(data),
@@ -766,8 +906,16 @@ fn backup_summary_proto(
     }
 }
 
-fn serve_backup<S: NetStream>(stream: &mut S, shared: &Shared) -> Outcome {
-    let data = match receive_backup_stream(stream, shared, Vec::new()) {
+fn serve_backup<S: NetStream>(
+    tenant: &TenantId,
+    tstats: &TenantStats,
+    stream: &mut S,
+    shared: &Shared,
+) -> Outcome {
+    // Receive the whole stream before resolving the tenant: a plain
+    // Backup's client streams DATA+END without waiting, so refusing
+    // earlier would leave unread frames to desync the connection.
+    let data = match receive_backup_stream(stream, shared, tstats, Vec::new()) {
         BackupStream::Complete(data) => data,
         BackupStream::Failed(outcome) => return outcome,
         // A disconnect or torn frame mid-stream: nothing has touched the
@@ -775,9 +923,18 @@ fn serve_backup<S: NetStream>(stream: &mut S, shared: &Shared) -> Outcome {
         // park, so the request simply aborts.
         BackupStream::Interrupted { error, .. } => return Outcome::Transport(error),
     };
-    // The stream arrived intact; commit it. A failure rolls the repository
-    // back to the previous committed state (journal + handle reopen).
-    let result = shared.repo.write(|s| s.backup(&data));
+    let slot = match shared.registry.get_or_create(tenant) {
+        Ok(s) => s,
+        Err(e) => return tenant_error_outcome(e),
+    };
+    // The stream arrived intact; admit it against the tenant's quota and
+    // commit. A quota refusal happens inside the writer lock before
+    // anything mutates; a commit failure rolls the repository back to the
+    // previous committed state (journal + handle reopen).
+    let quota = shared.registry.quota_for(tenant);
+    let result = slot
+        .handle()
+        .write_checked(|s| quota.admit(s, data.len() as u64), |s| s.backup(&data));
     match result {
         Ok(stats) => {
             let summary = backup_summary_proto(&stats);
@@ -792,7 +949,7 @@ fn serve_backup<S: NetStream>(stream: &mut S, shared: &Shared) -> Outcome {
             }
         }
         Err(e) => {
-            ServerStats::bump(&shared.stats.rolled_back);
+            bump_mutation_failure(shared, tstats, &e);
             repo_error_outcome(e)
         }
     }
@@ -803,13 +960,19 @@ fn serve_backup<S: NetStream>(stream: &mut S, shared: &Shared) -> Outcome {
 /// a faster retry already finished. One lock guard makes check-and-park
 /// atomic against `record_committed`. Empty prefixes are dropped: there is
 /// nothing to resume and no session worth holding.
-fn park_if_uncommitted(shared: &Shared, token: SessionToken, data: Vec<u8>, total_len: u64) {
+fn park_if_uncommitted(
+    shared: &Shared,
+    tenant: &TenantId,
+    token: SessionToken,
+    data: Vec<u8>,
+    total_len: u64,
+) {
     if data.is_empty() {
         return;
     }
     let mut sessions = shared.sessions();
-    if sessions.committed(token).is_none() {
-        sessions.park(token, data, total_len);
+    if sessions.committed(tenant, token).is_none() {
+        sessions.park(tenant, token, data, total_len);
     }
 }
 
@@ -822,6 +985,8 @@ fn park_if_uncommitted(shared: &Shared, token: SessionToken, data: Vec<u8>, tota
 /// stream parks its prefix so the next attempt continues from the
 /// acknowledged offset instead of starting over.
 fn serve_backup_resume<S: NetStream>(
+    tenant: &TenantId,
+    tstats: &TenantStats,
     token: SessionToken,
     total_len: u64,
     stream: &mut S,
@@ -837,9 +1002,17 @@ fn serve_backup_resume<S: NetStream>(
             ),
         };
     }
+    // Resolve the tenant before acknowledging anything: the client waits
+    // for BackupAccepted before streaming, so a refusal here stays in
+    // sync. Holding the slot `Arc` for the whole request also marks the
+    // tenant busy — its handle cannot be LRU-evicted mid-backup.
+    let slot = match shared.registry.get_or_create(tenant) {
+        Ok(s) => s,
+        Err(e) => return tenant_error_outcome(e),
+    };
     // Already committed? Answer from the cache without accepting a byte —
     // the retried backup must never commit twice.
-    if let Some(summary) = shared.sessions().committed(token) {
+    if let Some(summary) = shared.sessions().committed(tenant, token) {
         ServerStats::bump(&shared.stats.dedup_hits);
         return match send_response(stream, &Response::BackupDone(summary)) {
             Ok(()) => Outcome::Ok {
@@ -852,7 +1025,7 @@ fn serve_backup_resume<S: NetStream>(
     // the declared total is a stale/mismatched session and is discarded.
     let parked = shared
         .sessions()
-        .take(token)
+        .take(tenant, token)
         .map(|(data, _total)| data)
         .filter(|data| data.len() as u64 <= total_len)
         .unwrap_or_default();
@@ -862,16 +1035,16 @@ fn serve_backup_resume<S: NetStream>(
     }
     if let Err(e) = send_response(stream, &Response::BackupAccepted { offset }) {
         // The acknowledgement never left: keep the prefix for the retry.
-        park_if_uncommitted(shared, token, parked, total_len);
+        park_if_uncommitted(shared, tenant, token, parked, total_len);
         return Outcome::Transport(e);
     }
-    let data = match receive_backup_stream(stream, shared, parked) {
+    let data = match receive_backup_stream(stream, shared, tstats, parked) {
         BackupStream::Complete(data) => data,
         BackupStream::Failed(outcome) => return outcome,
         BackupStream::Interrupted { data, error } => {
             // Park what arrived (complete frames only — the frame layer is
             // all-or-nothing) so the retry continues from here.
-            park_if_uncommitted(shared, token, data, total_len);
+            park_if_uncommitted(shared, tenant, token, data, total_len);
             return Outcome::Transport(error);
         }
     };
@@ -887,10 +1060,12 @@ fn serve_backup_resume<S: NetStream>(
         };
     }
     // Serialize the committed-check → commit → record window so a racing
-    // retry of the same token observes either "not committed yet" plus a
-    // held gate, or the cached summary — never a second commit.
-    let gate = shared.commit_gate.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(summary) = shared.sessions().committed(token) {
+    // retry of the same (tenant, token) observes either "not committed
+    // yet" plus a held gate, or the cached summary — never a second
+    // commit. The gate lives in the tenant's slot: same-tenant retries
+    // serialize here, other tenants' commits do not.
+    let gate = slot.commit_gate();
+    if let Some(summary) = shared.sessions().committed(tenant, token) {
         drop(gate);
         ServerStats::bump(&shared.stats.dedup_hits);
         return match send_response(stream, &Response::BackupDone(summary)) {
@@ -900,11 +1075,14 @@ fn serve_backup_resume<S: NetStream>(
             Err(e) => Outcome::Transport(e),
         };
     }
-    let result = shared.repo.write(|s| s.backup(&data));
+    let quota = shared.registry.quota_for(tenant);
+    let result = slot
+        .handle()
+        .write_checked(|s| quota.admit(s, data.len() as u64), |s| s.backup(&data));
     let outcome = match result {
         Ok(stats) => {
             let summary = backup_summary_proto(&stats);
-            shared.sessions().record_committed(token, summary);
+            shared.sessions().record_committed(tenant, token, summary);
             match send_response(stream, &Response::BackupDone(summary)) {
                 // Even if this acknowledgement is lost, the commit is
                 // recorded: the retry gets a dedup answer, not a second
@@ -920,9 +1098,10 @@ fn serve_backup_resume<S: NetStream>(
         }
         Err(e) => {
             // A repository failure is not transport loss: the data arrived
-            // intact and the commit was rolled back, so nothing is parked
-            // and the client sees the typed (non-retryable) error.
-            ServerStats::bump(&shared.stats.rolled_back);
+            // intact and the commit was refused (quota) or rolled back, so
+            // nothing is parked and the client sees the typed
+            // (non-retryable) error.
+            bump_mutation_failure(shared, tstats, &e);
             repo_error_outcome(e)
         }
     };
@@ -1017,6 +1196,8 @@ impl<W: Write> Write for SkipWriter<W> {
 }
 
 fn serve_restore<S: NetStream>(
+    tenant: &TenantId,
+    tstats: &TenantStats,
     version: u32,
     offset: u64,
     stream: &mut S,
@@ -1028,8 +1209,12 @@ fn serve_restore<S: NetStream>(
             message: "version ids are 1-based".into(),
         };
     }
+    let slot = match shared.registry.get(tenant) {
+        Ok(s) => s,
+        Err(e) => return tenant_error_outcome(e),
+    };
     let v = VersionId::new(version);
-    let served = shared.repo.read_snapshot(|system| {
+    let served = slot.handle().read_snapshot(|system| {
         let Some(recipe) = system.recipes().get(v) else {
             return Ok(ServedRestore::RepoError {
                 error: HiDeStoreError::UnknownVersion(v),
@@ -1081,6 +1266,7 @@ fn serve_restore<S: NetStream>(
     match served {
         Ok(ServedRestore::Done { summary, bytes_out }) => {
             ServerStats::add(&shared.stats.bytes_out, bytes_out);
+            ServerStats::add(&tstats.bytes_out, bytes_out);
             let finish = write_frame(stream, FrameKind::End, &[])
                 .and_then(|()| send_response(stream, &Response::RestoreDone(summary)));
             match finish {
@@ -1110,21 +1296,31 @@ fn serve_restore<S: NetStream>(
     }
 }
 
-fn serve_prune<S: NetStream>(keep_last: u32, stream: &mut S, shared: &Shared) -> Outcome {
+fn serve_prune<S: NetStream>(
+    tenant: &TenantId,
+    tstats: &TenantStats,
+    keep_last: u32,
+    stream: &mut S,
+    shared: &Shared,
+) -> Outcome {
     if keep_last == 0 {
         return Outcome::Failed {
             code: ErrorCode::Conflict,
             message: "must keep at least one version".into(),
         };
     }
-    let newest = match shared.repo.read(|s| s.versions().last().copied()) {
+    let slot = match shared.registry.get(tenant) {
+        Ok(s) => s,
+        Err(e) => return tenant_error_outcome(e),
+    };
+    let newest = match slot.handle().read(|s| s.versions().last().copied()) {
         Ok(n) => n,
         Err(e) => return repo_error_outcome(e),
     };
     let summary = match newest {
         Some(newest) if newest.get() > keep_last => {
-            let result = shared
-                .repo
+            let result = slot
+                .handle()
                 .write(|s| s.delete_expired(VersionId::new(newest.get() - keep_last)));
             match result {
                 Ok(report) => PruneSummary {
@@ -1133,7 +1329,7 @@ fn serve_prune<S: NetStream>(keep_last: u32, stream: &mut S, shared: &Shared) ->
                     bytes_reclaimed: report.bytes_reclaimed,
                 },
                 Err(e) => {
-                    ServerStats::bump(&shared.stats.rolled_back);
+                    bump_mutation_failure(shared, tstats, &e);
                     return repo_error_outcome(e);
                 }
             }
@@ -1149,8 +1345,12 @@ fn serve_prune<S: NetStream>(keep_last: u32, stream: &mut S, shared: &Shared) ->
     }
 }
 
-fn serve_verify<S: NetStream>(stream: &mut S, shared: &Shared) -> Outcome {
-    let report = shared.repo.read_snapshot(|s| s.scrub());
+fn serve_verify<S: NetStream>(tenant: &TenantId, stream: &mut S, shared: &Shared) -> Outcome {
+    let slot = match shared.registry.get(tenant) {
+        Ok(s) => s,
+        Err(e) => return tenant_error_outcome(e),
+    };
+    let report = slot.handle().read_snapshot(|s| s.scrub());
     match report {
         Ok(report) => {
             let summary = VerifySummary {
@@ -1168,5 +1368,80 @@ fn serve_verify<S: NetStream>(stream: &mut S, shared: &Shared) -> Outcome {
             }
         }
         Err(e) => repo_error_outcome(e),
+    }
+}
+
+/// The `tenant list` admin verb: every initialized tenant with its
+/// retained-version usage and whether its handle is currently live.
+fn serve_tenant_list<S: NetStream>(stream: &mut S, shared: &Shared) -> Outcome {
+    let tenants = match shared.registry.list() {
+        Ok(t) => t,
+        Err(e) => return tenant_error_outcome(e),
+    };
+    // Sized by growth, not up front: the tenant count comes from a
+    // directory listing, which the wire-alloc wall treats as unbounded.
+    let mut entries = Vec::new();
+    for tenant in tenants {
+        // Liveness before the usage read — the read itself makes the
+        // tenant live.
+        let live = shared.registry.is_live(&tenant);
+        // Usage is best-effort: one unreadable (e.g. poisoned) tenant
+        // reports zeros instead of failing the whole admin listing.
+        let usage = shared.registry.get(&tenant).ok().and_then(|slot| {
+            slot.handle()
+                .read(|s| {
+                    let versions = s.versions().len() as u64;
+                    let bytes: u64 = s
+                        .versions()
+                        .iter()
+                        .filter_map(|v| s.recipes().get(*v))
+                        .map(|recipe| recipe.total_bytes())
+                        .sum();
+                    (versions, bytes)
+                })
+                .ok()
+        });
+        let (versions, logical_bytes) = usage.unwrap_or((0, 0));
+        entries.push(TenantListEntry {
+            tenant: tenant.as_str().to_string(),
+            versions,
+            logical_bytes,
+            live,
+        });
+    }
+    let count = entries.len();
+    let response = Response::TenantListOk(TenantListResponse { tenants: entries });
+    match send_response(stream, &response) {
+        Ok(()) => Outcome::Ok {
+            detail: format!(" tenants={count}"),
+        },
+        Err(e) => Outcome::Transport(e),
+    }
+}
+
+/// The `tenant stats` admin verb: per-tenant request counters for every
+/// tenant that has served a request this process lifetime.
+fn serve_tenant_stats<S: NetStream>(stream: &mut S, shared: &Shared) -> Outcome {
+    let entries: Vec<TenantStatsEntry> = shared
+        .stats
+        .tenant_snapshots()
+        .into_iter()
+        .map(|(tenant, s)| TenantStatsEntry {
+            tenant: tenant.as_str().to_string(),
+            requests_ok: s.requests_ok,
+            requests_failed: s.requests_failed,
+            bytes_in: s.bytes_in,
+            bytes_out: s.bytes_out,
+            rolled_back: s.rolled_back,
+            quota_refused: s.quota_refused,
+        })
+        .collect();
+    let count = entries.len();
+    let response = Response::TenantStatsOk(TenantStatsResponse { tenants: entries });
+    match send_response(stream, &response) {
+        Ok(()) => Outcome::Ok {
+            detail: format!(" tenants={count}"),
+        },
+        Err(e) => Outcome::Transport(e),
     }
 }

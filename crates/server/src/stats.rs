@@ -1,7 +1,12 @@
-//! Atomic server-wide counters and their printable snapshot.
+//! Atomic server-wide counters and their printable snapshot, plus the
+//! per-tenant counter table behind the `tenant stats` admin verb.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hidestore_proto::TenantId;
 
 /// Lock-free counters every connection thread updates. Read them with
 /// [`ServerStats::snapshot`].
@@ -35,6 +40,10 @@ pub struct ServerStats {
     /// Retried backups answered from the idempotency cache instead of
     /// committing a second time.
     pub dedup_hits: AtomicU64,
+    /// Per-tenant counter rows, created lazily on a tenant's first
+    /// request. Tenants never share a row, so one tenant's traffic can
+    /// never inflate another's counters.
+    tenants: Mutex<BTreeMap<TenantId, Arc<TenantStats>>>,
 }
 
 impl ServerStats {
@@ -64,6 +73,78 @@ impl ServerStats {
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
         }
     }
+
+    /// The counter row for `tenant`, created on first use. Cheap to call
+    /// per request: one short map lookup under a mutex, then lock-free
+    /// atomic bumps on the returned row.
+    pub fn tenant(&self, tenant: &TenantId) -> Arc<TenantStats> {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants
+            .entry(tenant.clone())
+            .or_insert_with(|| Arc::new(TenantStats::default()))
+            .clone()
+    }
+
+    /// Point-in-time copies of every tenant's counters, sorted by tenant
+    /// id.
+    pub fn tenant_snapshots(&self) -> Vec<(TenantId, TenantStatsSnapshot)> {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        tenants
+            .iter()
+            .map(|(t, s)| (t.clone(), s.snapshot()))
+            .collect()
+    }
+}
+
+/// Lock-free counters scoped to one tenant. A row exists from the
+/// tenant's first request until the daemon exits; it survives LRU
+/// eviction of the tenant's repository handle.
+#[derive(Debug, Default)]
+pub struct TenantStats {
+    /// Requests for this tenant completed successfully.
+    pub requests_ok: AtomicU64,
+    /// Requests for this tenant answered with an ERROR frame (or aborted
+    /// by a transport failure mid-request).
+    pub requests_failed: AtomicU64,
+    /// Payload bytes received in DATA frames for this tenant.
+    pub bytes_in: AtomicU64,
+    /// Payload bytes sent in DATA frames for this tenant.
+    pub bytes_out: AtomicU64,
+    /// This tenant's mutations rolled back after a failure.
+    pub rolled_back: AtomicU64,
+    /// Backups refused by this tenant's quota before anything mutated.
+    pub quota_refused: AtomicU64,
+}
+
+impl TenantStats {
+    /// A consistent-enough point-in-time copy for reporting.
+    pub fn snapshot(&self) -> TenantStatsSnapshot {
+        TenantStatsSnapshot {
+            requests_ok: self.requests_ok.load(Ordering::Relaxed),
+            requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            rolled_back: self.rolled_back.load(Ordering::Relaxed),
+            quota_refused: self.quota_refused.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`TenantStats`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantStatsSnapshot {
+    /// Requests completed successfully.
+    pub requests_ok: u64,
+    /// Requests that failed.
+    pub requests_failed: u64,
+    /// DATA bytes received.
+    pub bytes_in: u64,
+    /// DATA bytes sent.
+    pub bytes_out: u64,
+    /// Mutations rolled back.
+    pub rolled_back: u64,
+    /// Backups refused by quota.
+    pub quota_refused: u64,
 }
 
 /// Plain-value copy of [`ServerStats`] at one instant.

@@ -28,6 +28,17 @@
 //! hidestore shutdown --remote 127.0.0.1:4321
 //! ```
 //!
+//! Against a multi-tenant daemon (`serve --tenants`), every remote data
+//! verb additionally takes `--tenant <id>` to address one tenant's
+//! repository (defaults to the `default` tenant), and two admin verbs
+//! inspect the whole root:
+//!
+//! ```text
+//! hidestore backup --remote 127.0.0.1:4321 --tenant alice <file>
+//! hidestore tenant list  --remote 127.0.0.1:4321 [--json]
+//! hidestore tenant stats --remote 127.0.0.1:4321 [--json]
+//! ```
+//!
 //! Exit codes: 0 success, 1 runtime failure, 2 usage error.
 
 use std::fmt;
@@ -37,6 +48,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use hidestore::core::{HiDeStore, HiDeStoreConfig};
+use hidestore::proto::TenantId;
 use hidestore::restore::Faa;
 use hidestore::server::{default_net_timeout, view, RemoteClient, ServerConfig};
 use hidestore::storage::{FileContainerStore, VersionId};
@@ -88,16 +100,21 @@ fn print_usage() {
          hidestore recluster <repo>\n  \
          hidestore stats   <repo> [--json]\n  \
          hidestore serve   <repo> [--bind ADDR] [--port N] [--workers N] [--quiet]\n  \
-         \x20                [--read-timeout SECS] [--write-timeout SECS]\n\n\
+         \x20                [--read-timeout SECS] [--write-timeout SECS]\n  \
+         \x20                [--tenants] [--max-tenants N] [--no-auto-tenants]\n  \
+         \x20                [--quota-bytes N] [--quota-versions N]\n\n\
          remote variants (against a running hds-served); each also takes\n\
          --remote-timeout SECS (per-I/O deadline, 0 disables, default\n\
-         HDS_NET_TIMEOUT then 30):\n  \
+         HDS_NET_TIMEOUT then 30) and --tenant <id> (address one tenant of\n\
+         a --tenants daemon; defaults to the `default` tenant):\n  \
          hidestore backup  --remote <host:port> <file>\n  \
          hidestore restore --remote <host:port> <version> <outfile>\n  \
          hidestore list    --remote <host:port> [--json]\n  \
          hidestore stats   --remote <host:port> [--json]\n  \
          hidestore prune   --remote <host:port> <keep-last-N>\n  \
          hidestore verify  --remote <host:port>\n  \
+         hidestore tenant  list  --remote <host:port> [--json]\n  \
+         hidestore tenant  stats --remote <host:port> [--json]\n  \
          hidestore shutdown --remote <host:port>"
     );
 }
@@ -127,14 +144,17 @@ struct Remote {
     /// `--remote-timeout` if given; otherwise resolved from
     /// `HDS_NET_TIMEOUT` / the 30s default at connect time.
     timeout: Option<Duration>,
+    /// `--tenant` if given; every request is then enveloped with this id.
+    tenant: Option<TenantId>,
 }
 
-/// Pulls `--remote <host:port>` (and `--remote-timeout SECS`) out of the
-/// argument list, returning the connection options (if remote) and the
-/// remaining positional/flag arguments.
+/// Pulls `--remote <host:port>` (plus `--remote-timeout SECS` and
+/// `--tenant <id>`) out of the argument list, returning the connection
+/// options (if remote) and the remaining positional/flag arguments.
 fn split_remote(args: &[String]) -> Result<(Option<Remote>, Vec<String>), CliError> {
     let mut addr = None;
     let mut timeout = None;
+    let mut tenant = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -151,14 +171,31 @@ fn split_remote(args: &[String]) -> Result<(Option<Remote>, Vec<String>), CliErr
                 .parse()
                 .map_err(|_| usage(format!("--remote-timeout must be a number, got {value}")))?;
             timeout = Some(Duration::from_secs(secs));
+        } else if arg == "--tenant" {
+            let value = it
+                .next()
+                .ok_or_else(|| usage("--tenant needs a tenant id"))?;
+            // Validate here so a typo'd id is a usage error, not a wire
+            // round-trip that the server rejects.
+            let id = TenantId::new(value)
+                .map_err(|e| usage(format!("invalid tenant id {value:?}: {e}")))?;
+            tenant = Some(id);
         } else {
             rest.push(arg.clone());
         }
     }
-    match (addr, timeout) {
-        (Some(addr), timeout) => Ok((Some(Remote { addr, timeout }), rest)),
-        (None, Some(_)) => Err(usage("--remote-timeout requires --remote")),
-        (None, None) => Ok((None, rest)),
+    match (addr, timeout, tenant) {
+        (Some(addr), timeout, tenant) => Ok((
+            Some(Remote {
+                addr,
+                timeout,
+                tenant,
+            }),
+            rest,
+        )),
+        (None, Some(_), _) => Err(usage("--remote-timeout requires --remote")),
+        (None, None, Some(_)) => Err(usage("--tenant requires --remote")),
+        (None, None, None) => Ok((None, rest)),
     }
 }
 
@@ -243,6 +280,15 @@ fn run(args: &[String]) -> CliResult {
             [] => cmd_shutdown_remote(&remote),
             _ => Err(usage("shutdown takes no positional arguments")),
         },
+        ("tenant", Some(remote)) => {
+            let (json, rest) = split_json(rest);
+            match rest.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+                ["list"] => cmd_tenant_list_remote(&remote, json),
+                ["stats"] => cmd_tenant_stats_remote(&remote, json),
+                _ => Err(usage("tenant needs a subcommand: list or stats")),
+            }
+        }
+        ("tenant", None) => Err(usage("tenant verbs need --remote <host:port>")),
         ("flatten", None) => match rest.as_slice() {
             [repo] => cmd_flatten(repo),
             _ => Err(usage("flatten needs a <repo>")),
@@ -267,8 +313,15 @@ fn open(repo: &str) -> Result<HiDeStore<FileContainerStore>, CliError> {
 
 fn connect(remote: &Remote) -> Result<RemoteClient, CliError> {
     let timeout = remote.timeout.unwrap_or_else(default_net_timeout);
-    RemoteClient::connect_with(&remote.addr, hidestore::proto::Limits::default(), timeout)
-        .map_err(|e| runtime(format!("cannot reach hds-served at {}: {e}", remote.addr)))
+    let client =
+        RemoteClient::connect_with(&remote.addr, hidestore::proto::Limits::default(), timeout)
+            .map_err(|e| runtime(format!("cannot reach hds-served at {}: {e}", remote.addr)))?;
+    match &remote.tenant {
+        Some(tenant) => client
+            .with_tenant(tenant.clone())
+            .map_err(|e| runtime(e.to_string())),
+        None => Ok(client),
+    }
 }
 
 fn parse_version(version: &str) -> Result<u32, CliError> {
@@ -589,6 +642,63 @@ fn cmd_verify_remote(remote: &Remote) -> CliResult {
     }
 }
 
+fn cmd_tenant_list_remote(remote: &Remote, json: bool) -> CliResult {
+    let mut client = connect(remote)?;
+    let list = client.tenant_list()?;
+    if json {
+        println!("{}", list.to_json());
+        return Ok(());
+    }
+    if list.tenants.is_empty() {
+        println!("no tenants");
+        return Ok(());
+    }
+    println!(
+        "{:<24}  {:>8}  {:>14}  {:>5}",
+        "tenant", "versions", "logical bytes", "live"
+    );
+    for t in &list.tenants {
+        println!(
+            "{:<24}  {:>8}  {:>14}  {:>5}",
+            t.tenant,
+            t.versions,
+            t.logical_bytes,
+            if t.live { "yes" } else { "no" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_tenant_stats_remote(remote: &Remote, json: bool) -> CliResult {
+    let mut client = connect(remote)?;
+    let stats = client.tenant_stats()?;
+    if json {
+        println!("{}", stats.to_json());
+        return Ok(());
+    }
+    if stats.tenants.is_empty() {
+        println!("no tenant activity since the daemon started");
+        return Ok(());
+    }
+    println!(
+        "{:<24}  {:>6}  {:>6}  {:>12}  {:>12}  {:>6}  {:>6}",
+        "tenant", "ok", "failed", "bytes in", "bytes out", "rback", "quota"
+    );
+    for t in &stats.tenants {
+        println!(
+            "{:<24}  {:>6}  {:>6}  {:>12}  {:>12}  {:>6}  {:>6}",
+            t.tenant,
+            t.requests_ok,
+            t.requests_failed,
+            t.bytes_in,
+            t.bytes_out,
+            t.rolled_back,
+            t.quota_refused,
+        );
+    }
+    Ok(())
+}
+
 fn cmd_shutdown_remote(remote: &Remote) -> CliResult {
     let client = connect(remote)?;
     client.shutdown()?;
@@ -662,6 +772,34 @@ fn cmd_serve(repo: &str, opts: &[String]) -> CliResult {
                     .parse()
                     .map_err(|_| usage(format!("--write-timeout must be a number, got {value}")))?;
                 config.write_timeout = Some(Duration::from_secs(secs));
+            }
+            "--tenants" => config.tenants_root = true,
+            "--max-tenants" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| usage("--max-tenants needs a value"))?;
+                config.max_live_tenants = value
+                    .parse()
+                    .ok()
+                    .filter(|v| *v >= 1)
+                    .ok_or_else(|| usage(format!("--max-tenants must be >= 1, got {value}")))?;
+            }
+            "--no-auto-tenants" => config.auto_create_tenants = false,
+            "--quota-bytes" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| usage("--quota-bytes needs a value"))?;
+                config.default_quota.max_bytes = value
+                    .parse()
+                    .map_err(|_| usage(format!("--quota-bytes must be a number, got {value}")))?;
+            }
+            "--quota-versions" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| usage("--quota-versions needs a value"))?;
+                config.default_quota.max_versions = value.parse().map_err(|_| {
+                    usage(format!("--quota-versions must be a number, got {value}"))
+                })?;
             }
             other => return Err(usage(format!("unknown option {other}"))),
         }

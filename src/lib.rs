@@ -25,6 +25,7 @@
 //! | [`fsck`] | cross-layer invariant checker ([`fsck::SystemAuditor`]) |
 //! | [`failpoint`] | [`failpoint::Vfs`] io-shim + fault injection for crash testing |
 //! | [`proto`] | framed wire protocol: versioned HELLO, CRC-guarded frames, typed messages |
+//! | [`tenant`] | multi-tenant registry: tenant ids → isolated repositories via a bounded LRU |
 //! | [`server`] | `hds-served` daemon + [`server::RemoteClient`] |
 //!
 //! # Quickstart
@@ -58,6 +59,7 @@ pub use hidestore_restore as restore;
 pub use hidestore_rewriting as rewriting;
 pub use hidestore_server as server;
 pub use hidestore_storage as storage;
+pub use hidestore_tenant as tenant;
 pub use hidestore_workloads as workloads;
 
 /// Commonly used items in one import.

@@ -12,6 +12,11 @@
 //! retried backup never commits twice), the repository is fsck-clean with
 //! no leaked `.tmp` files, no parked session survives, and the daemon still
 //! drains under a watchdog.
+//!
+//! The multi-tenant matrix repeats the discipline against a tenant root:
+//! tenant A's client is armed at every operation index while tenant B runs
+//! a clean concurrent workload — B's repository must come out untouched no
+//! matter where A's connection dies.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -20,10 +25,11 @@ use std::time::{Duration, Instant};
 use hidestore::core::{HiDeStore, HiDeStoreConfig};
 use hidestore::fsck::SystemAuditor;
 use hidestore::netfault::{NetFault, NetPlan};
-use hidestore::proto::ErrorCode;
+use hidestore::proto::{ErrorCode, TenantId};
 use hidestore::server::{
     serve, ClientError, RemoteClient, RetryClient, RetryPolicy, ServerConfig, ServerHandle,
 };
+use hidestore::tenant::TENANTS_SUBDIR;
 
 const PAYLOAD_A: usize = 40_000;
 const PAYLOAD_B: usize = 26_000;
@@ -204,6 +210,88 @@ fn chaos_matrix_server_side() {
             Some(NetPlan::armed(site, fault_for(site))),
             None,
         );
+    }
+}
+
+/// One multi-tenant chaos run: a fresh tenant root, tenant B's clean
+/// workload racing tenant A's faulted one. A must converge through its
+/// retries; B must be completely untouched — its restores byte-identical,
+/// exactly its own versions retained, and its repository fsck-clean.
+fn run_tenant_chaos(tag: &str, client_fault: Option<NetPlan>) {
+    let dir = temp(tag);
+    HiDeStoreConfig::small_for_tests().save_to(&dir).unwrap();
+    let handle = serve(
+        &dir,
+        ServerConfig {
+            quiet: true,
+            tenants_root: true,
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        // Tenant B: clean, unfaulted workload racing A's chaos.
+        let b = scope.spawn(move || {
+            let b1 = noise(33_000, 21);
+            let b2 = noise(27_000, 22);
+            let mut client = RemoteClient::connect(addr)
+                .unwrap()
+                .with_tenant(TenantId::new("bee").unwrap())
+                .unwrap();
+            assert_eq!(client.backup_bytes(&b1).unwrap().version, 1);
+            assert_eq!(client.backup_bytes(&b2).unwrap().version, 2);
+            let mut out = Vec::new();
+            client.restore_to(1, &mut out).unwrap();
+            assert_eq!(out, b1, "tenant B's V1 must be untouched by A's faults");
+            out.clear();
+            client.restore_to(2, &mut out).unwrap();
+            assert_eq!(out, b2, "tenant B's V2 must be untouched by A's faults");
+            let list = client.list().unwrap();
+            assert_eq!(list.versions.len(), 2, "no bleed into B's version space");
+        });
+
+        // Tenant A: the faulted workload, ridden by the retry loop.
+        let a1 = noise(PAYLOAD_A, 1);
+        let mut client = RetryClient::new(addr.to_string(), fast_policy())
+            .with_tenant(TenantId::new("aye").unwrap());
+        if let Some(plan) = client_fault {
+            client = client.with_fault(plan);
+        }
+        let s1 = client.backup(&a1).unwrap();
+        assert_eq!(s1.version, 1, "A's backup commits exactly once");
+        let (ra, _) = client.restore(1).unwrap();
+        assert_eq!(ra, a1, "A's restore must converge byte-identically");
+
+        b.join().unwrap();
+    });
+
+    assert_eq!(handle.open_sessions(), 0, "no leaked resumable sessions");
+    shutdown_with_watchdog(handle);
+    assert_no_tmp_files(&dir);
+    assert_fsck_clean(&dir.join(TENANTS_SUBDIR).join("aye"));
+    assert_fsck_clean(&dir.join(TENANTS_SUBDIR).join("bee"));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn chaos_matrix_tenant_faults_do_not_cross_tenants() {
+    // Enumerate tenant A's wire operations fault-free (B races alongside,
+    // but only A's client is counted/armed).
+    let counting = NetPlan::counting();
+    run_tenant_chaos("ten-count", Some(counting.clone()));
+    let total = counting.ops();
+    assert!(
+        total > 10,
+        "workload too small to be interesting: {total} ops"
+    );
+
+    // Replay once per site with that operation armed on tenant A's side.
+    for site in 0..total {
+        run_tenant_chaos("ten-armed", Some(NetPlan::armed(site, fault_for(site))));
     }
 }
 
