@@ -3,7 +3,7 @@
 #
 #     ./ci.sh
 #
-# Ten checks, in order of increasing cost; the script stops at the first
+# Eleven checks, in order of increasing cost; the script stops at the first
 # failure:
 #
 #   1. cargo fmt --check            -- formatting drift
@@ -30,6 +30,10 @@
 #                                      remote backup -> list -> restore ->
 #                                      verify, byte-compare, fsck-clean repo,
 #                                      graceful shutdown
+#  11. paper claims (release)       -- the cross-scheme comparison asserted
+#                                      as tests: HiDeStore vs RevDedup vs
+#                                      hybrid vs DDFS restore reads, dedup
+#                                      ratios, and deferred-pass accounting
 #
 # Everything runs offline against the vendored dependencies in vendor/.
 set -eu
@@ -97,5 +101,8 @@ wait "$SERVE_PID"
 ./target/debug/hds-fsck "$SERVE_REPO"
 trap - EXIT
 rm -rf "$SERVE_DIR"
+
+echo "ci: cargo test --release --test paper_claims"
+cargo test --release --test paper_claims -q
 
 echo "ci: all checks passed"

@@ -1,0 +1,52 @@
+//! Cross-scheme comparison — where each design pays its deduplication cost.
+//!
+//! HiDeStore and DDFS deduplicate inline on the backup path; RevDedup and
+//! the hybrid mode defer fine-grained deduplication to an out-of-line pass
+//! that reverse-deduplicates older versions against the newest. Expected
+//! shape (DESIGN.md §14): RevDedup restores the newest version with no more
+//! container reads than DDFS at equal cache; the hybrid post-pass ratio
+//! lands close to inline HiDeStore; the out-of-line schemes pay a nonzero
+//! pass time that the inline schemes never see.
+
+use hidestore_bench::{run_scheme_comparison, workload_versions, Scale};
+use hidestore_workloads::Profile;
+
+fn main() {
+    let scale = Scale::from_env();
+    let headers = vec![
+        "dataset",
+        "scheme",
+        "dedup",
+        "newest-reads",
+        "ingest-lookups",
+        "ingest",
+        "pass",
+        "reclaimed-KB",
+    ];
+    let mut rows = Vec::new();
+    for profile in Profile::ALL {
+        let versions = workload_versions(profile, scale);
+        for row in run_scheme_comparison(&versions, scale, profile) {
+            rows.push(vec![
+                profile.to_string(),
+                row.label.to_string(),
+                format!("{:.2}%", row.dedup_ratio * 100.0),
+                row.newest_reads.to_string(),
+                row.ingest_lookups.to_string(),
+                format!("{:.0?}", row.ingest_time),
+                format!("{:.0?}", row.pass_time),
+                (row.pass_reclaimed / 1024).to_string(),
+            ]);
+        }
+    }
+    hidestore_bench::print_table(
+        "Cross-scheme comparison: inline vs out-of-line deduplication",
+        &headers,
+        &rows,
+    );
+    hidestore_bench::write_csv("scheme_compare", &headers, &rows);
+    println!(
+        "\nexpected shape: RevDedup newest-reads <= DDFS; Hybrid dedup ~ HiDeStore; \
+         only RevDedup/Hybrid pay pass time"
+    );
+}

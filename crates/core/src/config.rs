@@ -12,6 +12,78 @@ use crate::system::HiDeStoreError;
 /// file in the repository root written by `init` and read on every open.
 pub const CONFIG_FILE: &str = "config";
 
+/// Which deduplication scheme a repository runs.
+///
+/// The scheme decides *where* duplicate detection happens relative to the
+/// ingest path:
+///
+/// * [`DedupMode::HiDeStore`] — the paper's design: exact chunk-level dedup
+///   inline against the double-hash-table fingerprint cache, with cold
+///   chunks demoted into version-tagged archival containers at the end of
+///   every version.
+/// * [`DedupMode::RevDedup`] — the RevDedup baseline: coarse segment-level
+///   dedup inline (only whole identical segments are suppressed, so the
+///   newest version stays physically sequential), with the remaining
+///   duplicate copies of *older* versions removed by the out-of-line
+///   reverse-deduplication pass ([`crate::HiDeStore::out_of_line_pass`]).
+/// * [`DedupMode::Hybrid`] — hybrid inline/out-of-line dedup: inline
+///   lookups consult only the previous version's fingerprints (a bounded
+///   memory budget), and the same out-of-line pass later removes whatever
+///   duplicates the bounded inline index missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DedupMode {
+    /// Exact inline dedup through the fingerprint cache (the paper).
+    #[default]
+    HiDeStore,
+    /// Segment-level inline dedup + out-of-line reverse dedup (RevDedup).
+    RevDedup,
+    /// Bounded inline dedup + exact out-of-line dedup (hybrid).
+    Hybrid,
+}
+
+impl DedupMode {
+    /// Every mode, HiDeStore first.
+    pub const ALL: [DedupMode; 3] = [DedupMode::HiDeStore, DedupMode::RevDedup, DedupMode::Hybrid];
+
+    /// The config-file / CLI spelling of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            DedupMode::HiDeStore => "hidestore",
+            DedupMode::RevDedup => "revdedup",
+            DedupMode::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses a config-file / CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending string when it names no mode.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "hidestore" => Ok(DedupMode::HiDeStore),
+            "revdedup" => Ok(DedupMode::RevDedup),
+            "hybrid" => Ok(DedupMode::Hybrid),
+            other => Err(format!(
+                "unknown scheme {other:?} (expected hidestore, revdedup, or hybrid)"
+            )),
+        }
+    }
+
+    /// Whether this mode stores chunks directly into version-tagged
+    /// archival containers and relies on the out-of-line pass (RevDedup and
+    /// hybrid) rather than the fingerprint cache + active pool.
+    pub fn is_out_of_line(self) -> bool {
+        !matches!(self, DedupMode::HiDeStore)
+    }
+}
+
+impl std::fmt::Display for DedupMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Configuration of a [`crate::HiDeStore`] instance.
 #[derive(Debug, Clone, Copy)]
 pub struct HiDeStoreConfig {
@@ -48,6 +120,9 @@ pub struct HiDeStoreConfig {
     /// `HDS_NET_TIMEOUT` environment override is given. `0` disables
     /// timeouts (blocking I/O).
     pub net_timeout_secs: u64,
+    /// Deduplication scheme of the repository (`init --scheme`, persisted
+    /// as the `scheme=` config key; absent key = HiDeStore).
+    pub scheme: DedupMode,
 }
 
 impl Default for HiDeStoreConfig {
@@ -63,6 +138,7 @@ impl Default for HiDeStoreConfig {
             queue_depth: 4,
             restore: RestoreConcurrency::serial(),
             net_timeout_secs: 30,
+            scheme: DedupMode::HiDeStore,
         }
     }
 }
@@ -81,7 +157,14 @@ impl HiDeStoreConfig {
             queue_depth: 4,
             restore: RestoreConcurrency::serial(),
             net_timeout_secs: 30,
+            scheme: DedupMode::HiDeStore,
         }
+    }
+
+    /// Variant running the given deduplication scheme.
+    pub fn with_scheme(mut self, scheme: DedupMode) -> Self {
+        self.scheme = scheme;
+        self
     }
 
     /// Depth-2 variant for macos-like workloads.
@@ -186,6 +269,9 @@ impl HiDeStoreConfig {
                 "restore_queue" => config.restore.queue_depth = parsed(key)?,
                 "restore_readahead" => config.restore.readahead_containers = parsed(key)?,
                 "net_timeout" => config.net_timeout_secs = parsed(key)? as u64,
+                "scheme" => {
+                    config.scheme = DedupMode::parse(value).map_err(HiDeStoreError::Config)?;
+                }
                 _ => {}
             }
         }
@@ -223,7 +309,7 @@ impl HiDeStoreConfig {
         let path = dir.as_ref().join(CONFIG_FILE);
         let text = format!(
             "chunk={}\ncontainer={}\ndepth={}\nthreads={}\nrestore_threads={}\n\
-             restore_queue={}\nrestore_readahead={}\nnet_timeout={}\n",
+             restore_queue={}\nrestore_readahead={}\nnet_timeout={}\nscheme={}\n",
             self.avg_chunk_size,
             self.container_capacity,
             self.history_depth,
@@ -232,6 +318,7 @@ impl HiDeStoreConfig {
             self.restore.queue_depth,
             self.restore.readahead_containers,
             self.net_timeout_secs,
+            self.scheme,
         );
         vfs.write(&path, text.as_bytes())
             .map_err(|e| HiDeStoreError::Config(format!("cannot write {}: {e}", path.display())))
@@ -324,6 +411,29 @@ mod tests {
         std::fs::write(dir.join(CONFIG_FILE), "chunk=1024\ncontainer=32768\n").unwrap();
         let legacy = HiDeStoreConfig::load_from(&dir).unwrap();
         assert_eq!(legacy.net_timeout_secs, 30);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scheme_round_trips_through_config_file() {
+        let dir =
+            std::env::temp_dir().join(format!("hidestore-config-scheme-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for mode in DedupMode::ALL {
+            let c = HiDeStoreConfig::small_for_tests().with_scheme(mode);
+            c.save_to(&dir).unwrap();
+            let loaded = HiDeStoreConfig::load_from(&dir).unwrap();
+            assert_eq!(loaded.scheme, mode);
+            assert_eq!(DedupMode::parse(mode.name()), Ok(mode));
+        }
+        // A pre-scheme config file defaults to HiDeStore.
+        std::fs::write(dir.join(CONFIG_FILE), "chunk=1024\ncontainer=32768\n").unwrap();
+        let legacy = HiDeStoreConfig::load_from(&dir).unwrap();
+        assert_eq!(legacy.scheme, DedupMode::HiDeStore);
+        // A bad spelling is a config error, not a silent default.
+        std::fs::write(dir.join(CONFIG_FILE), "scheme=rev-dedup\n").unwrap();
+        assert!(HiDeStoreConfig::load_from(&dir).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

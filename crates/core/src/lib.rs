@@ -59,13 +59,14 @@ mod handle;
 mod journal;
 mod persist;
 mod recluster;
+mod scheme;
 mod stats;
 mod system;
 
 pub use active::{ActivePool, CompactionReport};
 pub use cache::{CacheEntry, Classification, FingerprintCache};
 pub use composite::{CompositeStore, ACTIVE_ID_BASE};
-pub use config::{HiDeStoreConfig, CONFIG_FILE};
+pub use config::{DedupMode, HiDeStoreConfig, CONFIG_FILE};
 pub use handle::RepositoryHandle;
 pub use journal::JournalRecovery;
 pub use persist::{
@@ -73,5 +74,6 @@ pub use persist::{
     RecoveryState, RepositoryMeta,
 };
 pub use recluster::ReclusterReport;
+pub use scheme::OutOfLineReport;
 pub use stats::{DeletionReport, HiDeStoreRunStats, HiDeStoreVersionStats, ScrubReport};
 pub use system::{HiDeStore, HiDeStoreError, IntegrityViews};

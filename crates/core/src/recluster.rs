@@ -152,7 +152,7 @@ impl<S: ContainerStore> HiDeStore<S> {
         Ok(report)
     }
 
-    fn apply_archival_relocations(
+    pub(crate) fn apply_archival_relocations(
         &mut self,
         relocations: &HashMap<Fingerprint, ContainerId>,
     ) -> u64 {

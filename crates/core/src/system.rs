@@ -21,6 +21,7 @@ use crate::chain::{self, ResolveError};
 use crate::composite::CompositeStore;
 use crate::config::HiDeStoreConfig;
 use crate::persist::{QuarantineEntry, QuarantinedArtifact};
+use crate::scheme::SchemeState;
 use crate::stats::{DeletionReport, HiDeStoreRunStats, HiDeStoreVersionStats, ScrubReport};
 
 /// Chunks per batch handed between the staged pipeline's threads. Purely a
@@ -157,6 +158,8 @@ pub struct HiDeStore<S> {
     run_stats: HiDeStoreRunStats,
     version_stats: Vec<HiDeStoreVersionStats>,
     quarantined: Vec<QuarantineEntry>,
+    scheme: SchemeState,
+    out_of_line_rewritten_bytes: u64,
 }
 
 impl<S: ContainerStore> HiDeStore<S> {
@@ -179,6 +182,8 @@ impl<S: ContainerStore> HiDeStore<S> {
             run_stats: HiDeStoreRunStats::default(),
             version_stats: Vec::new(),
             quarantined: Vec::new(),
+            scheme: SchemeState::default(),
+            out_of_line_rewritten_bytes: 0,
             config,
         }
     }
@@ -304,6 +309,11 @@ impl<S: ContainerStore> HiDeStore<S> {
         sizes: &[u32],
         content: impl Fn(usize) -> std::borrow::Cow<'a, [u8]>,
     ) -> Result<HiDeStoreVersionStats, HiDeStoreError> {
+        // The out-of-line schemes (RevDedup, hybrid) bypass the cache/pool
+        // pipeline entirely and ingest straight into archival containers.
+        if self.config.scheme.is_out_of_line() {
+            return self.run_backup_out_of_line(fingerprints, sizes, &content);
+        }
         let version = VersionId::new(self.next_version);
         self.next_version += 1;
         let logical_bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
@@ -675,6 +685,12 @@ impl<S: ContainerStore> HiDeStore<S> {
                 newest,
             });
         }
+        // The out-of-line schemes deduplicate newer versions against older
+        // containers inline, so tag-ranged drops would tear live data; they
+        // expire by reference counting whole containers instead.
+        if self.config.scheme.is_out_of_line() {
+            return self.delete_expired_out_of_line(up_to);
+        }
         let start = Instant::now();
         let mut report = DeletionReport::default();
         for v in self.recipes.versions() {
@@ -758,6 +774,15 @@ impl<S: ContainerStore> HiDeStore<S> {
         self.run_stats
     }
 
+    /// Cumulative bytes of surviving chunks *copied* while rebuilding
+    /// containers during [`HiDeStore::out_of_line_pass`] runs. Rewrite
+    /// traffic, not new user data — reported separately so ingest
+    /// accounting stays honest. Like [`HiDeStore::run_stats`], this is a
+    /// per-instance counter, not persisted across reopens.
+    pub fn out_of_line_rewritten_bytes(&self) -> u64 {
+        self.out_of_line_rewritten_bytes
+    }
+
     /// Per-version statistics in backup order.
     pub fn version_stats(&self) -> &[HiDeStoreVersionStats] {
         &self.version_stats
@@ -836,6 +861,7 @@ impl<S: ContainerStore> HiDeStore<S> {
         self.recipes = recipes;
         self.next_version = next_version.max(1);
         self.next_archival_id = next_archival_id.max(1);
+        self.rebuild_scheme_state();
         Ok(())
     }
 
@@ -856,6 +882,35 @@ impl<S: ContainerStore> HiDeStore<S> {
 
     pub(crate) fn next_archival_raw(&self) -> u32 {
         self.next_archival_id
+    }
+
+    /// Allocates the next version number (out-of-line ingest path).
+    pub(crate) fn alloc_version(&mut self) -> VersionId {
+        let v = VersionId::new(self.next_version);
+        self.next_version += 1;
+        v
+    }
+
+    /// Absorbs one version's statistics into the running totals.
+    pub(crate) fn record_version_stats(&mut self, stats: HiDeStoreVersionStats) {
+        self.run_stats.absorb(&stats);
+        self.version_stats.push(stats);
+    }
+
+    /// The out-of-line schemes' inline-dedup tables (see `scheme`).
+    pub(crate) fn scheme_state(&self) -> &SchemeState {
+        &self.scheme
+    }
+
+    /// Re-derives the scheme tables from the newest retained recipe — after
+    /// every out-of-line backup, maintenance pass, and repository open.
+    pub(crate) fn rebuild_scheme_state(&mut self) {
+        self.scheme = SchemeState::rebuild(self.config.scheme, &self.recipes);
+    }
+
+    /// Accumulates rewrite traffic from an out-of-line pass.
+    pub(crate) fn add_out_of_line_rewritten_bytes(&mut self, bytes: u64) {
+        self.out_of_line_rewritten_bytes += bytes;
     }
 }
 

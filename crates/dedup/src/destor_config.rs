@@ -12,8 +12,8 @@
 //! chunk     = 8192          # average chunk size, bytes
 //! container = 4194304       # container capacity, bytes
 //! segment   = 1024          # chunks per segment
-//! index     = ddfs          # ddfs | sparse | silo | extreme-binning
-//! rewrite   = capping       # none | cbr | cfl | capping | fbw
+//! index     = ddfs          # ddfs | sparse | silo | extreme-binning | revdedup
+//! rewrite   = capping       # none | cbr | cfl | capping | fbw | seg-align
 //! cap       = 20            # capping level (capping/fbw only)
 //! ```
 
@@ -22,7 +22,7 @@ use std::str::FromStr;
 
 use hidestore_chunking::ChunkerKind;
 use hidestore_index::{FingerprintIndex, IndexKind};
-use hidestore_rewriting::{Capping, Cbr, CflRewrite, Fbw, NoRewrite, RewritePolicy};
+use hidestore_rewriting::{Capping, Cbr, CflRewrite, Fbw, NoRewrite, RewritePolicy, SegAlign};
 
 use crate::config::PipelineConfig;
 use crate::pipeline::BackupPipeline;
@@ -54,6 +54,8 @@ pub enum RewriteKind {
     Capping,
     /// Sliding look-back window.
     Fbw,
+    /// RevDedup segment-aligned rewriting: mixed segments written whole.
+    SegAlign,
 }
 
 impl Default for DestorConfig {
@@ -131,6 +133,7 @@ impl FromStr for DestorConfig {
                         "sparse" => IndexKind::Sparse,
                         "silo" => IndexKind::Silo,
                         "extreme-binning" => IndexKind::ExtremeBinning,
+                        "revdedup" => IndexKind::RevDedup,
                         other => return Err(err(format!("unknown index {other:?}"))),
                     }
                 }
@@ -141,6 +144,7 @@ impl FromStr for DestorConfig {
                         "cfl" => RewriteKind::Cfl,
                         "capping" => RewriteKind::Capping,
                         "fbw" => RewriteKind::Fbw,
+                        "seg-align" => RewriteKind::SegAlign,
                         other => return Err(err(format!("unknown rewrite scheme {other:?}"))),
                     }
                 }
@@ -168,6 +172,7 @@ impl DestorConfig {
             RewriteKind::Cfl => Box::new(CflRewrite::new(0.6, container)),
             RewriteKind::Capping => Box::new(Capping::new(self.cap)),
             RewriteKind::Fbw => Box::new(Fbw::new(8 * container, 0.05, container)),
+            RewriteKind::SegAlign => Box::new(SegAlign::new()),
         }
     }
 
@@ -282,6 +287,7 @@ mod tests {
             ("cfl", RewriteKind::Cfl),
             ("capping", RewriteKind::Capping),
             ("fbw", RewriteKind::Fbw),
+            ("seg-align", RewriteKind::SegAlign),
         ] {
             let config: DestorConfig = format!("rewrite = {name}").parse().unwrap();
             assert_eq!(config.rewrite, kind);

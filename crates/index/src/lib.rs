@@ -47,12 +47,14 @@
 mod bloom;
 mod ddfs;
 mod extreme_binning;
+mod revdedup;
 mod silo;
 mod sparse;
 
 pub use bloom::BloomFilter;
 pub use ddfs::DdfsIndex;
 pub use extreme_binning::ExtremeBinning;
+pub use revdedup::RevDedupIndex;
 pub use silo::{SiloConfig, SiloIndex};
 pub use sparse::{SparseConfig, SparseIndex};
 
@@ -122,15 +124,18 @@ pub enum IndexKind {
     Silo,
     /// Extreme Binning (Bhagwat et al.).
     ExtremeBinning,
+    /// RevDedup segment-level dedup (Ng & Lee).
+    RevDedup,
 }
 
 impl IndexKind {
     /// Every selectable scheme.
-    pub const ALL: [IndexKind; 4] = [
+    pub const ALL: [IndexKind; 5] = [
         IndexKind::Ddfs,
         IndexKind::Sparse,
         IndexKind::Silo,
         IndexKind::ExtremeBinning,
+        IndexKind::RevDedup,
     ];
 
     /// Builds a boxed index of this kind with default configuration.
@@ -140,6 +145,7 @@ impl IndexKind {
             IndexKind::Sparse => Box::new(SparseIndex::new(SparseConfig::default())),
             IndexKind::Silo => Box::new(SiloIndex::new(SiloConfig::default())),
             IndexKind::ExtremeBinning => Box::new(ExtremeBinning::new()),
+            IndexKind::RevDedup => Box::new(RevDedupIndex::new()),
         }
     }
 }
@@ -151,6 +157,7 @@ impl std::fmt::Display for IndexKind {
             IndexKind::Sparse => "sparse",
             IndexKind::Silo => "silo",
             IndexKind::ExtremeBinning => "extreme-binning",
+            IndexKind::RevDedup => "revdedup",
         };
         f.write_str(name)
     }

@@ -1,0 +1,247 @@
+//! RevDedup (Ng & Lee, APSYS'13 / ToS'15) — coarse segment-level inline
+//! deduplication optimized for reads to the *latest* backup, cited in
+//! PAPERS.md as the reverse-deduplication counterpart to HiDeStore.
+//!
+//! RevDedup deduplicates whole **segments** on ingest: the chunk stream is
+//! cut at content-defined anchors (a fingerprint-prefix test, so boundaries
+//! survive insertions and deletions), each segment is identified by the
+//! hash of its chunk fingerprints, and a segment is deduplicated only when
+//! it matches a whole segment of the previous version — otherwise every
+//! chunk in it is written again, duplicates included. New backups therefore
+//! land nearly sequentially (good newest-version restore locality); the
+//! fine-grained duplicates left behind are the business of an offline
+//! reverse-deduplication pass, not of this index.
+//!
+//! The segment table is one entry per segment of one version — small enough
+//! to pin in RAM, so [`FingerprintIndex::disk_lookups`] stays zero; the
+//! scheme's cost shows up in deduplication ratio and in the out-of-line
+//! pass instead.
+
+use std::collections::HashMap;
+
+use hidestore_hash::{Fingerprint, Sha1};
+use hidestore_storage::{ContainerId, VersionId};
+
+use crate::FingerprintIndex;
+
+/// Average chunks per segment: a chunk whose fingerprint prefix matches
+/// this mask ends the segment, so segments average `MASK + 1` chunks.
+const ANCHOR_MASK: u64 = 0x7;
+
+fn is_anchor(fp: &Fingerprint) -> bool {
+    fp.prefix64() & ANCHOR_MASK == 0
+}
+
+/// A segment's identity: the hash of its chunk fingerprints in order.
+fn segment_id(chunks: &[(Fingerprint, u32)]) -> Fingerprint {
+    let mut hasher = Sha1::new();
+    for (fp, _) in chunks {
+        hasher.update(fp.as_bytes());
+    }
+    Fingerprint::from_bytes(hasher.finalize())
+}
+
+/// RevDedup's segment index (see module docs).
+///
+/// The table covers the **previous version only** — RevDedup's inline phase
+/// deduplicates the incoming backup against the latest one, nothing older.
+/// Segmentation is re-derived identically on the lookup and build sides
+/// (anchors plus pipeline call-window edges), so identical streams
+/// deduplicate fully while shifted streams re-align at the next anchor.
+#[derive(Debug, Default)]
+pub struct RevDedupIndex {
+    /// Previous version's segments: segment id → chunk run with locations.
+    segments: HashMap<Fingerprint, Vec<(Fingerprint, u32, ContainerId)>>,
+    /// Current version's segments, sealed as `record_chunk` hits anchors
+    /// and call-window edges; becomes `segments` at `end_version`.
+    building: HashMap<Fingerprint, Vec<(Fingerprint, u32, ContainerId)>>,
+    /// Chunks of the current run, awaiting their seal point.
+    run: Vec<(Fingerprint, u32, ContainerId)>,
+    /// Segment-table probes (all in-memory; exposed for experiments).
+    segment_lookups: u64,
+}
+
+impl RevDedupIndex {
+    /// Creates an empty RevDedup segment index.
+    pub fn new() -> Self {
+        RevDedupIndex::default()
+    }
+
+    /// Segment-table probes so far (in-memory lookups, not disk I/O).
+    pub fn segment_lookups(&self) -> u64 {
+        self.segment_lookups
+    }
+
+    /// Segments currently indexed (previous version's count).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Seals the chunk run being built into the current version's table.
+    fn seal_run(&mut self) {
+        if self.run.is_empty() {
+            return;
+        }
+        let run = std::mem::take(&mut self.run);
+        let keyed: Vec<(Fingerprint, u32)> = run.iter().map(|&(fp, size, _)| (fp, size)).collect();
+        self.building.insert(segment_id(&keyed), run);
+    }
+}
+
+impl FingerprintIndex for RevDedupIndex {
+    fn begin_version(&mut self, _version: VersionId) {
+        self.run.clear();
+        self.building.clear();
+    }
+
+    fn process_segment(&mut self, segment: &[(Fingerprint, u32)]) -> Vec<Option<ContainerId>> {
+        // A call-window edge is a segment cut on the build side too, so the
+        // two sides segment the stream identically.
+        self.seal_run();
+        let mut out = vec![None; segment.len()];
+        let mut start = 0;
+        for end in 1..=segment.len() {
+            let at_cut = is_anchor(&segment[end - 1].0) || end == segment.len();
+            if !at_cut {
+                continue;
+            }
+            let piece = &segment[start..end];
+            self.segment_lookups += 1;
+            if let Some(run) = self.segments.get(&segment_id(piece)) {
+                // Guard against segment-hash collisions before reusing.
+                if run.len() == piece.len()
+                    && run
+                        .iter()
+                        .zip(piece)
+                        .all(|(&(fp, size, _), &(pfp, psize))| fp == pfp && size == psize)
+                {
+                    for (slot, &(_, _, cid)) in out[start..end].iter_mut().zip(run) {
+                        *slot = Some(cid);
+                    }
+                }
+            }
+            start = end;
+        }
+        out
+    }
+
+    fn record_chunk(&mut self, fingerprint: Fingerprint, size: u32, container: ContainerId) {
+        self.run.push((fingerprint, size, container));
+        if is_anchor(&fingerprint) {
+            self.seal_run();
+        }
+    }
+
+    fn end_version(&mut self) {
+        self.seal_run();
+        // Reverse-dedup semantics: only the newest version is the inline
+        // target for the next backup.
+        self.segments = std::mem::take(&mut self.building);
+    }
+
+    fn disk_lookups(&self) -> u64 {
+        // The per-segment table fits in RAM; RevDedup does no on-disk index
+        // lookups inline.
+        0
+    }
+
+    fn index_table_bytes(&self) -> usize {
+        // Per segment: 20-byte id + 8-byte pointer; per chunk in its run:
+        // 20-byte fingerprint + 4-byte size + 8-byte location.
+        self.segments.values().map(|run| 28 + run.len() * 32).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "revdedup"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks(range: std::ops::Range<u64>) -> Vec<(Fingerprint, u32)> {
+        range.map(|i| (Fingerprint::synthetic(i), 4096)).collect()
+    }
+
+    fn run_version(idx: &mut RevDedupIndex, v: u32, stream: &[(Fingerprint, u32)]) -> usize {
+        idx.begin_version(VersionId::new(v));
+        let mut dups = 0;
+        for window in stream.chunks(64) {
+            let d = idx.process_segment(window);
+            for ((fp, size), dup) in window.iter().zip(d) {
+                match dup {
+                    Some(c) => {
+                        dups += 1;
+                        idx.record_chunk(*fp, *size, c);
+                    }
+                    None => idx.record_chunk(*fp, *size, ContainerId::new(v)),
+                }
+            }
+        }
+        idx.end_version();
+        dups
+    }
+
+    #[test]
+    fn identical_versions_dedup_fully() {
+        let mut idx = RevDedupIndex::new();
+        let stream = chunks(0..512);
+        assert_eq!(run_version(&mut idx, 1, &stream), 0);
+        assert_eq!(
+            run_version(&mut idx, 2, &stream),
+            512,
+            "identical streams cut into identical segments"
+        );
+    }
+
+    #[test]
+    fn segment_dedup_is_all_or_nothing() {
+        let mut idx = RevDedupIndex::new();
+        let stream = chunks(0..512);
+        run_version(&mut idx, 1, &stream);
+        // Corrupt one chunk: its whole segment must re-store, the rest
+        // still deduplicates.
+        let mut edited = stream.clone();
+        edited[200].0 = Fingerprint::synthetic(999_999);
+        let dups = run_version(&mut idx, 2, &edited);
+        assert!(dups < 512, "the edited segment must not dedup");
+        assert!(dups > 256, "far-away segments must still dedup");
+    }
+
+    #[test]
+    fn dedups_only_against_previous_version() {
+        let mut idx = RevDedupIndex::new();
+        let a = chunks(0..256);
+        let b = chunks(10_000..10_256);
+        run_version(&mut idx, 1, &a);
+        run_version(&mut idx, 2, &b);
+        // Version 1's segments are gone: reverse dedup keeps only the
+        // newest version inline.
+        assert_eq!(run_version(&mut idx, 3, &a), 0);
+    }
+
+    #[test]
+    fn no_disk_lookups_ever() {
+        let mut idx = RevDedupIndex::new();
+        let stream = chunks(0..512);
+        run_version(&mut idx, 1, &stream);
+        run_version(&mut idx, 2, &stream);
+        assert_eq!(idx.disk_lookups(), 0);
+        assert!(idx.segment_lookups() > 0, "probes are still counted");
+    }
+
+    #[test]
+    fn table_holds_one_versions_segments() {
+        let mut idx = RevDedupIndex::new();
+        run_version(&mut idx, 1, &chunks(0..512));
+        let after_one = idx.index_table_bytes();
+        run_version(&mut idx, 2, &chunks(0..512));
+        assert_eq!(
+            idx.index_table_bytes(),
+            after_one,
+            "the table never accumulates old versions"
+        );
+        assert!(idx.segment_count() > 1, "anchors must cut 512 chunks");
+    }
+}

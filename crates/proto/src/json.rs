@@ -68,7 +68,8 @@ impl StatsResponse {
     /// Serializes as one line of JSON with a fixed key order:
     /// `{"versions":[{"version":..,"bytes":..,"chunks":..,"cfl":..,
     /// "mean_kib_per_container":..},..],"pool_containers":..,
-    /// "pool_chunks":..,"pool_live_bytes":..}`.
+    /// "pool_chunks":..,"pool_live_bytes":..,
+    /// "out_of_line_rewritten_bytes":..}`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64 + self.versions.len() * 80);
         out.push_str("{\"versions\":[");
@@ -88,8 +89,12 @@ impl StatsResponse {
         }
         let _ = write!(
             out,
-            "],\"pool_containers\":{},\"pool_chunks\":{},\"pool_live_bytes\":{}}}",
-            self.pool_containers, self.pool_chunks, self.pool_live_bytes
+            "],\"pool_containers\":{},\"pool_chunks\":{},\"pool_live_bytes\":{},\
+             \"out_of_line_rewritten_bytes\":{}}}",
+            self.pool_containers,
+            self.pool_chunks,
+            self.pool_live_bytes,
+            self.out_of_line_rewritten_bytes
         );
         out
     }
@@ -203,12 +208,14 @@ mod tests {
             pool_containers: 2,
             pool_chunks: 7,
             pool_live_bytes: 4096,
+            out_of_line_rewritten_bytes: 512,
         };
         assert_eq!(
             stats.to_json(),
             "{\"versions\":[{\"version\":1,\"bytes\":100,\"chunks\":3,\
              \"cfl\":0.5000,\"mean_kib_per_container\":12.2500}],\
-             \"pool_containers\":2,\"pool_chunks\":7,\"pool_live_bytes\":4096}"
+             \"pool_containers\":2,\"pool_chunks\":7,\"pool_live_bytes\":4096,\
+             \"out_of_line_rewritten_bytes\":512}"
         );
     }
 

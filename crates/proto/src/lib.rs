@@ -112,6 +112,7 @@ mod tests {
                 pool_containers: 1,
                 pool_chunks: 2,
                 pool_live_bytes: 4096,
+                out_of_line_rewritten_bytes: 99,
             }),
             Response::PruneOk(PruneSummary {
                 versions_removed: 2,

@@ -1,0 +1,163 @@
+//! Segment-aligned rewriting — the inline half of RevDedup (Ng & Lee).
+
+use hidestore_hash::Fingerprint;
+use hidestore_storage::VersionId;
+
+use crate::{RewritePolicy, SegmentChunk};
+
+/// Average chunks per sub-segment; matches the RevDedup index's anchor mask
+/// so both sides agree on segment boundaries.
+const ANCHOR_MASK: u64 = 0x7;
+
+fn is_anchor(fp: &Fingerprint) -> bool {
+    fp.prefix64() & ANCHOR_MASK == 0
+}
+
+/// Rewrites every duplicate in any sub-segment that contains a unique chunk.
+///
+/// RevDedup stores backups **segment at a time**: a segment either matches a
+/// previous segment wholly (all duplicates, all referenced) or is written
+/// wholly into new containers, duplicates included. That keeps each
+/// segment's chunks physically contiguous, which is what gives the newest
+/// version its near-sequential restore; the duplicate copies written along
+/// the way are reclaimed later by the offline reverse-deduplication pass.
+///
+/// Sub-segments are cut at the same content-defined fingerprint anchors the
+/// RevDedup index uses, so the decision granularity matches the index's
+/// dedup granularity even when the pipeline hands over larger call windows.
+///
+/// # Examples
+///
+/// ```
+/// use hidestore_rewriting::{RewritePolicy, SegAlign};
+/// use hidestore_storage::VersionId;
+///
+/// let mut p = SegAlign::new();
+/// p.begin_version(VersionId::new(1));
+/// assert_eq!(p.name(), "seg-align");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SegAlign {
+    rewritten_bytes: u64,
+    rewritten_chunks: u64,
+}
+
+impl SegAlign {
+    /// Creates the segment-aligned policy.
+    pub fn new() -> Self {
+        SegAlign::default()
+    }
+
+    /// Number of chunks rewritten so far.
+    pub fn rewritten_chunks(&self) -> u64 {
+        self.rewritten_chunks
+    }
+}
+
+impl RewritePolicy for SegAlign {
+    fn begin_version(&mut self, _version: VersionId) {}
+
+    fn process_segment(&mut self, segment: &[SegmentChunk]) -> Vec<bool> {
+        let mut out = vec![false; segment.len()];
+        let mut start = 0;
+        for end in 1..=segment.len() {
+            if !(is_anchor(&segment[end - 1].fingerprint) || end == segment.len()) {
+                continue;
+            }
+            let piece = &segment[start..end];
+            // A mixed sub-segment (unique chunks alongside duplicates) is
+            // written whole: rewrite its duplicates for contiguity.
+            if piece.iter().any(|c| c.existing.is_none()) {
+                for (slot, chunk) in out[start..end].iter_mut().zip(piece) {
+                    if chunk.existing.is_some() {
+                        *slot = true;
+                        self.rewritten_bytes += chunk.size as u64;
+                        self.rewritten_chunks += 1;
+                    }
+                }
+            }
+            start = end;
+        }
+        out
+    }
+
+    fn end_version(&mut self) {}
+
+    fn rewritten_bytes(&self) -> u64 {
+        self.rewritten_bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "seg-align"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hidestore_storage::ContainerId;
+
+    /// A chunk whose anchor-ness and duplicate-ness are both controlled:
+    /// `anchor` decides the fingerprint prefix, `dup` the existing copy.
+    fn chunk(n: u64, anchor: bool, dup: bool) -> SegmentChunk {
+        // Bit 0..=2 clear ⇔ anchor; offset keeps fingerprints distinct.
+        let prefix = (n << 8) | if anchor { 0 } else { 1 };
+        SegmentChunk::new(
+            Fingerprint::synthetic(prefix),
+            4096,
+            dup.then(|| ContainerId::new(7)),
+        )
+    }
+
+    #[test]
+    fn all_duplicate_subsegment_is_referenced() {
+        let mut p = SegAlign::new();
+        p.begin_version(VersionId::new(1));
+        let seg = [
+            chunk(1, false, true),
+            chunk(2, false, true),
+            chunk(3, true, true),
+        ];
+        assert_eq!(p.process_segment(&seg), vec![false; 3]);
+        assert_eq!(p.rewritten_bytes(), 0);
+    }
+
+    #[test]
+    fn mixed_subsegment_rewrites_its_duplicates() {
+        let mut p = SegAlign::new();
+        p.begin_version(VersionId::new(1));
+        let seg = [
+            chunk(1, false, true),
+            chunk(2, false, false), // one unique chunk taints the sub-segment
+            chunk(3, true, true),
+        ];
+        assert_eq!(p.process_segment(&seg), vec![true, false, true]);
+        assert_eq!(p.rewritten_chunks(), 2);
+        assert_eq!(p.rewritten_bytes(), 2 * 4096);
+    }
+
+    #[test]
+    fn anchors_isolate_subsegments() {
+        let mut p = SegAlign::new();
+        p.begin_version(VersionId::new(1));
+        // Sub-segment 1 (chunks 0..=1, sealed by anchor) is all-duplicate;
+        // sub-segment 2 (chunks 2..=3) is mixed.
+        let seg = [
+            chunk(1, false, true),
+            chunk(2, true, true),
+            chunk(3, false, false),
+            chunk(4, true, true),
+        ];
+        assert_eq!(p.process_segment(&seg), vec![false, false, false, true]);
+        assert_eq!(p.rewritten_chunks(), 1);
+    }
+
+    #[test]
+    fn all_unique_subsegment_rewrites_nothing() {
+        let mut p = SegAlign::new();
+        p.begin_version(VersionId::new(1));
+        let seg = [chunk(1, false, false), chunk(2, true, false)];
+        assert_eq!(p.process_segment(&seg), vec![false; 2]);
+        assert_eq!(p.rewritten_bytes(), 0);
+    }
+}

@@ -10,6 +10,8 @@
 //! hidestore verify  <repo>                      integrity scrub
 //! hidestore flatten <repo>                      run Algorithm 1 on the recipe chain
 //! hidestore recluster <repo>                    defragment old versions' archival layout
+//! hidestore dedup-pass <repo>                   run the out-of-line reverse-dedup pass
+//!                                               (revdedup / hybrid schemes)
 //! hidestore stats   <repo> [--json]             per-version fragmentation statistics
 //! hidestore serve   <repo> [--port N] ...       run the hds-served daemon in-process
 //! ```
@@ -47,7 +49,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use hidestore::core::{HiDeStore, HiDeStoreConfig};
+use hidestore::core::{DedupMode, HiDeStore, HiDeStoreConfig};
 use hidestore::proto::TenantId;
 use hidestore::restore::Faa;
 use hidestore::server::{default_net_timeout, view, RemoteClient, ServerConfig};
@@ -91,6 +93,7 @@ type CliResult = Result<(), CliError>;
 fn print_usage() {
     eprintln!(
         "usage:\n  hidestore init    <repo> [--chunk <bytes>] [--container <bytes>] [--depth <1|2>] [--threads <n>]\n  \
+         \x20                [--scheme <hidestore|revdedup|hybrid>]\n  \
          hidestore backup  <repo> <file>\n  \
          hidestore restore <repo> <version> <outfile> [--threads <n>]\n  \
          hidestore list    <repo> [--json]\n  \
@@ -98,6 +101,7 @@ fn print_usage() {
          hidestore verify  <repo>\n  \
          hidestore flatten <repo>\n  \
          hidestore recluster <repo>\n  \
+         hidestore dedup-pass <repo>\n  \
          hidestore stats   <repo> [--json]\n  \
          hidestore serve   <repo> [--bind ADDR] [--port N] [--workers N] [--quiet]\n  \
          \x20                [--read-timeout SECS] [--write-timeout SECS]\n  \
@@ -297,6 +301,10 @@ fn run(args: &[String]) -> CliResult {
             [repo] => cmd_recluster(repo),
             _ => Err(usage("recluster needs a <repo>")),
         },
+        ("dedup-pass", None) => match rest.as_slice() {
+            [repo] => cmd_dedup_pass(repo),
+            _ => Err(usage("dedup-pass needs a <repo>")),
+        },
         ("serve", None) => match rest.as_slice() {
             [repo, opts @ ..] => cmd_serve(repo, opts),
             _ => Err(usage("serve needs a <repo>")),
@@ -351,6 +359,7 @@ fn cmd_init(repo: &str, opts: &[String]) -> CliResult {
                 config.threads = parsed("--threads")?;
                 config.restore.threads = config.threads;
             }
+            "--scheme" => config.scheme = DedupMode::parse(value).map_err(usage)?,
             other => return Err(usage(format!("unknown option {other}"))),
         }
     }
@@ -365,8 +374,13 @@ fn cmd_init(repo: &str, opts: &[String]) -> CliResult {
     let mut system = HiDeStore::open_repository(config, repo)?;
     system.save_repository(repo)?;
     println!(
-        "initialized repository at {repo} (chunk {} B, container {} B, history depth {}, threads {})",
-        config.avg_chunk_size, config.container_capacity, config.history_depth, config.threads
+        "initialized repository at {repo} (chunk {} B, container {} B, history depth {}, \
+         threads {}, scheme {})",
+        config.avg_chunk_size,
+        config.container_capacity,
+        config.history_depth,
+        config.threads,
+        config.scheme,
     );
     Ok(())
 }
@@ -557,6 +571,12 @@ fn print_stats(stats: &hidestore::proto::StatsResponse) {
         stats.pool_chunks,
         stats.pool_live_bytes as f64 / 1024.0,
     );
+    if stats.out_of_line_rewritten_bytes > 0 {
+        println!(
+            "out-of-line rewrites this session: {} bytes (rewrite traffic, not new data)",
+            stats.out_of_line_rewritten_bytes,
+        );
+    }
 }
 
 fn cmd_prune(repo: &str, keep: &str) -> CliResult {
@@ -717,6 +737,25 @@ fn cmd_recluster(repo: &str) -> CliResult {
         report.containers_rewritten,
         report.chunks_moved,
         report.recipe_entries_updated,
+    );
+    Ok(())
+}
+
+fn cmd_dedup_pass(repo: &str) -> CliResult {
+    let mut system = open(repo)?;
+    let report = system.out_of_line_pass()?;
+    system.save_repository(repo)?;
+    println!(
+        "out-of-line pass: {} duplicate chunks removed ({} bytes reclaimed), \
+         {} containers rewritten, {} removed, {} recipe entries updated, \
+         {} bytes rewritten in {:?}",
+        report.duplicate_chunks_removed,
+        report.bytes_reclaimed,
+        report.containers_rewritten,
+        report.containers_removed,
+        report.recipe_entries_updated,
+        report.rewritten_bytes,
+        report.elapsed,
     );
     Ok(())
 }

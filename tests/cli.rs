@@ -259,7 +259,8 @@ fn json_output_schema_is_pinned() {
     assert!(out.status.success());
     assert_eq!(
         String::from_utf8_lossy(&out.stdout).trim(),
-        "{\"versions\":[],\"pool_containers\":0,\"pool_chunks\":0,\"pool_live_bytes\":0}"
+        "{\"versions\":[],\"pool_containers\":0,\"pool_chunks\":0,\"pool_live_bytes\":0,\
+         \"out_of_line_rewritten_bytes\":0}"
     );
 
     let f = repo.join("input.bin");
@@ -288,6 +289,102 @@ fn json_output_schema_is_pinned() {
     assert!(text.contains("\"pool_live_bytes\":50000"), "{text}");
 
     fs::remove_dir_all(&repo).unwrap();
+}
+
+/// `init --scheme`, `dedup-pass`, and the out-of-line byte accounting in
+/// `stats --json`: a reverse-dedup rewrite is rewrite traffic, not new user
+/// data, so it must appear in `out_of_line_rewritten_bytes` and leave the
+/// pool counters untouched.
+#[test]
+fn scheme_lifecycle_with_out_of_line_pass() {
+    let repo = temp("scheme");
+    let repo_s = repo.to_str().unwrap();
+    let out = run(&[
+        "init",
+        repo_s,
+        "--chunk",
+        "1024",
+        "--container",
+        "16384",
+        "--scheme",
+        "hybrid",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("scheme hybrid"));
+
+    // Recurring content after a gap leaves cross-version duplicates that
+    // only the out-of-line pass can reclaim.
+    let f = repo.join("input.bin");
+    let base = noise(60_000, 11);
+    let extra = noise(20_000, 12);
+    for round in 0..4u64 {
+        let mut content = base.clone();
+        content[(round as usize * 10_000)..][..5_000].copy_from_slice(&noise(5_000, 500 + round));
+        if round % 2 == 0 {
+            content.extend_from_slice(&extra);
+        }
+        fs::write(&f, &content).unwrap();
+        assert!(run(&["backup", repo_s, f.to_str().unwrap()])
+            .status
+            .success());
+    }
+
+    let snapshot_v1 = {
+        let restored = repo.join("v1-before.bin");
+        run(&["restore", repo_s, "1", restored.to_str().unwrap()]);
+        fs::read(&restored).unwrap()
+    };
+    let out = run(&["dedup-pass", repo_s]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("duplicate chunks removed"), "{text}");
+    assert!(text.contains("bytes rewritten"), "{text}");
+
+    // Every version still restores byte-exact and the repo verifies clean.
+    let restored = repo.join("v1-after.bin");
+    assert!(run(&["restore", repo_s, "1", restored.to_str().unwrap()])
+        .status
+        .success());
+    assert_eq!(fs::read(&restored).unwrap(), snapshot_v1);
+    assert!(run(&["verify", repo_s]).status.success());
+
+    // Scheme repos bypass the active pool entirely, and the rewrite counter
+    // is per-process (this `stats` invocation did no out-of-line work), so
+    // the trailing fields are exact.
+    let out = run(&["stats", repo_s, "--json"]);
+    let text = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert!(
+        text.ends_with(
+            "\"pool_containers\":0,\"pool_chunks\":0,\"pool_live_bytes\":0,\
+             \"out_of_line_rewritten_bytes\":0}"
+        ),
+        "{text}"
+    );
+
+    // The inline scheme rejects the pass with a runtime error.
+    let other = temp("scheme-inline");
+    let other_s = other.to_str().unwrap();
+    assert!(run(&["init", other_s]).status.success());
+    let out = run(&["dedup-pass", other_s]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no out-of-line pass"));
+
+    // Bad scheme names are usage errors.
+    let bogus = temp("scheme-bogus");
+    let out = run(&["init", bogus.to_str().unwrap(), "--scheme", "lru"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    fs::remove_dir_all(&repo).unwrap();
+    fs::remove_dir_all(&other).unwrap();
+    let _ = fs::remove_dir_all(&bogus);
 }
 
 #[test]

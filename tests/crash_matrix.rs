@@ -343,6 +343,138 @@ fn crash_matrix_threaded_backup_variant() {
 }
 
 // ---------------------------------------------------------------------------
+// Out-of-line schemes: the reverse-dedup pass crashed at every site.
+// ---------------------------------------------------------------------------
+
+/// Payloads with content recurring after a gap, so the out-of-line pass has
+/// real duplicates to reclaim under both revdedup and hybrid.
+fn scheme_payloads() -> Vec<Vec<u8>> {
+    let base = noise(24_000, 5);
+    let extra = noise(8_000, 6);
+    let mut out = Vec::new();
+    for round in 0..3u64 {
+        let mut data = base.clone();
+        let start = (round as usize * 6_000) % 18_000;
+        data[start..start + 4_000].copy_from_slice(&noise(4_000, 700 + round));
+        if round % 2 == 0 {
+            data.extend_from_slice(&extra);
+        }
+        out.push(data);
+    }
+    out
+}
+
+/// The scripted out-of-line lifecycle: three backup+save rounds, then the
+/// reverse-dedup pass + save, then delete_expired(V1) + save — five save
+/// boundaries in all.
+fn run_scheme_sequence<V: Vfs>(
+    dir: &Path,
+    vfs: V,
+    saves: usize,
+    scheme: hidestore::core::DedupMode,
+) -> Result<(), HiDeStoreError> {
+    let payloads = scheme_payloads();
+    let (mut hds, _) = HiDeStore::open_repository_with(config().with_scheme(scheme), dir, vfs)?;
+    let mut done = 0;
+    for data in &payloads {
+        if done >= saves {
+            return Ok(());
+        }
+        hds.backup(data)?;
+        hds.save_repository(dir)?;
+        done += 1;
+    }
+    if done >= saves {
+        return Ok(());
+    }
+    hds.out_of_line_pass()?;
+    hds.save_repository(dir)?;
+    done += 1;
+    if done >= saves {
+        return Ok(());
+    }
+    hds.delete_expired(VersionId::new(1))?;
+    hds.save_repository(dir)?;
+    Ok(())
+}
+
+/// [`reopen_and_check`] for a scheme repository (same audit bar: no errors,
+/// nothing beyond quarantine warnings — half-rewritten containers from a
+/// mid-pass crash must come back quarantined, never live).
+fn reopen_and_check_scheme(
+    dir: &Path,
+    scheme: hidestore::core::DedupMode,
+    context: &str,
+) -> BTreeMap<u32, u32> {
+    let (mut hds, _) = HiDeStore::open_repository_report(config().with_scheme(scheme), dir)
+        .unwrap_or_else(|e| panic!("{context}: reopen after crash must succeed: {e}"));
+    let audit = SystemAuditor::new().audit(&mut hds);
+    assert_eq!(
+        audit.count(Severity::Error),
+        0,
+        "{context}: audit must be error-free, got:\n{:#?}",
+        audit.findings
+    );
+    assert!(
+        audit.findings.iter().all(|f| matches!(
+            f.kind,
+            FindingKind::QuarantinedArtifact { .. } | FindingKind::QuarantinedRef { .. }
+        )),
+        "{context}: only quarantine warnings tolerated, got:\n{:#?}",
+        audit.findings
+    );
+    let mut state = BTreeMap::new();
+    for v in hds.versions() {
+        let mut out = Vec::new();
+        hds.restore(v, &mut Faa::new(1 << 18), &mut out)
+            .unwrap_or_else(|e| panic!("{context}: retained {v} must restore: {e}"));
+        state.insert(v.get(), crc32(&out));
+    }
+    state
+}
+
+/// Crash the out-of-line lifecycle at every filesystem op site, for both
+/// out-of-line schemes: recovery must land exactly on a save boundary — a
+/// crash mid-reverse-dedup either rolls back (fresh-id rewrites quarantined)
+/// or rolls forward (journaled removals applied), never a torn mix.
+#[test]
+fn crash_matrix_out_of_line_pass_every_site() {
+    use hidestore::core::DedupMode;
+
+    for scheme in [DedupMode::RevDedup, DedupMode::Hybrid] {
+        let tag = format!("oop-{scheme}");
+        let scratch = Scratch::new(&format!("{tag}-count"));
+        let vfs = FaultVfs::counting();
+        run_scheme_sequence(&scratch.0, vfs.clone(), usize::MAX, scheme).expect("counting run");
+        let total = vfs.ops();
+        assert!(total > 50, "{tag}: sequence too small: {total} ops");
+        drop(scratch);
+
+        let boundaries: Vec<BTreeMap<u32, u32>> = (0..=5)
+            .map(|saves| {
+                let scratch = Scratch::new(&format!("{tag}-boundary-{saves}"));
+                run_scheme_sequence(&scratch.0, hidestore::failpoint::RealVfs, saves, scheme)
+                    .expect("unfaulted boundary build");
+                reopen_and_check_scheme(&scratch.0, scheme, &format!("{tag} boundary {saves}"))
+            })
+            .collect();
+
+        for site in 0..total {
+            let scratch = Scratch::new(&format!("{tag}-site-{site}"));
+            let vfs = FaultVfs::armed(site, FaultKind::Error);
+            let result = run_scheme_sequence(&scratch.0, vfs.clone(), usize::MAX, scheme);
+            assert!(
+                vfs.crashed() && result.is_err(),
+                "{tag} site {site}: the fault must fire and fail the sequence"
+            );
+            let ctx = format!("{tag} site {site}");
+            let state = reopen_and_check_scheme(&scratch.0, scheme, &ctx);
+            assert_at_boundary(&state, &boundaries, &ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Targeted commit-protocol cases: the three classically wrong crash windows.
 // ---------------------------------------------------------------------------
 
