@@ -3,7 +3,7 @@
 #
 #     ./ci.sh
 #
-# Eleven checks, in order of increasing cost; the script stops at the first
+# Twelve checks, in order of increasing cost; the script stops at the first
 # failure:
 #
 #   1. cargo fmt --check            -- formatting drift
@@ -30,7 +30,13 @@
 #                                      remote backup -> list -> restore ->
 #                                      verify, byte-compare, fsck-clean repo,
 #                                      graceful shutdown
-#  11. paper claims (release)       -- the cross-scheme comparison asserted
+#  11. tree round trip             -- backup-tree/restore-tree on a real
+#                                      directory: excludes honoured, full and
+#                                      subtree restores diff clean against
+#                                      the source, fsck-clean repo, and an
+#                                      unreadable entry (fifo) is skipped
+#                                      with a non-zero exit
+#  12. paper claims (release)       -- the cross-scheme comparison asserted
 #                                      as tests: HiDeStore vs RevDedup vs
 #                                      hybrid vs DDFS restore reads, dedup
 #                                      ratios, and deferred-pass accounting
@@ -101,6 +107,39 @@ wait "$SERVE_PID"
 ./target/debug/hds-fsck "$SERVE_REPO"
 trap - EXIT
 rm -rf "$SERVE_DIR"
+
+echo "ci: tree backup/restore round trip"
+TREE_DIR=$(mktemp -d)
+trap 'rm -rf "$TREE_DIR"' EXIT
+./target/debug/hidestore init "$TREE_DIR/repo" --chunk 4096 --container 262144 > /dev/null
+mkdir -p "$TREE_DIR/src/code/deep" "$TREE_DIR/src/logs" "$TREE_DIR/src/empty"
+head -c 200000 /dev/urandom > "$TREE_DIR/src/code/main.rs"
+head -c 50000  /dev/urandom > "$TREE_DIR/src/code/deep/util.rs"
+printf 'hello tree\n' > "$TREE_DIR/src/readme.txt"
+printf 'noise\n' > "$TREE_DIR/src/logs/build.log"
+ln -s code/main.rs "$TREE_DIR/src/link"
+./target/debug/hidestore backup-tree "$TREE_DIR/repo" "$TREE_DIR/src" --exclude '*.log'
+# Full restore: byte-identical modulo the excluded log.
+./target/debug/hidestore restore-tree "$TREE_DIR/repo" 1 "$TREE_DIR/full"
+rm "$TREE_DIR/src/logs/build.log"
+diff -r --no-dereference "$TREE_DIR/src" "$TREE_DIR/full"
+[ ! -e "$TREE_DIR/full/logs/build.log" ]
+[ -d "$TREE_DIR/full/empty" ]
+# Subtree restore lands only the selected directory at the destination.
+./target/debug/hidestore restore-tree "$TREE_DIR/repo" 1 "$TREE_DIR/sub" --subtree /code
+diff -r "$TREE_DIR/src/code" "$TREE_DIR/sub"
+[ ! -e "$TREE_DIR/sub/readme.txt" ]
+./target/debug/hds-fsck "$TREE_DIR/repo"
+# Resilience: an unreadable entry (fifo) is skipped, the backup still
+# lands, and the exit code is non-zero.
+mkfifo "$TREE_DIR/src/pipe"
+if ./target/debug/hidestore backup-tree "$TREE_DIR/repo" "$TREE_DIR/src" 2> "$TREE_DIR/skip.err"; then
+    echo "ci: backup-tree with a fifo should have exited non-zero"; exit 1
+fi
+grep -q "skipped /pipe" "$TREE_DIR/skip.err"
+./target/debug/hidestore list "$TREE_DIR/repo" --json | grep -q '"version":2'
+trap - EXIT
+rm -rf "$TREE_DIR"
 
 echo "ci: cargo test --release --test paper_claims"
 cargo test --release --test paper_claims -q

@@ -194,7 +194,10 @@ fn resolve_one(
     fp: Fingerprint,
     mut cid: Cid,
 ) -> Result<ContainerId, ResolveError> {
-    // Chains are finite: each hop moves to a strictly newer version.
+    // Chains are finite: each hop moves to a strictly newer version. A
+    // corrupt recipe could point backwards and close a multi-hop cycle, so
+    // the invariant is enforced, not assumed.
+    let mut newest_hop = 0u32;
     loop {
         if let Some(archival) = cid.as_archival() {
             return Ok(archival);
@@ -210,6 +213,13 @@ fn resolve_one(
                 version: VersionId::new(1),
             });
         };
+        if w.get() <= newest_hop {
+            return Err(ResolveError::BrokenChain {
+                fingerprint: fp,
+                version: w,
+            });
+        }
+        newest_hop = w.get();
         if let std::collections::hash_map::Entry::Vacant(slot) = maps.entry(w) {
             let recipe = recipes.get(w).ok_or(ResolveError::MissingRecipe(w))?;
             slot.insert(
@@ -434,6 +444,21 @@ mod tests {
         let mut recipes = RecipeStore::new();
         recipes.insert(recipe_with(1, &[(1, -2)]));
         recipes.insert(recipe_with(2, &[(7, 3)]));
+        assert!(matches!(
+            resolve_plan(&recipes, &pool, VersionId::new(1)),
+            Err(ResolveError::BrokenChain { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_detects_multi_hop_cycle() {
+        let mut recipes = RecipeStore::new();
+        // Corrupt: V1 chains to V3, whose entry chains *backwards* to V2,
+        // whose entry chains to V3 again — a cycle no single hop closes.
+        recipes.insert(recipe_with(1, &[(1, -3)]));
+        recipes.insert(recipe_with(2, &[(1, -3)]));
+        recipes.insert(recipe_with(3, &[(1, -2)]));
+        let pool = ActivePool::new(1024);
         assert!(matches!(
             resolve_plan(&recipes, &pool, VersionId::new(1)),
             Err(ResolveError::BrokenChain { .. })

@@ -550,6 +550,48 @@ impl<S: ContainerStore> HiDeStore<S> {
         result
     }
 
+    /// Resolves `version`'s recipe chain into its flat restore plan without
+    /// restoring anything: one [`RestoreEntry`] per recipe entry, in stream
+    /// order, each carrying the container that physically holds the chunk.
+    ///
+    /// Layered consumers (the tree subsystem's subtree-selective restore,
+    /// audits) use the plan to map byte ranges of the version stream onto
+    /// the exact containers they must read.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the resolution errors of [`HiDeStore::restore`]: unknown
+    /// versions, broken chains, quarantined dependencies.
+    pub fn restore_plan(
+        &mut self,
+        version: VersionId,
+    ) -> Result<Vec<RestoreEntry>, HiDeStoreError> {
+        self.resolve_restore_entries(version)
+    }
+
+    /// Restores an arbitrary slice of plan entries (from
+    /// [`HiDeStore::restore_plan`]) through a restore cache, writing the
+    /// chunks to `out` in slice order. Container reads are counted exactly
+    /// like a full restore, so partial restores are provably proportional
+    /// to the data they touch.
+    ///
+    /// # Errors
+    ///
+    /// Storage errors reading the referenced containers.
+    pub fn restore_entries(
+        &mut self,
+        entries: &[RestoreEntry],
+        cache: &mut dyn RestoreCache,
+        out: &mut dyn Write,
+        conc: &RestoreConcurrency,
+    ) -> Result<RestoreReport, HiDeStoreError>
+    where
+        S: Send,
+    {
+        let mut view = CompositeStore::new(&mut self.archival, &self.pool);
+        Ok(restore_staged(cache, entries, &mut view, out, conc)?)
+    }
+
     /// Resolves `version`'s recipe chain into a flat restore plan, checking
     /// quarantined dependencies first (degraded-mode repositories).
     fn resolve_restore_entries(

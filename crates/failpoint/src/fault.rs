@@ -30,6 +30,16 @@ pub enum OpKind {
     ReadDir,
     /// Recursive directory removal ([`Vfs::remove_dir_all`]).
     RemoveDirAll,
+    /// Entry stat without following symlinks ([`Vfs::symlink_metadata`]).
+    SymlinkMetadata,
+    /// Symlink target read ([`Vfs::read_link`]).
+    ReadLink,
+    /// Symlink creation ([`Vfs::symlink`]).
+    Symlink,
+    /// Permission-bit update ([`Vfs::set_mode`]).
+    SetMode,
+    /// Mtime update ([`Vfs::set_mtime`]).
+    SetMtime,
 }
 
 /// One numbered operation observed by a [`FaultVfs`].
@@ -232,6 +242,31 @@ impl Vfs for FaultVfs {
         // Not a failpoint site: existence checks perform no durable I/O and
         // a crashed process cannot observe anything anyway.
         self.real.exists(path)
+    }
+
+    fn symlink_metadata(&self, path: &Path) -> io::Result<crate::vfs::VfsMetadata> {
+        self.step(OpKind::SymlinkMetadata, path, 0)?;
+        self.real.symlink_metadata(path)
+    }
+
+    fn read_link(&self, path: &Path) -> io::Result<PathBuf> {
+        self.step(OpKind::ReadLink, path, 0)?;
+        self.real.read_link(path)
+    }
+
+    fn symlink(&self, target: &Path, link: &Path) -> io::Result<()> {
+        self.step(OpKind::Symlink, link, 0)?;
+        self.real.symlink(target, link)
+    }
+
+    fn set_mode(&self, path: &Path, mode: u32) -> io::Result<()> {
+        self.step(OpKind::SetMode, path, 0)?;
+        self.real.set_mode(path, mode)
+    }
+
+    fn set_mtime(&self, path: &Path, secs: i64, nanos: u32) -> io::Result<()> {
+        self.step(OpKind::SetMtime, path, 0)?;
+        self.real.set_mtime(path, secs, nanos)
     }
 }
 

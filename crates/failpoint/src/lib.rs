@@ -56,4 +56,4 @@ mod fault;
 mod vfs;
 
 pub use fault::{FaultKind, FaultVfs, OpKind, OpRecord};
-pub use vfs::{RealVfs, Vfs};
+pub use vfs::{mtime_to_system, system_to_mtime, RealVfs, Vfs, VfsEntryKind, VfsMetadata};

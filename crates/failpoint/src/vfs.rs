@@ -4,6 +4,77 @@ use std::fmt;
 use std::fs;
 use std::io::{self, Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// What kind of directory entry a [`Vfs::symlink_metadata`] call found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VfsEntryKind {
+    /// A regular file.
+    File,
+    /// A directory.
+    Dir,
+    /// A symbolic link (never followed by the shim).
+    Symlink,
+    /// Anything else: fifo, socket, device node. The tree layer skips
+    /// these explicitly rather than guessing at semantics.
+    Other,
+}
+
+/// The per-entry metadata surfaced by [`Vfs::symlink_metadata`]: exactly the
+/// fields a tree backup records and a tree restore reapplies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VfsMetadata {
+    /// The entry kind (the symlink itself, never its target).
+    pub kind: VfsEntryKind,
+    /// Byte length (files; 0 for other kinds).
+    pub len: u64,
+    /// Unix permission bits (the low 12 bits of `st_mode`). On platforms
+    /// without Unix permissions this degrades to `0o644`/`0o444` from the
+    /// readonly flag.
+    pub mode: u32,
+    /// Modification time: whole seconds since the Unix epoch (may be
+    /// negative for pre-epoch timestamps).
+    pub mtime_secs: i64,
+    /// Modification time: subsecond nanoseconds.
+    pub mtime_nanos: u32,
+}
+
+impl VfsMetadata {
+    /// The metadata's mtime as a [`SystemTime`].
+    #[must_use]
+    pub fn mtime(&self) -> SystemTime {
+        mtime_to_system(self.mtime_secs, self.mtime_nanos)
+    }
+}
+
+/// Converts a `(secs, nanos)` mtime pair back into a [`SystemTime`].
+#[must_use]
+pub fn mtime_to_system(secs: i64, nanos: u32) -> SystemTime {
+    if secs >= 0 {
+        UNIX_EPOCH + Duration::new(secs as u64, nanos)
+    } else {
+        // Pre-epoch: -1s +300ns means 700ns before the epoch.
+        let before = Duration::new(secs.unsigned_abs(), 0);
+        UNIX_EPOCH - before + Duration::new(0, nanos)
+    }
+}
+
+/// Splits a [`SystemTime`] into the `(secs, nanos)` pair the shim records.
+#[must_use]
+pub fn system_to_mtime(time: SystemTime) -> (i64, u32) {
+    match time.duration_since(UNIX_EPOCH) {
+        Ok(d) => (d.as_secs() as i64, d.subsec_nanos()),
+        Err(e) => {
+            let d = e.duration();
+            // Pre-epoch: round toward the epoch so nanos stays in range.
+            if d.subsec_nanos() == 0 {
+                (-(d.as_secs() as i64), 0)
+            } else {
+                (-(d.as_secs() as i64) - 1, 1_000_000_000 - d.subsec_nanos())
+            }
+        }
+    }
+}
 
 /// The filesystem surface the persistence layer is written against.
 ///
@@ -88,6 +159,46 @@ pub trait Vfs: Clone + Send + fmt::Debug {
     /// Whether `path` exists. Never fails (and is not a failpoint site: a
     /// crashed process cannot observe anything, so injection is moot).
     fn exists(&self, path: &Path) -> bool;
+
+    /// Stats `path` *without* following symlinks, returning the entry kind,
+    /// length, permission bits, and mtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn symlink_metadata(&self, path: &Path) -> io::Result<VfsMetadata>;
+
+    /// Reads the target a symlink at `path` points to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn read_link(&self, path: &Path) -> io::Result<PathBuf>;
+
+    /// Creates a symlink at `link` pointing to `target` (which need not
+    /// exist — dangling links are preserved verbatim).
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error; `Unsupported` on
+    /// platforms without symlinks.
+    fn symlink(&self, target: &Path, link: &Path) -> io::Result<()>;
+
+    /// Sets the Unix permission bits of `path` (follows symlinks — callers
+    /// must not use this on symlink entries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn set_mode(&self, path: &Path, mode: u32) -> io::Result<()>;
+
+    /// Sets the modification time of `path` (follows symlinks — callers
+    /// must not use this on symlink entries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error.
+    fn set_mtime(&self, path: &Path, secs: i64, nanos: u32) -> io::Result<()>;
 }
 
 /// The production [`Vfs`]: a zero-sized passthrough to `std::fs`.
@@ -152,6 +263,91 @@ impl Vfs for RealVfs {
     fn exists(&self, path: &Path) -> bool {
         path.exists()
     }
+
+    fn symlink_metadata(&self, path: &Path) -> io::Result<VfsMetadata> {
+        let meta = fs::symlink_metadata(path)?;
+        let ft = meta.file_type();
+        let kind = if ft.is_symlink() {
+            VfsEntryKind::Symlink
+        } else if ft.is_dir() {
+            VfsEntryKind::Dir
+        } else if ft.is_file() {
+            VfsEntryKind::File
+        } else {
+            VfsEntryKind::Other
+        };
+        let (mtime_secs, mtime_nanos) = match meta.modified() {
+            Ok(t) => system_to_mtime(t),
+            // Platforms without mtimes: a fixed epoch timestamp keeps the
+            // round trip deterministic rather than failing the walk.
+            Err(_) => (0, 0),
+        };
+        Ok(VfsMetadata {
+            kind,
+            len: meta.len(),
+            mode: real_mode(&meta),
+            mtime_secs,
+            mtime_nanos,
+        })
+    }
+
+    fn read_link(&self, path: &Path) -> io::Result<PathBuf> {
+        fs::read_link(path)
+    }
+
+    #[cfg(unix)]
+    fn symlink(&self, target: &Path, link: &Path) -> io::Result<()> {
+        std::os::unix::fs::symlink(target, link)
+    }
+
+    #[cfg(not(unix))]
+    fn symlink(&self, _target: &Path, _link: &Path) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "symlinks are not supported on this platform",
+        ))
+    }
+
+    fn set_mode(&self, path: &Path, mode: u32) -> io::Result<()> {
+        fs::set_permissions(path, real_permissions(path, mode)?)
+    }
+
+    fn set_mtime(&self, path: &Path, secs: i64, nanos: u32) -> io::Result<()> {
+        // Read-only open suffices: futimens works on any open descriptor,
+        // and directories cannot be opened for writing at all.
+        fs::File::open(path)?.set_modified(mtime_to_system(secs, nanos))
+    }
+}
+
+/// Unix permission bits of a metadata record (readonly-flag fallback
+/// elsewhere).
+#[cfg(unix)]
+fn real_mode(meta: &fs::Metadata) -> u32 {
+    use std::os::unix::fs::PermissionsExt;
+    meta.permissions().mode() & 0o7777
+}
+
+#[cfg(not(unix))]
+fn real_mode(meta: &fs::Metadata) -> u32 {
+    if meta.permissions().readonly() {
+        0o444
+    } else {
+        0o644
+    }
+}
+
+/// Builds the platform permission set for `mode`.
+#[cfg(unix)]
+fn real_permissions(_path: &Path, mode: u32) -> io::Result<fs::Permissions> {
+    use std::os::unix::fs::PermissionsExt;
+    Ok(fs::Permissions::from_mode(mode))
+}
+
+#[cfg(not(unix))]
+fn real_permissions(path: &Path, mode: u32) -> io::Result<fs::Permissions> {
+    let mut perms = fs::metadata(path)?.permissions();
+    perms.set_readonly(mode & 0o200 == 0);
+    Ok(perms)
 }
 
 #[cfg(test)]
@@ -204,5 +400,61 @@ mod tests {
     #[test]
     fn real_vfs_is_zero_sized() {
         assert_eq!(std::mem::size_of::<RealVfs>(), 0);
+    }
+
+    #[test]
+    fn metadata_symlink_and_times_round_trip() {
+        let dir = scratch("meta");
+        let v = RealVfs;
+        v.create_dir_all(&dir).unwrap();
+        let file = dir.join("f");
+        v.write(&file, b"hello").unwrap();
+        let meta = v.symlink_metadata(&file).unwrap();
+        assert_eq!(meta.kind, VfsEntryKind::File);
+        assert_eq!(meta.len, 5);
+
+        v.set_mode(&file, 0o640).unwrap();
+        v.set_mtime(&file, 1_234_567, 500_000_000).unwrap();
+        let meta = v.symlink_metadata(&file).unwrap();
+        #[cfg(unix)]
+        assert_eq!(meta.mode, 0o640);
+        assert_eq!(
+            (meta.mtime_secs, meta.mtime_nanos),
+            (1_234_567, 500_000_000)
+        );
+
+        let sub = dir.join("sub");
+        v.create_dir_all(&sub).unwrap();
+        assert_eq!(v.symlink_metadata(&sub).unwrap().kind, VfsEntryKind::Dir);
+
+        #[cfg(unix)]
+        {
+            let link = dir.join("l");
+            v.symlink(Path::new("f"), &link).unwrap();
+            let meta = v.symlink_metadata(&link).unwrap();
+            assert_eq!(meta.kind, VfsEntryKind::Symlink);
+            assert_eq!(v.read_link(&link).unwrap(), PathBuf::from("f"));
+            // Dangling targets are preserved verbatim.
+            let dangling = dir.join("d");
+            v.symlink(Path::new("no-such-entry"), &dangling).unwrap();
+            assert_eq!(
+                v.read_link(&dangling).unwrap(),
+                PathBuf::from("no-such-entry")
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mtime_conversions_invert_including_pre_epoch() {
+        for (secs, nanos) in [
+            (0, 0),
+            (1_700_000_000, 999_999_999),
+            (-1, 300),
+            (-86_400, 0),
+        ] {
+            let t = mtime_to_system(secs, nanos);
+            assert_eq!(system_to_mtime(t), (secs, nanos), "for {secs}s {nanos}ns");
+        }
     }
 }

@@ -124,6 +124,10 @@ fn json_report_body(report: &AuditReport, indent: &str) -> String {
         "{indent}\"orphan_bytes\": {},\n",
         report.orphan_bytes
     ));
+    out.push_str(&format!(
+        "{indent}\"tree_manifests_checked\": {},\n",
+        report.tree_manifests_checked
+    ));
     out.push_str(&format!("{indent}\"findings\": [\n"));
     for (i, finding) in report.findings.iter().enumerate() {
         let comma = if i + 1 < report.findings.len() {

@@ -58,12 +58,17 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
+use hidestore_core::chain::resolve_plan;
 use hidestore_core::{
     ActivePool, HiDeStore, IntegrityViews, QuarantinedArtifact as CoreArtifact, ACTIVE_ID_BASE,
 };
 use hidestore_hash::Fingerprint;
-use hidestore_storage::{Cid, Container, ContainerStore, RecipeStore};
+use hidestore_storage::{Cid, Container, ContainerId, ContainerStore, RecipeStore};
+use hidestore_tree::manifest::{
+    decode_stream_header, is_tree_stream, EntryPayload, TreeManifest, STREAM_HEADER_LEN,
+};
 
 /// How bad a [`Finding`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -269,6 +274,26 @@ pub enum FindingKind {
         /// resolve it.
         detail: String,
     },
+    /// A version carries the tree-stream magic but its manifest does not
+    /// decode (truncated, malformed, or inconsistent with the stream).
+    TreeManifestCorrupt {
+        /// The tree-backup version.
+        version: u32,
+        /// What failed to decode.
+        detail: String,
+    },
+    /// A tree-manifest file entry points at a content range beyond the end
+    /// of the version stream — restoring that file would fail.
+    DanglingTreeRef {
+        /// The tree-backup version.
+        version: u32,
+        /// The file's apath within the tree.
+        apath: String,
+        /// Claimed content offset.
+        offset: u64,
+        /// Claimed content length.
+        size: u64,
+    },
 }
 
 /// One invariant violation found by [`SystemAuditor`].
@@ -448,6 +473,22 @@ impl fmt::Display for Finding {
             FindingKind::PendingJournal { detail } => {
                 write!(f, "interrupted save transaction in staging/: {detail}")
             }
+            FindingKind::TreeManifestCorrupt { version, detail } => {
+                write!(f, "V{version} tree manifest is corrupt: {detail}")
+            }
+            FindingKind::DanglingTreeRef {
+                version,
+                apath,
+                offset,
+                size,
+            } => {
+                write!(
+                    f,
+                    "V{version} tree entry {apath} claims content bytes \
+                     {offset}..{} beyond the stream's content region",
+                    offset + size
+                )
+            }
         }
     }
 }
@@ -487,6 +528,9 @@ pub struct AuditReport {
     pub orphan_chunks: u64,
     /// Total bytes of those orphan chunks.
     pub orphan_bytes: u64,
+    /// Tree-backup manifests decoded and range-checked (versions carrying
+    /// the tree-stream magic).
+    pub tree_manifests_checked: u64,
 }
 
 impl AuditReport {
@@ -732,6 +776,27 @@ impl SystemAuditor {
             }
         }
 
+        // Phase 6 — tree streams: a version whose stream opens with the
+        // tree-backup magic must decode to a valid manifest, and every file
+        // entry's content range must lie inside the stream — a dangling
+        // range means that file is unrestorable even though every chunk is
+        // intact. Versions whose plans fail to resolve were already
+        // reported by phase 3 and are skipped here.
+        let mut tree_containers: HashMap<u32, Arc<Container>> = HashMap::new();
+        for v in views.recipes.versions() {
+            let Ok(plan) = resolve_plan(views.recipes, views.pool, v) else {
+                continue;
+            };
+            audit_tree_stream(
+                v.get(),
+                &plan,
+                views.pool,
+                views.archival,
+                &mut tree_containers,
+                &mut report,
+            );
+        }
+
         report
     }
 
@@ -975,6 +1040,151 @@ fn walk_entry(
     }
 }
 
+/// Audits one version's stream as a possible tree backup: decodes the
+/// manifest if the tree magic is present, and range-checks every file
+/// entry against the content region. Fetches only the containers that
+/// cover the header and manifest (reusing them across versions through
+/// `containers`), never the whole stream.
+fn audit_tree_stream<S: ContainerStore>(
+    version: u32,
+    plan: &[(Fingerprint, u32, ContainerId)],
+    pool: &ActivePool,
+    archival: &mut S,
+    containers: &mut HashMap<u32, Arc<Container>>,
+    report: &mut AuditReport,
+) {
+    let mut offsets: Vec<u64> = Vec::with_capacity(plan.len() + 1);
+    let mut total = 0u64;
+    offsets.push(0);
+    for &(_, size, _) in plan {
+        total += size as u64;
+        offsets.push(total);
+    }
+    if total < STREAM_HEADER_LEN {
+        return;
+    }
+    let corrupt = |detail: String| Finding {
+        severity: Severity::Error,
+        kind: FindingKind::TreeManifestCorrupt { version, detail },
+    };
+    let header = match fetch_stream_range(
+        plan,
+        &offsets,
+        pool,
+        archival,
+        containers,
+        0,
+        STREAM_HEADER_LEN,
+    ) {
+        Ok(h) => h,
+        // Unresolvable chunks were already reported by earlier phases.
+        Err(_) => return,
+    };
+    if !is_tree_stream(&header) {
+        return;
+    }
+    report.tree_manifests_checked += 1;
+    let manifest_len = match decode_stream_header(&header) {
+        Ok(len) => len as u64,
+        Err(e) => {
+            report.findings.push(corrupt(e.to_string()));
+            return;
+        }
+    };
+    if STREAM_HEADER_LEN + manifest_len > total {
+        report.findings.push(corrupt(format!(
+            "manifest length {manifest_len} exceeds stream of {total} bytes"
+        )));
+        return;
+    }
+    let bytes = match fetch_stream_range(
+        plan,
+        &offsets,
+        pool,
+        archival,
+        containers,
+        STREAM_HEADER_LEN,
+        manifest_len,
+    ) {
+        Ok(b) => b,
+        Err(e) => {
+            report.findings.push(corrupt(e));
+            return;
+        }
+    };
+    let manifest = match TreeManifest::decode(&bytes) {
+        Ok(m) => m,
+        Err(e) => {
+            report.findings.push(corrupt(e.to_string()));
+            return;
+        }
+    };
+    let content_len = total - STREAM_HEADER_LEN - manifest_len;
+    for entry in &manifest.entries {
+        if let EntryPayload::File { offset, size } = entry.payload {
+            if offset + size > content_len {
+                report.push(
+                    Severity::Error,
+                    FindingKind::DanglingTreeRef {
+                        version,
+                        apath: entry.apath.clone(),
+                        offset,
+                        size,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Reassembles stream bytes `[start, start + len)` from the chunks of a
+/// resolved plan, reading archival containers at most once each.
+fn fetch_stream_range<S: ContainerStore>(
+    plan: &[(Fingerprint, u32, ContainerId)],
+    offsets: &[u64],
+    pool: &ActivePool,
+    archival: &mut S,
+    containers: &mut HashMap<u32, Arc<Container>>,
+    start: u64,
+    len: u64,
+) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(len as usize);
+    let end = start + len;
+    let first = offsets.partition_point(|&o| o <= start) - 1;
+    for (i, &(fp, _, container)) in plan.iter().enumerate().skip(first) {
+        if offsets[i] >= end {
+            break;
+        }
+        let raw = container.get();
+        let chunk: &[u8] = if raw >= ACTIVE_ID_BASE {
+            pool.get(&fp)
+                .ok_or_else(|| format!("chunk {fp} missing from the active pool"))?
+        } else {
+            if let std::collections::hash_map::Entry::Vacant(slot) = containers.entry(raw) {
+                let c = archival
+                    .read(container)
+                    .map_err(|e| format!("container {raw} unreadable: {e}"))?;
+                slot.insert(c);
+            }
+            containers
+                .get(&raw)
+                .and_then(|c| c.get(&fp))
+                .ok_or_else(|| format!("chunk {fp} missing from container {raw}"))?
+        };
+        let chunk_start = offsets[i];
+        let lo = start.saturating_sub(chunk_start).min(chunk.len() as u64) as usize;
+        let hi = (end - chunk_start).min(chunk.len() as u64) as usize;
+        out.extend_from_slice(&chunk[lo..hi]);
+    }
+    if out.len() as u64 != len {
+        return Err(format!(
+            "stream range fetch returned {} of {len} bytes",
+            out.len()
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1064,6 +1274,92 @@ mod tests {
             .findings
             .iter()
             .all(|f| matches!(f.kind, FindingKind::ChunkHashMismatch { .. })));
+    }
+
+    #[test]
+    fn tree_backup_audits_clean_and_is_counted() {
+        use hidestore_tree::manifest::{ManifestEntry, TreeManifest};
+
+        let mut hds = system();
+        // An ordinary (non-tree) version is not counted as a tree manifest.
+        hds.backup(&noise(60_000, 3)).unwrap();
+        // A well-formed tree stream: root dir + one file covering the
+        // content region exactly.
+        let contents = noise(50_000, 4);
+        let manifest = TreeManifest {
+            entries: vec![
+                ManifestEntry {
+                    apath: "/".to_string(),
+                    mode: 0o755,
+                    mtime_secs: 1,
+                    mtime_nanos: 0,
+                    payload: EntryPayload::Dir,
+                },
+                ManifestEntry {
+                    apath: "/data".to_string(),
+                    mode: 0o644,
+                    mtime_secs: 2,
+                    mtime_nanos: 0,
+                    payload: EntryPayload::File {
+                        offset: 0,
+                        size: contents.len() as u64,
+                    },
+                },
+            ],
+        };
+        hds.backup(&manifest.encode_stream(&contents)).unwrap();
+        let report = SystemAuditor::new().audit(&mut hds);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.tree_manifests_checked, 1);
+    }
+
+    #[test]
+    fn dangling_tree_ref_and_corrupt_manifest_are_findings() {
+        use hidestore_tree::manifest::{ManifestEntry, TreeManifest, STREAM_MAGIC};
+
+        let mut hds = system();
+        // V1: a manifest whose file extent overruns the content region.
+        let contents = noise(30_000, 5);
+        let manifest = TreeManifest {
+            entries: vec![
+                ManifestEntry {
+                    apath: "/".to_string(),
+                    mode: 0o755,
+                    mtime_secs: 1,
+                    mtime_nanos: 0,
+                    payload: EntryPayload::Dir,
+                },
+                ManifestEntry {
+                    apath: "/overrun".to_string(),
+                    mode: 0o644,
+                    mtime_secs: 2,
+                    mtime_nanos: 0,
+                    payload: EntryPayload::File {
+                        offset: 0,
+                        size: contents.len() as u64 + 999,
+                    },
+                },
+            ],
+        };
+        hds.backup(&manifest.encode_stream(&contents)).unwrap();
+        // V2: tree magic followed by an undecodable manifest.
+        let mut bogus = Vec::new();
+        bogus.extend_from_slice(&STREAM_MAGIC);
+        bogus.extend_from_slice(&64u32.to_le_bytes());
+        bogus.extend_from_slice(&noise(40_000, 6));
+        hds.backup(&bogus).unwrap();
+
+        let report = SystemAuditor::new().audit(&mut hds);
+        assert_eq!(report.tree_manifests_checked, 2);
+        assert!(report.findings.iter().any(|f| matches!(
+            &f.kind,
+            FindingKind::DanglingTreeRef { version: 1, apath, .. } if apath == "/overrun"
+        )));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| matches!(&f.kind, FindingKind::TreeManifestCorrupt { version: 2, .. })));
+        assert_eq!(report.max_severity(), Some(Severity::Error));
     }
 
     #[test]

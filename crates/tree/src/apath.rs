@@ -1,0 +1,140 @@
+//! Archive paths: the tree's canonical, platform-independent entry names.
+//!
+//! An *apath* names an entry relative to the tree root: `"/"` is the root
+//! itself, `"/src/main.rs"` a nested file. Apaths are UTF-8, use `/` as the
+//! only separator, and forbid `.`/`..` components, so a manifest written on
+//! one machine restores identically on another and can never escape the
+//! restore destination.
+//!
+//! Manifests store entries in **apath order**: depth-first with bytewise
+//! sorted names, parents strictly before children. This is *component-wise*
+//! byte order, not whole-string byte order — `"/a/b"` sorts before
+//! `"/a+x"` because the walk descends into `a` before visiting its sibling
+//! `a+x`, even though `+` < `/` as raw bytes.
+
+use std::cmp::Ordering;
+
+/// The apath of the tree root.
+pub const ROOT: &str = "/";
+
+/// Whether `name` is a valid single apath component: non-empty UTF-8
+/// without separators, and not a traversal dot.
+#[must_use]
+pub fn valid_component(name: &str) -> bool {
+    !name.is_empty() && name != "." && name != ".." && !name.contains('/') && !name.contains('\0')
+}
+
+/// Joins a child `name` onto a parent apath.
+#[must_use]
+pub fn join(parent: &str, name: &str) -> String {
+    if parent == ROOT {
+        format!("/{name}")
+    } else {
+        format!("{parent}/{name}")
+    }
+}
+
+/// Whether `apath` is a structurally valid apath (`"/"` or `/`-joined valid
+/// components).
+#[must_use]
+pub fn valid(apath: &str) -> bool {
+    if apath == ROOT {
+        return true;
+    }
+    match apath.strip_prefix('/') {
+        Some(rest) => rest.split('/').all(valid_component),
+        None => false,
+    }
+}
+
+/// Whether `apath` equals `prefix` or lies beneath it.
+#[must_use]
+pub fn is_or_under(apath: &str, prefix: &str) -> bool {
+    if prefix == ROOT {
+        return true;
+    }
+    apath == prefix
+        || (apath.len() > prefix.len()
+            && apath.starts_with(prefix)
+            && apath.as_bytes()[prefix.len()] == b'/')
+}
+
+/// The remainder of `apath` below `prefix`, as its own apath (`"/"` when
+/// they are equal). Callers must have checked [`is_or_under`] first.
+#[must_use]
+pub fn strip_prefix<'a>(apath: &'a str, prefix: &str) -> &'a str {
+    if prefix == ROOT {
+        apath
+    } else if apath == prefix {
+        ROOT
+    } else {
+        &apath[prefix.len()..]
+    }
+}
+
+/// Compares two apaths in manifest (depth-first walk) order: component-wise
+/// bytewise, parents before children.
+#[must_use]
+pub fn cmp(a: &str, b: &str) -> Ordering {
+    let ac = a.strip_prefix('/').unwrap_or(a);
+    let bc = b.strip_prefix('/').unwrap_or(b);
+    if a == ROOT || b == ROOT {
+        // The root precedes everything but itself.
+        return (a != ROOT).cmp(&(b != ROOT));
+    }
+    let mut ai = ac.split('/');
+    let mut bi = bc.split('/');
+    loop {
+        match (ai.next(), bi.next()) {
+            (Some(x), Some(y)) => match x.as_bytes().cmp(y.as_bytes()) {
+                Ordering::Equal => continue,
+                other => return other,
+            },
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (None, None) => return Ordering::Equal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity() {
+        assert!(valid("/"));
+        assert!(valid("/a"));
+        assert!(valid("/a b/c-d/é"));
+        assert!(!valid(""));
+        assert!(!valid("a"));
+        assert!(!valid("/a//b"));
+        assert!(!valid("/a/../b"));
+        assert!(!valid("/a/./b"));
+        assert!(!valid("/a/"));
+    }
+
+    #[test]
+    fn join_and_prefix() {
+        assert_eq!(join("/", "a"), "/a");
+        assert_eq!(join("/a", "b"), "/a/b");
+        assert!(is_or_under("/a/b", "/a"));
+        assert!(is_or_under("/a", "/a"));
+        assert!(is_or_under("/a", "/"));
+        assert!(!is_or_under("/ab", "/a"));
+        assert_eq!(strip_prefix("/a/b", "/a"), "/b");
+        assert_eq!(strip_prefix("/a", "/a"), "/");
+        assert_eq!(strip_prefix("/a/b", "/"), "/a/b");
+    }
+
+    #[test]
+    fn walk_order_descends_before_siblings() {
+        // Whole-string byte order would put "/a+x" first ('+' < '/'); the
+        // walk order descends into a's children before the sibling.
+        assert_eq!(cmp("/a/b", "/a+x"), Ordering::Less);
+        assert_eq!(cmp("/a", "/a/b"), Ordering::Less);
+        assert_eq!(cmp("/", "/a"), Ordering::Less);
+        assert_eq!(cmp("/b", "/a/deep/deeper"), Ordering::Greater);
+        assert_eq!(cmp("/x", "/x"), Ordering::Equal);
+    }
+}

@@ -1,0 +1,227 @@
+//! Glob-based exclude patterns for tree backup.
+//!
+//! Patterns match apaths component-wise: `*` and `?` match within one
+//! component (never across `/`), `**` matches any run of whole components
+//! (including none). A pattern without a leading `/` is anchored nowhere —
+//! it behaves as if prefixed with `**/` and matches at any depth. A pattern
+//! that matches a directory excludes its entire subtree.
+//!
+//! Examples: `*.log` (any `.log` file anywhere), `/target/**` (everything
+//! under the top-level `target`), `**/node_modules` (that directory at any
+//! depth), `/build?` (`/build1`, `/builds`, …).
+
+use std::fmt;
+
+/// One parsed exclude pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pattern {
+    /// The original text, for display.
+    text: String,
+    /// `/`-split segments; `**` is the only multi-component segment.
+    segments: Vec<String>,
+}
+
+/// A compiled set of exclude patterns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExcludeSet {
+    patterns: Vec<Pattern>,
+}
+
+/// A rejected exclude pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExcludeError(String);
+
+impl fmt::Display for ExcludeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid exclude pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExcludeError {}
+
+impl ExcludeSet {
+    /// An empty set (nothing excluded).
+    #[must_use]
+    pub fn none() -> Self {
+        ExcludeSet::default()
+    }
+
+    /// Compiles a list of pattern strings.
+    ///
+    /// # Errors
+    ///
+    /// [`ExcludeError`] for empty patterns or empty components.
+    pub fn new<I, S>(patterns: I) -> Result<Self, ExcludeError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut set = ExcludeSet::default();
+        for p in patterns {
+            set.add(p.as_ref())?;
+        }
+        Ok(set)
+    }
+
+    /// Adds one pattern to the set.
+    ///
+    /// # Errors
+    ///
+    /// [`ExcludeError`] for empty patterns or empty components.
+    pub fn add(&mut self, pattern: &str) -> Result<(), ExcludeError> {
+        if pattern.is_empty() || pattern == "/" {
+            return Err(ExcludeError(format!(
+                "{pattern:?} (must name at least one component)"
+            )));
+        }
+        // Unanchored patterns match at any depth.
+        let anchored = pattern.strip_prefix('/');
+        let body = anchored.unwrap_or(pattern);
+        let mut segments: Vec<String> = Vec::new();
+        if anchored.is_none() {
+            segments.push("**".to_string());
+        }
+        for seg in body.split('/') {
+            if seg.is_empty() {
+                return Err(ExcludeError(format!("{pattern:?} (empty component)")));
+            }
+            segments.push(seg.to_string());
+        }
+        self.patterns.push(Pattern {
+            text: pattern.to_string(),
+            segments,
+        });
+        Ok(())
+    }
+
+    /// Number of patterns in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set has no patterns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Whether `apath` matches any pattern. The root never matches.
+    #[must_use]
+    pub fn matches(&self, apath: &str) -> bool {
+        if self.patterns.is_empty() || apath == "/" {
+            return false;
+        }
+        let components: Vec<&str> = apath
+            .strip_prefix('/')
+            .unwrap_or(apath)
+            .split('/')
+            .collect();
+        self.patterns
+            .iter()
+            .any(|p| match_segments(&p.segments, &components))
+    }
+
+    /// The original pattern texts, in insertion order.
+    pub fn patterns(&self) -> impl Iterator<Item = &str> {
+        self.patterns.iter().map(|p| p.text.as_str())
+    }
+}
+
+/// Matches a segment list against a component list (both fully).
+fn match_segments(segments: &[String], components: &[&str]) -> bool {
+    match segments.split_first() {
+        None => components.is_empty(),
+        Some((seg, rest)) if seg == "**" => {
+            if rest.is_empty() {
+                // Trailing `**` means "the contents", not the directory
+                // itself: at least one component must remain.
+                !components.is_empty()
+            } else {
+                // Interior `**` absorbs 0..=all leading components.
+                (0..=components.len()).any(|skip| match_segments(rest, &components[skip..]))
+            }
+        }
+        Some((seg, rest)) => match components.split_first() {
+            Some((comp, comps)) => {
+                glob_match(seg.as_bytes(), comp.as_bytes()) && match_segments(rest, comps)
+            }
+            None => false,
+        },
+    }
+}
+
+/// Single-component glob: `*` any run of bytes, `?` one byte, else literal.
+fn glob_match(pattern: &[u8], text: &[u8]) -> bool {
+    match pattern.split_first() {
+        None => text.is_empty(),
+        Some((b'*', rest)) => (0..=text.len()).any(|skip| glob_match(rest, &text[skip..])),
+        Some((b'?', rest)) => match text.split_first() {
+            Some((_, t)) => glob_match(rest, t),
+            None => false,
+        },
+        Some((&c, rest)) => match text.split_first() {
+            Some((&t, ts)) => c == t && glob_match(rest, ts),
+            None => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(patterns: &[&str]) -> ExcludeSet {
+        ExcludeSet::new(patterns).unwrap()
+    }
+
+    #[test]
+    fn unanchored_matches_any_depth() {
+        let s = set(&["*.log"]);
+        assert!(s.matches("/x.log"));
+        assert!(s.matches("/deep/nest/y.log"));
+        assert!(!s.matches("/x.log.bak"));
+        assert!(!s.matches("/"));
+    }
+
+    #[test]
+    fn anchored_matches_from_root_only() {
+        let s = set(&["/target"]);
+        assert!(s.matches("/target"));
+        assert!(!s.matches("/sub/target"));
+    }
+
+    #[test]
+    fn double_star_crosses_directories() {
+        let s = set(&["/a/**/leaf"]);
+        assert!(s.matches("/a/leaf"));
+        assert!(s.matches("/a/b/c/leaf"));
+        assert!(!s.matches("/a/b/c/leaf2"));
+        let t = set(&["/build/**"]);
+        assert!(t.matches("/build/x"));
+        assert!(t.matches("/build/x/y"));
+        assert!(!t.matches("/build"));
+    }
+
+    #[test]
+    fn question_mark_is_one_byte() {
+        let s = set(&["/v?"]);
+        assert!(s.matches("/v1"));
+        assert!(!s.matches("/v12"));
+        assert!(!s.matches("/v"));
+    }
+
+    #[test]
+    fn star_does_not_cross_separators() {
+        let s = set(&["/a*"]);
+        assert!(s.matches("/abc"));
+        assert!(!s.matches("/abc/d"));
+    }
+
+    #[test]
+    fn bad_patterns_are_rejected() {
+        assert!(ExcludeSet::new(["", "/"]).is_err());
+        assert!(ExcludeSet::new(["/a//b"]).is_err());
+        assert!(ExcludeSet::new(["ok"]).is_ok());
+    }
+}

@@ -1,0 +1,428 @@
+//! The tree manifest: the versioned, fsck-auditable record of one tree
+//! backup.
+//!
+//! A tree backup is stored as one ordinary version stream, so it rides the
+//! existing recipe machinery unchanged — chunked, deduplicated, journaled,
+//! and audited exactly like a byte-stream backup:
+//!
+//! ```text
+//! "HDST" | manifest_len: u32 LE | manifest bytes | file contents …
+//! ```
+//!
+//! The manifest (magic `HDSM`) lists every entry in apath order. File
+//! entries carry `(offset, size)` into the *content region* (the bytes
+//! after the manifest), which is the concatenation of all file bodies in
+//! apath order. A restore therefore reads the stream prefix to get the
+//! manifest, then maps any subset of files onto byte ranges — and via the
+//! recipe's restore plan onto the exact containers holding them.
+
+use std::fmt;
+
+use crate::apath;
+
+/// Magic prefix of a tree-backup version stream.
+pub const STREAM_MAGIC: [u8; 4] = *b"HDST";
+
+/// Magic prefix of an encoded manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"HDSM";
+
+/// Length of the stream header (magic + manifest length).
+pub const STREAM_HEADER_LEN: u64 = 8;
+
+/// Manifest format version written by this crate.
+const FORMAT_VERSION: u32 = 1;
+
+/// The kind-specific payload of a manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryPayload {
+    /// A directory (possibly empty — empty directories are preserved).
+    Dir,
+    /// A regular file occupying `[offset, offset + size)` of the content
+    /// region.
+    File {
+        /// Byte offset in the content region.
+        offset: u64,
+        /// Byte length.
+        size: u64,
+    },
+    /// A symlink and its verbatim (possibly dangling) target.
+    Symlink {
+        /// The link target, byte-for-byte as read.
+        target: String,
+    },
+}
+
+/// One entry of a tree manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The entry's apath (see [`crate::apath`]).
+    pub apath: String,
+    /// Unix permission bits (not meaningful for symlinks).
+    pub mode: u32,
+    /// Mtime whole seconds since the epoch.
+    pub mtime_secs: i64,
+    /// Mtime subsecond nanoseconds.
+    pub mtime_nanos: u32,
+    /// Kind-specific payload.
+    pub payload: EntryPayload,
+}
+
+impl ManifestEntry {
+    /// Single-byte kind tag used on the wire.
+    fn kind_tag(&self) -> u8 {
+        match self.payload {
+            EntryPayload::Dir => 0,
+            EntryPayload::File { .. } => 1,
+            EntryPayload::Symlink { .. } => 2,
+        }
+    }
+}
+
+/// A decoded (or to-be-encoded) tree manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TreeManifest {
+    /// Entries in apath order, root first.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// Why a manifest failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError(pub String);
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt tree manifest: {}", self.0)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl TreeManifest {
+    /// Total length of the content region (end of the furthest file).
+    #[must_use]
+    pub fn content_len(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter_map(|e| match e.payload {
+                EntryPayload::File { offset, size } => Some(offset + size),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Encodes the manifest body (magic, version, count, entries).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.entries.len() * 48);
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            out.push(e.kind_tag());
+            out.extend_from_slice(&(e.apath.len() as u16).to_le_bytes());
+            out.extend_from_slice(e.apath.as_bytes());
+            out.extend_from_slice(&e.mode.to_le_bytes());
+            out.extend_from_slice(&e.mtime_secs.to_le_bytes());
+            out.extend_from_slice(&e.mtime_nanos.to_le_bytes());
+            match &e.payload {
+                EntryPayload::Dir => {}
+                EntryPayload::File { offset, size } => {
+                    out.extend_from_slice(&offset.to_le_bytes());
+                    out.extend_from_slice(&size.to_le_bytes());
+                }
+                EntryPayload::Symlink { target } => {
+                    out.extend_from_slice(&(target.len() as u16).to_le_bytes());
+                    out.extend_from_slice(target.as_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the full version stream: header, manifest, content region.
+    #[must_use]
+    pub fn encode_stream(&self, contents: &[u8]) -> Vec<u8> {
+        let body = self.encode();
+        let mut out = Vec::with_capacity(8 + body.len() + contents.len());
+        out.extend_from_slice(&STREAM_MAGIC);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(contents);
+        out
+    }
+
+    /// Decodes and validates a manifest body.
+    ///
+    /// Validation: magic and format version, bounded lengths, valid apaths
+    /// in strictly increasing walk order (root first), valid UTF-8
+    /// throughout, and monotone non-overlapping file extents.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError`] describing the first violation.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ManifestError> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.take(4)? != MANIFEST_MAGIC {
+            return Err(ManifestError("bad magic".into()));
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(ManifestError(format!("unknown format version {version}")));
+        }
+        let count = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 16));
+        let mut next_offset = 0u64;
+        for i in 0..count {
+            let tag = r.u8()?;
+            let apath_len = r.u16()? as usize;
+            let apath = std::str::from_utf8(r.take(apath_len)?)
+                .map_err(|_| ManifestError(format!("entry {i}: apath is not UTF-8")))?
+                .to_string();
+            if !apath::valid(&apath) {
+                return Err(ManifestError(format!("entry {i}: invalid apath {apath:?}")));
+            }
+            let mode = r.u32()?;
+            let mtime_secs = r.i64()?;
+            let mtime_nanos = r.u32()?;
+            if mtime_nanos >= 1_000_000_000 {
+                return Err(ManifestError(format!(
+                    "entry {i} ({apath}): mtime nanos {mtime_nanos} out of range"
+                )));
+            }
+            let payload = match tag {
+                0 => EntryPayload::Dir,
+                1 => {
+                    let offset = r.u64()?;
+                    let size = r.u64()?;
+                    if offset != next_offset {
+                        return Err(ManifestError(format!(
+                            "entry {i} ({apath}): file extent starts at {offset}, \
+                             expected contiguous {next_offset}"
+                        )));
+                    }
+                    next_offset = offset
+                        .checked_add(size)
+                        .ok_or_else(|| ManifestError(format!("entry {i}: extent overflow")))?;
+                    EntryPayload::File { offset, size }
+                }
+                2 => {
+                    let target_len = r.u16()? as usize;
+                    let target = std::str::from_utf8(r.take(target_len)?)
+                        .map_err(|_| {
+                            ManifestError(format!("entry {i} ({apath}): target is not UTF-8"))
+                        })?
+                        .to_string();
+                    if target.is_empty() {
+                        return Err(ManifestError(format!("entry {i} ({apath}): empty target")));
+                    }
+                    EntryPayload::Symlink { target }
+                }
+                other => {
+                    return Err(ManifestError(format!("entry {i}: unknown kind {other}")));
+                }
+            };
+            entries.push(ManifestEntry {
+                apath,
+                mode,
+                mtime_secs,
+                mtime_nanos,
+                payload,
+            });
+        }
+        if r.at != bytes.len() {
+            return Err(ManifestError(format!(
+                "{} trailing bytes after {} entries",
+                bytes.len() - r.at,
+                count
+            )));
+        }
+        // Ordering: root first, then strictly increasing walk order.
+        if let Some(first) = entries.first() {
+            if first.apath != apath::ROOT {
+                return Err(ManifestError(format!(
+                    "first entry is {:?}, expected the root",
+                    first.apath
+                )));
+            }
+        }
+        for pair in entries.windows(2) {
+            if apath::cmp(&pair[0].apath, &pair[1].apath) != std::cmp::Ordering::Less {
+                return Err(ManifestError(format!(
+                    "entries out of walk order: {:?} then {:?}",
+                    pair[0].apath, pair[1].apath
+                )));
+            }
+        }
+        Ok(TreeManifest { entries })
+    }
+}
+
+/// Parses the 8-byte stream header, returning the manifest length.
+///
+/// # Errors
+///
+/// [`ManifestError`] if the magic is absent (not a tree backup) or the
+/// header is truncated.
+pub fn decode_stream_header(bytes: &[u8]) -> Result<u32, ManifestError> {
+    if bytes.len() < STREAM_HEADER_LEN as usize {
+        return Err(ManifestError(format!(
+            "stream header truncated at {} bytes",
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != STREAM_MAGIC {
+        return Err(ManifestError("stream magic absent".into()));
+    }
+    Ok(u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]))
+}
+
+/// Whether a stream prefix carries the tree-backup magic.
+#[must_use]
+pub fn is_tree_stream(prefix: &[u8]) -> bool {
+    prefix.len() >= 4 && prefix[..4] == STREAM_MAGIC
+}
+
+/// Bounded little-endian reader over the manifest body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ManifestError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| ManifestError(format!("truncated at byte {}", self.at)))?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ManifestError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ManifestError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().unwrap_or([0; 2]),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, ManifestError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().unwrap_or([0; 4]),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ManifestError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap_or([0; 8]),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, ManifestError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().unwrap_or([0; 8]),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(apath: &str, payload: EntryPayload) -> ManifestEntry {
+        ManifestEntry {
+            apath: apath.to_string(),
+            mode: 0o644,
+            mtime_secs: 1_700_000_000,
+            mtime_nanos: 123,
+            payload,
+        }
+    }
+
+    fn sample() -> TreeManifest {
+        TreeManifest {
+            entries: vec![
+                entry("/", EntryPayload::Dir),
+                entry("/a", EntryPayload::Dir),
+                entry(
+                    "/a/f",
+                    EntryPayload::File {
+                        offset: 0,
+                        size: 10,
+                    },
+                ),
+                entry(
+                    "/a/l",
+                    EntryPayload::Symlink {
+                        target: "f".to_string(),
+                    },
+                ),
+                entry(
+                    "/b",
+                    EntryPayload::File {
+                        offset: 10,
+                        size: 0,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = sample();
+        let decoded = TreeManifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.content_len(), 10);
+    }
+
+    #[test]
+    fn stream_framing_round_trips() {
+        let m = sample();
+        let stream = m.encode_stream(b"0123456789");
+        assert!(is_tree_stream(&stream));
+        let len = decode_stream_header(&stream).unwrap() as usize;
+        let decoded = TreeManifest::decode(&stream[8..8 + len]).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(&stream[8 + len..], b"0123456789");
+    }
+
+    #[test]
+    fn decode_rejects_disorder_and_damage() {
+        let mut m = sample();
+        m.entries.swap(1, 4);
+        assert!(TreeManifest::decode(&m.encode()).is_err());
+
+        let good = sample().encode();
+        assert!(TreeManifest::decode(&good[..good.len() - 1]).is_err());
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(TreeManifest::decode(&bad_magic).is_err());
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(TreeManifest::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_non_contiguous_extents() {
+        let m = TreeManifest {
+            entries: vec![
+                entry("/", EntryPayload::Dir),
+                entry("/f", EntryPayload::File { offset: 5, size: 1 }),
+            ],
+        };
+        assert!(TreeManifest::decode(&m.encode()).is_err());
+    }
+
+    #[test]
+    fn non_tree_streams_are_recognized() {
+        assert!(!is_tree_stream(b"not"));
+        assert!(!is_tree_stream(b"ABCD1234"));
+        assert!(decode_stream_header(b"ABCD1234").is_err());
+    }
+}

@@ -38,8 +38,10 @@
 //! assert_ne!(v1, v2);
 //! ```
 
+mod materialize;
 mod trace;
 
+pub use materialize::materialize;
 pub use trace::{TraceChunk, TraceSpec, TraceStream};
 
 use std::collections::BTreeMap;

@@ -1,0 +1,81 @@
+//! Materializing synthetic version streams as real on-disk trees.
+//!
+//! The generators in this crate model the paper's datasets (fslhomes,
+//! macos, …) as abstract byte streams. [`materialize`] turns those streams
+//! into actual directory trees — one directory per backup version, one file
+//! per generated dataset file — so the tree backup path
+//! (`hidestore-tree::backup_tree`) can be driven with the same workloads the
+//! stream-level experiments use.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use hidestore_failpoint::Vfs;
+
+use crate::VersionStream;
+
+/// Writes the next `versions` versions of `stream` under `root` as real
+/// trees: version *N* lands in `root/vNNNN/`, and each generated dataset
+/// file becomes `fIIIIII` (stable across versions, so an evolving file
+/// keeps its name and a deleted or flapping file disappears from later
+/// version directories). Concatenating one directory's files in name order
+/// reproduces exactly the bytes [`VersionStream::next_version`] would have
+/// returned for that version.
+///
+/// Returns the per-version directories in generation order.
+///
+/// # Errors
+///
+/// Any I/O error from the [`Vfs`]. Directories already materialized are
+/// left behind.
+pub fn materialize<V: Vfs>(
+    stream: &mut VersionStream,
+    vfs: &V,
+    root: &Path,
+    versions: u32,
+) -> io::Result<Vec<PathBuf>> {
+    let mut dirs = Vec::with_capacity(versions as usize);
+    for _ in 0..versions {
+        let (bytes, manifest) = stream.next_version_with_manifest();
+        let dir = root.join(format!("v{:04}", stream.version()));
+        vfs.create_dir_all(&dir)?;
+        let mut offset = 0usize;
+        for (id, len) in manifest {
+            vfs.write(&dir.join(format!("f{id:06}")), &bytes[offset..offset + len])?;
+            offset += len;
+        }
+        dirs.push(dir);
+    }
+    Ok(dirs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Profile;
+    use hidestore_failpoint::RealVfs;
+
+    #[test]
+    fn materialized_trees_reproduce_the_stream_bytes() {
+        let spec = Profile::Fslhomes.spec().scaled(200_000, 3);
+        let mut disk = VersionStream::new(spec, 7);
+        let mut reference = VersionStream::new(spec, 7);
+
+        let root = std::env::temp_dir().join(format!("hds-materialize-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let vfs = RealVfs;
+        let dirs = materialize(&mut disk, &vfs, &root, 3).unwrap();
+        assert_eq!(dirs.len(), 3);
+
+        for dir in &dirs {
+            let expected = reference.next_version();
+            // Name order == id order == serialization order.
+            let mut concatenated = Vec::new();
+            for file in vfs.read_dir(dir).unwrap() {
+                concatenated.extend_from_slice(&vfs.read(&file).unwrap());
+            }
+            assert_eq!(concatenated, expected, "bytes differ in {}", dir.display());
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

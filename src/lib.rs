@@ -24,6 +24,7 @@
 //! | [`workloads`] | kernel / gcc / fslhomes / macos generators |
 //! | [`fsck`] | cross-layer invariant checker ([`fsck::SystemAuditor`]) |
 //! | [`failpoint`] | [`failpoint::Vfs`] io-shim + fault injection for crash testing |
+//! | [`tree`] | real filesystem trees: apath-ordered walk, manifests, subtree restore |
 //! | [`proto`] | framed wire protocol: versioned HELLO, CRC-guarded frames, typed messages |
 //! | [`tenant`] | multi-tenant registry: tenant ids → isolated repositories via a bounded LRU |
 //! | [`server`] | `hds-served` daemon + [`server::RemoteClient`] |
@@ -60,6 +61,7 @@ pub use hidestore_rewriting as rewriting;
 pub use hidestore_server as server;
 pub use hidestore_storage as storage;
 pub use hidestore_tenant as tenant;
+pub use hidestore_tree as tree;
 pub use hidestore_workloads as workloads;
 
 /// Commonly used items in one import.

@@ -422,3 +422,132 @@ fn recluster_keeps_repository_restorable() {
     assert!(run(&["verify", repo_s]).status.success());
     fs::remove_dir_all(&repo).unwrap();
 }
+
+#[test]
+fn tree_backup_restore_lifecycle() {
+    let repo = temp("tree");
+    let repo_s = repo.to_str().unwrap();
+    let work = temp("tree-work");
+    let src = work.join("src");
+    fs::create_dir_all(src.join("code/deep")).unwrap();
+    fs::create_dir_all(src.join("empty-dir")).unwrap();
+    fs::write(src.join("top.txt"), b"top file").unwrap();
+    fs::write(src.join("code/main.rs"), noise(5_000, 50)).unwrap();
+    fs::write(src.join("code/deep/util.rs"), noise(3_000, 51)).unwrap();
+    fs::write(src.join("debug.log"), b"excluded").unwrap();
+    #[cfg(unix)]
+    std::os::unix::fs::symlink("top.txt", src.join("link")).unwrap();
+
+    let out = run(&["init", repo_s, "--chunk", "1024", "--container", "16384"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // backup-tree with an exclude
+    let out = run(&[
+        "backup-tree",
+        repo_s,
+        src.to_str().unwrap(),
+        "--exclude",
+        "*.log",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("3 files") && text.contains("1 excluded"),
+        "{text}"
+    );
+
+    // full restore round-trips content and omits the excluded file
+    let dest = work.join("dest");
+    let out = run(&["restore-tree", repo_s, "1", dest.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(fs::read(dest.join("top.txt")).unwrap(), b"top file");
+    assert_eq!(
+        fs::read(dest.join("code/deep/util.rs")).unwrap(),
+        noise(3_000, 51)
+    );
+    assert!(dest.join("empty-dir").is_dir());
+    assert!(!dest.join("debug.log").exists());
+    #[cfg(unix)]
+    assert_eq!(
+        fs::read_link(dest.join("link")).unwrap().to_str().unwrap(),
+        "top.txt"
+    );
+
+    // subtree restore lands the subtree at the destination
+    let sub = work.join("sub");
+    let out = run(&[
+        "restore-tree",
+        repo_s,
+        "1",
+        sub.to_str().unwrap(),
+        "--subtree",
+        "/code",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(fs::read(sub.join("main.rs")).unwrap(), noise(5_000, 50));
+    assert!(!sub.join("top.txt").exists());
+
+    // a missing subtree is a runtime error (exit 1)
+    let out = run(&[
+        "restore-tree",
+        repo_s,
+        "1",
+        work.join("nope").to_str().unwrap(),
+        "--subtree",
+        "/does/not/exist",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).starts_with("error:"));
+
+    // an unreadable entry (fifo) is skipped, reported, and exits non-zero,
+    // but the backup itself is saved
+    #[cfg(unix)]
+    {
+        let fifo = src.join("pipe");
+        let status = std::process::Command::new("mkfifo")
+            .arg(&fifo)
+            .status()
+            .expect("mkfifo runs");
+        assert!(status.success());
+        let out = run(&[
+            "backup-tree",
+            repo_s,
+            src.to_str().unwrap(),
+            "--exclude",
+            "*.log",
+        ]);
+        assert_eq!(out.status.code(), Some(1));
+        let err = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(err.contains("skipped /pipe"), "{err}");
+        let out = run(&["list", repo_s]);
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("V2"),
+            "the partial backup must still be saved"
+        );
+    }
+
+    // usage errors exit 2
+    let out = run(&["backup-tree", repo_s]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["restore-tree", repo_s, "1"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = fs::remove_dir_all(&repo);
+    let _ = fs::remove_dir_all(&work);
+}

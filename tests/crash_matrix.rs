@@ -641,3 +641,174 @@ fn restore_read_fault_cancels_pipeline_and_leaves_no_partial_output() {
         "recovered restore must reproduce the reference bytes"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Tree lifecycle: the same crash discipline for directory-tree backups.
+// ---------------------------------------------------------------------------
+
+/// Builds the small source tree the matrix backs up: nested dirs, an empty
+/// file, an empty dir, and a symlink — every entry shape the manifest
+/// stores. Built with `std::fs`, so fixture construction adds no ops to the
+/// faulted sequence.
+fn build_tree_fixture(src: &Path) {
+    for (rel, seed, len) in [
+        ("notes.txt", 21u64, 2_500usize),
+        ("src/alpha.rs", 22, 5_000),
+        ("src/beta.rs", 23, 3_000),
+        ("src/deep/gamma.rs", 24, 4_000),
+        ("empty.dat", 25, 0),
+    ] {
+        let path = src.join(rel);
+        std::fs::create_dir_all(path.parent().expect("fixture parent")).expect("fixture dirs");
+        std::fs::write(&path, noise(len, seed)).expect("fixture file");
+    }
+    std::fs::create_dir_all(src.join("bare-dir")).expect("fixture empty dir");
+    #[cfg(unix)]
+    std::os::unix::fs::symlink("src/alpha.rs", src.join("link")).expect("fixture symlink");
+}
+
+/// The scripted tree lifecycle: open → backup-tree ×2 (identical source, so
+/// the second round exercises dedup against the first) → restore-tree V1.
+/// Source reads, repository I/O, and destination writes all flow through
+/// the same `vfs`. Returns whether every per-entry operation completed —
+/// a crashed run must come back `Err` *or* `Ok(false)` (tree ops skip
+/// failing entries instead of aborting).
+fn run_tree_sequence<V: Vfs>(
+    repo: &Path,
+    src: &Path,
+    dest: &Path,
+    vfs: V,
+    saves: usize,
+) -> Result<bool, String> {
+    use hidestore::tree::{backup_tree, restore_tree, TreeBackupOptions, TreeRestoreOptions};
+    let (mut hds, _) =
+        HiDeStore::open_repository_with(config(), repo, vfs.clone()).map_err(|e| e.to_string())?;
+    let mut complete = true;
+    let mut done = 0;
+    for _ in 0..2 {
+        if done >= saves {
+            return Ok(complete);
+        }
+        let report = backup_tree(&mut hds, &vfs, src, &TreeBackupOptions::default())
+            .map_err(|e| e.to_string())?;
+        complete &= report.is_complete();
+        hds.save_repository(repo).map_err(|e| e.to_string())?;
+        done += 1;
+    }
+    if done >= saves {
+        return Ok(complete);
+    }
+    let report = restore_tree(
+        &mut hds,
+        &vfs,
+        VersionId::new(1),
+        dest,
+        &TreeRestoreOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    complete &= report.is_complete();
+    Ok(complete)
+}
+
+/// Every non-staging file that made it into `dest` must byte-match its
+/// source counterpart, and every symlink its target — a crashed restore may
+/// be a *prefix* of the tree (plus `.hds-tmp` staging residue), but never a
+/// torn or renamed-but-wrong file.
+fn assert_dest_is_clean_prefix(src: &Path, dest: &Path) {
+    if !dest.exists() {
+        return;
+    }
+    fn walk(src: &Path, dest: &Path) {
+        for entry in std::fs::read_dir(dest).expect("read dest dir") {
+            let entry = entry.expect("dest entry");
+            let name = entry.file_name();
+            if name.to_string_lossy().ends_with(".hds-tmp") {
+                continue; // staging residue of the crash — allowed
+            }
+            let d = entry.path();
+            let s = src.join(&name);
+            let meta = std::fs::symlink_metadata(&d).expect("dest lstat");
+            if meta.file_type().is_symlink() {
+                assert_eq!(
+                    std::fs::read_link(&d).expect("dest link"),
+                    std::fs::read_link(&s).expect("src link"),
+                    "symlink target mismatch at {}",
+                    d.display()
+                );
+            } else if meta.is_dir() {
+                walk(&s, &d);
+            } else {
+                assert_eq!(
+                    std::fs::read(&d).expect("dest file"),
+                    std::fs::read(&s).expect("src file"),
+                    "restored file differs from source at {}",
+                    d.display()
+                );
+            }
+        }
+    }
+    walk(src, dest);
+}
+
+#[test]
+fn crash_matrix_tree_lifecycle() {
+    let fixture = Scratch::new("tree-src");
+    let src = fixture.0.join("tree");
+    build_tree_fixture(&src);
+
+    // Counting run: number every op of the full tree lifecycle.
+    let scratch = Scratch::new("tree-count");
+    let vfs = FaultVfs::counting();
+    let complete = run_tree_sequence(
+        &scratch.0.join("repo"),
+        &src,
+        &scratch.0.join("dest"),
+        vfs.clone(),
+        usize::MAX,
+    )
+    .expect("counting run");
+    assert!(complete, "unfaulted tree lifecycle must be complete");
+    let total = vfs.ops();
+    assert!(
+        total > 80,
+        "tree sequence too small to be interesting: {total} ops"
+    );
+    drop(scratch);
+
+    // Repository boundary states: 0, 1, or 2 tree backups saved (the
+    // restore phase never mutates the repository).
+    let boundaries: Vec<BTreeMap<u32, u32>> = (0..=2)
+        .map(|saves| {
+            let s = Scratch::new(&format!("tree-boundary-{saves}"));
+            run_tree_sequence(
+                &s.0.join("repo"),
+                &src,
+                &s.0.join("dest"),
+                hidestore::failpoint::RealVfs,
+                saves,
+            )
+            .expect("unfaulted boundary build");
+            reopen_and_check(&s.0.join("repo"), &format!("tree boundary {saves}")).0
+        })
+        .collect();
+
+    for site in 0..total {
+        let s = Scratch::new(&format!("tree-site-{site}"));
+        let repo = s.0.join("repo");
+        let dest = s.0.join("dest");
+        let vfs = FaultVfs::armed(site, FaultKind::Error);
+        let result = run_tree_sequence(&repo, &src, &dest, vfs.clone(), usize::MAX);
+        assert!(vfs.crashed(), "tree site {site}: the fault must have fired");
+        match result {
+            Err(_) => {}
+            Ok(complete) => assert!(
+                !complete,
+                "tree site {site}: a crashed lifecycle cannot be complete"
+            ),
+        }
+        let ctx = format!("tree site {site}");
+        let (state, _) = reopen_and_check(&repo, &ctx);
+        assert_at_boundary(&state, &boundaries, &ctx);
+        assert_dest_is_clean_prefix(&src, &dest);
+    }
+}

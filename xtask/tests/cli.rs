@@ -81,11 +81,19 @@ fn json_report_is_pinned_byte_for_byte() {
     assert_eq!(code, 1);
     assert_eq!(
         stdout,
-        "{\"tool\":\"xtask-analyze\",\"schema\":1,\"clean\":false,\"files\":1,\
+        "{\"tool\":\"xtask-analyze\",\"schema\":1,\"clean\":false,\"files\":2,\
          \"findings\":[{\"rule\":\"vfs-io\",\"severity\":\"high\",\
          \"file\":\"crates/store/src/lib.rs\",\"line\":5,\
          \"message\":\"direct `std::fs` bypasses the Vfs shim \
-         (crash-matrix blind spot): std::fs::write(path, data)\"}]}\n"
+         (crash-matrix blind spot): std::fs::write(path, data)\"},\
+         {\"rule\":\"vfs-io\",\"severity\":\"high\",\
+         \"file\":\"crates/tree/src/lib.rs\",\"line\":3,\
+         \"message\":\"direct `std::fs` bypasses the Vfs shim \
+         (crash-matrix blind spot): use std::fs;\"},\
+         {\"rule\":\"vfs-io\",\"severity\":\"high\",\
+         \"file\":\"crates/tree/src/lib.rs\",\"line\":7,\
+         \"message\":\"direct `fs::` module access bypasses the Vfs shim \
+         (crash-matrix blind spot): fs::read(path)\"}]}\n"
     );
 }
 
